@@ -1,0 +1,36 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures at the ``REPRO_SCALE``
+experiment scale (default: ``bench``).  Each bench renders a
+paper-vs-measured table, prints it, and archives it under
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments import get_scale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale every benchmark runs at."""
+    return get_scale()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Callable persisting a rendered report and echoing it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrates (classic pytest-benchmark usage).
+
+Not a paper table — these keep an eye on the building blocks' throughput:
+Butterworth filtering, segmentation, Euler fusion, CNN forward pass
+(float32 vs int8), augmentation, and synthetic data generation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.augment import time_warp
+from repro.core.architecture import build_lightweight_cnn
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording
+from repro.datasets.tasks import TASKS
+from repro.quant import QuantizedModel
+from repro.signal.filters import lowpass_filter
+from repro.signal.orientation import estimate_euler_angles
+from repro.signal.segmentation import SegmentationConfig, segment_signal
+
+
+@pytest.fixture(scope="module")
+def imu_signal():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(3000, 9))  # 30 s at 100 Hz
+
+
+@pytest.fixture(scope="module")
+def float_model():
+    model = build_lightweight_cnn(40, seed=0)
+    model.compile("adam", "bce")
+    return model
+
+
+@pytest.fixture(scope="module")
+def int8_model(float_model):
+    rng = np.random.default_rng(0)
+    calib = rng.normal(size=(128, 40, 9)).astype(np.float32)
+    return QuantizedModel.convert(float_model, calib)
+
+
+def test_bench_butterworth_filtfilt(benchmark, imu_signal):
+    benchmark(lambda: lowpass_filter(imu_signal, fs=100.0))
+
+
+def test_bench_segmentation(benchmark, imu_signal):
+    cfg = SegmentationConfig(400.0, 0.5, 100.0)
+    benchmark(lambda: segment_signal(imu_signal, cfg))
+
+
+def test_bench_euler_fusion(benchmark, imu_signal):
+    accel = imu_signal[:, :3] * 0.05 + [0, 0, 1]
+    gyro = imu_signal[:, 3:6] * 10
+    benchmark(lambda: estimate_euler_angles(accel, gyro, fs=100.0))
+
+
+def test_bench_cnn_forward_float32(benchmark, float_model):
+    x = np.zeros((64, 40, 9), dtype=np.float32)
+    benchmark(lambda: float_model.predict(x))
+
+
+def test_bench_cnn_forward_int8(benchmark, int8_model):
+    x = np.zeros((64, 40, 9), dtype=np.float32)
+    benchmark(lambda: int8_model.predict(x))
+
+
+def test_bench_cnn_train_step(benchmark, float_model):
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(64, 40, 9)).astype(np.float32)
+    y = rng.integers(0, 2, size=(64, 1)).astype(float)
+    benchmark(lambda: float_model.train_on_batch(x, y))
+
+
+def test_bench_time_warp(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(40, 9))
+    benchmark(lambda: time_warp(x, rng))
+
+
+def test_bench_synthesize_fall_trial(benchmark):
+    subject = make_subjects("BM", 1, seed=0)[0]
+    counter = iter(range(10**9))
+
+    def _one_trial():
+        return synthesize_recording(TASKS[30], subject, trial=next(counter),
+                                    duration_scale=0.5, base_seed=1)
+
+    benchmark(_one_trial)

@@ -1,0 +1,56 @@
+"""Section IV-A: does merging the aligned KFall corpus help?
+
+The paper merges its self-collected data with (aligned) KFall explicitly
+to "increase the number of subjects and the volume of data ... improved
+generalization capabilities".  This bench holds out self-collected
+subjects and trains the proposed CNN twice — own data only vs own + KFall
+— quantifying the benefit of the alignment + merge machinery.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reports import format_table
+from repro.experiments import run_cross_dataset
+
+
+@pytest.fixture(scope="module")
+def cross(scale):
+    return run_cross_dataset(scale)
+
+
+def test_bench_cross_dataset(benchmark, scale, save_report, cross):
+    benchmark.pedantic(
+        lambda: {k: v for k, v in cross.items() if k != "test_subjects"},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for condition in ("own_only", "merged"):
+        res = cross[condition]
+        rows.append([
+            condition, res["train_subjects"], res["train_segments"],
+            f"{res['f1']:6.2f}", f"{res['fall_miss_rate']:6.2f}",
+            f"{res['adl_false_positive_rate']:6.2f}",
+        ])
+    save_report(
+        "cross_dataset",
+        format_table(
+            ["Training corpus", "Subjects", "Segments", "F1 %",
+             "Fall miss %", "ADL FP %"],
+            rows,
+            title="Merging aligned KFall data (test: held-out "
+                  "self-collected subjects)",
+        ),
+    )
+
+
+def test_merging_does_not_hurt(cross):
+    """More (aligned) subjects must not degrade generalization much; the
+    paper's premise is that it helps."""
+    assert cross["merged"]["f1"] >= cross["own_only"]["f1"] - 3.0
+
+
+def test_merged_training_set_is_larger(cross):
+    assert cross["merged"]["train_segments"] > cross["own_only"]["train_segments"]
+    assert cross["merged"]["train_subjects"] > cross["own_only"]["train_subjects"]

@@ -1,0 +1,103 @@
+"""PreFallKD-style knowledge distillation (Table I row [7]).
+
+Trains the heavy CNN-BiGRU teacher, distils it into the lightweight CNN
+student, and compares three deployable options: the plain student, the
+distilled student, and the (undeployable) teacher.  PreFallKD's premise is
+that the student recovers part of the teacher's quality at a fraction of
+the cost; the deployment columns show what that fraction is.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_lightweight_cnn
+from repro.core.baselines import build_cnn_bigru
+from repro.core.crossval import subject_folds
+from repro.core.distill import distill_model
+from repro.core.trainer import train_model
+from repro.eval.metrics import segment_metrics
+from repro.eval.reports import format_table
+from repro.experiments.runners import (
+    _segments_for,
+    build_experiment_dataset,
+    training_config,
+)
+
+
+@pytest.fixture(scope="module")
+def distillation(scale):
+    dataset = build_experiment_dataset(scale)
+    segments = _segments_for(dataset, 400.0, 0.5)
+    fold = subject_folds(segments.subjects, k=scale.folds,
+                         n_val_subjects=scale.n_val_subjects,
+                         seed=scale.seed)[0]
+    train = segments.by_subjects(fold.train_subjects)
+    val = segments.by_subjects(fold.val_subjects)
+    test = segments.by_subjects(fold.test_subjects)
+    config = training_config(scale)
+
+    teacher, _ = train_model(build_cnn_bigru, train, val, config)
+    student_plain, _ = train_model(build_lightweight_cnn, train, val, config)
+    student_kd, _ = distill_model(teacher, build_lightweight_cnn, train, val,
+                                  config, alpha=0.5)
+
+    from repro.nn import estimate_macs
+
+    def _score(model):
+        probs = model.predict(test.X).reshape(-1)
+        metrics = segment_metrics(test.y, probs)
+        return {
+            "f1": 100 * metrics["f1"],
+            "precision": 100 * metrics["precision"],
+            "recall": 100 * metrics["recall"],
+            "params": model.count_params(),
+            "macs": estimate_macs(model),
+        }
+
+    return {
+        "teacher (CNN-BiGRU)": _score(teacher),
+        "student plain": _score(student_plain),
+        "student distilled": _score(student_kd),
+    }
+
+
+def test_bench_distillation(benchmark, save_report, distillation):
+    benchmark.pedantic(
+        lambda: {k: v["f1"] for k, v in distillation.items()},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [name, f"{res['f1']:6.2f}", f"{res['precision']:6.2f}",
+         f"{res['recall']:6.2f}", res["params"], res["macs"]]
+        for name, res in distillation.items()
+    ]
+    save_report(
+        "distillation",
+        format_table(["Model", "F1 %", "Prec %", "Rec %", "Params", "MACs"],
+                     rows, title="PreFallKD-style distillation (held-out "
+                                 "subjects, 400 ms)"),
+    )
+
+
+def test_all_three_models_learn(distillation):
+    for name, res in distillation.items():
+        assert res["f1"] > 60.0, (name, res)
+
+
+def test_student_is_much_cheaper_than_teacher(distillation):
+    """Deployability is about *compute*, not parameter count: the CNN's
+    parameters sit in one cheap dense layer, while the BiGRU recurses over
+    every time step in both directions.  Compare analytic MACs."""
+
+    def macs(entry):
+        return entry["macs"]
+
+    assert macs(distillation["student distilled"]) < 0.5 * macs(
+        distillation["teacher (CNN-BiGRU)"]
+    )
+
+
+def test_distillation_does_not_break_the_student(distillation):
+    assert (distillation["student distilled"]["f1"]
+            >= distillation["student plain"]["f1"] - 5.0)

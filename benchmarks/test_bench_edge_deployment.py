@@ -1,0 +1,80 @@
+"""Section IV-C: quantization parity and STM32F722 deployment readout.
+
+Paper: post-training int8 quantization leaves performance unchanged; the
+model occupies 67.03 KiB of flash and 16.87 KiB of RAM on the STM32F722
+and infers one segment in 4 ms +/- 3 ms (plus 3 ms sensor fusion).
+
+Shape claims checked: int8 == float32 decisions (>97 % agreement, F1 drop
+< 2 points); the model fits the 256 KiB flash/RAM budget with real-time
+margin; flash lands in the same tens-of-KiB decade as the paper.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.edge import generate_c_source
+from repro.eval.reports import render_edge_report
+from repro.experiments import run_edge_experiment
+
+
+@pytest.fixture(scope="module")
+def edge(scale):
+    return run_edge_experiment(scale)
+
+
+def test_bench_edge_quantized_inference(benchmark, edge, save_report):
+    qmodel = edge["qmodel"]
+    x = np.zeros((1, *qmodel.input_shape), dtype=np.float32)
+    benchmark(lambda: qmodel.predict(x))
+    report = dict(edge["report"])
+    save_report("edge_deployment", render_edge_report(report))
+
+
+def test_quantization_keeps_performance(edge):
+    assert edge["decision_agreement"] > 0.97
+    assert abs(edge["f1_drop_points"]) < 2.0
+
+
+def test_fits_the_board(edge):
+    report = edge["report"]
+    assert report["fits_flash"]
+    assert report["fits_ram"]
+    assert report["meets_deadline"]
+
+
+def test_flash_same_decade_as_paper(edge):
+    # Paper: 67.03 KiB.  Same architecture, same int8 storage: tens of KiB.
+    assert 20.0 < edge["report"]["flash_kib"] < 150.0
+
+
+def test_latency_within_papers_error_band(edge):
+    # Paper: 4 ms +/- 3 ms on the physical board.
+    assert edge["report"]["latency_ms"] < 7.0
+
+
+@pytest.mark.skipif(shutil.which("cc") is None, reason="no C compiler")
+def test_bench_generated_c_inference(benchmark, edge, tmp_path):
+    """Compile the generated C and time native int8 inference."""
+    qmodel = edge["qmodel"]
+    rng = np.random.default_rng(0)
+    test_x = rng.normal(size=(32, *qmodel.input_shape)).astype(np.float32)
+    source = generate_c_source(qmodel, include_main=True, test_input=test_x)
+    c_file = tmp_path / "model.c"
+    c_file.write_text(source)
+    binary = tmp_path / "model"
+    subprocess.run(["cc", "-O2", "-std=c99", "-o", str(binary), str(c_file),
+                    "-lm"], check=True, capture_output=True)
+
+    def _run_native():
+        return subprocess.run([str(binary)], check=True,
+                              capture_output=True, text=True).stdout
+
+    out = benchmark(_run_native)
+    c_probs = np.array([float(v) for v in out.split()])
+    py_probs = qmodel.predict(test_x).reshape(-1)
+    np.testing.assert_allclose(c_probs, py_probs, atol=1e-5)

@@ -1,0 +1,68 @@
+"""Figure 1: anatomy of a fall (pre-fall / falling / last 150 ms / impact /
+post-fall).
+
+Regenerates the data behind the paper's stage diagram from a synthetic
+fall: per-stage durations and signal statistics, including the violet-
+cross impact instant and the yellow "last 150 ms" band the method refuses
+to rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reports import format_table
+from repro.experiments import run_figure1
+
+
+@pytest.fixture(scope="module")
+def anatomy():
+    return run_figure1(task_id=30, seed=42)
+
+
+def test_bench_figure1(benchmark, save_report, anatomy):
+    benchmark.pedantic(lambda: run_figure1(task_id=30, seed=42), rounds=1,
+                       iterations=1)
+    rows = []
+    for stage, stats in anatomy["stages"].items():
+        rows.append([
+            stage,
+            f"{stats.get('duration_ms', 0.0):8.0f}",
+            f"{stats.get('accel_mag_mean', float('nan')):8.3f}",
+            f"{stats.get('accel_mag_min', float('nan')):8.3f}",
+            f"{stats.get('accel_mag_max', float('nan')):8.3f}",
+            f"{stats.get('gyro_mag_max', float('nan')):9.1f}",
+        ])
+    save_report(
+        "figure1_phases",
+        format_table(
+            ["Stage", "dur (ms)", "|a| mean", "|a| min", "|a| max",
+             "|w| max"],
+            rows,
+            title=(f"Figure 1: fall anatomy — {anatomy['task']} "
+                   f"(falling {anatomy['falling_duration_ms']:.0f} ms)"),
+        ),
+    )
+
+
+def test_stage_ordering_and_durations(anatomy):
+    stages = anatomy["stages"]
+    assert stages["falling_withheld_150ms"]["duration_ms"] == pytest.approx(
+        150.0, abs=10.0
+    )
+    # Paper: falling lasts 150-1100 ms.
+    assert 150.0 <= anatomy["falling_duration_ms"] <= 1100.0
+
+
+def test_signal_statistics_tell_the_figures_story(anatomy):
+    stages = anatomy["stages"]
+    # Quiet-ish activity before the fall.
+    assert 0.7 < stages["pre_fall"]["accel_mag_mean"] < 1.3
+    # The withheld 150 ms contains the deepest unloading (that is *why*
+    # truncating it hurts).
+    assert (stages["falling_withheld_150ms"]["accel_mag_min"]
+            <= stages["falling_usable"]["accel_mag_min"] + 0.05)
+    # Impact spike dominates everything else.
+    assert stages["impact"]["accel_mag_max"] > 2.5
+    # Post-fall stillness around 1 g.
+    assert 0.7 < stages["post_fall"]["accel_mag_mean"] < 1.3

@@ -1,0 +1,53 @@
+"""Figure 2: the end-to-end methodology pipeline.
+
+Traces every box of the paper's schematic — acquisition, alignment/merge,
+preprocessing, training, testing, quantization, deployment — and reports
+one summary line per stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reports import format_table
+from repro.experiments import run_figure2_pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(scale):
+    return run_figure2_pipeline(scale)
+
+
+def test_bench_figure2_pipeline(benchmark, scale, save_report, pipeline):
+    benchmark.pedantic(lambda: run_figure2_pipeline(scale), rounds=1,
+                       iterations=1)
+    rows = []
+    for stage, summary in pipeline.items():
+        rendered = ", ".join(
+            f"{k}={v:.4g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in summary.items()
+        )
+        rows.append([stage, rendered])
+    save_report("figure2_pipeline",
+                format_table(["Stage", "Summary"], rows,
+                             title="Figure 2: pipeline trace"))
+
+
+def test_every_stage_present(pipeline):
+    assert set(pipeline) == {
+        "acquisition", "preprocessing", "training", "testing", "deployment",
+    }
+
+
+def test_stage_outputs_are_consistent(pipeline):
+    acq = pipeline["acquisition"]
+    assert acq["falls"] > 0 and acq["adls"] > 0
+    pre = pipeline["preprocessing"]
+    assert pre["falling"] > 0
+    assert pre["falling"] < pre["non_falling"]  # class imbalance survives
+    train = pipeline["training"]
+    assert train["epochs"] >= 1
+    test = pipeline["testing"]
+    assert test["f1"] > 0.5  # far above macro-chance
+    deploy = pipeline["deployment"]
+    assert deploy["fits"]

@@ -1,0 +1,71 @@
+"""Related-work architecture comparison (Table I modern baselines).
+
+Table I lists heavier learned models — CNN-BiGRU (Kiran 2024 [5]) at the
+top.  This bench trains our CNN-BiGRU implementation under the *paper's*
+protocol (with the 150 ms truncation those works do not apply) and puts it
+next to the proposed lightweight CNN, including the deployment view: the
+bidirectional recurrence cannot run on the streaming MCU path anyway
+(non-causal), which is the paper's deployability argument in code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.architecture import build_lightweight_cnn
+from repro.core.baselines import RELATED_WORK_BUILDERS
+from repro.eval.reports import format_table
+from repro.experiments import run_model_on_window
+
+
+@pytest.fixture(scope="module")
+def comparison(scale):
+    results = {}
+    for name, builder in RELATED_WORK_BUILDERS.items():
+        results[name] = run_model_on_window(builder, scale, window_ms=400.0)
+    results["CNN (Proposed)"] = run_model_on_window(
+        build_lightweight_cnn, scale, window_ms=400.0
+    )
+    return results
+
+
+def test_bench_related_work(benchmark, scale, save_report, comparison):
+    def _score_summary():
+        return {name: run["metrics"]["f1"] for name, run in comparison.items()}
+
+    benchmark.pedantic(_score_summary, rounds=1, iterations=1)
+    rows = []
+    for name, run in comparison.items():
+        metrics = run["metrics"]
+        events = run["events"]
+        rows.append([
+            name,
+            f"{metrics['accuracy']:6.2f}", f"{metrics['f1']:6.2f}",
+            f"{events.fall_miss_rate:6.2f}",
+            f"{events.adl_false_positive_rate:6.2f}",
+        ])
+    save_report(
+        "related_work",
+        format_table(
+            ["Model", "Acc %", "F1 %", "Fall miss %", "ADL FP %"],
+            rows,
+            title="Related-work comparison under the paper's protocol "
+                  "(400 ms, truncated)",
+        ),
+    )
+
+
+def test_proposed_cnn_competitive_with_heavier_models(comparison):
+    cnn = comparison["CNN (Proposed)"]["metrics"]["f1"]
+    for name, run in comparison.items():
+        if name == "CNN (Proposed)":
+            continue
+        # The heavier recurrent model may edge ahead on segments, but the
+        # lightweight CNN must stay within a few points — the paper's
+        # efficiency argument only makes sense if accuracy is comparable.
+        assert cnn >= run["metrics"]["f1"] - 5.0, (name, cnn, run["metrics"])
+
+
+def test_related_work_models_learn(comparison):
+    for name, run in comparison.items():
+        assert run["metrics"]["f1"] > 60.0, (name, run["metrics"])

@@ -1,0 +1,83 @@
+"""Table I context: classical threshold-based pre-impact detectors.
+
+The paper's related-work table lists threshold algorithms (de Sousa 2021
+[10], Jung 2020 [11]) with accuracies in the 92-96 % range.  We run our
+implementations of both styles on the same synthetic corpus the learned
+models use, at the event level, to reproduce the qualitative claim:
+threshold methods are fast and decent but trail the learned detector.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_lightweight_cnn
+from repro.eval.reports import format_table
+from repro.experiments import run_model_on_window, run_table1_thresholds
+
+#: The detectors' real-world analogues: (reference, accuracy %, f1 %).
+#: The first two appear in Table I; PIPTO [12] is cited in the text
+#: without comparable pre-impact numbers.
+PAPER_THRESHOLD_ROWS = {
+    "VerticalVelocityDetector": ("de Sousa 2021 [10]", 95.86, 97.67),
+    "ImpactEnergyDetector": ("Jung 2020 [11]", 92.40, 94.20),
+    "AccelerationWindowDetector": ("Moutsis 2023 [12]", None, None),
+}
+
+
+@pytest.fixture(scope="module")
+def threshold_results(scale):
+    return run_table1_thresholds(scale)
+
+
+def test_bench_table1_thresholds(benchmark, scale, save_report,
+                                 threshold_results):
+    benchmark.pedantic(lambda: run_table1_thresholds(scale), rounds=1,
+                       iterations=1)
+    rows = []
+    for name, res in threshold_results.items():
+        ref, paper_acc, paper_f1 = PAPER_THRESHOLD_ROWS[name]
+        fmt = lambda v: f"{v:.2f}" if v is not None else "n/a"
+        rows.append([
+            name, ref,
+            f"{100 * res['accuracy']:.2f} / {fmt(paper_acc)}",
+            f"{100 * res['f1']:.2f} / {fmt(paper_f1)}",
+            f"tp={res['tp']} fp={res['fp']} tn={res['tn']} fn={res['fn']}",
+        ])
+    save_report(
+        "table1_thresholds",
+        format_table(
+            ["Detector", "Paper analogue", "Acc (meas/paper)",
+             "F1 (meas/paper)", "Confusion"],
+            rows, title="Table I context: threshold baselines",
+        ),
+    )
+
+
+def test_thresholds_detect_most_falls(threshold_results):
+    for name, res in threshold_results.items():
+        assert res["recall"] > 0.55, (name, res)
+
+
+def test_thresholds_are_far_better_than_chance(threshold_results):
+    for name, res in threshold_results.items():
+        assert res["f1"] > 0.5, (name, res)
+
+
+def test_sensor_richness_ordering(threshold_results):
+    """More sensing -> better thresholds: the accel+gyro+angle detector
+    must beat the accelerometer-only one."""
+    assert (threshold_results["ImpactEnergyDetector"]["f1"]
+            >= threshold_results["AccelerationWindowDetector"]["f1"])
+
+
+@pytest.mark.slow
+def test_learned_model_beats_thresholds_event_level(scale, threshold_results):
+    """The paper's core motivation: learned models beat thresholds."""
+    run = run_model_on_window(build_lightweight_cnn, scale, window_ms=400.0)
+    report = run["events"]
+    cnn_recall = 1.0 - report.fall_miss_rate / 100.0
+    best_threshold_recall = max(r["recall"] for r in threshold_results.values())
+    # The CNN must reach at least comparable event recall (the paper's
+    # claim is higher accuracy at matched reactivity).
+    assert cnn_recall >= best_threshold_recall - 0.15

@@ -1,0 +1,72 @@
+"""Table IV: event-level misclassification of the proposed CNN (400 ms).
+
+Regenerates both halves of the paper's Table IV: per-fall-task miss rates
+(IVa), per-ADL-task false-positive rates (IVb), the overall averages
+(paper: 4.17 % falls missed, 2.04 % ADL false positives) and the
+red-vs-green ADL split (3.34 % vs 0.46 %).
+
+Shape claims checked: falls from height are the hardest fall category;
+"red" (vigorous, fall-like) ADLs draw more false activations than "green"
+everyday ADLs; quiet ADLs never trigger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.tasks import GREEN_ADL_IDS
+from repro.eval.reports import render_table4
+from repro.experiments import run_table4
+
+
+@pytest.fixture(scope="module")
+def table4(scale):
+    return run_table4(scale)
+
+
+def test_bench_table4(benchmark, scale, save_report, table4):
+    def _evaluate_again():
+        report = table4["report"]
+        return (report.per_task_miss(), report.per_task_false_positive())
+
+    benchmark.pedantic(_evaluate_again, rounds=1, iterations=1)
+    save_report("table4_events",
+                render_table4(table4["report"],
+                              title="Table IV (measured / paper)"))
+
+
+def test_miss_and_fp_rates_are_bounded(table4):
+    # The absolute numbers depend on training-corpus size; at benchmark
+    # scale we check they stay in a sane regime (paper: 4.17 % / 2.04 %).
+    assert table4["fall_miss_rate"] < 40.0
+    assert table4["adl_false_positive_rate"] < 40.0
+
+
+def test_height_falls_are_hardest(table4):
+    """Paper Table IVa: tasks 39/40 (falls from height) top the miss list."""
+    miss = table4["per_task_miss"]
+    height_miss = np.mean([miss.get(39, 0.0), miss.get(40, 0.0)])
+    ordinary = [v for k, v in miss.items() if k not in (39, 40, 41, 42)]
+    assert height_miss >= np.mean(ordinary) - 1e-9
+
+
+def test_red_adls_worse_than_green(table4):
+    rg = table4["red_green"]
+    assert rg["red"] >= rg["green"]
+
+
+def test_quiet_adls_do_not_trigger(table4):
+    """Standing (1), sitting (11) and lying (17) must show 0 % FP."""
+    fp = table4["per_task_fp"]
+    for task in (1, 11, 17):
+        assert fp.get(task, 0.0) == 0.0, fp
+
+
+def test_green_adls_mostly_silent(table4):
+    fp = table4["per_task_fp"]
+    green_rates = [fp.get(t, 0.0) for t in sorted(GREEN_ADL_IDS)]
+    # At least half of the everyday ADL tasks never fire (paper: 11 of 12
+    # green tasks at 0.00 %).
+    zero_fraction = np.mean([r == 0.0 for r in green_rates])
+    assert zero_fraction >= 0.5, dict(zip(sorted(GREEN_ADL_IDS), green_rates))

@@ -1,0 +1,67 @@
+"""Section III-A design sweep: window size (100-400 ms) x overlap (0-75 %).
+
+The paper reports experimenting over this grid and settling on 400 ms /
+50 % overlap.  This bench regenerates the sweep for the proposed CNN and
+checks that the paper's chosen region is competitive.
+
+The grid is trimmed at benchmark scale (two overlaps) to keep runtime in
+minutes; set REPRO_SCALE=paper for the full 4x4 grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.reports import format_table
+from repro.experiments import run_window_sweep
+
+WINDOWS = (100.0, 200.0, 300.0, 400.0)
+
+
+def _overlaps(scale):
+    return (0.0, 0.25, 0.5, 0.75) if scale.name == "paper" else (0.0, 0.5)
+
+
+@pytest.fixture(scope="module")
+def sweep(scale):
+    return run_window_sweep(scale, windows=WINDOWS,
+                            overlaps=_overlaps(scale))
+
+
+def test_bench_window_sweep(benchmark, scale, save_report, sweep):
+    def _one_cell():
+        return run_window_sweep(scale, windows=(400.0,), overlaps=(0.5,))
+
+    benchmark.pedantic(_one_cell, rounds=1, iterations=1)
+    rows = [
+        [f"{window} ms", f"{overlap:.0%}",
+         f"{metrics['accuracy']:6.2f}", f"{metrics['precision']:6.2f}",
+         f"{metrics['recall']:6.2f}", f"{metrics['f1']:6.2f}"]
+        for (window, overlap), metrics in sorted(sweep.items())
+    ]
+    save_report(
+        "window_sweep",
+        format_table(["Window", "Overlap", "Acc %", "Prec %", "Rec %", "F1 %"],
+                     rows, title="Section III-A sweep (proposed CNN)"),
+    )
+
+
+def test_papers_chosen_config_is_competitive(sweep):
+    """400 ms / 50 % must be within a few F1 points of the grid optimum."""
+    best = max(m["f1"] for m in sweep.values())
+    chosen = sweep[(400, 0.5)]["f1"]
+    assert chosen >= best - 5.0, (chosen, best)
+
+
+def test_long_windows_beat_the_shortest(sweep):
+    """Paper: F1 rises with window size (100 ms windows see too little)."""
+    by_window = {}
+    for (window, _), metrics in sweep.items():
+        by_window.setdefault(window, []).append(metrics["f1"])
+    mean = {w: sum(v) / len(v) for w, v in by_window.items()}
+    assert mean[400] >= mean[100] - 1.0, mean
+
+
+def test_all_cells_learned_something(sweep):
+    for cell, metrics in sweep.items():
+        assert metrics["f1"] > 55.0, (cell, metrics)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Bring-your-own-data: adapt the pipeline to a foreign IMU corpus.
+
+Demonstrates the dataset-alignment path of Section IV-A on a deliberately
+mis-calibrated corpus: a third "lab" dataset recorded with the sensor
+mounted at a different tilt and logging acceleration in m/s².  We:
+
+1. build the foreign corpus (tilted frame, SI units);
+2. estimate its frame rotation from quiet-standing gravity and align it
+   with Rodrigues' formula;
+3. merge it with the canonical self-collected corpus;
+4. train on the merged data, test on held-out subjects of *both* sources
+   — showing the alignment is what makes the merge useful.
+
+Run:  python examples/custom_dataset_training.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    PreprocessConfig,
+    TrainingConfig,
+    build_lightweight_cnn,
+    build_segments,
+    train_model,
+)
+from repro.datasets import (
+    Dataset,
+    align_dataset,
+    build_selfcollected,
+    estimate_frame_rotation,
+)
+from repro.datasets.kfall import _to_kfall_frame  # reuse the tilted encoder
+from repro.eval import segment_metrics
+
+
+def build_foreign_lab_dataset(n_subjects=3, seed=31) -> Dataset:
+    """A corpus captured by another lab: tilted mount, m/s² units."""
+    canonical = build_selfcollected(n_subjects=n_subjects, duration_scale=0.4,
+                                    seed=seed)
+    tilted = []
+    for rec in canonical:
+        foreign = _to_kfall_frame(rec, rec.fs)
+        # Distinct subject ids: these are *different people* in another lab.
+        foreign = foreign.with_signals(
+            subject_id=rec.subject_id.replace("SC", "FL"),
+            dataset="foreign-lab",
+        )
+        tilted.append(foreign)
+    return Dataset("foreign-lab", tilted, frame="kfall")
+
+
+def main() -> None:
+    print("building corpora ...")
+    ours = build_selfcollected(n_subjects=3, duration_scale=0.4, seed=77)
+    foreign = build_foreign_lab_dataset()
+    print(f"  ours:    {ours.summary()}")
+    print(f"  foreign: {foreign.summary()} (frame={foreign.frame!r})")
+
+    print("\nestimating the foreign frame from quiet-standing gravity ...")
+    rotation = estimate_frame_rotation(foreign)
+    print(f"  rotation matrix:\n{np.array2string(rotation, precision=3)}")
+
+    aligned = align_dataset(foreign, rotation)
+    merged = Dataset.merge("merged", ours, aligned)
+    print(f"\nmerged: {merged.summary()}")
+
+    print("\npreprocessing + subject-independent split across sources ...")
+    segments = build_segments(merged, PreprocessConfig())
+    subjects = segments.subjects
+    test_subjects = [subjects[0], subjects[-1]]   # one from each corpus
+    val_subjects = [subjects[1]]
+    train_subjects = [s for s in subjects
+                      if s not in test_subjects + val_subjects]
+    train = segments.by_subjects(train_subjects)
+    val = segments.by_subjects(val_subjects)
+
+    model, _ = train_model(build_lightweight_cnn, train, val,
+                           TrainingConfig(epochs=15, patience=5))
+
+    print("\nper-source held-out performance:")
+    for subject in test_subjects:
+        subset = segments.by_subjects([subject])
+        probs = model.predict(subset.X).reshape(-1)
+        metrics = segment_metrics(subset.y, probs)
+        source = "ours" if subject.startswith("SC") else "foreign"
+        print(f"  {subject} ({source:7s}): "
+              + "  ".join(f"{k}={100 * metrics[k]:.1f}%"
+                          for k in ("accuracy", "f1")))
+    print("\nthe model generalises across sources because both live in one "
+          "frame;\nskip the alignment step and the foreign gravity axis "
+          "points sideways.")
+
+
+if __name__ == "__main__":
+    main()

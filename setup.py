@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so ``pip install -e .`` works on environments whose pip/setuptools
+combination lacks the ``wheel`` package needed for PEP 660 editable
+installs; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

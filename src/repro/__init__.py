@@ -1,0 +1,33 @@
+"""repro — reproduction of "A Lightweight CNN for Real-Time Pre-Impact Fall
+Detection" (Turetta et al., DATE 2025).
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy deep-learning framework (the TensorFlow/Keras substitute).
+``repro.signal``
+    DSP substrate: Butterworth filtering, segmentation, orientation
+    estimation, Rodrigues rotations, unit handling.
+``repro.datasets``
+    Synthetic KFall-like and self-collected-like IMU datasets with
+    frame-accurate fall annotations.
+``repro.augment``
+    Time-warping / window-warping augmentation.
+``repro.core``
+    The paper's method: preprocessing pipeline, the lightweight 3-branch
+    CNN, baselines, training protocol, subject-independent cross-validation,
+    event-level evaluation and the streaming ``FallDetector``.
+``repro.quant``
+    Post-training int8 quantization with fixed-point requantization.
+``repro.edge``
+    STM32F722 (Cortex-M7) deployment model: flash/RAM footprint, latency,
+    and C code generation.
+``repro.eval``
+    Metrics and paper-style report tables.
+``repro.experiments``
+    Config-driven runners regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""``repro.augment`` — minority-class (fall) segment augmentation."""
+
+from .warping import jitter, scale, time_warp, window_warp
+
+__all__ = ["time_warp", "window_warp", "jitter", "scale"]

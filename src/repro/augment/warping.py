@@ -1,0 +1,103 @@
+"""Time-series augmentation: time warping and window warping.
+
+The paper augments only the *fall* segments of the training set with
+"time warping and its window warping variant": time warping smoothly
+stretches/compresses the time axis (Um et al., 2017), window warping
+speeds a randomly selected sub-window up or down (Rashid & Louis, 2019).
+Both operate on ``(time, channels)`` arrays and preserve length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["time_warp", "window_warp", "jitter", "scale"]
+
+
+def _check_segment(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError(f"expected (time, channels), got shape {x.shape}")
+    if x.shape[0] < 4:
+        raise ValueError(f"segment too short to warp: {x.shape[0]} samples")
+    return x
+
+
+def _resample_to(x: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    """Linear re-interpolation of every channel at fractional positions."""
+    idx = np.arange(x.shape[0], dtype=float)
+    out = np.empty((positions.size, x.shape[1]))
+    for ch in range(x.shape[1]):
+        out[:, ch] = np.interp(positions, idx, x[:, ch])
+    return out
+
+
+def time_warp(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    sigma: float = 0.2,
+    knots: int = 4,
+) -> np.ndarray:
+    """Smooth random warping of the whole time axis (Um et al., 2017).
+
+    A smooth random speed curve (positive spline through ``knots``
+    log-normal control points) is integrated into a warp path; the signal
+    is resampled along it.  ``sigma`` controls warp strength.
+    """
+    x = _check_segment(x)
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if knots < 2:
+        raise ValueError(f"knots must be >= 2, got {knots}")
+    n = x.shape[0]
+    # Smooth positive speed profile interpolated from random control points.
+    control_t = np.linspace(0.0, n - 1.0, knots)
+    control_v = rng.lognormal(mean=0.0, sigma=sigma, size=knots)
+    speed = np.interp(np.arange(n, dtype=float), control_t, control_v)
+    path = np.concatenate([[0.0], np.cumsum(speed[:-1])])
+    # Normalise so the warp path spans the original support exactly.
+    path *= (n - 1.0) / path[-1]
+    return _resample_to(x, path)
+
+
+def window_warp(
+    x: np.ndarray,
+    rng: np.random.Generator,
+    window_ratio: float = 0.3,
+    scales: tuple[float, ...] = (0.5, 2.0),
+) -> np.ndarray:
+    """Warp one random sub-window (Rashid & Louis, 2019).
+
+    A window covering ``window_ratio`` of the segment is resampled by a
+    factor drawn from ``scales`` (0.5 = sped up, 2.0 = slowed down); the
+    whole series is then resampled back to the original length.
+    """
+    x = _check_segment(x)
+    if not 0.0 < window_ratio < 1.0:
+        raise ValueError(f"window_ratio must be in (0, 1), got {window_ratio}")
+    n = x.shape[0]
+    w = max(2, int(round(n * window_ratio)))
+    start = int(rng.integers(0, n - w + 1))
+    stop = start + w
+    factor = float(rng.choice(np.asarray(scales, dtype=float)))
+    if factor <= 0:
+        raise ValueError(f"scale factors must be positive, got {factor}")
+    warped_len = max(2, int(round(w * factor)))
+    head = x[:start]
+    mid = _resample_to(x[start:stop], np.linspace(0.0, w - 1.0, warped_len))
+    tail = x[stop:]
+    combined = np.concatenate([head, mid, tail], axis=0)
+    return _resample_to(combined, np.linspace(0.0, combined.shape[0] - 1.0, n))
+
+
+def jitter(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.01) -> np.ndarray:
+    """Additive white noise (extra augmentation beyond the paper's two)."""
+    x = _check_segment(x)
+    return x + rng.normal(0.0, sigma, size=x.shape)
+
+
+def scale(x: np.ndarray, rng: np.random.Generator, sigma: float = 0.1) -> np.ndarray:
+    """Random per-channel amplitude scaling (extra augmentation)."""
+    x = _check_segment(x)
+    factors = rng.normal(1.0, sigma, size=(1, x.shape[1]))
+    return x * factors

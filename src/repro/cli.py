@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    python -m repro table3 --scale quick
+    python -m repro table4
+    python -m repro edge
+    python -m repro sweep --scale bench
+    python -m repro ablations
+    python -m repro thresholds
+    python -m repro figure1 --task 39
+    python -m repro figure2
+    python -m repro dataset --out corpus.npz --subjects 4
+
+Every command prints the same paper-vs-measured report the benchmark
+harness archives.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .eval.reports import (
+    format_table,
+    render_edge_report,
+    render_table3,
+    render_table4,
+)
+from .experiments import get_scale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'A Lightweight CNN for "
+                    "Real-Time Pre-Impact Fall Detection' (DATE 2025).",
+    )
+    parser.add_argument(
+        "--scale", default=None, choices=["quick", "bench", "paper"],
+        help="experiment scale (default: $REPRO_SCALE or 'bench')",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="threshold-detector baselines (Table I)")
+    table3 = sub.add_parser("table3", help="model comparison (Table III)")
+    table3.add_argument("--windows", type=float, nargs="+",
+                        default=[200.0, 300.0, 400.0])
+    sub.add_parser("table4", help="event-level analysis (Table IV)")
+    sub.add_parser("edge", help="quantization + deployment (Section IV-C)")
+    sub.add_parser("sweep", help="window/overlap design sweep (Section III-A)")
+    sub.add_parser("ablations", help="design-choice ablations")
+    figure1 = sub.add_parser("figure1", help="fall-stage anatomy (Figure 1)")
+    figure1.add_argument("--task", type=int, default=30)
+    figure1.add_argument("--seed", type=int, default=42)
+    sub.add_parser("figure2", help="pipeline trace (Figure 2)")
+    dataset = sub.add_parser("dataset",
+                             help="generate + save a synthetic corpus")
+    dataset.add_argument("--out", required=True)
+    dataset.add_argument("--subjects", type=int, default=4)
+    dataset.add_argument("--trials", type=int, default=1)
+    dataset.add_argument("--duration-scale", type=float, default=0.5)
+    dataset.add_argument("--seed", type=int, default=7)
+    return parser
+
+
+def _cmd_table1(scale):
+    from .experiments import run_table1_thresholds
+
+    results = run_table1_thresholds(scale)
+    rows = [
+        [name, f"{100 * r['accuracy']:.2f}", f"{100 * r['f1']:.2f}",
+         f"tp={r['tp']} fp={r['fp']} tn={r['tn']} fn={r['fn']}"]
+        for name, r in results.items()
+    ]
+    return format_table(["Detector", "Acc %", "F1 %", "Confusion"], rows,
+                        title="Threshold baselines (event level)")
+
+
+def _cmd_table3(scale, windows):
+    from .experiments import run_table3
+
+    return render_table3(run_table3(scale, windows=tuple(windows)),
+                         title="Table III (measured / paper)")
+
+
+def _cmd_table4(scale):
+    from .experiments import run_table4
+
+    return render_table4(run_table4(scale)["report"],
+                         title="Table IV (measured / paper)")
+
+
+def _cmd_edge(scale):
+    from .experiments import run_edge_experiment
+
+    result = run_edge_experiment(scale)
+    lines = [render_edge_report(result["report"])]
+    lines.append(
+        f"decision agreement float vs int8: "
+        f"{100 * result['decision_agreement']:.2f} %  "
+        f"(F1 drop {result['f1_drop_points']:.2f} points)"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_sweep(scale):
+    from .experiments import run_window_sweep
+
+    grid = run_window_sweep(scale)
+    rows = [
+        [f"{w} ms", f"{o:.0%}", f"{m['f1']:6.2f}"]
+        for (w, o), m in sorted(grid.items())
+    ]
+    return format_table(["Window", "Overlap", "F1 %"], rows,
+                        title="Window/overlap sweep (proposed CNN)")
+
+
+def _cmd_ablations(scale):
+    from .experiments import run_ablations
+
+    results = run_ablations(scale)
+    rows = [
+        [name, f"{r['metrics']['f1']:6.2f}", f"{r['fall_miss_rate']:6.2f}",
+         f"{r['adl_false_positive_rate']:6.2f}"]
+        for name, r in results.items()
+    ]
+    return format_table(["Variant", "F1 %", "Fall miss %", "ADL FP %"], rows,
+                        title="Design-choice ablations")
+
+
+def _cmd_figure1(task, seed):
+    from .experiments import run_figure1
+
+    anatomy = run_figure1(task_id=task, seed=seed)
+    rows = [
+        [stage, f"{stats.get('duration_ms', 0):8.0f}",
+         f"{stats.get('accel_mag_min', float('nan')):8.3f}",
+         f"{stats.get('accel_mag_max', float('nan')):8.3f}"]
+        for stage, stats in anatomy["stages"].items()
+    ]
+    return format_table(["Stage", "dur ms", "|a| min", "|a| max"], rows,
+                        title=f"Figure 1 anatomy: {anatomy['task']}")
+
+
+def _cmd_figure2(scale):
+    from .experiments import run_figure2_pipeline
+
+    trace = run_figure2_pipeline(scale)
+    rows = [
+        [stage, ", ".join(f"{k}={v:.4g}" if isinstance(v, float)
+                          else f"{k}={v}" for k, v in summary.items())]
+        for stage, summary in trace.items()
+    ]
+    return format_table(["Stage", "Summary"], rows, title="Figure 2 trace")
+
+
+def _cmd_dataset(args):
+    from .core.pipeline import build_merged_dataset
+    from .datasets import save_dataset
+
+    dataset = build_merged_dataset(
+        kfall_subjects=args.subjects,
+        selfcollected_subjects=args.subjects,
+        trials_per_task=args.trials,
+        duration_scale=args.duration_scale,
+        seed=args.seed,
+    )
+    save_dataset(dataset, args.out)
+    summary = dataset.summary()
+    return (f"wrote {args.out}: {summary['recordings']} recordings, "
+            f"{summary['subjects']} subjects, {summary['falls']} falls")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = get_scale(args.scale)
+    if args.command == "table1":
+        output = _cmd_table1(scale)
+    elif args.command == "table3":
+        output = _cmd_table3(scale, args.windows)
+    elif args.command == "table4":
+        output = _cmd_table4(scale)
+    elif args.command == "edge":
+        output = _cmd_edge(scale)
+    elif args.command == "sweep":
+        output = _cmd_sweep(scale)
+    elif args.command == "ablations":
+        output = _cmd_ablations(scale)
+    elif args.command == "figure1":
+        output = _cmd_figure1(args.task, args.seed)
+    elif args.command == "figure2":
+        output = _cmd_figure2(scale)
+    elif args.command == "dataset":
+        output = _cmd_dataset(args)
+    else:  # pragma: no cover - argparse enforces choices
+        raise SystemExit(2)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""``repro.core`` — the paper's method.
+
+Preprocessing pipeline, the lightweight three-branch CNN, Table III
+baselines, threshold detectors, the training protocol (augmentation,
+class weights, output bias, early stopping), subject-independent k-fold
+cross-validation, event-level evaluation, and the streaming real-time
+detector + airbag controller.
+"""
+
+from .architecture import CnnHyperParams, build_lightweight_cnn
+from .baselines import MODEL_BUILDERS, build_convlstm2d, build_lstm, build_mlp
+from .crossval import FoldResult, SubjectFold, cross_validate, subject_folds
+from .detector import AirbagController, Detection, DetectorConfig, FallDetector
+from .distill import distill_model, soft_targets
+from .events import EventOutcome, EventReport, evaluate_events
+from .pipeline import build_merged_dataset, build_merged_segments
+from .preprocessing import (
+    PreprocessConfig,
+    SegmentSet,
+    build_segments,
+    preprocess_recording,
+)
+from .thresholds import (
+    AccelerationWindowDetector,
+    ImpactEnergyDetector,
+    ThresholdDetector,
+    VerticalVelocityDetector,
+    evaluate_threshold_detector,
+)
+from .trainer import (
+    TrainingConfig,
+    augment_fall_segments,
+    class_weights,
+    initial_output_bias,
+    train_model,
+)
+
+__all__ = [
+    "PreprocessConfig",
+    "SegmentSet",
+    "preprocess_recording",
+    "build_segments",
+    "CnnHyperParams",
+    "build_lightweight_cnn",
+    "build_mlp",
+    "build_lstm",
+    "build_convlstm2d",
+    "MODEL_BUILDERS",
+    "TrainingConfig",
+    "class_weights",
+    "initial_output_bias",
+    "augment_fall_segments",
+    "train_model",
+    "SubjectFold",
+    "subject_folds",
+    "cross_validate",
+    "FoldResult",
+    "EventOutcome",
+    "EventReport",
+    "evaluate_events",
+    "ThresholdDetector",
+    "VerticalVelocityDetector",
+    "ImpactEnergyDetector",
+    "AccelerationWindowDetector",
+    "evaluate_threshold_detector",
+    "DetectorConfig",
+    "Detection",
+    "FallDetector",
+    "AirbagController",
+    "build_merged_dataset",
+    "build_merged_segments",
+    "distill_model",
+    "soft_targets",
+]

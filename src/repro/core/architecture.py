@@ -1,0 +1,128 @@
+"""The paper's contribution: the lightweight three-branch CNN.
+
+Section III-B: "The CNN model's architecture splits the input matrix into
+three matrices, each with dimension n × 3, thus splitting the three motion
+features (accelerometer, gyroscope, and Eulerian angles).  Each motion
+feature's matrix passes through a convolutional layer and then a max
+pooling layer ...  these three branches' outputs are concatenated together
+and then fed to two dense layers [64 and 32 neurons, ReLU] ... the model's
+output is a dense layer activated by a sigmoid function."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import initializers
+
+__all__ = ["CnnHyperParams", "build_lightweight_cnn"]
+
+#: (start, stop) channel ranges of the three motion features in the
+#: ``[n x 9]`` window: accelerometer, gyroscope, Euler angles.
+_BRANCHES = ((0, 3), (3, 6), (6, 9))
+_BRANCH_NAMES = ("accel", "gyro", "euler")
+
+
+class CnnHyperParams:
+    """Hyper-parameters of the lightweight CNN (paper defaults)."""
+
+    def __init__(
+        self,
+        conv_filters: int = 16,
+        kernel_size: int = 5,
+        pool_size: int = 2,
+        dense_units: tuple[int, int] = (64, 32),
+        dropout: float = 0.0,
+    ):
+        if conv_filters < 1 or kernel_size < 1 or pool_size < 1:
+            raise ValueError("conv/pool hyper-parameters must be positive")
+        if len(dense_units) != 2:
+            raise ValueError("the paper's head has exactly two dense layers")
+        self.conv_filters = int(conv_filters)
+        self.kernel_size = int(kernel_size)
+        self.pool_size = int(pool_size)
+        self.dense_units = (int(dense_units[0]), int(dense_units[1]))
+        self.dropout = float(dropout)
+
+
+def build_lightweight_cnn(
+    window_samples: int,
+    n_channels: int = 9,
+    hyper: CnnHyperParams | None = None,
+    output_bias: float | None = None,
+    seed: int = 0,
+    branched: bool = True,
+) -> nn.Model:
+    """Build the (un-compiled) lightweight CNN.
+
+    Parameters
+    ----------
+    window_samples:
+        Segment length ``n`` (20/30/40 for the paper's 200/300/400 ms).
+    output_bias:
+        Initial bias of the sigmoid output, ``log(p / (1-p))`` with ``p``
+        the falling prior (Eq. 1–2 of the paper); ``None`` leaves it at 0.
+    branched:
+        ``False`` builds the single-trunk ablation variant: one Conv1D over
+        all 9 channels instead of three per-modality branches.
+    """
+    hyper = hyper or CnnHyperParams()
+    if n_channels != 9:
+        raise ValueError(
+            f"the paper's input is 9 IMU channels, got {n_channels}"
+        )
+    if window_samples <= hyper.kernel_size:
+        raise ValueError(
+            f"window of {window_samples} samples too short for kernel "
+            f"{hyper.kernel_size}"
+        )
+    rng = np.random.default_rng(seed)
+
+    def next_seed() -> int:
+        return int(rng.integers(0, 2**31 - 1))
+
+    inp = nn.Input((window_samples, n_channels), name="imu_window")
+    if branched:
+        branch_outputs = []
+        for (start, stop), bname in zip(_BRANCHES, _BRANCH_NAMES):
+            h = nn.layers.Slice(-1, start, stop, name=f"split_{bname}")(inp)
+            h = nn.layers.Conv1D(
+                hyper.conv_filters,
+                hyper.kernel_size,
+                activation="relu",
+                name=f"conv_{bname}",
+                seed=next_seed(),
+            )(h)
+            h = nn.layers.MaxPool1D(hyper.pool_size, name=f"pool_{bname}")(h)
+            h = nn.layers.Flatten(name=f"flat_{bname}")(h)
+            branch_outputs.append(h)
+        merged = nn.layers.Concatenate(name="concat_branches")(branch_outputs)
+    else:
+        h = nn.layers.Conv1D(
+            hyper.conv_filters * 3,
+            hyper.kernel_size,
+            activation="relu",
+            name="conv_trunk",
+            seed=next_seed(),
+        )(inp)
+        h = nn.layers.MaxPool1D(hyper.pool_size, name="pool_trunk")(h)
+        merged = nn.layers.Flatten(name="flat_trunk")(h)
+
+    h = nn.layers.Dense(
+        hyper.dense_units[0], activation="relu", name="dense_1", seed=next_seed()
+    )(merged)
+    if hyper.dropout > 0:
+        h = nn.layers.Dropout(hyper.dropout, name="dropout_1", seed=next_seed())(h)
+    h = nn.layers.Dense(
+        hyper.dense_units[1], activation="relu", name="dense_2", seed=next_seed()
+    )(h)
+    bias_init = "zeros" if output_bias is None else initializers.constant(output_bias)
+    out = nn.layers.Dense(
+        1,
+        activation="sigmoid",
+        bias_initializer=bias_init,
+        name="output",
+        seed=next_seed(),
+    )(h)
+    return nn.Model(inp, out, name="lightweight_cnn" if branched else "trunk_cnn")

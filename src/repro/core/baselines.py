@@ -1,0 +1,153 @@
+"""Baseline models of Table III: MLP, LSTM, ConvLSTM2D.
+
+Sized to be comparable with the proposed CNN (tens of thousands of
+parameters) and mirroring the architectures the paper references: LSTM as
+in FallNet [8], ConvLSTM2D as in the KFall benchmark [6].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import initializers
+from .architecture import build_lightweight_cnn
+
+__all__ = [
+    "build_mlp",
+    "build_lstm",
+    "build_convlstm2d",
+    "build_cnn_bigru",
+    "MODEL_BUILDERS",
+    "RELATED_WORK_BUILDERS",
+]
+
+
+def _seeds(seed):
+    rng = np.random.default_rng(seed)
+    while True:
+        yield int(rng.integers(0, 2**31 - 1))
+
+
+def _sigmoid_head(h, output_bias, seed_iter):
+    bias_init = "zeros" if output_bias is None else initializers.constant(output_bias)
+    return nn.layers.Dense(
+        1, activation="sigmoid", bias_initializer=bias_init,
+        name="output", seed=next(seed_iter),
+    )(h)
+
+
+def build_mlp(
+    window_samples: int,
+    n_channels: int = 9,
+    hidden: tuple[int, ...] = (128, 64),
+    output_bias: float | None = None,
+    seed: int = 0,
+) -> nn.Model:
+    """Plain multi-layer perceptron on the flattened window."""
+    seeds = _seeds(seed)
+    inp = nn.Input((window_samples, n_channels), name="imu_window")
+    h = nn.layers.Flatten()(inp)
+    for i, units in enumerate(hidden, start=1):
+        h = nn.layers.Dense(units, activation="relu", name=f"dense_{i}",
+                            seed=next(seeds))(h)
+    out = _sigmoid_head(h, output_bias, seeds)
+    return nn.Model(inp, out, name="mlp")
+
+
+def build_lstm(
+    window_samples: int,
+    n_channels: int = 9,
+    units: int = 32,
+    dense_units: int = 32,
+    output_bias: float | None = None,
+    seed: int = 0,
+) -> nn.Model:
+    """Single-layer LSTM over the raw window, dense head."""
+    seeds = _seeds(seed)
+    inp = nn.Input((window_samples, n_channels), name="imu_window")
+    h = nn.layers.LSTM(units, name="lstm", seed=next(seeds))(inp)
+    h = nn.layers.Dense(dense_units, activation="relu", name="dense_1",
+                        seed=next(seeds))(h)
+    out = _sigmoid_head(h, output_bias, seeds)
+    return nn.Model(inp, out, name="lstm")
+
+
+def build_convlstm2d(
+    window_samples: int,
+    n_channels: int = 9,
+    filters: int = 8,
+    kernel_cols: int = 3,
+    dense_units: int = 32,
+    output_bias: float | None = None,
+    seed: int = 0,
+) -> nn.Model:
+    """ConvLSTM2D baseline (KFall benchmark style).
+
+    The window is viewed as a length-``n`` sequence of 1 × 9 single-channel
+    frames; a ConvLSTM2D with a 1 × ``kernel_cols`` kernel convolves across
+    the sensor channels while recursing over time.
+    """
+    seeds = _seeds(seed)
+    inp = nn.Input((window_samples, n_channels), name="imu_window")
+    h = nn.layers.Reshape((window_samples, 1, n_channels, 1), name="to_frames")(inp)
+    h = nn.layers.ConvLSTM2D(
+        filters, (1, kernel_cols), padding="same", name="convlstm",
+        seed=next(seeds),
+    )(h)
+    h = nn.layers.Flatten()(h)
+    h = nn.layers.Dense(dense_units, activation="relu", name="dense_1",
+                        seed=next(seeds))(h)
+    out = _sigmoid_head(h, output_bias, seeds)
+    return nn.Model(inp, out, name="convlstm2d")
+
+
+def build_cnn_bigru(
+    window_samples: int,
+    n_channels: int = 9,
+    conv_filters: int = 24,
+    gru_units: int = 32,
+    dense_units: int = 32,
+    output_bias: float | None = None,
+    seed: int = 0,
+) -> nn.Model:
+    """CNN-BiGRU in the style of Kiran et al. 2024 (Table I).
+
+    A temporal convolution extracts local features, a bidirectional GRU
+    models their dynamics in both directions, a dense head classifies.
+    Heavier than the paper's CNN — the point of the comparison.
+    """
+    seeds = _seeds(seed)
+    inp = nn.Input((window_samples, n_channels), name="imu_window")
+    h = nn.layers.Conv1D(conv_filters, 5, padding="same", activation="relu",
+                         name="conv", seed=next(seeds))(inp)
+    h = nn.layers.MaxPool1D(2, name="pool")(h)
+    h = nn.layers.Bidirectional(
+        lambda s: nn.layers.GRU(gru_units, seed=s),
+        name="bigru", seed=next(seeds),
+    )(h)
+    h = nn.layers.Dense(dense_units, activation="relu", name="dense_1",
+                        seed=next(seeds))(h)
+    out = _sigmoid_head(h, output_bias, seeds)
+    return nn.Model(inp, out, name="cnn_bigru")
+
+
+def _build_cnn(window_samples, n_channels=9, output_bias=None, seed=0):
+    return build_lightweight_cnn(
+        window_samples, n_channels, output_bias=output_bias, seed=seed
+    )
+
+
+#: Name -> builder for every model row of Table III.  All builders share
+#: the signature ``(window_samples, n_channels=9, output_bias=None, seed=0)``.
+MODEL_BUILDERS = {
+    "MLP": build_mlp,
+    "LSTM": build_lstm,
+    "ConvLSTM2D": build_convlstm2d,
+    "CNN (Proposed)": _build_cnn,
+}
+
+#: Heavier related-work architectures from Table I (not in Table III).
+RELATED_WORK_BUILDERS = {
+    "CNN-BiGRU [5]": build_cnn_bigru,
+}

@@ -1,0 +1,110 @@
+"""Knowledge distillation: a PreFallKD-style training variant (Table I [7]).
+
+Chi et al.'s PreFallKD distils a heavy teacher into a deployable student
+for pre-impact fall detection.  We reproduce the idea in its binary form:
+the student trains on a blend of ground-truth labels and the teacher's
+probabilities.  Because binary cross-entropy is affine in the target, the
+blended-target formulation is exactly equivalent to the usual weighted sum
+of hard-label and distillation losses:
+
+    L = alpha * BCE(y, p) + (1 - alpha) * BCE(t, p)
+      = BCE(alpha * y + (1 - alpha) * t, p)   (up to a constant in p)
+
+so no new loss machinery is needed — only soft targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.callbacks import EarlyStopping
+from ..nn.optimizers import Adam
+from .preprocessing import SegmentSet
+from .trainer import (
+    TrainingConfig,
+    augment_fall_segments,
+    class_weights,
+    initial_output_bias,
+)
+
+__all__ = ["soft_targets", "distill_model"]
+
+
+def soft_targets(
+    y: np.ndarray, teacher_probabilities: np.ndarray, alpha: float = 0.5
+) -> np.ndarray:
+    """Blend hard labels with teacher probabilities.
+
+    ``alpha`` weights the ground truth (1.0 = ignore the teacher).
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError(f"alpha must be in [0, 1], got {alpha}")
+    y = np.asarray(y, dtype=float).reshape(-1)
+    teacher = np.asarray(teacher_probabilities, dtype=float).reshape(-1)
+    if y.shape != teacher.shape:
+        raise ValueError(
+            f"labels and teacher probabilities disagree: {y.shape} vs "
+            f"{teacher.shape}"
+        )
+    return alpha * y + (1.0 - alpha) * teacher
+
+
+def distill_model(
+    teacher,
+    builder,
+    train: SegmentSet,
+    validation: SegmentSet,
+    config: TrainingConfig | None = None,
+    alpha: float = 0.5,
+):
+    """Train a student under the paper's protocol with teacher guidance.
+
+    ``teacher`` is any object with ``predict``; ``builder`` builds the
+    student (e.g. ``build_lightweight_cnn``).  Mirrors
+    :func:`repro.core.trainer.train_model` — augmentation, class weights,
+    output-bias init, early stopping — but fits on soft targets.
+
+    Returns ``(student_model, history)``.
+    """
+    config = config or TrainingConfig()
+    if len(train) == 0:
+        raise ValueError("empty training set")
+    if set(train.subjects) & set(validation.subjects):
+        raise ValueError(
+            "training and validation sets share subjects — the protocol "
+            "is subject-independent"
+        )
+    if config.augment:
+        train = augment_fall_segments(train, config.augment_copies, config.seed)
+
+    teacher_train = np.asarray(teacher.predict(train.X)).reshape(-1)
+    targets = soft_targets(train.y, teacher_train, alpha=alpha)
+
+    bias = initial_output_bias(train.y) if config.use_output_bias else None
+    window, channels = train.X.shape[1], train.X.shape[2]
+    student = builder(window, channels, output_bias=bias, seed=config.seed)
+    student.compile(
+        optimizer=Adam(learning_rate=config.learning_rate,
+                       clipnorm=config.clipnorm),
+        loss="binary_crossentropy",
+        metrics=["binary_accuracy"],
+    )
+    weights = class_weights(train.y) if config.use_class_weights else None
+    early = EarlyStopping(monitor="val_loss", patience=config.patience,
+                          restore_best_weights=True)
+    history = student.fit(
+        train.X,
+        targets[:, None],
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        validation_data=(validation.X,
+                         validation.y.astype(float)[:, None]),
+        sample_weight=(
+            None if weights is None
+            else np.array([weights[int(c)] for c in train.y])
+        ),
+        callbacks=[early, *config.extra_callbacks],
+        seed=config.seed,
+        verbose=config.verbose,
+    )
+    return student, history

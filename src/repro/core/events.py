@@ -1,0 +1,141 @@
+"""Event-level evaluation (Section IV-B, Table IV).
+
+"the performance of a pre-impact classifier must be analyzed at the event
+level rather than at the segment level": a fall event counts as detected
+when *at least one* of its segments is classified falling; an ADL event
+counts as a false positive when at least one of its segments is classified
+falling (one spurious trigger inflates the airbag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.tasks import GREEN_ADL_IDS, RED_ADL_IDS
+from .preprocessing import SegmentSet
+
+__all__ = ["EventOutcome", "evaluate_events", "EventReport"]
+
+
+@dataclass(frozen=True)
+class EventOutcome:
+    """One recording's event-level verdict."""
+
+    event_id: str
+    task_id: int
+    subject: str
+    is_fall: bool
+    triggered: bool
+    n_segments: int
+    n_positive_segments: int
+
+    @property
+    def is_missed_fall(self) -> bool:
+        return self.is_fall and not self.triggered
+
+    @property
+    def is_false_positive(self) -> bool:
+        return (not self.is_fall) and self.triggered
+
+
+@dataclass
+class EventReport:
+    """Aggregated Table IV statistics."""
+
+    outcomes: list[EventOutcome]
+
+    def _rate(self, outcomes, predicate) -> float:
+        if not outcomes:
+            return float("nan")
+        return 100.0 * sum(predicate(o) for o in outcomes) / len(outcomes)
+
+    @property
+    def fall_events(self) -> list[EventOutcome]:
+        return [o for o in self.outcomes if o.is_fall]
+
+    @property
+    def adl_events(self) -> list[EventOutcome]:
+        return [o for o in self.outcomes if not o.is_fall]
+
+    @property
+    def fall_miss_rate(self) -> float:
+        """% of fall events never detected (paper: 4.17 % on average)."""
+        return self._rate(self.fall_events, lambda o: o.is_missed_fall)
+
+    @property
+    def adl_false_positive_rate(self) -> float:
+        """% of ADL events that would fire the airbag (paper: 2.04 %)."""
+        return self._rate(self.adl_events, lambda o: o.is_false_positive)
+
+    def per_task_miss(self) -> dict[int, float]:
+        """Task id -> % missed falls (Table IVa rows)."""
+        out = {}
+        for tid in sorted({o.task_id for o in self.fall_events}):
+            rows = [o for o in self.fall_events if o.task_id == tid]
+            out[tid] = self._rate(rows, lambda o: o.is_missed_fall)
+        return out
+
+    def per_task_false_positive(self) -> dict[int, float]:
+        """Task id -> % false-positive ADLs (Table IVb rows)."""
+        out = {}
+        for tid in sorted({o.task_id for o in self.adl_events}):
+            rows = [o for o in self.adl_events if o.task_id == tid]
+            out[tid] = self._rate(rows, lambda o: o.is_false_positive)
+        return out
+
+    def red_green_false_positive(self) -> dict[str, float]:
+        """FP rates of the red vs green ADL groups (Table IVb footer)."""
+        red = [o for o in self.adl_events if o.task_id in RED_ADL_IDS]
+        green = [o for o in self.adl_events if o.task_id in GREEN_ADL_IDS]
+        return {
+            "red": self._rate(red, lambda o: o.is_false_positive),
+            "green": self._rate(green, lambda o: o.is_false_positive),
+        }
+
+
+def evaluate_events(
+    segments: SegmentSet,
+    probabilities: np.ndarray,
+    threshold: float = 0.5,
+) -> EventReport:
+    """Group segment predictions into event verdicts.
+
+    ``segments`` must carry the original event ids (no ``#aug`` rows: the
+    augmented copies are training-only).  Events whose falling segments
+    were all excluded by the label policy still appear — with zero
+    positive-labelled segments they can only be detected from genuine
+    pre-impact dynamics, exactly the paper's operating condition.
+    """
+    probabilities = np.asarray(probabilities).reshape(-1)
+    if len(probabilities) != len(segments):
+        raise ValueError(
+            f"got {len(probabilities)} probabilities for {len(segments)} segments"
+        )
+    if any("#aug" in e for e in segments.event_id):
+        raise ValueError("event evaluation must run on un-augmented segments")
+    fired = probabilities >= threshold
+    outcomes = []
+    for event in np.unique(segments.event_id):
+        mask = segments.event_id == event
+        task_id = int(segments.task_id[mask][0])
+        is_fall = bool(segments.event_is_fall[mask][0])
+        # For falls, only detections on segments that end before
+        # impact - airbag_ms fire the airbag in time; for ADLs any firing
+        # is a (useless) activation.
+        fired_in_time = fired[mask] & segments.trigger_valid[mask]
+        outcomes.append(
+            EventOutcome(
+                event_id=str(event),
+                task_id=task_id,
+                subject=str(segments.subject[mask][0]),
+                is_fall=is_fall,
+                triggered=bool(
+                    fired_in_time.any() if is_fall else fired[mask].any()
+                ),
+                n_segments=int(mask.sum()),
+                n_positive_segments=int(fired[mask].sum()),
+            )
+        )
+    return EventReport(outcomes)

@@ -1,0 +1,208 @@
+"""Threshold-based pre-impact detectors (the Table I classical baselines).
+
+Two detectors in the style of the works the paper cites:
+
+* :class:`VerticalVelocityDetector` — de Sousa et al., 2021 [10]: a
+  free-fall dip in acceleration magnitude followed by a vertical-velocity
+  build-up exceeding a height-scaled threshold.
+* :class:`ImpactEnergyDetector` — Jung et al., 2020 [11]: combined
+  thresholds on acceleration magnitude, angular-rate magnitude and torso
+  inclination change, all within a short decision window.
+
+Both run *causally* (sample by sample) on the 9-channel stream and report
+the first trigger index, making them directly comparable with the CNN at
+the event level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets.schema import Recording
+from ..signal.units import GRAVITY
+
+__all__ = [
+    "ThresholdDetector",
+    "VerticalVelocityDetector",
+    "ImpactEnergyDetector",
+    "AccelerationWindowDetector",
+    "evaluate_threshold_detector",
+]
+
+
+class ThresholdDetector:
+    """Base class: ``first_trigger`` scans a recording causally."""
+
+    def first_trigger(self, recording: Recording) -> int | None:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class VerticalVelocityDetector(ThresholdDetector):
+    """Free-fall dip + vertical velocity threshold (de Sousa-style [10]).
+
+    Integrates the gravity-compensated vertical acceleration once the
+    magnitude drops below ``freefall_g``; triggers when the accumulated
+    downward velocity exceeds ``velocity_threshold`` (m/s), scaled by
+    subject height when provided (taller subjects fall faster before
+    impact).
+    """
+
+    freefall_g: float = 0.85
+    velocity_threshold: float = 0.2
+    height_m: float | None = None
+    max_integration_s: float = 1.0
+
+    def first_trigger(self, recording: Recording) -> int | None:
+        mag = np.linalg.norm(recording.accel, axis=1)
+        dt = 1.0 / recording.fs
+        threshold = self.velocity_threshold
+        if self.height_m is not None:
+            threshold *= self.height_m / 1.75
+        velocity = 0.0
+        integrating = False
+        start = 0
+        for i in range(mag.size):
+            if not integrating:
+                if mag[i] < self.freefall_g:
+                    integrating = True
+                    velocity = 0.0
+                    start = i
+                continue
+            # Shortfall of measured specific force vs 1 g ≈ net downward
+            # acceleration of the body's centre of mass.
+            velocity += (1.0 - min(mag[i], 1.0)) * GRAVITY * dt
+            if velocity >= threshold:
+                return i
+            if mag[i] > 1.1 or (i - start) * dt > self.max_integration_s:
+                integrating = False
+        return None
+
+
+@dataclass
+class ImpactEnergyDetector(ThresholdDetector):
+    """Acceleration + angular-rate + posture-change thresholds (Jung-style [11]).
+
+    Triggers when, inside a sliding decision window, the acceleration
+    magnitude dips below ``accel_low_g`` *and* the peak gyroscope magnitude
+    exceeds ``gyro_dps`` *and* the torso pitch/roll excursion exceeds
+    ``angle_deg``.
+    """
+
+    accel_low_g: float = 0.8
+    gyro_dps: float = 110.0
+    angle_deg: float = 18.0
+    window_ms: float = 300.0
+
+    def first_trigger(self, recording: Recording) -> int | None:
+        mag = np.linalg.norm(recording.accel, axis=1)
+        gyro_mag = np.linalg.norm(recording.gyro, axis=1)
+        incl = np.abs(recording.euler[:, :2])  # pitch, roll
+        w = max(2, int(round(self.window_ms * recording.fs / 1000.0)))
+        for i in range(w, mag.size):
+            sl = slice(i - w, i + 1)
+            if mag[sl].min() >= self.accel_low_g:
+                continue
+            if gyro_mag[sl].max() < self.gyro_dps:
+                continue
+            excursion = np.max(
+                incl[sl].max(axis=0) - incl[sl].min(axis=0)
+            )
+            if excursion >= self.angle_deg:
+                return i
+        return None
+
+
+@dataclass
+class AccelerationWindowDetector(ThresholdDetector):
+    """Accelerometer-only pipeline in the PIPTO style (Moutsis 2023 [12]).
+
+    Uses nothing but the 3-axis accelerometer: a short moving average of
+    the magnitude must dip below ``low_g`` and, within ``horizon_ms``, the
+    magnitude *range* inside the window must exceed ``range_g`` (the
+    growing agitation of an uncontrolled descent).  Cheapest of the three
+    detectors — no gyroscope, no orientation estimate.
+    """
+
+    low_g: float = 0.85
+    range_g: float = 0.15
+    smooth_ms: float = 60.0
+    horizon_ms: float = 350.0
+
+    def first_trigger(self, recording: Recording) -> int | None:
+        mag = np.linalg.norm(recording.accel, axis=1)
+        fs = recording.fs
+        k = max(1, int(round(self.smooth_ms * fs / 1000.0)))
+        kernel = np.ones(k) / k
+        # Causal trailing average; warm-up samples fall back to the raw
+        # magnitude (a real-time implementation has no future samples).
+        smooth = np.convolve(mag, kernel, mode="full")[: mag.size]
+        if k > 1:
+            smooth[: k - 1] = mag[: k - 1]
+        horizon = max(2, int(round(self.horizon_ms * fs / 1000.0)))
+        for i in np.flatnonzero(smooth < self.low_g):
+            window = mag[i : i + horizon]
+            if window.size < 2:
+                continue
+            running_range = (np.maximum.accumulate(window)
+                             - np.minimum.accumulate(window))
+            crossed = np.flatnonzero(running_range >= self.range_g)
+            if crossed.size:
+                # Trigger at the first sample where the agitation criterion
+                # is met (causal: only past samples inspected).
+                return int(i + crossed[0])
+        return None
+
+
+def evaluate_threshold_detector(
+    detector: ThresholdDetector,
+    recordings,
+    airbag_ms: float = 150.0,
+) -> dict:
+    """Event-level scores for a threshold detector.
+
+    A fall is detected when the trigger lands in
+    ``[fall_onset, impact - airbag_ms]`` — after that the airbag cannot
+    inflate in time (late triggers count as misses).  Any trigger on an
+    ADL is a false positive.  Also reports segment-agnostic accuracy /
+    recall / F1 over events for comparison with Table I.
+    """
+    tp = fp = tn = fn = 0
+    per_recording = []
+    for rec in recordings:
+        trigger = detector.first_trigger(rec)
+        if rec.is_fall:
+            deadline = rec.impact - int(round(airbag_ms * rec.fs / 1000.0))
+            detected = trigger is not None and rec.fall_onset - int(
+                0.2 * rec.fs
+            ) <= trigger <= deadline
+            tp += detected
+            fn += not detected
+            per_recording.append((rec.event_id, "fall", trigger, detected))
+        else:
+            fired = trigger is not None
+            fp += fired
+            tn += not fired
+            per_recording.append((rec.event_id, "adl", trigger, fired))
+    total = tp + fp + tn + fn
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return {
+        "detector": detector.name,
+        "accuracy": (tp + tn) / total if total else float("nan"),
+        "precision": precision,
+        "recall": recall,
+        "f1": f1,
+        "tp": tp,
+        "fp": fp,
+        "tn": tn,
+        "fn": fn,
+        "details": per_recording,
+    }

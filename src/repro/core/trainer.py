@@ -1,0 +1,173 @@
+"""Training protocol of Section III-C.
+
+* subject-independent train/validation split (handled by ``crossval``);
+* time-warping + window-warping augmentation of the *falling* training
+  segments only;
+* class weights inversely proportional to class frequency;
+* sigmoid output bias initialised to ``log(p / (1 - p))`` (Eq. 1–2);
+* Adam, up to 200 epochs, early stopping (patience 20, val loss) with
+  best-weight restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..augment import time_warp, window_warp
+from ..nn.callbacks import EarlyStopping
+from ..nn.optimizers import Adam
+from .preprocessing import SegmentSet
+
+__all__ = [
+    "TrainingConfig",
+    "class_weights",
+    "initial_output_bias",
+    "augment_fall_segments",
+    "train_model",
+]
+
+
+@dataclass
+class TrainingConfig:
+    """Everything the training loop needs (paper defaults).
+
+    ``augment_copies`` controls how many warped copies of each falling
+    training segment are generated (the paper does not state a count; 2
+    keeps the falls minority but materially denser).
+    """
+
+    epochs: int = 200
+    batch_size: int = 64
+    patience: int = 20
+    learning_rate: float = 1e-3
+    clipnorm: float | None = 5.0
+    augment: bool = True
+    augment_copies: int = 2
+    use_class_weights: bool = True
+    use_output_bias: bool = True
+    seed: int = 0
+    verbose: int = 0
+    extra_callbacks: list = field(default_factory=list)
+
+
+def class_weights(y: np.ndarray) -> dict[int, float]:
+    """Balanced class weights ``n / (2 * n_c)`` for binary labels."""
+    y = np.asarray(y).astype(int)
+    n = len(y)
+    pos = int(y.sum())
+    neg = n - pos
+    if pos == 0 or neg == 0:
+        return {0: 1.0, 1: 1.0}
+    return {0: n / (2.0 * neg), 1: n / (2.0 * pos)}
+
+
+def initial_output_bias(y: np.ndarray) -> float:
+    """Eq. 1 of the paper: ``b = log(p / (1 - p))`` with the falling prior."""
+    y = np.asarray(y).astype(int)
+    n = len(y)
+    pos = int(y.sum())
+    if n == 0 or pos == 0 or pos == n:
+        return 0.0
+    p = pos / n
+    return float(np.log(p / (1.0 - p)))
+
+
+def augment_fall_segments(
+    segments: SegmentSet,
+    copies: int = 2,
+    seed: int = 0,
+) -> SegmentSet:
+    """Append warped copies of every falling segment.
+
+    Each copy is time-warped or window-warped (alternating, as the paper
+    applies both techniques).  Provenance columns are duplicated so the
+    augmented set still supports grouping; augmented event ids get an
+    ``#aug`` suffix to keep them out of event-level *evaluation*.
+    """
+    if copies < 1:
+        return segments
+    rng = np.random.default_rng(seed)
+    pos_idx = np.flatnonzero(segments.y == 1)
+    if pos_idx.size == 0:
+        return segments
+    new_X, new_rows = [], []
+    for copy_i in range(copies):
+        for i in pos_idx:
+            x = segments.X[i]
+            if (copy_i + i) % 2 == 0:
+                warped = time_warp(x, rng)
+            else:
+                warped = window_warp(x, rng)
+            new_X.append(warped.astype(segments.X.dtype))
+            new_rows.append(i)
+    rows = np.asarray(new_rows)
+    extra = SegmentSet(
+        X=np.stack(new_X),
+        y=np.ones(len(rows), dtype=int),
+        subject=segments.subject[rows],
+        task_id=segments.task_id[rows],
+        event_id=np.array([f"{e}#aug" for e in segments.event_id[rows]],
+                          dtype=object),
+        event_is_fall=segments.event_is_fall[rows],
+        trigger_valid=segments.trigger_valid[rows],
+    )
+    return SegmentSet.concatenate([segments, extra])
+
+
+def train_model(
+    builder,
+    train: SegmentSet,
+    validation: SegmentSet,
+    config: TrainingConfig | None = None,
+):
+    """Train one model under the paper's protocol.
+
+    Parameters
+    ----------
+    builder:
+        Callable ``(window_samples, n_channels=9, output_bias=..., seed=...)``
+        returning an un-compiled :class:`repro.nn.Model` — any entry of
+        :data:`repro.core.baselines.MODEL_BUILDERS`.
+    train / validation:
+        Subject-disjoint segment sets.
+
+    Returns ``(model, history)``.
+    """
+    config = config or TrainingConfig()
+    if len(train) == 0:
+        raise ValueError("empty training set")
+    if set(train.subjects) & set(validation.subjects):
+        raise ValueError(
+            "training and validation sets share subjects — the paper's "
+            "protocol is subject-independent"
+        )
+
+    if config.augment:
+        train = augment_fall_segments(train, config.augment_copies, config.seed)
+
+    bias = initial_output_bias(train.y) if config.use_output_bias else None
+    window, channels = train.X.shape[1], train.X.shape[2]
+    model = builder(window, channels, output_bias=bias, seed=config.seed)
+    model.compile(
+        optimizer=Adam(learning_rate=config.learning_rate,
+                       clipnorm=config.clipnorm),
+        loss="binary_crossentropy",
+        metrics=["binary_accuracy"],
+    )
+    weights = class_weights(train.y) if config.use_class_weights else None
+    early = EarlyStopping(monitor="val_loss", patience=config.patience,
+                          restore_best_weights=True)
+    history = model.fit(
+        train.X,
+        train.y.astype(float)[:, None],
+        epochs=config.epochs,
+        batch_size=config.batch_size,
+        validation_data=(validation.X, validation.y.astype(float)[:, None]),
+        class_weight=weights,
+        callbacks=[early, *config.extra_callbacks],
+        seed=config.seed,
+        verbose=config.verbose,
+    )
+    return model, history

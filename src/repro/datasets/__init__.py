@@ -1,0 +1,74 @@
+"""``repro.datasets`` — synthetic IMU datasets with fall annotations.
+
+Provides the KFall-like and self-collected-like corpora (the substitution
+for the paper's real data, see DESIGN.md), the task catalogue of Table II,
+the dataset-alignment step of Section IV-A and the label policy encoding
+the 150 ms pre-impact truncation.
+"""
+
+from .alignment import (
+    align_dataset,
+    align_recording,
+    estimate_frame_rotation,
+    estimate_gravity_direction,
+)
+from .io import load_dataset, save_dataset
+from .validation import (
+    ValidationIssue,
+    ValidationReport,
+    validate_dataset,
+    validate_recording,
+)
+from .kfall import KFALL_FRAME, KFALL_FRAME_ROTATION, build_kfall
+from .labeling import LabelPolicy, sample_labels
+from .schema import CANONICAL_FRAME, Dataset, Recording
+from .selfcollected import build_selfcollected
+from .subjects import SubjectProfile, make_subjects
+from .synthesis import MotionBuilder, SensorNoiseModel, synthesize_recording
+from .tasks import (
+    GREEN_ADL_IDS,
+    KFALL_TASK_IDS,
+    RED_ADL_IDS,
+    SELF_COLLECTED_TASK_IDS,
+    TASKS,
+    TaskSpec,
+    adl_ids,
+    fall_ids,
+    get_task,
+)
+
+__all__ = [
+    "Recording",
+    "Dataset",
+    "CANONICAL_FRAME",
+    "KFALL_FRAME",
+    "KFALL_FRAME_ROTATION",
+    "TaskSpec",
+    "TASKS",
+    "KFALL_TASK_IDS",
+    "SELF_COLLECTED_TASK_IDS",
+    "RED_ADL_IDS",
+    "GREEN_ADL_IDS",
+    "adl_ids",
+    "fall_ids",
+    "get_task",
+    "SubjectProfile",
+    "make_subjects",
+    "MotionBuilder",
+    "SensorNoiseModel",
+    "synthesize_recording",
+    "build_kfall",
+    "build_selfcollected",
+    "align_dataset",
+    "align_recording",
+    "estimate_frame_rotation",
+    "estimate_gravity_direction",
+    "LabelPolicy",
+    "sample_labels",
+    "save_dataset",
+    "load_dataset",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_recording",
+    "validate_dataset",
+]

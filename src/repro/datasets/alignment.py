@@ -1,0 +1,112 @@
+"""Dataset alignment: Rodrigues rotation + unit standardisation.
+
+Replicates Section IV-A of the paper: "since both datasets use identical
+sensor placements but not orientation, it was necessary to align the
+sensor orientations of the KFall dataset with our own ... using a rotation
+matrix computed through Rodrigues' rotation formula.  Additionally, we
+standardized the units of measurement across both datasets, converting all
+values to gravitational acceleration (g)."
+
+The rotation is *estimated from the data itself*: during quiet standing the
+accelerometer measures pure gravity, so the mean low-motion acceleration
+direction of the standing task, compared with the canonical "up" axis,
+gives the frame rotation via :func:`repro.signal.rotation.rotation_between`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..signal.orientation import ComplementaryFilter
+from ..signal.rotation import rotation_between, rotate_vectors
+from ..signal.units import accel_to_g, gyro_to_dps
+from .schema import CANONICAL_FRAME, Dataset, Recording
+
+__all__ = [
+    "estimate_gravity_direction",
+    "estimate_frame_rotation",
+    "align_recording",
+    "align_dataset",
+]
+
+#: Canonical "up": gravity reaction measured during quiet standing.
+_CANONICAL_UP = np.array([0.0, 0.0, 1.0])
+
+
+def estimate_gravity_direction(
+    dataset: Dataset, standing_task_id: int = 1, quantile: float = 0.2
+) -> np.ndarray:
+    """Mean unit gravity direction over the stillest standing samples.
+
+    Takes the standing trials (task 1), keeps the ``quantile`` of samples
+    with the least acceleration-magnitude deviation (the quietest ones),
+    and averages their direction.  Works in any acceleration unit since
+    only the direction matters.
+    """
+    samples = []
+    for rec in dataset:
+        if rec.task_id != standing_task_id:
+            continue
+        mag = np.linalg.norm(rec.accel, axis=1)
+        dev = np.abs(mag - np.median(mag))
+        keep = dev <= np.quantile(dev, quantile)
+        samples.append(rec.accel[keep])
+    if not samples:
+        raise ValueError(
+            f"dataset {dataset.name!r} has no recordings of standing task "
+            f"{standing_task_id}; cannot estimate its frame"
+        )
+    stacked = np.concatenate(samples, axis=0)
+    mean = stacked.mean(axis=0)
+    norm = np.linalg.norm(mean)
+    if norm == 0:
+        raise ValueError("degenerate gravity estimate (zero mean acceleration)")
+    return mean / norm
+
+
+def estimate_frame_rotation(dataset: Dataset, standing_task_id: int = 1) -> np.ndarray:
+    """Rotation matrix taking the dataset's frame onto the canonical frame."""
+    gravity = estimate_gravity_direction(dataset, standing_task_id)
+    return rotation_between(gravity, _CANONICAL_UP)
+
+
+def align_recording(
+    recording: Recording, rotation: np.ndarray, fs: float | None = None
+) -> Recording:
+    """Rotate + unit-convert one recording into the canonical frame.
+
+    Euler angles are recomputed with the complementary filter in the new
+    frame (rotating the angle triplet itself would be wrong — Euler angles
+    do not transform linearly).
+    """
+    accel = rotate_vectors(rotation, accel_to_g(recording.accel,
+                                                recording.accel_unit))
+    gyro = rotate_vectors(rotation, gyro_to_dps(recording.gyro,
+                                                recording.gyro_unit))
+    euler = ComplementaryFilter(fs=fs or recording.fs).process(accel, gyro)
+    return recording.with_signals(
+        accel=accel,
+        gyro=gyro,
+        euler=euler,
+        frame=CANONICAL_FRAME,
+        accel_unit="g",
+        gyro_unit="deg/s",
+    )
+
+
+def align_dataset(
+    dataset: Dataset, rotation: np.ndarray | None = None,
+    standing_task_id: int = 1,
+) -> Dataset:
+    """Align a whole dataset to the canonical frame.
+
+    If ``rotation`` is omitted it is estimated from the data
+    (:func:`estimate_frame_rotation`).  Already-canonical datasets pass
+    through with only unit checks.
+    """
+    if dataset.frame == CANONICAL_FRAME and rotation is None:
+        return dataset
+    if rotation is None:
+        rotation = estimate_frame_rotation(dataset, standing_task_id)
+    aligned = [align_recording(rec, rotation) for rec in dataset]
+    return Dataset(dataset.name, aligned, frame=CANONICAL_FRAME)

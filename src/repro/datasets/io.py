@@ -1,0 +1,83 @@
+"""Dataset persistence: save/load a :class:`Dataset` as a single ``.npz``.
+
+Generating the full-scale synthetic corpora takes minutes; persisting them
+makes experiment re-runs and sharing reproducible snapshots cheap.  The
+format is a flat npz: per-recording arrays keyed ``r{i}/accel`` etc. plus
+a JSON metadata blob, so a snapshot is a single ordinary file with no
+pickle involved.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from .schema import Dataset, Recording
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: Dataset, path) -> None:
+    """Write ``dataset`` to ``path`` (npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta = {
+        "format": _FORMAT_VERSION,
+        "name": dataset.name,
+        "frame": dataset.frame,
+        "recordings": [],
+    }
+    for i, rec in enumerate(dataset):
+        arrays[f"r{i}/accel"] = rec.accel.astype(np.float32)
+        arrays[f"r{i}/gyro"] = rec.gyro.astype(np.float32)
+        arrays[f"r{i}/euler"] = rec.euler.astype(np.float32)
+        meta["recordings"].append(
+            {
+                "subject_id": rec.subject_id,
+                "task_id": rec.task_id,
+                "trial": rec.trial,
+                "fs": rec.fs,
+                "fall_onset": rec.fall_onset,
+                "impact": rec.impact,
+                "frame": rec.frame,
+                "accel_unit": rec.accel_unit,
+                "gyro_unit": rec.gyro_unit,
+                "dataset": rec.dataset,
+            }
+        )
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset(path) -> Dataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        if meta.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset snapshot format {meta.get('format')!r}"
+            )
+        recordings = []
+        for i, info in enumerate(meta["recordings"]):
+            recordings.append(
+                Recording(
+                    subject_id=info["subject_id"],
+                    task_id=int(info["task_id"]),
+                    trial=int(info["trial"]),
+                    fs=float(info["fs"]),
+                    accel=data[f"r{i}/accel"],
+                    gyro=data[f"r{i}/gyro"],
+                    euler=data[f"r{i}/euler"],
+                    fall_onset=info["fall_onset"],
+                    impact=info["impact"],
+                    frame=info["frame"],
+                    accel_unit=info["accel_unit"],
+                    gyro_unit=info["gyro_unit"],
+                    dataset=info["dataset"],
+                )
+            )
+    return Dataset(meta["name"], recordings, frame=meta["frame"])

@@ -1,0 +1,69 @@
+"""Label policy: which samples count as "falling".
+
+The paper's key training decision: the falling phase runs from the
+annotated onset to the impact, but **the last 150 ms before impact are
+withheld** — that is the airbag inflation time, so a detection inside that
+window is operationally useless.  Samples from that withheld window and
+from the impact transient itself are *excluded* (they are neither usable
+falling evidence nor honest ADL negatives); post-fall lying is a normal
+negative, like any other lying activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import Recording
+
+__all__ = ["LabelPolicy", "sample_labels"]
+
+
+@dataclass(frozen=True)
+class LabelPolicy:
+    """How per-sample labels are derived from fall annotations.
+
+    Attributes
+    ----------
+    airbag_ms:
+        Pre-impact truncation (150 ms in the paper — the airbag needs that
+        long to reach full extension).  Set to 0 for the "no truncation"
+        ablation.
+    exclude_impact_ms:
+        Width of the exclusion zone *after* impact covering the impact
+        transient.
+    """
+
+    airbag_ms: float = 150.0
+    exclude_impact_ms: float = 400.0
+
+    def __post_init__(self):
+        if self.airbag_ms < 0 or self.exclude_impact_ms < 0:
+            raise ValueError("label policy durations must be non-negative")
+
+
+def sample_labels(
+    recording: Recording, policy: LabelPolicy | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample ``(labels, valid)`` arrays for one recording.
+
+    ``labels[i] == 1`` while the subject is falling (usable pre-impact
+    evidence), 0 otherwise.  ``valid[i] == False`` marks the excluded zone
+    (withheld 150 ms + impact transient) whose samples must not reach
+    either training or evaluation segments.
+    """
+    policy = policy or LabelPolicy()
+    n = recording.n_samples
+    labels = np.zeros(n, dtype=int)
+    valid = np.ones(n, dtype=bool)
+    if not recording.is_fall:
+        return labels, valid
+    onset = int(recording.fall_onset)
+    impact = int(recording.impact)
+    airbag = int(round(policy.airbag_ms * recording.fs / 1000.0))
+    exclude_after = int(round(policy.exclude_impact_ms * recording.fs / 1000.0))
+    usable_end = max(impact - airbag, onset)
+    labels[onset:usable_end] = 1
+    valid[usable_end : min(impact + exclude_after, n)] = False
+    return labels, valid

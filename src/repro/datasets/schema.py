@@ -1,0 +1,189 @@
+"""Data model for IMU recordings and datasets.
+
+A :class:`Recording` is one trial of one task by one subject: synchronised
+accelerometer / gyroscope / Euler-angle streams at a fixed sampling rate,
+plus frame-accurate fall annotations (onset and impact sample indices) —
+the synthetic equivalent of the paper's video-labelled trials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+__all__ = ["Recording", "Dataset", "CANONICAL_FRAME"]
+
+#: Name of the reference sensor frame (self-collected dataset convention):
+#: x forward, y left, z up, acceleration in g, angular rate in deg/s.
+CANONICAL_FRAME = "canonical"
+
+
+@dataclass
+class Recording:
+    """One sensor trial.
+
+    Attributes
+    ----------
+    subject_id:
+        Globally unique subject identifier (e.g. ``"SC03"`` / ``"KF17"``).
+    task_id:
+        Task number from the activity catalogue (Table II of the paper).
+    trial:
+        Trial index for this subject/task pair.
+    fs:
+        Sampling frequency in Hz.
+    accel:
+        ``(n, 3)`` accelerometer samples.
+    gyro:
+        ``(n, 3)`` gyroscope samples.
+    euler:
+        ``(n, 3)`` Euler angles (pitch, roll, yaw) in degrees, as computed
+        on-edge by the acquisition firmware.
+    fall_onset / impact:
+        Sample indices of the start of the unrecoverable falling phase and
+        of ground contact; ``None`` for ADLs.
+    frame:
+        Sensor-frame tag; recordings in non-canonical frames must pass
+        through :mod:`repro.datasets.alignment` before merging.
+    accel_unit / gyro_unit:
+        Units of the stored arrays (``"g"``/``"m/s^2"``, ``"deg/s"``/…).
+    dataset:
+        Source dataset tag (``"kfall"`` or ``"selfcollected"``).
+    """
+
+    subject_id: str
+    task_id: int
+    trial: int
+    fs: float
+    accel: np.ndarray
+    gyro: np.ndarray
+    euler: np.ndarray
+    fall_onset: int | None = None
+    impact: int | None = None
+    frame: str = CANONICAL_FRAME
+    accel_unit: str = "g"
+    gyro_unit: str = "deg/s"
+    dataset: str = "selfcollected"
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.accel = np.asarray(self.accel, dtype=float)
+        self.gyro = np.asarray(self.gyro, dtype=float)
+        self.euler = np.asarray(self.euler, dtype=float)
+        n = self.accel.shape[0]
+        for name, arr in (("accel", self.accel), ("gyro", self.gyro), ("euler", self.euler)):
+            if arr.ndim != 2 or arr.shape[1] != 3:
+                raise ValueError(f"{name} must be (n, 3), got {arr.shape}")
+            if arr.shape[0] != n:
+                raise ValueError("accel/gyro/euler must share a length")
+        if (self.fall_onset is None) != (self.impact is None):
+            raise ValueError("fall_onset and impact must be set together")
+        if self.fall_onset is not None:
+            if not 0 <= self.fall_onset < self.impact <= n - 1:
+                raise ValueError(
+                    f"annotations out of order: onset={self.fall_onset}, "
+                    f"impact={self.impact}, n={n}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.accel.shape[0]
+
+    @property
+    def duration_s(self) -> float:
+        return self.n_samples / self.fs
+
+    @property
+    def is_fall(self) -> bool:
+        """True when the trial ends in an annotated fall."""
+        return self.fall_onset is not None
+
+    @property
+    def event_id(self) -> str:
+        """Stable identifier of this trial as an *event* for Table IV."""
+        return f"{self.dataset}:{self.subject_id}:T{self.task_id:02d}:{self.trial}"
+
+    def signals(self) -> np.ndarray:
+        """The ``(n, 9)`` feature matrix: accel | gyro | euler (paper order)."""
+        return np.concatenate([self.accel, self.gyro, self.euler], axis=1)
+
+    def with_signals(self, accel=None, gyro=None, euler=None, **changes) -> "Recording":
+        """Copy with replaced arrays/fields (annotations preserved)."""
+        return replace(
+            self,
+            accel=self.accel if accel is None else accel,
+            gyro=self.gyro if gyro is None else gyro,
+            euler=self.euler if euler is None else euler,
+            **changes,
+        )
+
+
+class Dataset:
+    """An ordered collection of recordings from one acquisition campaign."""
+
+    def __init__(self, name: str, recordings, frame=CANONICAL_FRAME):
+        self.name = str(name)
+        self.recordings: list[Recording] = list(recordings)
+        self.frame = frame
+
+    def __len__(self) -> int:
+        return len(self.recordings)
+
+    def __iter__(self):
+        return iter(self.recordings)
+
+    def __getitem__(self, index) -> Recording:
+        return self.recordings[index]
+
+    @property
+    def subjects(self) -> list[str]:
+        """Sorted unique subject ids."""
+        return sorted({rec.subject_id for rec in self.recordings})
+
+    @property
+    def task_ids(self) -> list[int]:
+        return sorted({rec.task_id for rec in self.recordings})
+
+    def filter(self, predicate) -> "Dataset":
+        """New dataset with recordings satisfying ``predicate``."""
+        return Dataset(self.name, [r for r in self.recordings if predicate(r)], self.frame)
+
+    def by_subject(self, subject_ids) -> "Dataset":
+        wanted = set(subject_ids)
+        return self.filter(lambda r: r.subject_id in wanted)
+
+    def falls(self) -> "Dataset":
+        return self.filter(lambda r: r.is_fall)
+
+    def adls(self) -> "Dataset":
+        return self.filter(lambda r: not r.is_fall)
+
+    def summary(self) -> dict:
+        """Headline statistics (subjects, trials, falls, total duration)."""
+        n_falls = sum(1 for r in self.recordings if r.is_fall)
+        total_s = sum(r.duration_s for r in self.recordings)
+        return {
+            "name": self.name,
+            "recordings": len(self.recordings),
+            "subjects": len(self.subjects),
+            "tasks": len(self.task_ids),
+            "falls": n_falls,
+            "adls": len(self.recordings) - n_falls,
+            "hours": total_s / 3600.0,
+        }
+
+    @staticmethod
+    def merge(name: str, *datasets: "Dataset") -> "Dataset":
+        """Concatenate datasets; they must share one sensor frame."""
+        frames = {d.frame for d in datasets}
+        if len(frames) > 1:
+            raise ValueError(
+                f"cannot merge datasets in different frames {sorted(frames)}; "
+                "align them first (repro.datasets.alignment)"
+            )
+        merged: list[Recording] = []
+        for d in datasets:
+            merged.extend(d.recordings)
+        return Dataset(name, merged, frame=frames.pop() if frames else CANONICAL_FRAME)

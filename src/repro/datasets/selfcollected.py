@@ -1,0 +1,44 @@
+"""Synthetic stand-in for the paper's self-collected (Protechto) dataset.
+
+29 subjects (24 M / 5 F, 23.5 ± 6.3 y, 71.5 ± 13.2 kg, 178 ± 8 cm), all 44
+tasks of Table II including the construction-site additions (falls from
+height, ladder falls, obstacle jumping).  Data is delivered in the
+canonical frame in g / deg/s — this dataset *defines* the target frame the
+KFall data is aligned to.
+"""
+
+from __future__ import annotations
+
+from .schema import CANONICAL_FRAME, Dataset
+from .subjects import make_subjects
+from .synthesis.generator import synthesize_recording
+from .tasks import SELF_COLLECTED_TASK_IDS, TASKS
+
+__all__ = ["build_selfcollected"]
+
+
+def build_selfcollected(
+    n_subjects: int = 29,
+    trials_per_task: int = 1,
+    duration_scale: float = 1.0,
+    fs: float = 100.0,
+    seed: int = 2002,
+    task_ids=None,
+) -> Dataset:
+    """Generate the self-collected-like dataset (canonical frame, g units)."""
+    if n_subjects < 1 or trials_per_task < 1:
+        raise ValueError("n_subjects and trials_per_task must be >= 1")
+    ids = tuple(task_ids) if task_ids is not None else SELF_COLLECTED_TASK_IDS
+    subjects = make_subjects("SC", n_subjects, seed=seed, female_fraction=5 / 29)
+    recordings = []
+    for subject in subjects:
+        for tid in ids:
+            for trial in range(trials_per_task):
+                recordings.append(
+                    synthesize_recording(
+                        TASKS[tid], subject, trial=trial, fs=fs,
+                        duration_scale=duration_scale, base_seed=seed,
+                        dataset="selfcollected",
+                    )
+                )
+    return Dataset("selfcollected", recordings, frame=CANONICAL_FRAME)

@@ -1,0 +1,16 @@
+"""Biomechanical IMU signal synthesis (the stand-in for real data capture)."""
+
+from .adl import ADL_GENERATORS
+from .falls import build_fall
+from .generator import synthesize_recording, trial_seed
+from .noise import SensorNoiseModel
+from .trajectory import MotionBuilder
+
+__all__ = [
+    "MotionBuilder",
+    "SensorNoiseModel",
+    "ADL_GENERATORS",
+    "build_fall",
+    "synthesize_recording",
+    "trial_seed",
+]

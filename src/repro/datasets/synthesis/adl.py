@@ -1,0 +1,326 @@
+"""ADL (activity of daily living) motion generators.
+
+One builder function per generator key in the task catalogue.  The
+fall-*like* ADLs are deliberately given fall-adjacent signatures — brief
+free-fall dips, impact-like landings, fast trunk rotations — because those
+are exactly the activities on which the paper reports event-level false
+positives (Table IVb: obstacle jumping 20 %, chair collapse 11.3 %, lying
+down quickly 6.7 %, jumping 6.4 %, ...).
+"""
+
+from __future__ import annotations
+
+from .primitives import (
+    POSTURES,
+    add_breathing,
+    add_gait,
+    add_heel_strikes,
+    add_postural_sway,
+)
+from .trajectory import MotionBuilder
+
+__all__ = ["ADL_GENERATORS"]
+
+
+def _start(posture: str) -> tuple[float, float]:
+    pitch, roll = POSTURES[posture]
+    return pitch, roll
+
+
+def build_static(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 1/11/17: hold a posture (stand, sit, lie) with natural sway."""
+    posture = params.get("posture", "stand")
+    pitch, roll = _start(posture)
+    b = MotionBuilder(fs, start_pitch=pitch + rng.normal(0, 2),
+                      start_roll=roll + rng.normal(0, 1.5))
+    b.hold(duration)
+    sway_scale = {"stand": 1.0, "sit": 0.6, "lie": 0.25}.get(posture, 1.0)
+    add_postural_sway(b, 0.0, duration, subject, rng, scale=sway_scale)
+    add_breathing(b, 0.0, duration, rng)
+    return b
+
+
+def build_bend(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 2 (tie shoe lace) and 3 (pick up an object)."""
+    variant = params.get("variant", "pickup")
+    b = MotionBuilder(fs)
+    lead = min(2.0, duration * 0.2)
+    b.hold(lead)
+    slow = subject.smoothness
+    if variant == "tie_shoe":
+        down, hold, up = 1.6 * slow, max(duration - 2 * lead - 3.2 * slow, 1.5), 1.6 * slow
+        bend_pitch = rng.uniform(62, 75)
+    else:
+        # Picking an object up is deliberate: a controlled, moderately
+        # slow bend, unlike the accelerating rotation of a fall.
+        down, hold, up = 1.5 * slow, 0.8, 1.3 * slow
+        bend_pitch = rng.uniform(48, 62)
+    b.move(down, pitch=bend_pitch, ease="smooth")
+    t_hold0 = b.t
+    b.hold(hold)
+    if variant == "tie_shoe":
+        # Hand motion while tying shows up as small trunk wobble.
+        b.oscillate(t_hold0, b.t, "pitch", 1.2, 1.5 * subject.sway)
+        b.oscillate(t_hold0, b.t, "az", 1.2, 0.01)
+    b.move(up, pitch=0.0, ease="smooth")
+    tail = max(duration - b.t, 0.5)
+    b.hold(tail)
+    add_postural_sway(b, b.t - tail, b.t, subject, rng)
+    return b
+
+
+def build_jump(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Task 4: a vertical reach jump — brief true flight plus landing.
+
+    The flight phase zeroes the specific force exactly like the first part
+    of a fall does, which is why this ADL draws false positives.
+    """
+    b = MotionBuilder(fs)
+    lead = min(2.5, duration * 0.3)
+    b.hold(lead)
+    add_postural_sway(b, 0.0, lead, subject, rng)
+    # Crouch.
+    crouch = 0.35 * subject.smoothness
+    b.move(crouch, pitch=rng.uniform(10, 18), ease="smooth")
+    # Push-off: upward reaction spike then flight (near-zero specific force).
+    t_push = b.t
+    b.burst(t_push + 0.05, 0.16, "az", 0.9 * subject.vigor, shape="doublet")
+    flight = rng.uniform(0.25, 0.38)
+    b.move(0.18, pitch=0.0, ease="smooth")
+    b.gravity_dip(t_push + 0.15, t_push + 0.15 + flight, floor=0.06)
+    b.hold(max(flight - 0.18, 0.05))
+    # Landing impact.
+    t_land = t_push + 0.15 + flight
+    b.burst(t_land, 0.09, "az", rng.uniform(2.0, 3.2) * subject.vigor, shape="decay")
+    b.burst(t_land + 0.02, 0.07, "ax", rng.uniform(0.5, 1.0), shape="doublet")
+    b.oscillate(t_land, min(t_land + 0.5, t_land + 0.49), "pitch", 3.0,
+                4.0 * subject.sway)
+    tail = max(duration - b.t, 1.0)
+    b.hold(tail)
+    add_postural_sway(b, b.t - tail, b.t, subject, rng)
+    return b
+
+
+def build_sit_ground(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Task 5: stand, sit to the ground, wait, get up."""
+    b = MotionBuilder(fs)
+    lead = min(2.0, duration * 0.15)
+    b.hold(lead)
+    add_postural_sway(b, 0.0, lead, subject, rng)
+    # Lowering to the floor: partially supported descent.
+    down = rng.uniform(1.2, 1.8) * subject.smoothness
+    t0 = b.t
+    b.move(down, pitch=POSTURES["sit_ground"][0] + rng.normal(0, 3), ease="smooth")
+    b.gravity_dip(t0 + down * 0.3, t0 + down * 0.9, floor=0.62)
+    b.burst(t0 + down, 0.1, "az", rng.uniform(1.0, 1.6), shape="decay")
+    mid = max(duration - b.t - down - 1.5, 1.0)
+    t_sit = b.t
+    b.hold(mid)
+    add_postural_sway(b, t_sit, b.t, subject, rng, scale=0.5)
+    t_up = b.t
+    b.move(down, pitch=0.0, ease="smooth")
+    b.burst(t_up + down * 0.4, 0.2, "az", 0.25 * subject.vigor, shape="halfsine")
+    b.hold(max(duration - b.t, 0.8))
+    return b
+
+
+def build_walk(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 6/7 (walk with turn), 10 (stumble), 44 (jump over obstacle)."""
+    speed = params.get("speed", "normal")
+    style = {"slow": "walk_slow", "normal": "walk", "quick": "walk_quick"}[speed]
+    b = MotionBuilder(fs)
+    lead = 1.0
+    b.hold(lead)
+    add_postural_sway(b, 0.0, lead, subject, rng)
+    walk_end = duration - 0.8
+    freq = add_gait(b, lead, walk_end, subject, rng, style=style)
+
+    if params.get("turn"):
+        t_turn = lead + (walk_end - lead) * rng.uniform(0.4, 0.6)
+        # Keyframes are sequential: walk to the turn, rotate 180, walk on.
+        b.hold(t_turn - b.t)
+        b.move(rng.uniform(0.8, 1.2), yaw=180.0, ease="smooth")
+
+    if params.get("stumble"):
+        # A trip that is *recovered*: forward jerk, partial unloading,
+        # catch-step, and back to steady gait.  No impact, no lying phase.
+        t_st = lead + (walk_end - lead) * rng.uniform(0.45, 0.65)
+        b.hold(max(t_st - b.t, 0.0))
+        jerk = rng.uniform(14, 22)
+        b.move(0.22, pitch=jerk, ease="accel")
+        b.gravity_dip(t_st, t_st + 0.28, floor=0.55)
+        b.burst(t_st + 0.3, 0.1, "ax", rng.uniform(0.9, 1.5), shape="doublet")
+        b.burst(t_st + 0.38, 0.09, "az", rng.uniform(1.2, 1.9), shape="decay")
+        b.move(0.45, pitch=0.0, ease="decel")
+
+    if params.get("obstacle_jump"):
+        # Task 44: running jump over an obstacle — flight + hard landing,
+        # the single most fall-like ADL in Table IVb (20 % false positives).
+        t_j = lead + (walk_end - lead) * rng.uniform(0.45, 0.6)
+        b.hold(max(t_j - b.t, 0.0))
+        b.burst(t_j, 0.14, "az", 1.0 * subject.vigor, shape="doublet")
+        flight = rng.uniform(0.3, 0.42)
+        b.move(0.2, pitch=rng.uniform(6, 12), ease="smooth")
+        b.gravity_dip(t_j + 0.1, t_j + 0.1 + flight, floor=0.07)
+        b.hold(max(flight - 0.2, 0.05))
+        t_land = t_j + 0.1 + flight
+        b.burst(t_land, 0.09, "az", rng.uniform(2.4, 3.6) * subject.vigor,
+                shape="decay")
+        b.burst(t_land + 0.03, 0.08, "ax", rng.uniform(0.8, 1.4), shape="doublet")
+        b.move(0.4, pitch=0.0, ease="decel")
+
+    b.hold(max(duration - b.t, 0.5))
+    return b
+
+
+def build_jog(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 8/9: jogging with a turn; impulsive heel strikes."""
+    speed = params.get("speed", "normal")
+    style = "jog" if speed == "normal" else "jog_quick"
+    b = MotionBuilder(fs)
+    lead = 1.0
+    b.hold(lead)
+    jog_end = duration - 0.8
+    freq = add_gait(b, lead, jog_end, subject, rng, style=style)
+    add_heel_strikes(b, lead, jog_end, freq, 0.5 * subject.vigor, rng)
+    t_turn = lead + (jog_end - lead) * rng.uniform(0.4, 0.6)
+    b.hold(t_turn - b.t)
+    b.move(rng.uniform(0.6, 0.9), yaw=180.0, ease="smooth")
+    b.hold(max(duration - b.t, 0.5))
+    return b
+
+
+def build_stairs(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 12/16 (down), 35/36 (up), 43 (up then down)."""
+    direction = params.get("direction", "down")
+    speed = params.get("speed", "normal")
+    b = MotionBuilder(fs)
+    lead = 1.0
+    b.hold(lead)
+    end = duration - 0.8
+
+    def _flight(t0, t1, going_down: bool):
+        freq = add_gait(b, t0, t1, subject, rng, style="climb",
+                        intensity=1.3 if speed == "quick" else 1.0)
+        amp = (0.45 if going_down else 0.22) * subject.vigor
+        if speed == "quick":
+            amp *= 1.5
+        add_heel_strikes(b, t0, t1, freq, amp, rng)
+        # Trunk leans slightly back going down, forward going up.
+        b.oscillate(t0, t1, "pitch", 0.15, 3.0, 0.0)
+
+    if direction == "both":
+        half = lead + (end - lead) / 2.0
+        _flight(lead, half - 0.6, going_down=False)
+        b.hold(half - b.t)
+        b.move(0.8, yaw=180.0, ease="smooth")
+        _flight(half + 0.8, end, going_down=True)
+    else:
+        _flight(lead, end, going_down=direction == "down")
+    b.hold(max(duration - b.t, 0.5))
+    return b
+
+
+def build_chair(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 13/14 (sit & rise at two speeds) and 15 (collapse into chair)."""
+    speed = params.get("speed", "normal")
+    collapse = params.get("collapse", False)
+    quick = speed == "quick"
+    b = MotionBuilder(fs)
+    lead = min(2.0, duration * 0.15)
+    b.hold(lead)
+    add_postural_sway(b, 0.0, lead, subject, rng)
+
+    sit_pitch = POSTURES["sit"][0] + rng.normal(0, 2)
+    if collapse:
+        # Task 15: sit first, try to rise, fail, and drop back into the
+        # chair — a short unsupported drop ending in a seat impact.
+        t0 = b.t
+        b.move(1.2 * subject.smoothness, pitch=sit_pitch, ease="smooth")
+        b.burst(b.t, 0.1, "az", 0.9, shape="decay")
+        b.hold(max(duration * 0.25, 1.5))
+        # Attempt to rise...
+        b.move(0.7, pitch=rng.uniform(18, 26), ease="smooth")
+        # ...and collapse back: unloaded drop + impact.  This is the most
+        # fall-like chair interaction (Table IVb: 11.29 % false positives)
+        # — the drop is a genuine brief free fall with trunk rotation.
+        t_c = b.t
+        drop = rng.uniform(0.32, 0.45)
+        b.move(drop, pitch=sit_pitch + rng.uniform(4, 10), ease="accel")
+        b.gravity_dip(t_c, t_c + drop, floor=rng.uniform(0.25, 0.38))
+        b.burst(t_c + drop, 0.1, "az",
+                rng.uniform(2.2, 3.2) * subject.vigor, shape="decay")
+        b.oscillate(t_c + drop, t_c + drop + 0.5, "pitch", 2.5, 3.0)
+        b.hold(max(duration - b.t, 1.0))
+        add_postural_sway(b, b.t - 1.0, b.t, subject, rng, scale=0.5)
+        return b
+
+    sit_time = (0.55 if quick else 1.3) * subject.smoothness
+    t0 = b.t
+    b.move(sit_time, pitch=sit_pitch, ease="accel" if quick else "smooth")
+    if quick:
+        b.gravity_dip(t0, t0 + sit_time, floor=0.55)
+    b.burst(t0 + sit_time, 0.1, "az",
+            (1.5 if quick else 0.7) * subject.vigor, shape="decay")
+    mid = max(duration - b.t - sit_time - 1.5, 1.0)
+    t_sit = b.t
+    b.hold(mid)
+    add_postural_sway(b, t_sit, b.t, subject, rng, scale=0.5)
+    rise = (0.5 if quick else 1.2) * subject.smoothness
+    t_up = b.t
+    b.move(rise, pitch=0.0, ease="smooth")
+    b.burst(t_up + rise * 0.3, 0.2, "az", (0.5 if quick else 0.2), shape="halfsine")
+    b.hold(max(duration - b.t, 0.8))
+    return b
+
+
+def build_lie_floor(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Tasks 18/19: sit, lie down to the floor (normal/quick), get up."""
+    quick = params.get("speed") == "quick"
+    b = MotionBuilder(fs)
+    lead = min(1.5, duration * 0.1)
+    b.hold(lead)
+    # Sit on the floor first.
+    sit = 1.2 * subject.smoothness
+    t0 = b.t
+    b.move(sit, pitch=POSTURES["sit_ground"][0], ease="smooth")
+    b.gravity_dip(t0 + sit * 0.3, t0 + sit, floor=0.65)
+    b.burst(t0 + sit, 0.1, "az", 1.1, shape="decay")
+    b.hold(1.0)
+    # Lie down.
+    lie_time = (0.6 if quick else 1.6) * subject.smoothness
+    t1 = b.t
+    b.move(lie_time, pitch=POSTURES["lie"][0] + rng.normal(0, 4),
+           ease="accel" if quick else "smooth")
+    if quick:
+        # Task 19: dropping to the floor — partial free fall + bump.
+        b.gravity_dip(t1, t1 + lie_time, floor=0.55)
+        b.burst(t1 + lie_time, 0.09, "ax",
+                -rng.uniform(1.2, 1.8) * subject.vigor, shape="decay")
+        b.burst(t1 + lie_time + 0.02, 0.08, "az", rng.uniform(0.7, 1.2),
+                shape="decay")
+    mid = max(duration - b.t - lie_time - sit - 1.0, 1.5)
+    t_lie = b.t
+    b.hold(mid)
+    add_postural_sway(b, t_lie, b.t, subject, rng, scale=0.25)
+    add_breathing(b, t_lie, b.t, rng)
+    # Get up (two stages: sit, then stand).
+    up = (0.7 if quick else 1.4) * subject.smoothness
+    b.move(up, pitch=POSTURES["sit_ground"][0], ease="smooth")
+    b.move(up, pitch=0.0, ease="smooth")
+    b.hold(max(duration - b.t, 0.6))
+    return b
+
+
+#: generator key -> builder function.
+ADL_GENERATORS = {
+    "static": build_static,
+    "bend": build_bend,
+    "jump": build_jump,
+    "sit_ground": build_sit_ground,
+    "walk": build_walk,
+    "jog": build_jog,
+    "stairs": build_stairs,
+    "chair": build_chair,
+    "lie_floor": build_lie_floor,
+}

@@ -1,0 +1,216 @@
+"""Fall motion generator.
+
+Produces the four canonical stages of Figure 1 of the paper — pre-fall
+activity, falling (pre-impact), impact, post-fall — with frame-accurate
+``fall_onset`` and ``impact`` marks.
+
+Physical signatures per stage:
+
+* **falling** — specific force collapses toward free fall (gravity factor
+  0.03–0.45 depending on the fall mechanism), trunk orientation rotates
+  toward the final lying posture with accelerating easing, flailing
+  oscillations ride on top;
+* **impact** — a 3–8 g multi-axis transient (shorter and harder for falls
+  from height);
+* **post-fall** — the subject lies still, with only tremor and breathing.
+
+Fall-category timing reproduces the difficulty ordering behind the paper's
+Table IVa: falls from height (tasks 39–42) have the shortest pre-impact
+phases and the least pre-impact rotation, so removing the last 150 ms
+leaves the classifier the least evidence — they are missed most often.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .primitives import POSTURES, add_gait, add_postural_sway
+from .trajectory import MotionBuilder, make_power_ease
+
+__all__ = ["build_fall"]
+
+#: (min, max) seconds of the falling (onset -> impact) phase per start kind.
+_FALL_DURATION = {
+    "walk": (0.50, 0.90),
+    "jog": (0.45, 0.80),
+    "sit": (0.45, 0.75),
+    "stand_to_sit": (0.40, 0.65),
+    "move_back": (0.50, 0.85),
+    "height": (0.32, 0.52),
+    "ladder": (0.36, 0.58),
+}
+
+#: Gravity-factor floor *reached at impact* per start kind.  With the
+#: progressive ramp, the unloading visible before the truncated 150 ms is
+#: far shallower than these floors.
+_GRAVITY_FLOOR = {
+    "walk": (0.08, 0.25),
+    "jog": (0.08, 0.22),
+    "sit": (0.15, 0.35),
+    "stand_to_sit": (0.15, 0.35),
+    "move_back": (0.10, 0.28),
+    "height": (0.02, 0.07),
+    "ladder": (0.05, 0.15),
+}
+
+#: Peak impact magnitude (g) per start kind, before subject scaling.
+_IMPACT_G = {
+    "walk": (3.5, 6.0),
+    "jog": (4.0, 6.5),
+    "sit": (3.0, 5.0),
+    "stand_to_sit": (3.0, 5.0),
+    "move_back": (3.5, 6.0),
+    "height": (5.0, 8.0),
+    "ladder": (4.5, 7.0),
+}
+
+
+def _final_orientation(direction: str, rng) -> tuple[float, float]:
+    """(pitch, roll) of the body once on the ground."""
+    if direction == "forward":
+        return rng.uniform(72, 88), rng.normal(0, 6)
+    if direction == "backward":
+        return -rng.uniform(72, 88), rng.normal(0, 6)
+    if direction == "lateral":
+        side = rng.choice([-1.0, 1.0])
+        return rng.normal(0, 8), side * rng.uniform(70, 85)
+    if direction == "vertical":
+        # Crumple straight down: modest forward slump.
+        return rng.uniform(25, 45), rng.normal(0, 8)
+    raise ValueError(f"unknown fall direction {direction!r}")
+
+
+def _impact_bursts(builder, t_impact, direction, amp, rng, hands_damp=False):
+    """Distribute the impact transient over the sensor axes."""
+    width = rng.uniform(0.05, 0.09)
+    if hands_damp:
+        # Catching the fall splits the impact into two softer transients.
+        first = amp * rng.uniform(0.4, 0.55)
+        builder.burst(t_impact - 0.09, width, "ax", first, shape="decay")
+        amp *= rng.uniform(0.55, 0.7)
+        width *= 1.2
+    axis_main = {"forward": "ax", "backward": "ax", "lateral": "ay",
+                 "vertical": "az"}[direction]
+    sign = -1.0 if direction == "backward" else 1.0
+    # Bursts are centred half a width late so the deceleration transient
+    # *follows* ground contact (the annotated impact sample).
+    builder.burst(t_impact + width / 2, width, axis_main, sign * amp,
+                  shape="decay")
+    builder.burst(t_impact + 0.01 + width / 2, width * 1.1, "az", amp * 0.6,
+                  shape="decay")
+    builder.burst(t_impact + 0.08 + width / 2, width * 1.4, axis_main,
+                  sign * amp * 0.25, shape="decay")  # bounce
+
+
+def _pre_fall_activity(builder, start, params, subject, rng, t_onset):
+    """Script the pre-fall stage up to ``t_onset`` and return start angles."""
+    lead = 0.8
+    if start in ("walk", "jog"):
+        builder.hold(lead)
+        style = "jog" if start == "jog" else "walk"
+        add_gait(builder, lead, t_onset, subject, rng, style=style)
+        builder.hold(t_onset - builder.t)
+        return
+    if start == "move_back":
+        builder.hold(lead)
+        style = "walk_slow" if params.get("speed") == "slow" else "walk"
+        add_gait(builder, lead, t_onset, subject, rng, style=style, intensity=0.8)
+        # Slight backward trunk lean while stepping backwards.
+        builder.oscillate(lead, t_onset, "pitch", 0.2, 2.0, np.pi)
+        builder.hold(t_onset - builder.t)
+        return
+    if start == "sit":
+        # The builder already starts in the sitting posture.
+        builder.hold(t_onset - builder.t)
+        add_postural_sway(builder, 0.5, t_onset, subject, rng, scale=0.5)
+        if params.get("cause") == "faint":
+            # Pre-syncope slump in the last moments before letting go.
+            builder.oscillate(max(t_onset - 1.2, 0.2), t_onset, "pitch", 0.4, 2.5)
+        return
+    if start == "stand_to_sit":
+        builder.hold(lead)
+        add_postural_sway(builder, 0.0, lead, subject, rng)
+        # Begin a normal sit-down; the fall interrupts it.
+        remaining = t_onset - builder.t
+        builder.move(max(remaining, 0.3), pitch=POSTURES["sit"][0] * 0.6,
+                     ease="smooth")
+        return
+    if start in ("height", "ladder"):
+        builder.hold(lead)
+        # Rung-to-rung climbing rhythm (or platform work).
+        add_gait(builder, lead, t_onset, subject, rng, style="climb",
+                 intensity=0.9)
+        builder.oscillate(lead, t_onset, "pitch", 0.5, 3.0)
+        builder.hold(t_onset - builder.t)
+        return
+    raise ValueError(f"unknown fall start {start!r}")
+
+
+def build_fall(params, subject, rng, duration, fs) -> MotionBuilder:
+    """Render one fall trial; marks ``fall_onset`` and ``impact``."""
+    start = params.get("start", "walk")
+    direction = params.get("direction", "forward")
+    if start not in _FALL_DURATION:
+        raise ValueError(f"unknown fall start {start!r}")
+
+    lo, hi = _FALL_DURATION[start]
+    fall_time = rng.uniform(lo, hi) * float(np.clip(subject.reaction, 0.8, 1.25))
+    post_time = max(2.0, duration * 0.25)
+    t_onset = max(duration - post_time - fall_time - 0.15, 1.6)
+
+    start_pitch = POSTURES["sit"][0] if start == "sit" else 0.0
+    b = MotionBuilder(fs, start_pitch=start_pitch + rng.normal(0, 1.5))
+    _pre_fall_activity(b, start, params, subject, rng, t_onset)
+    # Guarantee the onset lands exactly where the marks say.
+    if b.t < t_onset:
+        b.hold(t_onset - b.t)
+
+    b.mark("fall_onset")
+    pitch_f, roll_f = _final_orientation(direction, rng)
+    g_lo, g_hi = _GRAVITY_FLOOR[start]
+    floor = rng.uniform(g_lo, g_hi)
+    t0 = b.t
+    if start == "height":
+        # Drops barely rotate before impact; most rotation happens on the
+        # ground contact itself.  Free fall starts almost immediately
+        # (front-loaded ramp), which is what makes drops detectable at all
+        # — and still often too late (Table IVa).
+        b.move(fall_time, pitch=pitch_f * 0.35, roll=roll_f * 0.35, ease="accel")
+        b.gravity_ramp(t0, t0 + fall_time, floor=floor, power=0.6)
+    else:
+        # Rotation profile varies fall to fall: some subjects pivot early,
+        # others crumple late.
+        b.move(fall_time, pitch=pitch_f, roll=roll_f,
+               ease=make_power_ease(rng.uniform(1.6, 3.2)))
+        # Progressive unloading: the body is still partially supported at
+        # onset; the deep dip develops toward impact, i.e. mostly inside
+        # the 150 ms the detector is *not allowed to use*.
+        b.gravity_ramp(t0, t0 + fall_time, floor=floor,
+                       power=rng.uniform(1.6, 2.4))
+    # Mild flailing during the fall (kept small: pre-impact signals are
+    # subtle, that is the whole challenge).
+    b.oscillate(t0, t0 + fall_time, "roll", rng.uniform(2.5, 4.0),
+                rng.uniform(1.5, 3.5) * subject.sway)
+    b.oscillate(t0, t0 + fall_time, "ay", rng.uniform(2.0, 3.5),
+                rng.uniform(0.04, 0.1))
+
+    t_impact = b.t
+    b.mark("impact")
+    amp_lo, amp_hi = _IMPACT_G[start]
+    amp = rng.uniform(amp_lo, amp_hi) * float(np.clip(subject.vigor, 0.8, 1.3))
+    _impact_bursts(b, t_impact, direction, amp, rng,
+                   hands_damp=params.get("hands_damp", False))
+
+    # Settle into the final lying posture.
+    if start == "height":
+        b.move(0.25, pitch=pitch_f, roll=roll_f, ease="decel")
+    elif direction == "vertical":
+        # Crumple, then slump sideways to the ground.
+        b.move(0.5, pitch=pitch_f + 30, ease="decel")
+    b.oscillate(t_impact, min(t_impact + 0.6, t_impact + 0.59), "pitch", 4.0,
+                3.0)
+    remaining = max(duration - b.t, 1.2)
+    t_still = b.t
+    b.hold(remaining)
+    add_postural_sway(b, t_still + 0.5, b.t, subject, rng, scale=0.2)
+    return b

@@ -1,0 +1,71 @@
+"""Sensor imperfection model.
+
+Turns the clean kinematic render into what the LIS3DH accelerometer and
+companion gyroscope actually deliver: white noise, slowly wandering bias,
+1 mg quantisation (the LIS3DH resolution the paper quotes), and full-scale
+clipping at ±16 g / ±2000 deg/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SensorNoiseModel"]
+
+
+class SensorNoiseModel:
+    """Additive noise + quantisation + clipping for one recording.
+
+    Parameters are per-axis standard deviations in sensor units; the
+    subject's ``noise`` style multiplier scales both white-noise terms
+    (different garment fits produce different artefact levels).
+    """
+
+    def __init__(
+        self,
+        accel_noise_g: float = 0.02,
+        gyro_noise_dps: float = 1.6,
+        accel_bias_g: float = 0.012,
+        gyro_bias_dps: float = 0.8,
+        accel_resolution_g: float = 0.001,
+        accel_fullscale_g: float = 16.0,
+        gyro_fullscale_dps: float = 2000.0,
+    ):
+        self.accel_noise_g = float(accel_noise_g)
+        self.gyro_noise_dps = float(gyro_noise_dps)
+        self.accel_bias_g = float(accel_bias_g)
+        self.gyro_bias_dps = float(gyro_bias_dps)
+        self.accel_resolution_g = float(accel_resolution_g)
+        self.accel_fullscale_g = float(accel_fullscale_g)
+        self.gyro_fullscale_dps = float(gyro_fullscale_dps)
+
+    def _wandering_bias(self, n, sigma, rng) -> np.ndarray:
+        """Slow random-walk bias (thermal drift), per axis."""
+        steps = rng.normal(0.0, sigma / max(np.sqrt(n), 1.0), size=(n, 3))
+        walk = np.cumsum(steps, axis=0)
+        return walk + rng.normal(0.0, sigma, size=(1, 3))
+
+    def apply(
+        self, accel_g: np.ndarray, gyro_dps: np.ndarray,
+        rng: np.random.Generator, noise_scale: float = 1.0
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Return noisy (accel, gyro); inputs are not modified."""
+        accel_g = np.asarray(accel_g, dtype=float)
+        gyro_dps = np.asarray(gyro_dps, dtype=float)
+        n = accel_g.shape[0]
+        accel = (
+            accel_g
+            + rng.normal(0.0, self.accel_noise_g * noise_scale, size=accel_g.shape)
+            + self._wandering_bias(n, self.accel_bias_g, rng)
+        )
+        gyro = (
+            gyro_dps
+            + rng.normal(0.0, self.gyro_noise_dps * noise_scale, size=gyro_dps.shape)
+            + self._wandering_bias(n, self.gyro_bias_dps, rng)
+        )
+        # LIS3DH-style quantisation and clipping.
+        if self.accel_resolution_g > 0:
+            accel = np.round(accel / self.accel_resolution_g) * self.accel_resolution_g
+        accel = np.clip(accel, -self.accel_fullscale_g, self.accel_fullscale_g)
+        gyro = np.clip(gyro, -self.gyro_fullscale_dps, self.gyro_fullscale_dps)
+        return accel, gyro

@@ -1,0 +1,136 @@
+"""Reusable motion fragments composed by the ADL and fall generators.
+
+Amplitudes are tuned for a sensor worn on the lower back (as in both
+datasets): walking shows ~0.1 g vertical bounce, jogging ~0.4 g with
+impulsive heel strikes, postural sway is sub-degree, ground impacts reach
+several g.  Values are scaled by each subject's style multipliers so that
+different synthetic subjects are statistically distinguishable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trajectory import MotionBuilder
+
+__all__ = [
+    "POSTURES",
+    "add_postural_sway",
+    "add_gait",
+    "add_heel_strikes",
+    "add_breathing",
+]
+
+#: Nominal (pitch, roll) of each static posture, degrees.
+POSTURES = {
+    "stand": (0.0, 0.0),
+    "sit": (10.0, 0.0),
+    "sit_ground": (15.0, 0.0),
+    "lie": (-82.0, 0.0),
+    "lie_prone": (82.0, 0.0),
+}
+
+#: Gait parameter presets: (step frequency Hz, vertical bounce g,
+#: fore-aft sway g, pitch wobble deg, roll wobble deg).
+_GAIT_PRESETS = {
+    "walk_slow": (1.5, 0.06, 0.035, 1.2, 1.8),
+    "walk": (1.9, 0.10, 0.05, 1.5, 2.2),
+    "walk_quick": (2.3, 0.16, 0.08, 1.8, 2.6),
+    "jog": (2.7, 0.38, 0.16, 2.4, 3.0),
+    "jog_quick": (3.1, 0.52, 0.22, 2.8, 3.4),
+    "climb": (1.2, 0.09, 0.05, 2.2, 2.6),
+}
+
+
+def add_postural_sway(
+    builder: MotionBuilder,
+    t0: float,
+    t1: float,
+    subject,
+    rng: np.random.Generator,
+    scale: float = 1.0,
+) -> None:
+    """Quiet-posture sway: slow, small pitch/roll oscillations."""
+    if t1 - t0 < 0.2:
+        return
+    amp = 0.6 * subject.sway * scale
+    builder.oscillate(t0, t1, "pitch", rng.uniform(0.25, 0.45), amp,
+                      rng.uniform(0, 2 * np.pi))
+    builder.oscillate(t0, t1, "roll", rng.uniform(0.2, 0.4), amp * 0.8,
+                      rng.uniform(0, 2 * np.pi))
+    builder.oscillate(t0, t1, "az", rng.uniform(0.3, 0.6), 0.004 * scale,
+                      rng.uniform(0, 2 * np.pi))
+
+
+def add_breathing(
+    builder: MotionBuilder, t0: float, t1: float, rng: np.random.Generator
+) -> None:
+    """Respiration artefact visible in a trunk-mounted accelerometer."""
+    if t1 - t0 < 1.0:
+        return
+    builder.oscillate(t0, t1, "az", rng.uniform(0.2, 0.35), 0.003,
+                      rng.uniform(0, 2 * np.pi))
+
+
+def add_gait(
+    builder: MotionBuilder,
+    t0: float,
+    t1: float,
+    subject,
+    rng: np.random.Generator,
+    style: str = "walk",
+    intensity: float = 1.0,
+) -> float:
+    """Rhythmic locomotion between ``t0`` and ``t1``.
+
+    Returns the step frequency actually used (Hz), so callers can align
+    other events (e.g. a trip) with the gait cycle.
+    """
+    try:
+        freq, bounce, fore_aft, pitch_amp, roll_amp = _GAIT_PRESETS[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown gait style {style!r}; options: {sorted(_GAIT_PRESETS)}"
+        ) from None
+    if t1 - t0 < 0.3:
+        return freq
+    freq *= subject.cadence * rng.uniform(0.95, 1.05)
+    vig = subject.vigor * intensity
+    phase = rng.uniform(0, 2 * np.pi)
+    # Vertical bounce at step frequency, fore-aft at the same frequency but
+    # out of phase, trunk wobble at stride (half step) frequency.
+    builder.oscillate(t0, t1, "az", freq, bounce * vig, phase)
+    builder.oscillate(t0, t1, "ax", freq, fore_aft * vig, phase + np.pi / 2)
+    builder.oscillate(t0, t1, "ay", freq / 2.0, fore_aft * 0.5 * vig,
+                      phase + np.pi / 4)
+    builder.oscillate(t0, t1, "pitch", freq, pitch_amp * subject.sway, phase)
+    builder.oscillate(t0, t1, "roll", freq / 2.0, roll_amp * subject.sway,
+                      phase + np.pi / 3)
+    builder.oscillate(t0, t1, "yaw", freq / 2.0, 2.0 * subject.sway,
+                      phase + np.pi / 5)
+    return freq
+
+
+def add_heel_strikes(
+    builder: MotionBuilder,
+    t0: float,
+    t1: float,
+    freq_hz: float,
+    amp_g: float,
+    rng: np.random.Generator,
+    channel: str = "az",
+) -> None:
+    """Impulsive foot-strike transients (jogging, stair descent)."""
+    if t1 - t0 <= 0 or freq_hz <= 0:
+        return
+    period = 1.0 / freq_hz
+    t = t0 + rng.uniform(0.0, period)
+    while t < t1:
+        builder.burst(
+            t,
+            width=rng.uniform(0.05, 0.09),
+            channel=channel,
+            amp=amp_g * rng.uniform(0.75, 1.25),
+            shape="decay",
+        )
+        t += period * rng.uniform(0.92, 1.08)

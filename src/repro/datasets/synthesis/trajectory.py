@@ -1,0 +1,349 @@
+"""Motion scripting: the kinematic core of the synthetic IMU generator.
+
+A :class:`MotionBuilder` accumulates a *motion script* — orientation
+keyframes, rhythmic oscillations, acceleration bursts and free-fall
+segments — and renders it into clean (noise-free) sensor streams:
+
+* body orientation (pitch, roll, yaw) interpolated between keyframes with
+  selectable easing (falls accelerate, sit-downs decelerate);
+* gyroscope = time derivative of the orientation angles;
+* accelerometer = gravity resolved into the sensor frame, scaled by a
+  *gravity factor* (≈1 quasi-static, →0 in free fall), plus dynamic
+  acceleration bursts and oscillations.
+
+The sensor frame matches :mod:`repro.signal.orientation`: x forward,
+y left, z up; quiet standing reads ``(0, 0, 1) g``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MotionBuilder", "EASINGS"]
+
+
+def _ease_smooth(u):
+    return u * u * (3.0 - 2.0 * u)
+
+
+def _ease_accel(u):
+    # Quadratic-ish ease-in: bodies falling under gravity rotate faster and
+    # faster until impact.
+    return u**2.2
+
+
+def make_power_ease(power: float):
+    """Parametric ease-in ``u^power`` (fall-to-fall rotation heterogeneity)."""
+    if power <= 0:
+        raise ValueError(f"power must be positive, got {power}")
+
+    def _ease(u):
+        return u**power
+
+    return _ease
+
+
+def _ease_decel(u):
+    return 1.0 - (1.0 - u) ** 2.2
+
+
+def _ease_linear(u):
+    return u
+
+
+EASINGS = {
+    "smooth": _ease_smooth,
+    "accel": _ease_accel,
+    "decel": _ease_decel,
+    "linear": _ease_linear,
+}
+
+_ANGLE_CHANNELS = {"pitch": 0, "roll": 1, "yaw": 2}
+_ACCEL_CHANNELS = {"ax": 0, "ay": 1, "az": 2}
+
+
+class MotionBuilder:
+    """Builds one trial's kinematic script and renders it to sensor arrays."""
+
+    def __init__(self, fs: float, start_pitch=0.0, start_roll=0.0, start_yaw=0.0):
+        if fs <= 0:
+            raise ValueError(f"fs must be positive, got {fs}")
+        self.fs = float(fs)
+        self.t = 0.0
+        # Keyframes: (time, pitch, roll, yaw, ease-name of the segment
+        # *ending* at this keyframe).
+        self._keys: list[tuple[float, float, float, float, object]] = [
+            (0.0, float(start_pitch), float(start_roll), float(start_yaw),
+             _ease_linear)
+        ]
+        self._oscillations: list[tuple[float, float, str, float, float, float]] = []
+        self._bursts: list[tuple[float, float, str, float, str]] = []
+        self._gravity_dips: list[tuple[float, float, float, float]] = []
+        self._marks: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Script construction
+    # ------------------------------------------------------------------
+    @property
+    def angles(self) -> tuple[float, float, float]:
+        """Current (pitch, roll, yaw) at the end of the script."""
+        _, p, r, y, _ = self._keys[-1]
+        return p, r, y
+
+    def hold(self, duration: float) -> "MotionBuilder":
+        """Keep the current orientation for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError("duration must be non-negative")
+        p, r, y = self.angles
+        self.t += duration
+        self._keys.append((self.t, p, r, y, _ease_linear))
+        return self
+
+    def move(
+        self,
+        duration: float,
+        pitch=None,
+        roll=None,
+        yaw=None,
+        ease="smooth",
+    ) -> "MotionBuilder":
+        """Transition to a new orientation over ``duration`` seconds.
+
+        ``ease`` is a name from :data:`EASINGS` or a custom callable
+        mapping normalised time ``u in [0, 1]`` to progress.
+        """
+        if duration <= 0:
+            raise ValueError("move duration must be positive")
+        if callable(ease):
+            ease_fn = ease
+        elif ease in EASINGS:
+            ease_fn = EASINGS[ease]
+        else:
+            raise ValueError(f"unknown ease {ease!r}; options: {sorted(EASINGS)}")
+        p0, r0, y0 = self.angles
+        self.t += duration
+        self._keys.append(
+            (
+                self.t,
+                p0 if pitch is None else float(pitch),
+                r0 if roll is None else float(roll),
+                y0 if yaw is None else float(yaw),
+                ease_fn,
+            )
+        )
+        return self
+
+    def oscillate(
+        self, t0: float, t1: float, channel: str, freq_hz: float, amp: float,
+        phase: float = 0.0,
+    ) -> "MotionBuilder":
+        """Add a Hann-windowed sinusoid to an angle or acceleration channel.
+
+        ``channel`` is one of pitch/roll/yaw (degrees) or ax/ay/az (g).
+        The Hann window avoids derivative discontinuities at the edges.
+        """
+        if channel not in _ANGLE_CHANNELS and channel not in _ACCEL_CHANNELS:
+            raise ValueError(f"unknown channel {channel!r}")
+        if t1 <= t0:
+            raise ValueError("oscillation needs t1 > t0")
+        self._oscillations.append((t0, t1, channel, freq_hz, amp, phase))
+        return self
+
+    def burst(
+        self, t_center: float, width: float, channel: str, amp: float,
+        shape: str = "halfsine",
+    ) -> "MotionBuilder":
+        """Add a transient to an acceleration channel (impacts, landings).
+
+        Shapes: ``halfsine`` (single hump), ``doublet`` (up-down swing, like
+        a foot-strike reaction), ``decay`` (sharp attack, exponential tail —
+        ground impacts).
+        """
+        if channel not in _ACCEL_CHANNELS:
+            raise ValueError(f"bursts only apply to ax/ay/az, got {channel!r}")
+        if shape not in ("halfsine", "doublet", "decay"):
+            raise ValueError(f"unknown burst shape {shape!r}")
+        if width <= 0:
+            raise ValueError("burst width must be positive")
+        self._bursts.append((t_center, width, channel, amp, shape))
+        return self
+
+    def gravity_dip(
+        self, t0: float, t1: float, floor: float, ramp: float = 0.08
+    ) -> "MotionBuilder":
+        """Scale the gravity reaction towards ``floor`` over [t0, t1].
+
+        ``floor`` near 0 models free fall (the accelerometer measures
+        specific force, which vanishes in free fall); intermediate values
+        model partially supported descents.  ``ramp`` seconds are used to
+        ease in/out.
+        """
+        if t1 <= t0:
+            raise ValueError("gravity dip needs t1 > t0")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError(f"gravity floor must be in [0, 1], got {floor}")
+        self._gravity_dips.append(("dip", t0, t1, float(floor), float(ramp)))
+        return self
+
+    def gravity_ramp(
+        self, t0: float, t1: float, floor: float, power: float = 1.8
+    ) -> "MotionBuilder":
+        """Progressively unload from 1.0 at ``t0`` to ``floor`` at ``t1``.
+
+        ``factor(t) = 1 - (1 - floor) * u^power`` with ``u`` the normalised
+        time.  This is how real falls look to an accelerometer: the body is
+        still partially supported at fall onset and approaches free fall
+        only just before impact — the deepest (most informative) part of
+        the dip therefore lands inside the truncated last 150 ms.
+        ``power > 1`` back-loads the unloading; ``power < 1`` front-loads
+        it (drops from height).
+        """
+        if t1 <= t0:
+            raise ValueError("gravity ramp needs t1 > t0")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError(f"gravity floor must be in [0, 1], got {floor}")
+        if power <= 0:
+            raise ValueError(f"power must be positive, got {power}")
+        self._gravity_dips.append(("ramp", t0, t1, float(floor), float(power)))
+        return self
+
+    def mark(self, name: str, t: float | None = None) -> "MotionBuilder":
+        """Record a named time (e.g. ``fall_onset``, ``impact``)."""
+        self._marks[name] = self.t if t is None else float(t)
+        return self
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _render_angles(self, times: np.ndarray) -> np.ndarray:
+        angles = np.empty((times.size, 3))
+        keys = self._keys
+        key_times = np.array([k[0] for k in keys])
+        segment = np.clip(np.searchsorted(key_times, times, side="right") - 1, 0,
+                          len(keys) - 2 if len(keys) > 1 else 0)
+        for col in range(3):
+            values = np.array([(k[1], k[2], k[3])[col] for k in keys])
+            if len(keys) == 1:
+                angles[:, col] = values[0]
+                continue
+            t0 = key_times[segment]
+            t1 = key_times[segment + 1]
+            span = np.where(t1 > t0, t1 - t0, 1.0)
+            u = np.clip((times - t0) / span, 0.0, 1.0)
+            eased = np.empty_like(u)
+            for i, (_, _, _, _, ease_fn) in enumerate(keys[1:], start=1):
+                mask = segment == i - 1
+                if np.any(mask):
+                    eased[mask] = ease_fn(u[mask])
+            angles[:, col] = values[segment] + eased * (
+                values[segment + 1] - values[segment]
+            )
+            # Clamp beyond the final keyframe.
+            beyond = times >= key_times[-1]
+            angles[beyond, col] = values[-1]
+        return angles
+
+    def _burst_waveform(self, times, t_center, width, amp, shape) -> np.ndarray:
+        out = np.zeros_like(times)
+        t0, t1 = t_center - width / 2.0, t_center + width / 2.0
+        mask = (times >= t0) & (times <= t1)
+        if not np.any(mask):
+            return out
+        u = (times[mask] - t0) / width
+        if shape == "halfsine":
+            out[mask] = amp * np.sin(np.pi * u)
+        elif shape == "doublet":
+            out[mask] = amp * np.sin(2.0 * np.pi * u)
+        else:  # decay: gamma-like pulse, sharp attack, exponential tail,
+            # normalised so the peak equals ``amp`` (at u = 0.15).
+            r = u / 0.15
+            out[mask] = amp * r * np.exp(1.0 - r)
+        return out
+
+    def render(self) -> dict:
+        """Evaluate the script on the sample grid.
+
+        Returns a dict with ``times`` (s), ``accel`` (g, clean), ``gyro``
+        (deg/s, clean), ``angles`` (deg, the true orientation) and
+        ``marks`` (name -> sample index).
+        """
+        n = max(2, int(round(self.t * self.fs)))
+        times = np.arange(n) / self.fs
+        angles = self._render_angles(times)
+
+        # Oscillations on angle channels modify orientation (and thus gyro).
+        accel_extra = np.zeros((n, 3))
+        for t0, t1, channel, freq, amp, phase in self._oscillations:
+            mask = (times >= t0) & (times <= t1)
+            if not np.any(mask):
+                continue
+            local = times[mask] - t0
+            window = 0.5 - 0.5 * np.cos(
+                2.0 * np.pi * np.clip(local / (t1 - t0), 0.0, 1.0)
+            )
+            wave = amp * window * np.sin(2.0 * np.pi * freq * local + phase)
+            if channel in _ANGLE_CHANNELS:
+                angles[mask, _ANGLE_CHANNELS[channel]] += wave
+            else:
+                accel_extra[mask, _ACCEL_CHANNELS[channel]] += wave
+
+        for t_center, width, channel, amp, shape in self._bursts:
+            accel_extra[:, _ACCEL_CHANNELS[channel]] += self._burst_waveform(
+                times, t_center, width, amp, shape
+            )
+
+        gravity_factor = np.ones(n)
+        for kind, t0, t1, floor, param in self._gravity_dips:
+            factor = np.ones(n)
+            if kind == "dip":
+                ramp = min(param, max((t1 - t0) / 2.0, 1e-3))
+                core = (times >= t0 + ramp) & (times <= t1 - ramp)
+                factor[core] = floor
+                rising = (times >= t0) & (times < t0 + ramp)
+                factor[rising] = (
+                    1.0 + (floor - 1.0) * (times[rising] - t0) / ramp
+                )
+                falling = (times > t1 - ramp) & (times <= t1)
+                factor[falling] = floor + (1.0 - floor) * (
+                    times[falling] - (t1 - ramp)
+                ) / ramp
+            else:  # progressive ramp: deepest right at t1
+                inside = (times >= t0) & (times <= t1)
+                u = (times[inside] - t0) / (t1 - t0)
+                factor[inside] = 1.0 - (1.0 - floor) * u**param
+                # Recover over ~120 ms after t1 (impact support builds up).
+                recover = (times > t1) & (times <= t1 + 0.12)
+                factor[recover] = floor + (1.0 - floor) * (
+                    times[recover] - t1
+                ) / 0.12
+            gravity_factor = np.minimum(gravity_factor, factor)
+
+        pitch = np.radians(angles[:, 0])
+        roll = np.radians(angles[:, 1])
+        gravity = np.stack(
+            [
+                np.sin(pitch),
+                np.cos(pitch) * np.sin(roll),
+                np.cos(pitch) * np.cos(roll),
+            ],
+            axis=1,
+        )
+        accel = gravity_factor[:, None] * gravity + accel_extra
+
+        # Gyro: body rates from the orientation derivative (deg/s).
+        gyro = np.empty((n, 3))
+        gyro[:, 0] = np.gradient(angles[:, 1], times)  # roll rate  -> gx
+        gyro[:, 1] = np.gradient(angles[:, 0], times)  # pitch rate -> gy
+        gyro[:, 2] = np.gradient(angles[:, 2], times)  # yaw rate   -> gz
+
+        marks = {
+            name: int(np.clip(round(t * self.fs), 0, n - 1))
+            for name, t in self._marks.items()
+        }
+        return {
+            "times": times,
+            "accel": accel,
+            "gyro": gyro,
+            "angles": angles,
+            "marks": marks,
+        }

@@ -1,0 +1,196 @@
+"""The activity catalogue (Table II of the paper).
+
+44 tasks: 23 ADLs and 21 fall types.  Tasks 1–19 and 35–36 (ADLs) plus
+20–34 (falls) form the KFall subset (21 ADLs / 15 falls); the self-collected
+dataset adds construction-site ADLs 43–44 and falls 37–42 (falls from
+height, ladder falls, backward falls while moving back), matching the
+paper's 23 ADLs / 21 falls.
+
+Each task carries the parameters its signal generator needs
+(:mod:`repro.datasets.synthesis.generator`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "TaskSpec",
+    "TASKS",
+    "KFALL_TASK_IDS",
+    "SELF_COLLECTED_TASK_IDS",
+    "RED_ADL_IDS",
+    "GREEN_ADL_IDS",
+    "adl_ids",
+    "fall_ids",
+    "get_task",
+]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One catalogue entry.
+
+    Attributes
+    ----------
+    task_id / description:
+        Table II numbering and text.
+    kind:
+        ``"ADL"`` or ``"FALL"``.
+    generator:
+        Key into the synthesis dispatch table.
+    params:
+        Generator-specific parameters.
+    duration_s:
+        Nominal trial duration (scaled down in quick configurations).
+    in_kfall:
+        Whether the task exists in the KFall dataset.
+    """
+
+    task_id: int
+    description: str
+    kind: str
+    generator: str
+    params: dict = field(default_factory=dict)
+    duration_s: float = 12.0
+    in_kfall: bool = True
+
+    @property
+    def is_fall(self) -> bool:
+        return self.kind == "FALL"
+
+
+def _adl(tid, desc, gen, params=None, duration=12.0, kfall=True):
+    return TaskSpec(tid, desc, "ADL", gen, params or {}, duration, kfall)
+
+
+def _fall(tid, desc, params=None, duration=10.0, kfall=True):
+    return TaskSpec(tid, desc, "FALL", "fall", params or {}, duration, kfall)
+
+
+_TASK_LIST = [
+    _adl(1, "Stand for 30 seconds", "static", {"posture": "stand"}, 30.0),
+    _adl(2, "Stand, slowly bend, tie shoe lace, and get up", "bend",
+         {"variant": "tie_shoe"}, 14.0),
+    _adl(3, "Pick up an object from the floor", "bend", {"variant": "pickup"}, 10.0),
+    _adl(4, "Gently jump (try to reach an object)", "jump", {}, 10.0),
+    _adl(5, "Stand, sit to the ground, wait a moment, and get up with normal speed",
+         "sit_ground", {}, 16.0),
+    _adl(6, "Walk normally with turn", "walk", {"speed": "normal", "turn": True}, 15.0),
+    _adl(7, "Walk quickly with turn", "walk", {"speed": "quick", "turn": True}, 13.0),
+    _adl(8, "Jog normally with turn", "jog", {"speed": "normal"}, 13.0),
+    _adl(9, "Jog quickly with turn", "jog", {"speed": "quick"}, 12.0),
+    _adl(10, "Stumble with obstacle while walking", "walk",
+         {"speed": "normal", "stumble": True}, 13.0),
+    _adl(11, "Sit on a chair for 30 seconds", "static", {"posture": "sit"}, 30.0),
+    _adl(12, "Walk downstairs normally", "stairs",
+         {"direction": "down", "speed": "normal"}, 14.0),
+    _adl(13, "Sit down to a chair normally, and get up from a chair normally",
+         "chair", {"speed": "normal"}, 14.0),
+    _adl(14, "Sit down to a chair quickly, and get up from a chair quickly",
+         "chair", {"speed": "quick"}, 11.0),
+    _adl(15, "Sit a moment, trying to get up, and collapse into a chair",
+         "chair", {"speed": "normal", "collapse": True}, 14.0),
+    _adl(16, "Walk downstairs quickly", "stairs",
+         {"direction": "down", "speed": "quick"}, 12.0),
+    _adl(17, "Lie on the floor for 30 seconds", "static", {"posture": "lie"}, 30.0),
+    _adl(18, "Sit a moment, lie down to the floor normally, and get up normally",
+         "lie_floor", {"speed": "normal"}, 18.0),
+    _adl(19, "Sit a moment, lie down to the floor quickly, and get up quickly",
+         "lie_floor", {"speed": "quick"}, 14.0),
+    _fall(20, "Forward fall when trying to sit down",
+          {"start": "stand_to_sit", "direction": "forward"}),
+    _fall(21, "Backward fall when trying to sit down",
+          {"start": "stand_to_sit", "direction": "backward"}),
+    _fall(22, "Lateral fall when trying to sit down",
+          {"start": "stand_to_sit", "direction": "lateral"}),
+    _fall(23, "Forward fall when trying to get up",
+          {"start": "sit", "direction": "forward"}),
+    _fall(24, "Lateral fall when trying to get up",
+          {"start": "sit", "direction": "lateral"}),
+    _fall(25, "Forward fall while sitting, caused by fainting",
+          {"start": "sit", "direction": "forward", "cause": "faint"}),
+    _fall(26, "Lateral fall while sitting, caused by fainting",
+          {"start": "sit", "direction": "lateral", "cause": "faint"}),
+    _fall(27, "Backward fall while sitting, caused by fainting",
+          {"start": "sit", "direction": "backward", "cause": "faint"}),
+    _fall(28, "Vertical (forward) fall while walking caused by fainting",
+          {"start": "walk", "direction": "vertical", "cause": "faint"}),
+    _fall(29, "Fall while walking, use of hands to dampen fall, caused by fainting",
+          {"start": "walk", "direction": "forward", "cause": "faint",
+           "hands_damp": True}),
+    _fall(30, "Forward fall while walking caused by a trip",
+          {"start": "walk", "direction": "forward", "cause": "trip"}),
+    _fall(31, "Forward fall while jogging caused by a trip",
+          {"start": "jog", "direction": "forward", "cause": "trip"}),
+    _fall(32, "Forward fall while walking caused by a slip",
+          {"start": "walk", "direction": "forward", "cause": "slip"}),
+    _fall(33, "Lateral fall while walking caused by a slip",
+          {"start": "walk", "direction": "lateral", "cause": "slip"}),
+    _fall(34, "Backward fall while walking caused by a slip",
+          {"start": "walk", "direction": "backward", "cause": "slip"}),
+    _adl(35, "Walk upstairs normally", "stairs",
+         {"direction": "up", "speed": "normal"}, 14.0),
+    _adl(36, "Walk upstairs quickly", "stairs",
+         {"direction": "up", "speed": "quick"}, 12.0),
+    _fall(37, "Backward fall while slowly moving back",
+          {"start": "move_back", "direction": "backward", "speed": "slow"},
+          kfall=False),
+    _fall(38, "Backward fall while quickly moving back",
+          {"start": "move_back", "direction": "backward", "speed": "quick"},
+          kfall=False),
+    _fall(39, "Forward fall from height",
+          {"start": "height", "direction": "forward"}, kfall=False),
+    _fall(40, "Backward fall from height",
+          {"start": "height", "direction": "backward"}, kfall=False),
+    _fall(41, "Backward fall while trying to climb up the ladder",
+          {"start": "ladder", "direction": "backward", "phase": "up"}, kfall=False),
+    _fall(42, "Backward fall while trying to climb down the ladder",
+          {"start": "ladder", "direction": "backward", "phase": "down"}, kfall=False),
+    _adl(43, "Climb up and climb down the stairs", "stairs",
+         {"direction": "both", "speed": "normal"}, 20.0, kfall=False),
+    _adl(44, "Walk slowly and jump over the obstacle", "walk",
+         {"speed": "slow", "obstacle_jump": True}, 14.0, kfall=False),
+]
+
+#: task_id -> TaskSpec for the whole catalogue.
+TASKS: dict[int, TaskSpec] = {spec.task_id: spec for spec in _TASK_LIST}
+
+#: Tasks present in the KFall dataset (21 ADLs + 15 falls).
+KFALL_TASK_IDS: tuple[int, ...] = tuple(
+    sorted(tid for tid, spec in TASKS.items() if spec.in_kfall)
+)
+
+#: Tasks in the self-collected dataset (all 44: 23 ADLs + 21 falls).
+SELF_COLLECTED_TASK_IDS: tuple[int, ...] = tuple(sorted(TASKS))
+
+#: ADLs Table IV marks "red": unconventional for the populations that would
+#: wear the airbag (vigorous/dynamic activities).  The paper's figure colours
+#: are not machine-readable, so this follows its description — dynamic,
+#: rarely performed by elderly people or workers in risky spots.
+RED_ADL_IDS: frozenset[int] = frozenset({4, 8, 9, 10, 14, 15, 16, 19, 36, 43, 44})
+
+#: The remaining, everyday ("green") ADLs.
+GREEN_ADL_IDS: frozenset[int] = frozenset(
+    tid for tid, spec in TASKS.items() if spec.kind == "ADL"
+) - RED_ADL_IDS
+
+
+def adl_ids() -> list[int]:
+    """All ADL task ids, ascending."""
+    return sorted(tid for tid, spec in TASKS.items() if spec.kind == "ADL")
+
+
+def fall_ids() -> list[int]:
+    """All fall task ids, ascending."""
+    return sorted(tid for tid, spec in TASKS.items() if spec.kind == "FALL")
+
+
+def get_task(task_id: int) -> TaskSpec:
+    """Look up a task; raises ``KeyError`` with the valid range on miss."""
+    try:
+        return TASKS[task_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown task id {task_id}; catalogue covers 1..{max(TASKS)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""Dataset sanity validation.
+
+When real recordings replace the synthetic corpora (the intended adoption
+path), silent data problems — wrong units, swapped channels, inverted
+gravity, broken annotations — poison everything downstream.
+``validate_dataset`` checks the physical invariants every recording must
+satisfy and returns a structured report instead of failing late inside
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .schema import Dataset, Recording
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_recording",
+           "validate_dataset"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One detected problem."""
+
+    recording: str
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """All issues found plus headline counts."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+    recordings_checked: int = 0
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        return (f"{self.recordings_checked} recordings checked: "
+                f"{len(self.errors)} errors, {len(self.warnings)} warnings")
+
+
+def _check(issues, recording, condition, severity, code, message):
+    if not condition:
+        issues.append(ValidationIssue(recording.event_id, severity, code,
+                                      message))
+
+
+def validate_recording(recording: Recording,
+                       expect_g_units: bool = True) -> list[ValidationIssue]:
+    """Physical sanity checks for one recording.
+
+    With ``expect_g_units`` the acceleration is assumed aligned/converted
+    (median magnitude ≈ 1 g); pass ``False`` for raw foreign-frame data.
+    """
+    issues: list[ValidationIssue] = []
+    n = recording.n_samples
+    _check(issues, recording, n >= 10, "error", "too-short",
+           f"only {n} samples")
+    _check(issues, recording, recording.fs > 0, "error", "bad-rate",
+           f"fs={recording.fs}")
+    for name, arr in (("accel", recording.accel), ("gyro", recording.gyro),
+                      ("euler", recording.euler)):
+        _check(issues, recording, np.isfinite(arr).all(), "error",
+               f"nonfinite-{name}", f"{name} contains NaN/inf")
+        _check(issues, recording, float(np.abs(arr).max()) > 0, "warning",
+               f"flat-{name}", f"{name} is identically zero")
+
+    if expect_g_units and recording.accel_unit == "g":
+        mag = np.linalg.norm(recording.accel, axis=1)
+        median = float(np.median(mag))
+        _check(issues, recording, 0.7 <= median <= 1.3, "error",
+               "gravity-scale",
+               f"median |accel| = {median:.2f} g (wrong units or frame?)")
+        _check(issues, recording, mag.max() < 20.0, "warning",
+               "accel-clip", f"|accel| peaks at {mag.max():.1f} g")
+
+    gyro_peak = float(np.abs(recording.gyro).max())
+    if recording.gyro_unit == "deg/s":
+        _check(issues, recording, gyro_peak < 4000.0, "warning",
+               "gyro-range", f"gyro peaks at {gyro_peak:.0f} deg/s")
+        # rad/s data mislabelled as deg/s is suspiciously quiet.
+        if recording.n_samples > 100 and gyro_peak > 0:
+            _check(issues, recording, gyro_peak > 0.5, "warning",
+                   "gyro-quiet",
+                   f"gyro peak {gyro_peak:.3f} deg/s — rad/s mislabelled?")
+
+    if recording.is_fall:
+        onset, impact = recording.fall_onset, recording.impact
+        _check(issues, recording, impact - onset >= 2, "error",
+               "degenerate-fall",
+               f"falling phase spans {impact - onset} samples")
+        duration_ms = (impact - onset) * 1000.0 / recording.fs
+        _check(issues, recording, 100.0 <= duration_ms <= 2000.0, "warning",
+               "fall-duration",
+               f"falling phase {duration_ms:.0f} ms outside 100-2000 ms")
+        mag = np.linalg.norm(recording.accel, axis=1)
+        if recording.accel_unit == "g" and expect_g_units:
+            window = mag[impact: impact + int(0.3 * recording.fs)]
+            _check(issues, recording,
+                   window.size == 0 or window.max() >= 1.5, "warning",
+                   "weak-impact",
+                   f"no impact transient after the annotated impact "
+                   f"(peak {window.max() if window.size else 0:.2f} g)")
+    return issues
+
+
+def validate_dataset(dataset: Dataset,
+                     expect_g_units: bool | None = None) -> ValidationReport:
+    """Validate every recording; never raises, always reports."""
+    if expect_g_units is None:
+        expect_g_units = dataset.frame == "canonical"
+    report = ValidationReport()
+    for recording in dataset:
+        report.issues.extend(validate_recording(recording, expect_g_units))
+        report.recordings_checked += 1
+    return report

@@ -1,0 +1,27 @@
+"""``repro.edge`` — STM32F722 deployment analysis and C code generation."""
+
+from .codegen import generate_c_source
+from .cortex_m7 import (
+    CortexM7Config,
+    estimate_energy,
+    estimate_fusion_cycles_per_sample,
+    estimate_latency,
+    estimate_op_cycles,
+)
+from .deploy import STM32F722, deployment_report
+from .memory import TensorLife, flash_footprint, plan_arena, ram_footprint
+
+__all__ = [
+    "CortexM7Config",
+    "estimate_op_cycles",
+    "estimate_latency",
+    "estimate_fusion_cycles_per_sample",
+    "estimate_energy",
+    "TensorLife",
+    "plan_arena",
+    "flash_footprint",
+    "ram_footprint",
+    "STM32F722",
+    "deployment_report",
+    "generate_c_source",
+]

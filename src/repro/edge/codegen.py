@@ -1,0 +1,290 @@
+"""C code generation for the quantized CNN.
+
+Emits a single self-contained C99 translation unit implementing the int8
+inference pipeline — weights as ``static const int8_t`` arrays, int32
+biases, Q31 requantization multipliers, and straight-line layer loops —
+the way an embedded engineer would hand-port the model to the STM32F722.
+
+The generated arithmetic mirrors :mod:`repro.quant.qmodel` bit for bit
+(same rounding, same saturation), which the test-suite verifies by
+compiling the output with the host compiler and comparing probabilities
+against the Python integer executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..quant.qmodel import QuantizedModel, _QConcatenate, _QConv1D, _QDense
+
+__all__ = ["generate_c_source"]
+
+
+def _fmt_array(name: str, ctype: str, values: np.ndarray, per_line=12) -> str:
+    flat = np.asarray(values).reshape(-1)
+    body_lines = []
+    for i in range(0, flat.size, per_line):
+        chunk = ", ".join(str(int(v)) for v in flat[i : i + per_line])
+        body_lines.append("    " + chunk + ("," if i + per_line < flat.size else ""))
+    body = "\n".join(body_lines)
+    return f"static const {ctype} {name}[{flat.size}] = {{\n{body}\n}};"
+
+
+_PREAMBLE = """\
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+/* TFLite-style saturating requantization: acc * m0 * 2^-31 >> shift. */
+static inline int8_t requant(int64_t acc, int32_t m0, int32_t shift,
+                             int32_t zp) {
+    if (shift < 0) acc <<= -shift; /* left shift at full precision first */
+    int64_t prod = acc * (int64_t)m0;
+    int64_t high = (prod + (1LL << 30)) >> 31;
+    if (shift > 0) {
+        int64_t point = 1LL << (shift - 1);
+        high = (high + point + (high < 0 ? -1 : 0)) >> shift;
+    }
+    int64_t out = high + zp;
+    if (out < -128) out = -128;
+    if (out > 127) out = 127;
+    return (int8_t)out;
+}
+
+static inline int8_t quantize_input(float x, float scale, int32_t zp) {
+    float q = x / scale;
+    /* round half to even, like numpy rint */
+    float r = nearbyintf(q);
+    int32_t v = (int32_t)r + zp;
+    if (v < -128) v = -128;
+    if (v > 127) v = 127;
+    return (int8_t)v;
+}
+"""
+
+
+def _buffer_name(uid: int) -> str:
+    return f"t{uid}"
+
+
+def _emit_conv1d(op: _QConv1D, shapes, lines):
+    t_in, c_in = shapes[op.input_uids[0]]
+    t_out, c_out = shapes[op.output_uid]
+    k = op.kernel_size
+    src = _buffer_name(op.input_uids[0])
+    dst = _buffer_name(op.output_uid)
+    p = op.name
+    relu = op.activation == "relu"
+    lines.append(f"    /* conv1d {op.name}: ({t_in}x{c_in}) -> ({t_out}x{c_out}) */")
+    lines.append(f"    for (int t = 0; t < {t_out}; ++t) {{")
+    lines.append(f"        for (int co = 0; co < {c_out}; ++co) {{")
+    lines.append(f"            int64_t acc = b_{p}[co];")
+    lines.append(f"            for (int kk = 0; kk < {k}; ++kk)")
+    lines.append(f"                for (int ci = 0; ci < {c_in}; ++ci)")
+    lines.append(
+        f"                    acc += (int64_t)((int32_t){src}[(t + kk) * {c_in}"
+        f" + ci] - ({op.in_params.zero_point})) *"
+        f" w_{p}[(kk * {c_in} + ci) * {c_out} + co];"
+    )
+    lines.append(
+        f"            int8_t v = requant(acc, m0_{p}[co], sh_{p}[co],"
+        f" {op.out_params.zero_point});"
+    )
+    if relu:
+        lines.append(
+            f"            if (v < {op.out_params.zero_point}) v = "
+            f"{op.out_params.zero_point};"
+        )
+    lines.append(f"            {dst}[t * {c_out} + co] = v;")
+    lines.append("        }")
+    lines.append("    }")
+
+
+def _emit_dense(op: _QDense, shapes, lines):
+    (n_in,) = shapes[op.input_uids[0]]
+    (n_out,) = shapes[op.output_uid]
+    src = _buffer_name(op.input_uids[0])
+    dst = _buffer_name(op.output_uid)
+    p = op.name
+    lines.append(f"    /* dense {op.name}: {n_in} -> {n_out} */")
+    lines.append(f"    for (int o = 0; o < {n_out}; ++o) {{")
+    lines.append(f"        int64_t acc = b_{p}[o];")
+    lines.append(f"        for (int i = 0; i < {n_in}; ++i)")
+    lines.append(
+        f"            acc += (int64_t)((int32_t){src}[i] - "
+        f"({op.in_params.zero_point})) * w_{p}[i * {n_out} + o];"
+    )
+    lines.append(
+        f"        int8_t v = requant(acc, m0_{p}[o], sh_{p}[o], "
+        f"{op.out_params.zero_point});"
+    )
+    if op.activation == "relu":
+        lines.append(
+            f"        if (v < {op.out_params.zero_point}) v = "
+            f"{op.out_params.zero_point};"
+        )
+    lines.append(f"        {dst}[o] = v;")
+    lines.append("    }")
+
+
+def _emit_maxpool(op, shapes, lines):
+    t_in, c = shapes[op.input_uids[0]]
+    t_out, _ = shapes[op.output_uid]
+    src = _buffer_name(op.input_uids[0])
+    dst = _buffer_name(op.output_uid)
+    lines.append(f"    /* maxpool {op.name}: pool={op.pool} stride={op.strides} */")
+    lines.append(f"    for (int t = 0; t < {t_out}; ++t) {{")
+    lines.append(f"        for (int c = 0; c < {c}; ++c) {{")
+    lines.append(f"            int8_t best = {src}[(t * {op.strides}) * {c} + c];")
+    lines.append(f"            for (int k = 1; k < {op.pool}; ++k) {{")
+    lines.append(
+        f"                int8_t v = {src}[(t * {op.strides} + k) * {c} + c];"
+    )
+    lines.append("                if (v > best) best = v;")
+    lines.append("            }")
+    lines.append(f"            {dst}[t * {c} + c] = best;")
+    lines.append("        }")
+    lines.append("    }")
+
+
+def _emit_slice(op, shapes, lines, layer_info):
+    t, c_in = shapes[op.input_uids[0]]
+    _, c_out = shapes[op.output_uid]
+    start = layer_info["start"]
+    src = _buffer_name(op.input_uids[0])
+    dst = _buffer_name(op.output_uid)
+    lines.append(f"    /* slice {op.name}: cols [{start}, {start + c_out}) */")
+    lines.append(f"    for (int t = 0; t < {t}; ++t)")
+    lines.append(f"        for (int c = 0; c < {c_out}; ++c)")
+    lines.append(
+        f"            {dst}[t * {c_out} + c] = {src}[t * {c_in} + c + {start}];"
+    )
+
+
+def _emit_flatten(op, shapes, lines):
+    size = int(np.prod(shapes[op.output_uid]))
+    src = _buffer_name(op.input_uids[0])
+    dst = _buffer_name(op.output_uid)
+    lines.append(f"    memcpy({dst}, {src}, {size}); /* flatten {op.name} */")
+
+
+def _emit_concat(op: _QConcatenate, shapes, lines):
+    dst = _buffer_name(op.output_uid)
+    lines.append(f"    /* concat {op.name} (with per-input rescale) */")
+    offset = 0
+    for uid, params, mult in zip(op.input_uids, op.in_params, op.mults):
+        size = int(np.prod(shapes[uid]))
+        src = _buffer_name(uid)
+        lines.append(f"    for (int i = 0; i < {size}; ++i)")
+        lines.append(
+            f"        {dst}[{offset} + i] = requant((int64_t)((int32_t)"
+            f"{src}[i] - ({params.zero_point})), {mult.m0}, "
+            f"{mult.right_shift}, {op.out_params.zero_point});"
+        )
+        offset += size
+
+
+def generate_c_source(
+    qmodel: QuantizedModel,
+    name: str = "fall_cnn",
+    include_main: bool = False,
+    test_input: np.ndarray | None = None,
+) -> str:
+    """Emit the complete C file.
+
+    With ``include_main`` a ``main()`` is appended that runs baked-in test
+    input(s) and prints each output probability with 6 decimals — used by
+    the cross-validation test against the Python executor.
+    """
+    shapes = qmodel.node_shapes
+    parts = [
+        f"/* Auto-generated int8 inference code: {name}.",
+        " * Input: float[{}] (row-major window x channels).".format(
+            int(np.prod(qmodel.input_shape))
+        ),
+        " * Output: probability of a pre-impact fall. */",
+        _PREAMBLE,
+    ]
+    # Weight/bias/multiplier tables.
+    for op in qmodel.ops:
+        if isinstance(op, (_QConv1D, _QDense)):
+            parts.append(_fmt_array(f"w_{op.name}", "int8_t", op.q_weights))
+            parts.append(_fmt_array(f"b_{op.name}", "int32_t", op.q_bias))
+            parts.append(
+                _fmt_array(f"m0_{op.name}", "int32_t",
+                           np.array([m.m0 for m in op.mults]))
+            )
+            parts.append(
+                _fmt_array(f"sh_{op.name}", "int32_t",
+                           np.array([m.right_shift for m in op.mults]))
+            )
+    # Activation buffers (one per tensor; an arena would overlay them).
+    for uid, shape in shapes.items():
+        parts.append(f"static int8_t {_buffer_name(uid)}[{int(np.prod(shape))}];")
+
+    in_size = int(np.prod(qmodel.input_shape))
+    lines = [
+        f"float {name}_invoke(const float *input) {{",
+        f"    for (int i = 0; i < {in_size}; ++i)",
+        f"        {_buffer_name(qmodel.input_uid)}[i] = quantize_input("
+        f"input[i], {qmodel.input_params.scale:.10e}f, "
+        f"{qmodel.input_params.zero_point});",
+    ]
+    for op in qmodel.ops:
+        if isinstance(op, _QConv1D):
+            _emit_conv1d(op, shapes, lines)
+        elif isinstance(op, _QDense):
+            _emit_dense(op, shapes, lines)
+        elif op.kind == "maxpool1d":
+            _emit_maxpool(op, shapes, lines)
+        elif op.kind == "slice":
+            _emit_slice(op, shapes, lines, {"start": op.slice_start})
+        elif op.kind in ("flatten", "reshape", "dropout"):
+            _emit_flatten(op, shapes, lines)
+        elif op.kind == "concatenate":
+            _emit_concat(op, shapes, lines)
+        else:
+            raise ValueError(f"no C emitter for op kind {op.kind!r}")
+    out_op = qmodel._output_op
+    out_buf = _buffer_name(qmodel.output_uid)
+    if out_op is not None:
+        scale = out_op.out_params.scale
+        zp = out_op.out_params.zero_point
+        lines.append(
+            f"    float logit = ((int32_t){out_buf}[0] - ({zp})) * "
+            f"{scale:.10e}f;"
+        )
+        lines.append("    return 1.0f / (1.0f + expf(-logit));")
+    else:
+        final = qmodel.ops[-1].out_params
+        lines.append(
+            f"    return ((int32_t){out_buf}[0] - ({final.zero_point})) * "
+            f"{final.scale:.10e}f;"
+        )
+    lines.append("}")
+    parts.append("\n".join(lines))
+
+    if include_main:
+        if test_input is None:
+            raise ValueError("include_main requires test_input")
+        test_input = np.asarray(test_input, dtype=np.float64)
+        if test_input.ndim == len(qmodel.input_shape):
+            test_input = test_input[None]
+        flat = test_input.reshape(len(test_input), -1)
+        parts.append("#include <stdio.h>")
+        rows = []
+        for row in flat:
+            rows.append("{" + ", ".join(f"{v:.9e}f" for v in row) + "}")
+        parts.append(
+            f"static const float test_inputs[{len(flat)}][{flat.shape[1]}] = {{\n"
+            + ",\n".join("    " + r for r in rows)
+            + "\n};"
+        )
+        parts.append(
+            "int main(void) {\n"
+            f"    for (int i = 0; i < {len(flat)}; ++i)\n"
+            f'        printf("%.6f\\n", {name}_invoke(test_inputs[i]));\n'
+            "    return 0;\n"
+            "}"
+        )
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,150 @@
+"""Analytical Cortex-M7 (STM32F722) execution-cost model.
+
+The paper deploys on an STM32F722RET6: ARM Cortex-M7 at 216 MHz, 256 KiB
+flash and RAM, with FPU.  We model int8 inference cost per lowered op:
+
+* MAC throughput — the M7's SMLAD issues 2 multiply-accumulates per cycle,
+  but realistic CMSIS-NN/X-CUBE-AI kernels sustain well under that on
+  small layers because of loads, address arithmetic and edge handling.
+  The default ``int8_macs_per_cycle = 0.55`` reflects published CMSIS-NN
+  numbers for layer sizes in this regime.
+* per-element costs — requantization (Q31 multiply + shifts), pooling
+  comparisons, copies.
+* per-layer fixed overhead — kernel dispatch, im2col setup.
+
+Absolute numbers from an analytical model will not match a stopwatch on
+the authors' board; the comparison target is the *order* (milliseconds,
+comfortably inside a 10 ms sample period) and the scaling across window
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CortexM7Config", "estimate_op_cycles", "estimate_latency",
+           "estimate_fusion_cycles_per_sample", "estimate_energy"]
+
+
+@dataclass(frozen=True)
+class CortexM7Config:
+    """Tunable cost-model constants."""
+
+    clock_hz: float = 216e6
+    int8_macs_per_cycle: float = 0.55
+    requant_cycles_per_elem: float = 6.0
+    pool_cycles_per_elem: float = 3.0
+    copy_cycles_per_byte: float = 0.75
+    layer_overhead_cycles: float = 1500.0
+    #: software sigmoid (LUT + interpolation) per element.
+    sigmoid_cycles: float = 60.0
+    #: float32 ops per cycle with the single-precision FPU.
+    fpu_flops_per_cycle: float = 0.8
+    #: Active-run current draw.  STM32F722 datasheet: ~100 mA typical at
+    #: 216 MHz executing from flash with ART cache, i.e. ~0.46 mA/MHz;
+    #: 0.5 keeps a little margin.
+    active_ma_per_mhz: float = 0.5
+    #: Sleep/idle current between inferences (Stop mode with RTC), mA.
+    sleep_ma: float = 0.05
+    #: Supply voltage, V.
+    supply_v: float = 3.3
+
+    @property
+    def cycle_time_s(self) -> float:
+        return 1.0 / self.clock_hz
+
+
+def _elems(shape) -> int:
+    return int(np.prod(shape))
+
+
+def estimate_op_cycles(op, node_shapes, config: CortexM7Config) -> float:
+    """Cycle estimate for one lowered :class:`repro.quant.QOp`."""
+    out_elems = _elems(node_shapes[op.output_uid])
+    cycles = config.layer_overhead_cycles
+    if op.kind in ("conv1d", "dense"):
+        cycles += op.macs_per_inference / config.int8_macs_per_cycle
+        cycles += out_elems * config.requant_cycles_per_elem
+        if getattr(op, "activation", None) == "sigmoid":
+            cycles += out_elems * config.sigmoid_cycles
+    elif op.kind == "maxpool1d":
+        in_elems = _elems(node_shapes[op.input_uids[0]])
+        cycles += in_elems * config.pool_cycles_per_elem
+    elif op.kind == "concatenate":
+        cycles += out_elems * (config.requant_cycles_per_elem
+                               + config.copy_cycles_per_byte)
+    else:  # passthrough reindex/copy
+        cycles += out_elems * config.copy_cycles_per_byte
+    return cycles
+
+
+def estimate_latency(qmodel, config: CortexM7Config | None = None) -> dict:
+    """Per-inference latency breakdown for a quantized model.
+
+    Returns ``{"total_ms", "total_cycles", "per_op": [(name, kind, ms)]}``.
+    """
+    config = config or CortexM7Config()
+    per_op = []
+    total_cycles = 0.0
+    for op in qmodel.ops:
+        cycles = estimate_op_cycles(op, qmodel.node_shapes, config)
+        total_cycles += cycles
+        per_op.append((op.name, op.kind, cycles * config.cycle_time_s * 1e3))
+    return {
+        "total_cycles": total_cycles,
+        "total_ms": total_cycles * config.cycle_time_s * 1e3,
+        "per_op": per_op,
+        "clock_mhz": config.clock_hz / 1e6,
+    }
+
+
+def estimate_energy(
+    qmodel,
+    fs: float = 100.0,
+    hop_samples: int | None = None,
+    config: CortexM7Config | None = None,
+) -> dict:
+    """Average power / per-inference energy of the always-on detector.
+
+    The MCU runs one inference plus per-sample DSP every hop, sleeping the
+    rest of the time.  Returns µJ per inference and the duty-cycled mean
+    current — the number that sizes the jacket's battery.
+    """
+    config = config or CortexM7Config()
+    window = int(qmodel.input_shape[0])
+    hop = hop_samples if hop_samples is not None else max(window // 2, 1)
+    active_ma = config.active_ma_per_mhz * config.clock_hz / 1e6
+    inference_s = estimate_latency(qmodel, config)["total_cycles"] / config.clock_hz
+    fusion_s = (estimate_fusion_cycles_per_sample(config) * hop
+                / config.clock_hz)
+    hop_s = hop / fs
+    active_s = min(inference_s + fusion_s, hop_s)
+    duty = active_s / hop_s
+    mean_ma = duty * active_ma + (1.0 - duty) * config.sleep_ma
+    energy_uj = active_s * active_ma * 1e-3 * config.supply_v * 1e6
+    return {
+        "inference_energy_uj": energy_uj,
+        "duty_cycle": duty,
+        "mean_current_ma": mean_ma,
+        "mean_power_mw": mean_ma * config.supply_v,
+        "active_current_ma": active_ma,
+    }
+
+
+def estimate_fusion_cycles_per_sample(
+    config: CortexM7Config | None = None, channels: int = 9,
+    filter_sections: int = 2,
+) -> float:
+    """Cycles of the pre-model DSP per incoming sample.
+
+    Complementary filter (2 atan2, 1 sqrt, ~20 mul/add) plus the
+    Butterworth cascade (per section, per channel: 5 MACs).  Software
+    atan2/sqrt on the FPU ≈ 50–80 cycles each.
+    """
+    config = config or CortexM7Config()
+    trig_cycles = 2 * 70.0 + 60.0  # atan2 x2, sqrt
+    fuse_flops = 25.0
+    filter_flops = filter_sections * channels * 9.0
+    return trig_cycles + (fuse_flops + filter_flops) / config.fpu_flops_per_cycle

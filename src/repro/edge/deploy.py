@@ -1,0 +1,72 @@
+"""Deployment report: does the model fit and run on the STM32F722?
+
+Combines the flash/RAM footprints and the Cortex-M7 latency model into the
+Section IV-C readout, including hard feasibility checks against the
+paper's board (256 KiB flash, 256 KiB RAM, 10 ms sample period at 100 Hz).
+"""
+
+from __future__ import annotations
+
+from .cortex_m7 import (
+    CortexM7Config,
+    estimate_energy,
+    estimate_fusion_cycles_per_sample,
+    estimate_latency,
+)
+from .memory import flash_footprint, ram_footprint
+
+__all__ = ["STM32F722", "deployment_report"]
+
+#: The paper's target device.
+STM32F722 = {
+    "name": "STM32F722RET6",
+    "flash_bytes": 256 * 1024,
+    "ram_bytes": 256 * 1024,
+    "clock_hz": 216e6,
+}
+
+
+def deployment_report(
+    qmodel,
+    fs: float = 100.0,
+    hop_samples: int | None = None,
+    config: CortexM7Config | None = None,
+    device: dict | None = None,
+) -> dict:
+    """Full deployability analysis of a quantized model.
+
+    ``hop_samples`` is how many new samples arrive between inferences
+    (window * (1 - overlap)); the real-time constraint is that one
+    inference plus the per-sample DSP of a hop fits inside the hop.
+    """
+    config = config or CortexM7Config()
+    device = device or STM32F722
+    flash = flash_footprint(qmodel)
+    ram = ram_footprint(qmodel)
+    latency = estimate_latency(qmodel, config)
+    window = int(qmodel.input_shape[0])
+    hop = hop_samples if hop_samples is not None else max(window // 2, 1)
+    fusion_cycles = estimate_fusion_cycles_per_sample(config)
+    fusion_ms_per_hop = fusion_cycles * hop / config.clock_hz * 1e3
+    hop_budget_ms = hop / fs * 1e3
+    total_per_hop_ms = latency["total_ms"] + fusion_ms_per_hop
+    energy = estimate_energy(qmodel, fs=fs, hop_samples=hop, config=config)
+    return {
+        "energy": energy,
+        "device": device["name"],
+        "flash_kib": flash["total_kib"],
+        "flash_breakdown": flash,
+        "ram_kib": ram["total_kib"],
+        "ram_breakdown": ram,
+        "latency_ms": latency["total_ms"],
+        "latency_breakdown": latency,
+        "fusion_ms": fusion_ms_per_hop,
+        "hop_samples": hop,
+        "hop_budget_ms": hop_budget_ms,
+        "real_time_margin": hop_budget_ms / total_per_hop_ms
+        if total_per_hop_ms > 0
+        else float("inf"),
+        "fits_flash": flash["total_bytes"] <= device["flash_bytes"],
+        "fits_ram": ram["total_bytes"] <= device["ram_bytes"],
+        "meets_deadline": total_per_hop_ms <= hop_budget_ms,
+    }

@@ -1,0 +1,143 @@
+"""Flash and RAM footprint estimation.
+
+Flash: int8 weights + int32 biases + per-op quantization metadata + a
+fixed graph/runtime header — the "model size" figure (paper: 67.03 KiB).
+
+RAM: a *planned activation arena*.  Tensors are int8; each lives from the
+op that produces it to its last consumer.  A greedy best-offset planner
+packs them so lifetimes that do not overlap share memory — the same idea
+TFLite-Micro's memory planner uses — plus the persistent streaming buffers
+(window ring buffer, filter/fusion state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TensorLife", "plan_arena", "flash_footprint", "ram_footprint"]
+
+
+@dataclass(frozen=True)
+class TensorLife:
+    """One tensor's size and [start, end] op-index lifetime (inclusive)."""
+
+    uid: int
+    size_bytes: int
+    start: int
+    end: int
+
+    def overlaps(self, other: "TensorLife") -> bool:
+        return not (self.end < other.start or other.end < self.start)
+
+
+def _tensor_lifetimes(qmodel) -> list[TensorLife]:
+    produced_at = {qmodel.input_uid: 0}
+    last_used = {qmodel.input_uid: 0}
+    for i, op in enumerate(qmodel.ops, start=1):
+        produced_at[op.output_uid] = i
+        last_used.setdefault(op.output_uid, i)
+        for uid in op.input_uids:
+            last_used[uid] = max(last_used.get(uid, 0), i)
+    # The network output must survive past the last op.
+    last_used[qmodel.output_uid] = len(qmodel.ops) + 1
+    lives = []
+    for uid, start in produced_at.items():
+        size = int(np.prod(qmodel.node_shapes[uid]))  # int8 -> 1 B/elem
+        lives.append(TensorLife(uid, size, start, last_used[uid]))
+    return lives
+
+
+def plan_arena(qmodel) -> dict:
+    """Greedy offset assignment; returns the packed arena layout.
+
+    Tensors are placed largest-first at the lowest offset where they do not
+    collide with an already-placed, lifetime-overlapping tensor.  Never
+    worse than the sum of all tensor sizes, and in practice close to the
+    max over time of live bytes (also reported as ``lower_bound``).
+    """
+    lives = sorted(_tensor_lifetimes(qmodel),
+                   key=lambda t: (-t.size_bytes, t.uid))
+    placed: list[tuple[TensorLife, int]] = []
+    peak = 0
+    offsets = {}
+    for tensor in lives:
+        conflicts = sorted(
+            (off, off + other.size_bytes)
+            for other, off in placed
+            if tensor.overlaps(other)
+        )
+        offset = 0
+        for lo, hi in conflicts:
+            if offset + tensor.size_bytes <= lo:
+                break
+            offset = max(offset, hi)
+        placed.append((tensor, offset))
+        offsets[tensor.uid] = offset
+        peak = max(peak, offset + tensor.size_bytes)
+    # Lower bound: max over op steps of simultaneously-live bytes.
+    steps = max((t.end for t in lives), default=0) + 1
+    live_bytes = np.zeros(steps, dtype=np.int64)
+    for t in lives:
+        live_bytes[t.start : t.end + 1] += t.size_bytes
+    return {
+        "arena_bytes": peak,
+        "lower_bound_bytes": int(live_bytes.max()) if steps else 0,
+        "naive_bytes": int(sum(t.size_bytes for t in lives)),
+        "offsets": offsets,
+    }
+
+
+#: Fixed flash cost per lowered op: descriptor, shapes, qparams.
+_OP_METADATA_BYTES = 48
+#: Per output channel: Q31 multiplier (4 B) + shift (1 B, padded to 4).
+_PER_CHANNEL_META_BYTES = 8
+#: Graph header + runtime glue baked into flash.
+_RUNTIME_HEADER_BYTES = 2048
+
+
+def flash_footprint(qmodel) -> dict:
+    """Model flash usage breakdown in bytes (and KiB)."""
+    weight_bytes = qmodel.weight_bytes
+    bias_bytes = qmodel.bias_bytes
+    meta = _RUNTIME_HEADER_BYTES
+    for op in qmodel.ops:
+        meta += _OP_METADATA_BYTES
+        if op.q_bias is not None and op.kind in ("conv1d", "dense"):
+            meta += len(op.q_bias) * _PER_CHANNEL_META_BYTES
+    total = weight_bytes + bias_bytes + meta
+    return {
+        "weight_bytes": weight_bytes,
+        "bias_bytes": bias_bytes,
+        "metadata_bytes": meta,
+        "total_bytes": total,
+        "total_kib": total / 1024.0,
+    }
+
+
+#: Persistent (non-arena) RAM: streaming state kept between samples.
+def _persistent_bytes(qmodel, fs_window_samples: int = 40,
+                      channels: int = 9) -> int:
+    ring_buffer = fs_window_samples * channels * 4   # float32 window
+    filter_state = 2 * 2 * channels * 4              # 2 SOS sections
+    fusion_state = 8 * 4                             # angles + consts
+    scratch = 256                                    # stack/misc
+    return ring_buffer + filter_state + fusion_state + scratch
+
+
+def ram_footprint(qmodel, window_samples: int | None = None) -> dict:
+    """Total RAM: planned activation arena + persistent streaming state."""
+    window = window_samples or int(qmodel.input_shape[0])
+    arena = plan_arena(qmodel)
+    persistent = _persistent_bytes(qmodel, window,
+                                   int(qmodel.input_shape[-1]))
+    total = arena["arena_bytes"] + persistent
+    return {
+        "arena_bytes": arena["arena_bytes"],
+        "arena_lower_bound_bytes": arena["lower_bound_bytes"],
+        "arena_naive_bytes": arena["naive_bytes"],
+        "persistent_bytes": persistent,
+        "total_bytes": total,
+        "total_kib": total / 1024.0,
+    }

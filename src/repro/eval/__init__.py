@@ -1,0 +1,36 @@
+"""``repro.eval`` — metrics and paper-style report tables."""
+
+from .curves import auc, pr_curve, roc_curve, threshold_for_fp_budget
+from .metrics import binary_report, confusion, segment_metrics
+from .reports import (
+    PAPER_EDGE,
+    PAPER_TABLE3,
+    PAPER_TABLE4_ADL_FP,
+    PAPER_TABLE4_FALL_MISS,
+    PAPER_TABLE4_SUMMARY,
+    aggregate_fold_metrics,
+    format_table,
+    render_edge_report,
+    render_table3,
+    render_table4,
+)
+
+__all__ = [
+    "confusion",
+    "binary_report",
+    "segment_metrics",
+    "roc_curve",
+    "pr_curve",
+    "auc",
+    "threshold_for_fp_budget",
+    "format_table",
+    "render_table3",
+    "render_table4",
+    "render_edge_report",
+    "aggregate_fold_metrics",
+    "PAPER_TABLE3",
+    "PAPER_TABLE4_FALL_MISS",
+    "PAPER_TABLE4_ADL_FP",
+    "PAPER_TABLE4_SUMMARY",
+    "PAPER_EDGE",
+]

@@ -1,0 +1,167 @@
+"""Plain-text report tables mirroring the paper's tables.
+
+Renderers take measured results (plus the paper's published numbers where
+available) and produce aligned ASCII tables, used by the benchmark
+harness and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.tasks import TASKS
+
+__all__ = [
+    "format_table",
+    "render_table3",
+    "render_table4",
+    "render_edge_report",
+    "aggregate_fold_metrics",
+]
+
+
+def format_table(headers, rows, title=None) -> str:
+    """Render a list-of-rows table with aligned columns."""
+    rendered = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(rendered[0], widths)))
+    lines.append(sep)
+    for row in rendered[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def aggregate_fold_metrics(fold_results) -> dict:
+    """Average accuracy/precision/recall/F1 over CV folds (as percentages)."""
+    keys = ("accuracy", "precision", "recall", "f1")
+    return {
+        k: 100.0 * float(np.mean([fr.metrics[k] for fr in fold_results]))
+        for k in keys
+    }
+
+
+#: Paper Table III values: {window_ms: {model: (acc, prec, rec, f1)}} (%).
+PAPER_TABLE3 = {
+    200: {
+        "MLP": (96.76, 51.24, 50.00, 49.18),
+        "LSTM": (97.28, 80.92, 68.62, 72.98),
+        "ConvLSTM2D": (97.12, 81.24, 61.61, 66.37),
+        "CNN (Proposed)": (97.93, 85.61, 78.85, 81.75),
+    },
+    300: {
+        "MLP": (96.62, 53.02, 55.39, 54.13),
+        "LSTM": (97.43, 82.51, 72.08, 75.93),
+        "ConvLSTM2D": (97.21, 83.67, 63.55, 68.53),
+        "CNN (Proposed)": (98.01, 86.38, 80.03, 82.85),
+    },
+    400: {
+        "MLP": (96.45, 60.23, 54.63, 54.25),
+        "LSTM": (97.60, 85.97, 75.74, 79.81),
+        "ConvLSTM2D": (97.10, 85.57, 65.36, 70.75),
+        "CNN (Proposed)": (98.28, 90.40, 83.95, 86.69),
+    },
+}
+
+#: Paper Table IVa (falls missed, %) and IVb (ADL false positives, %).
+PAPER_TABLE4_FALL_MISS = {
+    39: 16.00, 40: 12.00, 21: 9.47, 22: 8.42, 41: 8.00, 33: 6.95, 27: 5.35,
+    29: 4.42, 37: 4.00, 42: 4.00, 30: 3.85, 31: 3.37, 32: 3.17, 28: 2.73,
+    34: 2.72, 26: 2.19, 23: 2.17, 24: 1.61, 25: 1.60, 20: 1.60, 38: 0.00,
+}
+PAPER_TABLE4_ADL_FP = {
+    44: 20.00, 15: 11.29, 19: 6.74, 4: 6.35, 5: 2.16, 10: 2.13, 14: 1.63,
+    8: 1.62, 18: 1.10, 9: 0.56, 16: 0.56, 3: 0.54, 1: 0.00, 2: 0.00, 6: 0.00,
+    7: 0.00, 11: 0.00, 12: 0.00, 13: 0.00, 17: 0.00, 35: 0.00, 36: 0.00,
+    43: 0.00,
+}
+PAPER_TABLE4_SUMMARY = {"fall_miss": 4.17, "adl_fp": 2.04,
+                        "red_fp": 3.34, "green_fp": 0.46}
+
+
+def render_table3(measured: dict, title="Table III") -> str:
+    """``measured``: {window_ms: {model: metrics-%-dict}} -> ASCII table."""
+    headers = ["Model", "WS (ms)",
+               "Acc (meas/paper)", "Prec (meas/paper)",
+               "Rec (meas/paper)", "F1 (meas/paper)"]
+    rows = []
+    for window in sorted(measured):
+        for model, metrics in measured[window].items():
+            paper = PAPER_TABLE3.get(window, {}).get(model)
+            cells = []
+            for i, key in enumerate(("accuracy", "precision", "recall", "f1")):
+                got = f"{metrics[key]:6.2f}"
+                ref = f"{paper[i]:6.2f}" if paper else "   n/a"
+                cells.append(f"{got} / {ref}")
+            rows.append([model, window, *cells])
+    return format_table(headers, rows, title=title)
+
+
+def render_table4(event_report, title="Table IV") -> str:
+    """Event-level per-task table with the paper's numbers alongside."""
+    rows = []
+    miss = event_report.per_task_miss()
+    for tid in sorted(miss, key=lambda t: -miss[t]):
+        paper = PAPER_TABLE4_FALL_MISS.get(tid)
+        rows.append(
+            [f"T{tid:02d}", "fall missed", f"{miss[tid]:6.2f}",
+             f"{paper:6.2f}" if paper is not None else "   n/a",
+             TASKS[tid].description[:48]]
+        )
+    fp = event_report.per_task_false_positive()
+    for tid in sorted(fp, key=lambda t: -fp[t]):
+        paper = PAPER_TABLE4_ADL_FP.get(tid)
+        rows.append(
+            [f"T{tid:02d}", "ADL false pos", f"{fp[tid]:6.2f}",
+             f"{paper:6.2f}" if paper is not None else "   n/a",
+             TASKS[tid].description[:48]]
+        )
+    rg = event_report.red_green_false_positive()
+    rows.append(["all", "falls missed", f"{event_report.fall_miss_rate:6.2f}",
+                 f"{PAPER_TABLE4_SUMMARY['fall_miss']:6.2f}", "average"])
+    rows.append(["all", "ADL false pos",
+                 f"{event_report.adl_false_positive_rate:6.2f}",
+                 f"{PAPER_TABLE4_SUMMARY['adl_fp']:6.2f}", "average"])
+    rows.append(["red", "ADL false pos", f"{rg['red']:6.2f}",
+                 f"{PAPER_TABLE4_SUMMARY['red_fp']:6.2f}",
+                 "unconventional ADLs"])
+    rows.append(["green", "ADL false pos", f"{rg['green']:6.2f}",
+                 f"{PAPER_TABLE4_SUMMARY['green_fp']:6.2f}", "everyday ADLs"])
+    return format_table(
+        ["Task", "Kind", "Measured %", "Paper %", "Description"], rows,
+        title=title,
+    )
+
+
+#: Paper Section IV-C deployment figures.
+PAPER_EDGE = {"flash_kib": 67.03, "ram_kib": 16.87, "latency_ms": 4.0,
+              "fusion_ms": 3.0}
+
+
+def render_edge_report(report: dict, title="On-edge deployment") -> str:
+    """Footprint/latency table with the paper's measurements alongside."""
+    rows = [
+        ["model flash", f"{report['flash_kib']:.2f} KiB",
+         f"{PAPER_EDGE['flash_kib']:.2f} KiB"],
+        ["activation RAM", f"{report['ram_kib']:.2f} KiB",
+         f"{PAPER_EDGE['ram_kib']:.2f} KiB"],
+        ["inference latency", f"{report['latency_ms']:.2f} ms",
+         f"{PAPER_EDGE['latency_ms']:.1f} ms"],
+        ["sensor fusion", f"{report.get('fusion_ms', 0.0):.2f} ms",
+         f"{PAPER_EDGE['fusion_ms']:.1f} ms"],
+    ]
+    energy = report.get("energy")
+    if energy:
+        rows.append(["energy / inference",
+                     f"{energy['inference_energy_uj']:.0f} uJ",
+                     "not reported"])
+        rows.append(["mean detector power",
+                     f"{energy['mean_power_mw']:.2f} mW",
+                     "not reported"])
+    return format_table(["Quantity", "Measured (model)", "Paper (STM32F722)"],
+                        rows, title=title)

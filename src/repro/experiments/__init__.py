@@ -1,0 +1,37 @@
+"""``repro.experiments`` — config-driven runners for every table & figure."""
+
+from .configs import BENCH, PAPER, QUICK, ExperimentScale, get_scale
+from .edge_runner import run_edge_experiment
+from .figures import fall_anatomy, run_figure1, run_figure2_pipeline
+from .runners import (
+    build_experiment_dataset,
+    run_ablations,
+    run_cross_dataset,
+    run_model_on_window,
+    run_table1_thresholds,
+    run_table3,
+    run_table4,
+    run_window_sweep,
+    training_config,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "BENCH",
+    "PAPER",
+    "get_scale",
+    "build_experiment_dataset",
+    "training_config",
+    "run_model_on_window",
+    "run_table3",
+    "run_table4",
+    "run_window_sweep",
+    "run_table1_thresholds",
+    "run_ablations",
+    "run_cross_dataset",
+    "run_edge_experiment",
+    "fall_anatomy",
+    "run_figure1",
+    "run_figure2_pipeline",
+]

@@ -1,0 +1,100 @@
+"""Experiment scale configurations.
+
+The paper trains on ~252 k segments from 61 subjects with TensorFlow on a
+workstation; this reproduction runs a from-scratch numpy framework on one
+laptop core.  Every experiment is therefore parameterised by a *scale*:
+
+* ``QUICK`` — seconds; used by the test-suite.
+* ``BENCH`` — minutes; the default for the benchmark harness, small but
+  faithful (all task types, subject-independent CV, same protocol).
+* ``PAPER`` — the paper's full dimensions (61 subjects, 5 folds, 200
+  epochs); provided for completeness, expect hours.
+
+Select via the ``REPRO_SCALE`` environment variable (quick/bench/paper) or
+pass a scale explicitly to any runner.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = ["ExperimentScale", "QUICK", "BENCH", "PAPER", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs shared by all experiment runners."""
+
+    name: str
+    kfall_subjects: int
+    selfcollected_subjects: int
+    trials_per_task: int
+    duration_scale: float
+    folds: int
+    max_folds: int | None
+    n_val_subjects: int
+    epochs: int
+    patience: int
+    batch_size: int
+    seed: int = 7
+
+    def with_overrides(self, **changes) -> "ExperimentScale":
+        return replace(self, **changes)
+
+
+QUICK = ExperimentScale(
+    name="quick",
+    kfall_subjects=3,
+    selfcollected_subjects=3,
+    trials_per_task=1,
+    duration_scale=0.3,
+    folds=3,
+    max_folds=1,
+    n_val_subjects=1,
+    epochs=8,
+    patience=4,
+    batch_size=64,
+)
+
+BENCH = ExperimentScale(
+    name="bench",
+    kfall_subjects=5,
+    selfcollected_subjects=5,
+    trials_per_task=1,
+    duration_scale=0.4,
+    folds=5,
+    max_folds=1,
+    n_val_subjects=2,
+    epochs=15,
+    patience=6,
+    batch_size=64,
+)
+
+PAPER = ExperimentScale(
+    name="paper",
+    kfall_subjects=32,
+    selfcollected_subjects=29,
+    trials_per_task=5,
+    duration_scale=1.0,
+    folds=5,
+    max_folds=None,
+    n_val_subjects=4,
+    epochs=200,
+    patience=20,
+    batch_size=64,
+)
+
+_SCALES = {"quick": QUICK, "bench": BENCH, "paper": PAPER}
+
+
+def get_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve a scale by name, env var ``REPRO_SCALE``, or default bench."""
+    if name is None:
+        name = os.environ.get("REPRO_SCALE", "bench")
+    try:
+        return _SCALES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; options: {sorted(_SCALES)}"
+        ) from None

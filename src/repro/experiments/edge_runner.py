@@ -1,0 +1,73 @@
+"""Section IV-C experiment: quantize, verify parity, analyse deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.architecture import build_lightweight_cnn
+from ..core.crossval import subject_folds
+from ..core.trainer import train_model
+from ..eval.metrics import segment_metrics
+from ..edge.cortex_m7 import (
+    CortexM7Config,
+    estimate_fusion_cycles_per_sample,
+)
+from ..edge.deploy import deployment_report
+from ..quant.qmodel import QuantizedModel
+from .configs import ExperimentScale, get_scale
+from .runners import (
+    _segments_for,
+    build_experiment_dataset,
+    training_config,
+)
+
+__all__ = ["run_edge_experiment"]
+
+
+def run_edge_experiment(
+    scale: ExperimentScale | None = None,
+    window_ms: float = 400.0,
+) -> dict:
+    """Train the CNN, quantize it, and produce the on-edge readout.
+
+    Returns float-vs-int8 metric parity, the flash/RAM/latency report and
+    the quantized model itself (for code generation).
+    """
+    scale = scale or get_scale()
+    dataset = build_experiment_dataset(scale)
+    segments = _segments_for(dataset, window_ms, 0.5)
+    fold = subject_folds(segments.subjects, k=scale.folds,
+                         n_val_subjects=scale.n_val_subjects,
+                         seed=scale.seed)[0]
+    train = segments.by_subjects(fold.train_subjects)
+    val = segments.by_subjects(fold.val_subjects)
+    test = segments.by_subjects(fold.test_subjects)
+    model, _ = train_model(build_lightweight_cnn, train, val,
+                           training_config(scale))
+
+    # Calibrate on (a sample of) the training inputs, never on test data.
+    rng = np.random.default_rng(scale.seed)
+    calib_idx = rng.choice(len(train), size=min(512, len(train)),
+                           replace=False)
+    qmodel = QuantizedModel.convert(model, train.X[calib_idx])
+
+    float_probs = model.predict(test.X).reshape(-1)
+    int8_probs = qmodel.predict(test.X).reshape(-1)
+    float_metrics = segment_metrics(test.y, float_probs)
+    int8_metrics = segment_metrics(test.y, int8_probs)
+
+    cfg = CortexM7Config()
+    report = deployment_report(qmodel, hop_samples=int(
+        round(window_ms / 10.0 / 2.0)))
+    report["fusion_cycles_per_sample"] = estimate_fusion_cycles_per_sample(cfg)
+    return {
+        "model": model,
+        "qmodel": qmodel,
+        "float_metrics": float_metrics,
+        "int8_metrics": int8_metrics,
+        "f1_drop_points": 100.0 * (float_metrics["f1"] - int8_metrics["f1"]),
+        "decision_agreement": float(
+            np.mean((float_probs >= 0.5) == (int8_probs >= 0.5))
+        ),
+        "report": report,
+    }

@@ -1,0 +1,130 @@
+"""Figure reproductions.
+
+Figure 1 (fall-stage anatomy) and Figure 2 (methodology pipeline) are
+diagrams, so their "reproduction" is the data behind them: per-stage
+signal statistics of a generated fall, and a stage-by-stage end-to-end
+pipeline trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.architecture import build_lightweight_cnn
+from ..core.crossval import subject_folds
+from ..core.trainer import train_model
+from ..datasets.schema import Recording
+from ..datasets.subjects import make_subjects
+from ..datasets.synthesis.generator import synthesize_recording
+from ..datasets.tasks import TASKS
+from ..eval.metrics import segment_metrics
+from ..quant.qmodel import QuantizedModel
+from ..edge.deploy import deployment_report
+from .configs import ExperimentScale, get_scale
+from .runners import _segments_for, build_experiment_dataset, training_config
+
+__all__ = ["fall_anatomy", "run_figure1", "run_figure2_pipeline"]
+
+
+def fall_anatomy(recording: Recording, airbag_ms: float = 150.0) -> dict:
+    """Per-stage statistics of one fall trial (the content of Figure 1).
+
+    Stages: pre-fall activity, falling (split into the usable part and the
+    final ``airbag_ms`` the paper withholds), impact transient, post-fall.
+    """
+    if not recording.is_fall:
+        raise ValueError("fall_anatomy needs a fall recording")
+    fs = recording.fs
+    onset, impact = recording.fall_onset, recording.impact
+    airbag = int(round(airbag_ms * fs / 1000.0))
+    impact_end = min(impact + int(0.3 * fs), recording.n_samples)
+    mag = np.linalg.norm(recording.accel, axis=1)
+    gyro_mag = np.linalg.norm(recording.gyro, axis=1)
+
+    def stats(sl: slice) -> dict:
+        if sl.start >= sl.stop:
+            return {"duration_ms": 0.0}
+        return {
+            "duration_ms": (sl.stop - sl.start) * 1000.0 / fs,
+            "accel_mag_mean": float(mag[sl].mean()),
+            "accel_mag_min": float(mag[sl].min()),
+            "accel_mag_max": float(mag[sl].max()),
+            "gyro_mag_max": float(gyro_mag[sl].max()),
+        }
+
+    usable_end = max(impact - airbag, onset)
+    return {
+        "task": TASKS[recording.task_id].description,
+        "fs": fs,
+        "onset_s": onset / fs,
+        "impact_s": impact / fs,
+        "falling_duration_ms": (impact - onset) * 1000.0 / fs,
+        "stages": {
+            "pre_fall": stats(slice(0, onset)),
+            "falling_usable": stats(slice(onset, usable_end)),
+            "falling_withheld_150ms": stats(slice(usable_end, impact)),
+            "impact": stats(slice(impact, impact_end)),
+            "post_fall": stats(slice(impact_end, recording.n_samples)),
+        },
+    }
+
+
+def run_figure1(task_id: int = 30, seed: int = 42) -> dict:
+    """Generate one fall of ``task_id`` and compute its stage anatomy."""
+    subject = make_subjects("FIG", 1, seed=seed)[0]
+    rec = synthesize_recording(TASKS[task_id], subject, base_seed=seed)
+    return fall_anatomy(rec)
+
+
+def run_figure2_pipeline(scale: ExperimentScale | None = None) -> dict:
+    """Trace every stage of Figure 2 end to end.
+
+    Acquisition → alignment/merge → preprocessing → training → testing →
+    quantization → deployment.  Returns one summary dict per stage.
+    """
+    scale = scale or get_scale()
+    dataset = build_experiment_dataset(scale)
+    stage_data = dataset.summary()
+
+    segments = _segments_for(dataset, 400.0, 0.5)
+    stage_preprocess = segments.class_summary()
+
+    fold = subject_folds(segments.subjects, k=scale.folds,
+                         n_val_subjects=scale.n_val_subjects,
+                         seed=scale.seed)[0]
+    train = segments.by_subjects(fold.train_subjects)
+    val = segments.by_subjects(fold.val_subjects)
+    test = segments.by_subjects(fold.test_subjects)
+    model, history = train_model(build_lightweight_cnn, train, val,
+                                 training_config(scale))
+    stage_train = {
+        "epochs": len(history.epochs),
+        "train_segments": len(train),
+        "val_segments": len(val),
+    }
+
+    probs = model.predict(test.X).reshape(-1)
+    stage_test = {
+        k: v for k, v in segment_metrics(test.y, probs).items()
+        if k in ("accuracy", "precision", "recall", "f1")
+    }
+
+    rng = np.random.default_rng(scale.seed)
+    calib = train.X[rng.choice(len(train), size=min(256, len(train)),
+                               replace=False)]
+    qmodel = QuantizedModel.convert(model, calib)
+    report = deployment_report(qmodel)
+    stage_deploy = {
+        "flash_kib": report["flash_kib"],
+        "ram_kib": report["ram_kib"],
+        "latency_ms": report["latency_ms"],
+        "fits": report["fits_flash"] and report["fits_ram"]
+        and report["meets_deadline"],
+    }
+    return {
+        "acquisition": stage_data,
+        "preprocessing": stage_preprocess,
+        "training": stage_train,
+        "testing": stage_test,
+        "deployment": stage_deploy,
+    }

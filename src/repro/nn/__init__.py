@@ -1,0 +1,49 @@
+"""``repro.nn`` — a from-scratch numpy deep-learning framework.
+
+Stands in for TensorFlow/Keras in this reproduction: functional layer
+graphs, backpropagation (including BPTT for LSTM/ConvLSTM2D), weighted
+losses, Adam/SGD/RMSprop, callbacks with early stopping, and npz weight
+serialisation.
+
+Quick tour::
+
+    from repro import nn
+
+    inp = nn.Input((40, 9))
+    h = nn.layers.Conv1D(16, 5, activation="relu")(inp)
+    h = nn.layers.MaxPool1D(2)(h)
+    h = nn.layers.Flatten()(h)
+    out = nn.layers.Dense(1, activation="sigmoid")(h)
+    model = nn.Model(inp, out).compile("adam", "binary_crossentropy")
+"""
+
+from . import activations, callbacks, initializers, layers, losses, metrics, optimizers
+from .analysis import estimate_macs, macs_breakdown
+from .config import EPSILON, asfloat, float_precision, floatx, set_floatx
+from .graph import Input, Node
+from .model import Model
+from .sequential import Sequential
+from .serialization import load_weights, save_weights
+
+__all__ = [
+    "Input",
+    "Node",
+    "Model",
+    "Sequential",
+    "layers",
+    "losses",
+    "optimizers",
+    "metrics",
+    "callbacks",
+    "initializers",
+    "activations",
+    "save_weights",
+    "load_weights",
+    "estimate_macs",
+    "macs_breakdown",
+    "floatx",
+    "set_floatx",
+    "float_precision",
+    "asfloat",
+    "EPSILON",
+]

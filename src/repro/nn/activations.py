@@ -1,0 +1,110 @@
+"""Activation functions with analytic derivatives.
+
+Each activation is a pair ``(f, df)`` where ``df`` is expressed in terms of
+the *output* ``y = f(x)`` whenever possible (cheaper: no need to keep the
+pre-activation around), otherwise in terms of the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import EPSILON
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "leaky_relu",
+    "leaky_relu_grad",
+    "sigmoid",
+    "sigmoid_grad",
+    "tanh",
+    "tanh_grad",
+    "softmax",
+    "linear",
+    "linear_grad",
+    "get",
+]
+
+
+def relu(x):
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x, y):
+    return (x > 0.0).astype(x.dtype)
+
+
+def leaky_relu(x, alpha=0.01):
+    return np.where(x > 0.0, x, alpha * x)
+
+
+def leaky_relu_grad(x, y, alpha=0.01):
+    return np.where(x > 0.0, 1.0, alpha).astype(x.dtype)
+
+
+def sigmoid(x):
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def sigmoid_grad(x, y):
+    return y * (1.0 - y)
+
+
+def tanh(x):
+    return np.tanh(x)
+
+
+def tanh_grad(x, y):
+    return 1.0 - y * y
+
+
+def softmax(x, axis=-1):
+    """Shift-invariant softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / (np.sum(ex, axis=axis, keepdims=True) + EPSILON)
+
+
+def linear(x):
+    return x
+
+
+def linear_grad(x, y):
+    return np.ones_like(x)
+
+
+#: name -> (forward, grad) pairs usable by Activation layers.
+_REGISTRY = {
+    "relu": (relu, relu_grad),
+    "leaky_relu": (leaky_relu, leaky_relu_grad),
+    "sigmoid": (sigmoid, sigmoid_grad),
+    "tanh": (tanh, tanh_grad),
+    "linear": (linear, linear_grad),
+    None: (linear, linear_grad),
+}
+
+
+def get(identifier):
+    """Resolve an activation name to a ``(forward, grad)`` pair.
+
+    ``softmax`` is intentionally excluded: it is only supported fused into
+    the categorical cross-entropy loss, where the combined gradient is
+    simple and stable.
+    """
+    if isinstance(identifier, tuple) and len(identifier) == 2:
+        return identifier
+    try:
+        return _REGISTRY[identifier]
+    except KeyError:
+        raise ValueError(
+            f"unknown activation {identifier!r}; options: "
+            f"{sorted(k for k in _REGISTRY if k)}"
+        ) from None

@@ -1,0 +1,223 @@
+"""Training callbacks.
+
+The paper's protocol is "200 epochs, early stopping with patience 20 on the
+validation loss, restore best weights" — exactly what
+:class:`EarlyStopping` implements.
+"""
+
+from __future__ import annotations
+
+import copy
+
+__all__ = [
+    "Callback",
+    "EarlyStopping",
+    "History",
+    "CSVLogger",
+    "ReduceLROnPlateau",
+    "LambdaCallback",
+]
+
+
+class Callback:
+    """Base callback; the model attaches itself as ``self.model``."""
+
+    def __init__(self):
+        self.model = None
+
+    def set_model(self, model) -> None:
+        self.model = model
+
+    def on_train_begin(self, logs=None) -> None: ...
+
+    def on_train_end(self, logs=None) -> None: ...
+
+    def on_epoch_begin(self, epoch, logs=None) -> None: ...
+
+    def on_epoch_end(self, epoch, logs=None) -> None: ...
+
+
+class History(Callback):
+    """Records per-epoch logs; always installed by ``Model.fit``."""
+
+    def __init__(self):
+        super().__init__()
+        self.history: dict[str, list[float]] = {}
+        self.epochs: list[int] = []
+
+    def on_train_begin(self, logs=None) -> None:
+        self.history = {}
+        self.epochs = []
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        self.epochs.append(epoch)
+        for key, value in (logs or {}).items():
+            self.history.setdefault(key, []).append(value)
+
+
+class EarlyStopping(Callback):
+    """Stop when a monitored quantity stops improving.
+
+    Parameters
+    ----------
+    monitor:
+        Key in the epoch logs (``'val_loss'`` by default).
+    patience:
+        Epochs without improvement tolerated before stopping.
+    min_delta:
+        Minimum change counting as an improvement.
+    restore_best_weights:
+        Put the best-epoch weights back on the model when stopping (and at
+        the natural end of training), as the paper does.
+    mode:
+        'min' (losses) or 'max' (accuracies).
+    """
+
+    def __init__(
+        self,
+        monitor="val_loss",
+        patience=20,
+        min_delta=0.0,
+        restore_best_weights=True,
+        mode="min",
+    ):
+        super().__init__()
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        self.monitor = monitor
+        self.patience = int(patience)
+        self.min_delta = float(abs(min_delta))
+        self.restore_best_weights = bool(restore_best_weights)
+        self.mode = mode
+        self.best: float | None = None
+        self.best_epoch = -1
+        self.wait = 0
+        self.stopped_epoch = -1
+        self._best_weights = None
+
+    def _is_improvement(self, value: float) -> bool:
+        if self.best is None:
+            return True
+        if self.mode == "min":
+            return value < self.best - self.min_delta
+        return value > self.best + self.min_delta
+
+    def on_train_begin(self, logs=None) -> None:
+        self.best = None
+        self.best_epoch = -1
+        self.wait = 0
+        self.stopped_epoch = -1
+        self._best_weights = None
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        logs = logs or {}
+        if self.monitor not in logs:
+            return
+        value = float(logs[self.monitor])
+        if self._is_improvement(value):
+            self.best = value
+            self.best_epoch = epoch
+            self.wait = 0
+            if self.restore_best_weights:
+                self._best_weights = copy.deepcopy(self.model.get_weights())
+        else:
+            self.wait += 1
+            if self.wait >= self.patience:
+                self.stopped_epoch = epoch
+                self.model.stop_training = True
+
+    def on_train_end(self, logs=None) -> None:
+        if self.restore_best_weights and self._best_weights is not None:
+            self.model.set_weights(self._best_weights)
+
+
+class CSVLogger(Callback):
+    """Append per-epoch logs to a CSV file."""
+
+    def __init__(self, path, delimiter=","):
+        super().__init__()
+        self.path = str(path)
+        self.delimiter = delimiter
+        self._keys: list[str] | None = None
+        self._fh = None
+
+    def on_train_begin(self, logs=None) -> None:
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._keys = None
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        logs = logs or {}
+        if self._keys is None:
+            self._keys = sorted(logs)
+            self._fh.write(self.delimiter.join(["epoch", *self._keys]) + "\n")
+        row = [str(epoch)] + [f"{logs.get(k, float('nan')):.6g}" for k in self._keys]
+        self._fh.write(self.delimiter.join(row) + "\n")
+
+    def on_train_end(self, logs=None) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class ReduceLROnPlateau(Callback):
+    """Multiply the learning rate by ``factor`` when progress stalls."""
+
+    def __init__(
+        self, monitor="val_loss", factor=0.5, patience=5, min_lr=1e-6, mode="min"
+    ):
+        super().__init__()
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.monitor = monitor
+        self.factor = float(factor)
+        self.patience = int(patience)
+        self.min_lr = float(min_lr)
+        self.mode = mode
+        self.best: float | None = None
+        self.wait = 0
+
+    def on_train_begin(self, logs=None) -> None:
+        self.best = None
+        self.wait = 0
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        logs = logs or {}
+        if self.monitor not in logs:
+            return
+        value = float(logs[self.monitor])
+        better = self.best is None or (
+            value < self.best if self.mode == "min" else value > self.best
+        )
+        if better:
+            self.best = value
+            self.wait = 0
+            return
+        self.wait += 1
+        if self.wait >= self.patience:
+            opt = self.model.optimizer
+            new_lr = max(opt.learning_rate * self.factor, self.min_lr)
+            if new_lr < opt.learning_rate:
+                opt.learning_rate = new_lr
+            self.wait = 0
+
+
+class LambdaCallback(Callback):
+    """Wrap ad-hoc functions as a callback."""
+
+    def __init__(self, on_epoch_end=None, on_train_begin=None, on_train_end=None):
+        super().__init__()
+        self._on_epoch_end = on_epoch_end
+        self._on_train_begin = on_train_begin
+        self._on_train_end = on_train_end
+
+    def on_train_begin(self, logs=None) -> None:
+        if self._on_train_begin:
+            self._on_train_begin(logs)
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        if self._on_epoch_end:
+            self._on_epoch_end(epoch, logs)
+
+    def on_train_end(self, logs=None) -> None:
+        if self._on_train_end:
+            self._on_train_end(logs)

@@ -1,0 +1,48 @@
+"""Global configuration for the numpy neural-network framework.
+
+The framework keeps a single global floating-point dtype.  Training the
+paper's models uses ``float32`` (fast, matches what TensorFlow would do on
+the authors' workstation), while the finite-difference gradient checks in
+the test-suite switch to ``float64`` for numerical headroom.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+_DTYPE = np.float32
+
+#: Small constant used to stabilise logarithms and divisions.
+EPSILON = 1e-7
+
+
+def floatx() -> np.dtype:
+    """Return the current global floating point dtype."""
+    return _DTYPE
+
+
+def set_floatx(dtype) -> None:
+    """Set the global floating point dtype (``np.float32`` or ``np.float64``)."""
+    global _DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"unsupported float dtype: {dtype}")
+    _DTYPE = dtype.type
+
+
+@contextlib.contextmanager
+def float_precision(dtype):
+    """Context manager that temporarily changes the global float dtype."""
+    previous = floatx()
+    set_floatx(dtype)
+    try:
+        yield
+    finally:
+        set_floatx(previous)
+
+
+def asfloat(array) -> np.ndarray:
+    """Cast ``array`` to the global float dtype (no copy when already right)."""
+    return np.asarray(array, dtype=floatx())

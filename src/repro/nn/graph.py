@@ -1,0 +1,85 @@
+"""Symbolic tensor graph used by the functional model API.
+
+The paper's lightweight CNN is a *branched* network (the 9-channel window is
+split into three 3-channel matrices processed by independent convolutional
+branches, then concatenated), so a purely sequential container is not
+enough.  This module provides a minimal Keras-functional-style graph:
+
+    >>> inp = Input((40, 9))
+    >>> accel = Slice(axis=-1, start=0, stop=3)(inp)
+    >>> ...
+    >>> model = Model(inp, out)
+
+A :class:`Node` is a symbolic tensor: it records the layer that produces it
+and the parent nodes consumed by that layer.  :class:`~repro.nn.model.Model`
+topologically sorts the nodes once and replays the order for every forward
+and backward pass.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["Node", "Input", "topological_order"]
+
+_node_counter = itertools.count()
+
+
+class Node:
+    """A symbolic tensor in the layer graph.
+
+    Parameters
+    ----------
+    layer:
+        The layer producing this tensor, or ``None`` for graph inputs.
+    parents:
+        Nodes consumed by ``layer`` (empty for inputs).
+    shape:
+        Tensor shape *excluding* the batch axis.
+    """
+
+    __slots__ = ("layer", "parents", "shape", "uid", "name")
+
+    def __init__(self, layer, parents, shape, name=None):
+        self.layer = layer
+        self.parents = tuple(parents)
+        self.shape = tuple(int(s) for s in shape)
+        self.uid = next(_node_counter)
+        self.name = name or (layer.name if layer is not None else f"input_{self.uid}")
+
+    @property
+    def is_input(self) -> bool:
+        return self.layer is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.name}, shape={self.shape})"
+
+
+def Input(shape, name=None) -> Node:
+    """Create a graph input node with the given per-sample shape."""
+    shape = tuple(int(s) for s in (shape if hasattr(shape, "__len__") else (shape,)))
+    if any(s <= 0 for s in shape):
+        raise ValueError(f"input shape must be positive, got {shape}")
+    return Node(layer=None, parents=(), shape=shape, name=name)
+
+
+def topological_order(outputs) -> list[Node]:
+    """Return all nodes reachable from ``outputs`` in dependency order.
+
+    Parents always appear before children; the order is deterministic
+    (depth-first post-order on the recorded parent lists).
+    """
+    order: list[Node] = []
+    seen: set[int] = set()
+
+    def visit(node: Node) -> None:
+        if node.uid in seen:
+            return
+        seen.add(node.uid)
+        for parent in node.parents:
+            visit(parent)
+        order.append(node)
+
+    for out in outputs:
+        visit(out)
+    return order

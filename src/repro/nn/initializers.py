@@ -1,0 +1,150 @@
+"""Weight initializers.
+
+Mirrors the Keras initializers the paper's TensorFlow implementation would
+have used (Glorot-uniform for dense/conv kernels, orthogonal for recurrent
+kernels, zeros for biases).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import asfloat
+
+__all__ = [
+    "zeros",
+    "ones",
+    "constant",
+    "random_normal",
+    "random_uniform",
+    "glorot_uniform",
+    "glorot_normal",
+    "he_uniform",
+    "he_normal",
+    "orthogonal",
+    "get",
+]
+
+
+def zeros(shape, rng=None):
+    """All-zeros tensor (standard bias initializer)."""
+    return asfloat(np.zeros(shape))
+
+
+def ones(shape, rng=None):
+    """All-ones tensor (e.g. batch-norm scale)."""
+    return asfloat(np.ones(shape))
+
+
+def constant(value):
+    """Return an initializer producing a constant-filled tensor."""
+
+    def _init(shape, rng=None):
+        return asfloat(np.full(shape, value))
+
+    return _init
+
+
+def _require_rng(rng) -> np.random.Generator:
+    if rng is None:
+        rng = np.random.default_rng()
+    return rng
+
+
+def random_normal(shape, rng=None, stddev=0.05):
+    rng = _require_rng(rng)
+    return asfloat(rng.normal(0.0, stddev, size=shape))
+
+
+def random_uniform(shape, rng=None, limit=0.05):
+    rng = _require_rng(rng)
+    return asfloat(rng.uniform(-limit, limit, size=shape))
+
+
+def _fans(shape) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for a kernel shape.
+
+    Follows the Keras convention: for a dense kernel ``(in, out)`` the fans
+    are the two axes; for a conv kernel ``(k..., in, out)`` the receptive
+    field size multiplies both fans.
+    """
+    shape = tuple(int(s) for s in shape)
+    if len(shape) < 1:
+        raise ValueError("initializer shape must have at least one axis")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[:-2])) if len(shape) > 2 else 1
+    fan_in = shape[-2] * receptive
+    fan_out = shape[-1] * receptive
+    return fan_in, fan_out
+
+
+def glorot_uniform(shape, rng=None):
+    """Glorot/Xavier uniform — Keras's default kernel initializer."""
+    rng = _require_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return asfloat(rng.uniform(-limit, limit, size=shape))
+
+
+def glorot_normal(shape, rng=None):
+    rng = _require_rng(rng)
+    fan_in, fan_out = _fans(shape)
+    stddev = np.sqrt(2.0 / (fan_in + fan_out))
+    return asfloat(rng.normal(0.0, stddev, size=shape))
+
+
+def he_uniform(shape, rng=None):
+    """He uniform — suited to ReLU activations."""
+    rng = _require_rng(rng)
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return asfloat(rng.uniform(-limit, limit, size=shape))
+
+
+def he_normal(shape, rng=None):
+    rng = _require_rng(rng)
+    fan_in, _ = _fans(shape)
+    stddev = np.sqrt(2.0 / fan_in)
+    return asfloat(rng.normal(0.0, stddev, size=shape))
+
+
+def orthogonal(shape, rng=None, gain=1.0):
+    """Orthogonal initializer (Keras default for recurrent kernels)."""
+    rng = _require_rng(rng)
+    if len(shape) < 2:
+        raise ValueError("orthogonal initializer needs at least 2 axes")
+    rows = int(np.prod(shape[:-1]))
+    cols = int(shape[-1])
+    flat = rng.normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    # Make the decomposition unique / uniformly distributed.
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return asfloat(np.ascontiguousarray(gain * q[:rows, :cols]).reshape(shape))
+
+
+_REGISTRY = {
+    "zeros": zeros,
+    "ones": ones,
+    "random_normal": random_normal,
+    "random_uniform": random_uniform,
+    "glorot_uniform": glorot_uniform,
+    "glorot_normal": glorot_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "orthogonal": orthogonal,
+}
+
+
+def get(identifier):
+    """Resolve an initializer from a name or pass a callable through."""
+    if callable(identifier):
+        return identifier
+    try:
+        return _REGISTRY[identifier]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {identifier!r}; options: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,37 @@
+"""Neural-network layers."""
+
+from .base import Layer
+from .conv import Conv1D, conv1d_output_length
+from .conv2d import Conv2D, MaxPool2D
+from .convlstm import ConvLSTM2D
+from .core import Activation, Dense, Dropout, Flatten, Reshape, Slice
+from .gru import GRU, Bidirectional
+from .merge import Add, Concatenate
+from .norm import BatchNorm
+from .pooling import AvgPool1D, GlobalAvgPool1D, GlobalMaxPool1D, MaxPool1D
+from .recurrent import LSTM
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Activation",
+    "Flatten",
+    "Dropout",
+    "Slice",
+    "Reshape",
+    "Conv1D",
+    "conv1d_output_length",
+    "Conv2D",
+    "MaxPool2D",
+    "MaxPool1D",
+    "AvgPool1D",
+    "GlobalAvgPool1D",
+    "GlobalMaxPool1D",
+    "Concatenate",
+    "Add",
+    "BatchNorm",
+    "LSTM",
+    "GRU",
+    "Bidirectional",
+    "ConvLSTM2D",
+]

@@ -1,0 +1,106 @@
+"""Layer base class.
+
+Layers hold parameters and implement the forward/backward contract:
+
+* ``build(input_shapes)`` — allocate parameters once shapes are known.
+* ``forward(inputs, training)`` — compute the output from a list of input
+  arrays (batch axis first), caching whatever ``backward`` will need.
+* ``backward(grad)`` — given the loss gradient w.r.t. the output, fill
+  ``self.grads`` and return the list of gradients w.r.t. each input.
+
+A layer instance owns exactly one position in the graph: calling it a second
+time raises, which keeps the cache-in-``self`` backward scheme sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..graph import Node
+
+_layer_counters: dict[str, itertools.count] = {}
+
+
+def _auto_name(cls_name: str) -> str:
+    key = cls_name.lower()
+    counter = _layer_counters.setdefault(key, itertools.count())
+    return f"{key}_{next(counter)}"
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name=None, seed=None):
+        self.name = name or _auto_name(type(self).__name__)
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        #: Non-trainable buffers (e.g. batch-norm running statistics);
+        #: serialised alongside params but never touched by optimizers.
+        self.state: dict[str, np.ndarray] = {}
+        self.built = False
+        self._called = False
+        self._rng = np.random.default_rng(seed)
+        self.input_shapes: tuple[tuple[int, ...], ...] | None = None
+
+    # ------------------------------------------------------------------
+    # Graph wiring
+    # ------------------------------------------------------------------
+    def __call__(self, inputs):
+        """Apply the layer to one node or a list of nodes, returning a node."""
+        if self._called:
+            raise RuntimeError(
+                f"layer {self.name!r} is already wired into a graph; layers "
+                "cannot be shared (create a new instance instead)"
+            )
+        nodes = inputs if isinstance(inputs, (list, tuple)) else [inputs]
+        if not nodes:
+            raise ValueError(f"layer {self.name!r} called with no inputs")
+        for node in nodes:
+            if not isinstance(node, Node):
+                raise TypeError(
+                    f"layer {self.name!r} must be called on graph nodes, got "
+                    f"{type(node).__name__}"
+                )
+        shapes = tuple(node.shape for node in nodes)
+        self.input_shapes = shapes
+        self.build(shapes)
+        self.built = True
+        self._called = True
+        out_shape = self.compute_output_shape(shapes)
+        return Node(layer=self, parents=nodes, shape=out_shape)
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def build(self, input_shapes) -> None:
+        """Allocate parameters; default is parameter-free."""
+
+    def compute_output_shape(self, input_shapes):
+        """Per-sample output shape; default: identity on a single input."""
+        if len(input_shapes) != 1:
+            raise ValueError(f"layer {self.name!r} expects exactly one input")
+        return input_shapes[0]
+
+    def forward(self, inputs, training=False):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def count_params(self) -> int:
+        """Total number of scalar parameters in the layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def _single(self, inputs) -> np.ndarray:
+        """Unwrap the single input of a one-input layer."""
+        if len(inputs) != 1:
+            raise ValueError(f"layer {self.name!r} expects exactly one input")
+        return inputs[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,152 @@
+"""1-D convolution over the time axis.
+
+Input layout is ``(batch, time, channels)`` ("channels-last"), matching
+both Keras ``Conv1D`` and the paper's ``[n x 3]`` per-branch matrices.
+
+The forward pass is an im2col matrix product; the backward pass scatters
+column gradients back over the (small) kernel taps, which keeps everything
+vectorised across batch and time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .. import activations, initializers
+from .base import Layer
+
+__all__ = ["Conv1D", "conv1d_output_length"]
+
+
+def conv1d_output_length(length, kernel_size, stride, padding) -> int:
+    """Output length of a 1-D convolution (``padding`` in {'valid','same'})."""
+    if padding == "valid":
+        if length < kernel_size:
+            raise ValueError(
+                f"input length {length} shorter than kernel {kernel_size} "
+                "with 'valid' padding"
+            )
+        return (length - kernel_size) // stride + 1
+    if padding == "same":
+        return (length + stride - 1) // stride
+    raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+
+
+def _same_pad_amounts(length, kernel_size, stride) -> tuple[int, int]:
+    """Left/right zero-padding replicating TensorFlow's 'same' rule."""
+    out_len = (length + stride - 1) // stride
+    total = max((out_len - 1) * stride + kernel_size - length, 0)
+    left = total // 2
+    return left, total - left
+
+
+class Conv1D(Layer):
+    """Temporal convolution with optional fused activation.
+
+    Parameters mirror ``keras.layers.Conv1D``: ``filters``, ``kernel_size``,
+    ``strides``, ``padding`` ('valid' or 'same') and ``activation``.
+    """
+
+    def __init__(
+        self,
+        filters,
+        kernel_size,
+        strides=1,
+        padding="valid",
+        activation=None,
+        use_bias=True,
+        kernel_initializer="glorot_uniform",
+        bias_initializer="zeros",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if filters <= 0 or kernel_size <= 0 or strides <= 0:
+            raise ValueError("filters, kernel_size and strides must be positive")
+        if padding not in ("valid", "same"):
+            raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.strides = int(strides)
+        self.padding = padding
+        self.activation_name = activation
+        self._act, self._act_grad = activations.get(activation)
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.bias_initializer = initializers.get(bias_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(
+                f"Conv1D expects (time, channels) per-sample input, got {shape}"
+            )
+        _, channels = shape
+        self.params["W"] = self.kernel_initializer(
+            (self.kernel_size, channels, self.filters), self._rng
+        )
+        if self.use_bias:
+            self.params["b"] = self.bias_initializer((self.filters,), self._rng)
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        length, _ = shape
+        out_len = conv1d_output_length(
+            length, self.kernel_size, self.strides, self.padding
+        )
+        return (out_len, self.filters)
+
+    # ------------------------------------------------------------------
+    def _pad(self, x):
+        if self.padding == "same":
+            left, right = _same_pad_amounts(x.shape[1], self.kernel_size, self.strides)
+            if left or right:
+                return np.pad(x, ((0, 0), (left, right), (0, 0))), (left, right)
+            return x, (0, 0)
+        return x, (0, 0)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        xp, pads = self._pad(x)
+        k, cin, cout = self.params["W"].shape
+        # windows: (batch, out_len, k, cin)
+        windows = sliding_window_view(xp, k, axis=1)[:, :: self.strides]
+        windows = np.swapaxes(windows, 2, 3)
+        batch, out_len = windows.shape[0], windows.shape[1]
+        cols = windows.reshape(batch, out_len, k * cin)
+        z = cols @ self.params["W"].reshape(k * cin, cout)
+        if self.use_bias:
+            z = z + self.params["b"]
+        y = self._act(z)
+        self._cache = (x.shape, xp.shape, pads, cols, z, y)
+        return y
+
+    def backward(self, grad):
+        in_shape, padded_shape, pads, cols, z, y = self._cache
+        k, cin, cout = self.params["W"].shape
+        dz = grad * self._act_grad(z, y)
+        batch, out_len = dz.shape[0], dz.shape[1]
+        dz2 = dz.reshape(batch * out_len, cout)
+        cols2 = cols.reshape(batch * out_len, k * cin)
+        self.grads["W"] = (cols2.T @ dz2).reshape(k, cin, cout)
+        if self.use_bias:
+            self.grads["b"] = dz2.sum(axis=0)
+        # Gradient w.r.t. the padded input: scatter each kernel tap.
+        dcols = (dz2 @ self.params["W"].reshape(k * cin, cout).T).reshape(
+            batch, out_len, k, cin
+        )
+        dxp = np.zeros(padded_shape, dtype=grad.dtype)
+        # Stride-spaced positions never collide for a fixed tap, so a plain
+        # slice "+=" is safe (and much faster than np.add.at).
+        for tap in range(k):
+            dxp[:, tap : tap + self.strides * out_len : self.strides, :] += dcols[
+                :, :, tap, :
+            ]
+        left, right = pads
+        if left or right:
+            dx = dxp[:, left : dxp.shape[1] - right, :]
+        else:
+            dx = dxp
+        assert dx.shape == in_shape
+        return [dx]

@@ -1,0 +1,153 @@
+"""2-D convolution and pooling layers (channels-last, stride 1).
+
+Built on the functional kernels ConvLSTM2D uses; provided so the framework
+covers ordinary image-like heads too (e.g. spectrogram front-ends, a
+common fall-detection variant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import activations, initializers
+from .base import Layer
+from .functional import (
+    conv2d_backward_input,
+    conv2d_backward_kernel,
+    conv2d_forward,
+    conv2d_output_shape,
+)
+
+__all__ = ["Conv2D", "MaxPool2D"]
+
+
+class Conv2D(Layer):
+    """Stride-1 2-D convolution over ``(batch, rows, cols, channels)``."""
+
+    def __init__(
+        self,
+        filters,
+        kernel_size,
+        padding="valid",
+        activation=None,
+        use_bias=True,
+        kernel_initializer="glorot_uniform",
+        bias_initializer="zeros",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        if filters <= 0 or min(kernel_size) <= 0:
+            raise ValueError("filters and kernel_size must be positive")
+        if padding not in ("valid", "same"):
+            raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = (int(kernel_size[0]), int(kernel_size[1]))
+        self.padding = padding
+        self.activation_name = activation
+        self._act, self._act_grad = activations.get(activation)
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.bias_initializer = initializers.get(bias_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 3:
+            raise ValueError(
+                f"Conv2D expects (rows, cols, channels), got {shape}"
+            )
+        rows, cols, channels = shape
+        kh, kw = self.kernel_size
+        conv2d_output_shape(rows, cols, kh, kw, self.padding)  # validates
+        self.params["W"] = self.kernel_initializer(
+            (kh, kw, channels, self.filters), self._rng
+        )
+        if self.use_bias:
+            self.params["b"] = self.bias_initializer((self.filters,), self._rng)
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        rows, cols, _ = shape
+        kh, kw = self.kernel_size
+        ho, wo = conv2d_output_shape(rows, cols, kh, kw, self.padding)
+        return (ho, wo, self.filters)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        bias = self.params.get("b")
+        z, cols = conv2d_forward(x, self.params["W"], bias=bias,
+                                 padding=self.padding)
+        y = self._act(z)
+        self._cache = (x.shape, cols, z, y)
+        return y
+
+    def backward(self, grad):
+        x_shape, cols, z, y = self._cache
+        dz = grad * self._act_grad(z, y)
+        self.grads["W"] = conv2d_backward_kernel(cols, dz)
+        if self.use_bias:
+            self.grads["b"] = dz.sum(axis=(0, 1, 2))
+        dx = conv2d_backward_input(dz, self.params["W"], x_shape, self.padding)
+        return [dx]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping 2-D max pooling (pool == stride, 'valid')."""
+
+    def __init__(self, pool_size=2, name=None):
+        super().__init__(name=name)
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        if min(pool_size) <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = (int(pool_size[0]), int(pool_size[1]))
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 3:
+            raise ValueError(
+                f"MaxPool2D expects (rows, cols, channels), got {shape}"
+            )
+        ph, pw = self.pool_size
+        if shape[0] < ph or shape[1] < pw:
+            raise ValueError("input smaller than pool window")
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        ph, pw = self.pool_size
+        return (shape[0] // ph, shape[1] // pw, shape[2])
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        batch, rows, cols, channels = x.shape
+        ph, pw = self.pool_size
+        ho, wo = rows // ph, cols // pw
+        trimmed = x[:, : ho * ph, : wo * pw, :]
+        windows = trimmed.reshape(batch, ho, ph, wo, pw, channels)
+        windows = windows.transpose(0, 1, 3, 2, 4, 5).reshape(
+            batch, ho, wo, ph * pw, channels
+        )
+        argmax = windows.argmax(axis=3)
+        out = np.take_along_axis(windows, argmax[:, :, :, None, :], axis=3)
+        self._cache = (x.shape, argmax)
+        return out[:, :, :, 0, :]
+
+    def backward(self, grad):
+        x_shape, argmax = self._cache
+        batch, rows, cols, channels = x_shape
+        ph, pw = self.pool_size
+        ho, wo = rows // ph, cols // pw
+        dwindows = np.zeros((batch, ho, wo, ph * pw, channels),
+                            dtype=grad.dtype)
+        np.put_along_axis(dwindows, argmax[:, :, :, None, :],
+                          grad[:, :, :, None, :], axis=3)
+        dx = np.zeros(x_shape, dtype=grad.dtype)
+        dwin = dwindows.reshape(batch, ho, wo, ph, pw, channels).transpose(
+            0, 1, 3, 2, 4, 5
+        )
+        dx[:, : ho * ph, : wo * pw, :] = dwin.reshape(
+            batch, ho * ph, wo * pw, channels
+        )
+        return [dx]

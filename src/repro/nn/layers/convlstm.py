@@ -1,0 +1,176 @@
+"""ConvLSTM2D layer (Xingjian et al., 2015) with full BPTT.
+
+The gate pre-activations are 2-D convolutions instead of matrix products:
+
+    z_t = conv(x_t, Wx) + conv(h_{t-1}, Wh) + b
+    i, f, g, o = split(z_t);  c_t = f*c_{t-1} + i*g;  h_t = o*tanh(c_t)
+
+Input layout: ``(batch, time, rows, cols, channels)``.  The input
+convolution honours ``padding``; the recurrent convolution is always
+'same' so the state keeps its spatial shape (Keras semantics, stride 1).
+
+This layer backs the ConvLSTM2D baseline of Table III, mirroring the
+architecture used by the KFall benchmark paper [6].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import initializers
+from ..activations import sigmoid, tanh
+from ..config import floatx
+from .base import Layer
+from .functional import (
+    conv2d_backward_input,
+    conv2d_backward_kernel,
+    conv2d_forward,
+    conv2d_output_shape,
+)
+
+__all__ = ["ConvLSTM2D"]
+
+
+class ConvLSTM2D(Layer):
+    """Convolutional LSTM over spatio-temporal inputs (stride 1)."""
+
+    def __init__(
+        self,
+        filters,
+        kernel_size,
+        padding="same",
+        return_sequences=False,
+        unit_forget_bias=True,
+        kernel_initializer="glorot_uniform",
+        recurrent_initializer="orthogonal",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if filters <= 0:
+            raise ValueError(f"filters must be positive, got {filters}")
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.filters = int(filters)
+        self.kernel_size = (int(kernel_size[0]), int(kernel_size[1]))
+        if padding not in ("valid", "same"):
+            raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+        self.padding = padding
+        self.return_sequences = bool(return_sequences)
+        self.unit_forget_bias = bool(unit_forget_bias)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.recurrent_initializer = initializers.get(recurrent_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 4:
+            raise ValueError(
+                f"ConvLSTM2D expects (time, rows, cols, channels), got {shape}"
+            )
+        _, rows, cols, channels = shape
+        kh, kw = self.kernel_size
+        conv2d_output_shape(rows, cols, kh, kw, self.padding)  # validates size
+        self.params["Wx"] = self.kernel_initializer(
+            (kh, kw, channels, 4 * self.filters), self._rng
+        )
+        self.params["Wh"] = self.recurrent_initializer(
+            (kh, kw, self.filters, 4 * self.filters), self._rng
+        )
+        bias = np.zeros(4 * self.filters, dtype=floatx())
+        if self.unit_forget_bias:
+            bias[self.filters : 2 * self.filters] = 1.0
+        self.params["b"] = bias
+
+    def _state_shape(self, input_shape):
+        _, rows, cols, _ = input_shape
+        kh, kw = self.kernel_size
+        ho, wo = conv2d_output_shape(rows, cols, kh, kw, self.padding)
+        return ho, wo
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        time = shape[0]
+        ho, wo = self._state_shape(shape)
+        if self.return_sequences:
+            return (time, ho, wo, self.filters)
+        return (ho, wo, self.filters)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        batch, time = x.shape[0], x.shape[1]
+        ho, wo = self._state_shape(x.shape[1:])
+        nf = self.filters
+        Wx, Wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+
+        h = np.zeros((batch, ho, wo, nf), dtype=x.dtype)
+        c = np.zeros((batch, ho, wo, nf), dtype=x.dtype)
+        steps = []
+        hs = np.empty((batch, time, ho, wo, nf), dtype=x.dtype)
+        for t in range(time):
+            zx, cols_x = conv2d_forward(x[:, t], Wx, bias=b, padding=self.padding)
+            zh, cols_h = conv2d_forward(h, Wh, padding="same")
+            z = zx + zh
+            i = sigmoid(z[..., :nf])
+            f = sigmoid(z[..., nf : 2 * nf])
+            g = tanh(z[..., 2 * nf : 3 * nf])
+            o = sigmoid(z[..., 3 * nf :])
+            c_prev = c
+            c = f * c_prev + i * g
+            tc = tanh(c)
+            h_prev_shape = h.shape
+            h = o * tc
+            steps.append((cols_x, cols_h, h_prev_shape, c_prev, i, f, g, o, tc))
+            hs[:, t] = h
+        self._cache = (x.shape, steps)
+        if self.return_sequences:
+            return hs
+        return h
+
+    def backward(self, grad):
+        x_shape, steps = self._cache
+        batch, time = x_shape[0], x_shape[1]
+        nf = self.filters
+        Wx, Wh = self.params["Wx"], self.params["Wh"]
+
+        dWx = np.zeros_like(Wx)
+        dWh = np.zeros_like(Wh)
+        db = np.zeros_like(self.params["b"])
+        dx = np.empty(x_shape, dtype=grad.dtype)
+
+        if self.return_sequences:
+            grad_seq = grad
+            dh_next = np.zeros(steps[-1][2], dtype=grad.dtype)
+        else:
+            grad_seq = None
+            dh_next = grad
+        dc_next = np.zeros(steps[-1][2], dtype=grad.dtype)
+
+        frame_shape = (batch,) + tuple(x_shape[2:])
+        for t in range(time - 1, -1, -1):
+            cols_x, cols_h, h_prev_shape, c_prev, i, f, g, o, tc = steps[t]
+            dh = dh_next if grad_seq is None else dh_next + grad_seq[:, t]
+            do = dh * tc
+            dc = dc_next + dh * o * (1.0 - tc * tc)
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g * g),
+                    do * o * (1.0 - o),
+                ],
+                axis=-1,
+            )
+            dWx += conv2d_backward_kernel(cols_x, dz)
+            dWh += conv2d_backward_kernel(cols_h, dz)
+            db += dz.sum(axis=(0, 1, 2))
+            dx[:, t] = conv2d_backward_input(dz, Wx, frame_shape, self.padding)
+            dh_next = conv2d_backward_input(dz, Wh, h_prev_shape, "same")
+
+        self.grads["Wx"] = dWx
+        self.grads["Wh"] = dWh
+        self.grads["b"] = db
+        return [dx]

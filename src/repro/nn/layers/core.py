@@ -1,0 +1,216 @@
+"""Core layers: Dense, Activation, Flatten, Dropout, Slice, Reshape.
+
+``Slice`` is what implements the paper's three-way split of the ``[n x 9]``
+input window into accelerometer / gyroscope / Euler-angle branches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import activations, initializers
+from ..config import floatx
+from .base import Layer
+
+__all__ = ["Dense", "Activation", "Flatten", "Dropout", "Slice", "Reshape"]
+
+
+class Dense(Layer):
+    """Fully-connected layer ``y = activation(x @ W + b)``.
+
+    Operates on the last axis; leading axes (batch, time, ...) are preserved,
+    matching Keras semantics.
+    """
+
+    def __init__(
+        self,
+        units,
+        activation=None,
+        use_bias=True,
+        kernel_initializer="glorot_uniform",
+        bias_initializer="zeros",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.activation_name = activation
+        self._act, self._act_grad = activations.get(activation)
+        self.use_bias = bool(use_bias)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.bias_initializer = initializers.get(bias_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        in_features = shape[-1]
+        self.params["W"] = self.kernel_initializer((in_features, self.units), self._rng)
+        if self.use_bias:
+            self.params["b"] = self.bias_initializer((self.units,), self._rng)
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        return shape[:-1] + (self.units,)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        z = x @ self.params["W"]
+        if self.use_bias:
+            z = z + self.params["b"]
+        y = self._act(z)
+        self._cache = (x, z, y)
+        return y
+
+    def backward(self, grad):
+        x, z, y = self._cache
+        dz = grad * self._act_grad(z, y)
+        # Collapse any leading axes so dW has shape (in, out).
+        x2 = x.reshape(-1, x.shape[-1])
+        dz2 = dz.reshape(-1, dz.shape[-1])
+        self.grads["W"] = x2.T @ dz2
+        if self.use_bias:
+            self.grads["b"] = dz2.sum(axis=0)
+        dx = dz @ self.params["W"].T
+        return [dx]
+
+
+class Activation(Layer):
+    """Standalone element-wise activation layer."""
+
+    def __init__(self, activation, name=None):
+        super().__init__(name=name)
+        self.activation_name = activation
+        self._act, self._act_grad = activations.get(activation)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        y = self._act(x)
+        self._cache = (x, y)
+        return y
+
+    def backward(self, grad):
+        x, y = self._cache
+        return [grad * self._act_grad(x, y)]
+
+
+class Flatten(Layer):
+    """Flatten every per-sample axis into one feature axis."""
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        return (int(np.prod(shape)),)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return [grad.reshape(self._in_shape)]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only while training."""
+
+    def __init__(self, rate, name=None, seed=None):
+        super().__init__(name=name, seed=seed)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep).astype(floatx()) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return [grad]
+        return [grad * self._mask]
+
+
+class Slice(Layer):
+    """Take a contiguous slice along one per-sample axis.
+
+    ``Slice(axis=-1, start=0, stop=3)`` extracts the accelerometer columns
+    from a ``[n x 9]`` window.  The backward pass scatters the incoming
+    gradient into a zero tensor of the input's shape.
+    """
+
+    def __init__(self, axis, start, stop, name=None):
+        super().__init__(name=name)
+        self.axis = int(axis)
+        self.start = int(start)
+        self.stop = int(stop)
+        if self.stop <= self.start:
+            raise ValueError(f"empty slice [{start}, {stop})")
+
+    def _array_axis(self, ndim_with_batch):
+        """Resolve the user-facing per-sample axis to an array axis."""
+        axis = self.axis
+        if axis < 0:
+            return ndim_with_batch + axis
+        return axis + 1  # +1 for the batch axis
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        axis = self.axis if self.axis >= 0 else len(shape) + self.axis
+        if not 0 <= axis < len(shape):
+            raise ValueError(f"axis {self.axis} out of range for shape {shape}")
+        if self.stop > shape[axis]:
+            raise ValueError(
+                f"slice [{self.start}, {self.stop}) exceeds axis size {shape[axis]}"
+            )
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        axis = self.axis if self.axis >= 0 else len(shape) + self.axis
+        out = list(shape)
+        out[axis] = self.stop - self.start
+        return tuple(out)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        self._in_shape = x.shape
+        axis = self._array_axis(x.ndim)
+        index = [slice(None)] * x.ndim
+        index[axis] = slice(self.start, self.stop)
+        self._index = tuple(index)
+        return x[self._index]
+
+    def backward(self, grad):
+        dx = np.zeros(self._in_shape, dtype=grad.dtype)
+        dx[self._index] = grad
+        return [dx]
+
+
+class Reshape(Layer):
+    """Reshape the per-sample axes (batch axis untouched)."""
+
+    def __init__(self, target_shape, name=None):
+        super().__init__(name=name)
+        self.target_shape = tuple(int(s) for s in target_shape)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if int(np.prod(shape)) != int(np.prod(self.target_shape)):
+            raise ValueError(
+                f"cannot reshape per-sample shape {shape} into {self.target_shape}"
+            )
+
+    def compute_output_shape(self, input_shapes):
+        return self.target_shape
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        self._in_shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad):
+        return [grad.reshape(self._in_shape)]

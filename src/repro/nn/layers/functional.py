@@ -1,0 +1,106 @@
+"""Functional 2-D convolution kernels shared by Conv2D and ConvLSTM2D.
+
+All tensors are channels-last: inputs ``(batch, rows, cols, cin)``, kernels
+``(kh, kw, cin, cout)``.  Only stride 1 is implemented — that is all the
+paper's ConvLSTM2D baseline needs — with 'valid' or 'same' padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "conv2d_pad_amounts",
+    "conv2d_output_shape",
+    "conv2d_forward",
+    "conv2d_backward_input",
+    "conv2d_backward_kernel",
+]
+
+
+def conv2d_pad_amounts(size, kernel) -> tuple[int, int]:
+    """Symmetric-ish 'same' padding for one spatial axis (stride 1)."""
+    total = max(kernel - 1, 0)
+    left = total // 2
+    return left, total - left
+
+
+def conv2d_output_shape(rows, cols, kh, kw, padding) -> tuple[int, int]:
+    """Spatial output shape of a stride-1 2-D convolution."""
+    if padding == "same":
+        return rows, cols
+    if padding == "valid":
+        if rows < kh or cols < kw:
+            raise ValueError(
+                f"input ({rows}x{cols}) smaller than kernel ({kh}x{kw})"
+            )
+        return rows - kh + 1, cols - kw + 1
+    raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+
+
+def _pad_input(x, kh, kw, padding):
+    if padding == "same":
+        top, bottom = conv2d_pad_amounts(x.shape[1], kh)
+        left, right = conv2d_pad_amounts(x.shape[2], kw)
+        if top or bottom or left or right:
+            return np.pad(x, ((0, 0), (top, bottom), (left, right), (0, 0)))
+    return x
+
+
+def _im2col(xp, kh, kw):
+    """Return columns ``(batch, ho, wo, kh, kw, cin)`` for stride-1 conv."""
+    windows = sliding_window_view(xp, (kh, kw), axis=(1, 2))
+    # sliding_window_view yields (batch, ho, wo, cin, kh, kw).
+    return np.moveaxis(windows, 3, 5)
+
+
+def conv2d_forward(x, kernel, bias=None, padding="same"):
+    """Stride-1 2-D convolution; returns ``(y, cols)`` where ``cols`` is the
+    im2col tensor needed by the backward helpers."""
+    kh, kw, cin, cout = kernel.shape
+    xp = _pad_input(x, kh, kw, padding)
+    cols = _im2col(xp, kh, kw)
+    batch, ho, wo = cols.shape[:3]
+    y = cols.reshape(batch * ho * wo, kh * kw * cin) @ kernel.reshape(-1, cout)
+    y = y.reshape(batch, ho, wo, cout)
+    if bias is not None:
+        y = y + bias
+    return y, cols
+
+
+def conv2d_backward_kernel(cols, dy):
+    """Gradient w.r.t. the kernel given cached ``cols`` and output grad."""
+    batch, ho, wo, kh, kw, cin = cols.shape
+    cout = dy.shape[-1]
+    cols2 = cols.reshape(batch * ho * wo, kh * kw * cin)
+    dy2 = dy.reshape(batch * ho * wo, cout)
+    return (cols2.T @ dy2).reshape(kh, kw, cin, cout)
+
+
+def conv2d_backward_input(dy, kernel, input_shape, padding="same"):
+    """Gradient w.r.t. the (unpadded) input of a stride-1 2-D convolution."""
+    kh, kw, cin, cout = kernel.shape
+    batch, rows, cols_, _ = input_shape
+    if padding == "same":
+        top, _ = conv2d_pad_amounts(rows, kh)
+        left, _ = conv2d_pad_amounts(cols_, kw)
+        padded = (
+            batch,
+            rows + kh - 1 if kh > 1 else rows,
+            cols_ + kw - 1 if kw > 1 else cols_,
+            cin,
+        )
+    else:
+        top = left = 0
+        padded = (batch, rows, cols_, cin)
+    ho, wo = dy.shape[1], dy.shape[2]
+    dcols = dy.reshape(batch * ho * wo, cout) @ kernel.reshape(-1, cout).T
+    dcols = dcols.reshape(batch, ho, wo, kh, kw, cin)
+    dxp = np.zeros(padded, dtype=dy.dtype)
+    for ih in range(kh):
+        for iw in range(kw):
+            dxp[:, ih : ih + ho, iw : iw + wo, :] += dcols[:, :, :, ih, iw, :]
+    if padding == "same":
+        return dxp[:, top : top + rows, left : left + cols_, :]
+    return dxp

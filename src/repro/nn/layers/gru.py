@@ -1,0 +1,209 @@
+"""GRU layer and a Bidirectional wrapper.
+
+Enables the CNN-BiGRU related-work baseline (Kiran et al. 2024, Table I of
+the paper).  The cell follows the classic Cho et al. formulation
+(``reset_after=False`` in Keras terms):
+
+    z_t = sigmoid(x_t Wz + h_{t-1} Uz + bz)        (update gate)
+    r_t = sigmoid(x_t Wr + h_{t-1} Ur + br)        (reset gate)
+    c_t =    tanh(x_t Wc + (r_t * h_{t-1}) Uc + bc)
+    h_t = z_t * h_{t-1} + (1 - z_t) * c_t
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import initializers
+from ..activations import sigmoid, tanh
+from ..config import floatx
+from .base import Layer
+
+__all__ = ["GRU", "Bidirectional"]
+
+
+class GRU(Layer):
+    """Gated recurrent unit over ``(batch, time, features)`` inputs."""
+
+    def __init__(
+        self,
+        units,
+        return_sequences=False,
+        kernel_initializer="glorot_uniform",
+        recurrent_initializer="orthogonal",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.recurrent_initializer = initializers.get(recurrent_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(f"GRU expects (time, features), got {shape}")
+        _, features = shape
+        h = self.units
+        self.params["W"] = self.kernel_initializer((features, 3 * h), self._rng)
+        self.params["U"] = self.recurrent_initializer((h, 3 * h), self._rng)
+        self.params["b"] = np.zeros(3 * h, dtype=floatx())
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        time, _ = shape
+        return (time, self.units) if self.return_sequences else (self.units,)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        batch, time, _ = x.shape
+        h_units = self.units
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+        Uz, Ur, Uc = U[:, :h_units], U[:, h_units:2 * h_units], U[:, 2 * h_units:]
+
+        h_prev = np.zeros((batch, h_units), dtype=x.dtype)
+        xw = x @ W + b  # (batch, time, 3h)
+        steps = []
+        hs = np.empty((batch, time, h_units), dtype=x.dtype)
+        for t in range(time):
+            xz = xw[:, t, :h_units]
+            xr = xw[:, t, h_units:2 * h_units]
+            xc = xw[:, t, 2 * h_units:]
+            z = sigmoid(xz + h_prev @ Uz)
+            r = sigmoid(xr + h_prev @ Ur)
+            rh = r * h_prev
+            c = tanh(xc + rh @ Uc)
+            h = z * h_prev + (1.0 - z) * c
+            steps.append((h_prev, z, r, c, rh))
+            hs[:, t, :] = h
+            h_prev = h
+        self._cache = (x, steps)
+        return hs if self.return_sequences else h_prev
+
+    def backward(self, grad):
+        x, steps = self._cache
+        batch, time, features = x.shape
+        h_units = self.units
+        W, U = self.params["W"], self.params["U"]
+        Uz, Ur, Uc = U[:, :h_units], U[:, h_units:2 * h_units], U[:, 2 * h_units:]
+
+        dW = np.zeros_like(W)
+        dU = np.zeros_like(U)
+        db = np.zeros_like(self.params["b"])
+        dx = np.empty_like(x)
+
+        if self.return_sequences:
+            grad_seq = grad
+            dh_next = np.zeros((batch, h_units), dtype=x.dtype)
+        else:
+            grad_seq = None
+            dh_next = grad
+
+        for t in range(time - 1, -1, -1):
+            h_prev, z, r, c, rh = steps[t]
+            dh = dh_next if grad_seq is None else dh_next + grad_seq[:, t, :]
+            dz = dh * (h_prev - c)
+            dc = dh * (1.0 - z)
+            dzc = dz * z * (1.0 - z)          # through sigmoid
+            dcc = dc * (1.0 - c * c)          # through tanh
+            drh = dcc @ Uc.T
+            dr = drh * h_prev
+            drc = dr * r * (1.0 - r)
+            # Accumulate parameter gradients.
+            dgates = np.concatenate([dzc, drc, dcc], axis=1)
+            dW += x[:, t, :].T @ dgates
+            db += dgates.sum(axis=0)
+            dU[:, :h_units] += h_prev.T @ dzc
+            dU[:, h_units:2 * h_units] += h_prev.T @ drc
+            dU[:, 2 * h_units:] += rh.T @ dcc
+            dx[:, t, :] = dgates @ W.T
+            dh_next = (
+                dh * z
+                + dzc @ Uz.T
+                + drc @ Ur.T
+                + drh * r
+            )
+
+        self.grads["W"] = dW
+        self.grads["U"] = dU
+        self.grads["b"] = db
+        return [dx]
+
+
+class Bidirectional(Layer):
+    """Run a recurrent layer forwards and backwards, concatenating outputs.
+
+    ``layer_factory`` must build a *fresh* recurrent layer on each call —
+    e.g. ``Bidirectional(lambda s: GRU(32, seed=s), seed=0)``.  The two
+    directions hold independent weights, exposed through this layer's
+    ``params`` under ``fw_``/``bw_`` prefixes (shared storage, so the
+    optimizer updates the children in place).
+    """
+
+    def __init__(self, layer_factory, name=None, seed=None):
+        super().__init__(name=name, seed=seed)
+        fw_seed = int(self._rng.integers(0, 2**31 - 1))
+        bw_seed = int(self._rng.integers(0, 2**31 - 1))
+        self.forward_layer = layer_factory(fw_seed)
+        self.backward_layer = layer_factory(bw_seed)
+        for child, tag in ((self.forward_layer, "fw"),
+                           (self.backward_layer, "bw")):
+            if not hasattr(child, "return_sequences"):
+                raise TypeError(
+                    "Bidirectional wraps recurrent layers with a "
+                    "return_sequences attribute"
+                )
+            child.name = f"{self.name}_{tag}"
+        if (self.forward_layer.return_sequences
+                != self.backward_layer.return_sequences):
+            raise ValueError("both directions must agree on return_sequences")
+        self.return_sequences = self.forward_layer.return_sequences
+
+    def build(self, input_shapes):
+        self.forward_layer.build(input_shapes)
+        self.backward_layer.build(input_shapes)
+        self.forward_layer.built = self.backward_layer.built = True
+        # Expose children's parameters (shared array objects).
+        for tag, child in (("fw", self.forward_layer),
+                           ("bw", self.backward_layer)):
+            for key, value in child.params.items():
+                self.params[f"{tag}_{key}"] = value
+
+    def compute_output_shape(self, input_shapes):
+        fw = self.forward_layer.compute_output_shape(input_shapes)
+        return fw[:-1] + (2 * fw[-1],)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        # Re-sync child parameters: Model.set_weights may have rebound the
+        # arrays in our params dict, which children cannot observe.
+        for tag, child in (("fw", self.forward_layer),
+                           ("bw", self.backward_layer)):
+            for key in child.params:
+                child.params[key] = self.params[f"{tag}_{key}"]
+        fw = self.forward_layer.forward([x], training=training)
+        bw = self.backward_layer.forward([x[:, ::-1]], training=training)
+        if self.return_sequences:
+            bw = bw[:, ::-1]
+        return np.concatenate([fw, bw], axis=-1)
+
+    def backward(self, grad):
+        units = grad.shape[-1] // 2
+        grad_fw = grad[..., :units]
+        grad_bw = grad[..., units:]
+        if self.return_sequences:
+            grad_bw = grad_bw[:, ::-1]
+        dx_fw = self.forward_layer.backward(np.ascontiguousarray(grad_fw))[0]
+        dx_bw = self.backward_layer.backward(np.ascontiguousarray(grad_bw))[0]
+        for tag, child in (("fw", self.forward_layer),
+                           ("bw", self.backward_layer)):
+            for key, value in child.grads.items():
+                self.grads[f"{tag}_{key}"] = value
+        return [dx_fw + dx_bw[:, ::-1]]
+
+    def count_params(self) -> int:
+        return (self.forward_layer.count_params()
+                + self.backward_layer.count_params())

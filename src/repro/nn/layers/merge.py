@@ -1,0 +1,83 @@
+"""Multi-input merge layers: Concatenate and Add.
+
+``Concatenate`` joins the three convolutional branch outputs of the paper's
+CNN before the dense head.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["Concatenate", "Add"]
+
+
+class Concatenate(Layer):
+    """Concatenate along a per-sample axis (default: last)."""
+
+    def __init__(self, axis=-1, name=None):
+        super().__init__(name=name)
+        self.axis = int(axis)
+
+    def _array_axis(self, ndim_with_batch) -> int:
+        if self.axis < 0:
+            return ndim_with_batch + self.axis
+        return self.axis + 1
+
+    def build(self, input_shapes):
+        if len(input_shapes) < 2:
+            raise ValueError("Concatenate needs at least two inputs")
+        rank = len(input_shapes[0])
+        axis = self.axis if self.axis >= 0 else rank + self.axis
+        if not 0 <= axis < rank:
+            raise ValueError(f"axis {self.axis} out of range for rank {rank}")
+        for shape in input_shapes[1:]:
+            if len(shape) != rank:
+                raise ValueError(f"rank mismatch: {input_shapes}")
+            for ax in range(rank):
+                if ax != axis and shape[ax] != input_shapes[0][ax]:
+                    raise ValueError(
+                        f"non-concatenation axes must match: {input_shapes}"
+                    )
+
+    def compute_output_shape(self, input_shapes):
+        rank = len(input_shapes[0])
+        axis = self.axis if self.axis >= 0 else rank + self.axis
+        out = list(input_shapes[0])
+        out[axis] = sum(shape[axis] for shape in input_shapes)
+        return tuple(out)
+
+    def forward(self, inputs, training=False):
+        axis = self._array_axis(inputs[0].ndim)
+        self._sizes = [x.shape[axis] for x in inputs]
+        self._axis_resolved = axis
+        return np.concatenate(inputs, axis=axis)
+
+    def backward(self, grad):
+        splits = np.cumsum(self._sizes[:-1])
+        return list(np.split(grad, splits, axis=self._axis_resolved))
+
+
+class Add(Layer):
+    """Element-wise sum of same-shaped inputs (residual connections)."""
+
+    def build(self, input_shapes):
+        if len(input_shapes) < 2:
+            raise ValueError("Add needs at least two inputs")
+        for shape in input_shapes[1:]:
+            if shape != input_shapes[0]:
+                raise ValueError(f"Add inputs must share a shape: {input_shapes}")
+
+    def compute_output_shape(self, input_shapes):
+        return input_shapes[0]
+
+    def forward(self, inputs, training=False):
+        self._n = len(inputs)
+        out = inputs[0].copy()
+        for x in inputs[1:]:
+            out += x
+        return out
+
+    def backward(self, grad):
+        return [grad] * self._n

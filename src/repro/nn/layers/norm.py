@@ -1,0 +1,65 @@
+"""Batch normalisation over the feature (last) axis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import floatx
+from .base import Layer
+
+__all__ = ["BatchNorm"]
+
+
+class BatchNorm(Layer):
+    """Batch normalisation with running statistics for inference.
+
+    Normalises over every axis except the last (features/channels), so it
+    works for both ``(batch, features)`` and ``(batch, time, channels)``
+    tensors, like Keras's ``BatchNormalization(axis=-1)``.
+    """
+
+    def __init__(self, momentum=0.99, epsilon=1e-3, name=None):
+        super().__init__(name=name)
+        if not 0.0 < momentum < 1.0:
+            raise ValueError(f"momentum must be in (0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        features = shape[-1]
+        self.params["gamma"] = np.ones(features, dtype=floatx())
+        self.params["beta"] = np.zeros(features, dtype=floatx())
+        # Running statistics are state, not trainable parameters.
+        self.state["mean"] = np.zeros(features, dtype=floatx())
+        self.state["var"] = np.ones(features, dtype=floatx())
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.state["mean"] = m * self.state["mean"] + (1.0 - m) * mean
+            self.state["var"] = m * self.state["var"] + (1.0 - m) * var
+        else:
+            mean, var = self.state["mean"], self.state["var"]
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, axes, training)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad):
+        x_hat, inv_std, axes, training = self._cache
+        self.grads["gamma"] = (grad * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad.sum(axis=axes)
+        g = grad * self.params["gamma"]
+        if not training:
+            return [g * inv_std]
+        # Standard batch-norm input gradient (statistics depend on x).
+        dx = (
+            g - g.mean(axis=axes) - x_hat * (g * x_hat).mean(axis=axes)
+        ) * inv_std
+        # mean over axes already divides by n; formula above uses means.
+        return [dx]

@@ -1,0 +1,134 @@
+"""Pooling layers over the time axis for ``(batch, time, channels)`` tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Layer
+
+__all__ = ["MaxPool1D", "AvgPool1D", "GlobalAvgPool1D", "GlobalMaxPool1D"]
+
+
+class _Pool1D(Layer):
+    """Shared shape logic for fixed-size 1-D pooling ('valid' padding)."""
+
+    def __init__(self, pool_size=2, strides=None, name=None):
+        super().__init__(name=name)
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = int(pool_size)
+        self.strides = int(strides) if strides is not None else self.pool_size
+        if self.strides <= 0:
+            raise ValueError(f"strides must be positive, got {strides}")
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(
+                f"{type(self).__name__} expects (time, channels), got {shape}"
+            )
+        if shape[0] < self.pool_size:
+            raise ValueError(
+                f"time axis {shape[0]} shorter than pool_size {self.pool_size}"
+            )
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        length, channels = shape
+        out_len = (length - self.pool_size) // self.strides + 1
+        return (out_len, channels)
+
+    def _window_starts(self, length) -> np.ndarray:
+        out_len = (length - self.pool_size) // self.strides + 1
+        return self.strides * np.arange(out_len)
+
+
+class MaxPool1D(_Pool1D):
+    """Max pooling; backward routes the gradient to each window's argmax."""
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        starts = self._window_starts(x.shape[1])
+        # windows: (batch, out_len, pool, channels)
+        idx = starts[:, None] + np.arange(self.pool_size)[None, :]
+        windows = x[:, idx, :]
+        argmax = windows.argmax(axis=2)  # (batch, out_len, channels)
+        out = np.take_along_axis(windows, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        self._cache = (x.shape, starts, argmax)
+        return out
+
+    def backward(self, grad):
+        in_shape, starts, argmax = self._cache
+        dx = np.zeros(in_shape, dtype=grad.dtype)
+        batch, out_len, channels = grad.shape
+        # Absolute time index of each selected maximum.
+        time_idx = starts[None, :, None] + argmax  # (batch, out_len, channels)
+        b_idx = np.arange(batch)[:, None, None]
+        c_idx = np.arange(channels)[None, None, :]
+        # Overlapping windows may select the same sample twice: accumulate.
+        np.add.at(dx, (b_idx, time_idx, c_idx), grad)
+        return [dx]
+
+
+class AvgPool1D(_Pool1D):
+    """Average pooling; backward spreads the gradient uniformly."""
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        starts = self._window_starts(x.shape[1])
+        idx = starts[:, None] + np.arange(self.pool_size)[None, :]
+        windows = x[:, idx, :]
+        self._cache = (x.shape, starts)
+        return windows.mean(axis=2)
+
+    def backward(self, grad):
+        in_shape, starts = self._cache
+        dx = np.zeros(in_shape, dtype=grad.dtype)
+        share = grad / self.pool_size
+        for offset in range(self.pool_size):
+            if self.strides >= self.pool_size:
+                # Non-overlapping windows: direct slice accumulate.
+                dx[:, starts + offset, :] += share
+            else:
+                np.add.at(dx, (slice(None), starts + offset), share)
+        return [dx]
+
+
+class GlobalAvgPool1D(Layer):
+    """Mean over the whole time axis: (batch, time, ch) -> (batch, ch)."""
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        return (shape[-1],)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        self._in_shape = x.shape
+        return x.mean(axis=1)
+
+    def backward(self, grad):
+        batch, length, channels = self._in_shape
+        dx = np.broadcast_to(grad[:, None, :] / length, self._in_shape)
+        return [np.array(dx)]
+
+
+class GlobalMaxPool1D(Layer):
+    """Max over the whole time axis: (batch, time, ch) -> (batch, ch)."""
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        return (shape[-1],)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        self._in_shape = x.shape
+        self._argmax = x.argmax(axis=1)  # (batch, channels)
+        return np.take_along_axis(x, self._argmax[:, None, :], axis=1)[:, 0, :]
+
+    def backward(self, grad):
+        batch, length, channels = self._in_shape
+        dx = np.zeros(self._in_shape, dtype=grad.dtype)
+        b_idx = np.arange(batch)[:, None]
+        c_idx = np.arange(channels)[None, :]
+        dx[b_idx, self._argmax, c_idx] = grad
+        return [dx]

@@ -1,0 +1,160 @@
+"""LSTM layer with full backpropagation-through-time.
+
+Implements the standard Keras LSTM cell (gate order i, f, g, o; sigmoid
+recurrent activations, tanh candidate/output activation):
+
+    i_t = sigmoid(x_t Wi + h_{t-1} Ui + bi)
+    f_t = sigmoid(x_t Wf + h_{t-1} Uf + bf)
+    g_t =    tanh(x_t Wg + h_{t-1} Ug + bg)
+    o_t = sigmoid(x_t Wo + h_{t-1} Uo + bo)
+    c_t = f_t * c_{t-1} + i_t * g_t
+    h_t = o_t * tanh(c_t)
+
+Used by the paper's LSTM baseline (Table III).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import initializers
+from ..activations import sigmoid, tanh
+from ..config import floatx
+from .base import Layer
+
+__all__ = ["LSTM"]
+
+
+class LSTM(Layer):
+    """Long Short-Term Memory over ``(batch, time, features)`` inputs.
+
+    Parameters
+    ----------
+    units:
+        Hidden state size.
+    return_sequences:
+        If True the layer outputs the whole hidden sequence
+        ``(batch, time, units)``; otherwise only the final hidden state
+        ``(batch, units)``.
+    unit_forget_bias:
+        Initialise the forget-gate bias to 1 (Keras default), which helps
+        gradient flow early in training.
+    """
+
+    def __init__(
+        self,
+        units,
+        return_sequences=False,
+        unit_forget_bias=True,
+        kernel_initializer="glorot_uniform",
+        recurrent_initializer="orthogonal",
+        name=None,
+        seed=None,
+    ):
+        super().__init__(name=name, seed=seed)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.return_sequences = bool(return_sequences)
+        self.unit_forget_bias = bool(unit_forget_bias)
+        self.kernel_initializer = initializers.get(kernel_initializer)
+        self.recurrent_initializer = initializers.get(recurrent_initializer)
+
+    def build(self, input_shapes):
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(f"LSTM expects (time, features), got {shape}")
+        _, features = shape
+        h = self.units
+        self.params["W"] = self.kernel_initializer((features, 4 * h), self._rng)
+        self.params["U"] = self.recurrent_initializer((h, 4 * h), self._rng)
+        bias = np.zeros(4 * h, dtype=floatx())
+        if self.unit_forget_bias:
+            bias[h : 2 * h] = 1.0
+        self.params["b"] = bias
+
+    def compute_output_shape(self, input_shapes):
+        (shape,) = input_shapes
+        time, _ = shape
+        if self.return_sequences:
+            return (time, self.units)
+        return (self.units,)
+
+    def forward(self, inputs, training=False):
+        x = self._single(inputs)
+        batch, time, _ = x.shape
+        h_units = self.units
+        W, U, b = self.params["W"], self.params["U"], self.params["b"]
+
+        h_prev = np.zeros((batch, h_units), dtype=x.dtype)
+        c_prev = np.zeros((batch, h_units), dtype=x.dtype)
+        # Pre-compute the input contribution for every step at once.
+        xw = x @ W + b  # (batch, time, 4h)
+
+        steps = []
+        hs = np.empty((batch, time, h_units), dtype=x.dtype)
+        for t in range(time):
+            z = xw[:, t, :] + h_prev @ U
+            i = sigmoid(z[:, :h_units])
+            f = sigmoid(z[:, h_units : 2 * h_units])
+            g = tanh(z[:, 2 * h_units : 3 * h_units])
+            o = sigmoid(z[:, 3 * h_units :])
+            c = f * c_prev + i * g
+            tc = tanh(c)
+            h = o * tc
+            steps.append((h_prev, c_prev, i, f, g, o, tc))
+            hs[:, t, :] = h
+            h_prev, c_prev = h, c
+        self._cache = (x, steps)
+        if self.return_sequences:
+            return hs
+        return h_prev
+
+    def backward(self, grad):
+        x, steps = self._cache
+        batch, time, features = x.shape
+        h_units = self.units
+        W, U = self.params["W"], self.params["U"]
+
+        dW = np.zeros_like(W)
+        dU = np.zeros_like(U)
+        db = np.zeros_like(self.params["b"])
+        dx = np.empty_like(x)
+
+        if self.return_sequences:
+            grad_seq = grad
+            dh_next = np.zeros((batch, h_units), dtype=x.dtype)
+        else:
+            grad_seq = None
+            dh_next = grad
+        dc_next = np.zeros((batch, h_units), dtype=x.dtype)
+
+        for t in range(time - 1, -1, -1):
+            h_prev, c_prev, i, f, g, o, tc = steps[t]
+            dh = dh_next if grad_seq is None else dh_next + grad_seq[:, t, :]
+            do = dh * tc
+            dc = dc_next + dh * o * (1.0 - tc * tc)
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dc_next = dc * f
+            # Back through gate non-linearities.
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g * g),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            dW += x[:, t, :].T @ dz
+            dU += h_prev.T @ dz
+            db += dz.sum(axis=0)
+            dx[:, t, :] = dz @ W.T
+            dh_next = dz @ U.T
+
+        self.grads["W"] = dW
+        self.grads["U"] = dU
+        self.grads["b"] = db
+        return [dx]

@@ -1,0 +1,141 @@
+"""Loss functions.
+
+Every loss exposes ``__call__(y_true, y_pred, sample_weight)`` returning the
+scalar mean loss, and ``grad(y_true, y_pred, sample_weight)`` returning the
+gradient of that mean w.r.t. ``y_pred`` (already divided by the batch size,
+so the model backward pass can feed it straight into the graph).
+
+The paper trains with binary cross-entropy plus *class weights* to counter
+the 96/4 activity/fall imbalance; class weights enter here through
+``sample_weight``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import EPSILON
+
+__all__ = [
+    "Loss",
+    "BinaryCrossentropy",
+    "CategoricalCrossentropy",
+    "MeanSquaredError",
+    "get",
+]
+
+
+def _normalise_weight(sample_weight, y_true):
+    if sample_weight is None:
+        return None
+    w = np.asarray(sample_weight, dtype=y_true.dtype)
+    if w.shape != y_true.shape:
+        w = w.reshape(y_true.shape[0], *([1] * (y_true.ndim - 1)))
+    return w
+
+
+class Loss:
+    """Base class; subclasses implement ``__call__`` and ``grad``."""
+
+    name = "loss"
+
+    def __call__(self, y_true, y_pred, sample_weight=None):  # pragma: no cover
+        raise NotImplementedError
+
+    def grad(self, y_true, y_pred, sample_weight=None):  # pragma: no cover
+        raise NotImplementedError
+
+
+class BinaryCrossentropy(Loss):
+    """Binary cross-entropy on sigmoid *probabilities*.
+
+    ``y_pred`` is clipped away from {0, 1}.  With the clip inactive, the
+    gradient composed with the sigmoid derivative reduces to the familiar
+    stable ``(p - y) / N`` form.
+    """
+
+    name = "binary_crossentropy"
+
+    def __call__(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype).reshape(y_pred.shape)
+        p = np.clip(y_pred, EPSILON, 1.0 - EPSILON)
+        losses = -(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p))
+        w = _normalise_weight(sample_weight, y_true)
+        if w is not None:
+            losses = losses * w
+        return float(losses.mean())
+
+    def grad(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype).reshape(y_pred.shape)
+        p = np.clip(y_pred, EPSILON, 1.0 - EPSILON)
+        g = (p - y_true) / (p * (1.0 - p)) / y_pred.size
+        w = _normalise_weight(sample_weight, y_true)
+        if w is not None:
+            g = g * w
+        return g
+
+
+class CategoricalCrossentropy(Loss):
+    """Cross-entropy on probability rows (one-hot ``y_true``)."""
+
+    name = "categorical_crossentropy"
+
+    def __call__(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype)
+        p = np.clip(y_pred, EPSILON, 1.0)
+        losses = -(y_true * np.log(p)).sum(axis=-1)
+        if sample_weight is not None:
+            losses = losses * np.asarray(sample_weight, dtype=y_pred.dtype)
+        return float(losses.mean())
+
+    def grad(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype)
+        p = np.clip(y_pred, EPSILON, 1.0)
+        g = -(y_true / p) / y_pred.shape[0]
+        if sample_weight is not None:
+            w = np.asarray(sample_weight, dtype=y_pred.dtype)[:, None]
+            g = g * w
+        return g
+
+
+class MeanSquaredError(Loss):
+    name = "mean_squared_error"
+
+    def __call__(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype).reshape(y_pred.shape)
+        losses = (y_pred - y_true) ** 2
+        w = _normalise_weight(sample_weight, y_true)
+        if w is not None:
+            losses = losses * w
+        return float(losses.mean())
+
+    def grad(self, y_true, y_pred, sample_weight=None):
+        y_true = np.asarray(y_true, dtype=y_pred.dtype).reshape(y_pred.shape)
+        g = 2.0 * (y_pred - y_true) / y_pred.size
+        w = _normalise_weight(sample_weight, y_true)
+        if w is not None:
+            g = g * w
+        return g
+
+
+_REGISTRY = {
+    "binary_crossentropy": BinaryCrossentropy,
+    "bce": BinaryCrossentropy,
+    "categorical_crossentropy": CategoricalCrossentropy,
+    "mse": MeanSquaredError,
+    "mean_squared_error": MeanSquaredError,
+}
+
+
+def get(identifier) -> Loss:
+    """Resolve a loss instance from a name, class or instance."""
+    if isinstance(identifier, Loss):
+        return identifier
+    if isinstance(identifier, type) and issubclass(identifier, Loss):
+        return identifier()
+    try:
+        return _REGISTRY[identifier]()
+    except KeyError:
+        raise ValueError(
+            f"unknown loss {identifier!r}; options: {sorted(_REGISTRY)}"
+        ) from None

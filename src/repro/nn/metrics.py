@@ -1,0 +1,42 @@
+"""Training-time metrics computed on predictions.
+
+These are lightweight epoch metrics for ``Model.fit`` logging; the full
+paper-style evaluation (segment *and* event level) lives in
+:mod:`repro.eval.metrics`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["binary_accuracy", "accuracy", "get"]
+
+
+def binary_accuracy(y_true, y_pred, threshold=0.5) -> float:
+    """Fraction of sigmoid outputs on the right side of ``threshold``."""
+    y_true = np.asarray(y_true).reshape(-1)
+    y_hat = (np.asarray(y_pred).reshape(-1) >= threshold).astype(int)
+    return float(np.mean(y_hat == y_true.astype(int)))
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Argmax accuracy for one-hot / probability-row predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_pred.ndim == 1 or y_pred.shape[-1] == 1:
+        return binary_accuracy(y_true, y_pred)
+    return float(np.mean(y_pred.argmax(axis=-1) == y_true.argmax(axis=-1)))
+
+
+_REGISTRY = {"binary_accuracy": binary_accuracy, "accuracy": accuracy}
+
+
+def get(identifier):
+    if callable(identifier):
+        return identifier
+    try:
+        return _REGISTRY[identifier]
+    except KeyError:
+        raise ValueError(
+            f"unknown metric {identifier!r}; options: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,304 @@
+"""The ``Model`` class: functional graph execution, training and evaluation.
+
+A model is defined by one input node and one output node (everything the
+paper needs — the branched CNN has a single ``[n x 9]`` input).  The graph
+is topologically sorted once at construction; forward and backward passes
+replay that order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import losses as losses_module
+from . import metrics as metrics_module
+from . import optimizers as optimizers_module
+from .config import asfloat
+from .graph import Node, topological_order
+
+__all__ = ["Model"]
+
+
+class Model:
+    """A trainable computation graph with a Keras-like interface."""
+
+    def __init__(self, inputs: Node, outputs: Node, name="model"):
+        if isinstance(inputs, (list, tuple)):
+            if len(inputs) != 1:
+                raise ValueError("Model supports exactly one input node")
+            inputs = inputs[0]
+        if isinstance(outputs, (list, tuple)):
+            if len(outputs) != 1:
+                raise ValueError("Model supports exactly one output node")
+            outputs = outputs[0]
+        if not inputs.is_input:
+            raise ValueError("`inputs` must be an Input node")
+        self.input_node = inputs
+        self.output_node = outputs
+        self.name = name
+        self.nodes = topological_order([outputs])
+        if self.input_node not in self.nodes:
+            raise ValueError("output node is not connected to the input node")
+        for node in self.nodes:
+            if node.is_input and node is not self.input_node:
+                raise ValueError(
+                    f"graph depends on a foreign input node {node.name!r}"
+                )
+        # Unique layers in dependency order.
+        self.layers = [node.layer for node in self.nodes if node.layer is not None]
+        self.optimizer = None
+        self.loss = None
+        self.metric_fns: list = []
+        self.metric_names: list[str] = []
+        self.stop_training = False
+
+    # ------------------------------------------------------------------
+    # Shapes / parameters
+    # ------------------------------------------------------------------
+    @property
+    def input_shape(self):
+        return self.input_node.shape
+
+    @property
+    def output_shape(self):
+        return self.output_node.shape
+
+    def count_params(self) -> int:
+        return sum(layer.count_params() for layer in self.layers)
+
+    def get_layer(self, name: str):
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in model {self.name!r}")
+
+    def get_weights(self) -> list[np.ndarray]:
+        """All parameters and state buffers, in deterministic order."""
+        weights = []
+        for layer in self.layers:
+            for key in sorted(layer.params):
+                weights.append(layer.params[key].copy())
+            for key in sorted(layer.state):
+                weights.append(layer.state[key].copy())
+        return weights
+
+    def set_weights(self, weights) -> None:
+        weights = list(weights)
+        expected = sum(len(l.params) + len(l.state) for l in self.layers)
+        if len(weights) != expected:
+            raise ValueError(
+                f"expected {expected} weight arrays, got {len(weights)}"
+            )
+        idx = 0
+        for layer in self.layers:
+            for key in sorted(layer.params):
+                new = np.asarray(weights[idx])
+                if new.shape != layer.params[key].shape:
+                    raise ValueError(
+                        f"shape mismatch for {layer.name}/{key}: "
+                        f"{new.shape} vs {layer.params[key].shape}"
+                    )
+                layer.params[key] = new.astype(layer.params[key].dtype).copy()
+                idx += 1
+            for key in sorted(layer.state):
+                layer.state[key] = (
+                    np.asarray(weights[idx]).astype(layer.state[key].dtype).copy()
+                )
+                idx += 1
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        values: dict[int, np.ndarray] = {self.input_node.uid: x}
+        for node in self.nodes:
+            if node.is_input:
+                continue
+            inputs = [values[parent.uid] for parent in node.parents]
+            values[node.uid] = node.layer.forward(inputs, training=training)
+        self._values = values
+        return values[self.output_node.uid]
+
+    def _backward(self, grad_output: np.ndarray) -> None:
+        grads: dict[int, np.ndarray] = {self.output_node.uid: grad_output}
+        for node in reversed(self.nodes):
+            if node.is_input:
+                continue
+            upstream = grads.pop(node.uid, None)
+            if upstream is None:
+                continue
+            parent_grads = node.layer.backward(upstream)
+            for parent, pgrad in zip(node.parents, parent_grads):
+                if parent.uid in grads:
+                    grads[parent.uid] = grads[parent.uid] + pgrad
+                else:
+                    grads[parent.uid] = pgrad
+
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
+        x = asfloat(x)
+        if x.shape[1:] != self.input_shape:
+            raise ValueError(
+                f"model {self.name!r} expects per-sample shape "
+                f"{self.input_shape}, got {x.shape[1:]}"
+            )
+        return x
+
+    def predict(self, x, batch_size=256) -> np.ndarray:
+        """Run inference in batches; returns the stacked outputs."""
+        x = self._check_input(np.asarray(x))
+        chunks = []
+        for start in range(0, len(x), batch_size):
+            chunks.append(self._forward(x[start : start + batch_size], training=False))
+        return np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def compile(self, optimizer="adam", loss="binary_crossentropy", metrics=()):
+        """Attach optimizer, loss and epoch metrics."""
+        self.optimizer = optimizers_module.get(optimizer)
+        self.loss = losses_module.get(loss)
+        self.metric_fns = [metrics_module.get(m) for m in metrics]
+        self.metric_names = [
+            m if isinstance(m, str) else getattr(m, "__name__", "metric")
+            for m in metrics
+        ]
+        return self
+
+    def _require_compiled(self):
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("call model.compile(...) before training/evaluating")
+
+    def _collect_params(self) -> tuple[dict, dict]:
+        params, grads = {}, {}
+        for layer in self.layers:
+            for key, value in layer.params.items():
+                params[(layer.name, key)] = value
+            for key, value in layer.grads.items():
+                grads[(layer.name, key)] = value
+        return params, grads
+
+    def train_on_batch(self, x, y, sample_weight=None) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        self._require_compiled()
+        x = self._check_input(np.asarray(x))
+        y_pred = self._forward(x, training=True)
+        loss_value = self.loss(y, y_pred, sample_weight)
+        grad = self.loss.grad(y, y_pred, sample_weight)
+        self._backward(grad)
+        params, grads = self._collect_params()
+        self.optimizer.apply(params, grads)
+        return loss_value
+
+    def evaluate(self, x, y, sample_weight=None, batch_size=256) -> dict:
+        """Mean loss (+ metrics) over ``(x, y)`` without updating weights."""
+        self._require_compiled()
+        y_pred = self.predict(x, batch_size=batch_size)
+        logs = {"loss": self.loss(y, y_pred, sample_weight)}
+        for fn, name in zip(self.metric_fns, self.metric_names):
+            logs[name] = float(fn(y, y_pred))
+        return logs
+
+    def fit(
+        self,
+        x,
+        y,
+        epochs=1,
+        batch_size=32,
+        validation_data=None,
+        sample_weight=None,
+        class_weight=None,
+        callbacks=(),
+        shuffle=True,
+        verbose=0,
+        seed=None,
+    ):
+        """Mini-batch training loop.
+
+        ``class_weight`` is a mapping ``{class: weight}`` applied per sample
+        (this is how the paper counteracts the fall/ADL imbalance);
+        ``sample_weight`` overrides it when both are given.
+
+        Returns the :class:`~repro.nn.callbacks.History` callback.
+        """
+        from .callbacks import History
+
+        self._require_compiled()
+        x = self._check_input(np.asarray(x))
+        y = np.asarray(y)
+        if len(x) != len(y):
+            raise ValueError(f"x and y disagree on length: {len(x)} vs {len(y)}")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        if sample_weight is None and class_weight is not None:
+            flat = y.reshape(len(y), -1)[:, 0].astype(int)
+            sample_weight = np.array(
+                [float(class_weight.get(int(c), 1.0)) for c in flat]
+            )
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if len(sample_weight) != len(x):
+                raise ValueError("sample_weight length must match x")
+
+        history = History()
+        all_callbacks = [history, *callbacks]
+        for cb in all_callbacks:
+            cb.set_model(self)
+            cb.on_train_begin()
+
+        rng = np.random.default_rng(seed)
+        self.stop_training = False
+        n = len(x)
+        for epoch in range(epochs):
+            for cb in all_callbacks:
+                cb.on_epoch_begin(epoch)
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            seen = 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                sw = None if sample_weight is None else sample_weight[idx]
+                batch_loss = self.train_on_batch(x[idx], y[idx], sw)
+                epoch_loss += batch_loss * len(idx)
+                seen += len(idx)
+            logs = {"loss": epoch_loss / max(seen, 1)}
+            if self.metric_fns:
+                y_pred = self.predict(x, batch_size=max(batch_size, 256))
+                for fn, name in zip(self.metric_fns, self.metric_names):
+                    logs[name] = float(fn(y, y_pred))
+            if validation_data is not None:
+                val_x, val_y = validation_data[0], validation_data[1]
+                val_logs = self.evaluate(val_x, val_y, batch_size=max(batch_size, 256))
+                logs.update({f"val_{k}": v for k, v in val_logs.items()})
+            for cb in all_callbacks:
+                cb.on_epoch_end(epoch, logs)
+            if verbose:
+                rendered = "  ".join(f"{k}={v:.4f}" for k, v in logs.items())
+                print(f"epoch {epoch + 1}/{epochs}  {rendered}")
+            if self.stop_training:
+                break
+        for cb in all_callbacks:
+            cb.on_train_end()
+        return history
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """Human-readable table of layers, output shapes and params."""
+        lines = [f"Model: {self.name}", "-" * 62]
+        lines.append(f"{'layer':30s}{'output shape':20s}{'params':>10s}")
+        lines.append("-" * 62)
+        for node in self.nodes:
+            if node.is_input:
+                lines.append(f"{node.name:30s}{str(node.shape):20s}{'0':>10s}")
+            else:
+                layer = node.layer
+                count = layer.count_params()
+                lines.append(
+                    f"{layer.name:30s}{str(node.shape):20s}{count:>10d}"
+                )
+        lines.append("-" * 62)
+        lines.append(f"total params: {self.count_params()}")
+        return "\n".join(lines)

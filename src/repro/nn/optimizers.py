@@ -1,0 +1,155 @@
+"""Gradient-descent optimizers: SGD (+momentum), RMSprop, Adam.
+
+Optimizers update parameter arrays *in place*.  Per-parameter state (e.g.
+Adam moments) is keyed by the caller-supplied parameter key, so the same
+optimizer instance keeps consistent state across batches.
+
+All optimizers support global-norm gradient clipping (``clipnorm``), which
+matters for the LSTM baselines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "RMSprop", "Adam", "get"]
+
+
+class Optimizer:
+    """Base optimizer.
+
+    ``weight_decay`` applies *decoupled* L2 regularisation (AdamW-style:
+    the decay is added to the update, not to the gradient statistics).
+    Bias/scale vectors (1-D parameters) are exempt, the usual convention.
+    """
+
+    def __init__(self, learning_rate=0.001, clipnorm=None, weight_decay=0.0):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.learning_rate = float(learning_rate)
+        self.clipnorm = None if clipnorm is None else float(clipnorm)
+        self.weight_decay = float(weight_decay)
+        self.iterations = 0
+
+    # ------------------------------------------------------------------
+    def apply(self, params: dict, grads: dict) -> None:
+        """Update every parameter in ``params`` using matching ``grads``."""
+        grads = self._maybe_clip(grads)
+        self.iterations += 1
+        for key, param in params.items():
+            grad = grads.get(key)
+            if grad is None:
+                continue
+            self._update_one(key, param, np.asarray(grad, dtype=param.dtype))
+            if self.weight_decay and param.ndim > 1:
+                param -= self.learning_rate * self.weight_decay * param
+
+    def _maybe_clip(self, grads: dict) -> dict:
+        if self.clipnorm is None:
+            return grads
+        total = float(
+            np.sqrt(sum(float(np.sum(g.astype(np.float64) ** 2)) for g in grads.values()))
+        )
+        if total <= self.clipnorm or total == 0.0:
+            return grads
+        scale = self.clipnorm / total
+        return {k: g * scale for k, g in grads.items()}
+
+    def _update_one(self, key, param, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate=0.01, momentum=0.0, clipnorm=None,
+                 weight_decay=0.0):
+        super().__init__(learning_rate, clipnorm, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: dict = {}
+
+    def _update_one(self, key, param, grad):
+        if self.momentum:
+            v = self._velocity.get(key)
+            if v is None:
+                v = np.zeros_like(param)
+            v = self.momentum * v - self.learning_rate * grad
+            self._velocity[key] = v
+            param += v
+        else:
+            param -= self.learning_rate * grad
+
+
+class RMSprop(Optimizer):
+    """RMSprop (Hinton): scale updates by a running RMS of gradients."""
+
+    def __init__(self, learning_rate=0.001, rho=0.9, epsilon=1e-7,
+                 clipnorm=None, weight_decay=0.0):
+        super().__init__(learning_rate, clipnorm, weight_decay)
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+        self._ms: dict = {}
+
+    def _update_one(self, key, param, grad):
+        ms = self._ms.get(key)
+        if ms is None:
+            ms = np.zeros_like(param)
+        ms = self.rho * ms + (1.0 - self.rho) * grad * grad
+        self._ms[key] = ms
+        param -= self.learning_rate * grad / (np.sqrt(ms) + self.epsilon)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        learning_rate=0.001,
+        beta_1=0.9,
+        beta_2=0.999,
+        epsilon=1e-7,
+        clipnorm=None,
+        weight_decay=0.0,
+    ):
+        super().__init__(learning_rate, clipnorm, weight_decay)
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: dict = {}
+        self._v: dict = {}
+
+    def _update_one(self, key, param, grad):
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta_1 * m + (1.0 - self.beta_1) * grad
+        v = self.beta_2 * v + (1.0 - self.beta_2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        t = self.iterations
+        m_hat = m / (1.0 - self.beta_1**t)
+        v_hat = v / (1.0 - self.beta_2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+_REGISTRY = {"sgd": SGD, "rmsprop": RMSprop, "adam": Adam}
+
+
+def get(identifier) -> Optimizer:
+    """Resolve an optimizer instance from a name, class or instance."""
+    if isinstance(identifier, Optimizer):
+        return identifier
+    if isinstance(identifier, type) and issubclass(identifier, Optimizer):
+        return identifier()
+    try:
+        return _REGISTRY[identifier]()
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {identifier!r}; options: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,42 @@
+"""``Sequential``: the linear-stack convenience wrapper.
+
+The paper's own CNN is branched and needs the functional API, but the
+baselines (MLP, LSTM stacks) are linear chains — this mirrors
+``keras.Sequential`` for those.
+"""
+
+from __future__ import annotations
+
+from .graph import Input
+from .model import Model
+
+__all__ = ["Sequential"]
+
+
+def Sequential(input_shape, layers, name="sequential") -> Model:
+    """Build a :class:`~repro.nn.model.Model` from a list of layers.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample input shape (no batch axis).
+    layers:
+        Layer instances applied in order.  Each must be unused (layers
+        cannot be shared between models).
+
+    Example::
+
+        model = nn.Sequential((40, 9), [
+            nn.layers.Flatten(),
+            nn.layers.Dense(64, activation="relu"),
+            nn.layers.Dense(1, activation="sigmoid"),
+        ])
+    """
+    layers = list(layers)
+    if not layers:
+        raise ValueError("Sequential needs at least one layer")
+    node = Input(input_shape)
+    inp = node
+    for layer in layers:
+        node = layer(node)
+    return Model(inp, node, name=name)

@@ -1,0 +1,69 @@
+"""Weight (de)serialisation.
+
+Architectures are rebuilt from the builder functions in
+:mod:`repro.core.architecture` / :mod:`repro.core.baselines`; this module
+persists weights and state buffers keyed by ``layer/param`` into a single
+``.npz`` file, with shape checking on load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_weights", "load_weights"]
+
+_STATE_PREFIX = "state:"
+
+
+def save_weights(model, path) -> None:
+    """Write every parameter and state buffer of ``model`` to ``path``."""
+    arrays: dict[str, np.ndarray] = {}
+    for layer in model.layers:
+        for key, value in layer.params.items():
+            arrays[f"{layer.name}/{key}"] = value
+        for key, value in layer.state.items():
+            arrays[f"{layer.name}/{_STATE_PREFIX}{key}"] = value
+    np.savez(path, **arrays)
+
+
+def load_weights(model, path, strict=True) -> None:
+    """Load weights saved by :func:`save_weights` into ``model``.
+
+    With ``strict`` (default) every model parameter must be present in the
+    file and vice versa; shapes always must match.
+    """
+    with np.load(path) as data:
+        stored = {name: data[name] for name in data.files}
+
+    expected: set[str] = set()
+    for layer in model.layers:
+        for key in layer.params:
+            expected.add(f"{layer.name}/{key}")
+        for key in layer.state:
+            expected.add(f"{layer.name}/{_STATE_PREFIX}{key}")
+
+    if strict:
+        missing = expected - set(stored)
+        extra = set(stored) - expected
+        if missing or extra:
+            raise ValueError(
+                f"weight file mismatch: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+
+    for layer in model.layers:
+        for key in layer.params:
+            name = f"{layer.name}/{key}"
+            if name not in stored:
+                continue
+            value = stored[name]
+            if value.shape != layer.params[key].shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: file {value.shape} vs "
+                    f"model {layer.params[key].shape}"
+                )
+            layer.params[key] = value.astype(layer.params[key].dtype)
+        for key in layer.state:
+            name = f"{layer.name}/{_STATE_PREFIX}{key}"
+            if name in stored:
+                layer.state[key] = stored[name].astype(layer.state[key].dtype)

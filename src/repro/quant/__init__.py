@@ -1,0 +1,32 @@
+"""``repro.quant`` — post-training int8 quantization (Section III-D)."""
+
+from .calibrate import calibrate_activations
+from .qmodel import QOp, QuantizedModel
+from .qtensor import (
+    INT8_MAX,
+    INT8_MIN,
+    FixedPointMultiplier,
+    QuantParams,
+    activation_qparams,
+    dequantize,
+    quantize,
+    quantize_weights_per_channel,
+    requantize,
+    weight_qparams_per_channel,
+)
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "activation_qparams",
+    "weight_qparams_per_channel",
+    "quantize_weights_per_channel",
+    "FixedPointMultiplier",
+    "requantize",
+    "calibrate_activations",
+    "QuantizedModel",
+    "QOp",
+    "INT8_MIN",
+    "INT8_MAX",
+]

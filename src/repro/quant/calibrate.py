@@ -1,0 +1,40 @@
+"""Calibration: observe per-node activation ranges on representative data.
+
+Post-training quantization needs the dynamic range of every intermediate
+tensor.  We run the float model over a calibration batch and record
+min/max per graph node (the model caches node outputs during forward).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.model import Model
+from .qtensor import QuantParams, activation_qparams
+
+__all__ = ["calibrate_activations"]
+
+
+def calibrate_activations(
+    model: Model, calibration_x: np.ndarray, batch_size: int = 256
+) -> dict[int, QuantParams]:
+    """Return ``node uid -> QuantParams`` for every tensor in the graph.
+
+    Ranges are accumulated over batches (min of mins / max of maxes —
+    conservative coverage, like TFLite's default MinMax observer).
+    """
+    calibration_x = np.asarray(calibration_x)
+    if len(calibration_x) == 0:
+        raise ValueError("calibration set is empty")
+    mins: dict[int, float] = {}
+    maxs: dict[int, float] = {}
+    for start in range(0, len(calibration_x), batch_size):
+        batch = calibration_x[start : start + batch_size]
+        model._forward(np.asarray(batch, dtype=np.float32), training=False)
+        for uid, value in model._values.items():
+            v = np.asarray(value)
+            mins[uid] = min(mins.get(uid, np.inf), float(v.min()))
+            maxs[uid] = max(maxs.get(uid, -np.inf), float(v.max()))
+    return {
+        uid: activation_qparams(mins[uid], maxs[uid]) for uid in mins
+    }

@@ -1,0 +1,361 @@
+"""Post-training int8 quantization of a trained graph model.
+
+``QuantizedModel.convert`` walks the float graph, quantizes weights
+per-channel, calibrates activation ranges, and lowers every layer to an
+integer op.  The resulting executor uses int8 tensors, int32 accumulators
+and fixed-point requantization only — the same arithmetic an STM32F722
+would run — so its accuracy *is* the deployed accuracy ("the model's
+performance remains unchanged after quantization", Section IV-C).
+
+The final sigmoid is evaluated by dequantizing the logit, as deployment
+stacks do with a look-up table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ..nn.layers import (
+    Concatenate,
+    Conv1D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool1D,
+    Reshape,
+    Slice,
+)
+from ..nn.model import Model
+from .calibrate import calibrate_activations
+from .qtensor import (
+    FixedPointMultiplier,
+    QuantParams,
+    dequantize,
+    quantize,
+    quantize_weights_per_channel,
+)
+
+__all__ = ["QuantizedModel", "QOp"]
+
+
+class QOp:
+    """One lowered integer operation."""
+
+    def __init__(self, name: str, kind: str, input_uids: list[int],
+                 output_uid: int, out_params: QuantParams):
+        self.name = name
+        self.kind = kind
+        self.input_uids = input_uids
+        self.output_uid = output_uid
+        self.out_params = out_params
+        # Filled by specific lowerings:
+        self.weight_bytes = 0
+        self.bias_bytes = 0
+        self.macs_per_inference = 0
+        self.q_weights: np.ndarray | None = None
+        self.q_bias: np.ndarray | None = None
+
+    def run(self, inputs: list[np.ndarray]) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _Passthrough(QOp):
+    """Slice/Flatten/Reshape/Dropout: reindexing only, no arithmetic."""
+
+    def __init__(self, layer, node, out_params, fn):
+        super().__init__(layer.name, type(layer).__name__.lower(),
+                         [p.uid for p in node.parents], node.uid, out_params)
+        self._fn = fn
+
+    def run(self, inputs):
+        return self._fn(inputs[0])
+
+
+class _QMaxPool(QOp):
+    def __init__(self, layer: MaxPool1D, node, out_params):
+        super().__init__(layer.name, "maxpool1d",
+                         [p.uid for p in node.parents], node.uid, out_params)
+        self.pool = layer.pool_size
+        self.strides = layer.strides
+
+    def run(self, inputs):
+        x = inputs[0]
+        starts = self.strides * np.arange(
+            (x.shape[1] - self.pool) // self.strides + 1
+        )
+        idx = starts[:, None] + np.arange(self.pool)[None, :]
+        return x[:, idx, :].max(axis=2)
+
+
+class _QConcatenate(QOp):
+    """Concatenate with per-input rescaling to the shared output scale."""
+
+    def __init__(self, layer: Concatenate, node, in_params, out_params):
+        super().__init__(layer.name, "concatenate",
+                         [p.uid for p in node.parents], node.uid, out_params)
+        self.axis = layer.axis
+        self.in_params = in_params
+        self.mults = [
+            FixedPointMultiplier.from_real(p.scale / out_params.scale)
+            for p in in_params
+        ]
+
+    def run(self, inputs):
+        from .qtensor import requantize
+
+        rescaled = []
+        for x, params, mult in zip(inputs, self.in_params, self.mults):
+            centered = x.astype(np.int32) - params.zero_point
+            rescaled.append(requantize(centered, mult,
+                                       self.out_params.zero_point))
+        axis = self.axis if self.axis >= 0 else inputs[0].ndim + self.axis
+        return np.concatenate(rescaled, axis=axis)
+
+
+def _lower_linear(op: QOp, weights, bias, in_params: QuantParams,
+                  out_params: QuantParams, channel_axis: int):
+    """Shared weight/bias/multiplier preparation for conv and dense."""
+    q_w, w_scales = quantize_weights_per_channel(weights, channel_axis)
+    op.q_weights = q_w
+    op.weight_bytes = q_w.size  # int8
+    bias_scales = in_params.scale * w_scales
+    if bias is not None:
+        q_b = np.rint(np.asarray(bias, dtype=np.float64) / bias_scales)
+        op.q_bias = np.clip(q_b, -(2**31), 2**31 - 1).astype(np.int32)
+        op.bias_bytes = op.q_bias.size * 4
+    else:
+        op.q_bias = np.zeros(q_w.shape[channel_axis], dtype=np.int32)
+        op.bias_bytes = 0
+    op.mults = [
+        FixedPointMultiplier.from_real(s / out_params.scale) for s in bias_scales
+    ]
+
+
+def _requantize_per_channel(acc, mults, zero_point):
+    from .qtensor import requantize
+
+    out = np.empty(acc.shape, dtype=np.int8)
+    for j, mult in enumerate(mults):
+        out[..., j] = requantize(acc[..., j], mult, zero_point)
+    return out
+
+
+class _QDense(QOp):
+    def __init__(self, layer: Dense, node, in_params, out_params):
+        super().__init__(layer.name, "dense",
+                         [p.uid for p in node.parents], node.uid, out_params)
+        self.in_params = in_params
+        self.activation = layer.activation_name
+        if self.activation not in (None, "linear", "relu", "sigmoid"):
+            raise ValueError(
+                f"unsupported dense activation {self.activation!r} for "
+                "int8 lowering"
+            )
+        w = layer.params["W"]
+        b = layer.params.get("b")
+        if self.activation == "sigmoid":
+            # Keep the logit in int8 at a dedicated scale; the sigmoid is
+            # evaluated from the dequantized logit (LUT equivalent).
+            self.logit_params = out_params
+        _lower_linear(self, np.asarray(w, dtype=np.float64),
+                      None if b is None else np.asarray(b, dtype=np.float64),
+                      in_params, out_params, channel_axis=1)
+        self.macs_per_inference = int(w.shape[0] * w.shape[1])
+
+    def run(self, inputs):
+        x = inputs[0]
+        centered = x.astype(np.int32) - self.in_params.zero_point
+        acc = centered.astype(np.int64) @ self.q_weights.astype(np.int64)
+        acc = acc + self.q_bias
+        out = _requantize_per_channel(acc, self.mults,
+                                      self.out_params.zero_point)
+        if self.activation == "relu":
+            out = np.maximum(out, self.out_params.zero_point)
+        return out
+
+
+class _QConv1D(QOp):
+    def __init__(self, layer: Conv1D, node, in_params, out_params):
+        super().__init__(layer.name, "conv1d",
+                         [p.uid for p in node.parents], node.uid, out_params)
+        if layer.padding != "valid" or layer.strides != 1:
+            raise ValueError(
+                "int8 lowering implements the paper's conv variant: "
+                "'valid' padding, stride 1"
+            )
+        self.in_params = in_params
+        self.activation = layer.activation_name
+        if self.activation not in (None, "linear", "relu"):
+            raise ValueError(
+                f"unsupported conv activation {self.activation!r} for int8"
+            )
+        w = np.asarray(layer.params["W"], dtype=np.float64)  # (k, cin, cout)
+        b = layer.params.get("b")
+        _lower_linear(self, w,
+                      None if b is None else np.asarray(b, dtype=np.float64),
+                      in_params, out_params, channel_axis=2)
+        self.kernel_size = w.shape[0]
+        out_len = node.shape[0]
+        self.macs_per_inference = int(out_len * w.shape[0] * w.shape[1]
+                                      * w.shape[2])
+
+    def run(self, inputs):
+        x = inputs[0]
+        k = self.kernel_size
+        centered = x.astype(np.int32) - self.in_params.zero_point
+        windows = sliding_window_view(centered, k, axis=1)
+        windows = np.swapaxes(windows, 2, 3)  # (batch, out_len, k, cin)
+        batch, out_len = windows.shape[0], windows.shape[1]
+        cols = windows.reshape(batch, out_len, -1).astype(np.int64)
+        kernel = self.q_weights.reshape(-1, self.q_weights.shape[2])
+        acc = cols @ kernel.astype(np.int64) + self.q_bias
+        out = _requantize_per_channel(acc, self.mults,
+                                      self.out_params.zero_point)
+        if self.activation == "relu":
+            out = np.maximum(out, self.out_params.zero_point)
+        return out
+
+
+class QuantizedModel:
+    """Integer executor for a converted model."""
+
+    def __init__(self, ops, input_uid, input_params, output_uid,
+                 output_op, input_shape, node_shapes):
+        self.ops: list[QOp] = ops
+        self.input_uid = input_uid
+        self.input_params = input_params
+        self.output_uid = output_uid
+        self._output_op = output_op
+        self.input_shape = input_shape
+        #: node uid -> per-sample tensor shape (for the RAM planner).
+        self.node_shapes = node_shapes
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def convert(cls, model: Model, calibration_x: np.ndarray) -> "QuantizedModel":
+        """Lower a trained float model to int8 using calibration data."""
+        act_params = calibrate_activations(model, calibration_x)
+        ops: list[QOp] = []
+        node_shapes = {model.input_node.uid: model.input_node.shape}
+        output_op = None
+        for node in model.nodes:
+            if node.is_input:
+                continue
+            node_shapes[node.uid] = node.shape
+            layer = node.layer
+            in_params = [act_params[p.uid] for p in node.parents]
+            out_params = act_params[node.uid]
+            if isinstance(layer, (Flatten, Reshape, Dropout, Slice)):
+                # Reindexing ops keep their input's quantization exactly.
+                fn = {
+                    Flatten: lambda x: x.reshape(x.shape[0], -1),
+                    Reshape: lambda x, s=getattr(layer, "target_shape", None): (
+                        x.reshape((x.shape[0],) + s)
+                    ),
+                    Dropout: lambda x: x,
+                }.get(type(layer))
+                if isinstance(layer, Slice):
+
+                    def slice_fn(x, layer=layer):
+                        axis = layer._array_axis(x.ndim)
+                        idx = [slice(None)] * x.ndim
+                        idx[axis] = slice(layer.start, layer.stop)
+                        return x[tuple(idx)]
+
+                    fn = slice_fn
+                op = _Passthrough(layer, node, in_params[0], fn)
+                if isinstance(layer, Slice):
+                    op.slice_start = layer.start
+                    op.slice_stop = layer.stop
+                act_params[node.uid] = in_params[0]
+            elif isinstance(layer, MaxPool1D):
+                op = _QMaxPool(layer, node, in_params[0])
+                act_params[node.uid] = in_params[0]
+            elif isinstance(layer, Concatenate):
+                op = _QConcatenate(layer, node, in_params, out_params)
+            elif isinstance(layer, Dense):
+                if layer.activation_name == "sigmoid":
+                    # Quantize the *logit*: recover it from the calibrated
+                    # probability range via a dedicated logit observer run.
+                    logit_params = _logit_params(model, node, calibration_x)
+                    op = _QDense(layer, node, in_params[0], logit_params)
+                    act_params[node.uid] = logit_params
+                    output_op = op
+                else:
+                    op = _QDense(layer, node, in_params[0], out_params)
+            elif isinstance(layer, Conv1D):
+                op = _QConv1D(layer, node, in_params[0], out_params)
+            else:
+                raise ValueError(
+                    f"layer {layer.name!r} ({type(layer).__name__}) has no "
+                    "int8 lowering"
+                )
+            ops.append(op)
+        return cls(
+            ops=ops,
+            input_uid=model.input_node.uid,
+            input_params=act_params[model.input_node.uid],
+            output_uid=model.output_node.uid,
+            output_op=output_op,
+            input_shape=model.input_shape,
+            node_shapes=node_shapes,
+        )
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
+        """Float-in / float-out inference through the integer pipeline."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != tuple(self.input_shape):
+            raise ValueError(
+                f"expected per-sample shape {self.input_shape}, got {x.shape[1:]}"
+            )
+        outs = []
+        for start in range(0, len(x), batch_size):
+            outs.append(self._predict_batch(x[start : start + batch_size]))
+        return np.concatenate(outs) if outs else np.empty((0, 1))
+
+    def _predict_batch(self, x):
+        values = {self.input_uid: quantize(x, self.input_params)}
+        out_q = None
+        for op in self.ops:
+            inputs = [values[uid] for uid in op.input_uids]
+            values[op.output_uid] = op.run(inputs)
+        out_q = values[self.output_uid]
+        if self._output_op is not None:
+            logits = dequantize(out_q, self._output_op.out_params)
+            return 1.0 / (1.0 + np.exp(-logits))
+        # No sigmoid head: return dequantized values of the final node.
+        final_params = self.ops[-1].out_params
+        return dequantize(out_q, final_params)
+
+    # ------------------------------------------------------------------
+    @property
+    def weight_bytes(self) -> int:
+        return sum(op.weight_bytes for op in self.ops)
+
+    @property
+    def bias_bytes(self) -> int:
+        return sum(op.bias_bytes for op in self.ops)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(op.macs_per_inference for op in self.ops)
+
+
+def _logit_params(model: Model, node, calibration_x) -> QuantParams:
+    """Observe the pre-sigmoid logit range of the output dense layer."""
+    from .qtensor import activation_qparams
+
+    layer = node.layer
+    lo, hi = np.inf, -np.inf
+    for start in range(0, len(calibration_x), 256):
+        batch = np.asarray(calibration_x[start : start + 256], dtype=np.float32)
+        model._forward(batch, training=False)
+        parent_value = model._values[node.parents[0].uid]
+        z = parent_value @ layer.params["W"]
+        if "b" in layer.params:
+            z = z + layer.params["b"]
+        lo = min(lo, float(z.min()))
+        hi = max(hi, float(z.max()))
+    return activation_qparams(lo, hi)

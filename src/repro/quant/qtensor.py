@@ -1,0 +1,152 @@
+"""Affine int8 quantization primitives.
+
+Follows the TFLite/CMSIS-NN integer contract the STM32 deployment chain
+(X-CUBE-AI) implements:
+
+* activations — per-tensor affine int8: ``q = round(x / s) + z``;
+* weights — per-output-channel *symmetric* int8 (zero point 0);
+* biases — int32 at scale ``s_input * s_weight`` (zero point 0);
+* requantization — multiplication by a Q31 fixed-point multiplier plus a
+  rounding right shift (no floating point anywhere on the datapath).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantParams",
+    "quantize",
+    "dequantize",
+    "activation_qparams",
+    "weight_qparams_per_channel",
+    "quantize_weights_per_channel",
+    "FixedPointMultiplier",
+    "requantize",
+]
+
+INT8_MIN, INT8_MAX = -128, 127
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Per-tensor affine quantization parameters."""
+
+    scale: float
+    zero_point: int
+
+    def __post_init__(self):
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if not INT8_MIN <= self.zero_point <= INT8_MAX:
+            raise ValueError(
+                f"zero point must fit int8, got {self.zero_point}"
+            )
+
+
+def quantize(x: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Float -> int8 with round-to-nearest-even and saturation."""
+    q = np.rint(np.asarray(x, dtype=np.float64) / params.scale) + params.zero_point
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def dequantize(q: np.ndarray, params: QuantParams) -> np.ndarray:
+    """int8 -> float."""
+    return (np.asarray(q, dtype=np.int32) - params.zero_point) * params.scale
+
+
+def activation_qparams(min_val: float, max_val: float) -> QuantParams:
+    """Asymmetric per-tensor parameters covering ``[min, max]``.
+
+    The range is widened to include 0 (so zero maps exactly, a TFLite
+    requirement that keeps padding/ReLU exact) and degenerate ranges get a
+    tiny span instead of a zero scale.
+    """
+    lo = min(float(min_val), 0.0)
+    hi = max(float(max_val), 0.0)
+    if hi - lo < 1e-8:
+        hi = lo + 1e-8
+    scale = (hi - lo) / (INT8_MAX - INT8_MIN)
+    zero_point = int(np.clip(round(INT8_MIN - lo / scale), INT8_MIN, INT8_MAX))
+    return QuantParams(scale=scale, zero_point=zero_point)
+
+
+def weight_qparams_per_channel(weights: np.ndarray, channel_axis: int) -> np.ndarray:
+    """Symmetric per-channel scales: ``max|w| / 127`` along ``channel_axis``."""
+    w = np.asarray(weights, dtype=np.float64)
+    reduce_axes = tuple(ax for ax in range(w.ndim) if ax != channel_axis)
+    peak = np.max(np.abs(w), axis=reduce_axes)
+    peak = np.where(peak < 1e-12, 1e-12, peak)
+    return peak / INT8_MAX
+
+
+def quantize_weights_per_channel(
+    weights: np.ndarray, channel_axis: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Returns ``(q_weights int8, scales per channel)``."""
+    scales = weight_qparams_per_channel(weights, channel_axis)
+    shape = [1] * np.ndim(weights)
+    shape[channel_axis] = -1
+    q = np.rint(np.asarray(weights, dtype=np.float64) / scales.reshape(shape))
+    return np.clip(q, INT8_MIN, INT8_MAX).astype(np.int8), scales
+
+
+@dataclass(frozen=True)
+class FixedPointMultiplier:
+    """A real multiplier encoded as ``m0 * 2^-31 * 2^-right_shift``.
+
+    ``m0`` is an int32 in ``[2^30, 2^31)`` (Q31 in [0.5, 1)); negative
+    ``right_shift`` means a left shift (multiplier >= 1).
+    """
+
+    m0: int
+    right_shift: int
+
+    @staticmethod
+    def from_real(multiplier: float) -> "FixedPointMultiplier":
+        if multiplier <= 0:
+            raise ValueError(f"multiplier must be positive, got {multiplier}")
+        shift = 0
+        m = float(multiplier)
+        while m < 0.5:
+            m *= 2.0
+            shift += 1
+        while m >= 1.0:
+            m /= 2.0
+            shift -= 1
+        m0 = int(round(m * (1 << 31)))
+        if m0 == (1 << 31):  # rounding pushed it to exactly 1.0
+            m0 //= 2
+            shift -= 1
+        return FixedPointMultiplier(m0=m0, right_shift=shift)
+
+    @property
+    def real_value(self) -> float:
+        return self.m0 * 2.0**-31 * 2.0**-self.right_shift
+
+
+def requantize(acc: np.ndarray, mult: FixedPointMultiplier,
+               zero_point: int) -> np.ndarray:
+    """int32 accumulator -> int8 output, integer arithmetic only.
+
+    Implements TFLite's ``SaturatingRoundingDoublingHighMul`` followed by a
+    rounding right shift, then adds the output zero point and saturates.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    shift = mult.right_shift
+    if shift < 0:
+        # Left shift *before* the high-multiply (TFLite order) so the Q31
+        # rounding happens at full precision.
+        acc = acc << (-shift)
+    # High 32 bits of (acc * m0), with nudge for round-to-nearest.
+    prod = acc * int(mult.m0)
+    nudge = 1 << 30
+    high = (prod + nudge) >> 31
+    if shift > 0:
+        point = np.int64(1) << (shift - 1)
+        # Rounding right shift (round half away from zero for negatives).
+        high = (high + point + np.where(high < 0, -1, 0)) >> shift
+    out = high + zero_point
+    return np.clip(out, INT8_MIN, INT8_MAX).astype(np.int8)

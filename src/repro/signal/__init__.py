@@ -1,0 +1,53 @@
+"""``repro.signal`` — DSP substrate for the fall-detection pipeline.
+
+Butterworth low-pass design + zero-phase filtering (validated against
+scipy), sliding-window segmentation, complementary-filter orientation
+estimation, Rodrigues rotations and unit conversion.
+"""
+
+from .filters import (
+    OnlineSosFilter,
+    butter_lowpass_sos,
+    lowpass_filter,
+    sosfilt,
+    sosfilt_zi,
+    sosfiltfilt,
+)
+from .orientation import ComplementaryFilter, accel_inclination, estimate_euler_angles
+from .rotation import (
+    is_rotation_matrix,
+    rodrigues_matrix,
+    rotate_vectors,
+    rotation_between,
+)
+from .segmentation import (
+    SegmentationConfig,
+    label_segments,
+    segment_signal,
+    segment_starts,
+)
+from .units import GRAVITY, accel_from_g, accel_to_g, gyro_to_dps
+
+__all__ = [
+    "butter_lowpass_sos",
+    "sosfilt",
+    "sosfilt_zi",
+    "sosfiltfilt",
+    "lowpass_filter",
+    "OnlineSosFilter",
+    "SegmentationConfig",
+    "segment_signal",
+    "segment_starts",
+    "label_segments",
+    "ComplementaryFilter",
+    "estimate_euler_angles",
+    "accel_inclination",
+    "rodrigues_matrix",
+    "rotation_between",
+    "rotate_vectors",
+    "is_rotation_matrix",
+    "GRAVITY",
+    "accel_to_g",
+    "accel_from_g",
+    "gyro_to_dps",
+]

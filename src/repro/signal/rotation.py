@@ -1,0 +1,82 @@
+"""Rotation utilities built on Rodrigues' rotation formula.
+
+The paper aligns the KFall sensor frame with the self-collected frame
+"using a rotation matrix computed through Rodrigues' rotation formula".
+This module provides exactly that: axis-angle rotation matrices and the
+rotation taking one measured gravity direction onto another.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rodrigues_matrix",
+    "rotation_between",
+    "rotate_vectors",
+    "is_rotation_matrix",
+]
+
+
+def rodrigues_matrix(axis: np.ndarray, angle_rad: float) -> np.ndarray:
+    """Rotation matrix for a rotation of ``angle_rad`` about ``axis``.
+
+    Implements ``R = I + sin(t) K + (1 - cos(t)) K^2`` with ``K`` the
+    cross-product (skew) matrix of the normalised axis.
+    """
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ValueError("rotation axis must be non-zero")
+    ux, uy, uz = axis / norm
+    k = np.array([[0.0, -uz, uy], [uz, 0.0, -ux], [-uy, ux, 0.0]])
+    return np.eye(3) + np.sin(angle_rad) * k + (1.0 - np.cos(angle_rad)) * (k @ k)
+
+
+def rotation_between(source: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Smallest rotation mapping direction ``source`` onto ``target``.
+
+    This is the paper's alignment step: ``source`` is e.g. the mean gravity
+    vector measured in the KFall frame while the subject stands still, and
+    ``target`` the same in the self-collected frame.  Handles the parallel
+    and anti-parallel degenerate cases explicitly.
+    """
+    s = np.asarray(source, dtype=float)
+    t = np.asarray(target, dtype=float)
+    sn, tn = np.linalg.norm(s), np.linalg.norm(t)
+    if sn == 0 or tn == 0:
+        raise ValueError("cannot align zero-length vectors")
+    s, t = s / sn, t / tn
+    cos_angle = float(np.clip(np.dot(s, t), -1.0, 1.0))
+    if cos_angle > 1.0 - 1e-12:
+        return np.eye(3)
+    if cos_angle < -1.0 + 1e-12:
+        # 180 degrees: rotate about any axis orthogonal to s.
+        helper = np.array([1.0, 0.0, 0.0])
+        if abs(s[0]) > 0.9:
+            helper = np.array([0.0, 1.0, 0.0])
+        axis = np.cross(s, helper)
+        return rodrigues_matrix(axis, np.pi)
+    axis = np.cross(s, t)
+    # atan2 form: well-conditioned for nearly (anti)parallel vectors,
+    # where arccos(dot) loses half the significant digits.
+    angle = np.arctan2(np.linalg.norm(axis), cos_angle)
+    return rodrigues_matrix(axis, angle)
+
+
+def rotate_vectors(rotation: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Apply a rotation matrix to row vectors ``(n, 3)`` (or a single (3,))."""
+    rotation = np.asarray(rotation, dtype=float)
+    if rotation.shape != (3, 3):
+        raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+    vectors = np.asarray(vectors, dtype=float)
+    return vectors @ rotation.T
+
+
+def is_rotation_matrix(matrix: np.ndarray, atol: float = 1e-8) -> bool:
+    """True when ``matrix`` is orthonormal with determinant +1."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (3, 3):
+        return False
+    identity_err = np.max(np.abs(matrix @ matrix.T - np.eye(3)))
+    return bool(identity_err < atol and abs(np.linalg.det(matrix) - 1.0) < atol)

@@ -1,0 +1,104 @@
+"""Sliding-window segmentation.
+
+The paper feeds the CNN fixed-length windows of the filtered 9-channel
+signal: "we experimented with different segment sizes (ranging from 100 ms
+to 400 ms) and various overlap sizes (from 0 % to 75 %, in increments of
+25 %)", with the best configuration at 400 ms / 50 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SegmentationConfig", "segment_signal", "segment_starts", "label_segments"]
+
+
+@dataclass(frozen=True)
+class SegmentationConfig:
+    """Window length and overlap, expressed in milliseconds like the paper.
+
+    Attributes
+    ----------
+    window_ms:
+        Segment duration in ms (100–400 in the paper's sweep).
+    overlap:
+        Fractional overlap between consecutive windows in [0, 1).
+    fs:
+        Sampling frequency in Hz.
+    """
+
+    window_ms: float
+    overlap: float = 0.5
+    fs: float = 100.0
+
+    def __post_init__(self):
+        if self.window_ms <= 0:
+            raise ValueError(f"window_ms must be positive, got {self.window_ms}")
+        if not 0.0 <= self.overlap < 1.0:
+            raise ValueError(f"overlap must be in [0, 1), got {self.overlap}")
+        if self.fs <= 0:
+            raise ValueError(f"fs must be positive, got {self.fs}")
+        if self.window_samples < 1:
+            raise ValueError("window shorter than one sample")
+
+    @property
+    def window_samples(self) -> int:
+        """Samples per window (paper: n = window_ms / 10 at 100 Hz)."""
+        return int(round(self.window_ms * self.fs / 1000.0))
+
+    @property
+    def stride_samples(self) -> int:
+        """Hop between window starts; at least 1 sample."""
+        return max(1, int(round(self.window_samples * (1.0 - self.overlap))))
+
+    @property
+    def overlap_ms(self) -> float:
+        return (self.window_samples - self.stride_samples) * 1000.0 / self.fs
+
+
+def segment_starts(n_samples: int, config: SegmentationConfig) -> np.ndarray:
+    """Start indices of every full window fitting in ``n_samples``."""
+    window = config.window_samples
+    if n_samples < window:
+        return np.empty(0, dtype=int)
+    return np.arange(0, n_samples - window + 1, config.stride_samples)
+
+
+def segment_signal(x: np.ndarray, config: SegmentationConfig) -> np.ndarray:
+    """Cut ``x`` of shape ``(samples, channels)`` into ``(k, window, channels)``.
+
+    Trailing samples that do not fill a complete window are dropped,
+    mirroring a real-time system that only ever sees whole windows.
+    """
+    x = np.asarray(x)
+    if x.ndim != 2:
+        raise ValueError(f"expected (samples, channels), got shape {x.shape}")
+    starts = segment_starts(x.shape[0], config)
+    window = config.window_samples
+    if len(starts) == 0:
+        return np.empty((0, window, x.shape[1]), dtype=x.dtype)
+    return np.stack([x[s : s + window] for s in starts])
+
+
+def label_segments(
+    sample_labels: np.ndarray,
+    config: SegmentationConfig,
+    min_fraction: float = 0.5,
+) -> np.ndarray:
+    """Segment-level labels from per-sample labels.
+
+    A window is positive when at least ``min_fraction`` of its samples are
+    positive — with 0.5 (default) a window straddling the fall onset is
+    positive once the falling phase dominates it.
+    """
+    if not 0.0 < min_fraction <= 1.0:
+        raise ValueError(f"min_fraction must be in (0, 1], got {min_fraction}")
+    labels = np.asarray(sample_labels).astype(float)
+    starts = segment_starts(labels.shape[0], config)
+    window = config.window_samples
+    if len(starts) == 0:
+        return np.empty(0, dtype=int)
+    fractions = np.array([labels[s : s + window].mean() for s in starts])
+    return (fractions >= min_fraction).astype(int)

@@ -1,0 +1,55 @@
+"""Unit handling for inertial data.
+
+The paper standardises "the units of measurement across both datasets,
+converting all values to gravitational acceleration (g)".  Acceleration is
+stored either in g or m/s²; angular rate in deg/s or rad/s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "GRAVITY",
+    "ACCEL_UNITS",
+    "GYRO_UNITS",
+    "accel_to_g",
+    "accel_from_g",
+    "gyro_to_dps",
+]
+
+#: Standard gravity in m/s².
+GRAVITY = 9.80665
+
+ACCEL_UNITS = ("g", "m/s^2")
+GYRO_UNITS = ("deg/s", "rad/s")
+
+
+def accel_to_g(values: np.ndarray, unit: str) -> np.ndarray:
+    """Convert acceleration samples to g."""
+    values = np.asarray(values, dtype=float)
+    if unit == "g":
+        return values
+    if unit == "m/s^2":
+        return values / GRAVITY
+    raise ValueError(f"unknown acceleration unit {unit!r}; options: {ACCEL_UNITS}")
+
+
+def accel_from_g(values: np.ndarray, unit: str) -> np.ndarray:
+    """Convert acceleration samples from g to ``unit``."""
+    values = np.asarray(values, dtype=float)
+    if unit == "g":
+        return values
+    if unit == "m/s^2":
+        return values * GRAVITY
+    raise ValueError(f"unknown acceleration unit {unit!r}; options: {ACCEL_UNITS}")
+
+
+def gyro_to_dps(values: np.ndarray, unit: str) -> np.ndarray:
+    """Convert angular-rate samples to deg/s."""
+    values = np.asarray(values, dtype=float)
+    if unit == "deg/s":
+        return values
+    if unit == "rad/s":
+        return np.degrees(values)
+    raise ValueError(f"unknown gyroscope unit {unit!r}; options: {GYRO_UNITS}")

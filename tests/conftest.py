@@ -1,0 +1,61 @@
+"""Shared fixtures: tiny datasets and a trained model, built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PreprocessConfig,
+    build_lightweight_cnn,
+    build_segments,
+    subject_folds,
+    train_model,
+)
+from repro.core.trainer import TrainingConfig
+from repro.datasets import build_kfall, build_selfcollected
+
+
+@pytest.fixture(scope="session")
+def tiny_selfcollected():
+    """2 subjects, all 44 tasks, compressed durations."""
+    return build_selfcollected(n_subjects=2, duration_scale=0.3, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_kfall():
+    """2 subjects, KFall tasks, in the rotated KFall frame / m/s² units."""
+    return build_kfall(n_subjects=2, duration_scale=0.3, seed=13)
+
+
+@pytest.fixture(scope="session")
+def tiny_segments(tiny_selfcollected):
+    """Segments of the tiny self-collected dataset (400 ms / 50 %)."""
+    return build_segments(tiny_selfcollected, PreprocessConfig())
+
+
+@pytest.fixture(scope="session")
+def trained_cnn(tiny_segments):
+    """A briefly-trained CNN + its train/test split (session-cached)."""
+    folds = subject_folds(tiny_segments.subjects, k=2, n_val_subjects=0, seed=0)
+    fold = folds[0]
+    train = tiny_segments.by_subjects(fold.train_subjects)
+    test = tiny_segments.by_subjects(fold.test_subjects)
+    # No validation subjects at this scale: validate on the test fold's
+    # data is forbidden, so use a slice of train for early stopping.
+    rng = np.random.default_rng(0)
+    idx = rng.permutation(len(train))
+    cut = max(len(train) // 5, 1)
+    val = train.select(idx[:cut])
+    tr = train.select(idx[cut:])
+    # Subject-overlap between tr and val is fine for a *test fixture*; the
+    # trainer enforces disjointness, so fake distinct subject labels.
+    val.subject = np.array([f"{s}#val" for s in val.subject], dtype=object)
+    model, history = train_model(
+        build_lightweight_cnn,
+        tr,
+        val,
+        TrainingConfig(epochs=6, patience=3, batch_size=64, seed=0),
+    )
+    return {"model": model, "train": tr, "val": val, "test": test,
+            "history": history}

@@ -1,0 +1,105 @@
+"""Time-warping / window-warping augmentation properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import jitter, scale, time_warp, window_warp
+
+
+def _segment(n=40, channels=9, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n) / 100.0
+    base = np.sin(2 * np.pi * 2.0 * t)[:, None]
+    return (base + 0.1 * rng.normal(size=(n, channels))).astype(float)
+
+
+class TestTimeWarp:
+    def test_preserves_shape(self):
+        x = _segment()
+        out = time_warp(x, np.random.default_rng(0))
+        assert out.shape == x.shape
+
+    def test_changes_the_signal(self):
+        x = _segment()
+        out = time_warp(x, np.random.default_rng(0), sigma=0.3)
+        assert not np.allclose(out, x)
+
+    def test_preserves_endpoints(self):
+        # The warp path is pinned to [0, n-1]: first/last samples survive.
+        x = _segment()
+        out = time_warp(x, np.random.default_rng(1))
+        np.testing.assert_allclose(out[0], x[0], atol=1e-9)
+        np.testing.assert_allclose(out[-1], x[-1], atol=1e-9)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_stays_within_original_range(self, seed):
+        # Linear interpolation cannot overshoot the data envelope.
+        x = _segment(seed=seed)
+        out = time_warp(x, np.random.default_rng(seed))
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+    def test_deterministic_given_rng_state(self):
+        x = _segment()
+        a = time_warp(x, np.random.default_rng(7))
+        b = time_warp(x, np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_parameter_validation(self):
+        x = _segment()
+        with pytest.raises(ValueError):
+            time_warp(x, np.random.default_rng(0), sigma=0.0)
+        with pytest.raises(ValueError):
+            time_warp(x, np.random.default_rng(0), knots=1)
+        with pytest.raises(ValueError):
+            time_warp(np.zeros((2, 3)), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            time_warp(np.zeros(40), np.random.default_rng(0))
+
+
+class TestWindowWarp:
+    def test_preserves_shape(self):
+        x = _segment()
+        out = window_warp(x, np.random.default_rng(0))
+        assert out.shape == x.shape
+
+    def test_changes_the_signal(self):
+        x = _segment()
+        out = window_warp(x, np.random.default_rng(0))
+        assert not np.allclose(out, x)
+
+    @given(seed=st.integers(0, 500),
+           ratio=st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_range_bounded(self, seed, ratio):
+        x = _segment(seed=seed)
+        out = window_warp(x, np.random.default_rng(seed), window_ratio=ratio)
+        assert out.min() >= x.min() - 1e-9
+        assert out.max() <= x.max() + 1e-9
+
+    def test_scale_factors_validated(self):
+        x = _segment()
+        with pytest.raises(ValueError):
+            window_warp(x, np.random.default_rng(0), scales=(0.0,))
+        with pytest.raises(ValueError):
+            window_warp(x, np.random.default_rng(0), window_ratio=1.0)
+
+
+class TestExtras:
+    def test_jitter_adds_noise(self):
+        x = _segment()
+        out = jitter(x, np.random.default_rng(0), sigma=0.05)
+        assert out.shape == x.shape
+        assert 0.0 < np.abs(out - x).mean() < 0.2
+
+    def test_scale_multiplies_channels(self):
+        x = np.ones((20, 3))
+        out = scale(x, np.random.default_rng(0), sigma=0.2)
+        # One factor per channel, constant along time.
+        assert np.allclose(out.std(axis=0), 0.0)
+        assert not np.allclose(out.mean(axis=0), 1.0)

@@ -1,0 +1,53 @@
+"""CLI: argument parsing and the fast commands end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_dataset
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "huge", "table3"])
+
+    def test_table3_windows_parsed(self):
+        args = build_parser().parse_args(
+            ["table3", "--windows", "200", "400"]
+        )
+        assert args.windows == [200.0, 400.0]
+
+    def test_figure1_defaults(self):
+        args = build_parser().parse_args(["figure1"])
+        assert args.task == 30 and args.seed == 42
+
+
+class TestFastCommands:
+    def test_figure1_prints_anatomy(self, capsys):
+        assert main(["figure1", "--task", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 anatomy" in out
+        assert "falling_withheld_150ms" in out
+
+    def test_table1_runs_at_quick_scale(self, capsys):
+        assert main(["--scale", "quick", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "VerticalVelocityDetector" in out
+        assert "ImpactEnergyDetector" in out
+
+    def test_dataset_command_writes_loadable_snapshot(self, tmp_path, capsys):
+        out_path = tmp_path / "corpus.npz"
+        code = main([
+            "dataset", "--out", str(out_path), "--subjects", "1",
+            "--duration-scale", "0.3",
+        ])
+        assert code == 0
+        dataset = load_dataset(out_path)
+        assert len(dataset) > 0
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,133 @@
+"""Streaming FallDetector and AirbagController."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.detector import AirbagController, DetectorConfig, FallDetector
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording
+from repro.datasets.tasks import TASKS
+
+
+class _ConstantModel:
+    """Fake model returning a fixed probability."""
+
+    def __init__(self, probability):
+        self.probability = probability
+        self.calls = 0
+
+    def predict(self, x):
+        self.calls += 1
+        return np.full((len(x), 1), self.probability)
+
+
+class _MagnitudeModel:
+    """Fires when the window's (scaled) accel-z mean drops well below 1 g —
+    a crude free-fall detector good enough to exercise the plumbing."""
+
+    def predict(self, x):
+        dip = np.abs(x[:, :, :3]).sum(axis=2).min(axis=1)
+        return (dip < 0.55).astype(float)[:, None] * 0.99
+
+
+class TestInferenceCadence:
+    def test_first_inference_after_full_window_then_every_hop(self):
+        model = _ConstantModel(0.0)
+        cfg = DetectorConfig(window_ms=200, overlap=0.5, fs=100.0)
+        detector = FallDetector(model, cfg)
+        n = 100
+        for i in range(n):
+            detector.push(np.array([0, 0, 1.0]), np.zeros(3))
+        # Window = 20 samples, hop = 10: inferences at samples 20, 30, ...
+        expected = 1 + (n - cfg.window_samples) // cfg.hop_samples
+        assert model.calls == expected
+
+    def test_detection_carries_time_and_probability(self):
+        model = _ConstantModel(0.9)
+        detector = FallDetector(model, DetectorConfig(window_ms=200))
+        hit = None
+        for i in range(30):
+            hit = hit or detector.push(np.array([0, 0, 1.0]), np.zeros(3))
+        assert hit is not None
+        assert hit.probability == pytest.approx(0.9)
+        assert hit.sample_index == 19  # first full window
+        assert hit.time_s == pytest.approx(0.19)
+
+    def test_reset_restarts_the_window(self):
+        model = _ConstantModel(0.9)
+        detector = FallDetector(model, DetectorConfig(window_ms=200))
+        for i in range(25):
+            detector.push(np.array([0, 0, 1.0]), np.zeros(3))
+        detector.reset()
+        assert detector.samples_seen == 0
+        hits = [detector.push(np.array([0, 0, 1.0]), np.zeros(3))
+                for _ in range(19)]
+        assert not any(hits)  # window not full yet after reset
+
+
+class TestOnSyntheticFall:
+    @pytest.fixture(scope="class")
+    def fall_recording(self):
+        subject = make_subjects("DT", 1, seed=1)[0]
+        return synthesize_recording(TASKS[30], subject, base_seed=4)
+
+    def test_fires_inside_falling_window(self, fall_recording):
+        detector = FallDetector(_MagnitudeModel(), DetectorConfig())
+        hits = detector.run(fall_recording.accel, fall_recording.gyro)
+        assert hits
+        first = hits[0].sample_index
+        assert first >= fall_recording.fall_onset
+        # Well before the recording ends (not a post-hoc detection).
+        assert first <= fall_recording.impact + 40
+
+    def test_quiet_standing_never_fires(self):
+        subject = make_subjects("DT", 1, seed=1)[0]
+        stand = synthesize_recording(TASKS[1], subject, base_seed=4,
+                                     duration_scale=0.3)
+        detector = FallDetector(_MagnitudeModel(), DetectorConfig())
+        assert detector.run(stand.accel, stand.gyro) == []
+
+
+class TestAirbagController:
+    def test_latches_first_trigger(self):
+        model = _ConstantModel(0.9)
+        controller = AirbagController(FallDetector(model,
+                                                   DetectorConfig(window_ms=200)))
+        triggers = []
+        for i in range(60):
+            hit = controller.push(np.array([0, 0, 1.0]), np.zeros(3))
+            if hit:
+                triggers.append(hit)
+        assert len(triggers) == 1  # single-shot device
+        assert controller.state == "triggered"
+
+    def test_inflation_time_accounting(self):
+        model = _ConstantModel(0.9)
+        controller = AirbagController(
+            FallDetector(model, DetectorConfig(window_ms=200)),
+            inflation_ms=150.0,
+        )
+        for i in range(25):
+            controller.push(np.array([0, 0, 1.0]), np.zeros(3))
+        trigger_t = controller.trigger.time_s
+        assert controller.deployed_at_s == pytest.approx(trigger_t + 0.150)
+        assert controller.protects(trigger_t + 0.2)
+        assert not controller.protects(trigger_t + 0.1)
+
+    def test_never_triggered_never_protects(self):
+        controller = AirbagController(
+            FallDetector(_ConstantModel(0.0), DetectorConfig(window_ms=200))
+        )
+        for i in range(40):
+            controller.push(np.array([0, 0, 1.0]), np.zeros(3))
+        assert controller.deployed_at_s is None
+        assert not controller.protects(10.0)
+
+    def test_invalid_inflation_rejected(self):
+        with pytest.raises(ValueError):
+            AirbagController(
+                FallDetector(_ConstantModel(0.0), DetectorConfig()),
+                inflation_ms=-5,
+            )

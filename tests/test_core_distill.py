@@ -1,0 +1,87 @@
+"""Knowledge distillation (PreFallKD-style)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_lightweight_cnn
+from repro.core.distill import distill_model, soft_targets
+from repro.core.trainer import TrainingConfig
+
+
+class TestSoftTargets:
+    def test_alpha_one_is_hard_labels(self):
+        y = np.array([0, 1, 1])
+        teacher = np.array([0.9, 0.1, 0.5])
+        np.testing.assert_array_equal(soft_targets(y, teacher, alpha=1.0), y)
+
+    def test_alpha_zero_is_teacher(self):
+        y = np.array([0, 1])
+        teacher = np.array([0.3, 0.7])
+        np.testing.assert_array_equal(soft_targets(y, teacher, alpha=0.0),
+                                      teacher)
+
+    def test_blend_midpoint(self):
+        out = soft_targets(np.array([1.0]), np.array([0.5]), alpha=0.5)
+        assert out[0] == pytest.approx(0.75)
+
+    def test_targets_stay_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=100)
+        teacher = rng.random(100)
+        out = soft_targets(y, teacher, alpha=0.3)
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            soft_targets(np.array([1]), np.array([0.5]), alpha=1.5)
+        with pytest.raises(ValueError, match="disagree"):
+            soft_targets(np.array([1, 0]), np.array([0.5]))
+
+
+class _ConstantTeacher:
+    def __init__(self, value):
+        self.value = value
+
+    def predict(self, x):
+        return np.full((len(x), 1), self.value)
+
+
+class TestDistillModel:
+    def test_student_trains_under_teacher(self, tiny_segments, trained_cnn):
+        train = trained_cnn["train"]
+        val = trained_cnn["val"]
+        teacher = trained_cnn["model"]
+        student, history = distill_model(
+            teacher, build_lightweight_cnn, train, val,
+            TrainingConfig(epochs=3, patience=2, seed=1), alpha=0.6,
+        )
+        assert len(history.epochs) >= 1
+        test = trained_cnn["test"]
+        probs = student.predict(test.X).reshape(-1)
+        positives = probs[test.y == 1]
+        negatives = probs[test.y == 0]
+        # The distilled student separates the classes.
+        assert positives.mean() > negatives.mean()
+
+    def test_alpha_zero_follows_a_constant_teacher(self, trained_cnn):
+        """With alpha=0 and a teacher that always says 0.5, the student's
+        optimum is to predict ~0.5 everywhere."""
+        train = trained_cnn["train"]
+        val = trained_cnn["val"]
+        student, _ = distill_model(
+            _ConstantTeacher(0.5), build_lightweight_cnn, train, val,
+            TrainingConfig(epochs=4, patience=10, augment=False,
+                           use_class_weights=False, use_output_bias=False,
+                           seed=0),
+            alpha=0.0,
+        )
+        probs = student.predict(train.X).reshape(-1)
+        assert abs(float(probs.mean()) - 0.5) < 0.15
+
+    def test_subject_leak_rejected(self, tiny_segments):
+        half = tiny_segments.by_subjects(tiny_segments.subjects[:1])
+        with pytest.raises(ValueError, match="subject-independent"):
+            distill_model(_ConstantTeacher(0.5), build_lightweight_cnn,
+                          half, half, TrainingConfig(epochs=1))

@@ -1,0 +1,187 @@
+"""Event-level evaluation, threshold detectors and segment metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.events import evaluate_events
+from repro.core.preprocessing import SegmentSet
+from repro.core.thresholds import (
+    ImpactEnergyDetector,
+    VerticalVelocityDetector,
+    evaluate_threshold_detector,
+)
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording
+from repro.datasets.tasks import TASKS
+from repro.eval.metrics import binary_report, confusion, segment_metrics
+
+
+def _segment_set(rows):
+    """rows: (event_id, task_id, is_fall, trigger_valid, y)."""
+    n = len(rows)
+    return SegmentSet(
+        X=np.zeros((n, 4, 9), dtype=np.float32),
+        y=np.array([r[4] for r in rows]),
+        subject=np.array(["S1"] * n, dtype=object),
+        task_id=np.array([r[1] for r in rows]),
+        event_id=np.array([r[0] for r in rows], dtype=object),
+        event_is_fall=np.array([r[2] for r in rows]),
+        trigger_valid=np.array([r[3] for r in rows]),
+    )
+
+
+class TestEventEvaluation:
+    def test_one_hit_detects_the_fall(self):
+        segs = _segment_set([
+            ("F1", 30, True, True, 0),
+            ("F1", 30, True, True, 1),
+            ("F1", 30, True, True, 1),
+        ])
+        report = evaluate_events(segs, np.array([0.1, 0.9, 0.2]))
+        assert report.fall_miss_rate == 0.0
+
+    def test_all_segments_missed_counts_as_miss(self):
+        segs = _segment_set([
+            ("F1", 30, True, True, 1),
+            ("F1", 30, True, True, 1),
+        ])
+        report = evaluate_events(segs, np.array([0.2, 0.4]))
+        assert report.fall_miss_rate == 100.0
+
+    def test_late_trigger_does_not_count(self):
+        # The only firing segment ends after impact - 150 ms: miss.
+        segs = _segment_set([
+            ("F1", 30, True, True, 1),
+            ("F1", 30, True, False, 0),  # post-impact segment fires
+        ])
+        report = evaluate_events(segs, np.array([0.1, 0.99]))
+        assert report.fall_miss_rate == 100.0
+
+    def test_adl_any_fire_is_false_positive(self):
+        segs = _segment_set([
+            ("A1", 6, False, True, 0),
+            ("A1", 6, False, True, 0),
+            ("A2", 6, False, True, 0),
+        ])
+        report = evaluate_events(segs, np.array([0.1, 0.9, 0.2]))
+        assert report.adl_false_positive_rate == pytest.approx(50.0)
+
+    def test_per_task_rates(self):
+        segs = _segment_set([
+            ("F1", 39, True, True, 1),
+            ("F2", 39, True, True, 1),
+            ("F3", 30, True, True, 1),
+        ])
+        report = evaluate_events(segs, np.array([0.9, 0.1, 0.9]))
+        miss = report.per_task_miss()
+        assert miss[39] == pytest.approx(50.0)
+        assert miss[30] == 0.0
+
+    def test_red_green_split(self):
+        segs = _segment_set([
+            ("A1", 44, False, True, 0),   # red (obstacle jump)
+            ("A2", 1, False, True, 0),    # green (standing)
+        ])
+        report = evaluate_events(segs, np.array([0.9, 0.1]))
+        rg = report.red_green_false_positive()
+        assert rg["red"] == 100.0
+        assert rg["green"] == 0.0
+
+    def test_augmented_segments_rejected(self):
+        segs = _segment_set([("F1#aug", 30, True, True, 1)])
+        with pytest.raises(ValueError, match="un-augmented"):
+            evaluate_events(segs, np.array([0.9]))
+
+    def test_probability_length_checked(self):
+        segs = _segment_set([("F1", 30, True, True, 1)])
+        with pytest.raises(ValueError, match="probabilities"):
+            evaluate_events(segs, np.array([0.9, 0.1]))
+
+
+class TestThresholdDetectors:
+    @pytest.fixture(scope="class")
+    def recordings(self):
+        subject = make_subjects("TH", 1, seed=0)[0]
+        fall = synthesize_recording(TASKS[30], subject, base_seed=2)
+        stand = synthesize_recording(TASKS[1], subject, base_seed=2,
+                                     duration_scale=0.3)
+        walk = synthesize_recording(TASKS[6], subject, base_seed=2,
+                                    duration_scale=0.5)
+        return {"fall": fall, "stand": stand, "walk": walk}
+
+    @pytest.mark.parametrize("detector_cls",
+                             [VerticalVelocityDetector, ImpactEnergyDetector])
+    def test_fires_during_fall_not_during_quiet_adls(self, recordings,
+                                                     detector_cls):
+        detector = detector_cls()
+        fall = recordings["fall"]
+        trigger = detector.first_trigger(fall)
+        assert trigger is not None
+        assert trigger >= fall.fall_onset - 20
+        assert detector.first_trigger(recordings["stand"]) is None
+        assert detector.first_trigger(recordings["walk"]) is None
+
+    def test_height_scaling_changes_sensitivity(self, recordings):
+        eager = VerticalVelocityDetector(velocity_threshold=0.2)
+        strict = VerticalVelocityDetector(velocity_threshold=3.0)
+        fall = recordings["fall"]
+        t_eager = eager.first_trigger(fall)
+        t_strict = strict.first_trigger(fall)
+        assert t_eager is not None
+        assert t_strict is None or t_strict >= t_eager
+
+    def test_evaluation_accounting(self, recordings):
+        detector = VerticalVelocityDetector()
+        result = evaluate_threshold_detector(
+            detector, [recordings["fall"], recordings["stand"]]
+        )
+        assert result["tp"] + result["fn"] == 1
+        assert result["tn"] + result["fp"] == 1
+        assert 0.0 <= result["f1"] <= 1.0
+
+    def test_late_trigger_counts_as_miss(self, recordings):
+        fall = recordings["fall"]
+
+        class LateDetector(VerticalVelocityDetector):
+            def first_trigger(self, recording):
+                return recording.impact  # fires exactly at impact: too late
+
+        result = evaluate_threshold_detector(LateDetector(), [fall])
+        assert result["fn"] == 1 and result["tp"] == 0
+
+
+class TestSegmentMetrics:
+    def test_confusion_counts(self):
+        counts = confusion([1, 1, 0, 0], [1, 0, 1, 0])
+        assert counts == {"tp": 1, "fn": 1, "fp": 1, "tn": 1}
+
+    def test_macro_average_of_collapsed_predictor(self):
+        # All-negative predictions on imbalanced data: the paper's MLP row.
+        y = np.array([0] * 96 + [1] * 4)
+        report = binary_report(y, np.zeros_like(y))
+        assert report["accuracy"] == pytest.approx(0.96)
+        assert report["recall_macro"] == pytest.approx(0.5)
+        assert report["precision_macro"] == pytest.approx(0.48)
+
+    def test_perfect_predictions(self):
+        y = np.array([0, 1, 0, 1])
+        m = segment_metrics(y, np.array([0.1, 0.9, 0.2, 0.8]))
+        assert m["accuracy"] == 1.0
+        assert m["f1"] == 1.0
+
+    def test_threshold_parameter(self):
+        y = np.array([1, 0])
+        strict = segment_metrics(y, np.array([0.6, 0.4]), threshold=0.7)
+        lax = segment_metrics(y, np.array([0.6, 0.4]), threshold=0.5)
+        assert strict["recall_pos"] == 0.0
+        assert lax["recall_pos"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            binary_report(np.array([]), np.array([]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion([1, 0], [1])

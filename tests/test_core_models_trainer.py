@@ -1,0 +1,216 @@
+"""Architecture builders, training protocol and cross-validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import CnnHyperParams, build_lightweight_cnn
+from repro.core.baselines import (
+    MODEL_BUILDERS,
+    build_convlstm2d,
+    build_lstm,
+    build_mlp,
+)
+from repro.core.crossval import subject_folds
+from repro.core.trainer import (
+    TrainingConfig,
+    augment_fall_segments,
+    class_weights,
+    initial_output_bias,
+    train_model,
+)
+
+
+class TestArchitecture:
+    def test_three_branches_exist(self):
+        model = build_lightweight_cnn(40)
+        names = [layer.name for layer in model.layers]
+        for branch in ("accel", "gyro", "euler"):
+            assert f"split_{branch}" in names
+            assert f"conv_{branch}" in names
+            assert f"pool_{branch}" in names
+        assert "concat_branches" in names
+
+    def test_paper_head_dimensions(self):
+        model = build_lightweight_cnn(40)
+        assert model.get_layer("dense_1").units == 64
+        assert model.get_layer("dense_2").units == 32
+        assert model.get_layer("output").units == 1
+        assert model.get_layer("output").activation_name == "sigmoid"
+
+    @pytest.mark.parametrize("window", [20, 30, 40])
+    def test_window_sizes_supported(self, window):
+        model = build_lightweight_cnn(window)
+        x = np.zeros((2, window, 9), dtype=np.float32)
+        assert model.predict(x).shape == (2, 1)
+
+    def test_output_bias_sets_prior(self):
+        bias = -3.0
+        model = build_lightweight_cnn(40, output_bias=bias, seed=0)
+        assert model.get_layer("output").params["b"][0] == pytest.approx(bias)
+        # With a strongly negative bias a fresh model predicts ~sigmoid(b).
+        x = np.zeros((4, 40, 9), dtype=np.float32)
+        p = model.predict(x)
+        assert np.all(p < 0.2)
+
+    def test_seed_reproducibility(self):
+        a = build_lightweight_cnn(40, seed=5)
+        b = build_lightweight_cnn(40, seed=5)
+        x = np.random.default_rng(0).normal(size=(3, 40, 9)).astype(np.float32)
+        np.testing.assert_allclose(a.predict(x), b.predict(x))
+
+    def test_trunk_variant_has_no_branches(self):
+        model = build_lightweight_cnn(40, branched=False)
+        names = [layer.name for layer in model.layers]
+        assert "conv_trunk" in names
+        assert not any(n.startswith("split_") for n in names)
+
+    def test_size_is_mcu_class(self):
+        # The whole point: parameter count in the tens of thousands.
+        model = build_lightweight_cnn(40)
+        assert 10_000 < model.count_params() < 120_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="9 IMU channels"):
+            build_lightweight_cnn(40, n_channels=6)
+        with pytest.raises(ValueError, match="too short"):
+            build_lightweight_cnn(4, hyper=CnnHyperParams(kernel_size=5))
+        with pytest.raises(ValueError, match="two dense layers"):
+            CnnHyperParams(dense_units=(64, 32, 16))
+
+
+class TestBaselines:
+    @pytest.mark.parametrize("name", list(MODEL_BUILDERS))
+    def test_builders_share_signature_and_run(self, name):
+        model = MODEL_BUILDERS[name](20, 9, output_bias=-2.0, seed=1)
+        x = np.zeros((2, 20, 9), dtype=np.float32)
+        p = model.predict(x)
+        assert p.shape == (2, 1)
+        assert np.all((p >= 0) & (p <= 1))
+
+    def test_mlp_is_fully_dense(self):
+        model = build_mlp(20)
+        kinds = {type(l).__name__ for l in model.layers}
+        assert kinds == {"Flatten", "Dense"}
+
+    def test_lstm_has_recurrent_layer(self):
+        model = build_lstm(20)
+        assert any(type(l).__name__ == "LSTM" for l in model.layers)
+
+    def test_convlstm_reshapes_to_frames(self):
+        model = build_convlstm2d(20)
+        assert any(type(l).__name__ == "ConvLSTM2D" for l in model.layers)
+
+
+class TestImbalanceHandling:
+    def test_class_weights_balance_expectation(self):
+        y = np.array([0] * 90 + [1] * 10)
+        w = class_weights(y)
+        # Total weight contributed by each class is equal.
+        assert 90 * w[0] == pytest.approx(10 * w[1])
+
+    def test_class_weights_degenerate_cases(self):
+        assert class_weights(np.zeros(10)) == {0: 1.0, 1: 1.0}
+        assert class_weights(np.ones(10)) == {0: 1.0, 1: 1.0}
+
+    def test_output_bias_formula(self):
+        # Eq. 1: b = log(p / (1-p)) with p the positive prior.
+        y = np.array([0] * 96 + [1] * 4)
+        assert initial_output_bias(y) == pytest.approx(np.log(0.04 / 0.96))
+
+    def test_output_bias_degenerate(self):
+        assert initial_output_bias(np.zeros(5)) == 0.0
+
+
+class TestAugmentation:
+    def test_adds_copies_of_positive_segments(self, tiny_segments):
+        out = augment_fall_segments(tiny_segments, copies=2, seed=0)
+        added = len(out) - len(tiny_segments)
+        assert added == 2 * tiny_segments.n_positive
+        # All added rows are positive and tagged as augmented.
+        new_rows = out.select(np.arange(len(tiny_segments), len(out)))
+        assert (new_rows.y == 1).all()
+        assert all("#aug" in e for e in new_rows.event_id)
+
+    def test_no_positives_is_a_noop(self, tiny_segments):
+        negatives = tiny_segments.select(tiny_segments.y == 0)
+        out = augment_fall_segments(negatives, copies=3, seed=0)
+        assert len(out) == len(negatives)
+
+    def test_augmented_signals_differ_from_sources(self, tiny_segments):
+        out = augment_fall_segments(tiny_segments, copies=1, seed=0)
+        pos_idx = np.flatnonzero(tiny_segments.y == 1)
+        original = tiny_segments.X[pos_idx[0]]
+        copy = out.X[len(tiny_segments)]
+        assert not np.allclose(original, copy)
+
+
+class TestSubjectFolds:
+    def test_every_subject_tested_exactly_once(self):
+        subjects = [f"S{i}" for i in range(13)]
+        folds = subject_folds(subjects, k=5, n_val_subjects=2, seed=0)
+        tested = [s for f in folds for s in f.test_subjects]
+        assert sorted(tested) == sorted(subjects)
+
+    def test_no_leakage_anywhere(self):
+        folds = subject_folds([f"S{i}" for i in range(20)], k=4,
+                              n_val_subjects=3, seed=1)
+        for f in folds:
+            assert not set(f.train_subjects) & set(f.test_subjects)
+            assert not set(f.train_subjects) & set(f.val_subjects)
+            assert not set(f.val_subjects) & set(f.test_subjects)
+
+    def test_validation_subject_count(self):
+        folds = subject_folds([f"S{i}" for i in range(61)], k=5,
+                              n_val_subjects=4, seed=0)
+        for f in folds:
+            assert len(f.val_subjects) == 4
+            # 61 subjects: 12-13 test, 4 val, rest train (paper's split).
+            assert 12 <= len(f.test_subjects) <= 13
+            assert len(f.train_subjects) == 61 - len(f.test_subjects) - 4
+
+    def test_deterministic(self):
+        a = subject_folds([f"S{i}" for i in range(10)], k=2, seed=3)
+        b = subject_folds([f"S{i}" for i in range(10)], k=2, seed=3)
+        assert a == b
+
+    def test_too_few_subjects_rejected(self):
+        with pytest.raises(ValueError):
+            subject_folds(["A", "B"], k=5)
+
+    def test_validation_request_clamped_to_keep_training_nonempty(self):
+        # Asking for more validation subjects than available is clamped so
+        # at least one training subject always remains.
+        folds = subject_folds(["A", "B", "C"], k=3, n_val_subjects=5)
+        for f in folds:
+            assert len(f.train_subjects) >= 1
+            assert len(f.val_subjects) == 1
+
+
+class TestTrainModel:
+    def test_subject_leak_rejected(self, tiny_segments):
+        half = tiny_segments.by_subjects(tiny_segments.subjects[:1])
+        with pytest.raises(ValueError, match="subject-independent"):
+            train_model(build_lightweight_cnn, half, half,
+                        TrainingConfig(epochs=1))
+
+    def test_training_beats_chance(self, trained_cnn):
+        model = trained_cnn["model"]
+        test = trained_cnn["test"]
+        probs = model.predict(test.X).reshape(-1)
+        positives = probs[test.y == 1]
+        negatives = probs[test.y == 0]
+        assert positives.mean() > negatives.mean() + 0.2
+
+    def test_output_bias_used_when_enabled(self, tiny_segments):
+        # With use_output_bias the fresh model's initial mean prediction
+        # approximates the class prior rather than 0.5.
+        train = tiny_segments.by_subjects(tiny_segments.subjects[:1])
+        val = tiny_segments.by_subjects(tiny_segments.subjects[1:])
+        model, _ = train_model(
+            build_lightweight_cnn, train, val,
+            TrainingConfig(epochs=1, augment=False, use_output_bias=True),
+        )
+        bias = model.get_layer("output").params["b"][0]
+        assert bias < -1.0  # falls are rare -> strongly negative prior

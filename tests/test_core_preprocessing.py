@@ -1,0 +1,154 @@
+"""Preprocessing pipeline: filtering, segmentation, labels, provenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.preprocessing import (
+    PreprocessConfig,
+    SegmentSet,
+    build_segments,
+    preprocess_recording,
+)
+from repro.datasets import LabelPolicy
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording
+from repro.datasets.tasks import TASKS
+
+
+@pytest.fixture(scope="module")
+def fall_recording():
+    subject = make_subjects("PP", 1, seed=0)[0]
+    return synthesize_recording(TASKS[30], subject, base_seed=1)
+
+
+@pytest.fixture(scope="module")
+def adl_recording():
+    subject = make_subjects("PP", 1, seed=0)[0]
+    return synthesize_recording(TASKS[6], subject, base_seed=1,
+                                duration_scale=0.5)
+
+
+class TestPreprocessRecording:
+    def test_segment_shapes_follow_config(self, adl_recording):
+        for window_ms, expected in ((200, 20), (300, 30), (400, 40)):
+            segs = preprocess_recording(
+                adl_recording, PreprocessConfig(window_ms=window_ms)
+            )
+            assert segs.X.shape[1:] == (expected, 9)
+            assert segs.X.dtype == np.float32
+
+    def test_adl_segments_all_negative(self, adl_recording):
+        segs = preprocess_recording(adl_recording, PreprocessConfig())
+        assert len(segs) > 0
+        assert segs.y.sum() == 0
+        assert segs.trigger_valid.all()
+        assert not segs.event_is_fall.any()
+
+    def test_fall_recording_has_positive_segments(self, fall_recording):
+        segs = preprocess_recording(fall_recording, PreprocessConfig())
+        assert segs.y.sum() > 0
+        assert segs.event_is_fall.all()
+
+    def test_excluded_zone_produces_no_segments(self, fall_recording):
+        cfg = PreprocessConfig()
+        segs = preprocess_recording(fall_recording, cfg)
+        fs = fall_recording.fs
+        window = cfg.window_samples
+        stride = cfg.segmentation.stride_samples
+        airbag = int(round(cfg.policy.airbag_ms * fs / 1000.0))
+        exclude = int(round(cfg.policy.exclude_impact_ms * fs / 1000.0))
+        lo = fall_recording.impact - airbag
+        hi = fall_recording.impact + exclude
+        # Reconstruct which windows were kept and verify none overlaps the
+        # exclusion zone.
+        kept = 0
+        for s in range(0, fall_recording.n_samples - window + 1, stride):
+            if s + window <= lo or s >= hi:
+                kept += 1
+        assert len(segs) == kept
+
+    def test_trigger_valid_marks_in_time_segments(self, fall_recording):
+        cfg = PreprocessConfig()
+        segs = preprocess_recording(fall_recording, cfg)
+        # Every positive-labeled segment must be in-time by construction
+        # (positives live inside [onset, impact - airbag)).
+        assert segs.trigger_valid[segs.y == 1].all()
+        # Post-fall segments exist and are not trigger-valid.
+        assert (~segs.trigger_valid).any()
+
+    def test_channel_scaling_applied(self, adl_recording):
+        raw = preprocess_recording(
+            adl_recording,
+            PreprocessConfig(channel_scales=(1.0,) * 9),
+        )
+        scaled = preprocess_recording(adl_recording, PreprocessConfig())
+        # Gyro channels divided by 100.
+        ratio = (np.abs(raw.X[:, :, 3]).mean()
+                 / max(np.abs(scaled.X[:, :, 3]).mean(), 1e-12))
+        assert ratio == pytest.approx(100.0, rel=0.05)
+
+    def test_wrong_scale_count_rejected(self, adl_recording):
+        with pytest.raises(ValueError, match="channel_scales"):
+            preprocess_recording(
+                adl_recording, PreprocessConfig(channel_scales=(1.0, 2.0))
+            )
+
+    def test_unaligned_frame_rejected(self, tiny_kfall):
+        with pytest.raises(ValueError, match="align"):
+            preprocess_recording(tiny_kfall[0], PreprocessConfig())
+
+    def test_no_truncation_policy_yields_more_positives(self, fall_recording):
+        base = preprocess_recording(fall_recording, PreprocessConfig())
+        raw = preprocess_recording(
+            fall_recording,
+            PreprocessConfig(policy=LabelPolicy(airbag_ms=0.0,
+                                                exclude_impact_ms=0.0)),
+        )
+        assert raw.y.sum() > base.y.sum()
+
+
+class TestSegmentSet:
+    def test_select_and_by_subjects(self, tiny_segments):
+        subjects = tiny_segments.subjects
+        first = tiny_segments.by_subjects([subjects[0]])
+        assert set(first.subject) == {subjects[0]}
+        mask = tiny_segments.y == 1
+        positives = tiny_segments.select(mask)
+        assert (positives.y == 1).all()
+
+    def test_concatenate_preserves_counts(self, tiny_segments):
+        subjects = tiny_segments.subjects
+        a = tiny_segments.by_subjects([subjects[0]])
+        b = tiny_segments.by_subjects([subjects[1]])
+        merged = SegmentSet.concatenate([a, b])
+        assert len(merged) == len(a) + len(b)
+        assert merged.n_positive == a.n_positive + b.n_positive
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SegmentSet.concatenate([])
+
+    def test_length_consistency_enforced(self, tiny_segments):
+        with pytest.raises(ValueError, match="length"):
+            SegmentSet(
+                X=tiny_segments.X,
+                y=tiny_segments.y[:-1],
+                subject=tiny_segments.subject,
+                task_id=tiny_segments.task_id,
+                event_id=tiny_segments.event_id,
+                event_is_fall=tiny_segments.event_is_fall,
+                trigger_valid=tiny_segments.trigger_valid,
+            )
+
+    def test_class_summary_reports_imbalance(self, tiny_segments):
+        summary = tiny_segments.class_summary()
+        assert summary["segments"] == len(tiny_segments)
+        assert summary["falling"] + summary["non_falling"] == summary["segments"]
+        # Falls are the rare class, like the paper's 3.6 %.
+        assert summary["falling_fraction"] < 0.2
+
+    def test_build_segments_aggregates_recordings(self, tiny_selfcollected):
+        segs = build_segments(list(tiny_selfcollected)[:10], PreprocessConfig())
+        assert len(set(segs.event_id)) == 10

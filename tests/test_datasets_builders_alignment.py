@@ -1,0 +1,238 @@
+"""Dataset builders, schema containers, alignment and labeling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CANONICAL_FRAME,
+    Dataset,
+    KFALL_FRAME,
+    KFALL_FRAME_ROTATION,
+    LabelPolicy,
+    Recording,
+    align_dataset,
+    align_recording,
+    build_kfall,
+    build_selfcollected,
+    estimate_frame_rotation,
+    estimate_gravity_direction,
+    sample_labels,
+)
+from repro.signal.rotation import is_rotation_matrix
+
+
+# ---------------------------------------------------------------------------
+# Recording / Dataset schema
+# ---------------------------------------------------------------------------
+def _dummy_recording(n=100, fall=None, **kwargs):
+    accel = np.tile([0, 0, 1.0], (n, 1))
+    defaults = dict(
+        subject_id="S1", task_id=1, trial=0, fs=100.0,
+        accel=accel, gyro=np.zeros((n, 3)), euler=np.zeros((n, 3)),
+    )
+    if fall:
+        defaults.update(fall_onset=fall[0], impact=fall[1], task_id=30)
+    defaults.update(kwargs)
+    return Recording(**defaults)
+
+
+class TestRecording:
+    def test_signals_layout_is_accel_gyro_euler(self):
+        rec = _dummy_recording()
+        rec.gyro[:, 0] = 7.0
+        rec.euler[:, 2] = 9.0
+        sig = rec.signals()
+        assert sig.shape == (100, 9)
+        assert sig[0, 2] == 1.0     # accel z
+        assert sig[0, 3] == 7.0     # gyro x
+        assert sig[0, 8] == 9.0     # yaw
+
+    def test_annotation_ordering_enforced(self):
+        with pytest.raises(ValueError, match="out of order"):
+            _dummy_recording(fall=(50, 40))
+
+    def test_annotations_must_come_together(self):
+        with pytest.raises(ValueError, match="together"):
+            Recording(
+                subject_id="S", task_id=30, trial=0, fs=100.0,
+                accel=np.zeros((10, 3)), gyro=np.zeros((10, 3)),
+                euler=np.zeros((10, 3)), fall_onset=2, impact=None,
+            )
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match=r"\(n, 3\)"):
+            Recording(
+                subject_id="S", task_id=1, trial=0, fs=100.0,
+                accel=np.zeros((10, 2)), gyro=np.zeros((10, 3)),
+                euler=np.zeros((10, 3)),
+            )
+
+    def test_event_id_is_unique_per_trial(self):
+        a = _dummy_recording(trial=0)
+        b = _dummy_recording(trial=1)
+        assert a.event_id != b.event_id
+
+
+class TestDataset:
+    def test_filters_and_views(self):
+        recs = [
+            _dummy_recording(subject_id="A"),
+            _dummy_recording(subject_id="B", fall=(40, 60)),
+        ]
+        ds = Dataset("test", recs)
+        assert ds.subjects == ["A", "B"]
+        assert len(ds.falls()) == 1
+        assert len(ds.adls()) == 1
+        assert len(ds.by_subject(["A"])) == 1
+
+    def test_merge_requires_same_frame(self):
+        a = Dataset("a", [_dummy_recording()], frame=CANONICAL_FRAME)
+        b = Dataset("b", [_dummy_recording(frame="kfall")], frame="kfall")
+        with pytest.raises(ValueError, match="different frames"):
+            Dataset.merge("m", a, b)
+
+    def test_merge_concatenates(self):
+        a = Dataset("a", [_dummy_recording()])
+        b = Dataset("b", [_dummy_recording(subject_id="S2")])
+        merged = Dataset.merge("m", a, b)
+        assert len(merged) == 2
+
+    def test_summary_counts(self):
+        ds = Dataset("t", [_dummy_recording(), _dummy_recording(fall=(40, 60))])
+        s = ds.summary()
+        assert s["falls"] == 1 and s["adls"] == 1 and s["recordings"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+class TestBuilders:
+    def test_selfcollected_composition(self, tiny_selfcollected):
+        ds = tiny_selfcollected
+        assert ds.frame == CANONICAL_FRAME
+        assert len(ds.task_ids) == 44
+        assert len(ds.subjects) == 2
+        # 21 fall tasks x 2 subjects.
+        assert len(ds.falls()) == 42
+        for rec in ds:
+            assert rec.accel_unit == "g"
+
+    def test_kfall_composition(self, tiny_kfall):
+        ds = tiny_kfall
+        assert ds.frame == KFALL_FRAME
+        assert len(ds.task_ids) == 36
+        for rec in ds:
+            assert rec.accel_unit == "m/s^2"
+            assert rec.frame == KFALL_FRAME
+
+    def test_kfall_gravity_in_rotated_axis(self, tiny_kfall):
+        standing = next(r for r in tiny_kfall if r.task_id == 1)
+        mean = standing.accel.mean(axis=0)
+        # Rotated 90 deg about x: gravity lands on -y, in m/s^2.
+        assert mean[1] == pytest.approx(-9.8, abs=0.8)
+
+    def test_kfall_rejects_non_kfall_tasks(self):
+        with pytest.raises(ValueError, match="not part of the KFall"):
+            build_kfall(n_subjects=1, task_ids=(39,))
+
+    def test_builders_are_deterministic(self):
+        a = build_selfcollected(n_subjects=1, duration_scale=0.3, seed=5,
+                                task_ids=(1, 30))
+        b = build_selfcollected(n_subjects=1, duration_scale=0.3, seed=5,
+                                task_ids=(1, 30))
+        np.testing.assert_array_equal(a[0].accel, b[0].accel)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            build_selfcollected(n_subjects=0)
+        with pytest.raises(ValueError):
+            build_kfall(n_subjects=1, trials_per_task=0)
+
+
+# ---------------------------------------------------------------------------
+# Alignment
+# ---------------------------------------------------------------------------
+class TestAlignment:
+    def test_gravity_direction_estimate(self, tiny_kfall):
+        direction = estimate_gravity_direction(tiny_kfall)
+        # KFall frame: gravity along -y.
+        assert direction[1] == pytest.approx(-1.0, abs=0.05)
+
+    def test_frame_rotation_is_a_rotation(self, tiny_kfall):
+        rot = estimate_frame_rotation(tiny_kfall)
+        assert is_rotation_matrix(rot, atol=1e-6)
+
+    def test_aligned_standing_measures_canonical_gravity(self, tiny_kfall):
+        aligned = align_dataset(tiny_kfall)
+        assert aligned.frame == CANONICAL_FRAME
+        standing = next(r for r in aligned if r.task_id == 1)
+        mean = standing.accel.mean(axis=0)
+        assert mean[2] == pytest.approx(1.0, abs=0.08)
+        assert abs(mean[0]) < 0.12 and abs(mean[1]) < 0.12
+        assert standing.accel_unit == "g"
+
+    def test_alignment_with_known_rotation_restores_signal(self, tiny_kfall):
+        # Using the exact generator rotation, alignment must invert it.
+        rot = KFALL_FRAME_ROTATION.T  # inverse of canonical->kfall
+        rec = tiny_kfall[0]
+        aligned = align_recording(rec, rot)
+        # Gravity magnitude 1 g in the canonical frame during stillness.
+        mag = np.linalg.norm(aligned.accel, axis=1)
+        assert np.median(mag) == pytest.approx(1.0, abs=0.05)
+
+    def test_annotations_survive_alignment(self, tiny_kfall):
+        fall = next(r for r in tiny_kfall if r.is_fall)
+        aligned = align_recording(fall, KFALL_FRAME_ROTATION.T)
+        assert aligned.fall_onset == fall.fall_onset
+        assert aligned.impact == fall.impact
+
+    def test_canonical_dataset_passes_through(self, tiny_selfcollected):
+        assert align_dataset(tiny_selfcollected) is tiny_selfcollected
+
+    def test_missing_standing_task_rejected(self, tiny_kfall):
+        no_standing = tiny_kfall.filter(lambda r: r.task_id != 1)
+        with pytest.raises(ValueError, match="standing"):
+            estimate_gravity_direction(no_standing)
+
+
+# ---------------------------------------------------------------------------
+# Labeling
+# ---------------------------------------------------------------------------
+class TestLabeling:
+    def test_adl_labels_all_negative_and_valid(self):
+        labels, valid = sample_labels(_dummy_recording())
+        assert labels.sum() == 0
+        assert valid.all()
+
+    def test_fall_label_window_respects_truncation(self):
+        rec = _dummy_recording(n=200, fall=(100, 160))
+        labels, valid = sample_labels(rec, LabelPolicy(airbag_ms=150.0,
+                                                       exclude_impact_ms=200.0))
+        # 150 ms = 15 samples at 100 Hz: positives on [100, 145).
+        assert labels[99] == 0
+        assert labels[100] == 1
+        assert labels[144] == 1
+        assert labels[145] == 0
+        # Exclusion zone [145, 180).
+        assert not valid[145:180].any()
+        assert valid[180:].all()
+
+    def test_zero_truncation_labels_whole_fall(self):
+        rec = _dummy_recording(n=200, fall=(100, 160))
+        labels, valid = sample_labels(rec, LabelPolicy(airbag_ms=0.0,
+                                                       exclude_impact_ms=0.0))
+        assert labels[100:160].all()
+        assert valid.all()
+
+    def test_short_fall_fully_truncated(self):
+        # Falling phase shorter than the airbag time: nothing usable.
+        rec = _dummy_recording(n=200, fall=(100, 110))
+        labels, valid = sample_labels(rec, LabelPolicy(airbag_ms=150.0))
+        assert labels.sum() == 0
+        assert not valid[100:114].any()
+
+    def test_negative_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LabelPolicy(airbag_ms=-1.0)

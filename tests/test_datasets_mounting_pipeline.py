@@ -1,0 +1,153 @@
+"""Mounting-misalignment model, gravity ramps, pipeline builders, runners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_merged_dataset
+from repro.datasets.synthesis.generator import mounting_rotation
+from repro.datasets.synthesis.trajectory import MotionBuilder, make_power_ease
+from repro.experiments.configs import QUICK
+from repro.experiments.runners import build_experiment_dataset, training_config
+from repro.signal.rotation import is_rotation_matrix
+
+
+class TestMountingRotation:
+    def test_is_a_rotation(self):
+        rot = mounting_rotation("S01", 0, base_seed=1)
+        assert is_rotation_matrix(rot, atol=1e-9)
+
+    def test_stable_per_subject_across_trials(self):
+        a = mounting_rotation("S01", 0, base_seed=1)
+        b = mounting_rotation("S01", 1, base_seed=1)
+        # Same subject: close (re-donning jitter only), but not identical.
+        assert not np.allclose(a, b)
+        angle_between = np.degrees(
+            np.arccos(np.clip((np.trace(a.T @ b) - 1) / 2, -1, 1))
+        )
+        assert angle_between < 15.0
+
+    def test_differs_between_subjects(self):
+        a = mounting_rotation("S01", 0, base_seed=1)
+        b = mounting_rotation("S02", 0, base_seed=1)
+        angle_between = np.degrees(
+            np.arccos(np.clip((np.trace(a.T @ b) - 1) / 2, -1, 1))
+        )
+        assert angle_between > 1.0
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            mounting_rotation("S07", 3, base_seed=9),
+            mounting_rotation("S07", 3, base_seed=9),
+        )
+
+    def test_misalignment_is_moderate(self):
+        # Garment tilt should be degrees, not tens of degrees, on average.
+        angles = []
+        for i in range(60):
+            rot = mounting_rotation(f"S{i}", 0, base_seed=0)
+            angles.append(np.degrees(
+                np.arccos(np.clip((np.trace(rot) - 1) / 2, -1, 1))
+            ))
+        assert 2.0 < np.mean(angles) < 30.0
+
+
+class TestGravityRamp:
+    def test_progressive_unloading_profile(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(2.0)
+        b.gravity_ramp(0.5, 1.5, floor=0.1, power=2.0)
+        out = b.render()
+        mag = np.linalg.norm(out["accel"], axis=1)
+        # Shallow early (u=0.3 -> 1-0.9*0.09 = 0.92), deep at the end.
+        assert mag[80] == pytest.approx(1.0 - 0.9 * 0.3**2, abs=0.03)
+        assert mag[149] == pytest.approx(0.1, abs=0.05)
+        # Before the ramp: untouched.
+        assert mag[30] == pytest.approx(1.0, abs=1e-6)
+
+    def test_front_loaded_with_power_below_one(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(2.0)
+        b.gravity_ramp(0.5, 1.5, floor=0.05, power=0.5)
+        mag = np.linalg.norm(b.render()["accel"], axis=1)
+        # Half-way through, a front-loaded ramp is already deep.
+        assert mag[100] < 0.45
+
+    def test_recovery_after_ramp_end(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(2.0)
+        b.gravity_ramp(0.5, 1.0, floor=0.1, power=1.0)
+        mag = np.linalg.norm(b.render()["accel"], axis=1)
+        assert mag[130] == pytest.approx(1.0, abs=0.05)
+
+    def test_validation(self):
+        b = MotionBuilder(fs=100.0)
+        with pytest.raises(ValueError):
+            b.gravity_ramp(1.0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            b.gravity_ramp(0.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            b.gravity_ramp(0.0, 1.0, 0.5, power=0.0)
+
+
+class TestPowerEase:
+    def test_custom_ease_used_by_move(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(0.5)
+        b.move(1.0, pitch=80.0, ease=make_power_ease(3.0))
+        out = b.render()
+        # Cubic ease: at mid-move progress is 0.125 of the way.
+        assert out["angles"][100, 0] == pytest.approx(10.0, abs=1.5)
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(ValueError):
+            make_power_ease(0.0)
+
+    def test_unknown_string_ease_rejected(self):
+        b = MotionBuilder(fs=100.0)
+        with pytest.raises(ValueError, match="unknown ease"):
+            b.move(1.0, pitch=10, ease="wobble")
+
+
+class TestMergedDatasetPipeline:
+    @pytest.fixture(scope="class")
+    def merged(self):
+        return build_merged_dataset(kfall_subjects=2, selfcollected_subjects=2,
+                                    duration_scale=0.3, seed=3)
+
+    def test_subject_count_and_prefixes(self, merged):
+        subjects = merged.subjects
+        assert len(subjects) == 4
+        assert any(s.startswith("KF") for s in subjects)
+        assert any(s.startswith("SC") for s in subjects)
+
+    def test_everything_in_canonical_frame_and_g(self, merged):
+        for rec in merged:
+            assert rec.frame == "canonical"
+            assert rec.accel_unit == "g"
+
+    def test_kfall_gravity_restored_after_alignment(self, merged):
+        standing = [r for r in merged
+                    if r.task_id == 1 and r.dataset == "kfall"]
+        assert standing
+        mean = standing[0].accel.mean(axis=0)
+        assert mean[2] == pytest.approx(1.0, abs=0.12)
+
+    def test_task_union(self, merged):
+        # KFall subjects contribute 36 tasks, self-collected 44.
+        assert len(merged.task_ids) == 44
+
+
+class TestRunnersPlumbing:
+    def test_dataset_cache_returns_same_object(self):
+        a = build_experiment_dataset(QUICK)
+        b = build_experiment_dataset(QUICK)
+        assert a is b
+
+    def test_training_config_inherits_scale(self):
+        cfg = training_config(QUICK)
+        assert cfg.epochs == QUICK.epochs
+        assert cfg.patience == QUICK.patience
+        custom = training_config(QUICK, augment=False)
+        assert custom.augment is False

@@ -1,0 +1,227 @@
+"""Synthetic signal generation: physics, annotations, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording, trial_seed
+from repro.datasets.synthesis.noise import SensorNoiseModel
+from repro.datasets.synthesis.trajectory import MotionBuilder
+from repro.datasets.tasks import TASKS, fall_ids
+
+
+@pytest.fixture(scope="module")
+def subject():
+    return make_subjects("TS", 1, seed=7)[0]
+
+
+# ---------------------------------------------------------------------------
+# MotionBuilder
+# ---------------------------------------------------------------------------
+class TestMotionBuilder:
+    def test_static_script_measures_gravity(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(2.0)
+        out = b.render()
+        np.testing.assert_allclose(out["accel"],
+                                   np.tile([0, 0, 1.0], (200, 1)), atol=1e-9)
+        np.testing.assert_allclose(out["gyro"], 0.0, atol=1e-9)
+
+    def test_tilt_rotates_gravity_vector(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(0.5).move(1.0, pitch=90.0).hold(0.5)
+        out = b.render()
+        np.testing.assert_allclose(out["accel"][-1], [1.0, 0, 0], atol=1e-6)
+        # |accel| stays 1 g through a pure rotation.
+        np.testing.assert_allclose(
+            np.linalg.norm(out["accel"], axis=1), 1.0, atol=1e-9
+        )
+
+    def test_gyro_is_angle_derivative(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(0.2).move(1.0, pitch=45.0, ease="linear").hold(0.2)
+        out = b.render()
+        # Linear ease: pitch rate = 45 deg/s during the move.
+        mid = out["gyro"][50:110, 1]
+        np.testing.assert_allclose(mid, 45.0, atol=1.0)
+
+    def test_gravity_dip_reduces_magnitude(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(2.0)
+        b.gravity_dip(0.8, 1.4, floor=0.1)
+        out = b.render()
+        mag = np.linalg.norm(out["accel"], axis=1)
+        assert mag[105] == pytest.approx(0.1, abs=0.02)
+        assert mag[20] == pytest.approx(1.0, abs=1e-6)
+
+    def test_burst_peak_amplitude(self):
+        b = MotionBuilder(fs=1000.0)
+        b.hold(1.0)
+        b.burst(0.5, 0.06, "az", 5.0, shape="decay")
+        out = b.render()
+        extra = out["accel"][:, 2] - 1.0
+        assert extra.max() == pytest.approx(5.0, rel=0.05)
+
+    def test_marks_map_to_sample_indices(self):
+        b = MotionBuilder(fs=100.0)
+        b.hold(1.0).mark("onset").move(0.5, pitch=80).mark("impact").hold(1.0)
+        out = b.render()
+        assert out["marks"]["onset"] == 100
+        assert out["marks"]["impact"] == 150
+
+    def test_validation_errors(self):
+        b = MotionBuilder(fs=100.0)
+        with pytest.raises(ValueError):
+            b.move(0.0, pitch=10)
+        with pytest.raises(ValueError):
+            b.burst(0.1, 0.05, "pitch", 1.0)
+        with pytest.raises(ValueError):
+            b.gravity_dip(1.0, 0.5, 0.2)
+        with pytest.raises(ValueError):
+            b.oscillate(0, 1, "warp", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            b.move(0.5, pitch=10, ease="bouncy")
+
+
+# ---------------------------------------------------------------------------
+# Fall physics
+# ---------------------------------------------------------------------------
+class TestFallSignatures:
+    @pytest.mark.parametrize("task_id", fall_ids())
+    def test_every_fall_type_has_fall_physics(self, task_id, subject):
+        rec = synthesize_recording(TASKS[task_id], subject, base_seed=3)
+        assert rec.is_fall
+        assert 0 < rec.fall_onset < rec.impact < rec.n_samples
+        mag = np.linalg.norm(rec.accel, axis=1)
+        # Free-fall dip between onset and impact.
+        assert mag[rec.fall_onset : rec.impact].min() < 0.6
+        # Impact transient after the falling phase.
+        window = mag[rec.impact : rec.impact + 15]
+        assert window.max() > 2.0
+        # Falling phase duration within the paper's 150-1100 ms envelope.
+        assert 0.15 <= (rec.impact - rec.fall_onset) / rec.fs <= 1.1
+
+    def test_height_falls_are_fast_and_deep(self, subject):
+        durations, floors = [], []
+        for trial in range(6):
+            rec = synthesize_recording(TASKS[39], subject, trial=trial,
+                                       base_seed=5)
+            durations.append((rec.impact - rec.fall_onset) / rec.fs)
+            mag = np.linalg.norm(rec.accel, axis=1)
+            floors.append(mag[rec.fall_onset : rec.impact].min())
+        # Drops from height: short pre-impact phase, true free fall.
+        assert np.mean(durations) < 0.55
+        assert np.mean(floors) < 0.15
+
+    def test_post_fall_phase_is_still(self, subject):
+        rec = synthesize_recording(TASKS[30], subject, base_seed=3)
+        tail = np.linalg.norm(rec.accel[-80:], axis=1)
+        assert tail.std() < 0.1
+
+    def test_orientation_changes_through_fall(self, subject):
+        rec = synthesize_recording(TASKS[30], subject, base_seed=3)
+        # Forward fall: pitch near 0 pre-fall, large when lying.
+        assert abs(rec.euler[: rec.fall_onset, 0].mean()) < 25.0
+        assert abs(rec.euler[-30:, 0].mean()) > 50.0
+
+
+class TestAdlSignatures:
+    def test_adls_have_no_annotations(self, subject):
+        for tid in (1, 6, 13):
+            rec = synthesize_recording(TASKS[tid], subject, base_seed=3)
+            assert not rec.is_fall
+            assert rec.fall_onset is None and rec.impact is None
+
+    def test_standing_is_quiet(self, subject):
+        rec = synthesize_recording(TASKS[1], subject, base_seed=3)
+        mag = np.linalg.norm(rec.accel, axis=1)
+        assert abs(mag.mean() - 1.0) < 0.05
+        assert mag.std() < 0.08
+
+    def test_walking_has_cadence_peak(self, subject):
+        rec = synthesize_recording(TASKS[6], subject, base_seed=3)
+        az = rec.accel[:, 2] - rec.accel[:, 2].mean()
+        spectrum = np.abs(np.fft.rfft(az * np.hanning(az.size)))
+        freqs = np.fft.rfftfreq(az.size, d=1.0 / rec.fs)
+        peak = freqs[np.argmax(spectrum[(freqs > 0.8) & (freqs < 4.0)].max()
+                               == spectrum)]
+        assert 0.8 < peak < 4.0
+
+    def test_jump_contains_flight_and_landing(self, subject):
+        rec = synthesize_recording(TASKS[4], subject, base_seed=3)
+        mag = np.linalg.norm(rec.accel, axis=1)
+        assert mag.min() < 0.4       # flight (fall-like!)
+        assert mag.max() > 1.8       # landing
+        assert not rec.is_fall       # ...but never annotated as a fall
+
+    def test_stumble_recovers(self, subject):
+        rec = synthesize_recording(TASKS[10], subject, base_seed=3)
+        # After the stumble the subject keeps walking upright.
+        assert abs(rec.euler[-50:, 0].mean()) < 25.0
+
+
+# ---------------------------------------------------------------------------
+# Determinism / noise model
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_same_seed_same_signal(self, subject):
+        a = synthesize_recording(TASKS[30], subject, trial=2, base_seed=9)
+        b = synthesize_recording(TASKS[30], subject, trial=2, base_seed=9)
+        np.testing.assert_array_equal(a.accel, b.accel)
+        assert a.fall_onset == b.fall_onset
+
+    def test_different_trials_differ(self, subject):
+        a = synthesize_recording(TASKS[30], subject, trial=0, base_seed=9)
+        b = synthesize_recording(TASKS[30], subject, trial=1, base_seed=9)
+        assert a.n_samples != b.n_samples or not np.array_equal(a.accel, b.accel)
+
+    def test_trial_seed_is_order_free(self):
+        assert trial_seed(1, "S01", 5, 0) == trial_seed(1, "S01", 5, 0)
+        assert trial_seed(1, "S01", 5, 0) != trial_seed(1, "S01", 5, 1)
+        assert trial_seed(1, "S01", 5, 0) != trial_seed(2, "S01", 5, 0)
+
+    def test_duration_scale_shrinks_recordings(self, subject):
+        long = synthesize_recording(TASKS[1], subject, base_seed=1,
+                                    duration_scale=1.0)
+        short = synthesize_recording(TASKS[1], subject, base_seed=1,
+                                     duration_scale=0.3)
+        assert short.n_samples < long.n_samples
+
+    def test_invalid_duration_scale(self, subject):
+        with pytest.raises(ValueError):
+            synthesize_recording(TASKS[1], subject, duration_scale=0.0)
+
+
+class TestNoiseModel:
+    def test_quantisation_grid(self):
+        model = SensorNoiseModel(accel_resolution_g=0.001)
+        rng = np.random.default_rng(0)
+        accel, _ = model.apply(np.zeros((100, 3)), np.zeros((100, 3)), rng)
+        remainder = np.abs(accel / 0.001 - np.round(accel / 0.001))
+        assert remainder.max() < 1e-9
+
+    def test_clipping_at_fullscale(self):
+        model = SensorNoiseModel()
+        rng = np.random.default_rng(0)
+        big = np.full((10, 3), 100.0)
+        accel, gyro = model.apply(big, np.full((10, 3), 5000.0), rng)
+        assert accel.max() <= 16.0
+        assert gyro.max() <= 2000.0
+
+    def test_noise_scale_increases_variance(self):
+        model = SensorNoiseModel()
+        clean = np.tile([0, 0, 1.0], (2000, 1))
+        a1, _ = model.apply(clean, np.zeros_like(clean),
+                            np.random.default_rng(1), noise_scale=1.0)
+        a2, _ = model.apply(clean, np.zeros_like(clean),
+                            np.random.default_rng(1), noise_scale=3.0)
+        assert a2.std() > a1.std()
+
+    def test_inputs_not_mutated(self):
+        model = SensorNoiseModel()
+        clean = np.tile([0, 0, 1.0], (50, 1))
+        original = clean.copy()
+        model.apply(clean, np.zeros_like(clean), np.random.default_rng(0))
+        np.testing.assert_array_equal(clean, original)

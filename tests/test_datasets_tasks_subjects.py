@@ -1,0 +1,103 @@
+"""Task catalogue and subject model invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.subjects import make_subjects
+from repro.datasets.tasks import (
+    GREEN_ADL_IDS,
+    KFALL_TASK_IDS,
+    RED_ADL_IDS,
+    SELF_COLLECTED_TASK_IDS,
+    TASKS,
+    adl_ids,
+    fall_ids,
+    get_task,
+)
+
+
+class TestCatalogue:
+    def test_44_tasks_numbered_1_to_44(self):
+        assert sorted(TASKS) == list(range(1, 45))
+
+    def test_paper_class_counts(self):
+        # Self-collected: 23 ADLs, 21 falls (Section II-B).
+        assert len(adl_ids()) == 23
+        assert len(fall_ids()) == 21
+
+    def test_kfall_subset_counts(self):
+        # KFall: 21 ADLs + 15 falls (Table I / Section I).
+        kfall = [TASKS[t] for t in KFALL_TASK_IDS]
+        assert sum(1 for t in kfall if t.kind == "ADL") == 21
+        assert sum(1 for t in kfall if t.kind == "FALL") == 15
+
+    def test_self_collected_is_superset_of_kfall(self):
+        assert set(KFALL_TASK_IDS) < set(SELF_COLLECTED_TASK_IDS)
+        extras = set(SELF_COLLECTED_TASK_IDS) - set(KFALL_TASK_IDS)
+        assert extras == {37, 38, 39, 40, 41, 42, 43, 44}
+
+    def test_red_green_partition_the_adls(self):
+        assert RED_ADL_IDS | GREEN_ADL_IDS == set(adl_ids())
+        assert not RED_ADL_IDS & GREEN_ADL_IDS
+        # Red ADLs are vigorous: obstacle jumping and chair collapse are in.
+        assert 44 in RED_ADL_IDS and 15 in RED_ADL_IDS
+        # Plain standing/walking are green.
+        assert 1 in GREEN_ADL_IDS and 6 in GREEN_ADL_IDS
+
+    def test_falls_carry_fall_generator(self):
+        for tid in fall_ids():
+            assert TASKS[tid].generator == "fall"
+            assert TASKS[tid].is_fall
+
+    def test_height_falls_not_in_kfall(self):
+        for tid in (39, 40, 41, 42):
+            assert not TASKS[tid].in_kfall
+
+    def test_get_task_error_message(self):
+        with pytest.raises(KeyError, match="catalogue"):
+            get_task(99)
+
+    def test_descriptions_non_empty_and_unique(self):
+        descriptions = [t.description for t in TASKS.values()]
+        assert all(descriptions)
+        assert len(set(descriptions)) == len(descriptions)
+
+
+class TestSubjects:
+    def test_deterministic_generation(self):
+        a = make_subjects("SC", 5, seed=42)
+        b = make_subjects("SC", 5, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = make_subjects("SC", 5, seed=1)
+        b = make_subjects("SC", 5, seed=2)
+        assert a != b
+
+    def test_ids_unique_and_prefixed(self):
+        subjects = make_subjects("KF", 32, seed=0)
+        ids = [s.subject_id for s in subjects]
+        assert len(set(ids)) == 32
+        assert all(i.startswith("KF") for i in ids)
+
+    def test_demographics_within_clips(self):
+        for s in make_subjects("SC", 50, seed=3):
+            assert 18.0 <= s.age <= 65.0
+            assert 150.0 <= s.height_cm <= 205.0
+            assert 45.0 <= s.mass_kg <= 120.0
+
+    def test_style_multipliers_centered_near_one(self):
+        subjects = make_subjects("SC", 200, seed=4)
+        cadence = np.array([s.cadence for s in subjects])
+        assert 0.9 < cadence.mean() < 1.1
+        assert cadence.std() > 0.05  # real inter-subject variability
+
+    def test_female_fraction_controllable(self):
+        all_female = make_subjects("SC", 30, seed=5, female_fraction=1.0)
+        assert all(s.sex == "F" for s in all_female)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            make_subjects("SC", 0, seed=0)

@@ -1,0 +1,154 @@
+"""Edge deployment: cost model, memory planner, deployment report, codegen."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.architecture import build_lightweight_cnn
+from repro.edge import (
+    CortexM7Config,
+    STM32F722,
+    deployment_report,
+    estimate_latency,
+    flash_footprint,
+    generate_c_source,
+    plan_arena,
+    ram_footprint,
+)
+from repro.quant import QuantizedModel
+
+
+@pytest.fixture(scope="module")
+def qmodel():
+    rng = np.random.default_rng(0)
+    model = build_lightweight_cnn(40, seed=1)
+    model.compile("adam", "bce")
+    x = rng.normal(size=(300, 40, 9)).astype(np.float32)
+    y = (x[:, :, 0].mean(axis=1) > 0).astype(float)[:, None]
+    model.fit(x, y, epochs=3, batch_size=64, seed=0)
+    return QuantizedModel.convert(model, x[:150]), x
+
+
+class TestArenaPlanner:
+    def test_plan_is_collision_free(self, qmodel):
+        qm, _ = qmodel
+        plan = plan_arena(qm)
+        from repro.edge.memory import _tensor_lifetimes
+
+        lives = {t.uid: t for t in _tensor_lifetimes(qm)}
+        placed = [(lives[uid], off) for uid, off in plan["offsets"].items()]
+        for i, (ta, oa) in enumerate(placed):
+            for tb, ob in placed[i + 1 :]:
+                if ta.overlaps(tb):
+                    no_overlap = (oa + ta.size_bytes <= ob
+                                  or ob + tb.size_bytes <= oa)
+                    assert no_overlap, f"{ta.uid} and {tb.uid} collide"
+
+    def test_plan_bounded_by_naive_and_lower_bound(self, qmodel):
+        qm, _ = qmodel
+        plan = plan_arena(qm)
+        assert plan["lower_bound_bytes"] <= plan["arena_bytes"]
+        assert plan["arena_bytes"] <= plan["naive_bytes"]
+
+    def test_reuse_actually_happens(self, qmodel):
+        qm, _ = qmodel
+        plan = plan_arena(qm)
+        # The branched CNN has plenty of dead tensors: packing must beat
+        # the naive sum substantially.
+        assert plan["arena_bytes"] < 0.8 * plan["naive_bytes"]
+
+
+class TestFootprints:
+    def test_flash_matches_component_sums(self, qmodel):
+        qm, _ = qmodel
+        flash = flash_footprint(qm)
+        assert flash["weight_bytes"] == qm.weight_bytes
+        assert flash["bias_bytes"] == qm.bias_bytes
+        assert flash["total_bytes"] == (
+            flash["weight_bytes"] + flash["bias_bytes"]
+            + flash["metadata_bytes"]
+        )
+
+    def test_model_fits_the_papers_board(self, qmodel):
+        qm, _ = qmodel
+        report = deployment_report(qm)
+        assert report["fits_flash"]
+        assert report["fits_ram"]
+        assert report["meets_deadline"]
+        # Same ballpark as the paper's 67.03 KiB model.
+        assert 30.0 < report["flash_kib"] < 120.0
+        assert report["ram_kib"] < 64.0
+
+    def test_ram_includes_persistent_state(self, qmodel):
+        qm, _ = qmodel
+        ram = ram_footprint(qm)
+        assert ram["persistent_bytes"] > 0
+        assert ram["total_bytes"] == (ram["arena_bytes"]
+                                      + ram["persistent_bytes"])
+
+
+class TestLatencyModel:
+    def test_latency_positive_and_millisecond_scale(self, qmodel):
+        qm, _ = qmodel
+        latency = estimate_latency(qm)
+        assert 0.01 < latency["total_ms"] < 50.0
+        assert len(latency["per_op"]) == len(qm.ops)
+
+    def test_latency_monotonic_in_window_size(self):
+        rng = np.random.default_rng(0)
+        totals = []
+        for window in (20, 30, 40):
+            model = build_lightweight_cnn(window, seed=1)
+            model.compile("adam", "bce")
+            x = rng.normal(size=(60, window, 9)).astype(np.float32)
+            qm = QuantizedModel.convert(model, x)
+            totals.append(estimate_latency(qm)["total_ms"])
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_slower_clock_increases_latency(self, qmodel):
+        qm, _ = qmodel
+        fast = estimate_latency(qm, CortexM7Config(clock_hz=216e6))
+        slow = estimate_latency(qm, CortexM7Config(clock_hz=72e6))
+        assert slow["total_ms"] == pytest.approx(fast["total_ms"] * 3, rel=1e-6)
+
+    def test_device_constants(self):
+        assert STM32F722["flash_bytes"] == 256 * 1024
+        assert STM32F722["ram_bytes"] == 256 * 1024
+
+
+@pytest.mark.skipif(shutil.which("cc") is None, reason="no C compiler")
+class TestCodegen:
+    def test_generated_c_matches_python_bit_for_bit(self, qmodel, tmp_path):
+        qm, x = qmodel
+        test_x = x[200:216]
+        source = generate_c_source(qm, include_main=True, test_input=test_x)
+        c_file = tmp_path / "model.c"
+        c_file.write_text(source)
+        binary = tmp_path / "model"
+        subprocess.run(
+            ["cc", "-O2", "-std=c99", "-o", str(binary), str(c_file), "-lm"],
+            check=True, capture_output=True,
+        )
+        out = subprocess.run([str(binary)], check=True, capture_output=True,
+                             text=True).stdout.split()
+        c_probs = np.array([float(v) for v in out])
+        py_probs = qm.predict(test_x).reshape(-1)
+        np.testing.assert_allclose(c_probs, py_probs, atol=1e-5)
+
+    def test_source_contains_all_weight_tables(self, qmodel):
+        qm, _ = qmodel
+        source = generate_c_source(qm)
+        for op in qm.ops:
+            if op.kind in ("conv1d", "dense"):
+                assert f"w_{op.name}" in source
+                assert f"m0_{op.name}" in source
+
+    def test_main_requires_test_input(self, qmodel):
+        qm, _ = qmodel
+        with pytest.raises(ValueError, match="test_input"):
+            generate_c_source(qm, include_main=True)

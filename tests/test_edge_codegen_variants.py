@@ -1,0 +1,61 @@
+"""C code generation across architecture variants."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import numpy as np
+import pytest
+
+from repro.core.architecture import CnnHyperParams, build_lightweight_cnn
+from repro.core.baselines import build_mlp
+from repro.edge import generate_c_source
+from repro.quant import QuantizedModel
+
+pytestmark = pytest.mark.skipif(shutil.which("cc") is None,
+                                reason="no C compiler")
+
+
+def _quantize(model, window):
+    model.compile("adam", "bce")
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(96, window, 9)).astype(np.float32)
+    y = (x[:, :, 0].mean(axis=1) > 0).astype(float)[:, None]
+    model.fit(x, y, epochs=2, batch_size=32, seed=0)
+    return QuantizedModel.convert(model, x), x
+
+
+def _compile_and_compare(qmodel, test_x, tmp_path, atol=1e-5):
+    source = generate_c_source(qmodel, include_main=True, test_input=test_x)
+    c_file = tmp_path / "variant.c"
+    c_file.write_text(source)
+    binary = tmp_path / "variant"
+    subprocess.run(["cc", "-O2", "-std=c99", "-o", str(binary), str(c_file),
+                    "-lm"], check=True, capture_output=True)
+    out = subprocess.run([str(binary)], check=True, capture_output=True,
+                         text=True).stdout.split()
+    c_probs = np.array([float(v) for v in out])
+    np.testing.assert_allclose(c_probs, qmodel.predict(test_x).reshape(-1),
+                               atol=atol)
+
+
+@pytest.mark.parametrize(
+    "window,hyper",
+    [
+        (20, CnnHyperParams(conv_filters=8, kernel_size=3)),
+        (30, CnnHyperParams(conv_filters=16, kernel_size=5, pool_size=3)),
+    ],
+    ids=["small-200ms", "pool3-300ms"],
+)
+def test_cnn_variants_compile_and_match(window, hyper, tmp_path):
+    model = build_lightweight_cnn(window, hyper=hyper, seed=1)
+    qmodel, x = _quantize(model, window)
+    _compile_and_compare(qmodel, x[:8], tmp_path)
+
+
+def test_mlp_codegen_compiles_and_matches(tmp_path):
+    """The emitter also covers plain dense stacks (flatten + dense)."""
+    model = build_mlp(20, hidden=(32, 16), seed=1)
+    qmodel, x = _quantize(model, 20)
+    _compile_and_compare(qmodel, x[:8], tmp_path)

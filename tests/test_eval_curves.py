@@ -1,0 +1,109 @@
+"""ROC/PR curves and the false-positive-budget threshold selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import auc, pr_curve, roc_curve, threshold_for_fp_budget
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, thresholds = roc_curve(y, s)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_random_scores_auc_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        s = rng.random(4000)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_scores_auc_near_zero(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        fpr, tpr, _ = roc_curve(y, s)
+        assert auc(fpr, tpr) == pytest.approx(0.0)
+
+    @given(
+        n=st.integers(10, 200),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_curve_is_monotone_and_bounded(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        if y.sum() in (0, n):
+            y[0], y[-1] = 0, 1
+        s = rng.random(n)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0)
+        assert tpr[-1] == pytest.approx(1.0)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError, match="both classes"):
+            roc_curve(np.zeros(5), np.random.default_rng(0).random(5))
+
+
+class TestPrCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        recall, precision, _ = pr_curve(y, s)
+        assert precision[np.argmax(recall >= 1.0)] == pytest.approx(1.0)
+
+    def test_precision_at_full_recall_is_prevalence(self):
+        y = np.array([1, 0, 0, 0])
+        s = np.array([0.1, 0.2, 0.3, 0.4])  # positives ranked last
+        recall, precision, _ = pr_curve(y, s)
+        assert recall[-1] == 1.0
+        assert precision[-1] == pytest.approx(0.25)
+
+    def test_needs_positives(self):
+        with pytest.raises(ValueError, match="positive"):
+            pr_curve(np.zeros(4), np.arange(4, dtype=float))
+
+
+class TestThresholdSelection:
+    def test_respects_budget_on_validation(self):
+        rng = np.random.default_rng(1)
+        neg = rng.normal(0.2, 0.1, size=500)
+        pos = rng.normal(0.8, 0.1, size=50)
+        y = np.concatenate([np.zeros(500), np.ones(50)])
+        s = np.clip(np.concatenate([neg, pos]), 0, 1)
+        threshold = threshold_for_fp_budget(y, s, max_fpr=0.02)
+        fired = s >= threshold
+        measured_fpr = fired[:500].mean()
+        assert measured_fpr <= 0.02 + 1e-9
+        # And still catches most positives (distributions barely overlap).
+        assert fired[500:].mean() > 0.8
+
+    def test_tighter_budget_raises_threshold(self):
+        rng = np.random.default_rng(2)
+        y = np.concatenate([np.zeros(300), np.ones(300)])
+        s = np.concatenate([rng.normal(0.4, 0.15, 300),
+                            rng.normal(0.6, 0.15, 300)])
+        loose = threshold_for_fp_budget(y, s, max_fpr=0.2)
+        tight = threshold_for_fp_budget(y, s, max_fpr=0.01)
+        assert tight >= loose
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_for_fp_budget([0, 1], [0.1, 0.9], max_fpr=1.5)
+
+
+class TestAuc:
+    def test_unit_square_diagonal(self):
+        assert auc([0, 1], [0, 1]) == pytest.approx(0.5)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            auc([0.0], [1.0])

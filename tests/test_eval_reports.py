@@ -1,0 +1,86 @@
+"""Report renderers and paper reference tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.events import EventOutcome, EventReport
+from repro.eval.reports import (
+    PAPER_TABLE3,
+    PAPER_TABLE4_ADL_FP,
+    PAPER_TABLE4_FALL_MISS,
+    aggregate_fold_metrics,
+    format_table,
+    render_edge_report,
+    render_table3,
+    render_table4,
+)
+
+
+class _FakeFold:
+    def __init__(self, metrics):
+        self.metrics = metrics
+
+
+class TestPaperReferenceData:
+    def test_table3_has_all_cells(self):
+        for window in (200, 300, 400):
+            assert set(PAPER_TABLE3[window]) == {
+                "MLP", "LSTM", "ConvLSTM2D", "CNN (Proposed)"
+            }
+
+    def test_table3_headline_number(self):
+        # The paper's best configuration: CNN at 400 ms, F1 86.69.
+        assert PAPER_TABLE3[400]["CNN (Proposed)"][3] == 86.69
+
+    def test_table4_covers_all_tasks(self):
+        assert len(PAPER_TABLE4_FALL_MISS) == 21
+        assert len(PAPER_TABLE4_ADL_FP) == 23
+        assert PAPER_TABLE4_FALL_MISS[39] == 16.00
+        assert PAPER_TABLE4_ADL_FP[44] == 20.00
+
+
+class TestRenderers:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_aggregate_fold_metrics_means_percentages(self):
+        folds = [
+            _FakeFold({"accuracy": 0.9, "precision": 0.8, "recall": 0.7,
+                       "f1": 0.75}),
+            _FakeFold({"accuracy": 1.0, "precision": 1.0, "recall": 0.9,
+                       "f1": 0.95}),
+        ]
+        agg = aggregate_fold_metrics(folds)
+        assert agg["accuracy"] == pytest.approx(95.0)
+        assert agg["f1"] == pytest.approx(85.0)
+
+    def test_render_table3_shows_measured_and_paper(self):
+        measured = {400: {"CNN (Proposed)": {"accuracy": 97.0,
+                                             "precision": 88.0,
+                                             "recall": 82.0, "f1": 85.0}}}
+        text = render_table3(measured)
+        assert "CNN (Proposed)" in text
+        assert "85.00" in text     # measured
+        assert "86.69" in text     # paper reference
+
+    def test_render_table4(self):
+        outcomes = [
+            EventOutcome("e1", 39, "S1", True, False, 5, 0),
+            EventOutcome("e2", 39, "S1", True, True, 5, 2),
+            EventOutcome("e3", 44, "S1", False, True, 5, 1),
+            EventOutcome("e4", 1, "S1", False, False, 5, 0),
+        ]
+        text = render_table4(EventReport(outcomes))
+        assert "T39" in text and "T44" in text
+        assert "unconventional" in text
+
+    def test_render_edge_report(self):
+        text = render_edge_report(
+            {"flash_kib": 61.0, "ram_kib": 4.0, "latency_ms": 0.9,
+             "fusion_ms": 0.1}
+        )
+        assert "67.03" in text  # paper value shown alongside
+        assert "61.00" in text

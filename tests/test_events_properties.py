@@ -1,0 +1,107 @@
+"""Property-based tests of the event-level evaluation invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import evaluate_events
+from repro.core.preprocessing import SegmentSet
+
+
+def _make_segments(rng, n_events, segments_per_event):
+    rows_X, y, subject, task, event, is_fall, trig = [], [], [], [], [], [], []
+    for e in range(n_events):
+        fall = bool(rng.integers(0, 2))
+        task_id = int(rng.integers(20, 35)) if fall else int(rng.integers(1, 20))
+        for s in range(segments_per_event):
+            rows_X.append(np.zeros((4, 9), dtype=np.float32))
+            y.append(int(rng.integers(0, 2)) if fall else 0)
+            subject.append(f"S{e % 3}")
+            task.append(task_id)
+            event.append(f"E{e}")
+            is_fall.append(fall)
+            trig.append(bool(rng.integers(0, 2)) if fall else True)
+    return SegmentSet(
+        X=np.stack(rows_X),
+        y=np.array(y),
+        subject=np.array(subject, dtype=object),
+        task_id=np.array(task),
+        event_id=np.array(event, dtype=object),
+        event_is_fall=np.array(is_fall),
+        trigger_valid=np.array(trig),
+    )
+
+
+class TestEventInvariants:
+    @given(seed=st.integers(0, 300),
+           n_events=st.integers(1, 12),
+           per_event=st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_rates_bounded_and_counts_conserved(self, seed, n_events,
+                                                per_event):
+        rng = np.random.default_rng(seed)
+        segments = _make_segments(rng, n_events, per_event)
+        probs = rng.random(len(segments))
+        report = evaluate_events(segments, probs)
+        assert len(report.outcomes) == n_events
+        assert (len(report.fall_events) + len(report.adl_events)
+                == n_events)
+        for rate in (report.fall_miss_rate, report.adl_false_positive_rate):
+            assert np.isnan(rate) or 0.0 <= rate <= 100.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_all_zero_probabilities_miss_everything(self, seed):
+        rng = np.random.default_rng(seed)
+        segments = _make_segments(rng, 6, 4)
+        report = evaluate_events(segments, np.zeros(len(segments)))
+        if report.fall_events:
+            assert report.fall_miss_rate == 100.0
+        if report.adl_events:
+            assert report.adl_false_positive_rate == 0.0
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_all_one_probabilities(self, seed):
+        rng = np.random.default_rng(seed)
+        segments = _make_segments(rng, 6, 4)
+        report = evaluate_events(segments, np.ones(len(segments)))
+        # Every ADL fires; falls fire unless no in-time segment exists.
+        if report.adl_events:
+            assert report.adl_false_positive_rate == 100.0
+        for outcome in report.fall_events:
+            mask = segments.event_id == outcome.event_id
+            has_in_time = segments.trigger_valid[mask].any()
+            assert outcome.triggered == bool(has_in_time)
+
+    @given(seed=st.integers(0, 100),
+           threshold=st.floats(0.05, 0.95))
+    @settings(max_examples=40, deadline=None)
+    def test_raising_threshold_never_adds_detections(self, seed, threshold):
+        rng = np.random.default_rng(seed)
+        segments = _make_segments(rng, 8, 4)
+        probs = rng.random(len(segments))
+        low = evaluate_events(segments, probs, threshold=threshold)
+        high = evaluate_events(segments, probs,
+                               threshold=min(threshold + 0.3, 1.0))
+        assert high.adl_false_positive_rate <= low.adl_false_positive_rate
+        if low.fall_events:
+            assert high.fall_miss_rate >= low.fall_miss_rate
+
+    def test_per_task_rates_average_to_overall(self):
+        rng = np.random.default_rng(5)
+        segments = _make_segments(rng, 20, 3)
+        probs = rng.random(len(segments))
+        report = evaluate_events(segments, probs)
+        per_task = report.per_task_miss()
+        # Weighted by per-task event counts, rates recompose exactly.
+        total, weight = 0.0, 0
+        for tid, rate in per_task.items():
+            count = sum(1 for o in report.fall_events if o.task_id == tid)
+            total += rate * count
+            weight += count
+        if weight:
+            assert total / weight == pytest.approx(report.fall_miss_rate)

@@ -1,0 +1,36 @@
+"""The Section IV-C experiment runner end to end (QUICK scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK, run_edge_experiment
+
+
+@pytest.mark.slow
+class TestEdgeRunner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_edge_experiment(QUICK)
+
+    def test_parity_metrics_present_and_sane(self, result):
+        assert 0.9 <= result["decision_agreement"] <= 1.0
+        assert abs(result["f1_drop_points"]) < 10.0
+        for key in ("accuracy", "precision", "recall", "f1"):
+            assert 0.0 <= result["float_metrics"][key] <= 1.0
+            assert 0.0 <= result["int8_metrics"][key] <= 1.0
+
+    def test_deployment_report_complete(self, result):
+        report = result["report"]
+        for key in ("flash_kib", "ram_kib", "latency_ms", "fusion_ms",
+                    "fits_flash", "fits_ram", "meets_deadline", "energy"):
+            assert key in report
+        assert report["fits_flash"] and report["fits_ram"]
+        assert report["energy"]["inference_energy_uj"] > 0
+
+    def test_qmodel_usable_for_codegen(self, result):
+        from repro.edge import generate_c_source
+
+        source = generate_c_source(result["qmodel"])
+        assert "fall_cnn_invoke" in source
+        assert "requant" in source

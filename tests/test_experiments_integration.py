@@ -1,0 +1,114 @@
+"""End-to-end integration at QUICK scale + experiment runner plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_lightweight_cnn
+from repro.core.detector import DetectorConfig, FallDetector
+from repro.experiments import (
+    QUICK,
+    fall_anatomy,
+    get_scale,
+    run_figure1,
+    run_model_on_window,
+)
+from repro.experiments.configs import BENCH, PAPER
+from repro.quant import QuantizedModel
+
+
+class TestScales:
+    def test_registry_and_env(self, monkeypatch):
+        assert get_scale("quick") is QUICK
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        assert get_scale() is PAPER
+        with pytest.raises(ValueError):
+            get_scale("huge")
+
+    def test_paper_scale_matches_paper_dimensions(self):
+        assert PAPER.kfall_subjects == 32
+        assert PAPER.selfcollected_subjects == 29
+        assert PAPER.folds == 5
+        assert PAPER.n_val_subjects == 4
+        assert PAPER.epochs == 200
+        assert PAPER.patience == 20
+
+    def test_overrides(self):
+        custom = BENCH.with_overrides(epochs=3)
+        assert custom.epochs == 3
+        assert BENCH.epochs != 3
+
+
+class TestFigure1:
+    def test_anatomy_stage_structure(self):
+        result = run_figure1(task_id=30, seed=1)
+        stages = result["stages"]
+        assert set(stages) == {
+            "pre_fall", "falling_usable", "falling_withheld_150ms",
+            "impact", "post_fall",
+        }
+        # The withheld slice is exactly the airbag inflation time.
+        assert stages["falling_withheld_150ms"]["duration_ms"] == pytest.approx(
+            150.0, abs=10.0
+        )
+        # Free-fall dip lives in the falling phase; the spike at impact.
+        falling_min = min(
+            stages["falling_usable"].get("accel_mag_min", 1.0),
+            stages["falling_withheld_150ms"].get("accel_mag_min", 1.0),
+        )
+        assert falling_min < 0.6
+        assert stages["impact"]["accel_mag_max"] > 2.0
+        # Pre-fall is ordinary activity around 1 g.
+        assert stages["pre_fall"]["accel_mag_mean"] == pytest.approx(1.0,
+                                                                     abs=0.25)
+
+    def test_anatomy_rejects_adls(self, tiny_selfcollected):
+        adl = next(r for r in tiny_selfcollected if not r.is_fall)
+        with pytest.raises(ValueError):
+            fall_anatomy(adl)
+
+
+@pytest.mark.slow
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def quick_run(self):
+        return run_model_on_window(build_lightweight_cnn, QUICK)
+
+    def test_cnn_beats_chance_comfortably(self, quick_run):
+        metrics = quick_run["metrics"]
+        assert metrics["f1"] > 60.0       # macro-F1 %, chance is ~49
+        assert metrics["accuracy"] > 95.0
+
+    def test_event_report_covers_all_test_events(self, quick_run):
+        report = quick_run["events"]
+        assert len(report.fall_events) > 0
+        assert len(report.adl_events) > 0
+        assert 0.0 <= report.fall_miss_rate <= 100.0
+        assert 0.0 <= report.adl_false_positive_rate <= 100.0
+
+    def test_imbalance_matches_paper_regime(self, quick_run):
+        frac = quick_run["segments_falling"] / quick_run["segments_total"]
+        assert 0.005 < frac < 0.15  # paper: 3.6 %
+
+    def test_quantized_pipeline_end_to_end(self, quick_run, tiny_segments):
+        model = quick_run["folds"][0].model
+        test = quick_run["folds"][0].test
+        qm = QuantizedModel.convert(model, test.X[:200])
+        pf = model.predict(test.X).reshape(-1)
+        pq = qm.predict(test.X).reshape(-1)
+        assert np.mean((pf >= 0.5) == (pq >= 0.5)) > 0.97
+
+    def test_streaming_detector_with_trained_model(self, quick_run,
+                                                   tiny_selfcollected):
+        model = quick_run["folds"][0].model
+        detector = FallDetector(model, DetectorConfig(threshold=0.5))
+        fall = next(r for r in tiny_selfcollected if r.task_id == 30)
+        hits = detector.run(fall.accel, fall.gyro)
+        stand = next(r for r in tiny_selfcollected if r.task_id == 1)
+        detector.reset()
+        quiet_hits = detector.run(stand.accel, stand.gyro)
+        # Trained model must be far more active on the fall than on quiet
+        # standing (it may legitimately fire zero times on both at this
+        # training budget, but never fire on standing only).
+        assert len(quiet_hits) <= len(hits)

@@ -1,0 +1,106 @@
+"""Cross-cutting coverage: hyper-parameter variants, dropout quantization,
+pipeline conveniences, miscellaneous API edges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import PreprocessConfig, build_merged_segments
+from repro.core.architecture import CnnHyperParams, build_lightweight_cnn
+from repro.edge import deployment_report
+from repro.quant import QuantizedModel
+
+
+class TestHyperParameterVariants:
+    @pytest.mark.parametrize("filters,kernel,pool", [(8, 3, 2), (32, 7, 3)])
+    def test_variant_builds_trains_and_deploys(self, filters, kernel, pool):
+        hyper = CnnHyperParams(conv_filters=filters, kernel_size=kernel,
+                               pool_size=pool)
+        model = build_lightweight_cnn(40, hyper=hyper, seed=0)
+        model.compile("adam", "bce")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 40, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(64, 1)).astype(float)
+        model.fit(x, y, epochs=1, batch_size=32, seed=0)
+        qm = QuantizedModel.convert(model, x)
+        report = deployment_report(qm)
+        assert report["fits_flash"] and report["fits_ram"]
+
+    def test_dropout_variant_quantizes(self):
+        hyper = CnnHyperParams(dropout=0.3)
+        model = build_lightweight_cnn(20, hyper=hyper, seed=0)
+        model.compile("adam", "bce")
+        x = np.random.default_rng(0).normal(size=(32, 20, 9)).astype(np.float32)
+        qm = QuantizedModel.convert(model, x)
+        probs = qm.predict(x[:4]).reshape(-1)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_bigger_model_costs_more_flash(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 40, 9)).astype(np.float32)
+        sizes = []
+        for filters in (8, 32):
+            model = build_lightweight_cnn(
+                40, hyper=CnnHyperParams(conv_filters=filters), seed=0
+            )
+            model.compile("adam", "bce")
+            qm = QuantizedModel.convert(model, x)
+            sizes.append(deployment_report(qm)["flash_kib"])
+        assert sizes[1] > sizes[0]
+
+
+class TestPipelineConvenience:
+    def test_build_merged_segments_one_call(self):
+        segments = build_merged_segments(
+            PreprocessConfig(window_ms=200),
+            kfall_subjects=1,
+            selfcollected_subjects=1,
+            duration_scale=0.3,
+            seed=13,
+        )
+        assert len(segments) > 0
+        assert segments.X.shape[1:] == (20, 9)
+        assert len(segments.subjects) == 2
+
+
+class TestModelApiEdges:
+    def test_predict_on_empty_batch(self):
+        model = build_lightweight_cnn(20, seed=0)
+        out = model.predict(np.zeros((0, 20, 9), dtype=np.float32))
+        assert out.shape[0] == 0
+
+    def test_evaluate_with_sample_weight(self):
+        model = build_lightweight_cnn(20, seed=0).compile("adam", "bce")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 20, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(16, 1)).astype(float)
+        unweighted = model.evaluate(x, y)["loss"]
+        weighted = model.evaluate(x, y, sample_weight=np.full(16, 2.0))["loss"]
+        assert weighted == pytest.approx(2 * unweighted, rel=1e-5)
+
+    def test_fit_with_extra_callbacks(self):
+        from repro.nn.callbacks import LambdaCallback
+
+        model = build_lightweight_cnn(20, seed=0).compile("adam", "bce")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 20, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(32, 1)).astype(float)
+        epochs_seen = []
+        model.fit(x, y, epochs=2, batch_size=16,
+                  callbacks=[LambdaCallback(
+                      on_epoch_end=lambda e, logs: epochs_seen.append(e))],
+                  seed=0)
+        assert epochs_seen == [0, 1]
+
+    def test_metrics_logged_during_fit(self):
+        model = build_lightweight_cnn(20, seed=0).compile(
+            "adam", "bce", metrics=["binary_accuracy"]
+        )
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 20, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(32, 1)).astype(float)
+        history = model.fit(x, y, epochs=2, batch_size=16, seed=0)
+        assert "binary_accuracy" in history.history
+        assert len(history.history["binary_accuracy"]) == 2

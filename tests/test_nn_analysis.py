@@ -1,0 +1,61 @@
+"""MAC-count analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import nn
+from repro.core.architecture import build_lightweight_cnn
+from repro.core.baselines import build_cnn_bigru, build_lstm
+from repro.nn import estimate_macs, macs_breakdown
+
+
+class TestMacsEstimates:
+    def test_dense_macs_manual(self):
+        inp = nn.Input((8,))
+        out = nn.layers.Dense(4, seed=0)(inp)
+        model = nn.Model(inp, out)
+        assert estimate_macs(model) == 8 * 4
+
+    def test_conv1d_macs_manual(self):
+        inp = nn.Input((10, 3))
+        out = nn.layers.Conv1D(4, 3, seed=0)(inp)
+        model = nn.Model(inp, out)
+        # out_len 8, kernel 3x3 channels -> 4 filters.
+        assert estimate_macs(model) == 8 * 3 * 3 * 4
+
+    def test_lstm_macs_manual(self):
+        inp = nn.Input((5, 3))
+        out = nn.layers.LSTM(4, seed=0)(inp)
+        model = nn.Model(inp, out)
+        assert estimate_macs(model) == 5 * 4 * (3 * 4 + 4 * 4)
+
+    def test_breakdown_covers_all_layers(self):
+        model = build_lightweight_cnn(40, seed=0)
+        breakdown = macs_breakdown(model)
+        assert set(breakdown) == {layer.name for layer in model.layers}
+        assert breakdown["dense_1"] == 864 * 64
+
+    def test_recurrent_models_cost_more_per_param(self):
+        """The paper's deployability argument in one assertion: the CNN has
+        many parameters but few MACs; recurrent models invert that."""
+        cnn = build_lightweight_cnn(40, seed=0)
+        lstm = build_lstm(40, seed=0)
+        bigru = build_cnn_bigru(40, seed=0)
+        cnn_ratio = estimate_macs(cnn) / cnn.count_params()
+        lstm_ratio = estimate_macs(lstm) / lstm.count_params()
+        bigru_ratio = estimate_macs(bigru) / bigru.count_params()
+        assert lstm_ratio > 3 * cnn_ratio
+        assert bigru_ratio > 3 * cnn_ratio
+
+    def test_cnn_macs_match_quantized_counter(self):
+        """Float-graph MACs must agree with the int8 executor's count."""
+        import numpy as np
+
+        from repro.quant import QuantizedModel
+
+        model = build_lightweight_cnn(40, seed=0)
+        model.compile("adam", "bce")
+        x = np.zeros((8, 40, 9), dtype=np.float32)
+        qm = QuantizedModel.convert(model, x)
+        assert estimate_macs(model) == qm.total_macs

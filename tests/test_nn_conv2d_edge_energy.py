@@ -1,0 +1,101 @@
+"""Conv2D/MaxPool2D layers and the edge energy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.architecture import build_lightweight_cnn
+from repro.edge import CortexM7Config, estimate_energy
+from repro.quant import QuantizedModel
+from tests.test_nn_gradients import TOL, analytic_vs_numeric
+
+
+class TestConv2DGradients:
+    @pytest.mark.parametrize("padding", ["valid", "same"])
+    def test_conv2d_gradcheck(self, padding):
+        def build(i):
+            h = nn.layers.Conv2D(3, (2, 3), padding=padding,
+                                 activation="tanh", seed=1)(i)
+            h = nn.layers.Flatten()(h)
+            return nn.layers.Dense(2, seed=2)(h)
+
+        assert analytic_vs_numeric(build, (5, 6, 2)) < TOL
+
+    def test_conv2d_maxpool2d_stack_gradcheck(self):
+        def build(i):
+            h = nn.layers.Conv2D(4, 3, padding="same", activation="relu",
+                                 seed=1)(i)
+            h = nn.layers.MaxPool2D(2)(h)
+            h = nn.layers.Flatten()(h)
+            return nn.layers.Dense(2, seed=2)(h)
+
+        assert analytic_vs_numeric(build, (6, 6, 2)) < TOL
+
+
+class TestConv2DSemantics:
+    def test_output_shapes(self):
+        valid = nn.layers.Conv2D(8, (3, 3), seed=0)(nn.Input((10, 12, 2)))
+        assert valid.shape == (8, 10, 8)
+        same = nn.layers.Conv2D(8, (3, 3), padding="same", seed=0)(
+            nn.Input((10, 12, 2))
+        )
+        assert same.shape == (10, 12, 8)
+
+    def test_identity_kernel(self):
+        layer = nn.layers.Conv2D(1, (1, 1), use_bias=False, seed=0)
+        layer(nn.Input((4, 4, 1)))
+        layer.params["W"] = np.ones((1, 1, 1, 1), dtype=np.float32)
+        x = np.random.default_rng(0).normal(size=(2, 4, 4, 1)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward([x]), x, rtol=1e-6)
+
+    def test_maxpool2d_values(self):
+        layer = nn.layers.MaxPool2D(2)
+        layer(nn.Input((4, 4, 1)))
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+        out = layer.forward([x])
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nn.layers.Conv2D(0, 3)
+        with pytest.raises(ValueError):
+            nn.layers.Conv2D(2, 3, padding="reflect")
+        with pytest.raises(ValueError, match="rows, cols"):
+            nn.layers.Conv2D(2, 3, seed=0)(nn.Input((5, 5)))
+        with pytest.raises(ValueError, match="smaller than pool"):
+            nn.layers.MaxPool2D(8)(nn.Input((4, 4, 1)))
+
+
+class TestEnergyModel:
+    @pytest.fixture(scope="class")
+    def qmodel(self):
+        model = build_lightweight_cnn(40, seed=0)
+        model.compile("adam", "bce")
+        x = np.random.default_rng(0).normal(size=(64, 40, 9)).astype(np.float32)
+        return QuantizedModel.convert(model, x)
+
+    def test_energy_is_battery_friendly(self, qmodel):
+        report = estimate_energy(qmodel)
+        # A wearable budget: well under a millijoule per inference and a
+        # low duty cycle at 100 Hz / 200 ms hop.
+        assert 0.1 < report["inference_energy_uj"] < 20_000
+        assert 0.0 < report["duty_cycle"] < 0.5
+        assert report["mean_current_ma"] < report["active_current_ma"]
+
+    def test_faster_hop_increases_mean_power(self, qmodel):
+        lazy = estimate_energy(qmodel, hop_samples=40)
+        eager = estimate_energy(qmodel, hop_samples=5)
+        assert eager["mean_power_mw"] > lazy["mean_power_mw"]
+
+    def test_energy_scales_with_clock_independent_duty(self, qmodel):
+        # Halving the clock halves active power but doubles active time:
+        # per-inference energy stays ~constant, duty cycle doubles.
+        fast = estimate_energy(qmodel, config=CortexM7Config(clock_hz=216e6))
+        slow = estimate_energy(qmodel, config=CortexM7Config(clock_hz=108e6))
+        assert slow["duty_cycle"] == pytest.approx(2 * fast["duty_cycle"],
+                                                   rel=0.05)
+        assert slow["inference_energy_uj"] == pytest.approx(
+            fast["inference_energy_uj"], rel=0.05
+        )

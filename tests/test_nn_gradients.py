@@ -1,0 +1,252 @@
+"""Finite-difference gradient checks for every layer type.
+
+These are the foundation of trust in the framework: if backward matches a
+numerical derivative of forward for each layer, training behaves like the
+TensorFlow implementation the paper used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def analytic_vs_numeric(build, x_shape, batch=4, seed=0, n_checks=6,
+                        training=False):
+    """Return the worst relative gradient error over sampled parameters."""
+    nn.set_floatx(np.float64)
+    try:
+        rng = np.random.default_rng(seed)
+        inp = nn.Input(x_shape)
+        out = build(inp)
+        model = nn.Model(inp, out).compile("sgd", "mse")
+        x = rng.normal(size=(batch,) + x_shape)
+        y = rng.normal(size=(batch,) + model.output_shape)
+
+        def forward_loss():
+            # Keep stateful buffers (batch-norm) frozen around evaluations.
+            saved = [
+                {k: v.copy() for k, v in layer.state.items()}
+                for layer in model.layers
+            ]
+            value = model.loss(y, model._forward(x, training))
+            for layer, st in zip(model.layers, saved):
+                for k in st:
+                    layer.state[k] = st[k]
+            return value
+
+        y_pred = model._forward(x, training)
+        model._backward(model.loss.grad(y, y_pred))
+        params, grads = model._collect_params()
+        worst = 0.0
+        eps = 1e-6
+        for key, param in params.items():
+            grad = np.asarray(grads[key]).reshape(-1)
+            flat = param.reshape(-1)
+            assert flat.base is not None, f"param {key} must be a view"
+            indices = np.linspace(0, flat.size - 1,
+                                  min(n_checks, flat.size)).astype(int)
+            for j in indices:
+                original = flat[j]
+                flat[j] = original + eps
+                loss_plus = forward_loss()
+                flat[j] = original - eps
+                loss_minus = forward_loss()
+                flat[j] = original
+                numeric = (loss_plus - loss_minus) / (2 * eps)
+                # Relative error with an absolute floor: parameters whose
+                # true gradient is ~0 (e.g. a dense bias feeding batch
+                # norm) would otherwise divide finite-difference noise by
+                # zero.
+                err = abs(numeric - grad[j]) / max(
+                    1e-4, abs(numeric) + abs(grad[j])
+                )
+                worst = max(worst, err)
+        return worst
+    finally:
+        nn.set_floatx(np.float32)
+
+
+TOL = 1e-5
+
+
+def test_dense_gradients():
+    err = analytic_vs_numeric(
+        lambda i: nn.layers.Dense(5, activation="tanh", seed=1)(i), (7,)
+    )
+    assert err < TOL
+
+
+def test_dense_relu_sigmoid_stack():
+    def build(i):
+        h = nn.layers.Dense(8, activation="relu", seed=1)(i)
+        return nn.layers.Dense(3, activation="sigmoid", seed=2)(h)
+
+    assert analytic_vs_numeric(build, (6,)) < TOL
+
+
+def test_dense_on_sequence_input():
+    # Dense must apply along the last axis of rank-3 tensors.
+    def build(i):
+        h = nn.layers.Dense(4, activation="tanh", seed=1)(i)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (5, 3)) < TOL
+
+
+@pytest.mark.parametrize("padding,strides", [("valid", 1), ("valid", 2),
+                                             ("same", 1), ("same", 3)])
+def test_conv1d_gradients(padding, strides):
+    def build(i):
+        h = nn.layers.Conv1D(4, 3, strides=strides, padding=padding,
+                             activation="tanh", seed=1)(i)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (11, 3)) < TOL
+
+
+def test_conv1d_no_bias_gradients():
+    def build(i):
+        h = nn.layers.Conv1D(3, 3, use_bias=False, seed=1)(i)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (9, 2)) < TOL
+
+
+@pytest.mark.parametrize("pool,strides", [(2, None), (3, 2), (2, 1)])
+def test_maxpool_gradients(pool, strides):
+    def build(i):
+        h = nn.layers.Conv1D(4, 3, activation="tanh", seed=1)(i)
+        h = nn.layers.MaxPool1D(pool, strides=strides)(h)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (12, 3)) < TOL
+
+
+@pytest.mark.parametrize("pool,strides", [(2, None), (3, 2)])
+def test_avgpool_gradients(pool, strides):
+    def build(i):
+        h = nn.layers.Conv1D(4, 3, activation="tanh", seed=1)(i)
+        h = nn.layers.AvgPool1D(pool, strides=strides)(h)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (12, 3)) < TOL
+
+
+def test_global_pools_gradients():
+    def build_avg(i):
+        h = nn.layers.Conv1D(4, 3, activation="tanh", seed=1)(i)
+        h = nn.layers.GlobalAvgPool1D()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    def build_max(i):
+        h = nn.layers.Conv1D(4, 3, activation="tanh", seed=1)(i)
+        h = nn.layers.GlobalMaxPool1D()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build_avg, (10, 3)) < TOL
+    assert analytic_vs_numeric(build_max, (10, 3)) < TOL
+
+
+@pytest.mark.parametrize("return_sequences", [False, True])
+def test_lstm_gradients(return_sequences):
+    def build(i):
+        h = nn.layers.LSTM(5, return_sequences=return_sequences, seed=1)(i)
+        if return_sequences:
+            h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (6, 4)) < TOL
+
+
+@pytest.mark.parametrize("padding,return_sequences",
+                         [("same", False), ("valid", False), ("same", True)])
+def test_convlstm2d_gradients(padding, return_sequences):
+    def build(i):
+        h = nn.layers.ConvLSTM2D(3, (1, 3), padding=padding,
+                                 return_sequences=return_sequences,
+                                 seed=1)(i)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (4, 1, 7, 2)) < TOL
+
+
+def test_batchnorm_gradients_training_mode():
+    def build(i):
+        h = nn.layers.Dense(6, seed=1)(i)
+        h = nn.layers.BatchNorm()(h)
+        h = nn.layers.Activation("tanh")(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (5,), batch=6, training=True) < TOL
+
+
+def test_slice_concat_gradients():
+    def build(i):
+        a = nn.layers.Slice(-1, 0, 3)(i)
+        b = nn.layers.Slice(-1, 3, 6)(i)
+        c = nn.layers.Slice(-1, 6, 9)(i)
+        merged = nn.layers.Concatenate()([a, b, c])
+        h = nn.layers.Flatten()(merged)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (5, 9)) < TOL
+
+
+def test_add_gradients():
+    def build(i):
+        a = nn.layers.Dense(4, activation="tanh", seed=1)(i)
+        b = nn.layers.Dense(4, activation="tanh", seed=2)(i)
+        merged = nn.layers.Add()([a, b])
+        return nn.layers.Dense(2, seed=3)(merged)
+
+    assert analytic_vs_numeric(build, (6,)) < TOL
+
+
+def test_reshape_gradients():
+    def build(i):
+        h = nn.layers.Reshape((6, 2))(i)
+        h = nn.layers.Conv1D(3, 2, activation="tanh", seed=1)(h)
+        h = nn.layers.Flatten()(h)
+        return nn.layers.Dense(2, seed=2)(h)
+
+    assert analytic_vs_numeric(build, (12,)) < TOL
+
+
+def test_paper_cnn_architecture_gradients():
+    """The actual 3-branch CNN shape, end to end."""
+
+    def build(i):
+        branches = []
+        for lo in (0, 3, 6):
+            h = nn.layers.Slice(-1, lo, lo + 3)(i)
+            h = nn.layers.Conv1D(4, 3, activation="relu", seed=lo + 1)(h)
+            h = nn.layers.MaxPool1D(2)(h)
+            h = nn.layers.Flatten()(h)
+            branches.append(h)
+        h = nn.layers.Concatenate()(branches)
+        h = nn.layers.Dense(8, activation="relu", seed=10)(h)
+        h = nn.layers.Dense(4, activation="relu", seed=11)(h)
+        return nn.layers.Dense(1, activation="sigmoid", seed=12)(h)
+
+    assert analytic_vs_numeric(build, (12, 9)) < TOL
+
+
+def test_gradient_of_input_not_required():
+    # Backward should not fail when some graph branch is unused by loss —
+    # regression guard for the grads-accumulation bookkeeping.
+    inp = nn.Input((4,))
+    h = nn.layers.Dense(3, seed=1)(inp)
+    model = nn.Model(inp, h).compile("sgd", "mse")
+    x = np.random.default_rng(0).normal(size=(2, 4))
+    y = np.zeros((2, 3))
+    loss = model.train_on_batch(x, y)
+    assert np.isfinite(loss)

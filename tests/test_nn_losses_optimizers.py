@@ -1,0 +1,293 @@
+"""Losses, optimizers, metrics, initializers and callbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import initializers, losses, metrics, optimizers
+from repro.nn.callbacks import (
+    CSVLogger,
+    EarlyStopping,
+    History,
+    LambdaCallback,
+    ReduceLROnPlateau,
+)
+
+
+# ---------------------------------------------------------------------------
+# Losses
+# ---------------------------------------------------------------------------
+class TestBinaryCrossentropy:
+    def test_matches_manual_value(self):
+        loss = losses.BinaryCrossentropy()
+        y = np.array([[1.0], [0.0]])
+        p = np.array([[0.9], [0.2]])
+        expected = -(np.log(0.9) + np.log(0.8)) / 2.0
+        assert loss(y, p) == pytest.approx(expected, rel=1e-6)
+
+    def test_weighting_scales_per_sample(self):
+        loss = losses.BinaryCrossentropy()
+        y = np.array([[1.0], [0.0]])
+        p = np.array([[0.9], [0.2]])
+        unweighted = loss(y, p)
+        weighted = loss(y, p, sample_weight=np.array([2.0, 2.0]))
+        assert weighted == pytest.approx(2 * unweighted, rel=1e-6)
+
+    @given(st.floats(0.05, 0.95), st.integers(0, 1))
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_matches_numeric(self, p, label):
+        loss = losses.BinaryCrossentropy()
+        y = np.array([[float(label)]])
+        pred = np.array([[p]])
+        g = loss.grad(y, pred)[0, 0]
+        eps = 1e-7
+        numeric = (loss(y, pred + eps) - loss(y, pred - eps)) / (2 * eps)
+        assert g == pytest.approx(numeric, rel=1e-3)
+
+    def test_extreme_probabilities_are_finite(self):
+        loss = losses.BinaryCrossentropy()
+        y = np.array([[1.0], [0.0]])
+        p = np.array([[0.0], [1.0]])
+        assert np.isfinite(loss(y, p))
+        assert np.all(np.isfinite(loss.grad(y, p)))
+
+
+class TestOtherLosses:
+    def test_mse_value_and_grad(self):
+        loss = losses.MeanSquaredError()
+        y = np.array([[1.0, 2.0]])
+        p = np.array([[1.5, 1.0]])
+        assert loss(y, p) == pytest.approx((0.25 + 1.0) / 2)
+        np.testing.assert_allclose(loss.grad(y, p),
+                                   2 * (p - y) / 2, rtol=1e-6)
+
+    def test_categorical_crossentropy(self):
+        loss = losses.CategoricalCrossentropy()
+        y = np.array([[0.0, 1.0]])
+        p = np.array([[0.3, 0.7]])
+        assert loss(y, p) == pytest.approx(-np.log(0.7), rel=1e-6)
+
+    def test_registry(self):
+        assert isinstance(losses.get("bce"), losses.BinaryCrossentropy)
+        assert isinstance(losses.get("mse"), losses.MeanSquaredError)
+        with pytest.raises(ValueError, match="unknown loss"):
+            losses.get("hinge")
+
+
+# ---------------------------------------------------------------------------
+# Optimizers
+# ---------------------------------------------------------------------------
+def _quadratic_descend(optimizer, steps=120):
+    """Minimise f(w) = ||w - 3||^2 from w=0; returns final distance."""
+    w = np.zeros(4)
+    params = {"w": w}
+    for _ in range(steps):
+        grads = {"w": 2.0 * (w - 3.0)}
+        optimizer.apply(params, grads)
+    return float(np.abs(w - 3.0).max())
+
+
+class TestOptimizers:
+    @pytest.mark.parametrize(
+        "opt",
+        [
+            optimizers.SGD(learning_rate=0.1),
+            optimizers.SGD(learning_rate=0.05, momentum=0.9),
+            optimizers.RMSprop(learning_rate=0.1),
+            optimizers.Adam(learning_rate=0.2),
+        ],
+        ids=["sgd", "sgd-momentum", "rmsprop", "adam"],
+    )
+    def test_converges_on_quadratic(self, opt):
+        assert _quadratic_descend(opt) < 1e-2
+
+    def test_clipnorm_limits_update(self):
+        opt = optimizers.SGD(learning_rate=1.0, clipnorm=1.0)
+        w = np.zeros(3)
+        opt.apply({"w": w}, {"w": np.array([30.0, 40.0, 0.0])})
+        # Gradient norm 50 -> clipped to 1; step = lr * clipped grad.
+        assert np.linalg.norm(w) == pytest.approx(1.0, rel=1e-6)
+
+    def test_clipnorm_leaves_small_gradients_alone(self):
+        opt = optimizers.SGD(learning_rate=1.0, clipnorm=100.0)
+        w = np.zeros(2)
+        opt.apply({"w": w}, {"w": np.array([0.3, 0.4])})
+        assert np.linalg.norm(w) == pytest.approx(0.5, rel=1e-6)
+
+    def test_adam_state_is_per_parameter(self):
+        opt = optimizers.Adam(learning_rate=0.1)
+        a, b = np.zeros(2), np.zeros(3)
+        opt.apply({"a": a, "b": b}, {"a": np.ones(2), "b": np.zeros(3)})
+        assert np.all(a != 0)
+        assert np.all(b == 0)
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValueError):
+            optimizers.SGD(learning_rate=-1)
+        with pytest.raises(ValueError):
+            optimizers.SGD(momentum=1.5)
+
+    def test_registry(self):
+        assert isinstance(optimizers.get("adam"), optimizers.Adam)
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            optimizers.get("lion")
+
+
+# ---------------------------------------------------------------------------
+# Metrics / initializers
+# ---------------------------------------------------------------------------
+class TestMetrics:
+    def test_binary_accuracy(self):
+        y = np.array([1, 0, 1, 0])
+        p = np.array([0.9, 0.2, 0.4, 0.6])
+        assert metrics.binary_accuracy(y, p) == pytest.approx(0.5)
+
+    def test_accuracy_argmax(self):
+        y = np.array([[1, 0], [0, 1]])
+        p = np.array([[0.8, 0.2], [0.7, 0.3]])
+        assert metrics.accuracy(y, p) == pytest.approx(0.5)
+
+    def test_registry_error(self):
+        with pytest.raises(ValueError):
+            metrics.get("auc")
+
+
+class TestInitializers:
+    def test_glorot_uniform_bounds(self):
+        rng = np.random.default_rng(0)
+        w = initializers.glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= limit
+
+    def test_orthogonal_is_orthonormal(self):
+        rng = np.random.default_rng(0)
+        w = np.asarray(initializers.orthogonal((32, 128), rng), dtype=np.float64)
+        gram = w @ w.T
+        np.testing.assert_allclose(gram, np.eye(32), atol=1e-5)
+
+    def test_orthogonal_is_contiguous(self):
+        # Regression: a transposed (non-contiguous) kernel silently broke
+        # in-place optimizer views.
+        w = initializers.orthogonal((8, 32), np.random.default_rng(0))
+        assert w.flags["C_CONTIGUOUS"]
+
+    def test_he_uniform_scale(self):
+        rng = np.random.default_rng(0)
+        w = initializers.he_uniform((1000, 10), rng)
+        assert np.abs(w).max() <= np.sqrt(6.0 / 1000) + 1e-9
+
+    def test_conv_kernel_fans(self):
+        rng = np.random.default_rng(0)
+        w = initializers.glorot_uniform((5, 3, 16), rng)  # (k, cin, cout)
+        limit = np.sqrt(6.0 / (5 * 3 + 5 * 16))
+        assert np.abs(w).max() <= limit + 1e-9
+
+    def test_registry(self):
+        assert initializers.get("zeros") is initializers.zeros
+        with pytest.raises(ValueError):
+            initializers.get("lecun")
+
+
+# ---------------------------------------------------------------------------
+# Callbacks
+# ---------------------------------------------------------------------------
+class _FakeModel:
+    def __init__(self):
+        self.stop_training = False
+        self.weights = [np.array([0.0])]
+        self.optimizer = optimizers.SGD(learning_rate=0.1)
+
+    def get_weights(self):
+        return [w.copy() for w in self.weights]
+
+    def set_weights(self, ws):
+        self.weights = [np.asarray(w).copy() for w in ws]
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_and_restores_best(self):
+        cb = EarlyStopping(monitor="val_loss", patience=2,
+                           restore_best_weights=True)
+        model = _FakeModel()
+        cb.set_model(model)
+        cb.on_train_begin()
+        curve = [1.0, 0.5, 0.8, 0.9, 0.95]
+        for epoch, value in enumerate(curve):
+            model.weights = [np.array([float(epoch)])]
+            cb.on_epoch_end(epoch, {"val_loss": value})
+            if model.stop_training:
+                break
+        assert model.stop_training
+        assert cb.best_epoch == 1
+        cb.on_train_end()
+        assert model.weights[0][0] == 1.0  # epoch-1 weights restored
+
+    def test_improvement_resets_patience(self):
+        cb = EarlyStopping(patience=2, restore_best_weights=False)
+        model = _FakeModel()
+        cb.set_model(model)
+        cb.on_train_begin()
+        for epoch, value in enumerate([1.0, 0.9, 0.95, 0.8, 0.85]):
+            cb.on_epoch_end(epoch, {"val_loss": value})
+        assert not model.stop_training
+
+    def test_max_mode(self):
+        cb = EarlyStopping(monitor="val_acc", patience=1, mode="max",
+                           restore_best_weights=False)
+        model = _FakeModel()
+        cb.set_model(model)
+        cb.on_train_begin()
+        cb.on_epoch_end(0, {"val_acc": 0.8})
+        cb.on_epoch_end(1, {"val_acc": 0.7})
+        assert model.stop_training
+
+    def test_missing_monitor_is_ignored(self):
+        cb = EarlyStopping(patience=1)
+        model = _FakeModel()
+        cb.set_model(model)
+        cb.on_train_begin()
+        cb.on_epoch_end(0, {"loss": 1.0})
+        assert not model.stop_training
+
+
+class TestOtherCallbacks:
+    def test_history_records_all_keys(self):
+        cb = History()
+        cb.on_train_begin()
+        cb.on_epoch_end(0, {"loss": 1.0, "val_loss": 2.0})
+        cb.on_epoch_end(1, {"loss": 0.5, "val_loss": 1.5})
+        assert cb.history["loss"] == [1.0, 0.5]
+        assert cb.epochs == [0, 1]
+
+    def test_csv_logger_writes_rows(self, tmp_path):
+        path = tmp_path / "log.csv"
+        cb = CSVLogger(path)
+        cb.on_train_begin()
+        cb.on_epoch_end(0, {"loss": 1.0})
+        cb.on_epoch_end(1, {"loss": 0.5})
+        cb.on_train_end()
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "epoch,loss"
+        assert len(lines) == 3
+
+    def test_reduce_lr_on_plateau(self):
+        model = _FakeModel()
+        cb = ReduceLROnPlateau(patience=1, factor=0.5)
+        cb.set_model(model)
+        cb.on_train_begin()
+        cb.on_epoch_end(0, {"val_loss": 1.0})
+        cb.on_epoch_end(1, {"val_loss": 1.2})
+        assert model.optimizer.learning_rate == pytest.approx(0.05)
+        # A second plateau epoch halves it again.
+        cb.on_epoch_end(2, {"val_loss": 1.3})
+        assert model.optimizer.learning_rate == pytest.approx(0.025)
+
+    def test_lambda_callback(self):
+        seen = []
+        cb = LambdaCallback(on_epoch_end=lambda e, logs: seen.append(e))
+        cb.on_epoch_end(3, {})
+        assert seen == [3]

@@ -1,0 +1,294 @@
+"""Shape algebra, graph validation and the Model API surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn.layers.conv import conv1d_output_length
+
+
+# ---------------------------------------------------------------------------
+# Shape computations
+# ---------------------------------------------------------------------------
+class TestConvShapes:
+    @given(
+        length=st.integers(4, 200),
+        kernel=st.integers(1, 4),
+        stride=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_valid_output_length_matches_forward(self, length, kernel, stride):
+        out_len = conv1d_output_length(length, kernel, stride, "valid")
+        layer = nn.layers.Conv1D(2, kernel, strides=stride, seed=0)
+        node = layer(nn.Input((length, 3)))
+        assert node.shape == (out_len, 2)
+        y = layer.forward([np.zeros((1, length, 3), dtype=np.float32)])
+        assert y.shape == (1, out_len, 2)
+
+    @given(
+        length=st.integers(4, 200),
+        kernel=st.integers(1, 6),
+        stride=st.integers(1, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_same_output_length_is_ceil_div(self, length, kernel, stride):
+        out_len = conv1d_output_length(length, kernel, stride, "same")
+        assert out_len == -(-length // stride)
+        layer = nn.layers.Conv1D(2, kernel, strides=stride, padding="same",
+                                 seed=0)
+        node = layer(nn.Input((length, 3)))
+        y = layer.forward([np.zeros((1, length, 3), dtype=np.float32)])
+        assert y.shape[1] == out_len == node.shape[0]
+
+    def test_kernel_longer_than_input_rejected(self):
+        with pytest.raises(ValueError, match="shorter than kernel"):
+            conv1d_output_length(3, 5, 1, "valid")
+
+    def test_bad_padding_rejected(self):
+        with pytest.raises(ValueError, match="padding"):
+            conv1d_output_length(10, 3, 1, "full")
+
+
+class TestPoolingShapes:
+    @given(length=st.integers(4, 100), pool=st.integers(1, 4),
+           stride=st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_maxpool_output_length(self, length, pool, stride):
+        if length < pool:
+            return
+        layer = nn.layers.MaxPool1D(pool, strides=stride)
+        node = layer(nn.Input((length, 2)))
+        expected = (length - pool) // stride + 1
+        assert node.shape == (expected, 2)
+        y = layer.forward([np.zeros((3, length, 2), dtype=np.float32)])
+        assert y.shape == (3, expected, 2)
+
+    def test_pool_larger_than_input_rejected(self):
+        with pytest.raises(ValueError, match="shorter than pool_size"):
+            nn.layers.MaxPool1D(8)(nn.Input((4, 2)))
+
+
+class TestSliceShapes:
+    def test_slice_shape_and_bounds(self):
+        node = nn.layers.Slice(-1, 3, 6)(nn.Input((10, 9)))
+        assert node.shape == (10, 6 - 3)
+
+    def test_slice_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            nn.layers.Slice(-1, 5, 12)(nn.Input((10, 9)))
+
+    def test_empty_slice_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            nn.layers.Slice(-1, 4, 4)
+
+    def test_positive_axis_indexing(self):
+        node = nn.layers.Slice(0, 2, 7)(nn.Input((10, 9)))
+        assert node.shape == (5, 9)
+
+
+class TestMergeValidation:
+    def test_concatenate_requires_two_inputs(self):
+        with pytest.raises(ValueError, match="at least two"):
+            nn.layers.Concatenate()([nn.Input((4,))])
+
+    def test_concatenate_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nn.layers.Concatenate()([nn.Input((4, 2)), nn.Input((4,))])
+
+    def test_concatenate_axis_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="must match"):
+            nn.layers.Concatenate(axis=-1)([nn.Input((4, 2)), nn.Input((5, 2))])
+
+    def test_add_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="share a shape"):
+            nn.layers.Add()([nn.Input((4,)), nn.Input((5,))])
+
+    def test_concatenate_shape(self):
+        node = nn.layers.Concatenate()([nn.Input((7, 3)), nn.Input((7, 5))])
+        assert node.shape == (7, 8)
+
+
+class TestReshape:
+    def test_reshape_element_count_mismatch(self):
+        with pytest.raises(ValueError, match="cannot reshape"):
+            nn.layers.Reshape((5, 3))(nn.Input((12,)))
+
+    def test_reshape_round_trip(self):
+        layer = nn.layers.Reshape((3, 4))
+        layer(nn.Input((12,)))
+        x = np.arange(24, dtype=np.float32).reshape(2, 12)
+        y = layer.forward([x])
+        assert y.shape == (2, 3, 4)
+        back = layer.backward(y)[0]
+        np.testing.assert_array_equal(back, x)
+
+
+# ---------------------------------------------------------------------------
+# Layer call rules
+# ---------------------------------------------------------------------------
+class TestLayerWiring:
+    def test_layer_cannot_be_reused(self):
+        layer = nn.layers.Dense(3, seed=0)
+        layer(nn.Input((4,)))
+        with pytest.raises(RuntimeError, match="already wired"):
+            layer(nn.Input((4,)))
+
+    def test_layer_requires_nodes(self):
+        with pytest.raises(TypeError, match="graph nodes"):
+            nn.layers.Dense(3)(np.zeros((2, 4)))
+
+    def test_unique_auto_names(self):
+        a = nn.layers.Dense(2)
+        b = nn.layers.Dense(2)
+        assert a.name != b.name
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            nn.Input((0, 3))
+
+
+# ---------------------------------------------------------------------------
+# Model API
+# ---------------------------------------------------------------------------
+def _small_model(seed=0):
+    inp = nn.Input((6, 9))
+    h = nn.layers.Conv1D(4, 3, activation="relu", seed=seed)(inp)
+    h = nn.layers.Flatten()(h)
+    out = nn.layers.Dense(1, activation="sigmoid", seed=seed + 1)(h)
+    return nn.Model(inp, out)
+
+
+class TestModel:
+    def test_predict_batching_is_consistent(self):
+        model = _small_model()
+        x = np.random.default_rng(0).normal(size=(23, 6, 9)).astype(np.float32)
+        full = model.predict(x, batch_size=23)
+        chunked = model.predict(x, batch_size=5)
+        np.testing.assert_allclose(full, chunked, rtol=1e-6)
+
+    def test_predict_rejects_wrong_shape(self):
+        model = _small_model()
+        with pytest.raises(ValueError, match="per-sample shape"):
+            model.predict(np.zeros((4, 5, 9)))
+
+    def test_count_params_matches_manual(self):
+        model = _small_model()
+        conv = 3 * 9 * 4 + 4
+        dense = (4 * 4) * 1 + 1
+        assert model.count_params() == conv + dense
+
+    def test_get_set_weights_round_trip(self):
+        model = _small_model(seed=1)
+        other = _small_model(seed=99)
+        x = np.random.default_rng(0).normal(size=(4, 6, 9)).astype(np.float32)
+        assert not np.allclose(model.predict(x), other.predict(x))
+        other.set_weights(model.get_weights())
+        np.testing.assert_allclose(model.predict(x), other.predict(x),
+                                   rtol=1e-6)
+
+    def test_set_weights_shape_mismatch_rejected(self):
+        model = _small_model()
+        weights = model.get_weights()
+        weights[0] = weights[0][:-1]
+        with pytest.raises(ValueError, match="shape mismatch"):
+            model.set_weights(weights)
+
+    def test_set_weights_count_mismatch_rejected(self):
+        model = _small_model()
+        with pytest.raises(ValueError, match="weight arrays"):
+            model.set_weights(model.get_weights()[:-1])
+
+    def test_uncompiled_training_rejected(self):
+        model = _small_model()
+        with pytest.raises(RuntimeError, match="compile"):
+            model.fit(np.zeros((2, 6, 9)), np.zeros((2, 1)))
+
+    def test_summary_mentions_every_layer(self):
+        model = _small_model()
+        text = model.summary()
+        for layer in model.layers:
+            assert layer.name in text
+        assert "total params" in text
+
+    def test_get_layer(self):
+        model = _small_model()
+        name = model.layers[0].name
+        assert model.get_layer(name) is model.layers[0]
+        with pytest.raises(KeyError):
+            model.get_layer("nope")
+
+    def test_model_requires_connected_graph(self):
+        inp = nn.Input((4,))
+        other = nn.Input((4,))
+        out = nn.layers.Dense(2, seed=0)(other)
+        with pytest.raises(ValueError):
+            nn.Model(inp, out)
+
+    def test_foreign_input_rejected(self):
+        inp = nn.Input((4,))
+        other = nn.Input((4,))
+        a = nn.layers.Dense(2, seed=0)(inp)
+        b = nn.layers.Dense(2, seed=1)(other)
+        out = nn.layers.Concatenate()([a, b])
+        with pytest.raises(ValueError, match="foreign input"):
+            nn.Model(inp, out)
+
+    def test_fit_empty_dataset_rejected(self):
+        model = _small_model().compile("adam", "bce")
+        with pytest.raises(ValueError, match="empty"):
+            model.fit(np.zeros((0, 6, 9)), np.zeros((0, 1)))
+
+    def test_fit_length_mismatch_rejected(self):
+        model = _small_model().compile("adam", "bce")
+        with pytest.raises(ValueError, match="disagree"):
+            model.fit(np.zeros((4, 6, 9)), np.zeros((3, 1)))
+
+    def test_fit_returns_history_and_respects_epochs(self):
+        model = _small_model().compile("adam", "bce")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 6, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(32, 1)).astype(float)
+        history = model.fit(x, y, epochs=3, batch_size=8, seed=0)
+        assert history.epochs == [0, 1, 2]
+        assert len(history.history["loss"]) == 3
+
+    def test_fit_deterministic_under_seed(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 6, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(40, 1)).astype(float)
+        losses = []
+        for _ in range(2):
+            model = _small_model(seed=5).compile(
+                nn.optimizers.Adam(learning_rate=1e-3), "bce"
+            )
+            h = model.fit(x, y, epochs=2, batch_size=8, seed=123)
+            losses.append(h.history["loss"])
+        np.testing.assert_allclose(losses[0], losses[1], rtol=1e-6)
+
+    def test_class_weight_changes_training(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 6, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(40, 1)).astype(float)
+
+        def run(cw):
+            model = _small_model(seed=5).compile(
+                nn.optimizers.SGD(learning_rate=0.1), "bce"
+            )
+            h = model.fit(x, y, epochs=1, batch_size=40, shuffle=False,
+                          class_weight=cw, seed=0)
+            return h.history["loss"][0]
+
+        assert run({0: 1.0, 1: 1.0}) != run({0: 1.0, 1: 10.0})
+
+    def test_evaluate_reports_metrics(self):
+        model = _small_model().compile("adam", "bce", metrics=["binary_accuracy"])
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 6, 9)).astype(np.float32)
+        y = rng.integers(0, 2, size=(16, 1)).astype(float)
+        logs = model.evaluate(x, y)
+        assert set(logs) >= {"loss", "binary_accuracy"}
+        assert 0.0 <= logs["binary_accuracy"] <= 1.0

@@ -1,0 +1,174 @@
+"""Training convergence and serialization for each model family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def _make_sequence_problem(n=200, time=10, channels=4, seed=0):
+    """Binary problem solvable from temporal structure: does the mean of
+    channel 0 over the second half exceed the first half?"""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, time, channels)).astype(np.float32)
+    first = x[:, : time // 2, 0].mean(axis=1)
+    second = x[:, time // 2 :, 0].mean(axis=1)
+    y = (second > first).astype(float)[:, None]
+    return x, y
+
+
+def _accuracy(model, x, y):
+    p = model.predict(x).reshape(-1)
+    return float(np.mean((p >= 0.5) == (y.reshape(-1) >= 0.5)))
+
+
+class TestConvergence:
+    def test_dense_learns_linear_problem(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(300, 8)).astype(np.float32)
+        w_true = rng.normal(size=8)
+        y = (x @ w_true > 0).astype(float)[:, None]
+        inp = nn.Input((8,))
+        h = nn.layers.Dense(16, activation="relu", seed=1)(inp)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile(
+            nn.optimizers.Adam(learning_rate=0.01), "bce"
+        )
+        model.fit(x, y, epochs=30, batch_size=32, seed=0)
+        assert _accuracy(model, x, y) > 0.95
+
+    def test_conv1d_learns_sequence_problem(self):
+        x, y = _make_sequence_problem()
+        inp = nn.Input(x.shape[1:])
+        h = nn.layers.Conv1D(8, 3, activation="relu", seed=1)(inp)
+        h = nn.layers.MaxPool1D(2)(h)
+        h = nn.layers.Flatten()(h)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile(
+            nn.optimizers.Adam(learning_rate=0.005), "bce"
+        )
+        model.fit(x, y, epochs=40, batch_size=32, seed=0)
+        assert _accuracy(model, x, y) > 0.9
+
+    def test_lstm_learns_sequence_problem(self):
+        x, y = _make_sequence_problem(n=150)
+        inp = nn.Input(x.shape[1:])
+        h = nn.layers.LSTM(12, seed=1)(inp)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile(
+            nn.optimizers.Adam(learning_rate=0.01, clipnorm=5.0), "bce"
+        )
+        model.fit(x, y, epochs=40, batch_size=32, seed=0)
+        assert _accuracy(model, x, y) > 0.85
+
+    def test_convlstm_learns_sequence_problem(self):
+        x, y = _make_sequence_problem(n=120, time=8, channels=4)
+        x5 = x.reshape(x.shape[0], x.shape[1], 1, x.shape[2], 1)
+        inp = nn.Input(x5.shape[1:])
+        h = nn.layers.ConvLSTM2D(4, (1, 3), seed=1)(inp)
+        h = nn.layers.Flatten()(h)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile(
+            nn.optimizers.Adam(learning_rate=0.01, clipnorm=5.0), "bce"
+        )
+        model.fit(x5, y, epochs=30, batch_size=32, seed=0)
+        p = model.predict(x5).reshape(-1)
+        assert float(np.mean((p >= 0.5) == (y.reshape(-1) >= 0.5))) > 0.8
+
+    def test_loss_decreases_monotonically_enough(self):
+        x, y = _make_sequence_problem(n=100)
+        inp = nn.Input(x.shape[1:])
+        h = nn.layers.Flatten()(inp)
+        h = nn.layers.Dense(16, activation="relu", seed=1)(h)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile("adam", "bce")
+        history = model.fit(x, y, epochs=15, batch_size=16, seed=0)
+        losses = history.history["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_dropout_active_only_in_training(self):
+        inp = nn.Input((20,))
+        h = nn.layers.Dropout(0.5, seed=0)(inp)
+        model = nn.Model(inp, h)
+        x = np.ones((1, 20), dtype=np.float32)
+        inference = model._forward(x, training=False)
+        np.testing.assert_array_equal(inference, x)
+        training = model._forward(x, training=True)
+        assert np.any(training == 0.0)
+        # Inverted scaling keeps the expectation.
+        assert training.max() == pytest.approx(2.0)
+
+    def test_early_stopping_in_real_fit(self):
+        x, y = _make_sequence_problem(n=80)
+        # Random validation labels: val loss cannot keep improving, so
+        # early stopping must fire well before the epoch budget.
+        rng = np.random.default_rng(3)
+        y_val = rng.integers(0, 2, size=(20, 1)).astype(float)
+        inp = nn.Input(x.shape[1:])
+        h = nn.layers.Flatten()(inp)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=2)(h)
+        model = nn.Model(inp, out).compile("adam", "bce")
+        early = nn.callbacks.EarlyStopping(monitor="val_loss", patience=3)
+        history = model.fit(
+            x[:60], y[:60], epochs=200, batch_size=16,
+            validation_data=(x[60:], y_val), callbacks=[early], seed=0,
+        )
+        assert len(history.epochs) < 200
+        assert early.stopped_epoch >= 0
+
+
+class TestSerialization:
+    def _model(self, seed):
+        inp = nn.Input((6, 9))
+        a = nn.layers.Slice(-1, 0, 3)(inp)
+        b = nn.layers.Slice(-1, 3, 9)(inp)
+        ca = nn.layers.Conv1D(4, 3, activation="relu", name="conv_a",
+                              seed=seed)(a)
+        cb = nn.layers.Conv1D(4, 3, activation="relu", name="conv_b",
+                              seed=seed + 1)(b)
+        fa = nn.layers.Flatten()(ca)
+        fb = nn.layers.Flatten()(cb)
+        h = nn.layers.Concatenate()([fa, fb])
+        h = nn.layers.BatchNorm(name="bn")(h)
+        out = nn.layers.Dense(1, activation="sigmoid", name="head",
+                              seed=seed + 2)(h)
+        return nn.Model(inp, out)
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        model = self._model(seed=0)
+        # Touch batch-norm state so it differs from the fresh default.
+        model._forward(
+            np.random.default_rng(0).normal(size=(8, 6, 9)).astype(np.float32),
+            training=True,
+        )
+        nn.save_weights(model, path)
+        clone = self._model(seed=50)
+        nn.load_weights(clone, path)
+        x = np.random.default_rng(1).normal(size=(4, 6, 9)).astype(np.float32)
+        np.testing.assert_allclose(model.predict(x), clone.predict(x),
+                                   rtol=1e-6)
+
+    def test_strict_load_rejects_mismatched_architecture(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        nn.save_weights(self._model(seed=0), path)
+        inp = nn.Input((6, 9))
+        out = nn.layers.Dense(1, name="head", seed=0)(
+            nn.layers.Flatten()(inp)
+        )
+        other = nn.Model(inp, out)
+        with pytest.raises(ValueError, match="mismatch"):
+            nn.load_weights(other, path)
+
+    def test_non_strict_load_is_partial(self, tmp_path):
+        path = tmp_path / "weights.npz"
+        model = self._model(seed=0)
+        nn.save_weights(model, path)
+        clone = self._model(seed=9)
+        nn.load_weights(clone, path, strict=False)
+        np.testing.assert_allclose(
+            model.get_layer("head").params["W"],
+            clone.get_layer("head").params["W"],
+        )

@@ -1,0 +1,187 @@
+"""Quantization: primitives, fixed-point requantization, model parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core.architecture import build_lightweight_cnn
+from repro.quant import (
+    FixedPointMultiplier,
+    QuantizedModel,
+    QuantParams,
+    activation_qparams,
+    calibrate_activations,
+    dequantize,
+    quantize,
+    quantize_weights_per_channel,
+    requantize,
+)
+
+
+class TestQuantPrimitives:
+    def test_round_trip_error_bounded_by_half_step(self):
+        params = activation_qparams(-3.0, 5.0)
+        x = np.linspace(-3.0, 5.0, 1001)
+        err = np.abs(dequantize(quantize(x, params), params) - x)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    def test_zero_maps_exactly(self):
+        for lo, hi in [(-3.0, 5.0), (0.5, 9.0), (-7.0, -0.1)]:
+            params = activation_qparams(lo, hi)
+            assert dequantize(quantize(np.array([0.0]), params), params)[0] == 0.0
+
+    def test_saturation(self):
+        params = activation_qparams(-1.0, 1.0)
+        q = quantize(np.array([100.0, -100.0]), params)
+        assert q[0] == 127 and q[1] == -128
+
+    def test_degenerate_range_handled(self):
+        params = activation_qparams(2.0, 2.0)
+        assert params.scale > 0
+
+    def test_per_channel_weight_scales(self):
+        w = np.zeros((3, 2, 4))
+        w[..., 0] = 1.0
+        w[..., 1] = 0.01
+        w[..., 2] = -2.0
+        w[..., 3] = 0.5
+        q, scales = quantize_weights_per_channel(w, channel_axis=2)
+        assert q.dtype == np.int8
+        np.testing.assert_allclose(scales,
+                                   np.array([1.0, 0.01, 2.0, 0.5]) / 127)
+        # Peak values quantize to exactly +/-127.
+        assert q[..., 0].max() == 127
+        assert q[..., 2].min() == -127
+
+    def test_invalid_qparams_rejected(self):
+        with pytest.raises(ValueError):
+            QuantParams(scale=0.0, zero_point=0)
+        with pytest.raises(ValueError):
+            QuantParams(scale=1.0, zero_point=300)
+
+
+class TestFixedPointMultiplier:
+    @given(st.floats(1e-6, 1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_accuracy(self, value):
+        fp = FixedPointMultiplier.from_real(value)
+        assert fp.real_value == pytest.approx(value, rel=1e-7)
+        assert 2**30 <= fp.m0 < 2**31
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointMultiplier.from_real(0.0)
+
+    @given(
+        acc=st.integers(-(2**24), 2**24),
+        mult=st.floats(1e-4, 2.0),
+        zp=st.integers(-128, 127),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_requantize_matches_float_reference(self, acc, mult, zp):
+        fp = FixedPointMultiplier.from_real(mult)
+        got = int(requantize(np.array([acc], dtype=np.int64), fp, zp)[0])
+        expected = int(np.clip(round(acc * mult) + zp, -128, 127))
+        # Fixed-point rounding may differ from float by at most one LSB.
+        assert abs(got - expected) <= 1
+
+
+class TestQuantizedModel:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        rng = np.random.default_rng(0)
+        model = build_lightweight_cnn(20, seed=1)
+        model.compile(nn.optimizers.Adam(learning_rate=3e-3),
+                      "binary_crossentropy")
+        x = rng.normal(size=(500, 20, 9)).astype(np.float32)
+        y = (x[:, :, 0].mean(axis=1) > 0).astype(float)[:, None]
+        model.fit(x, y, epochs=8, batch_size=64, seed=0)
+        return model, x, y
+
+    def test_probability_parity(self, trained):
+        model, x, _ = trained
+        qm = QuantizedModel.convert(model, x[:200])
+        pf = model.predict(x[200:]).reshape(-1)
+        pq = qm.predict(x[200:]).reshape(-1)
+        assert np.abs(pf - pq).mean() < 0.05
+        agreement = np.mean((pf >= 0.5) == (pq >= 0.5))
+        assert agreement > 0.97
+
+    def test_accuracy_parity(self, trained):
+        model, x, y = trained
+        qm = QuantizedModel.convert(model, x[:200])
+        yf = (model.predict(x[200:]).reshape(-1) >= 0.5)
+        yq = (qm.predict(x[200:]).reshape(-1) >= 0.5)
+        target = y[200:].reshape(-1) >= 0.5
+        acc_f = np.mean(yf == target)
+        acc_q = np.mean(yq == target)
+        assert abs(acc_f - acc_q) < 0.02  # "performance unchanged"
+
+    def test_weight_byte_accounting(self, trained):
+        model, x, _ = trained
+        qm = QuantizedModel.convert(model, x[:100])
+        # int8 weights: one byte per float parameter (biases counted
+        # separately as int32).
+        n_weights = sum(
+            layer.params["W"].size for layer in model.layers
+            if "W" in layer.params
+        )
+        n_biases = sum(
+            layer.params["b"].size for layer in model.layers
+            if "b" in layer.params
+        )
+        assert qm.weight_bytes == n_weights
+        assert qm.bias_bytes == n_biases * 4
+
+    def test_macs_scale_with_window(self):
+        rng = np.random.default_rng(0)
+        macs = []
+        for window in (20, 40):
+            model = build_lightweight_cnn(window, seed=1)
+            model.compile("adam", "bce")
+            x = rng.normal(size=(50, window, 9)).astype(np.float32)
+            macs.append(QuantizedModel.convert(model, x).total_macs)
+        assert macs[1] > macs[0]
+
+    def test_batch_independence(self, trained):
+        model, x, _ = trained
+        qm = QuantizedModel.convert(model, x[:100])
+        single = np.concatenate([qm.predict(x[i : i + 1]) for i in
+                                 range(200, 210)]).reshape(-1)
+        batched = qm.predict(x[200:210]).reshape(-1)
+        np.testing.assert_allclose(single, batched, atol=1e-12)
+
+    def test_input_shape_validation(self, trained):
+        model, x, _ = trained
+        qm = QuantizedModel.convert(model, x[:50])
+        with pytest.raises(ValueError, match="per-sample shape"):
+            qm.predict(np.zeros((2, 10, 9)))
+
+    def test_calibration_requires_data(self, trained):
+        model, x, _ = trained
+        with pytest.raises(ValueError, match="empty"):
+            calibrate_activations(model, x[:0])
+
+    def test_unsupported_layer_rejected(self):
+        inp = nn.Input((10, 4))
+        h = nn.layers.LSTM(4, seed=0)(inp)
+        out = nn.layers.Dense(1, activation="sigmoid", seed=1)(h)
+        model = nn.Model(inp, out).compile("adam", "bce")
+        x = np.zeros((4, 10, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="no int8 lowering"):
+            QuantizedModel.convert(model, x)
+
+    def test_integer_tensors_on_datapath(self, trained):
+        # The executor must hold int8 between ops (deployability proof).
+        model, x, _ = trained
+        qm = QuantizedModel.convert(model, x[:50])
+        values = {qm.input_uid: quantize(x[:2], qm.input_params)}
+        assert values[qm.input_uid].dtype == np.int8
+        for op in qm.ops:
+            out = op.run([values[uid] for uid in op.input_uids])
+            assert out.dtype == np.int8, f"{op.name} leaked {out.dtype}"
+            values[op.output_uid] = out

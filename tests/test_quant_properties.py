@@ -1,0 +1,65 @@
+"""More property-based coverage of the quantization primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    activation_qparams,
+    dequantize,
+    quantize,
+    quantize_weights_per_channel,
+)
+
+
+class TestQuantizeProperties:
+    @given(
+        lo=st.floats(-50, 0),
+        hi=st.floats(0.01, 50),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_is_idempotent_on_grid(self, lo, hi, seed):
+        """Dequantized values re-quantize to the same integers."""
+        params = activation_qparams(lo, hi)
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(lo, hi, size=64)
+        q1 = quantize(x, params)
+        q2 = quantize(dequantize(q1, params), params)
+        np.testing.assert_array_equal(q1, q2)
+
+    @given(lo=st.floats(-50, -0.01), hi=st.floats(0.01, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_range_endpoints_representable(self, lo, hi):
+        params = activation_qparams(lo, hi)
+        q = quantize(np.array([lo, hi]), params)
+        err = np.abs(dequantize(q, params) - [lo, hi])
+        assert err.max() <= params.scale
+
+    @given(seed=st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_quantization_error_uniform_bound(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, 2, size=256)
+        params = activation_qparams(float(x.min()), float(x.max()))
+        err = np.abs(dequantize(quantize(x, params), params) - x)
+        assert err.max() <= params.scale / 2 + 1e-12
+
+    @given(seed=st.integers(0, 100), cout=st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_per_channel_error_bounded_per_channel(self, seed, cout):
+        rng = np.random.default_rng(seed)
+        w = rng.normal(0, rng.uniform(0.01, 3.0), size=(5, 3, cout))
+        q, scales = quantize_weights_per_channel(w, channel_axis=2)
+        restored = q.astype(np.float64) * scales.reshape(1, 1, -1)
+        for j in range(cout):
+            err = np.abs(restored[..., j] - w[..., j]).max()
+            assert err <= scales[j] / 2 + 1e-12
+
+    def test_monotonicity(self):
+        params = activation_qparams(-1.0, 1.0)
+        x = np.linspace(-1, 1, 513)
+        q = quantize(x, params).astype(int)
+        assert np.all(np.diff(q) >= 0)

@@ -1,0 +1,88 @@
+"""Sequential API and the accelerometer-only (PIPTO-style) detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.thresholds import AccelerationWindowDetector
+from repro.datasets.subjects import make_subjects
+from repro.datasets.synthesis.generator import synthesize_recording
+from repro.datasets.tasks import TASKS
+
+
+class TestSequential:
+    def test_builds_and_predicts(self):
+        model = nn.Sequential((6, 9), [
+            nn.layers.Flatten(),
+            nn.layers.Dense(8, activation="relu", seed=0),
+            nn.layers.Dense(1, activation="sigmoid", seed=1),
+        ])
+        out = model.predict(np.zeros((3, 6, 9), dtype=np.float32))
+        assert out.shape == (3, 1)
+
+    def test_equivalent_to_functional(self):
+        seq = nn.Sequential((5,), [nn.layers.Dense(4, activation="tanh",
+                                                   seed=7)])
+        inp = nn.Input((5,))
+        out = nn.layers.Dense(4, activation="tanh", seed=7)(inp)
+        functional = nn.Model(inp, out)
+        x = np.random.default_rng(0).normal(size=(2, 5)).astype(np.float32)
+        np.testing.assert_allclose(seq.predict(x), functional.predict(x),
+                                   rtol=1e-6)
+
+    def test_trains(self):
+        model = nn.Sequential((4,), [
+            nn.layers.Dense(8, activation="relu", seed=0),
+            nn.layers.Dense(1, activation="sigmoid", seed=1),
+        ]).compile("adam", "bce")
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 4)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(float)[:, None]
+        history = model.fit(x, y, epochs=10, batch_size=16, seed=0)
+        assert history.history["loss"][-1] < history.history["loss"][0]
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Sequential((4,), [])
+
+
+class TestAccelerationWindowDetector:
+    @pytest.fixture(scope="class")
+    def subject(self):
+        return make_subjects("PT", 1, seed=3)[0]
+
+    def test_fires_on_falls(self, subject):
+        hits = 0
+        for tid in (30, 32, 34):
+            rec = synthesize_recording(TASKS[tid], subject, base_seed=8)
+            if AccelerationWindowDetector().first_trigger(rec) is not None:
+                hits += 1
+        assert hits >= 2
+
+    def test_quiet_standing_silent(self, subject):
+        rec = synthesize_recording(TASKS[1], subject, base_seed=8,
+                                   duration_scale=0.3)
+        assert AccelerationWindowDetector().first_trigger(rec) is None
+
+    def test_trigger_is_causal_index(self, subject):
+        rec = synthesize_recording(TASKS[30], subject, base_seed=8)
+        trigger = AccelerationWindowDetector().first_trigger(rec)
+        if trigger is not None:
+            assert 0 <= trigger < rec.n_samples
+
+    def test_uses_only_the_accelerometer(self, subject):
+        """Zeroing gyro and Euler channels must not change the verdict."""
+        rec = synthesize_recording(TASKS[30], subject, base_seed=8)
+        blinded = rec.with_signals(gyro=np.zeros_like(rec.gyro),
+                                   euler=np.zeros_like(rec.euler))
+        detector = AccelerationWindowDetector()
+        assert detector.first_trigger(rec) == detector.first_trigger(blinded)
+
+    def test_stricter_range_fires_later_or_never(self, subject):
+        rec = synthesize_recording(TASKS[30], subject, base_seed=8)
+        lax = AccelerationWindowDetector(range_g=0.1).first_trigger(rec)
+        strict = AccelerationWindowDetector(range_g=0.6).first_trigger(rec)
+        if lax is not None and strict is not None:
+            assert strict >= lax

@@ -1,0 +1,165 @@
+"""Butterworth design and filtering, validated against scipy.signal."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import signal as scipy_signal
+
+from repro.signal.filters import (
+    OnlineSosFilter,
+    butter_lowpass_sos,
+    lowpass_filter,
+    sosfilt,
+    sosfilt_zi,
+    sosfiltfilt,
+)
+
+
+class TestDesign:
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 5, 6, 8])
+    def test_frequency_response_matches_scipy(self, order):
+        ours = butter_lowpass_sos(order, 5.0, 100.0)
+        reference = scipy_signal.butter(order, 5.0, fs=100.0, output="sos")
+        w, h_ours = scipy_signal.sosfreqz(ours, 512, fs=100.0)
+        _, h_ref = scipy_signal.sosfreqz(reference, 512, fs=100.0)
+        np.testing.assert_allclose(np.abs(h_ours), np.abs(h_ref), atol=1e-12)
+
+    def test_dc_gain_is_exactly_one(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        for row in sos:
+            assert row[:3].sum() == pytest.approx(row[3:].sum(), abs=1e-14)
+
+    def test_cutoff_is_minus_3db(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        w, h = scipy_signal.sosfreqz(sos, worN=[5.0], fs=100.0)
+        assert 20 * np.log10(abs(h[0])) == pytest.approx(-3.0103, abs=0.01)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            butter_lowpass_sos(0, 5.0, 100.0)
+        with pytest.raises(ValueError):
+            butter_lowpass_sos(4, 60.0, 100.0)  # above Nyquist
+        with pytest.raises(ValueError):
+            butter_lowpass_sos(4, 0.0, 100.0)
+
+
+class TestSosfilt:
+    def test_matches_scipy_exactly(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(400, 3)) + 2.0
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        ours, _ = sosfilt(sos, x)
+        theirs = scipy_signal.sosfilt(sos, x, axis=0)
+        np.testing.assert_allclose(ours, theirs, atol=1e-12)
+
+    def test_state_continuation_equals_one_shot(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 2))
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        full, _ = sosfilt(sos, x)
+        first, state = sosfilt(sos, x[:120])
+        second, _ = sosfilt(sos, x[120:], state)
+        np.testing.assert_allclose(np.concatenate([first, second]), full,
+                                   atol=1e-12)
+
+    def test_zi_matches_scipy(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        np.testing.assert_allclose(sosfilt_zi(sos),
+                                   scipy_signal.sosfilt_zi(sos), atol=1e-12)
+
+    def test_steady_state_passes_constant_unchanged(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        x = np.full((100, 1), 3.7)
+        zi = sosfilt_zi(sos)[:, :, None] * x[0]
+        y, _ = sosfilt(sos, x, zi)
+        np.testing.assert_allclose(y, x, atol=1e-10)
+
+    def test_1d_input_round_trip(self):
+        x = np.random.default_rng(2).normal(size=200)
+        sos = butter_lowpass_sos(2, 5.0, 100.0)
+        y, _ = sosfilt(sos, x)
+        assert y.shape == x.shape
+
+    def test_bad_state_shape_rejected(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        with pytest.raises(ValueError, match="zi"):
+            sosfilt(sos, np.zeros((10, 2)), np.zeros((1, 2, 2)))
+
+
+class TestFiltfilt:
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_matches_scipy(self, order):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(500, 2)) + 5.0
+        sos = butter_lowpass_sos(order, 5.0, 100.0)
+        ours = sosfiltfilt(sos, x)
+        theirs = scipy_signal.sosfiltfilt(sos, x, axis=0)
+        np.testing.assert_allclose(ours, theirs, atol=1e-9)
+
+    def test_zero_phase_preserves_slow_sine_position(self):
+        fs = 100.0
+        t = np.arange(600) / fs
+        x = np.sin(2 * np.pi * 1.0 * t)
+        y = lowpass_filter(x, fs)
+        # Peak position must not shift (zero phase); inspect one period so
+        # equal-height peaks cannot alias the argmax.
+        assert abs(int(np.argmax(y[100:200])) - int(np.argmax(x[100:200]))) <= 2
+
+    def test_attenuates_high_frequency(self):
+        fs = 100.0
+        t = np.arange(1000) / fs
+        slow = np.sin(2 * np.pi * 1.0 * t)
+        fast = np.sin(2 * np.pi * 25.0 * t)
+        y = lowpass_filter(slow + fast, fs)
+        residual = y - slow
+        # 25 Hz through a 4th-order 5 Hz low-pass: > 50 dB down.
+        assert np.abs(residual[100:-100]).max() < 0.02
+
+    def test_too_short_signal_rejected(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        with pytest.raises(ValueError, match="too short"):
+            sosfiltfilt(sos, np.zeros(5))
+
+    @given(offset=st.floats(-10, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_dc_offset_preserved(self, offset):
+        x = np.full(200, offset)
+        y = lowpass_filter(x, 100.0)
+        np.testing.assert_allclose(y, x, atol=1e-8)
+
+
+class TestOnlineFilter:
+    def test_streaming_equals_batch_causal(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(250, 9)) + 1.0
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        online = OnlineSosFilter(sos, channels=9)
+        streamed = np.vstack([online.process(x[i]) for i in range(len(x))])
+        # Reference: causal filtering with first-sample steady-state init.
+        zi = sosfilt_zi(sos)[:, :, None] * x[0]
+        reference, _ = sosfilt(sos, x, zi)
+        np.testing.assert_allclose(streamed, reference, atol=1e-10)
+
+    def test_no_startup_transient_on_constant(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        online = OnlineSosFilter(sos, channels=3)
+        sample = np.array([0.0, 0.0, 1.0])
+        for _ in range(10):
+            y = online.process(sample)
+        np.testing.assert_allclose(y[0], sample, atol=1e-10)
+
+    def test_reset_forgets_state(self):
+        sos = butter_lowpass_sos(4, 5.0, 100.0)
+        online = OnlineSosFilter(sos, channels=1)
+        online.process(np.array([5.0]))
+        online.reset()
+        y = online.process(np.array([1.0]))
+        np.testing.assert_allclose(y[0], [1.0], atol=1e-10)
+
+    def test_channel_mismatch_rejected(self):
+        online = OnlineSosFilter(butter_lowpass_sos(2, 5.0, 100.0), channels=3)
+        with pytest.raises(ValueError, match="channels"):
+            online.process(np.zeros((4, 2)))

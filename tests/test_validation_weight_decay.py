@@ -1,0 +1,124 @@
+"""Dataset validation report and optimizer weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    Recording,
+    validate_dataset,
+    validate_recording,
+)
+from repro.nn import optimizers
+
+
+def _recording(n=200, accel_scale=1.0, fall=None, **kwargs):
+    rng = np.random.default_rng(0)
+    accel = np.tile([0, 0, 1.0], (n, 1)) * accel_scale
+    accel += rng.normal(0, 0.01, size=accel.shape)
+    defaults = dict(
+        subject_id="V1", task_id=1, trial=0, fs=100.0,
+        accel=accel, gyro=rng.normal(0, 5, (n, 3)),
+        euler=rng.normal(0, 2, (n, 3)),
+    )
+    if fall:
+        onset, impact = fall
+        defaults.update(fall_onset=onset, impact=impact, task_id=30)
+        mag = defaults["accel"]
+        mag[impact : impact + 5] *= 4.0  # impact transient
+        mag[onset:impact] *= 0.5         # unloading
+    defaults.update(kwargs)
+    return Recording(**defaults)
+
+
+class TestValidation:
+    def test_clean_recording_passes(self):
+        assert validate_recording(_recording()) == []
+
+    def test_wrong_units_detected(self):
+        # m/s^2 data mislabelled as g: median magnitude ~9.8.
+        issues = validate_recording(_recording(accel_scale=9.81))
+        assert any(i.code == "gravity-scale" and i.severity == "error"
+                   for i in issues)
+
+    def test_nan_detected(self):
+        rec = _recording()
+        rec.accel[5, 1] = np.nan
+        issues = validate_recording(rec)
+        assert any(i.code == "nonfinite-accel" for i in issues)
+
+    def test_healthy_fall_passes(self):
+        rec = _recording(fall=(100, 160))
+        issues = validate_recording(rec)
+        assert not [i for i in issues if i.severity == "error"], issues
+
+    def test_missing_impact_transient_warned(self):
+        rec = _recording(fall=(100, 160))
+        rec.accel[160:165] /= 4.0  # erase the transient
+        issues = validate_recording(rec)
+        assert any(i.code == "weak-impact" for i in issues)
+
+    def test_degenerate_fall_errors(self):
+        rec = _recording(fall=(100, 101))
+        issues = validate_recording(rec)
+        assert any(i.code == "degenerate-fall" for i in issues)
+
+    def test_dataset_report_aggregates(self, tiny_selfcollected):
+        subset = Dataset("sub", list(tiny_selfcollected)[:20])
+        report = validate_dataset(subset)
+        assert report.recordings_checked == 20
+        assert report.ok, [i.message for i in report.errors]
+        assert "20 recordings checked" in report.summary()
+
+    def test_kfall_frame_skips_gravity_check(self, tiny_kfall):
+        subset = Dataset("kf", list(tiny_kfall)[:5], frame=tiny_kfall.frame)
+        report = validate_dataset(subset)
+        # m/s^2 data would fail the g-units check; the frame disables it.
+        assert not [i for i in report.errors if i.code == "gravity-scale"]
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_matrix_weights(self):
+        opt = optimizers.SGD(learning_rate=0.1, weight_decay=0.5)
+        w = np.ones((2, 2))
+        opt.apply({"w": w}, {"w": np.zeros((2, 2))})
+        assert np.all(w < 1.0)
+
+    def test_vectors_exempt(self):
+        opt = optimizers.SGD(learning_rate=0.1, weight_decay=0.5)
+        b = np.ones(3)
+        opt.apply({"b": b}, {"b": np.zeros(3)})
+        np.testing.assert_array_equal(b, np.ones(3))
+
+    def test_decoupled_from_adam_moments(self):
+        # Zero gradient: pure decay; Adam moments must stay zero so the
+        # decay does not leak into the adaptive statistics.
+        opt = optimizers.Adam(learning_rate=0.1, weight_decay=0.1)
+        w = np.full((2, 2), 2.0)
+        opt.apply({"w": w}, {"w": np.zeros((2, 2))})
+        assert np.all(w < 2.0)
+        assert np.all(opt._m[("w")] == 0) if ("w",) in opt._m else True
+
+    def test_training_with_decay_reduces_norm(self):
+        from repro import nn
+
+        def run(decay):
+            model = nn.Sequential((6,), [
+                nn.layers.Dense(16, activation="relu", seed=0),
+                nn.layers.Dense(1, activation="sigmoid", seed=1),
+            ]).compile(nn.optimizers.Adam(learning_rate=0.01,
+                                          weight_decay=decay), "bce")
+            rng = np.random.default_rng(0)
+            x = rng.normal(size=(64, 6)).astype(np.float32)
+            y = rng.integers(0, 2, size=(64, 1)).astype(float)
+            model.fit(x, y, epochs=10, batch_size=16, seed=0)
+            return sum(float(np.sum(l.params["W"] ** 2))
+                       for l in model.layers if "W" in l.params)
+
+        assert run(0.05) < run(0.0)
+
+    def test_negative_decay_rejected(self):
+        with pytest.raises(ValueError):
+            optimizers.SGD(weight_decay=-0.1)
