@@ -1,0 +1,21 @@
+# Developer entry points. `make test` is the tier-1 gate; `make lint`
+# enforces the no-print rule in library code; `make check` runs both.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test lint check bench profile
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+lint:
+	$(PYTHON) scripts/check_no_print.py
+
+check: lint test
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+profile:
+	$(PYTHON) -m repro --scale quick profile

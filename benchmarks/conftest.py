@@ -25,10 +25,21 @@ def scale():
 
 @pytest.fixture(scope="session")
 def save_report():
-    """Callable persisting a rendered report and echoing it to stdout."""
+    """Callable persisting a rendered report and echoing it to stdout.
+
+    Each archived file ends with the wall-clock durations the experiment
+    runners recorded, so every table carries its own reproduction cost.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, text: str) -> None:
+        from repro.experiments import experiment_durations
+
+        durations = experiment_durations()
+        if durations:
+            text += "\n\nexperiment wall-clock: " + "  ".join(
+                f"{k}={v:.1f}s" for k, v in sorted(durations.items())
+            )
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")
         print(f"\n{text}\n[saved to {path}]")

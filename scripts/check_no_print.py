@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Lint: library code must log, not print.
+
+Fails (exit 1) if a ``print(`` call appears anywhere under ``src/repro/``
+outside the allowed user-facing modules (``cli.py``, ``eval/reports.py``).
+Library diagnostics belong on ``repro.obs.get_logger(...)`` so the
+``--verbose`` CLI flag — not stray stdout — controls them.
+
+Run directly or via ``make lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src" / "repro"
+ALLOWED = {SRC / "cli.py", SRC / "eval" / "reports.py"}
+
+
+def find_violations() -> list[tuple[pathlib.Path, int, str]]:
+    """Real ``print(...)`` call sites (AST-based, so docstrings and
+    comments mentioning print don't count)."""
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                violations.append(
+                    (path, node.lineno, lines[node.lineno - 1].strip())
+                )
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    for path, lineno, line in violations:
+        rel = path.relative_to(REPO_ROOT)
+        print(f"{rel}:{lineno}: print() in library code: {line}")
+    if violations:
+        print(f"\n{len(violations)} violation(s); use repro.obs.get_logger() "
+              "instead (cli.py and eval/reports.py are exempt)")
+        return 1
+    print("check_no_print: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,9 @@ Subpackages
     Metrics and paper-style report tables.
 ``repro.experiments``
     Config-driven runners regenerating every table and figure.
+``repro.obs``
+    Observability: tracing spans, metrics (counters/gauges/histograms),
+    logging, and the deadline-monitor plumbing behind ``repro profile``.
 """
 
 __version__ = "1.0.0"

@@ -11,23 +11,28 @@ Usage::
     python -m repro figure1 --task 39
     python -m repro figure2
     python -m repro dataset --out corpus.npz --subjects 4
+    python -m repro profile --scale quick --trace-out trace.jsonl
 
 Every command prints the same paper-vs-measured report the benchmark
-harness archives.
+harness archives.  ``--verbose`` (repeatable) turns on the library's
+logging at INFO / DEBUG.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from .eval.reports import (
     format_table,
     render_edge_report,
+    render_profile_report,
     render_table3,
     render_table4,
 )
 from .experiments import get_scale
+from .obs import configure_logging
 
 __all__ = ["main", "build_parser"]
 
@@ -41,6 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--scale", default=None, choices=["quick", "bench", "paper"],
         help="experiment scale (default: $REPRO_SCALE or 'bench')",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v: INFO, -vv: DEBUG)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="threshold-detector baselines (Table I)")
@@ -62,6 +71,20 @@ def build_parser() -> argparse.ArgumentParser:
     dataset.add_argument("--trials", type=int, default=1)
     dataset.add_argument("--duration-scale", type=float, default=0.5)
     dataset.add_argument("--seed", type=int, default=7)
+    profile = sub.add_parser(
+        "profile",
+        help="trace a pipeline+train+detector workload; print the span "
+             "tree, latency histogram and airbag margins",
+    )
+    profile.add_argument("--deadline-ms", type=float, default=None,
+                         help="real-time deadline per window inference "
+                              "(default: the hop interval)")
+    profile.add_argument("--epochs", type=int, default=4,
+                         help="cap on training epochs for the workload")
+    profile.add_argument("--layer-timing", action="store_true",
+                         help="also record per-layer forward timings")
+    profile.add_argument("--trace-out", default=None,
+                         help="write the collected spans to this JSONL file")
     return parser
 
 
@@ -156,6 +179,35 @@ def _cmd_figure2(scale):
     return format_table(["Stage", "Summary"], rows, title="Figure 2 trace")
 
 
+def _cmd_profile(scale, args):
+    from .experiments import run_profile_workload
+
+    result = run_profile_workload(
+        scale,
+        deadline_ms=args.deadline_ms,
+        max_epochs=args.epochs,
+        layer_timing=args.layer_timing,
+    )
+    report = render_profile_report(result)
+    if args.layer_timing and result["layer_timings"]:
+        rows = [
+            [name, f"{s['count']}", f"{s['p50']:8.4f}", f"{s['p99']:8.4f}"]
+            for name, s in sorted(result["layer_timings"].items())
+        ]
+        report += "\n\n" + format_table(
+            ["Layer", "calls", "p50 ms", "p99 ms"], rows,
+            title="Per-layer forward/backward timing",
+        )
+    if args.trace_out:
+        import json
+
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            for record in result["records"]:
+                fh.write(json.dumps(record.to_json()) + "\n")
+        report += f"\n[trace written to {args.trace_out}]"
+    return report
+
+
 def _cmd_dataset(args):
     from .core.pipeline import build_merged_dataset
     from .datasets import save_dataset
@@ -175,6 +227,8 @@ def _cmd_dataset(args):
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        configure_logging(logging.DEBUG if args.verbose > 1 else logging.INFO)
     scale = get_scale(args.scale)
     if args.command == "table1":
         output = _cmd_table1(scale)
@@ -194,6 +248,8 @@ def main(argv=None) -> int:
         output = _cmd_figure2(scale)
     elif args.command == "dataset":
         output = _cmd_dataset(args)
+    elif args.command == "profile":
+        output = _cmd_profile(scale, args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
     print(output)

@@ -13,14 +13,22 @@ paper withholds the last 150 ms of the falling phase from training.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import Histogram, get_logger
 from ..signal.filters import OnlineSosFilter, butter_lowpass_sos
 from ..signal.orientation import ComplementaryFilter
 
 __all__ = ["DetectorConfig", "Detection", "FallDetector", "AirbagController"]
+
+_logger = get_logger(__name__)
+
+#: Histogram edges tuned for inference latency in milliseconds: 10 µs
+#: resolution at the bottom, covering up to ~84 s in the overflow tail.
+_LATENCY_BUCKETS_MS = tuple(0.01 * 2 ** i for i in range(23))
 
 
 @dataclass(frozen=True)
@@ -41,12 +49,21 @@ class DetectorConfig:
     #: paper's event rule); 2 trades ~hop_ms of latency for fewer false
     #: activations (see the ablation benchmark).
     consecutive_required: int = 1
+    #: Real-time deadline for one window inference, in milliseconds.
+    #: ``None`` uses the hop interval — inference slower than the hop
+    #: cannot keep up with the 100 Hz stream.  The deadline monitor counts
+    #: every violation and keeps a latency histogram.
+    deadline_ms: float | None = None
 
     def __post_init__(self):
         if self.consecutive_required < 1:
             raise ValueError(
                 f"consecutive_required must be >= 1, got "
                 f"{self.consecutive_required}"
+            )
+        if self.deadline_ms is not None and self.deadline_ms < 0:
+            raise ValueError(
+                f"deadline_ms must be non-negative, got {self.deadline_ms}"
             )
 
     @property
@@ -56,6 +73,13 @@ class DetectorConfig:
     @property
     def hop_samples(self) -> int:
         return max(1, int(round(self.window_samples * (1.0 - self.overlap))))
+
+    @property
+    def effective_deadline_ms(self) -> float:
+        """The configured deadline, defaulting to the hop interval."""
+        if self.deadline_ms is not None:
+            return self.deadline_ms
+        return 1000.0 * self.hop_samples / self.fs
 
 
 @dataclass(frozen=True)
@@ -87,9 +111,18 @@ class FallDetector:
         self._since_last_inference = 0
         self._sample_index = -1
         self._hit_streak = 0
+        # Deadline monitor: one latency sample per window inference.  A
+        # perf_counter pair per hop (every ~200 ms of stream) is noise next
+        # to the CNN forward pass, so this is always on.
+        self.latency = Histogram(buckets=_LATENCY_BUCKETS_MS)
+        self._deadline_violations = 0
 
     def reset(self) -> None:
-        """Forget all streaming state (filter, fusion, buffer)."""
+        """Forget all streaming state (filter, fusion, buffer).
+
+        Deadline statistics survive a reset on purpose: they describe the
+        deployment, not one trial.
+        """
         self._filter.reset()
         self._fusion.reset()
         self._buffer[:] = 0.0
@@ -97,6 +130,27 @@ class FallDetector:
         self._since_last_inference = 0
         self._sample_index = -1
         self._hit_streak = 0
+
+    @property
+    def deadline_violations(self) -> int:
+        """Window inferences that exceeded ``config.effective_deadline_ms``."""
+        return self._deadline_violations
+
+    def latency_report(self) -> dict:
+        """Per-window inference latency summary against the deadline."""
+        stats = self.latency.summary()
+        count = stats["count"]
+        return {
+            "inferences": count,
+            "deadline_ms": self.config.effective_deadline_ms,
+            "violations": self._deadline_violations,
+            "violation_rate": self._deadline_violations / count if count else 0.0,
+            "mean_ms": stats["mean"],
+            "p50_ms": stats["p50"],
+            "p95_ms": stats["p95"],
+            "p99_ms": stats["p99"],
+            "max_ms": stats["max"],
+        }
 
     @property
     def samples_seen(self) -> int:
@@ -130,9 +184,18 @@ class FallDetector:
             if self._since_last_inference < cfg.hop_samples:
                 return None
             self._since_last_inference = 0
+        t0 = time.perf_counter()
         prob = float(
             np.asarray(self.model.predict(self._buffer[None, :, :])).reshape(-1)[0]
         )
+        latency_ms = 1000.0 * (time.perf_counter() - t0)
+        self.latency.observe(latency_ms)
+        if latency_ms > cfg.effective_deadline_ms:
+            self._deadline_violations += 1
+            _logger.debug(
+                "deadline violation: inference took %.3f ms (deadline %.3f ms)",
+                latency_ms, cfg.effective_deadline_ms,
+            )
         if prob >= cfg.threshold:
             self._hit_streak += 1
             if self._hit_streak >= cfg.consecutive_required:
@@ -195,3 +258,39 @@ class AirbagController:
         """Was the airbag fully inflated by the moment of impact?"""
         deployed = self.deployed_at_s
         return deployed is not None and deployed <= impact_time_s
+
+    def margin_ms(self, impact_time_s: float) -> float | None:
+        """Milliseconds between full inflation and impact (negative = late).
+
+        ``None`` if the airbag never fired.
+        """
+        deployed = self.deployed_at_s
+        if deployed is None:
+            return None
+        return 1000.0 * (impact_time_s - deployed)
+
+    def margin_report(self) -> dict:
+        """Airbag-budget view of the detector's latency statistics.
+
+        The paper's chain is: detector fires → inflation takes 150 ms →
+        the bag must be full before impact.  Every millisecond of window
+        inference latency is added to that reaction time, so the report
+        combines the inflation budget with the measured latency tail:
+        ``reaction_p99_ms`` is inflation + p99 inference latency, and
+        ``budget_headroom_ms`` is how much of the deadline the p99
+        inference leaves unused.
+        """
+        latency = self.detector.latency_report()
+        deadline = latency["deadline_ms"]
+        return {
+            "inflation_budget_ms": self.inflation_ms,
+            "inference_p50_ms": latency["p50_ms"],
+            "inference_p99_ms": latency["p99_ms"],
+            "reaction_p50_ms": self.inflation_ms + latency["p50_ms"],
+            "reaction_p99_ms": self.inflation_ms + latency["p99_ms"],
+            "deadline_ms": deadline,
+            "budget_headroom_ms": deadline - latency["p99_ms"],
+            "deadline_violations": latency["violations"],
+            "violation_rate": latency["violation_rate"],
+            "inferences": latency["inferences"],
+        }

@@ -11,7 +11,10 @@ from ..datasets.alignment import align_dataset
 from ..datasets.kfall import build_kfall
 from ..datasets.schema import Dataset
 from ..datasets.selfcollected import build_selfcollected
+from ..obs import get_logger, span
 from .preprocessing import PreprocessConfig, SegmentSet, build_segments
+
+_logger = get_logger(__name__)
 
 __all__ = ["build_merged_dataset", "build_merged_segments"]
 
@@ -31,24 +34,30 @@ def build_merged_dataset(
     Returns the 61-subject (by default) merged dataset in the canonical
     frame with all units standardised to g / deg/s.
     """
-    kfall = build_kfall(
-        n_subjects=kfall_subjects,
-        trials_per_task=trials_per_task,
-        duration_scale=duration_scale,
-        fs=fs,
-        seed=1000 + seed,
-        task_ids=kfall_task_ids,
-    )
-    selfcollected = build_selfcollected(
-        n_subjects=selfcollected_subjects,
-        trials_per_task=trials_per_task,
-        duration_scale=duration_scale,
-        fs=fs,
-        seed=2000 + seed,
-        task_ids=selfcollected_task_ids,
-    )
-    kfall_aligned = align_dataset(kfall)
-    return Dataset.merge("merged", kfall_aligned, selfcollected)
+    with span("pipeline/build_kfall", subjects=kfall_subjects):
+        kfall = build_kfall(
+            n_subjects=kfall_subjects,
+            trials_per_task=trials_per_task,
+            duration_scale=duration_scale,
+            fs=fs,
+            seed=1000 + seed,
+            task_ids=kfall_task_ids,
+        )
+    with span("pipeline/build_selfcollected", subjects=selfcollected_subjects):
+        selfcollected = build_selfcollected(
+            n_subjects=selfcollected_subjects,
+            trials_per_task=trials_per_task,
+            duration_scale=duration_scale,
+            fs=fs,
+            seed=2000 + seed,
+            task_ids=selfcollected_task_ids,
+        )
+    with span("pipeline/align", recordings=len(kfall)):
+        kfall_aligned = align_dataset(kfall)
+    with span("pipeline/merge"):
+        merged = Dataset.merge("merged", kfall_aligned, selfcollected)
+    _logger.debug("merged dataset: %d recordings", len(merged))
+    return merged
 
 
 def build_merged_segments(
@@ -56,4 +65,7 @@ def build_merged_segments(
 ) -> SegmentSet:
     """One call from nothing to a labelled :class:`SegmentSet`."""
     dataset = build_merged_dataset(**dataset_kwargs)
-    return build_segments(dataset, preprocess or PreprocessConfig())
+    with span("pipeline/build_segments", recordings=len(dataset)) as sp:
+        segments = build_segments(dataset, preprocess or PreprocessConfig())
+        sp.set("segments", len(segments))
+    return segments

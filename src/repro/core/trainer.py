@@ -18,7 +18,10 @@ import numpy as np
 from ..augment import time_warp, window_warp
 from ..nn.callbacks import EarlyStopping
 from ..nn.optimizers import Adam
+from ..obs import get_logger, span
 from .preprocessing import SegmentSet
+
+_logger = get_logger(__name__)
 
 __all__ = [
     "TrainingConfig",
@@ -145,7 +148,11 @@ def train_model(
         )
 
     if config.augment:
-        train = augment_fall_segments(train, config.augment_copies, config.seed)
+        with span("trainer/augment", copies=config.augment_copies) as sp:
+            before = len(train)
+            train = augment_fall_segments(train, config.augment_copies,
+                                          config.seed)
+            sp.set("segments_added", len(train) - before)
 
     bias = initial_output_bias(train.y) if config.use_output_bias else None
     window, channels = train.X.shape[1], train.X.shape[2]
@@ -159,15 +166,18 @@ def train_model(
     weights = class_weights(train.y) if config.use_class_weights else None
     early = EarlyStopping(monitor="val_loss", patience=config.patience,
                           restore_best_weights=True)
-    history = model.fit(
-        train.X,
-        train.y.astype(float)[:, None],
-        epochs=config.epochs,
-        batch_size=config.batch_size,
-        validation_data=(validation.X, validation.y.astype(float)[:, None]),
-        class_weight=weights,
-        callbacks=[early, *config.extra_callbacks],
-        seed=config.seed,
-        verbose=config.verbose,
-    )
+    _logger.debug("fit: %d train / %d val segments, <= %d epochs",
+                  len(train), len(validation), config.epochs)
+    with span("trainer/fit", model=model.name, segments=len(train)):
+        history = model.fit(
+            train.X,
+            train.y.astype(float)[:, None],
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            validation_data=(validation.X, validation.y.astype(float)[:, None]),
+            class_weight=weights,
+            callbacks=[early, *config.extra_callbacks],
+            seed=config.seed,
+            verbose=config.verbose,
+        )
     return model, history

@@ -10,12 +10,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..datasets.tasks import TASKS
+from ..obs import format_span_tree
 
 __all__ = [
     "format_table",
     "render_table3",
     "render_table4",
     "render_edge_report",
+    "render_profile_report",
     "aggregate_fold_metrics",
 ]
 
@@ -165,3 +167,58 @@ def render_edge_report(report: dict, title="On-edge deployment") -> str:
                      "not reported"])
     return format_table(["Quantity", "Measured (model)", "Paper (STM32F722)"],
                         rows, title=title)
+
+
+def render_profile_report(result: dict, title="Profile report") -> str:
+    """Paper-vs-measured view of a ``run_profile_workload`` result.
+
+    Three blocks: the span tree (per-stage wall-clock totals), the
+    detector's per-window inference latency histogram summary against the
+    real-time deadline, and the airbag-margin statistics against the
+    paper's 150 ms inflation budget / 4 ms STM32F722 inference latency.
+    """
+    latency = result["latency"]
+    margin = result["margin"]
+    lines = [title, ""]
+    lines.append(format_span_tree(result["records"],
+                                  title="Span tree (per-stage totals)"))
+    lines.append("")
+    latency_rows = [
+        ["window inferences", f"{latency['inferences']}", "-"],
+        ["latency p50", f"{latency['p50_ms']:8.3f} ms",
+         f"{PAPER_EDGE['latency_ms']:.1f} ms"],
+        ["latency p95", f"{latency['p95_ms']:8.3f} ms", "-"],
+        ["latency p99", f"{latency['p99_ms']:8.3f} ms", "-"],
+        ["latency max", f"{latency['max_ms']:8.3f} ms", "-"],
+        ["deadline", f"{latency['deadline_ms']:8.3f} ms", "hop interval"],
+        ["deadline violations",
+         f"{latency['violations']} ({100 * latency['violation_rate']:.2f} %)",
+         "0 expected"],
+    ]
+    lines.append(format_table(
+        ["Quantity", "Measured", "Paper (STM32F722)"], latency_rows,
+        title="Detector inference latency (per 400 ms window)",
+    ))
+    lines.append("")
+    margin_rows = [
+        ["inflation budget", f"{margin['inflation_budget_ms']:8.1f} ms",
+         "150 ms"],
+        ["reaction p50 (inflate + infer)",
+         f"{margin['reaction_p50_ms']:8.3f} ms", "~154 ms"],
+        ["reaction p99 (inflate + infer)",
+         f"{margin['reaction_p99_ms']:8.3f} ms", "-"],
+        ["deadline headroom at p99",
+         f"{margin['budget_headroom_ms']:8.3f} ms", "-"],
+    ]
+    lines.append(format_table(
+        ["Quantity", "Measured", "Paper"], margin_rows,
+        title="Airbag margin (150 ms budget)",
+    ))
+    lines.append("")
+    lines.append(
+        f"workload: scale={result['scale']}  "
+        f"epochs_trained={result['epochs_trained']}  "
+        f"train_segments={result['train_segments']}  "
+        f"stream_detections={result['stream_detections']}"
+    )
+    return "\n".join(lines)

@@ -5,9 +5,11 @@ from .edge_runner import run_edge_experiment
 from .figures import fall_anatomy, run_figure1, run_figure2_pipeline
 from .runners import (
     build_experiment_dataset,
+    experiment_durations,
     run_ablations,
     run_cross_dataset,
     run_model_on_window,
+    run_profile_workload,
     run_table1_thresholds,
     run_table3,
     run_table4,
@@ -30,6 +32,8 @@ __all__ = [
     "run_table1_thresholds",
     "run_ablations",
     "run_cross_dataset",
+    "run_profile_workload",
+    "experiment_durations",
     "run_edge_experiment",
     "fall_anatomy",
     "run_figure1",

@@ -7,6 +7,9 @@ and renders the paper-vs-measured tables.
 
 from __future__ import annotations
 
+import functools
+import time
+
 import numpy as np
 
 from ..core.architecture import build_lightweight_cnn
@@ -24,6 +27,7 @@ from ..core.thresholds import (
 from ..core.trainer import TrainingConfig
 from ..datasets.labeling import LabelPolicy
 from ..eval.reports import aggregate_fold_metrics
+from ..obs import get_logger, span
 from .configs import ExperimentScale, get_scale
 
 __all__ = [
@@ -36,7 +40,39 @@ __all__ = [
     "run_table1_thresholds",
     "run_ablations",
     "run_cross_dataset",
+    "run_profile_workload",
+    "experiment_durations",
 ]
+
+_logger = get_logger(__name__)
+
+#: Wall-clock seconds of the most recent run of each experiment, keyed by
+#: runner name.  The benchmark harness appends these to the archived
+#: result files, so every table carries its own cost.
+_DURATIONS: dict[str, float] = {}
+
+
+def experiment_durations() -> dict[str, float]:
+    """Last recorded wall-clock duration (s) per experiment runner."""
+    return dict(_DURATIONS)
+
+
+def _timed(fn):
+    """Record wall-clock duration and an ``experiment/<name>`` span."""
+
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with span(f"experiment/{name}"):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                _DURATIONS[name] = time.perf_counter() - t0
+                _logger.debug("%s took %.2f s", name, _DURATIONS[name])
+
+    return wrapper
 
 
 def build_experiment_dataset(scale: ExperimentScale | None = None):
@@ -88,6 +124,7 @@ def training_config(scale: ExperimentScale, **overrides) -> TrainingConfig:
     return TrainingConfig(**defaults)
 
 
+@_timed
 def run_model_on_window(
     builder,
     scale: ExperimentScale | None = None,
@@ -124,6 +161,7 @@ def run_model_on_window(
     }
 
 
+@_timed
 def run_table3(
     scale: ExperimentScale | None = None,
     windows=(200.0, 300.0, 400.0),
@@ -141,6 +179,7 @@ def run_table3(
     return measured
 
 
+@_timed
 def run_table4(
     scale: ExperimentScale | None = None,
     window_ms: float = 400.0,
@@ -196,6 +235,7 @@ def run_table4(
     }
 
 
+@_timed
 def run_window_sweep(
     scale: ExperimentScale | None = None,
     windows=(100.0, 200.0, 300.0, 400.0),
@@ -213,6 +253,7 @@ def run_window_sweep(
     return grid
 
 
+@_timed
 def run_table1_thresholds(scale: ExperimentScale | None = None) -> dict:
     """Table I context: classical threshold detectors on the same corpus."""
     scale = scale or get_scale()
@@ -227,6 +268,7 @@ def run_table1_thresholds(scale: ExperimentScale | None = None) -> dict:
     }
 
 
+@_timed
 def run_cross_dataset(
     scale: ExperimentScale | None = None,
     window_ms: float = 400.0,
@@ -289,6 +331,7 @@ def run_cross_dataset(
     }
 
 
+@_timed
 def run_ablations(scale: ExperimentScale | None = None,
                   window_ms: float = 400.0) -> dict:
     """Design-choice ablations on the proposed CNN.
@@ -340,4 +383,104 @@ def run_ablations(scale: ExperimentScale | None = None,
                               "use_output_bias": False},
         ),
         "single_trunk": _run("single_trunk", builder=_trunk_builder),
+    }
+
+
+def run_profile_workload(
+    scale: ExperimentScale | None = None,
+    window_ms: float = 400.0,
+    deadline_ms: float | None = None,
+    max_epochs: int = 4,
+    layer_timing: bool = False,
+) -> dict:
+    """End-to-end observability workload: pipeline → train → stream.
+
+    Enables tracing, builds the merged dataset and its segments, trains a
+    short CNN (at most ``max_epochs`` epochs so ``repro profile`` stays
+    interactive), then replays one held-out subject's recordings through
+    the :class:`~repro.core.detector.FallDetector` + airbag state machine
+    with the deadline monitor armed.
+
+    Returns everything ``render_profile_report`` needs: the collected
+    span records, the detector latency report, the airbag margin report
+    and a metrics snapshot.  Tracing is restored to its previous state on
+    exit.
+    """
+    from ..core.detector import AirbagController, DetectorConfig, FallDetector
+    from ..core.trainer import train_model
+    from ..obs import enable_tracing, get_collector, get_registry
+
+    scale = scale or get_scale()
+    collector = get_collector()
+    was_enabled = collector.enabled
+    collector.clear()
+    enable_tracing()
+    try:
+        with span("profile", scale=scale.name):
+            with span("dataset"):
+                # Deliberately bypass the memoised experiment cache: the
+                # point of profiling is to time the pipeline stages.
+                dataset = build_merged_dataset(
+                    kfall_subjects=scale.kfall_subjects,
+                    selfcollected_subjects=scale.selfcollected_subjects,
+                    trials_per_task=scale.trials_per_task,
+                    duration_scale=scale.duration_scale,
+                    seed=scale.seed,
+                )
+            with span("segments") as sp:
+                segments = _segments_for(dataset, window_ms, 0.5)
+                sp.set("segments", len(segments))
+
+            # Subject-disjoint split: last subject streams, the one before
+            # validates, the rest train.
+            subjects = list(segments.subjects)
+            if len(subjects) < 3:
+                raise ValueError("profile workload needs >= 3 subjects")
+            stream_subject, val_subject = subjects[-1], subjects[-2]
+            train = segments.by_subjects(subjects[:-2])
+            val = segments.by_subjects([val_subject])
+            config = training_config(
+                scale, epochs=min(scale.epochs, max_epochs),
+                patience=min(scale.patience, max_epochs),
+            )
+            model, history = train_model(build_lightweight_cnn, train, val,
+                                         config)
+            if layer_timing:
+                model.enable_layer_timing(True)
+
+            detector = FallDetector(
+                model,
+                DetectorConfig(window_ms=window_ms, deadline_ms=deadline_ms),
+            )
+            airbag = AirbagController(detector)
+            detections = 0
+            with span("stream", subject=stream_subject) as sp:
+                recordings = [r for r in dataset
+                              if r.subject_id == stream_subject]
+                samples = 0
+                for recording in recordings:
+                    # One trial per recording: fresh airbag (single-shot),
+                    # fresh stream state; deadline stats accumulate.
+                    detector.reset()
+                    airbag = AirbagController(detector)
+                    for i in range(recording.n_samples):
+                        if airbag.push(recording.accel[i],
+                                       recording.gyro[i]) is not None:
+                            detections += 1
+                        samples += 1
+                sp.set("recordings", len(recordings))
+                sp.set("samples", samples)
+    finally:
+        collector.enabled = was_enabled
+
+    return {
+        "scale": scale.name,
+        "records": collector.records(),
+        "latency": detector.latency_report(),
+        "margin": airbag.margin_report(),
+        "epochs_trained": len(history.epochs),
+        "train_segments": len(train),
+        "stream_detections": detections,
+        "layer_timings": model.layer_timings() if layer_timing else {},
+        "metrics": get_registry().snapshot(),
     }

@@ -8,12 +8,15 @@ validation loss, restore best weights" — exactly what
 from __future__ import annotations
 
 import copy
+import json
+import time
 
 __all__ = [
     "Callback",
     "EarlyStopping",
     "History",
     "CSVLogger",
+    "TelemetryCallback",
     "ReduceLROnPlateau",
     "LambdaCallback",
 ]
@@ -152,11 +155,71 @@ class CSVLogger(Callback):
             self._fh.write(self.delimiter.join(["epoch", *self._keys]) + "\n")
         row = [str(epoch)] + [f"{logs.get(k, float('nan')):.6g}" for k in self._keys]
         self._fh.write(self.delimiter.join(row) + "\n")
+        # Flush per epoch: early stopping or a crash must not lose rows.
+        self._fh.flush()
 
     def on_train_end(self, logs=None) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+class TelemetryCallback(Callback):
+    """Stream one JSON record per epoch to a JSONL file.
+
+    Each line carries the epoch index, its wall-clock duration and every
+    entry of the epoch logs (loss, metrics, val_*); a final ``train_end``
+    line summarises the run.  Lines are flushed as written, so a live
+    training run can be tailed.  Epoch durations also land in the
+    ``fit/epoch_ms`` histogram of ``registry`` (default: the global one).
+    """
+
+    def __init__(self, path, registry=None):
+        super().__init__()
+        self.path = str(path)
+        self._registry = registry
+        self._fh = None
+        self._epoch_start = 0.0
+        self._train_start = 0.0
+        self._epochs = 0
+
+    def _histogram(self):
+        if self._registry is None:
+            from ..obs import get_registry
+
+            self._registry = get_registry()
+        return self._registry.histogram("fit/epoch_ms")
+
+    def on_train_begin(self, logs=None) -> None:
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._train_start = time.perf_counter()
+        self._epochs = 0
+
+    def on_epoch_begin(self, epoch, logs=None) -> None:
+        self._epoch_start = time.perf_counter()
+
+    def on_epoch_end(self, epoch, logs=None) -> None:
+        duration_s = time.perf_counter() - self._epoch_start
+        self._epochs = epoch + 1
+        self._histogram().observe(1000.0 * duration_s)
+        record = {"event": "epoch", "epoch": epoch,
+                  "duration_s": round(duration_s, 6)}
+        for key, value in (logs or {}).items():
+            record[key] = float(value)
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def on_train_end(self, logs=None) -> None:
+        if self._fh is None:
+            return
+        total_s = time.perf_counter() - self._train_start
+        self._fh.write(json.dumps({
+            "event": "train_end",
+            "epochs": self._epochs,
+            "total_s": round(total_s, 6),
+        }) + "\n")
+        self._fh.close()
+        self._fh = None
 
 
 class ReduceLROnPlateau(Callback):

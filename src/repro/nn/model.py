@@ -8,13 +8,18 @@ replay that order.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from . import losses as losses_module
 from . import metrics as metrics_module
 from . import optimizers as optimizers_module
+from ..obs import get_logger, span
 from .config import asfloat
 from .graph import Node, topological_order
+
+_logger = get_logger(__name__)
 
 __all__ = ["Model"]
 
@@ -51,6 +56,10 @@ class Model:
         self.metric_fns: list = []
         self.metric_names: list[str] = []
         self.stop_training = False
+        # Opt-in per-layer timing (see enable_layer_timing); keeping the
+        # flag False preserves the untimed hot path byte for byte.
+        self._layer_timing = False
+        self._timing_registry = None
 
     # ------------------------------------------------------------------
     # Shapes / parameters
@@ -109,17 +118,62 @@ class Model:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def enable_layer_timing(self, enabled: bool = True, registry=None):
+        """Record per-layer forward/backward wall time into histograms.
+
+        Off by default: when disabled the execution loops are exactly the
+        untimed originals, so training/inference performance is unchanged.
+        When enabled, every layer call lands one millisecond sample in
+        ``nn/forward/<layer>`` and ``nn/backward/<layer>`` histograms of
+        ``registry`` (default: the :func:`repro.obs.get_registry` one).
+        """
+        self._layer_timing = bool(enabled)
+        if self._layer_timing:
+            if registry is None:
+                from ..obs import get_registry
+
+                registry = get_registry()
+            self._timing_registry = registry
+        else:
+            self._timing_registry = None
+        return self
+
+    def layer_timings(self) -> dict:
+        """Summaries of the per-layer histograms recorded so far."""
+        if self._timing_registry is None:
+            return {}
+        prefix = ("nn/forward/", "nn/backward/")
+        return {
+            name: self._timing_registry.histogram(name).summary()
+            for name in self._timing_registry.names()
+            if name.startswith(prefix)
+        }
+
     def _forward(self, x: np.ndarray, training: bool) -> np.ndarray:
         values: dict[int, np.ndarray] = {self.input_node.uid: x}
-        for node in self.nodes:
-            if node.is_input:
-                continue
-            inputs = [values[parent.uid] for parent in node.parents]
-            values[node.uid] = node.layer.forward(inputs, training=training)
+        if not self._layer_timing:
+            for node in self.nodes:
+                if node.is_input:
+                    continue
+                inputs = [values[parent.uid] for parent in node.parents]
+                values[node.uid] = node.layer.forward(inputs, training=training)
+        else:
+            registry = self._timing_registry
+            for node in self.nodes:
+                if node.is_input:
+                    continue
+                inputs = [values[parent.uid] for parent in node.parents]
+                t0 = time.perf_counter()
+                values[node.uid] = node.layer.forward(inputs, training=training)
+                registry.histogram(f"nn/forward/{node.layer.name}").observe(
+                    1000.0 * (time.perf_counter() - t0)
+                )
         self._values = values
         return values[self.output_node.uid]
 
     def _backward(self, grad_output: np.ndarray) -> None:
+        timing = self._layer_timing
+        registry = self._timing_registry
         grads: dict[int, np.ndarray] = {self.output_node.uid: grad_output}
         for node in reversed(self.nodes):
             if node.is_input:
@@ -127,7 +181,14 @@ class Model:
             upstream = grads.pop(node.uid, None)
             if upstream is None:
                 continue
-            parent_grads = node.layer.backward(upstream)
+            if timing:
+                t0 = time.perf_counter()
+                parent_grads = node.layer.backward(upstream)
+                registry.histogram(f"nn/backward/{node.layer.name}").observe(
+                    1000.0 * (time.perf_counter() - t0)
+                )
+            else:
+                parent_grads = node.layer.backward(upstream)
             for parent, pgrad in zip(node.parents, parent_grads):
                 if parent.uid in grads:
                     grads[parent.uid] = grads[parent.uid] + pgrad
@@ -251,31 +312,33 @@ class Model:
         self.stop_training = False
         n = len(x)
         for epoch in range(epochs):
-            for cb in all_callbacks:
-                cb.on_epoch_begin(epoch)
-            order = rng.permutation(n) if shuffle else np.arange(n)
-            epoch_loss = 0.0
-            seen = 0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                sw = None if sample_weight is None else sample_weight[idx]
-                batch_loss = self.train_on_batch(x[idx], y[idx], sw)
-                epoch_loss += batch_loss * len(idx)
-                seen += len(idx)
-            logs = {"loss": epoch_loss / max(seen, 1)}
-            if self.metric_fns:
-                y_pred = self.predict(x, batch_size=max(batch_size, 256))
-                for fn, name in zip(self.metric_fns, self.metric_names):
-                    logs[name] = float(fn(y, y_pred))
-            if validation_data is not None:
-                val_x, val_y = validation_data[0], validation_data[1]
-                val_logs = self.evaluate(val_x, val_y, batch_size=max(batch_size, 256))
-                logs.update({f"val_{k}": v for k, v in val_logs.items()})
-            for cb in all_callbacks:
-                cb.on_epoch_end(epoch, logs)
+            with span("fit/epoch", epoch=epoch):
+                for cb in all_callbacks:
+                    cb.on_epoch_begin(epoch)
+                order = rng.permutation(n) if shuffle else np.arange(n)
+                epoch_loss = 0.0
+                seen = 0
+                for start in range(0, n, batch_size):
+                    idx = order[start : start + batch_size]
+                    sw = None if sample_weight is None else sample_weight[idx]
+                    batch_loss = self.train_on_batch(x[idx], y[idx], sw)
+                    epoch_loss += batch_loss * len(idx)
+                    seen += len(idx)
+                logs = {"loss": epoch_loss / max(seen, 1)}
+                if self.metric_fns:
+                    y_pred = self.predict(x, batch_size=max(batch_size, 256))
+                    for fn, name in zip(self.metric_fns, self.metric_names):
+                        logs[name] = float(fn(y, y_pred))
+                if validation_data is not None:
+                    val_x, val_y = validation_data[0], validation_data[1]
+                    val_logs = self.evaluate(val_x, val_y,
+                                             batch_size=max(batch_size, 256))
+                    logs.update({f"val_{k}": v for k, v in val_logs.items()})
+                for cb in all_callbacks:
+                    cb.on_epoch_end(epoch, logs)
             if verbose:
                 rendered = "  ".join(f"{k}={v:.4f}" for k, v in logs.items())
-                print(f"epoch {epoch + 1}/{epochs}  {rendered}")
+                _logger.info("epoch %d/%d  %s", epoch + 1, epochs, rendered)
             if self.stop_training:
                 break
         for cb in all_callbacks:

@@ -1,0 +1,87 @@
+"""``repro.obs`` — tracing, metrics and logging for the reproduction.
+
+The paper's claim is a *latency budget*: 4 ms inference on an STM32F722
+inside the 150 ms airbag-inflation window.  This package is how the
+reproduction measures itself against that budget — zero external
+dependencies, off by default, negligible overhead when disabled.
+
+Three small pieces:
+
+* :mod:`repro.obs.trace` — nestable spans on the monotonic clock with a
+  thread-safe collector and JSONL export;
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  (p50/p95/p99 summaries) behind a default registry;
+* :mod:`repro.obs.log` — stdlib logging with a ``NullHandler`` on the
+  ``repro`` root, so the library is silent unless the CLI asks for
+  ``--verbose``.
+
+Example — time a pipeline stage and summarise detector latency::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    with obs.span("pipeline/build", subjects=6) as sp:
+        dataset = build_merged_dataset(kfall_subjects=3,
+                                       selfcollected_subjects=3)
+        sp.set("recordings", len(dataset))
+
+    hist = obs.get_registry().histogram("detector/latency_ms")
+    hist.observe(1.8)
+    hist.observe(2.4)
+    print(hist.summary()["p95"])                  # bucketed p95 estimate
+    print(obs.format_span_tree(obs.get_collector().records()))
+    obs.get_collector().export_jsonl("trace.jsonl")
+
+``repro profile`` (the CLI subcommand) wires all of this together for a
+full pipeline → train → streaming-detector workload.
+"""
+
+from .log import configure_logging, get_logger
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+    get_registry,
+)
+from .report import aggregate_spans, format_span_tree
+from .trace import (
+    Span,
+    SpanRecord,
+    TraceCollector,
+    clear_trace,
+    disable_tracing,
+    enable_tracing,
+    get_collector,
+    load_jsonl,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "SpanRecord",
+    "TraceCollector",
+    "span",
+    "get_collector",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "clear_trace",
+    "load_jsonl",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "default_latency_buckets",
+    # report
+    "aggregate_spans",
+    "format_span_tree",
+    # logging
+    "get_logger",
+    "configure_logging",
+]

@@ -1,0 +1,55 @@
+"""Stdlib-logging integration for the whole ``repro`` package.
+
+Library code never prints: every module gets a child of the ``repro``
+logger via :func:`get_logger`, and the package root carries a
+``NullHandler`` so importing the library stays silent.  The CLI's
+``--verbose`` flag calls :func:`configure_logging` to attach one stream
+handler at INFO (or DEBUG with ``-vv``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["ROOT_LOGGER_NAME", "get_logger", "configure_logging"]
+
+ROOT_LOGGER_NAME = "repro"
+
+# Importing the library must not emit "No handlers could be found" noise.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+_handler: logging.Handler | None = None
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("repro.core.trainer")`` and ``get_logger("core.trainer")``
+    return the same logger; with no name, the package root logger.
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO, stream=None) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root and set its level.
+
+    Idempotent: calling again replaces the previous handler, so repeated
+    CLI invocations in one process never duplicate output.
+    """
+    global _handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream or sys.stderr)
+    _handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+                          datefmt="%H:%M:%S")
+    )
+    root.addHandler(_handler)
+    root.setLevel(level)
+    return root

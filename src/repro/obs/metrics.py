@@ -1,0 +1,235 @@
+"""Counters, gauges and fixed-bucket histograms with a default registry.
+
+The histogram is the workhorse: the streaming detector records one
+latency sample per inference window, and the profile report summarises
+them as p50/p95/p99 against the real-time deadline.  Buckets are fixed at
+construction (geometric by default), so memory stays O(buckets) no matter
+how long the detector streams — the same discipline an MCU firmware
+counter would use.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "default_latency_buckets",
+]
+
+
+class Counter:
+    """Monotonically increasing count (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up; use a Gauge instead")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """Last-written value (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+def default_latency_buckets() -> tuple:
+    """Geometric edges (×2) from 1e-3 to 1e5 — in ms, that is 1 µs…100 s."""
+    edges = []
+    edge = 1e-3
+    while edge < 1e5:
+        edges.append(edge)
+        edge *= 2.0
+    return tuple(edges)
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile summaries.
+
+    ``buckets`` is an increasing sequence of upper edges; values above the
+    last edge land in an overflow bucket whose percentile estimate is the
+    observed maximum.  Percentiles interpolate linearly inside a bucket,
+    clamped to the observed min/max so tiny sample counts stay sane.
+    """
+
+    def __init__(self, buckets=None):
+        edges = tuple(float(b) for b in (buckets or default_latency_buckets()))
+        if not edges or any(later <= earlier
+                            for later, earlier in zip(edges[1:], edges)):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.edges = edges
+        self._lock = threading.Lock()
+        self._counts = [0] * (len(edges) + 1)  # +1 = overflow
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            for i, edge in enumerate(self.edges):
+                if value <= edge:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-interpolated percentile; ``q`` in [0, 100]."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            target = q / 100.0 * self._count
+            cumulative = 0
+            for i, bucket_count in enumerate(self._counts):
+                if bucket_count == 0:
+                    continue
+                if cumulative + bucket_count >= target:
+                    if i >= len(self.edges):  # overflow bucket
+                        return self._max
+                    lower = self.edges[i - 1] if i > 0 else min(self._min, self.edges[i])
+                    upper = self.edges[i]
+                    frac = (target - cumulative) / bucket_count
+                    value = lower + frac * (upper - lower)
+                    return min(max(value, self._min), self._max)
+                cumulative += bucket_count
+            return self._max
+
+    def summary(self) -> dict:
+        """count / mean / min / max / p50 / p95 / p99 in one dict."""
+        with self._lock:
+            count, total = self._count, self._sum
+            lo = self._min if count else 0.0
+            hi = self._max if count else 0.0
+        return {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo,
+            "max": hi,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * (len(self.edges) + 1)
+            self._count = 0
+            self._sum = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, object] = {}
+
+    def _get_or_create(self, name: str, cls, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = factory()
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)
+
+    def histogram(self, name: str, buckets=None) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(buckets=buckets)
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: counters/gauges → value, histograms → summary."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out = {}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _DEFAULT

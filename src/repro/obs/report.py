@@ -1,0 +1,81 @@
+"""Render collected spans as a tree with per-stage totals.
+
+Repeated spans at the same path (e.g. ``fit/epoch`` once per epoch) are
+aggregated into one line with a call count, so the tree stays readable no
+matter how long the run was.
+"""
+
+from __future__ import annotations
+
+__all__ = ["aggregate_spans", "format_span_tree"]
+
+
+def aggregate_spans(records) -> dict:
+    """Group span records by path: ``{path: {...totals...}}``.
+
+    Returns, per path: ``calls``, ``total_s``, ``max_s``, ``depth``,
+    ``name``, ``first_start_s`` (for stable ordering) and ``parent`` path.
+    """
+    # Span names may themselves contain slashes ("pipeline/build_kfall"),
+    # so parent paths come from parent_id, not from splitting the path.
+    path_by_id = {record.span_id: record.path for record in records}
+    stages: dict[str, dict] = {}
+    for record in records:
+        stage = stages.get(record.path)
+        if stage is None:
+            parent = path_by_id.get(record.parent_id)
+            stage = stages[record.path] = {
+                "name": record.name,
+                "depth": record.depth,
+                "parent": parent,
+                "calls": 0,
+                "total_s": 0.0,
+                "max_s": 0.0,
+                "first_start_s": record.start_s,
+            }
+        stage["calls"] += 1
+        stage["total_s"] += record.duration_s
+        stage["max_s"] = max(stage["max_s"], record.duration_s)
+        stage["first_start_s"] = min(stage["first_start_s"], record.start_s)
+    return stages
+
+
+def format_span_tree(records, title: str | None = None) -> str:
+    """ASCII tree of aggregated spans with totals and call counts."""
+    stages = aggregate_spans(records)
+    if not stages:
+        return "(no spans recorded — is tracing enabled?)"
+
+    children: dict = {}
+    roots = []
+    for path, stage in stages.items():
+        parent = stage["parent"]
+        if parent in stages:
+            children.setdefault(parent, []).append(path)
+        else:
+            roots.append(path)
+    for sibling_paths in children.values():
+        sibling_paths.sort(key=lambda p: stages[p]["first_start_s"])
+    roots.sort(key=lambda p: stages[p]["first_start_s"])
+
+    total_s = sum(stages[p]["total_s"] for p in roots) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'stage':44s}{'total':>10s}{'calls':>7s}{'share':>7s}")
+    lines.append("-" * 68)
+
+    def _emit(path: str, depth: int) -> None:
+        stage = stages[path]
+        label = ("  " * depth) + stage["name"]
+        share = 100.0 * stage["total_s"] / total_s
+        lines.append(
+            f"{label:44s}{1000.0 * stage['total_s']:8.1f}ms"
+            f"{stage['calls']:>7d}{share:6.1f}%"
+        )
+        for child in children.get(path, ()):
+            _emit(child, depth + 1)
+
+    for root in roots:
+        _emit(root, 0)
+    return "\n".join(lines)

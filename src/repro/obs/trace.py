@@ -1,0 +1,250 @@
+"""Zero-dependency tracing core: nestable spans on the monotonic clock.
+
+The paper's contribution is a latency budget (4 ms inference inside a
+150 ms airbag-inflation window), so the reproduction needs first-class
+timing.  A :class:`Span` measures one stage with ``time.perf_counter``;
+spans nest per thread, building slash-joined paths (``profile/dataset``)
+that the profile report renders as a tree with per-stage totals.
+
+Tracing is **off by default**: :func:`span` returns a shared no-op object
+when the collector is disabled, so instrumented hot paths pay a single
+attribute check.  Enable it explicitly::
+
+    from repro import obs
+
+    obs.enable_tracing()
+    with obs.span("fit/epoch", epoch=3):
+        ...
+    obs.get_collector().export_jsonl("trace.jsonl")
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Span",
+    "TraceCollector",
+    "get_collector",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "clear_trace",
+    "load_jsonl",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as stored by the collector."""
+
+    name: str
+    path: str
+    depth: int
+    start_s: float
+    duration_s: float
+    span_id: int
+    parent_id: int | None
+    thread: int
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "SpanRecord":
+        return cls(
+            name=obj["name"],
+            path=obj["path"],
+            depth=int(obj["depth"]),
+            start_s=float(obj["start_s"]),
+            duration_s=float(obj["duration_s"]),
+            span_id=int(obj["span_id"]),
+            parent_id=(None if obj.get("parent_id") is None
+                       else int(obj["parent_id"])),
+            thread=int(obj.get("thread", 0)),
+            attrs=dict(obj.get("attrs", {})),
+        )
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span; use as a context manager, annotate with :meth:`set`."""
+
+    __slots__ = ("name", "attrs", "_collector", "_start", "_id", "_parent",
+                 "_path", "_depth")
+
+    def __init__(self, collector: "TraceCollector", name: str, attrs: dict):
+        self.name = name
+        self.attrs = attrs
+        self._collector = collector
+        self._start = 0.0
+        self._id = 0
+        self._parent: Span | None = None
+        self._path = name
+        self._depth = 0
+
+    def set(self, key, value) -> None:
+        """Attach an attribute (e.g. item counts) to the span record."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        stack = self._collector._stack()
+        self._parent = stack[-1] if stack else None
+        if self._parent is not None:
+            self._path = f"{self._parent._path}/{self.name}"
+            self._depth = self._parent._depth + 1
+        self._id = self._collector._next_id()
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self._start
+        stack = self._collector._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._collector._record(
+            SpanRecord(
+                name=self.name,
+                path=self._path,
+                depth=self._depth,
+                start_s=self._start - self._collector.epoch,
+                duration_s=duration,
+                span_id=self._id,
+                parent_id=None if self._parent is None else self._parent._id,
+                thread=threading.get_ident(),
+                attrs=self.attrs,
+            )
+        )
+        return False
+
+
+class TraceCollector:
+    """Thread-safe in-process store of finished spans.
+
+    Each thread keeps its own active-span stack (spans nest within one
+    thread); finished records land in a single list guarded by a lock.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self.epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+
+    # -- internals used by Span ---------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            return next(self._ids)
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    # -- public API ----------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A nestable timing context; no-op while the collector is off."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, attrs)
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of the finished spans (oldest first)."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def export_jsonl(self, path) -> int:
+        """Write one JSON object per span; returns the record count."""
+        records = self.records()
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in records:
+                fh.write(json.dumps(record.to_json()) + "\n")
+        return len(records)
+
+
+def load_jsonl(path) -> list[SpanRecord]:
+    """Read spans back from a file written by :meth:`export_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_json(json.loads(line)))
+    return records
+
+
+_DEFAULT = TraceCollector()
+
+
+def get_collector() -> TraceCollector:
+    """The process-wide default collector."""
+    return _DEFAULT
+
+
+def span(name: str, **attrs):
+    """Open a span on the default collector (no-op unless tracing is on)."""
+    if not _DEFAULT.enabled:
+        return _NULL_SPAN
+    return Span(_DEFAULT, name, attrs)
+
+
+def enable_tracing() -> None:
+    _DEFAULT.enabled = True
+
+
+def disable_tracing() -> None:
+    _DEFAULT.enabled = False
+
+
+def tracing_enabled() -> bool:
+    return _DEFAULT.enabled
+
+
+def clear_trace() -> None:
+    _DEFAULT.clear()

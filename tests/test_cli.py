@@ -27,6 +27,17 @@ class TestParser:
         args = build_parser().parse_args(["figure1"])
         assert args.task == 30 and args.seed == 42
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.deadline_ms is None
+        assert args.epochs == 4
+        assert not args.layer_timing
+        assert args.verbose == 0
+
+    def test_verbose_is_repeatable(self):
+        args = build_parser().parse_args(["-vv", "profile"])
+        assert args.verbose == 2
+
 
 class TestFastCommands:
     def test_figure1_prints_anatomy(self, capsys):
@@ -40,6 +51,32 @@ class TestFastCommands:
         out = capsys.readouterr().out
         assert "VerticalVelocityDetector" in out
         assert "ImpactEnergyDetector" in out
+
+    def test_profile_prints_span_tree_and_latency(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(["--scale", "quick", "profile", "--epochs", "1",
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Span tree with the pipeline/training/streaming stages.
+        assert "Span tree" in out
+        assert "pipeline/build_kfall" in out
+        assert "trainer/fit" in out
+        assert "stream" in out
+        # Latency histogram summary + deadline accounting.
+        assert "latency p50" in out
+        assert "latency p99" in out
+        assert "deadline violations" in out
+        assert "Airbag margin (150 ms budget)" in out
+        # Exported trace is loadable.
+        from repro.obs import load_jsonl
+
+        records = load_jsonl(trace_path)
+        assert any(r.name == "trainer/fit" for r in records)
+        # Tracing must be switched back off afterwards.
+        from repro.obs import tracing_enabled
+
+        assert not tracing_enabled()
 
     def test_dataset_command_writes_loadable_snapshot(self, tmp_path, capsys):
         out_path = tmp_path / "corpus.npz"

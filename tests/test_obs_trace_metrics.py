@@ -1,0 +1,394 @@
+"""Observability: spans, metrics, JSONL round-trip, deadline monitoring."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.detector import AirbagController, DetectorConfig, FallDetector
+from repro.nn.callbacks import CSVLogger, TelemetryCallback
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanRecord,
+    TraceCollector,
+    format_span_tree,
+    load_jsonl,
+)
+
+
+@pytest.fixture
+def collector():
+    return TraceCollector(enabled=True)
+
+
+class TestSpans:
+    def test_nesting_builds_paths_and_depths(self, collector):
+        with collector.span("outer"):
+            with collector.span("middle"):
+                with collector.span("inner"):
+                    pass
+            with collector.span("sibling"):
+                pass
+        records = {r.name: r for r in collector.records()}
+        assert records["outer"].depth == 0
+        assert records["outer"].path == "outer"
+        assert records["middle"].path == "outer/middle"
+        assert records["inner"].path == "outer/middle/inner"
+        assert records["inner"].depth == 2
+        assert records["sibling"].parent_id == records["outer"].span_id
+        # Children close before parents, so durations nest.
+        assert records["outer"].duration_s >= records["middle"].duration_s
+
+    def test_repeated_spans_aggregate_in_tree(self, collector):
+        with collector.span("fit"):
+            for epoch in range(3):
+                with collector.span("fit/epoch", epoch=epoch):
+                    pass
+        tree = format_span_tree(collector.records())
+        assert "fit/epoch" in tree
+        # 3 calls collapse into one aggregated line.
+        assert tree.count("fit/epoch") == 1
+
+    def test_attrs_via_set(self, collector):
+        with collector.span("stage", kind="test") as sp:
+            sp.set("items", 42)
+        (record,) = collector.records()
+        assert record.attrs == {"kind": "test", "items": 42}
+
+    def test_disabled_collector_records_nothing(self):
+        collector = TraceCollector(enabled=False)
+        with collector.span("ignored"):
+            pass
+        assert collector.records() == []
+
+    def test_module_level_span_is_noop_unless_enabled(self):
+        obs.get_collector().clear()
+        assert not obs.tracing_enabled()
+        with obs.span("ignored") as sp:
+            sp.set("a", 1)  # must not raise on the null span
+        assert obs.get_collector().records() == []
+
+    def test_enable_disable_roundtrip(self):
+        obs.get_collector().clear()
+        obs.enable_tracing()
+        try:
+            with obs.span("real"):
+                pass
+        finally:
+            obs.disable_tracing()
+        names = [r.name for r in obs.get_collector().records()]
+        assert "real" in names
+        obs.clear_trace()
+
+    def test_jsonl_roundtrip(self, collector, tmp_path):
+        with collector.span("a", n=1):
+            with collector.span("b"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert collector.export_jsonl(path) == 2
+        loaded = load_jsonl(path)
+        assert [r.to_json() for r in loaded] == [
+            r.to_json() for r in collector.records()
+        ]
+        # The file is genuine JSONL: one parseable object per line.
+        lines = path.read_text().strip().splitlines()
+        assert all(isinstance(json.loads(line), dict) for line in lines)
+
+    def test_thread_safety_independent_stacks(self, collector):
+        n_threads, n_spans = 8, 50
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(n_spans):
+                    with collector.span(f"t{tid}") as sp:
+                        with collector.span("child"):
+                            sp.set("i", i)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        records = collector.records()
+        assert len(records) == n_threads * n_spans * 2
+        # Per-thread stacks: every top-level span has depth 0, every child
+        # depth 1 — no cross-thread nesting.
+        for record in records:
+            assert record.depth == (1 if record.name == "child" else 0)
+        assert len({r.span_id for r in records}) == len(records)
+
+    def test_span_tree_handles_empty(self):
+        assert "no spans" in format_span_tree([])
+
+
+class TestMetrics:
+    def test_counter_gauge(self):
+        c, g = Counter(), Gauge()
+        c.inc()
+        c.inc(4)
+        g.set(2.5)
+        assert c.value == 5
+        assert g.value == 2.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_percentiles_uniform(self):
+        hist = Histogram(buckets=[float(b) for b in range(1, 102)])
+        for v in range(1, 101):
+            hist.observe(float(v))
+        s = hist.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert abs(s["mean"] - 50.5) < 1e-9
+        assert abs(s["p50"] - 50.0) <= 1.0
+        assert abs(s["p95"] - 95.0) <= 1.0
+        assert abs(s["p99"] - 99.0) <= 1.0
+
+    def test_histogram_overflow_uses_max(self):
+        hist = Histogram(buckets=[1.0, 2.0])
+        hist.observe(500.0)
+        assert hist.percentile(99.0) == 500.0
+        assert hist.summary()["max"] == 500.0
+
+    def test_histogram_empty_and_validation(self):
+        hist = Histogram(buckets=[1.0, 2.0])
+        assert hist.summary()["count"] == 0
+        assert hist.percentile(50.0) == 0.0
+        with pytest.raises(ValueError):
+            Histogram(buckets=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_histogram_thread_safety(self):
+        hist = Histogram(buckets=[float(b) for b in range(1, 20)])
+
+        def worker():
+            for v in range(1000):
+                hist.observe(float(v % 10) + 0.5)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 4000
+
+    def test_registry_get_or_create_and_type_clash(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        reg.counter("x").inc(3)
+        reg.histogram("h").observe(1.0)
+        snap = reg.snapshot()
+        assert snap["x"] == 3
+        assert snap["h"]["count"] == 1
+        reg.reset()
+        assert reg.snapshot()["x"] == 0
+
+
+class _SleepyModel:
+    """predict() that burns a configurable amount of wall time."""
+
+    def __init__(self, sleep_s=0.0, prob=0.1):
+        self.sleep_s = sleep_s
+        self.prob = prob
+
+    def predict(self, x):
+        if self.sleep_s:
+            time.sleep(self.sleep_s)
+        return np.array([[self.prob]])
+
+
+class TestDeadlineMonitor:
+    def _stream(self, detector, n=120):
+        rng = np.random.default_rng(0)
+        for _ in range(n):
+            detector.push(rng.normal(0, 0.05, 3), rng.normal(0, 1.0, 3))
+
+    def test_zero_deadline_counts_every_inference(self):
+        config = DetectorConfig(window_ms=200.0, deadline_ms=0.0)
+        detector = FallDetector(_SleepyModel(), config)
+        self._stream(detector)
+        report = detector.latency_report()
+        assert report["inferences"] > 0
+        assert report["violations"] == report["inferences"]
+        assert report["violation_rate"] == 1.0
+        assert report["deadline_ms"] == 0.0
+
+    def test_generous_deadline_never_violates(self):
+        config = DetectorConfig(window_ms=200.0, deadline_ms=10_000.0)
+        detector = FallDetector(_SleepyModel(), config)
+        self._stream(detector)
+        report = detector.latency_report()
+        assert report["inferences"] > 0
+        assert report["violations"] == 0
+        assert report["p99_ms"] >= report["p50_ms"] >= 0.0
+
+    def test_default_deadline_is_hop_interval(self):
+        config = DetectorConfig(window_ms=400.0, overlap=0.5, fs=100.0)
+        assert config.effective_deadline_ms == pytest.approx(200.0)
+        with pytest.raises(ValueError):
+            DetectorConfig(deadline_ms=-1.0)
+
+    def test_slow_model_violates_hop_deadline(self):
+        # Hop = 100 samples * (1 - 0.5) -> 200 ms at 100 Hz; 1 ms deadline
+        # with a 5 ms model must violate every time.
+        config = DetectorConfig(window_ms=200.0, deadline_ms=1.0)
+        detector = FallDetector(_SleepyModel(sleep_s=0.005), config)
+        self._stream(detector, n=60)
+        report = detector.latency_report()
+        assert report["violations"] == report["inferences"] > 0
+        assert report["p50_ms"] >= 5.0
+
+    def test_stats_survive_reset(self):
+        detector = FallDetector(_SleepyModel(),
+                                DetectorConfig(window_ms=200.0))
+        self._stream(detector, n=40)
+        before = detector.latency_report()["inferences"]
+        detector.reset()
+        assert detector.latency_report()["inferences"] == before
+        self._stream(detector, n=40)
+        assert detector.latency_report()["inferences"] > before
+
+    def test_airbag_margin_report(self):
+        detector = FallDetector(_SleepyModel(prob=0.9),
+                                DetectorConfig(window_ms=200.0))
+        airbag = AirbagController(detector, inflation_ms=150.0)
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            airbag.push(rng.normal(0, 0.05, 3), rng.normal(0, 1.0, 3))
+        report = airbag.margin_report()
+        assert report["inflation_budget_ms"] == 150.0
+        assert report["reaction_p99_ms"] == pytest.approx(
+            150.0 + report["inference_p99_ms"])
+        assert report["inferences"] > 0
+        # prob=0.9 fires on the first full window.
+        assert airbag.trigger is not None
+        impact = airbag.trigger.time_s + 1.0
+        assert airbag.margin_ms(impact) == pytest.approx(
+            1000.0 * (impact - airbag.deployed_at_s))
+        fresh = AirbagController(FallDetector(_SleepyModel(prob=0.0)))
+        assert fresh.margin_ms(1.0) is None
+
+
+class TestCallbacks:
+    def _fit_tiny_model(self, callback, epochs=3):
+        from repro import nn
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 8)).astype(float)
+        y = (x[:, 0] > 0).astype(float)[:, None]
+        inp = nn.Input((8,))
+        out = nn.layers.Dense(1, activation="sigmoid")(inp)
+        model = nn.Model(inp, out).compile("adam", "binary_crossentropy")
+        return model.fit(x, y, epochs=epochs, batch_size=16,
+                         callbacks=[callback], seed=0)
+
+    def test_csvlogger_flushes_every_epoch(self, tmp_path):
+        path = tmp_path / "log.csv"
+        logger = CSVLogger(path)
+        logger.on_train_begin()
+        logger.on_epoch_end(0, {"loss": 0.5})
+        # Regression: rows must reach disk before on_train_end (early
+        # stopping or a crash must not lose them).
+        lines = path.read_text().splitlines()
+        assert lines == ["epoch,loss", "0,0.5"]
+        logger.on_epoch_end(1, {"loss": 0.25})
+        assert len(path.read_text().splitlines()) == 3
+        logger.on_train_end()
+        assert logger._fh is None
+        logger.on_train_end()  # idempotent
+
+    def test_csvlogger_in_real_fit(self, tmp_path):
+        path = tmp_path / "fit.csv"
+        self._fit_tiny_model(CSVLogger(path), epochs=2)
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("epoch")
+        assert len(lines) == 3
+
+    def test_telemetry_callback_streams_jsonl(self, tmp_path):
+        path = tmp_path / "telemetry.jsonl"
+        self._fit_tiny_model(TelemetryCallback(path), epochs=3)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        epoch_records = [r for r in records if r["event"] == "epoch"]
+        assert [r["epoch"] for r in epoch_records] == [0, 1, 2]
+        assert all(r["duration_s"] >= 0.0 for r in epoch_records)
+        assert all("loss" in r for r in epoch_records)
+        assert records[-1]["event"] == "train_end"
+        assert records[-1]["epochs"] == 3
+
+
+class TestLayerTiming:
+    def test_off_by_default_and_opt_in(self):
+        from repro import nn
+        from repro.obs import MetricsRegistry
+
+        inp = nn.Input((8,))
+        out = nn.layers.Dense(1, activation="sigmoid")(inp)
+        model = nn.Model(inp, out).compile("adam", "binary_crossentropy")
+        x = np.zeros((4, 8))
+        model.predict(x)
+        assert model._layer_timing is False
+        assert model.layer_timings() == {}
+
+        registry = MetricsRegistry()
+        model.enable_layer_timing(True, registry=registry)
+        model.predict(x)
+        timings = model.layer_timings()
+        assert any(name.startswith("nn/forward/") for name in timings)
+        forward = next(iter(timings.values()))
+        assert forward["count"] >= 1
+
+        model.enable_layer_timing(False)
+        assert model.layer_timings() == {}
+
+    def test_backward_timing_recorded_during_training(self):
+        from repro import nn
+        from repro.obs import MetricsRegistry
+
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(16, 8))
+        y = (x[:, 0] > 0).astype(float)[:, None]
+        inp = nn.Input((8,))
+        out = nn.layers.Dense(1, activation="sigmoid")(inp)
+        model = nn.Model(inp, out).compile("adam", "binary_crossentropy")
+        registry = MetricsRegistry()
+        model.enable_layer_timing(True, registry=registry)
+        model.fit(x, y, epochs=1, batch_size=8, seed=0)
+        names = registry.names()
+        assert any(n.startswith("nn/backward/") for n in names)
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert obs.get_logger().name == "repro"
+        assert obs.get_logger("core.trainer").name == "repro.core.trainer"
+        assert obs.get_logger("repro.nn.model").name == "repro.nn.model"
+
+    def test_configure_logging_idempotent(self):
+        import io
+        import logging
+
+        stream = io.StringIO()
+        root = obs.configure_logging(logging.INFO, stream=stream)
+        obs.configure_logging(logging.INFO, stream=stream)
+        handlers = [h for h in root.handlers
+                    if isinstance(h, logging.StreamHandler)
+                    and not isinstance(h, logging.NullHandler)]
+        assert len(handlers) == 1
+        obs.get_logger("test").info("hello")
+        assert "hello" in stream.getvalue()
