@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench profile
+.PHONY: test lint check bench profile faults
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,3 +19,7 @@ bench:
 
 profile:
 	$(PYTHON) -m repro --scale quick profile
+
+faults:
+	$(PYTHON) -m pytest tests -q -k "faults" && \
+	$(PYTHON) -m repro --scale quick faults

@@ -18,11 +18,22 @@ import sys
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 ALLOWED = {SRC / "cli.py", SRC / "eval" / "reports.py"}
+#: Packages the lint must cover. A rename/move that silently drops one of
+#: these from the sweep fails loudly instead of un-linting the package.
+EXPECTED_PACKAGES = ("core", "datasets", "eval", "experiments", "faults",
+                     "obs", "signal")
 
 
 def find_violations() -> list[tuple[pathlib.Path, int, str]]:
     """Real ``print(...)`` call sites (AST-based, so docstrings and
     comments mentioning print don't count)."""
+    missing = [p for p in EXPECTED_PACKAGES
+               if not (SRC / p / "__init__.py").is_file()]
+    if missing:
+        raise SystemExit(
+            f"check_no_print: expected package(s) missing from src/repro: "
+            f"{missing}"
+        )
     violations = []
     for path in sorted(SRC.rglob("*.py")):
         if path in ALLOWED:

@@ -12,6 +12,7 @@ Usage::
     python -m repro figure2
     python -m repro dataset --out corpus.npz --subjects 4
     python -m repro profile --scale quick --trace-out trace.jsonl
+    python -m repro faults --scenarios dropout gyro_dead
 
 Every command prints the same paper-vs-measured report the benchmark
 harness archives.  ``--verbose`` (repeatable) turns on the library's
@@ -27,6 +28,7 @@ import sys
 from .eval.reports import (
     format_table,
     render_edge_report,
+    render_faults_report,
     render_profile_report,
     render_table3,
     render_table4,
@@ -85,6 +87,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also record per-layer forward timings")
     profile.add_argument("--trace-out", default=None,
                          help="write the collected spans to this JSONL file")
+    faults = sub.add_parser(
+        "faults",
+        help="fault-injection robustness: stream held-out recordings "
+             "through the detector clean and under each fault scenario",
+    )
+    faults.add_argument("--scenarios", nargs="+", default=None,
+                        help="subset of built-in scenario names "
+                             "(default: all)")
+    faults.add_argument("--epochs", type=int, default=4,
+                        help="cap on training epochs for the detector CNN")
+    faults.add_argument("--fallback-only", action="store_true",
+                        help="disable the CNN branch: evaluate the "
+                             "magnitude fallback detector alone")
+    faults.add_argument("--deadline-ms", type=float, default=None,
+                        help="real-time deadline per window inference "
+                             "(default: the hop interval)")
     return parser
 
 
@@ -208,6 +226,19 @@ def _cmd_profile(scale, args):
     return report
 
 
+def _cmd_faults(scale, args):
+    from .experiments import run_fault_scenarios
+
+    result = run_fault_scenarios(
+        scale,
+        scenarios=args.scenarios,
+        model=None if args.fallback_only else "train",
+        max_epochs=args.epochs,
+        deadline_ms=args.deadline_ms,
+    )
+    return render_faults_report(result)
+
+
 def _cmd_dataset(args):
     from .core.pipeline import build_merged_dataset
     from .datasets import save_dataset
@@ -250,6 +281,8 @@ def main(argv=None) -> int:
         output = _cmd_dataset(args)
     elif args.command == "profile":
         output = _cmd_profile(scale, args)
+    elif args.command == "faults":
+        output = _cmd_faults(scale, args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
     print(output)

@@ -6,9 +6,37 @@ time (100 Hz), the firmware fuses Euler angles, low-pass filters the
 real time uses the forward-only Butterworth — same coefficients), keeps a
 ring buffer one window long and runs the CNN every hop.
 
+Unlike the offline pipeline, the live path cannot assume a perfect
+stream.  :meth:`FallDetector.push` therefore validates and repairs every
+sample (NaN/Inf → hold-last, rail clamping), bridges short timestamp gaps
+by interpolation, resets and re-primes its streaming state after long
+ones, and tracks a three-state health machine:
+
+``healthy``
+    Clean stream, CNN path nominal.
+``degraded``
+    Recoverable trouble — repaired samples, filled gaps, a warm-up after
+    a long-gap reset, stuck channels, or a deadline-violation streak.
+    The CNN remains authoritative; the fallback shadows it.
+``fault``
+    The CNN path is unusable — no model, inference raised or returned
+    non-finite, the deadline was missed ``shed_after_violations`` times in
+    a row (load shedding), or the gyroscope is dead.  The cheap
+    accelerometer-magnitude fallback becomes authoritative so the airbag
+    is never left unguarded.
+
+Transitions: any anomaly lifts ``healthy`` to ``degraded``; a standing
+fault condition forces ``fault``; once the condition clears the state
+steps down one level, reaching ``healthy`` after ``recovery_samples``
+consecutive clean samples.  Counters and the current state are exported
+through the :mod:`repro.obs` metrics registry.
+
 :class:`AirbagController` adds the actuation logic: a single trigger
 commits to inflation, which takes 150 ms to complete — the reason the
-paper withholds the last 150 ms of the falling phase from training.
+paper withholds the last 150 ms of the falling phase from training.  The
+controller is *fail-safe*: a misbehaving detector can never disarm it (an
+exception from ``push`` is contained and counted), and fallback-sourced
+detections fire the bag exactly like CNN ones.
 """
 
 from __future__ import annotations
@@ -18,17 +46,34 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..obs import Histogram, get_logger
+from ..obs import Histogram, get_logger, get_registry
 from ..signal.filters import OnlineSosFilter, butter_lowpass_sos
 from ..signal.orientation import ComplementaryFilter
 
-__all__ = ["DetectorConfig", "Detection", "FallDetector", "AirbagController"]
+__all__ = [
+    "DetectorConfig",
+    "Detection",
+    "FallDetector",
+    "MagnitudeFallback",
+    "AirbagController",
+    "HEALTHY",
+    "DEGRADED",
+    "FAULT",
+    "HEALTH_STATES",
+]
 
 _logger = get_logger(__name__)
 
 #: Histogram edges tuned for inference latency in milliseconds: 10 µs
 #: resolution at the bottom, covering up to ~84 s in the overflow tail.
 _LATENCY_BUCKETS_MS = tuple(0.01 * 2 ** i for i in range(23))
+
+#: Detector health states, in increasing order of severity.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+FAULT = "fault"
+HEALTH_STATES = (HEALTHY, DEGRADED, FAULT)
+_HEALTH_LEVEL = {HEALTHY: 0, DEGRADED: 1, FAULT: 2}
 
 
 @dataclass(frozen=True)
@@ -54,6 +99,33 @@ class DetectorConfig:
     #: cannot keep up with the 100 Hz stream.  The deadline monitor counts
     #: every violation and keeps a latency histogram.
     deadline_ms: float | None = None
+    #: Sensor rails: readings outside these ranges are clamped and counted
+    #: as saturation anomalies (a ±16 g / ±2000 dps IMU, the usual wearable
+    #: part).
+    accel_range_g: float = 16.0
+    gyro_range_dps: float = 2000.0
+    #: Longest timestamp gap bridged by interpolated fill samples; anything
+    #: longer resets the streaming state (filter, fusion, ring buffer) and
+    #: re-primes from the next sample.
+    max_gap_ms: float = 200.0
+    #: Consecutive deadline violations that mark the stream ``degraded``.
+    degraded_after_violations: int = 3
+    #: Consecutive deadline violations that shed the CNN (``fault``); the
+    #: fallback takes over and the CNN is retried after
+    #: ``shed_retry_hops`` hops.
+    shed_after_violations: int = 8
+    shed_retry_hops: int = 25
+    #: Clean samples required to step health back toward ``healthy``.
+    recovery_samples: int = 50
+    #: A channel repeating the same value this many samples is stuck (real
+    #: IMU noise never repeats exactly); a sensor with all three channels
+    #: stuck (or non-finite) this long is dead.
+    stuck_channel_samples: int = 25
+    dead_sensor_samples: int = 100
+    #: Arm the accelerometer-magnitude fallback detector.  When the CNN
+    #: path is unavailable (``fault``, or its window still warming up) the
+    #: fallback's triggers are emitted so the airbag stays guarded.
+    fallback: bool = True
 
     def __post_init__(self):
         if self.consecutive_required < 1:
@@ -64,6 +136,15 @@ class DetectorConfig:
         if self.deadline_ms is not None and self.deadline_ms < 0:
             raise ValueError(
                 f"deadline_ms must be non-negative, got {self.deadline_ms}"
+            )
+        if self.accel_range_g <= 0 or self.gyro_range_dps <= 0:
+            raise ValueError("sensor ranges must be positive")
+        if self.max_gap_ms < 0:
+            raise ValueError("max_gap_ms must be non-negative")
+        if not (1 <= self.degraded_after_violations
+                <= self.shed_after_violations):
+            raise ValueError(
+                "need 1 <= degraded_after_violations <= shed_after_violations"
             )
 
     @property
@@ -84,11 +165,71 @@ class DetectorConfig:
 
 @dataclass(frozen=True)
 class Detection:
-    """One detector firing."""
+    """One detector firing.  ``source`` is ``"cnn"`` for the model path,
+    ``"fallback"`` for the magnitude threshold path."""
 
     sample_index: int
     time_s: float
     probability: float
+    source: str = "cnn"
+
+
+class MagnitudeFallback:
+    """Streaming accelerometer-magnitude detector (PIPTO-style, accel only).
+
+    The fail-safe twin of the CNN: a trailing-average magnitude dip below
+    ``low_g`` arms a watch window; if the raw magnitude range inside the
+    next ``horizon_ms`` exceeds ``range_g`` (the growing agitation of an
+    uncontrolled descent) it triggers.  Needs nothing but the repaired
+    accelerometer stream, so it survives every gyro/fusion/CNN failure.
+
+    Tuned slightly hotter than the offline
+    :class:`~repro.core.thresholds.AccelerationWindowDetector` — a backup
+    guarding an airbag should prefer a spurious inflation to an
+    unprotected impact.
+    """
+
+    def __init__(
+        self,
+        fs: float = 100.0,
+        low_g: float = 0.90,
+        range_g: float = 0.12,
+        smooth_ms: float = 60.0,
+        horizon_ms: float = 350.0,
+    ):
+        self.fs = float(fs)
+        self.low_g = float(low_g)
+        self.range_g = float(range_g)
+        self._k = max(1, int(round(smooth_ms * fs / 1000.0)))
+        self._horizon = max(2, int(round(horizon_ms * fs / 1000.0)))
+        self.reset()
+
+    def reset(self) -> None:
+        self._window = []          # trailing magnitudes for the smoother
+        self._watch_left = 0
+        self._mag_min = np.inf
+        self._mag_max = -np.inf
+
+    def push(self, accel_g: np.ndarray) -> bool:
+        """Feed one repaired accel sample; True when the dip+range fires."""
+        mag = float(np.linalg.norm(accel_g))
+        self._window.append(mag)
+        if len(self._window) > self._k:
+            self._window.pop(0)
+        smooth = sum(self._window) / len(self._window)
+        if smooth < self.low_g:
+            if self._watch_left <= 0:      # new episode: reset the extremes
+                self._mag_min = mag
+                self._mag_max = mag
+            self._watch_left = self._horizon
+        if self._watch_left > 0:
+            self._watch_left -= 1
+            self._mag_min = min(self._mag_min, mag)
+            self._mag_max = max(self._mag_max, mag)
+            if self._mag_max - self._mag_min >= self.range_g:
+                self._watch_left = 0       # re-arm via the next dip
+                return True
+        return False
 
 
 class FallDetector:
@@ -96,7 +237,13 @@ class FallDetector:
 
     ``model`` is anything with ``predict(x)`` accepting ``(1, window, 9)``
     and returning a sigmoid probability — a float :class:`repro.nn.Model`
-    or a quantized :class:`repro.quant.QuantizedModel`.
+    or a quantized :class:`repro.quant.QuantizedModel`.  ``model=None``
+    disables the CNN branch entirely: the detector runs fallback-only and
+    reports ``fault`` health (the primary path is unavailable).
+
+    ``push`` never raises on bad *data* (non-finite readings, saturated
+    rails, missing samples, a dead sensor) and never emits a non-finite
+    probability; see the module docstring for the health state machine.
     """
 
     def __init__(self, model, config: DetectorConfig | None = None):
@@ -107,34 +254,111 @@ class FallDetector:
         self._filter = OnlineSosFilter(sos, channels=9)
         self._fusion = ComplementaryFilter(fs=cfg.fs)
         self._buffer = np.zeros((cfg.window_samples, 9))
-        self._filled = 0
-        self._since_last_inference = 0
-        self._sample_index = -1
-        self._hit_streak = 0
+        self._scales = np.asarray(cfg.channel_scales, dtype=float)
+        self._fallback = MagnitudeFallback(fs=cfg.fs) if cfg.fallback else None
         # Deadline monitor: one latency sample per window inference.  A
         # perf_counter pair per hop (every ~200 ms of stream) is noise next
         # to the CNN forward pass, so this is always on.
         self.latency = Histogram(buckets=_LATENCY_BUCKETS_MS)
         self._deadline_violations = 0
+        self._metrics = get_registry()
+        self._health_gauge = self._metrics.gauge("detector/health")
+        self._init_stream_state()
+        self._init_health_state()
 
-    def reset(self) -> None:
-        """Forget all streaming state (filter, fusion, buffer).
-
-        Deadline statistics survive a reset on purpose: they describe the
-        deployment, not one trial.
-        """
+    # ------------------------------------------------------------------
+    # state management
+    # ------------------------------------------------------------------
+    def _init_stream_state(self) -> None:
         self._filter.reset()
         self._fusion.reset()
         self._buffer[:] = 0.0
         self._filled = 0
         self._since_last_inference = 0
+
+    def _init_health_state(self) -> None:
         self._sample_index = -1
         self._hit_streak = 0
+        self._health = HEALTHY
+        self._health_gauge.set(0.0)
+        self._transitions: list[tuple[int, str, str]] = []
+        self._clean_streak = 0
+        self._consecutive_violations = 0
+        self._cnn_shed = False
+        self._shed_hops_left = 0
+        self._last_t: float | None = None
+        self._last_raw: np.ndarray | None = None   # last repaired 6-vector
+        self._prev_fill_anchor: np.ndarray | None = None
+        self._prev_raw_exact: np.ndarray | None = None
+        self._channel_stuck_streak = np.zeros(6, dtype=int)
+        self._sensor_bad_streak = np.zeros(2, dtype=int)  # accel, gyro
+        self.repaired_samples = 0
+        self.saturated_samples = 0
+        self.gap_filled_samples = 0
+        self.stream_resets = 0
+        self.clock_anomalies = 0
+        self.inference_errors = 0
+        self.fallback_detections = 0
+        if self._fallback is not None:
+            self._fallback.reset()
+        if self._standing_fault():      # e.g. constructed without a model
+            self._health = FAULT
+            self._health_gauge.set(float(_HEALTH_LEVEL[FAULT]))
 
+    def reset(self, *, preserve_latency_stats: bool = False) -> None:
+        """Forget all streaming state — a reset detector is
+        indistinguishable from a freshly constructed one.
+
+        That includes the debounce streak, the health machine and the
+        deadline monitor.  Pass ``preserve_latency_stats=True`` to keep the
+        latency histogram and violation counter across trials when the
+        statistics should describe the deployment rather than one stream
+        (e.g. ``repro profile``).
+        """
+        self._init_stream_state()
+        self._init_health_state()
+        if not preserve_latency_stats:
+            self.latency.reset()
+            self._deadline_violations = 0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
     @property
     def deadline_violations(self) -> int:
         """Window inferences that exceeded ``config.effective_deadline_ms``."""
         return self._deadline_violations
+
+    @property
+    def health(self) -> str:
+        """Current health state: healthy / degraded / fault."""
+        return self._health
+
+    @property
+    def health_transitions(self) -> list[tuple[int, str, str]]:
+        """``(sample_index, from_state, to_state)`` transition log."""
+        return list(self._transitions)
+
+    def health_report(self) -> dict:
+        """Stream-hygiene view: health state plus every anomaly counter."""
+        return {
+            "health": self._health,
+            "transitions": len(self._transitions),
+            "states_seen": sorted(
+                {self._health} | {t[2] for t in self._transitions}
+                | {t[1] for t in self._transitions},
+                key=_HEALTH_LEVEL.get,
+            ),
+            "repaired_samples": self.repaired_samples,
+            "saturated_samples": self.saturated_samples,
+            "gap_filled_samples": self.gap_filled_samples,
+            "stream_resets": self.stream_resets,
+            "clock_anomalies": self.clock_anomalies,
+            "inference_errors": self.inference_errors,
+            "fallback_detections": self.fallback_detections,
+            "cnn_shed": self._cnn_shed,
+            "deadline_violations": self._deadline_violations,
+        }
 
     def latency_report(self) -> dict:
         """Per-window inference latency summary against the deadline."""
@@ -156,19 +380,118 @@ class FallDetector:
     def samples_seen(self) -> int:
         return self._sample_index + 1
 
-    def push(self, accel_g, gyro_dps) -> Detection | None:
-        """Feed one sample; returns a :class:`Detection` when the model fires.
+    # ------------------------------------------------------------------
+    # hardening internals
+    # ------------------------------------------------------------------
+    def _validate(self, accel: np.ndarray, gyro: np.ndarray):
+        """Repair non-finite readings and clamp to the sensor rails.
 
-        The inference cadence matches the offline segmentation: the first
-        window is evaluated once full, then every ``hop_samples``.
+        Returns ``(accel, gyro, anomaly)``.  Non-finite entries hold the
+        last repaired value (bootstrap: 1 g gravity for accel, zero rate
+        for gyro); out-of-range entries clip.  Also feeds the stuck-channel
+        and dead-sensor trackers.
         """
-        accel_g = np.asarray(accel_g, dtype=float).reshape(3)
-        gyro_dps = np.asarray(gyro_dps, dtype=float).reshape(3)
-        self._sample_index += 1
-        euler = self._fusion.update(accel_g, gyro_dps)
-        raw = np.concatenate([accel_g, gyro_dps, euler])
+        cfg = self.config
+        raw = np.concatenate([accel, gyro])
+        exact = raw.copy()
+        bad = ~np.isfinite(raw)
+        anomaly = False
+        if bad.any():
+            if self._last_raw is not None:
+                raw[bad] = self._last_raw[bad]
+            else:
+                defaults = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+                raw[bad] = defaults[bad]
+            self.repaired_samples += 1
+            self._metrics.counter("detector/repaired_samples").inc()
+            anomaly = True
+        rails = np.array([cfg.accel_range_g] * 3 + [cfg.gyro_range_dps] * 3)
+        clipped = np.abs(raw) > rails
+        if clipped.any():
+            raw = np.clip(raw, -rails, rails)
+            self.saturated_samples += 1
+            self._metrics.counter("detector/saturated_samples").inc()
+            anomaly = True
+        # Stuck-at tracking on the *exact* incoming values: genuine IMU
+        # noise never repeats bit-identically, so an exact repeat streak
+        # marks a frozen channel; a non-finite reading also counts against
+        # its sensor.
+        if self._prev_raw_exact is not None:
+            same = np.zeros(6, dtype=bool)
+            both_finite = np.isfinite(exact) & np.isfinite(self._prev_raw_exact)
+            same[both_finite] = (
+                exact[both_finite] == self._prev_raw_exact[both_finite]
+            )
+            stuck_or_bad = same | bad
+            self._channel_stuck_streak = np.where(
+                stuck_or_bad, self._channel_stuck_streak + 1, 0
+            )
+        self._prev_raw_exact = exact
+        for s, sl in enumerate((slice(0, 3), slice(3, 6))):
+            if (self._channel_stuck_streak[sl] >= 1).all() or bad[sl].all():
+                self._sensor_bad_streak[s] += 1
+            else:
+                self._sensor_bad_streak[s] = 0
+        if (self._channel_stuck_streak >= cfg.stuck_channel_samples).any():
+            anomaly = True
+        self._last_raw = raw
+        return raw[:3], raw[3:], anomaly
+
+    @property
+    def accel_dead(self) -> bool:
+        return bool(
+            self._sensor_bad_streak[0] >= self.config.dead_sensor_samples
+        )
+
+    @property
+    def gyro_dead(self) -> bool:
+        return bool(
+            self._sensor_bad_streak[1] >= self.config.dead_sensor_samples
+        )
+
+    def _handle_timestamp(self, t: float | None) -> tuple[int, bool, bool]:
+        """Classify the inter-sample interval.
+
+        Returns ``(n_fill, long_gap, anomaly)``: how many missing samples
+        to synthesise, whether the gap exceeded ``max_gap_ms`` (stream
+        reset required), and whether anything about the clock was off.
+        """
+        if t is None or self._last_t is None:
+            return 0, False, False
+        cfg = self.config
+        dt_nom = 1.0 / cfg.fs
+        dt = t - self._last_t
+        if dt < 0.5 * dt_nom:
+            # Early, duplicate or backwards timestamp: process the sample,
+            # note the clock anomaly.
+            self.clock_anomalies += 1
+            self._metrics.counter("detector/clock_anomalies").inc()
+            return 0, False, True
+        missing = int(round(dt / dt_nom)) - 1
+        if missing <= 0:
+            return 0, False, False
+        if dt * 1000.0 > cfg.max_gap_ms:
+            return 0, True, True
+        return missing, False, True
+
+    def _reset_stream_state(self) -> None:
+        """Long gap: drop filter/fusion/window state and re-prime.
+
+        The filter re-initialises at steady state from the next sample and
+        the CNN stays silent until its window refills (warm-up); the
+        fallback keeps guarding throughout.
+        """
+        self._init_stream_state()
+        self.stream_resets += 1
+        self._metrics.counter("detector/stream_resets").inc()
+
+    def _ingest(self, accel: np.ndarray, gyro: np.ndarray) -> bool:
+        """Fuse, filter, scale and buffer one sample; True when a window
+        inference is due (first full window, then every hop)."""
+        euler = self._fusion.update(accel, gyro)
+        raw = np.concatenate([accel, gyro, euler])
         filtered = self._filter.process(raw[None, :])[0]
-        filtered = filtered / np.asarray(self.config.channel_scales)
+        filtered = filtered / self._scales
         # Ring-buffer shift (window lengths are tens of samples; a roll is
         # cheap and keeps the window contiguous for the model).
         self._buffer[:-1] = self._buffer[1:]
@@ -177,44 +500,217 @@ class FallDetector:
         if self._filled < cfg.window_samples:
             self._filled += 1
             if self._filled < cfg.window_samples:
-                return None
-            self._since_last_inference = 0  # first full window: infer now
-        else:
-            self._since_last_inference += 1
-            if self._since_last_inference < cfg.hop_samples:
-                return None
-            self._since_last_inference = 0
-        t0 = time.perf_counter()
-        prob = float(
-            np.asarray(self.model.predict(self._buffer[None, :, :])).reshape(-1)[0]
+                return False
+            self._since_last_inference = 0   # first full window: infer now
+            return True
+        self._since_last_inference += 1
+        if self._since_last_inference < cfg.hop_samples:
+            return False
+        self._since_last_inference = 0
+        return True
+
+    @property
+    def _cnn_available(self) -> bool:
+        return (
+            self.model is not None
+            and not self._cnn_shed
+            and not self.gyro_dead
         )
+
+    def _standing_fault(self) -> bool:
+        return (
+            self.model is None
+            or self._cnn_shed
+            or self.gyro_dead
+            or self.accel_dead
+        )
+
+    def _update_health(self, anomaly: bool) -> None:
+        if anomaly:
+            self._clean_streak = 0
+        else:
+            self._clean_streak += 1
+        current = self._health
+        if self._standing_fault():
+            new = FAULT
+        elif current == FAULT:
+            new = DEGRADED          # condition cleared: step down one level
+        elif anomaly:
+            new = DEGRADED
+        elif (current == DEGRADED
+              and self._clean_streak >= self.config.recovery_samples):
+            new = HEALTHY
+        else:
+            new = current
+        if new != current:
+            self._transitions.append((self._sample_index, current, new))
+            self._metrics.counter("detector/health_transitions").inc()
+            self._health_gauge.set(float(_HEALTH_LEVEL[new]))
+            _logger.debug(
+                "health %s -> %s at sample %d", current, new,
+                self._sample_index,
+            )
+            self._health = new
+
+    def _infer(self) -> float | None:
+        """One guarded CNN window inference; None when unusable.
+
+        Never raises and never returns a non-finite value: an exception or
+        NaN/Inf probability sheds the CNN (``fault``) until the retry
+        window elapses.
+        """
+        cfg = self.config
+        t0 = time.perf_counter()
+        try:
+            prob = float(
+                np.asarray(
+                    self.model.predict(self._buffer[None, :, :])
+                ).reshape(-1)[0]
+            )
+        except Exception:
+            self.inference_errors += 1
+            self._metrics.counter("detector/inference_errors").inc()
+            _logger.exception("model inference raised; shedding CNN path")
+            self._shed_cnn()
+            return None
         latency_ms = 1000.0 * (time.perf_counter() - t0)
         self.latency.observe(latency_ms)
         if latency_ms > cfg.effective_deadline_ms:
             self._deadline_violations += 1
+            self._consecutive_violations += 1
             _logger.debug(
                 "deadline violation: inference took %.3f ms (deadline %.3f ms)",
                 latency_ms, cfg.effective_deadline_ms,
             )
-        if prob >= cfg.threshold:
-            self._hit_streak += 1
-            if self._hit_streak >= cfg.consecutive_required:
-                return Detection(
-                    sample_index=self._sample_index,
-                    time_s=self._sample_index / cfg.fs,
-                    probability=prob,
+            if self._consecutive_violations >= cfg.shed_after_violations:
+                _logger.warning(
+                    "%d consecutive deadline violations; shedding CNN path",
+                    self._consecutive_violations,
                 )
+                self._shed_cnn()
         else:
-            self._hit_streak = 0
+            self._consecutive_violations = 0
+        if not np.isfinite(prob):
+            self.inference_errors += 1
+            self._metrics.counter("detector/inference_errors").inc()
+            _logger.warning("model returned non-finite probability; shedding")
+            self._shed_cnn()
+            return None
+        return prob
+
+    def _shed_cnn(self) -> None:
+        self._cnn_shed = True
+        self._shed_hops_left = self.config.shed_retry_hops
+        self._hit_streak = 0
+
+    def _decide(self, window_due: bool, fallback_hit: bool,
+                time_s: float) -> Detection | None:
+        """Turn this sample's evidence into (at most) one detection."""
+        cfg = self.config
+        window_ready = self._filled >= cfg.window_samples
+        if window_due and window_ready and self._cnn_shed:
+            # Load shedding: skip the CNN for shed_retry_hops hops, then
+            # give it one probe inference to prove it recovered.
+            self._shed_hops_left -= 1
+            if self._shed_hops_left <= 0:
+                self._cnn_shed = False
+                self._consecutive_violations = 0
+        if window_due and window_ready and self._cnn_available:
+            prob = self._infer()
+            if prob is not None:
+                if prob >= cfg.threshold:
+                    self._hit_streak += 1
+                    if self._hit_streak >= cfg.consecutive_required:
+                        return Detection(
+                            sample_index=self._sample_index,
+                            time_s=time_s,
+                            probability=prob,
+                            source="cnn",
+                        )
+                else:
+                    self._hit_streak = 0
+                return None
+        # CNN unavailable (shed / no model / dead gyro) or still warming
+        # up: the fallback guards the airbag.
+        if fallback_hit and (not self._cnn_available or not window_ready):
+            self.fallback_detections += 1
+            self._metrics.counter("detector/fallback_detections").inc()
+            return Detection(
+                sample_index=self._sample_index,
+                time_s=time_s,
+                probability=1.0,
+                source="fallback",
+            )
         return None
 
-    def run(self, accel_g: np.ndarray, gyro_dps: np.ndarray) -> list[Detection]:
+    # ------------------------------------------------------------------
+    # streaming API
+    # ------------------------------------------------------------------
+    def push(self, accel_g, gyro_dps, t: float | None = None) -> Detection | None:
+        """Feed one sample; returns a :class:`Detection` when a path fires.
+
+        The inference cadence matches the offline segmentation: the first
+        window is evaluated once full, then every ``hop_samples``.  ``t``
+        is the sample timestamp in seconds; when provided, missing samples
+        are detected from the inter-arrival time — short gaps (≤
+        ``max_gap_ms``) are bridged with linearly interpolated fill
+        samples, longer ones reset the streaming state.  Without
+        timestamps the stream is assumed gapless at the nominal rate.
+        """
+        accel_g = np.asarray(accel_g, dtype=float).reshape(3)
+        gyro_dps = np.asarray(gyro_dps, dtype=float).reshape(3)
+        n_fill, long_gap, clock_anomaly = self._handle_timestamp(t)
+        accel, gyro, data_anomaly = self._validate(accel_g, gyro_dps)
+        anomaly = data_anomaly or clock_anomaly
+        detection: Detection | None = None
+        dt_nom = 1.0 / self.config.fs
+        if long_gap:
+            self._reset_stream_state()
+            anomaly = True
+        elif (n_fill and self._prev_fill_anchor is not None
+              and self._last_t is not None):
+            # Bridge the gap: causal interpolation between the last good
+            # sample and the one that just arrived.
+            prev = self._prev_fill_anchor
+            for j in range(1, n_fill + 1):
+                frac = j / (n_fill + 1)
+                filler = prev + frac * (np.concatenate([accel, gyro]) - prev)
+                fill_t = self._last_t + j * dt_nom
+                self._sample_index += 1
+                fb = (self._fallback.push(filler[:3])
+                      if self._fallback is not None else False)
+                due = self._ingest(filler[:3], filler[3:])
+                hit = self._decide(due, fb, fill_t)
+                detection = detection or hit
+            self.gap_filled_samples += n_fill
+            self._metrics.counter("detector/gap_filled_samples").inc(n_fill)
+            anomaly = True
+        self._sample_index += 1
+        time_s = t if t is not None else self._sample_index / self.config.fs
+        self._last_t = t
+        self._prev_fill_anchor = np.concatenate([accel, gyro])
+        fallback_hit = (self._fallback.push(accel)
+                        if self._fallback is not None else False)
+        window_due = self._ingest(accel, gyro)
+        self._update_health(anomaly)
+        hit = self._decide(window_due, fallback_hit, time_s)
+        return detection or hit
+
+    def run(
+        self,
+        accel_g: np.ndarray,
+        gyro_dps: np.ndarray,
+        t: np.ndarray | None = None,
+    ) -> list[Detection]:
         """Convenience: stream whole arrays; returns every detection."""
         accel_g = np.asarray(accel_g, dtype=float)
         gyro_dps = np.asarray(gyro_dps, dtype=float)
         detections = []
         for i in range(accel_g.shape[0]):
-            hit = self.push(accel_g[i], gyro_dps[i])
+            hit = self.push(
+                accel_g[i], gyro_dps[i],
+                t=None if t is None else float(t[i]),
+            )
             if hit is not None:
                 detections.append(hit)
         return detections
@@ -226,6 +722,12 @@ class AirbagController:
     States: ``armed`` → (trigger) → ``inflating`` → (+inflation time) →
     ``deployed``.  Once triggered it never re-arms within a trial — a real
     airbag is single-shot.
+
+    Fail-safe contract: detector trouble can never disarm the bag.  An
+    exception escaping ``detector.push`` (which the hardened detector
+    itself should prevent) is contained and counted rather than
+    propagated, and fallback-sourced detections latch the trigger exactly
+    like CNN ones.
     """
 
     def __init__(self, detector: FallDetector, inflation_ms: float = 150.0):
@@ -234,10 +736,16 @@ class AirbagController:
         self.detector = detector
         self.inflation_ms = float(inflation_ms)
         self.trigger: Detection | None = None
+        self.detector_errors = 0
 
     @property
     def state(self) -> str:
         return "armed" if self.trigger is None else "triggered"
+
+    @property
+    def detector_health(self) -> str:
+        """The detector's health state (see :mod:`repro.core.detector`)."""
+        return self.detector.health
 
     @property
     def deployed_at_s(self) -> float | None:
@@ -246,9 +754,17 @@ class AirbagController:
             return None
         return self.trigger.time_s + self.inflation_ms / 1000.0
 
-    def push(self, accel_g, gyro_dps) -> Detection | None:
+    def push(self, accel_g, gyro_dps, t: float | None = None) -> Detection | None:
         """Feed one sample; latches the first detection."""
-        hit = self.detector.push(accel_g, gyro_dps)
+        try:
+            hit = self.detector.push(accel_g, gyro_dps, t=t)
+        except Exception:
+            # Fail-safe: a buggy detector must not take the controller
+            # down mid-trial; stay armed and keep feeding samples.
+            self.detector_errors += 1
+            get_registry().counter("airbag/detector_errors").inc()
+            _logger.exception("detector raised inside AirbagController.push")
+            return None
         if hit is not None and self.trigger is None:
             self.trigger = hit
             return hit

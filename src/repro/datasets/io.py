@@ -13,6 +13,7 @@ import json
 
 import numpy as np
 
+from ..utils import atomic_write
 from .schema import Dataset, Recording
 
 __all__ = ["save_dataset", "load_dataset"]
@@ -50,17 +51,38 @@ def save_dataset(dataset: Dataset, path) -> None:
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(path, **arrays)
+    # Atomic: a crash mid-save never leaves a truncated npz at `path`.
+    with atomic_write(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
 
 
 def load_dataset(path) -> Dataset:
-    """Read a dataset written by :func:`save_dataset`."""
+    """Read a dataset written by :func:`save_dataset`.
+
+    Raises a clear :class:`ValueError` (naming the file and what was
+    found) when the file is not a dataset snapshot or was written by an
+    incompatible format version, instead of failing deep in array
+    indexing.
+    """
     with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-        if meta.get("format") != _FORMAT_VERSION:
+        if "meta" not in data:
             raise ValueError(
-                f"unsupported dataset snapshot format {meta.get('format')!r}"
+                f"{path}: not a repro dataset snapshot (no 'meta' entry; "
+                "expected a file written by save_dataset)"
             )
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        found = meta.get("format")
+        if found != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported dataset snapshot format {found!r} "
+                f"(this build reads format {_FORMAT_VERSION}); "
+                "regenerate the snapshot with save_dataset"
+            )
+        for key in ("name", "frame", "recordings"):
+            if key not in meta:
+                raise ValueError(
+                    f"{path}: dataset snapshot metadata is missing {key!r}"
+                )
         recordings = []
         for i, info in enumerate(meta["recordings"]):
             recordings.append(

@@ -18,6 +18,7 @@ __all__ = [
     "render_table4",
     "render_edge_report",
     "render_profile_report",
+    "render_faults_report",
     "aggregate_fold_metrics",
 ]
 
@@ -222,3 +223,59 @@ def render_profile_report(result: dict, title="Profile report") -> str:
         f"stream_detections={result['stream_detections']}"
     )
     return "\n".join(lines)
+
+
+def render_faults_report(results: dict, title="Fault-scenario robustness") -> str:
+    """Clean-vs-faulted comparison table from ``run_fault_scenarios``.
+
+    One row per scenario with event-level sensitivity / false-alarm rate,
+    their deltas against the clean baseline, the worst health state the
+    detector reached, and the headline anomaly counters.
+    """
+
+    def _fmt_rate(value):
+        return "-" if value != value else f"{value:6.1f}"  # NaN-safe
+
+    def _fmt_delta(value, clean):
+        if value != value or clean != clean:
+            return "-"
+        return f"{value - clean:+6.1f}"
+
+    clean = results["clean"]
+    rows = []
+    for name, stats in [("clean", clean)] + sorted(
+        results["scenarios"].items()
+    ):
+        worst = stats["states_seen"][-1] if stats["states_seen"] else "-"
+        for state in ("fault", "degraded", "healthy"):
+            if state in stats["states_seen"]:
+                worst = state
+                break
+        rows.append([
+            name,
+            f"{stats['falls_detected']}/{stats['falls']}",
+            _fmt_rate(stats["sensitivity"]),
+            "-" if name == "clean" else _fmt_delta(
+                stats["sensitivity"], clean["sensitivity"]),
+            _fmt_rate(stats["false_alarm_rate"]),
+            "-" if name == "clean" else _fmt_delta(
+                stats["false_alarm_rate"], clean["false_alarm_rate"]),
+            worst,
+            f"{stats['repaired_samples']}",
+            f"{stats['gap_filled_samples']}",
+            f"{stats['stream_resets']}",
+            f"{stats['fallback_detections']}",
+            f"{stats['deadline_violations']}",
+        ])
+    table = format_table(
+        ["Scenario", "Falls", "Sens %", "ΔSens", "ADL FP %", "ΔFP",
+         "Worst health", "Repaired", "Gap-fill", "Resets", "Fallback",
+         "Deadline viol."],
+        rows, title=title,
+    )
+    footer = (
+        f"stream subject: {results['stream_subject']}  "
+        f"recordings: {results['recordings']}  "
+        f"detector mode: {results['mode']}"
+    )
+    return f"{table}\n{footer}"

@@ -2,6 +2,7 @@
 
 from .configs import BENCH, PAPER, QUICK, ExperimentScale, get_scale
 from .edge_runner import run_edge_experiment
+from .faults_runner import run_fault_scenarios, stream_recording
 from .figures import fall_anatomy, run_figure1, run_figure2_pipeline
 from .runners import (
     build_experiment_dataset,
@@ -33,6 +34,8 @@ __all__ = [
     "run_ablations",
     "run_cross_dataset",
     "run_profile_workload",
+    "run_fault_scenarios",
+    "stream_recording",
     "experiment_durations",
     "run_edge_experiment",
     "fall_anatomy",

@@ -461,7 +461,7 @@ def run_profile_workload(
                 for recording in recordings:
                     # One trial per recording: fresh airbag (single-shot),
                     # fresh stream state; deadline stats accumulate.
-                    detector.reset()
+                    detector.reset(preserve_latency_stats=True)
                     airbag = AirbagController(detector)
                     for i in range(recording.n_samples):
                         if airbag.push(recording.accel[i],

@@ -1,0 +1,260 @@
+"""Deterministic sensor-fault injectors for IMU sample streams.
+
+Real wearable streams are nothing like the clean arrays the offline
+pipeline sees: samples go missing, readings saturate at the sensor rails,
+channels freeze, packets arrive late, whole sensors die.  Each injector
+here models one such failure as a pure function on a timestamped stream
+``(t, accel, gyro)`` — arrays of shape ``(n,)``, ``(n, 3)``, ``(n, 3)`` —
+restricted to an *active mask* supplied by the scheduling layer
+(:class:`~repro.faults.scenario.FaultScenario`).
+
+Injectors never mutate their inputs and draw all randomness from the RNG
+they are handed, so a seeded scenario replays bit-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultInjector",
+    "SampleDropout",
+    "Gap",
+    "NonFinite",
+    "Saturation",
+    "StuckChannel",
+    "SpikeNoise",
+    "ClockJitter",
+    "SensorDead",
+]
+
+#: Channel indices of the raw 6-channel stream: accel x/y/z then gyro x/y/z.
+_ACCEL_CHANNELS = (0, 1, 2)
+_GYRO_CHANNELS = (3, 4, 5)
+
+
+class FaultInjector:
+    """Base class: transform a timestamped stream where ``mask`` is True.
+
+    ``apply`` returns a new ``(t, accel, gyro)`` triple; rows may be
+    dropped (gaps) but never reordered, and timestamps stay strictly
+    increasing unless the injector explicitly models clock trouble.
+    """
+
+    def apply(
+        self,
+        t: np.ndarray,
+        accel: np.ndarray,
+        gyro: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+def _split(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return values[:, :3], values[:, 3:]
+
+
+def _joined(accel: np.ndarray, gyro: np.ndarray) -> np.ndarray:
+    return np.concatenate([accel, gyro], axis=1)
+
+
+@dataclass(frozen=True)
+class SampleDropout(FaultInjector):
+    """Each active sample is lost independently with probability ``rate``
+    — the radio-packet-loss view of a wireless IMU."""
+
+    rate: float = 0.1
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        drop = mask & (rng.random(t.shape[0]) < self.rate)
+        keep = ~drop
+        return t[keep], accel[keep], gyro[keep]
+
+
+@dataclass(frozen=True)
+class Gap(FaultInjector):
+    """Every active sample is lost — a contiguous window models a burst
+    outage (connection drop, firmware stall)."""
+
+    def apply(self, t, accel, gyro, mask, rng):
+        keep = ~mask
+        return t[keep], accel[keep], gyro[keep]
+
+
+@dataclass(frozen=True)
+class NonFinite(FaultInjector):
+    """Active readings are replaced by NaN/±Inf with probability ``rate``.
+
+    ``value`` selects the poison: ``"nan"``, ``"+inf"``, ``"-inf"`` or
+    ``"mixed"`` (each corrupted entry draws one of the three).  ``channels``
+    restricts corruption to those raw-channel indices (0-2 accel, 3-5
+    gyro); ``None`` corrupts any channel.
+    """
+
+    rate: float = 0.05
+    value: str = "nan"
+    channels: tuple | None = None
+
+    def __post_init__(self):
+        if self.value not in ("nan", "+inf", "-inf", "mixed"):
+            raise ValueError(f"unknown value kind {self.value!r}")
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        raw = _joined(accel, gyro)
+        channels = self.channels if self.channels is not None else range(6)
+        hit = rng.random((t.shape[0], 6)) < self.rate
+        hit &= mask[:, None]
+        allowed = np.zeros(6, dtype=bool)
+        allowed[list(channels)] = True
+        hit &= allowed[None, :]
+        if self.value == "mixed":
+            poison = rng.choice(
+                [np.nan, np.inf, -np.inf], size=hit.sum()
+            )
+        else:
+            poison = {"nan": np.nan, "+inf": np.inf, "-inf": -np.inf}[self.value]
+        raw = raw.copy()
+        raw[hit] = poison
+        a, g = _split(raw)
+        return t, a, g
+
+
+@dataclass(frozen=True)
+class Saturation(FaultInjector):
+    """Readings clip at the sensor rails — a low-range IMU (e.g. a ±2 g
+    accelerometer) pegged by fall dynamics."""
+
+    accel_range_g: float = 2.0
+    gyro_range_dps: float = 300.0
+
+    def __post_init__(self):
+        if self.accel_range_g <= 0 or self.gyro_range_dps <= 0:
+            raise ValueError("saturation ranges must be positive")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        accel = accel.copy()
+        gyro = gyro.copy()
+        accel[mask] = np.clip(accel[mask], -self.accel_range_g, self.accel_range_g)
+        gyro[mask] = np.clip(gyro[mask], -self.gyro_range_dps, self.gyro_range_dps)
+        return t, accel, gyro
+
+
+@dataclass(frozen=True)
+class StuckChannel(FaultInjector):
+    """One raw channel (0-2 accel, 3-5 gyro) freezes at its first active
+    value — a stuck-at ADC or a torn flex cable."""
+
+    channel: int = 3
+
+    def __post_init__(self):
+        if not 0 <= self.channel < 6:
+            raise ValueError(f"channel must be in [0, 6), got {self.channel}")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        idx = np.flatnonzero(mask)
+        if idx.size == 0:
+            return t, accel, gyro
+        raw = _joined(accel, gyro).copy()
+        raw[idx, self.channel] = raw[idx[0], self.channel]
+        a, g = _split(raw)
+        return t, a, g
+
+
+@dataclass(frozen=True)
+class SpikeNoise(FaultInjector):
+    """Large additive spikes on random active samples — ESD/vibration hits
+    that survive the anti-aliasing filter."""
+
+    rate: float = 0.02
+    accel_amp_g: float = 8.0
+    gyro_amp_dps: float = 500.0
+
+    def __post_init__(self):
+        if not 0.0 < self.rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        n = t.shape[0]
+        hit = mask & (rng.random(n) < self.rate)
+        accel = accel.copy()
+        gyro = gyro.copy()
+        signs = rng.choice([-1.0, 1.0], size=(int(hit.sum()), 3))
+        axis = rng.integers(0, 3, size=int(hit.sum()))
+        onehot = np.zeros((int(hit.sum()), 3))
+        onehot[np.arange(int(hit.sum())), axis] = 1.0
+        accel[hit] += signs * onehot * self.accel_amp_g
+        gyro[hit] += signs * onehot * self.gyro_amp_dps
+        return t, accel, gyro
+
+
+@dataclass(frozen=True)
+class ClockJitter(FaultInjector):
+    """Timestamp trouble: per-sample jitter plus linear clock drift.
+
+    Timestamps are perturbed (``t' = t + drift·(t - t₀) + ε``) and then
+    re-monotonised, so downstream consumers still see a non-decreasing
+    clock — just not the nominal 100 Hz grid.
+    """
+
+    jitter_std_s: float = 0.002
+    drift: float = 0.0
+
+    def __post_init__(self):
+        if self.jitter_std_s < 0:
+            raise ValueError("jitter_std_s must be non-negative")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        t = t.astype(float).copy()
+        noise = rng.normal(0.0, self.jitter_std_s, size=t.shape[0])
+        t0 = t[0] if t.size else 0.0
+        perturbed = t + self.drift * (t - t0) + noise
+        t[mask] = perturbed[mask]
+        # A wearable's packetiser stamps monotonically even when the
+        # oscillator wanders; reproduce that.
+        t = np.maximum.accumulate(t)
+        return t, accel, gyro
+
+
+@dataclass(frozen=True)
+class SensorDead(FaultInjector):
+    """A whole sensor fails: every active reading becomes zero, NaN, or a
+    freeze of its last healthy value."""
+
+    sensor: str = "gyro"
+    mode: str = "zero"
+
+    def __post_init__(self):
+        if self.sensor not in ("accel", "gyro"):
+            raise ValueError(f"sensor must be 'accel' or 'gyro', got {self.sensor!r}")
+        if self.mode not in ("zero", "nan", "freeze"):
+            raise ValueError(f"mode must be zero/nan/freeze, got {self.mode!r}")
+
+    def apply(self, t, accel, gyro, mask, rng):
+        target = accel if self.sensor == "accel" else gyro
+        target = target.copy()
+        idx = np.flatnonzero(mask)
+        if idx.size:
+            if self.mode == "zero":
+                target[idx] = 0.0
+            elif self.mode == "nan":
+                target[idx] = np.nan
+            else:  # freeze at the last value before the failure
+                frozen = target[idx[0] - 1] if idx[0] > 0 else target[idx[0]]
+                target[idx] = frozen
+        if self.sensor == "accel":
+            return t, target, gyro
+        return t, accel, target

@@ -1,0 +1,173 @@
+"""Fault scheduling: compose injectors into a replayable scenario.
+
+A :class:`FaultScenario` is an ordered list of :class:`FaultWindow`
+entries — *which* injector is active *when* — plus a seed.  Applying a
+scenario to a recording (or raw arrays) runs every window in order, each
+with its own child RNG, so results are deterministic and independent of
+how many faults precede a given window.
+
+Windows schedule either in absolute seconds or as fractions of the stream
+duration (``fraction=True``), which lets the built-in scenarios place a
+burst "mid-recording" regardless of trial length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .injectors import (
+    ClockJitter,
+    FaultInjector,
+    Gap,
+    NonFinite,
+    SampleDropout,
+    Saturation,
+    SensorDead,
+    SpikeNoise,
+    StuckChannel,
+)
+
+__all__ = ["FaultWindow", "FaultScenario", "builtin_scenarios"]
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injector active over ``[start, end)``.
+
+    ``end=None`` means "until the end of the stream".  With
+    ``fraction=True`` the bounds are fractions of the stream duration
+    instead of seconds.
+    """
+
+    injector: FaultInjector
+    start: float = 0.0
+    end: float | None = None
+    fraction: bool = False
+
+    def __post_init__(self):
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"end ({self.end}) must exceed start ({self.start})")
+        if self.fraction and (self.start > 1 or (self.end or 0) > 1):
+            raise ValueError("fractional bounds must lie in [0, 1]")
+
+    def mask(self, t: np.ndarray) -> np.ndarray:
+        if t.size == 0:
+            return np.zeros(0, dtype=bool)
+        start, end = self.start, self.end
+        if self.fraction:
+            t0, t1 = float(t[0]), float(t[-1])
+            span = t1 - t0
+            start = t0 + start * span
+            end = None if end is None else t0 + end * span
+        out = t >= start
+        if end is not None:
+            out &= t < end
+        return out
+
+
+class FaultScenario:
+    """A named, seeded schedule of fault windows over a sample stream."""
+
+    def __init__(self, name: str, windows, seed: int = 0):
+        self.name = str(name)
+        self.windows: tuple[FaultWindow, ...] = tuple(windows)
+        self.seed = int(seed)
+        for w in self.windows:
+            if not isinstance(w, FaultWindow):
+                raise TypeError(f"expected FaultWindow, got {type(w).__name__}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(w.injector.name for w in self.windows)
+        return f"FaultScenario({self.name!r}, [{inner}], seed={self.seed})"
+
+    def apply_arrays(
+        self, t: np.ndarray, accel: np.ndarray, gyro: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run every window in order; returns new ``(t, accel, gyro)``."""
+        t = np.asarray(t, dtype=float)
+        accel = np.asarray(accel, dtype=float)
+        gyro = np.asarray(gyro, dtype=float)
+        if not (t.shape[0] == accel.shape[0] == gyro.shape[0]):
+            raise ValueError(
+                f"stream lengths differ: t={t.shape[0]}, "
+                f"accel={accel.shape[0]}, gyro={gyro.shape[0]}"
+            )
+        root = np.random.default_rng(self.seed)
+        # One child RNG per window, split up front so a window's draws do
+        # not depend on how much data earlier windows dropped.
+        children = root.spawn(len(self.windows)) if self.windows else []
+        for window, rng in zip(self.windows, children):
+            mask = window.mask(t)
+            t, accel, gyro = window.injector.apply(t, accel, gyro, mask, rng)
+        return t, accel, gyro
+
+    def apply(self, recording) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Fault a :class:`~repro.datasets.schema.Recording`'s streams.
+
+        Returns ``(t, accel, gyro)`` — the Euler channels are *not*
+        propagated because the streaming detector computes its own fusion
+        from the (faulted) accel/gyro, exactly like the firmware would.
+        """
+        n = recording.n_samples
+        t = np.arange(n, dtype=float) / recording.fs
+        return self.apply_arrays(t, recording.accel, recording.gyro)
+
+
+def builtin_scenarios(seed: int = 7) -> dict[str, FaultScenario]:
+    """The standard fault suite the evaluation harness replays.
+
+    Every scenario is deterministic given ``seed``.  Coverage, roughly in
+    increasing order of severity: packet loss, a burst outage, NaN bursts,
+    rail saturation, a stuck gyro axis, spike noise, clock jitter/drift,
+    and a dead gyroscope.
+    """
+    w = FaultWindow
+    return {
+        "dropout": FaultScenario(
+            "dropout", [w(SampleDropout(rate=0.08))], seed=seed
+        ),
+        "burst_gap": FaultScenario(
+            "burst_gap",
+            [w(Gap(), start=0.35, end=0.45, fraction=True)],
+            seed=seed,
+        ),
+        "nan_burst": FaultScenario(
+            "nan_burst",
+            [
+                w(NonFinite(rate=0.02, value="nan")),
+                w(NonFinite(rate=0.5, value="mixed"),
+                  start=0.3, end=0.5, fraction=True),
+            ],
+            seed=seed,
+        ),
+        "saturation": FaultScenario(
+            "saturation",
+            [w(Saturation(accel_range_g=2.0, gyro_range_dps=250.0))],
+            seed=seed,
+        ),
+        "stuck_axis": FaultScenario(
+            "stuck_axis",
+            [w(StuckChannel(channel=4), start=0.25, fraction=True)],
+            seed=seed,
+        ),
+        "spikes": FaultScenario(
+            "spikes",
+            [w(SpikeNoise(rate=0.03))],
+            seed=seed,
+        ),
+        "clock_jitter": FaultScenario(
+            "clock_jitter",
+            [w(ClockJitter(jitter_std_s=0.002, drift=0.02))],
+            seed=seed,
+        ),
+        "gyro_dead": FaultScenario(
+            "gyro_dead",
+            [w(SensorDead(sensor="gyro", mode="zero"),
+               start=0.2, fraction=True)],
+            seed=seed,
+        ),
+    }

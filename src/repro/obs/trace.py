@@ -200,9 +200,15 @@ class TraceCollector:
             self._records.clear()
 
     def export_jsonl(self, path) -> int:
-        """Write one JSON object per span; returns the record count."""
+        """Write one JSON object per span; returns the record count.
+
+        The write is atomic (temp file + ``os.replace``), so a crash
+        mid-export never leaves a truncated trace behind.
+        """
+        from ..utils import atomic_write
+
         records = self.records()
-        with open(path, "w", encoding="utf-8") as fh:
+        with atomic_write(path) as fh:
             for record in records:
                 fh.write(json.dumps(record.to_json()) + "\n")
         return len(records)

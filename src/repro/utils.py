@@ -1,0 +1,41 @@
+"""Small shared utilities with no internal dependencies."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+
+__all__ = ["atomic_write"]
+
+
+@contextmanager
+def atomic_write(path, mode: str = "w", encoding: str | None = None):
+    """Write to ``path`` atomically: temp file in the same directory, then
+    ``os.replace`` into place.
+
+    A crash (or full disk) mid-write never leaves a truncated artifact at
+    ``path`` — the destination either keeps its previous content or gets
+    the complete new one.  Text modes default to UTF-8.
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write only supports write modes, got {mode!r}")
+    if "b" not in mode and encoding is None:
+        encoding = "utf-8"
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

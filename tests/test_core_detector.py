@@ -66,6 +66,38 @@ class TestInferenceCadence:
                 for _ in range(19)]
         assert not any(hits)  # window not full yet after reset
 
+    def test_reset_is_indistinguishable_from_fresh(self):
+        """Same input stream -> identical detections and reports, whether
+        the detector is freshly built or reset after a messy first life."""
+        subject = make_subjects("DT", 1, seed=1)[0]
+        rec = synthesize_recording(TASKS[30], subject, base_seed=4)
+        cfg = DetectorConfig(deadline_ms=0.0)   # every inference violates
+
+        def _capture(detector):
+            hits = detector.run(rec.accel, rec.gyro)
+            latency = detector.latency_report()
+            # Only the deterministic latency fields; measured ms vary.
+            counts = {k: latency[k] for k in ("inferences", "violations",
+                                              "violation_rate")}
+            return ([(h.sample_index, h.time_s, h.probability, h.source)
+                     for h in hits],
+                    detector.health_report(), counts)
+
+        fresh = FallDetector(_MagnitudeModel(), cfg)
+        expected = _capture(fresh)
+
+        recycled = FallDetector(_MagnitudeModel(), cfg)
+        # A messy first life: NaNs, a long gap, plenty of violations.
+        recycled.push(np.full(3, np.nan), np.zeros(3), t=0.0)
+        recycled.run(rec.accel[:200], rec.gyro[:200])
+        assert recycled.deadline_violations > 0
+        recycled.reset()
+        assert recycled.deadline_violations == 0
+        assert recycled.latency_report()["inferences"] == 0
+        assert recycled.health == "healthy"
+        assert recycled.health_transitions == []
+        assert _capture(recycled) == expected
+
 
 class TestOnSyntheticFall:
     @pytest.fixture(scope="class")

@@ -53,14 +53,33 @@ class TestDatasetIO:
         assert loaded.frame == "kfall"
         assert loaded[0].accel_unit == "m/s^2"
 
-    def test_bad_format_rejected(self, tmp_path):
+    def test_bad_format_error_names_found_version(self, tmp_path):
         import json
 
         path = tmp_path / "bad.npz"
         meta = np.frombuffer(json.dumps({"format": 99}).encode(),
                              dtype=np.uint8)
         np.savez(path, meta=meta)
-        with pytest.raises(ValueError, match="format"):
+        with pytest.raises(ValueError, match="format 99"):
+            load_dataset(path)
+
+    def test_missing_meta_entry_rejected(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="no 'meta' entry"):
+            load_dataset(path)
+
+    def test_missing_meta_key_names_the_key(self, tmp_path):
+        import json
+
+        path = tmp_path / "partial.npz"
+        meta = np.frombuffer(
+            json.dumps({"format": 1, "frame": "selfcollected",
+                        "recordings": []}).encode(),
+            dtype=np.uint8,
+        )
+        np.savez(path, meta=meta)
+        with pytest.raises(ValueError, match="'name'"):
             load_dataset(path)
 
 

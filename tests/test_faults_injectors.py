@@ -1,0 +1,244 @@
+"""Fault injectors, windows, and scenario scheduling (repro.faults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ClockJitter,
+    FaultScenario,
+    FaultWindow,
+    Gap,
+    NonFinite,
+    SampleDropout,
+    Saturation,
+    SensorDead,
+    SpikeNoise,
+    StuckChannel,
+    builtin_scenarios,
+)
+
+
+def _stream(n=500, fs=100.0, seed=0):
+    """A plausible clean stream: gravity + noise accel, noisy gyro."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=float) / fs
+    accel = rng.normal(0.0, 0.05, size=(n, 3)) + np.array([0.0, 0.0, 1.0])
+    gyro = rng.normal(0.0, 5.0, size=(n, 3))
+    return t, accel, gyro
+
+
+def _rng():
+    return np.random.default_rng(42)
+
+
+class TestInjectors:
+    def test_dropout_removes_roughly_rate_and_keeps_order(self):
+        t, a, g = _stream(2000)
+        mask = np.ones(2000, dtype=bool)
+        t2, a2, g2 = SampleDropout(rate=0.2).apply(t, a, g, mask, _rng())
+        assert 0.7 < t2.size / t.size < 0.9
+        assert (np.diff(t2) > 0).all()
+        assert a2.shape[0] == g2.shape[0] == t2.shape[0]
+
+    def test_dropout_respects_mask(self):
+        t, a, g = _stream(400)
+        mask = t < 1.0  # only the first second may lose samples
+        t2, _, _ = SampleDropout(rate=0.5).apply(t, a, g, mask, _rng())
+        assert np.isin(t[~mask], t2).all()
+
+    def test_gap_deletes_exactly_the_window(self):
+        t, a, g = _stream(300)
+        mask = (t >= 1.0) & (t < 2.0)
+        t2, a2, _ = Gap().apply(t, a, g, mask, _rng())
+        assert t2.size == t.size - mask.sum()
+        assert not ((t2 >= 1.0) & (t2 < 2.0)).any()
+
+    def test_nonfinite_poisons_only_allowed_channels(self):
+        t, a, g = _stream(1000)
+        mask = np.ones(1000, dtype=bool)
+        inj = NonFinite(rate=0.3, value="nan", channels=(0, 4))
+        _, a2, g2 = inj.apply(t, a, g, mask, _rng())
+        assert np.isnan(a2[:, 0]).any()
+        assert np.isnan(g2[:, 1]).any()
+        assert np.isfinite(a2[:, 1:]).all()
+        assert np.isfinite(g2[:, [0, 2]]).all()
+
+    def test_nonfinite_mixed_draws_all_three_poisons(self):
+        t, a, g = _stream(3000)
+        mask = np.ones(3000, dtype=bool)
+        _, a2, g2 = NonFinite(rate=0.2, value="mixed").apply(
+            t, a, g, mask, _rng()
+        )
+        raw = np.concatenate([a2, g2], axis=1)
+        assert np.isnan(raw).any()
+        assert (raw == np.inf).any()
+        assert (raw == -np.inf).any()
+
+    def test_saturation_clips_only_inside_mask(self):
+        t, a, g = _stream(200)
+        a = a * 10.0   # well beyond a 2 g rail
+        mask = t < 1.0
+        _, a2, g2 = Saturation(accel_range_g=2.0).apply(t, a, g, mask, _rng())
+        assert (np.abs(a2[mask]) <= 2.0).all()
+        np.testing.assert_array_equal(a2[~mask], a[~mask])
+        assert (np.abs(g2[mask]) <= 300.0).all()
+
+    def test_stuck_channel_freezes_one_channel(self):
+        t, a, g = _stream(300)
+        mask = t >= 1.0
+        _, a2, g2 = StuckChannel(channel=4).apply(t, a, g, mask, _rng())
+        frozen = g2[mask][:, 1]
+        assert (frozen == frozen[0]).all()
+        np.testing.assert_array_equal(a2, a)           # other channels intact
+        np.testing.assert_array_equal(g2[:, [0, 2]], g[:, [0, 2]])
+
+    def test_spikes_add_large_single_axis_hits(self):
+        t, a, g = _stream(2000)
+        mask = np.ones(2000, dtype=bool)
+        _, a2, _ = SpikeNoise(rate=0.05, accel_amp_g=8.0).apply(
+            t, a, g, mask, _rng()
+        )
+        delta = np.abs(a2 - a)
+        hit_rows = (delta > 1.0).any(axis=1)
+        assert 0 < hit_rows.sum() < 2000
+        # One axis per hit: exactly one channel moved on each spiked row.
+        assert ((delta[hit_rows] > 1.0).sum(axis=1) == 1).all()
+
+    def test_clock_jitter_keeps_timestamps_monotone(self):
+        t, a, g = _stream(500)
+        mask = np.ones(500, dtype=bool)
+        t2, a2, _ = ClockJitter(jitter_std_s=0.004, drift=0.05).apply(
+            t, a, g, mask, _rng()
+        )
+        assert (np.diff(t2) >= 0).all()
+        assert not np.allclose(t2, t)
+        np.testing.assert_array_equal(a2, a)   # data untouched
+
+    @pytest.mark.parametrize("mode", ["zero", "nan", "freeze"])
+    def test_sensor_dead_modes(self, mode):
+        t, a, g = _stream(300)
+        mask = t >= 1.5
+        _, a2, g2 = SensorDead(sensor="gyro", mode=mode).apply(
+            t, a, g, mask, _rng()
+        )
+        np.testing.assert_array_equal(a2, a)
+        dead = g2[mask]
+        if mode == "zero":
+            assert (dead == 0.0).all()
+        elif mode == "nan":
+            assert np.isnan(dead).all()
+        else:
+            assert (dead == dead[0]).all()
+
+    def test_injectors_never_mutate_inputs(self):
+        t, a, g = _stream(400)
+        t0, a0, g0 = t.copy(), a.copy(), g.copy()
+        mask = np.ones(400, dtype=bool)
+        for inj in (SampleDropout(0.3), Gap(), NonFinite(rate=0.3),
+                    Saturation(0.5, 1.0), StuckChannel(0), SpikeNoise(0.2),
+                    ClockJitter(0.01), SensorDead("accel", "nan")):
+            inj.apply(t, a, g, mask, _rng())
+            np.testing.assert_array_equal(t, t0)
+            np.testing.assert_array_equal(a, a0)
+            np.testing.assert_array_equal(g, g0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SampleDropout(rate=1.5)
+        with pytest.raises(ValueError):
+            NonFinite(value="zero")
+        with pytest.raises(ValueError):
+            Saturation(accel_range_g=-1.0)
+        with pytest.raises(ValueError):
+            StuckChannel(channel=6)
+        with pytest.raises(ValueError):
+            SpikeNoise(rate=0.0)
+        with pytest.raises(ValueError):
+            ClockJitter(jitter_std_s=-0.001)
+        with pytest.raises(ValueError):
+            SensorDead(sensor="magnetometer")
+        with pytest.raises(ValueError):
+            SensorDead(mode="explode")
+
+
+class TestFaultWindow:
+    def test_absolute_bounds(self):
+        t = np.arange(500) / 100.0
+        w = FaultWindow(Gap(), start=1.0, end=2.0)
+        mask = w.mask(t)
+        assert mask.sum() == 100
+        assert mask[100] and not mask[99] and not mask[200]
+
+    def test_fractional_bounds_scale_with_duration(self):
+        w = FaultWindow(Gap(), start=0.25, end=0.75, fraction=True)
+        short = np.arange(100) / 100.0
+        long = np.arange(1000) / 100.0
+        assert w.mask(short).mean() == pytest.approx(0.5, abs=0.05)
+        assert w.mask(long).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_open_end_runs_to_stream_end(self):
+        t = np.arange(200) / 100.0
+        mask = FaultWindow(Gap(), start=1.0).mask(t)
+        assert mask[-1] and mask.sum() == 100
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            FaultWindow(Gap(), start=-0.1)
+        with pytest.raises(ValueError):
+            FaultWindow(Gap(), start=2.0, end=1.0)
+        with pytest.raises(ValueError):
+            FaultWindow(Gap(), start=0.2, end=1.5, fraction=True)
+
+
+class TestFaultScenario:
+    def test_seeded_replay_is_bit_identical(self):
+        t, a, g = _stream(800, seed=3)
+        scenario = FaultScenario(
+            "combo",
+            [FaultWindow(SampleDropout(0.1)),
+             FaultWindow(NonFinite(rate=0.05), start=0.3, end=0.7,
+                         fraction=True),
+             FaultWindow(SpikeNoise(0.05))],
+            seed=11,
+        )
+        first = scenario.apply_arrays(t, a, g)
+        second = scenario.apply_arrays(t, a, g)
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(x, y)
+
+    def test_different_seed_changes_draws(self):
+        t, a, g = _stream(800, seed=3)
+        windows = [FaultWindow(SampleDropout(0.1))]
+        one = FaultScenario("s", windows, seed=1).apply_arrays(t, a, g)
+        two = FaultScenario("s", windows, seed=2).apply_arrays(t, a, g)
+        assert one[0].size != two[0].size or not np.array_equal(one[0], two[0])
+
+    def test_length_mismatch_rejected(self):
+        t, a, g = _stream(100)
+        scenario = FaultScenario("s", [FaultWindow(Gap())])
+        with pytest.raises(ValueError, match="lengths"):
+            scenario.apply_arrays(t[:50], a, g)
+
+    def test_non_window_entries_rejected(self):
+        with pytest.raises(TypeError):
+            FaultScenario("s", [Gap()])
+
+    def test_apply_recording_drops_euler(self, tiny_selfcollected):
+        rec = next(r for r in tiny_selfcollected if r.is_fall)
+        scenario = builtin_scenarios(seed=1)["dropout"]
+        t, a, g = scenario.apply(rec)
+        assert a.shape[1] == 3 and g.shape[1] == 3
+        assert t.shape[0] == a.shape[0] <= rec.n_samples
+
+    def test_builtin_registry_covers_the_documented_suite(self):
+        scenarios = builtin_scenarios(seed=5)
+        assert set(scenarios) == {
+            "dropout", "burst_gap", "nan_burst", "saturation",
+            "stuck_axis", "spikes", "clock_jitter", "gyro_dead",
+        }
+        for name, scenario in scenarios.items():
+            assert isinstance(scenario, FaultScenario)
+            assert scenario.name == name
+            assert scenario.windows

@@ -1,0 +1,83 @@
+"""Fault-scenario evaluation harness: runner, report, and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.eval.reports import render_faults_report
+from repro.experiments import run_fault_scenarios, stream_recording
+from repro.experiments.configs import QUICK
+
+
+@pytest.fixture(scope="module")
+def fallback_results():
+    """One fallback-only evaluation shared by every structural test."""
+    return run_fault_scenarios(
+        QUICK, scenarios=["dropout", "gyro_dead"], model=None
+    )
+
+
+class TestRunner:
+    def test_result_structure(self, fallback_results):
+        r = fallback_results
+        assert r["mode"] == "fallback-only"
+        assert set(r["scenarios"]) == {"dropout", "gyro_dead"}
+        for stats in [r["clean"], *r["scenarios"].values()]:
+            assert stats["events"] == r["recordings"]
+            assert stats["falls"] + stats["adls"] == stats["events"]
+            assert 0.0 <= stats["sensitivity"] <= 100.0
+            assert 0.0 <= stats["false_alarm_rate"] <= 100.0
+            assert set(stats["states_seen"]) <= {"healthy", "degraded",
+                                                 "fault"}
+
+    def test_fallback_meets_the_sensitivity_floor(self, fallback_results):
+        assert fallback_results["clean"]["sensitivity"] >= 80.0
+
+    def test_faults_are_visible_in_the_counters(self, fallback_results):
+        assert fallback_results["scenarios"]["dropout"][
+            "gap_filled_samples"] > 0
+        assert "fault" in fallback_results["scenarios"]["gyro_dead"][
+            "states_seen"]
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_fault_scenarios(QUICK, scenarios=["quantum_flu"], model=None)
+
+    def test_report_renders_every_row(self, fallback_results):
+        report = render_faults_report(fallback_results)
+        for token in ("clean", "dropout", "gyro_dead", "Sens %",
+                      "fallback-only"):
+            assert token in report
+        assert "nan" not in report   # NaN rates render as '-'
+
+    def test_stream_recording_verdict(self, fallback_results):
+        from repro.core.detector import DetectorConfig, FallDetector
+        from repro.experiments import build_experiment_dataset
+
+        dataset = build_experiment_dataset(QUICK)
+        fall = next(r for r in dataset if r.is_fall)
+        detector = FallDetector(None, DetectorConfig())
+        verdict = stream_recording(detector, fall)
+        assert verdict["is_fall"]
+        assert "detected" in verdict
+        assert verdict["health"]["health"] in ("healthy", "degraded", "fault")
+
+
+class TestCli:
+    def test_faults_defaults_parsed(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.scenarios is None
+        assert args.epochs == 4
+        assert not args.fallback_only
+        assert args.deadline_ms is None
+
+    def test_faults_prints_comparison_table(self, capsys):
+        code = main(["--scale", "quick", "faults", "--fallback-only",
+                     "--scenarios", "dropout"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fault-scenario robustness" in out
+        assert "clean" in out and "dropout" in out
+        assert "detector mode: fallback-only" in out

@@ -254,12 +254,22 @@ class TestDeadlineMonitor:
         assert report["violations"] == report["inferences"] > 0
         assert report["p50_ms"] >= 5.0
 
-    def test_stats_survive_reset(self):
+    def test_reset_clears_stats_unless_preserved(self):
+        # Default reset leaves the detector indistinguishable from a fresh
+        # one — including the latency histogram and violation counter.
         detector = FallDetector(_SleepyModel(),
-                                DetectorConfig(window_ms=200.0))
+                                DetectorConfig(window_ms=200.0,
+                                               deadline_ms=0.0))
+        self._stream(detector, n=40)
+        assert detector.latency_report()["inferences"] > 0
+        assert detector.deadline_violations > 0
+        detector.reset()
+        assert detector.latency_report()["inferences"] == 0
+        assert detector.deadline_violations == 0
+        # Deployment-wide statistics opt in to surviving a trial reset.
         self._stream(detector, n=40)
         before = detector.latency_report()["inferences"]
-        detector.reset()
+        detector.reset(preserve_latency_stats=True)
         assert detector.latency_report()["inferences"] == before
         self._stream(detector, n=40)
         assert detector.latency_report()["inferences"] > before

@@ -163,3 +163,55 @@ class TestOnlineFilter:
         online = OnlineSosFilter(butter_lowpass_sos(2, 5.0, 100.0), channels=3)
         with pytest.raises(ValueError, match="channels"):
             online.process(np.zeros((4, 2)))
+
+
+class TestWarmUp:
+    """Steady-state priming: the filter must start (and restart after a
+    stream reset) transient-free on DC-offset signals like gravity."""
+
+    def _filter(self, channels=3):
+        return OnlineSosFilter(butter_lowpass_sos(4, 5.0, 100.0),
+                               channels=channels)
+
+    def test_primed_tracks_state_lifecycle(self):
+        online = self._filter()
+        assert not online.primed
+        online.process(np.ones(3))
+        assert online.primed
+        online.reset()
+        assert not online.primed
+        online.reprime(np.ones(3))
+        assert online.primed
+
+    def test_reset_then_constant_passes_transient_free(self):
+        online = self._filter(channels=1)
+        rng = np.random.default_rng(0)
+        online.process(rng.normal(size=(100, 1)))   # a noisy first life
+        online.reset()
+        y = online.process(np.full((30, 1), 2.5))
+        np.testing.assert_allclose(y, 2.5, atol=1e-10)
+
+    def test_reprime_skips_the_post_gap_transient(self):
+        online = self._filter(channels=1)
+        online.process(np.full((50, 1), 5.0))       # settled at 5
+        # After a long gap the stream resumes at a very different level;
+        # without re-priming the old state would ring for many samples.
+        online.reprime(np.array([1.0]))
+        y = online.process(np.full((20, 1), 1.0))
+        np.testing.assert_allclose(y, 1.0, atol=1e-10)
+
+    def test_nonfinite_state_self_heals(self):
+        online = self._filter(channels=1)
+        online.process(np.array([np.nan]))          # poisons the IIR state
+        assert not np.isfinite(online._state).all()
+        y = online.process(np.full((10, 1), 1.5))
+        np.testing.assert_allclose(y, 1.5, atol=1e-10)
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_priming_is_transient_free_for_any_dc_level(self, seed):
+        rng = np.random.default_rng(seed)
+        level = rng.uniform(-20.0, 20.0, size=9)
+        online = self._filter(channels=9)
+        y = online.process(np.tile(level, (15, 1)))
+        np.testing.assert_allclose(y, np.tile(level, (15, 1)), atol=1e-8)

@@ -1,0 +1,80 @@
+"""Atomic file writes (repro.utils) and their call sites."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils import atomic_write
+
+
+def _entries(directory):
+    return sorted(os.listdir(directory))
+
+
+class TestAtomicWrite:
+    def test_text_write_lands_complete(self, tmp_path):
+        path = tmp_path / "out.txt"
+        with atomic_write(path) as fh:
+            fh.write("hello\n")
+        assert path.read_text(encoding="utf-8") == "hello\n"
+        assert _entries(tmp_path) == ["out.txt"]   # no stray temp files
+
+    def test_binary_write(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        with atomic_write(path, "wb") as fh:
+            fh.write(b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        path = tmp_path / "config.json"
+        path.write_text("old", encoding="utf-8")
+        with pytest.raises(RuntimeError):
+            with atomic_write(path) as fh:
+                fh.write("half-writt")
+                raise RuntimeError("disk on fire")
+        assert path.read_text(encoding="utf-8") == "old"
+        assert _entries(tmp_path) == ["config.json"]
+
+    def test_failure_on_fresh_path_leaves_nothing(self, tmp_path):
+        path = tmp_path / "never.txt"
+        with pytest.raises(ValueError):
+            with atomic_write(path) as fh:
+                fh.write("x")
+                raise ValueError("boom")
+        assert _entries(tmp_path) == []
+
+    @pytest.mark.parametrize("mode", ["r", "a", "r+", "w+"])
+    def test_non_write_modes_rejected(self, tmp_path, mode):
+        with pytest.raises(ValueError, match="write modes"):
+            with atomic_write(tmp_path / "x", mode):
+                pass
+
+
+class TestAtomicCallSites:
+    def test_trace_export_leaves_no_temp_files(self, tmp_path):
+        from repro.obs import TraceCollector
+
+        collector = TraceCollector(enabled=True)
+        with collector.span("unit/atomic"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        assert collector.export_jsonl(path) == 1
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert any(json.loads(s)["name"] == "unit/atomic" for s in lines)
+        assert _entries(tmp_path) == ["trace.jsonl"]
+
+    def test_dataset_save_leaves_no_temp_files(self, tmp_path,
+                                               tiny_selfcollected):
+        from repro.datasets import Dataset, load_dataset, save_dataset
+
+        subset = Dataset("tiny", list(tiny_selfcollected)[:2])
+        path = tmp_path / "snap.npz"
+        save_dataset(subset, path)
+        assert _entries(tmp_path) == ["snap.npz"]
+        loaded = load_dataset(path)
+        np.testing.assert_allclose(loaded[0].accel, subset[0].accel,
+                                   atol=1e-6)
