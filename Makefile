@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench profile faults
+.PHONY: test lint check bench profile faults serve-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,3 +23,6 @@ profile:
 faults:
 	$(PYTHON) -m pytest tests -q -k "faults" && \
 	$(PYTHON) -m repro --scale quick faults
+
+serve-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_serve.py -q

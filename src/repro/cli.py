@@ -13,6 +13,7 @@ Usage::
     python -m repro dataset --out corpus.npz --subjects 4
     python -m repro profile --scale quick --trace-out trace.jsonl
     python -m repro faults --scenarios dropout gyro_dead
+    python -m repro serve-bench --streams 32 --duration 8
 
 Every command prints the same paper-vs-measured report the benchmark
 harness archives.  ``--verbose`` (repeatable) turns on the library's
@@ -103,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--deadline-ms", type=float, default=None,
                         help="real-time deadline per window inference "
                              "(default: the hop interval)")
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="multi-stream serving benchmark: micro-batched ServeEngine "
+             "vs sequential per-stream detectors",
+    )
+    serve_bench.add_argument("--streams", type=int, default=32,
+                             help="number of concurrent synthetic streams")
+    serve_bench.add_argument("--duration", type=float, default=8.0,
+                             help="seconds of signal per stream")
+    serve_bench.add_argument("--seed", type=int, default=7,
+                             help="workload generator seed")
     return parser
 
 
@@ -239,6 +251,19 @@ def _cmd_faults(scale, args):
     return render_faults_report(result)
 
 
+def _cmd_serve_bench(args):
+    from .core.architecture import build_lightweight_cnn
+    from .serve import ServeBenchConfig, render_serve_report, run_serve_benchmark
+
+    config = ServeBenchConfig(
+        n_streams=args.streams,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    model = build_lightweight_cnn(config.detector.window_samples)
+    return render_serve_report(run_serve_benchmark(model, config))
+
+
 def _cmd_dataset(args):
     from .core.pipeline import build_merged_dataset
     from .datasets import save_dataset
@@ -283,6 +308,8 @@ def main(argv=None) -> int:
         output = _cmd_profile(scale, args)
     elif args.command == "faults":
         output = _cmd_faults(scale, args)
+    elif args.command == "serve-bench":
+        output = _cmd_serve_bench(args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
     print(output)

@@ -41,7 +41,9 @@ detections fire the bag exactly like CNN ones.
 
 from __future__ import annotations
 
+import math
 import time
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -53,6 +55,7 @@ from ..signal.orientation import ComplementaryFilter
 __all__ = [
     "DetectorConfig",
     "Detection",
+    "WindowRequest",
     "FallDetector",
     "MagnitudeFallback",
     "AirbagController",
@@ -174,6 +177,24 @@ class Detection:
     source: str = "cnn"
 
 
+@dataclass(frozen=True)
+class WindowRequest:
+    """One CNN window inference staged by :meth:`FallDetector.push_collect`.
+
+    Captures everything the deferred decision needs at staging time: a
+    *copy* of the filtered/scaled window (the ring buffer keeps moving),
+    the sample index and timestamp the eventual :class:`Detection` must
+    carry, and whether the magnitude fallback fired on that sample (so a
+    failed inference can fall back exactly like the inline path).  Pass it
+    back to :meth:`FallDetector.complete` with the model's probability.
+    """
+
+    window: np.ndarray
+    sample_index: int
+    time_s: float
+    fallback_hit: bool
+
+
 class MagnitudeFallback:
     """Streaming accelerometer-magnitude detector (PIPTO-style, accel only).
 
@@ -205,17 +226,20 @@ class MagnitudeFallback:
         self.reset()
 
     def reset(self) -> None:
-        self._window = []          # trailing magnitudes for the smoother
+        # Trailing magnitudes for the smoother; deque pops are O(1).
+        self._window = deque(maxlen=self._k)
         self._watch_left = 0
         self._mag_min = np.inf
         self._mag_max = -np.inf
 
     def push(self, accel_g: np.ndarray) -> bool:
         """Feed one repaired accel sample; True when the dip+range fires."""
-        mag = float(np.linalg.norm(accel_g))
+        # math.sqrt over an explicit sum matches np.linalg.norm bitwise on
+        # a 3-vector (same left-to-right accumulation) at a fraction of
+        # the per-call dispatch cost — this runs once per sample.
+        x, y, z = accel_g
+        mag = math.sqrt(x * x + y * y + z * z)
         self._window.append(mag)
-        if len(self._window) > self._k:
-            self._window.pop(0)
         smooth = sum(self._window) / len(self._window)
         if smooth < self.low_g:
             if self._watch_left <= 0:      # new episode: reset the extremes
@@ -244,16 +268,37 @@ class FallDetector:
     ``push`` never raises on bad *data* (non-finite readings, saturated
     rails, missing samples, a dead sensor) and never emits a non-finite
     probability; see the module docstring for the health state machine.
+
+    ``registry`` / ``metric_prefix`` namespace the exported metrics per
+    instance.  The defaults (the process-wide registry, prefix
+    ``"detector"``) keep the historical single-detector metric names;
+    anything running several detectors in one process — tests, the
+    multi-stream serving engine — must pass a distinct prefix (or its own
+    registry) per instance, otherwise all instances write the same
+    ``detector/health`` gauge and share one set of counters.
     """
 
-    def __init__(self, model, config: DetectorConfig | None = None):
+    def __init__(
+        self,
+        model,
+        config: DetectorConfig | None = None,
+        *,
+        registry=None,
+        metric_prefix: str = "detector",
+    ):
         self.model = model
         self.config = config or DetectorConfig()
         cfg = self.config
         sos = butter_lowpass_sos(cfg.filter_order, cfg.filter_cutoff_hz, cfg.fs)
         self._filter = OnlineSosFilter(sos, channels=9)
         self._fusion = ComplementaryFilter(fs=cfg.fs)
-        self._buffer = np.zeros((cfg.window_samples, 9))
+        # Hot-path constants: push() runs per sample, so resolve the
+        # config-derived values once instead of per call.
+        self._window_n = cfg.window_samples
+        self._hop_n = cfg.hop_samples
+        self._deadline = cfg.effective_deadline_ms
+        self._dt_nom = 1.0 / cfg.fs
+        self._buffer = np.zeros((self._window_n, 9))
         self._scales = np.asarray(cfg.channel_scales, dtype=float)
         self._fallback = MagnitudeFallback(fs=cfg.fs) if cfg.fallback else None
         # Deadline monitor: one latency sample per window inference.  A
@@ -261,10 +306,17 @@ class FallDetector:
         # to the CNN forward pass, so this is always on.
         self.latency = Histogram(buckets=_LATENCY_BUCKETS_MS)
         self._deadline_violations = 0
-        self._metrics = get_registry()
-        self._health_gauge = self._metrics.gauge("detector/health")
+        self._metrics = registry if registry is not None else get_registry()
+        self._metric_prefix = str(metric_prefix)
+        self._health_gauge = self._metrics.gauge(
+            f"{self._metric_prefix}/health"
+        )
         self._init_stream_state()
         self._init_health_state()
+
+    def _counter(self, name: str):
+        """A registry counter under this instance's metric namespace."""
+        return self._metrics.counter(f"{self._metric_prefix}/{name}")
 
     # ------------------------------------------------------------------
     # state management
@@ -403,14 +455,14 @@ class FallDetector:
                 defaults = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
                 raw[bad] = defaults[bad]
             self.repaired_samples += 1
-            self._metrics.counter("detector/repaired_samples").inc()
+            self._counter("repaired_samples").inc()
             anomaly = True
         rails = np.array([cfg.accel_range_g] * 3 + [cfg.gyro_range_dps] * 3)
         clipped = np.abs(raw) > rails
         if clipped.any():
             raw = np.clip(raw, -rails, rails)
             self.saturated_samples += 1
-            self._metrics.counter("detector/saturated_samples").inc()
+            self._counter("saturated_samples").inc()
             anomaly = True
         # Stuck-at tracking on the *exact* incoming values: genuine IMU
         # noise never repeats bit-identically, so an exact repeat streak
@@ -459,13 +511,13 @@ class FallDetector:
         if t is None or self._last_t is None:
             return 0, False, False
         cfg = self.config
-        dt_nom = 1.0 / cfg.fs
+        dt_nom = self._dt_nom
         dt = t - self._last_t
         if dt < 0.5 * dt_nom:
             # Early, duplicate or backwards timestamp: process the sample,
             # note the clock anomaly.
             self.clock_anomalies += 1
-            self._metrics.counter("detector/clock_anomalies").inc()
+            self._counter("clock_anomalies").inc()
             return 0, False, True
         missing = int(round(dt / dt_nom)) - 1
         if missing <= 0:
@@ -483,7 +535,7 @@ class FallDetector:
         """
         self._init_stream_state()
         self.stream_resets += 1
-        self._metrics.counter("detector/stream_resets").inc()
+        self._counter("stream_resets").inc()
 
     def _ingest(self, accel: np.ndarray, gyro: np.ndarray) -> bool:
         """Fuse, filter, scale and buffer one sample; True when a window
@@ -496,15 +548,14 @@ class FallDetector:
         # cheap and keeps the window contiguous for the model).
         self._buffer[:-1] = self._buffer[1:]
         self._buffer[-1] = filtered
-        cfg = self.config
-        if self._filled < cfg.window_samples:
+        if self._filled < self._window_n:
             self._filled += 1
-            if self._filled < cfg.window_samples:
+            if self._filled < self._window_n:
                 return False
             self._since_last_inference = 0   # first full window: infer now
             return True
         self._since_last_inference += 1
-        if self._since_last_inference < cfg.hop_samples:
+        if self._since_last_inference < self._hop_n:
             return False
         self._since_last_inference = 0
         return True
@@ -544,7 +595,7 @@ class FallDetector:
             new = current
         if new != current:
             self._transitions.append((self._sample_index, current, new))
-            self._metrics.counter("detector/health_transitions").inc()
+            self._counter("health_transitions").inc()
             self._health_gauge.set(float(_HEALTH_LEVEL[new]))
             _logger.debug(
                 "health %s -> %s at sample %d", current, new,
@@ -552,96 +603,150 @@ class FallDetector:
             )
             self._health = new
 
-    def _infer(self) -> float | None:
-        """One guarded CNN window inference; None when unusable.
-
-        Never raises and never returns a non-finite value: an exception or
-        NaN/Inf probability sheds the CNN (``fault``) until the retry
-        window elapses.
-        """
-        cfg = self.config
-        t0 = time.perf_counter()
-        try:
-            prob = float(
-                np.asarray(
-                    self.model.predict(self._buffer[None, :, :])
-                ).reshape(-1)[0]
-            )
-        except Exception:
-            self.inference_errors += 1
-            self._metrics.counter("detector/inference_errors").inc()
-            _logger.exception("model inference raised; shedding CNN path")
-            self._shed_cnn()
-            return None
-        latency_ms = 1000.0 * (time.perf_counter() - t0)
-        self.latency.observe(latency_ms)
-        if latency_ms > cfg.effective_deadline_ms:
-            self._deadline_violations += 1
-            self._consecutive_violations += 1
-            _logger.debug(
-                "deadline violation: inference took %.3f ms (deadline %.3f ms)",
-                latency_ms, cfg.effective_deadline_ms,
-            )
-            if self._consecutive_violations >= cfg.shed_after_violations:
-                _logger.warning(
-                    "%d consecutive deadline violations; shedding CNN path",
-                    self._consecutive_violations,
-                )
-                self._shed_cnn()
-        else:
-            self._consecutive_violations = 0
-        if not np.isfinite(prob):
-            self.inference_errors += 1
-            self._metrics.counter("detector/inference_errors").inc()
-            _logger.warning("model returned non-finite probability; shedding")
-            self._shed_cnn()
-            return None
-        return prob
-
     def _shed_cnn(self) -> None:
         self._cnn_shed = True
         self._shed_hops_left = self.config.shed_retry_hops
         self._hit_streak = 0
 
-    def _decide(self, window_due: bool, fallback_hit: bool,
-                time_s: float) -> Detection | None:
-        """Turn this sample's evidence into (at most) one detection."""
-        cfg = self.config
-        window_ready = self._filled >= cfg.window_samples
-        if window_due and window_ready and self._cnn_shed:
+    def _stage(self, window_due: bool, fallback_hit: bool,
+               time_s: float) -> WindowRequest | None:
+        """Pre-inference half of a decision: shed-probe bookkeeping, then
+        stage a :class:`WindowRequest` when a CNN inference is due."""
+        if not (window_due and self._filled >= self._window_n):
+            return None
+        if self._cnn_shed:
             # Load shedding: skip the CNN for shed_retry_hops hops, then
             # give it one probe inference to prove it recovered.
             self._shed_hops_left -= 1
             if self._shed_hops_left <= 0:
                 self._cnn_shed = False
                 self._consecutive_violations = 0
-        if window_due and window_ready and self._cnn_available:
-            prob = self._infer()
-            if prob is not None:
-                if prob >= cfg.threshold:
-                    self._hit_streak += 1
-                    if self._hit_streak >= cfg.consecutive_required:
-                        return Detection(
-                            sample_index=self._sample_index,
-                            time_s=time_s,
-                            probability=prob,
-                            source="cnn",
-                        )
-                else:
-                    self._hit_streak = 0
-                return None
-        # CNN unavailable (shed / no model / dead gyro) or still warming
-        # up: the fallback guards the airbag.
+        if self._cnn_available:
+            return WindowRequest(
+                window=self._buffer.copy(),
+                sample_index=self._sample_index,
+                time_s=time_s,
+                fallback_hit=fallback_hit,
+            )
+        return None
+
+    def _fallback_decide(self, fallback_hit: bool, time_s: float,
+                         sample_index: int,
+                         window_ready: bool) -> Detection | None:
+        """The fallback guards the airbag whenever the CNN cannot —
+        shed / no model / dead gyro, or a window still warming up."""
         if fallback_hit and (not self._cnn_available or not window_ready):
             self.fallback_detections += 1
-            self._metrics.counter("detector/fallback_detections").inc()
+            self._counter("fallback_detections").inc()
             return Detection(
-                sample_index=self._sample_index,
+                sample_index=sample_index,
                 time_s=time_s,
                 probability=1.0,
                 source="fallback",
             )
         return None
+
+    def complete(
+        self,
+        request: WindowRequest,
+        probability,
+        *,
+        latency_ms: float | None = None,
+        failed: bool = False,
+    ) -> Detection | None:
+        """Post-inference half of a decision for a staged request.
+
+        ``probability`` is the model output for ``request.window``;
+        ``latency_ms`` feeds the deadline monitor (the micro-batching
+        engine charges every window the wall-clock of its whole batch —
+        the result is not available any earlier).  ``failed=True`` reports
+        that the model raised: the CNN is shed exactly like the inline
+        path, and the staged fallback evidence still guards the sample.
+        Mirrors the inline ``push`` decision bit for bit; never raises.
+        """
+        if failed:
+            self.inference_errors += 1
+            self._counter("inference_errors").inc()
+            _logger.exception("model inference raised; shedding CNN path")
+            self._shed_cnn()
+            return self._fallback_decide(
+                request.fallback_hit, request.time_s,
+                request.sample_index, window_ready=True,
+            )
+        cfg = self.config
+        if latency_ms is not None:
+            self.latency.observe(latency_ms)
+            if latency_ms > self._deadline:
+                self._deadline_violations += 1
+                self._consecutive_violations += 1
+                _logger.debug(
+                    "deadline violation: inference took %.3f ms "
+                    "(deadline %.3f ms)", latency_ms, self._deadline,
+                )
+                if self._consecutive_violations >= cfg.shed_after_violations:
+                    _logger.warning(
+                        "%d consecutive deadline violations; shedding CNN "
+                        "path", self._consecutive_violations,
+                    )
+                    self._shed_cnn()
+            else:
+                self._consecutive_violations = 0
+        prob = float(probability)
+        if not np.isfinite(prob):
+            self.inference_errors += 1
+            self._counter("inference_errors").inc()
+            _logger.warning("model returned non-finite probability; shedding")
+            self._shed_cnn()
+            return self._fallback_decide(
+                request.fallback_hit, request.time_s,
+                request.sample_index, window_ready=True,
+            )
+        if prob >= cfg.threshold:
+            self._hit_streak += 1
+            if self._hit_streak >= cfg.consecutive_required:
+                return Detection(
+                    sample_index=request.sample_index,
+                    time_s=request.time_s,
+                    probability=prob,
+                    source="cnn",
+                )
+        else:
+            self._hit_streak = 0
+        return None
+
+    def _run_model(self, request: WindowRequest) -> Detection | None:
+        """Inline inference for one staged request: guarded forward pass,
+        then :meth:`complete` with the measured latency."""
+        t0 = time.perf_counter()
+        try:
+            prob = float(
+                np.asarray(
+                    self.model.predict(request.window[None, :, :])
+                ).reshape(-1)[0]
+            )
+        except Exception:
+            return self.complete(request, None, failed=True)
+        latency_ms = 1000.0 * (time.perf_counter() - t0)
+        return self.complete(request, prob, latency_ms=latency_ms)
+
+    def _decide(self, window_due: bool, fallback_hit: bool, time_s: float,
+                collect: list | None = None) -> Detection | None:
+        """Turn this sample's evidence into (at most) one detection.
+
+        With ``collect`` (deferred mode) a due CNN window is appended to
+        the list as a :class:`WindowRequest` instead of being inferred
+        here — the caller owns running the model and feeding the result to
+        :meth:`complete`.
+        """
+        window_ready = self._filled >= self._window_n
+        request = self._stage(window_due, fallback_hit, time_s)
+        if request is not None:
+            if collect is not None:
+                collect.append(request)
+                return None
+            return self._run_model(request)
+        return self._fallback_decide(fallback_hit, time_s,
+                                     self._sample_index, window_ready)
 
     # ------------------------------------------------------------------
     # streaming API
@@ -657,13 +762,37 @@ class FallDetector:
         samples, longer ones reset the streaming state.  Without
         timestamps the stream is assumed gapless at the nominal rate.
         """
+        detection, _ = self._push(accel_g, gyro_dps, t, collect=None)
+        return detection
+
+    def push_collect(
+        self, accel_g, gyro_dps, t: float | None = None,
+    ) -> tuple[Detection | None, list[WindowRequest]]:
+        """:meth:`push` with deferred CNN inference (micro-batching hook).
+
+        Advances all streaming state exactly like :meth:`push`, but
+        instead of running the model inline, every due window is returned
+        as a staged :class:`WindowRequest` — the caller batches requests
+        across streams, runs one ``model.predict``, and feeds each result
+        to :meth:`complete`, which finishes the decision (deadline
+        accounting, shedding, debounce) with the state ordering the inline
+        path would have used.  Complete each returned request, in order,
+        before the next ``push_collect``/``reset`` on this detector.
+        Detections that need no model — the fallback path — are still
+        returned directly.
+        """
+        return self._push(accel_g, gyro_dps, t, collect=[])
+
+    def _push(
+        self, accel_g, gyro_dps, t: float | None, collect: list | None,
+    ) -> tuple[Detection | None, list[WindowRequest]]:
         accel_g = np.asarray(accel_g, dtype=float).reshape(3)
         gyro_dps = np.asarray(gyro_dps, dtype=float).reshape(3)
         n_fill, long_gap, clock_anomaly = self._handle_timestamp(t)
         accel, gyro, data_anomaly = self._validate(accel_g, gyro_dps)
         anomaly = data_anomaly or clock_anomaly
         detection: Detection | None = None
-        dt_nom = 1.0 / self.config.fs
+        dt_nom = self._dt_nom
         if long_gap:
             self._reset_stream_state()
             anomaly = True
@@ -680,10 +809,10 @@ class FallDetector:
                 fb = (self._fallback.push(filler[:3])
                       if self._fallback is not None else False)
                 due = self._ingest(filler[:3], filler[3:])
-                hit = self._decide(due, fb, fill_t)
+                hit = self._decide(due, fb, fill_t, collect)
                 detection = detection or hit
             self.gap_filled_samples += n_fill
-            self._metrics.counter("detector/gap_filled_samples").inc(n_fill)
+            self._counter("gap_filled_samples").inc(n_fill)
             anomaly = True
         self._sample_index += 1
         time_s = t if t is not None else self._sample_index / self.config.fs
@@ -693,8 +822,8 @@ class FallDetector:
                         if self._fallback is not None else False)
         window_due = self._ingest(accel, gyro)
         self._update_health(anomaly)
-        hit = self._decide(window_due, fallback_hit, time_s)
-        return detection or hit
+        hit = self._decide(window_due, fallback_hit, time_s, collect)
+        return detection or hit, collect if collect is not None else []
 
     def run(
         self,

@@ -19,7 +19,16 @@ Quick tour::
 
 from . import activations, callbacks, initializers, layers, losses, metrics, optimizers
 from .analysis import estimate_macs, macs_breakdown
-from .config import EPSILON, asfloat, float_precision, floatx, set_floatx
+from .config import (
+    EPSILON,
+    asfloat,
+    batch_invariant,
+    batch_invariant_enabled,
+    float_precision,
+    floatx,
+    set_batch_invariant,
+    set_floatx,
+)
 from .graph import Input, Node
 from .model import Model
 from .sequential import Sequential
@@ -45,5 +54,8 @@ __all__ = [
     "set_floatx",
     "float_precision",
     "asfloat",
+    "batch_invariant",
+    "batch_invariant_enabled",
+    "set_batch_invariant",
     "EPSILON",
 ]

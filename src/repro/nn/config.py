@@ -46,3 +46,51 @@ def float_precision(dtype):
 def asfloat(array) -> np.ndarray:
     """Cast ``array`` to the global float dtype (no copy when already right)."""
     return np.asarray(array, dtype=floatx())
+
+
+_BATCH_INVARIANT = False
+
+
+def batch_invariant_enabled() -> bool:
+    """Whether matmuls are currently forced onto the batch-invariant path."""
+    return _BATCH_INVARIANT
+
+
+def set_batch_invariant(enabled: bool) -> None:
+    """Toggle batch-invariant matmul kernels (see :func:`matmul`)."""
+    global _BATCH_INVARIANT
+    _BATCH_INVARIANT = bool(enabled)
+
+
+@contextlib.contextmanager
+def batch_invariant(enabled: bool = True):
+    """Context manager forcing bitwise batch-size-invariant inference.
+
+    BLAS ``gemm``/``gemv`` pick different blocking (and therefore different
+    accumulation orders) depending on the number of rows, so the same
+    sample can produce last-ulp-different outputs in a batch of 1 versus a
+    batch of 64.  Inside this context, 2-D matmuls route through
+    ``np.einsum`` whose per-element accumulation order is fixed, making a
+    row of ``predict(batch)`` bitwise identical no matter which other rows
+    share the batch.  The multi-stream serving engine relies on this to
+    keep micro-batched detections byte-identical to solo-stream runs;
+    training keeps the fast BLAS path by default.
+    """
+    previous = _BATCH_INVARIANT
+    set_batch_invariant(enabled)
+    try:
+        yield
+    finally:
+        set_batch_invariant(previous)
+
+
+def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` with an opt-in batch-invariant kernel.
+
+    Stacked (3-D+) operands already run one independent GEMM per batch
+    element, which is invariant by construction, so only the 2-D case —
+    where BLAS blocking depends on the row count — is rerouted.
+    """
+    if _BATCH_INVARIANT and a.ndim == 2 and b.ndim == 2:
+        return np.einsum("ij,jk->ik", a, b)
+    return a @ b

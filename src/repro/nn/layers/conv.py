@@ -14,6 +14,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from .. import activations, initializers
+from ..config import matmul
 from .base import Layer
 
 __all__ = ["Conv1D", "conv1d_output_length"]
@@ -115,7 +116,7 @@ class Conv1D(Layer):
         windows = np.swapaxes(windows, 2, 3)
         batch, out_len = windows.shape[0], windows.shape[1]
         cols = windows.reshape(batch, out_len, k * cin)
-        z = cols @ self.params["W"].reshape(k * cin, cout)
+        z = matmul(cols, self.params["W"].reshape(k * cin, cout))
         if self.use_bias:
             z = z + self.params["b"]
         y = self._act(z)

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import activations, initializers
-from ..config import floatx
+from ..config import floatx, matmul
 from .base import Layer
 
 __all__ = ["Dense", "Activation", "Flatten", "Dropout", "Slice", "Reshape"]
@@ -55,7 +55,7 @@ class Dense(Layer):
 
     def forward(self, inputs, training=False):
         x = self._single(inputs)
-        z = x @ self.params["W"]
+        z = matmul(x, self.params["W"])
         if self.use_bias:
             z = z + self.params["b"]
         y = self._act(z)

@@ -16,7 +16,7 @@ from . import losses as losses_module
 from . import metrics as metrics_module
 from . import optimizers as optimizers_module
 from ..obs import get_logger, span
-from .config import asfloat
+from .config import asfloat, floatx
 from .graph import Node, topological_order
 
 _logger = get_logger(__name__)
@@ -205,12 +205,20 @@ class Model:
         return x
 
     def predict(self, x, batch_size=256) -> np.ndarray:
-        """Run inference in batches; returns the stacked outputs."""
+        """Run inference in batches; returns the stacked outputs.
+
+        An empty input returns an empty array of the model's *output*
+        shape, ``(0,) + output_shape``, so downstream ``concatenate`` /
+        indexing (e.g. the batched serving scheduler with no windows due)
+        behaves exactly like the non-empty case.
+        """
         x = self._check_input(np.asarray(x))
         chunks = []
         for start in range(0, len(x), batch_size):
             chunks.append(self._forward(x[start : start + batch_size], training=False))
-        return np.concatenate(chunks, axis=0) if chunks else np.empty((0,))
+        if not chunks:
+            return np.empty((0,) + tuple(self.output_shape), dtype=floatx())
+        return np.concatenate(chunks, axis=0)
 
     # ------------------------------------------------------------------
     # Training

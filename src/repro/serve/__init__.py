@@ -1,0 +1,29 @@
+"""``repro.serve`` — micro-batched multi-stream serving.
+
+The paper's detector runs one stream on one wearable; a fleet backend
+sees many streams at once.  This package schedules K concurrent streams
+over a single window model: each :class:`StreamSession` keeps its own
+filter / ring-buffer / health state (a hardened
+:class:`~repro.core.detector.FallDetector` driven in deferred-inference
+mode) while :class:`ServeEngine` collects due windows across sessions
+into one batched ``Model.predict`` per round — batched under
+:func:`repro.nn.batch_invariant` so every stream's detections are
+byte-identical to a solo run regardless of batch composition.
+
+:func:`run_serve_benchmark` replays synthetic streams through both the
+sequential per-stream baseline and the engine and reports the speedup
+(``repro serve-bench`` on the command line).
+"""
+
+from .bench import ServeBenchConfig, render_serve_report, run_serve_benchmark
+from .engine import ServeConfig, ServeEngine
+from .session import StreamSession
+
+__all__ = [
+    "ServeBenchConfig",
+    "ServeConfig",
+    "ServeEngine",
+    "StreamSession",
+    "render_serve_report",
+    "run_serve_benchmark",
+]

@@ -1,0 +1,205 @@
+"""Serve-path benchmark: micro-batched engine vs sequential detectors.
+
+Replays K synthetic IMU streams two ways and reports the speedup:
+
+* **sequential** — K independent :class:`~repro.core.detector.FallDetector`
+  instances, each running its own batch-of-1 ``Model.predict`` per due
+  window (the pre-``repro.serve`` deployment story);
+* **batched** — one :class:`~repro.serve.ServeEngine` scheduling all K
+  streams through shared batched forwards.
+
+Two timings are reported for each arm.  End-to-end wall-clock includes
+the per-sample DSP (filtering, fusion, validation) that every stream pays
+regardless of how inference is scheduled; inference wall-clock isolates
+the time spent inside ``Model.predict``, which is what batching
+amortises.  A solo-engine reference run per stream additionally checks
+that batching never changes results: every stream's detections must be
+identical to the same stream served alone.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.detector import DetectorConfig, FallDetector
+from ..obs.metrics import MetricsRegistry
+from .engine import ServeConfig, ServeEngine
+
+__all__ = ["ServeBenchConfig", "run_serve_benchmark", "render_serve_report"]
+
+_G = 9.81
+
+
+@dataclass(frozen=True)
+class ServeBenchConfig:
+    """Workload shape for :func:`run_serve_benchmark`."""
+
+    n_streams: int = 32
+    duration_s: float = 8.0
+    seed: int = 7
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Call ``engine.step`` every this many samples per stream; 0 means
+    #: once per detector hop (the smallest cadence that can batch a full
+    #: window round across streams).
+    step_every: int = 0
+
+    def __post_init__(self):
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+
+def synth_stream(stream_index: int, config: ServeBenchConfig):
+    """One synthetic wearable recording: ``(accel_g, gyro_dps, t)``.
+
+    Quiet activities-of-daily-living motion (gravity plus sway and sensor
+    noise) with, on every third stream, one fall-like event: a free-fall
+    dip toward 0 g followed by an impact spike and a rotation burst.
+    """
+    cfg = config.detector
+    fs = cfg.fs
+    n = int(round(config.duration_s * fs))
+    rng = np.random.default_rng(config.seed * 7919 + stream_index)
+    t = np.arange(n) / fs
+    sway = 0.05 * np.sin(2.0 * np.pi * (0.4 + 0.05 * stream_index) * t)
+    accel = rng.normal(0.0, 0.02, size=(n, 3))
+    accel[:, 2] += 1.0 + sway          # gravity on z, in g
+    accel[:, 0] += 0.5 * sway
+    gyro = rng.normal(0.0, 2.0, size=(n, 3))
+    if stream_index % 3 == 0 and n > int(fs):
+        onset = int(n * (0.35 + 0.3 * rng.random()))
+        dip = slice(onset, min(n, onset + int(0.3 * fs)))
+        impact = slice(dip.stop, min(n, dip.stop + int(0.1 * fs)))
+        accel[dip, 2] -= 0.85          # free fall: |a| -> ~0.15 g
+        accel[impact] += rng.normal(0.0, 1.5, size=(impact.stop - impact.start, 3))
+        accel[impact, 2] += 4.0        # impact spike
+        gyro[dip] += rng.normal(0.0, 120.0, size=(dip.stop - dip.start, 3))
+    return accel, gyro, t
+
+
+def _collect(detections: dict, stream_id: str, detection) -> None:
+    if detection is not None:
+        detections.setdefault(stream_id, []).append(detection)
+
+
+def _run_sequential(model, streams, config: ServeBenchConfig):
+    """Baseline arm: independent inline detectors, batch-of-1 forwards."""
+    detections: dict = {}
+    inference_s = 0.0
+    t0 = time.perf_counter()
+    for stream_id, (accel, gyro, t) in streams.items():
+        detector = FallDetector(
+            model, config.detector, registry=MetricsRegistry(),
+        )
+        for i in range(len(t)):
+            _collect(detections, stream_id,
+                     detector.push(accel[i], gyro[i], t[i]))
+        stats = detector.latency.summary()
+        inference_s += stats["count"] * stats["mean"] / 1000.0
+    wall_s = time.perf_counter() - t0
+    return detections, wall_s, inference_s
+
+
+def _run_engine(model, streams, config: ServeBenchConfig,
+                stream_ids=None):
+    """Engine arm: round-robin interleaved submits, stepped per hop."""
+    if stream_ids is None:
+        stream_ids = list(streams)
+    serve_cfg = ServeConfig(detector=config.detector)
+    engine = ServeEngine(model, serve_cfg, registry=MetricsRegistry())
+    hop = config.step_every or config.detector.hop_samples
+    n = max(len(t) for _, _, t in streams.values())
+    detections: dict = {}
+    t0 = time.perf_counter()
+    for i in range(n):
+        for stream_id in stream_ids:
+            accel, gyro, t = streams[stream_id]
+            if i < len(t):
+                engine.submit(stream_id, accel[i], gyro[i], t[i])
+        if (i + 1) % hop == 0:
+            for stream_id, detection in engine.step():
+                _collect(detections, stream_id, detection)
+    for stream_id, detection in engine.step():
+        _collect(detections, stream_id, detection)
+    wall_s = time.perf_counter() - t0
+    return detections, wall_s, engine
+
+
+def run_serve_benchmark(model, config: ServeBenchConfig | None = None) -> dict:
+    """Benchmark sequential vs batched serving; returns a report dict.
+
+    Besides the two timed arms, every stream is replayed through a *solo*
+    engine and its detections compared against the shared-engine run —
+    ``mismatched_streams`` counts streams whose detections differ (must
+    be zero: batching is not allowed to change results).
+    """
+    config = config or ServeBenchConfig()
+    streams = {
+        f"s{idx:03d}": synth_stream(idx, config)
+        for idx in range(config.n_streams)
+    }
+    seq_detections, seq_wall_s, seq_infer_s = _run_sequential(
+        model, streams, config)
+    bat_detections, bat_wall_s, engine = _run_engine(model, streams, config)
+    mismatched = []
+    for stream_id in streams:
+        solo_detections, _, _ = _run_engine(
+            model, {stream_id: streams[stream_id]}, config)
+        if (solo_detections.get(stream_id, [])
+                != bat_detections.get(stream_id, [])):
+            mismatched.append(stream_id)
+    n_samples = sum(len(t) for _, _, t in streams.values())
+    report = engine.report()
+    return {
+        "n_streams": config.n_streams,
+        "duration_s": config.duration_s,
+        "seed": config.seed,
+        "n_samples": n_samples,
+        "sequential_wall_s": seq_wall_s,
+        "sequential_inference_s": seq_infer_s,
+        "batched_wall_s": bat_wall_s,
+        "batched_inference_s": engine.inference_seconds,
+        "wall_speedup": seq_wall_s / bat_wall_s if bat_wall_s else 0.0,
+        "inference_speedup": (seq_infer_s / engine.inference_seconds
+                              if engine.inference_seconds else 0.0),
+        "windows_inferred": report["windows_inferred"],
+        "batches": report["batches"],
+        "mean_batch_size": report["batch_size"]["mean"],
+        "sequential_detections": sum(map(len, seq_detections.values())),
+        "batched_detections": sum(map(len, bat_detections.values())),
+        "mismatched_streams": mismatched,
+        "engine_report": report,
+    }
+
+
+def render_serve_report(report: dict) -> str:
+    """Human-readable serve-bench summary (callers decide where it goes)."""
+    lines = [
+        "serve-bench: micro-batched multi-stream inference",
+        "=" * 49,
+        f"streams              : {report['n_streams']}",
+        f"duration             : {report['duration_s']:.1f} s "
+        f"({report['n_samples']} samples total, seed {report['seed']})",
+        "",
+        "                         sequential      batched",
+        f"end-to-end wall      : {report['sequential_wall_s']:>9.3f} s "
+        f"{report['batched_wall_s']:>9.3f} s   "
+        f"({report['wall_speedup']:.2f}x)",
+        f"inference wall       : {report['sequential_inference_s']:>9.3f} s "
+        f"{report['batched_inference_s']:>9.3f} s   "
+        f"({report['inference_speedup']:.2f}x)",
+        "",
+        f"windows inferred     : {report['windows_inferred']} "
+        f"in {report['batches']} batches "
+        f"(mean batch {report['mean_batch_size']:.1f})",
+        f"detections           : sequential {report['sequential_detections']}, "
+        f"batched {report['batched_detections']}",
+        f"mismatched streams   : {len(report['mismatched_streams'])}"
+        + (f" {report['mismatched_streams']}"
+           if report["mismatched_streams"] else " (batching changed nothing)"),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,362 @@
+"""Micro-batched multi-stream inference engine.
+
+The single-stream :class:`~repro.core.detector.FallDetector` costs one
+batch-of-1 ``Model.predict`` per due window — N concurrent wearables cost
+N full forwards.  :class:`ServeEngine` amortises that: it accepts
+interleaved ``(stream_id, accel, gyro, t)`` samples into bounded
+per-stream queues, advances every session's filter/ring-buffer state, and
+collects *all* windows that come due across sessions into **one** batched
+``Model.predict`` call per inference round.
+
+Correctness contract
+--------------------
+* **Isolation** — every stream owns its full detector state; a stream
+  feeding NaNs, gaps or garbage degrades only itself.  A model exception
+  on a batch is retried per window so one poisoned window cannot take
+  detections away from healthy streams, and a session whose detector
+  breaks its never-raises promise is quarantined, not propagated.
+* **Bitwise reproducibility** — batched forwards run under
+  :func:`repro.nn.batch_invariant`, so a stream's probabilities (and
+  therefore its detections) are byte-identical no matter which other
+  streams share its batches; a solo run of the same stream through an
+  engine reproduces them exactly.
+* **Deadline pressure** — every window is charged the wall-clock of the
+  whole batch it rode in (its result is not available any earlier).
+  Sustained violations trip the per-stream detector's load shedding
+  exactly like the single-stream path: that stream's CNN is shed and its
+  :class:`~repro.core.detector.MagnitudeFallback` becomes authoritative
+  until the retry probe succeeds, while other streams keep the CNN.
+
+Throughput, batch-size/latency histograms, queue depths and per-stream
+deadline violations are exported through :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.detector import Detection, DetectorConfig
+from ..nn.config import batch_invariant
+from ..obs import get_logger, get_registry
+from .session import StreamSession
+
+__all__ = ["ServeConfig", "ServeEngine"]
+
+_logger = get_logger(__name__)
+
+#: Batch-size histogram edges: exact buckets for the small batches that
+#: dominate, then powers of two up to 4096 windows.
+_BATCH_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+_LATENCY_BUCKETS_MS = tuple(0.01 * 2 ** i for i in range(23))
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Engine-level knobs; per-stream behaviour lives in ``detector``."""
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Bounded per-stream queue; when full the *oldest* sample is shed
+    #: (freshest data wins — a pre-impact detector must not fall behind).
+    queue_capacity: int = 512
+    #: Hard cap on concurrent sessions; submits for new streams beyond it
+    #: are rejected (and counted) instead of growing without bound.
+    max_streams: int = 4096
+    #: Run batched forwards under :func:`repro.nn.batch_invariant` so
+    #: results are independent of batch composition.  Disable only when
+    #: last-ulp reproducibility matters less than raw BLAS throughput.
+    batch_invariant: bool = True
+    metric_prefix: str = "serve"
+    #: Give each stream its own metric namespace
+    #: (``<prefix>/stream/<id>/...``).  Disable to share one namespace
+    #: when stream cardinality would flood the registry.
+    per_stream_metrics: bool = True
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_streams < 1:
+            raise ValueError("max_streams must be >= 1")
+
+
+class ServeEngine:
+    """Cross-stream micro-batching scheduler around one window model.
+
+    Usage::
+
+        engine = ServeEngine(model)
+        for sample in telemetry:               # interleaved streams
+            engine.submit(sample.stream_id, sample.accel, sample.gyro,
+                          t=sample.t)
+        for stream_id, detection in engine.step():   # drain + infer
+            fire_airbag(stream_id, detection)
+    """
+
+    def __init__(self, model, config: ServeConfig | None = None, *,
+                 registry=None):
+        if model is None:
+            raise ValueError(
+                "ServeEngine needs a window model; a fallback-only "
+                "deployment does not benefit from batching"
+            )
+        self.model = model
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self._sessions: dict[str, StreamSession] = {}
+        cfg = self.config
+        window_n = cfg.detector.window_samples
+        self._empty_batch = np.empty((0, window_n, 9))
+        prefix = cfg.metric_prefix
+        self._batch_size_hist = self.registry.histogram(
+            f"{prefix}/batch_size", buckets=_BATCH_BUCKETS)
+        self._batch_latency_hist = self.registry.histogram(
+            f"{prefix}/batch_latency_ms", buckets=_LATENCY_BUCKETS_MS)
+        self._queue_depth_gauge = self.registry.gauge(f"{prefix}/queue_depth")
+        self._active_gauge = self.registry.gauge(f"{prefix}/active_streams")
+        # Hot-path totals accumulate as plain ints and sync to registry
+        # counters once per step — per-sample lock traffic would tax the
+        # very throughput this engine exists to buy.
+        self.samples_in = 0
+        self.dropped_samples = 0
+        self.rejected_streams = 0
+        self.windows_inferred = 0
+        self.batches = 0
+        self.batch_errors = 0
+        self.stream_errors = 0
+        self.detections = 0
+        self._synced: dict[str, int] = {}
+        self._inference_s = 0.0
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def session(self, stream_id: str) -> StreamSession:
+        """Get or create the session for ``stream_id``."""
+        session = self._sessions.get(stream_id)
+        if session is None:
+            if len(self._sessions) >= self.config.max_streams:
+                raise KeyError(
+                    f"stream limit reached ({self.config.max_streams}); "
+                    f"cannot admit {stream_id!r}"
+                )
+            session = StreamSession(
+                stream_id,
+                self.model,
+                self.config.detector,
+                registry=self.registry,
+                metric_prefix=f"{self.config.metric_prefix}/stream",
+                per_stream_metrics=self.config.per_stream_metrics,
+            )
+            self._sessions[stream_id] = session
+        return session
+
+    def submit(self, stream_id: str, accel_g, gyro_dps,
+               t: float | None = None) -> bool:
+        """Enqueue one sample; False when it was shed or rejected.
+
+        Never raises on load: an unknown stream beyond ``max_streams`` is
+        rejected and counted, a full queue sheds its oldest sample, and a
+        quarantined stream's samples are dropped.
+        """
+        session = self._sessions.get(stream_id)
+        if session is None:
+            try:
+                session = self.session(stream_id)
+            except KeyError:
+                self.rejected_streams += 1
+                return False
+        if session.quarantined:
+            self.dropped_samples += 1
+            return False
+        queue = session.queue
+        if len(queue) >= self.config.queue_capacity:
+            queue.popleft()
+            session.dropped_samples += 1
+            self.dropped_samples += 1
+        queue.append((accel_g, gyro_dps, t))
+        self.samples_in += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def step(self) -> list[tuple[str, Detection]]:
+        """Drain every queue and run the due windows in micro-batches.
+
+        Inference rounds repeat until all queues are empty: each round
+        advances every session up to its next due window (so per-stream
+        decision ordering matches the inline single-stream path), then
+        runs one batched forward for all staged windows across streams.
+        Returns ``(stream_id, detection)`` pairs in processing order.
+        """
+        detections: list[tuple[str, Detection]] = []
+        sessions = self._sessions.values()
+        depth = max((len(s.queue) for s in sessions), default=0)
+        self._queue_depth_gauge.set(float(depth))
+        first_round = True
+        while True:
+            staged = self._advance_round(detections)
+            if not staged and not first_round:
+                break
+            self._infer_batch(staged, detections)
+            first_round = False
+            if not staged:
+                break
+        self._sync_metrics()
+        return detections
+
+    def _advance_round(self, detections) -> list[StreamSession]:
+        """Advance each session until it stages a window or runs dry."""
+        staged_sessions = []
+        for session in self._sessions.values():
+            if session.quarantined:
+                session.queue.clear()
+                continue
+            queue = session.queue
+            detector = session.detector
+            while queue:
+                accel, gyro, t = queue.popleft()
+                try:
+                    hit, requests = detector.push_collect(accel, gyro, t)
+                except Exception:
+                    self._quarantine(session)
+                    break
+                if hit is not None:
+                    session.detections += 1
+                    self.detections += 1
+                    detections.append((session.stream_id, hit))
+                if requests:
+                    session.staged = requests
+                    staged_sessions.append(session)
+                    break
+        return staged_sessions
+
+    def _infer_batch(self, staged_sessions, detections) -> None:
+        """One batched forward for every staged window, then fan-out."""
+        pairs = [(session, request) for session in staged_sessions
+                 for request in session.staged]
+        for session in staged_sessions:
+            session.staged = []
+        if pairs:
+            batch = np.stack([request.window for _, request in pairs])
+        else:
+            batch = self._empty_batch
+        t0 = time.perf_counter()
+        try:
+            with batch_invariant(self.config.batch_invariant):
+                out = np.asarray(self.model.predict(batch))
+            # (k, 1) sigmoid outputs -> (k,).  reshape(-1) on the empty
+            # batch relies on predict keeping the model's output shape
+            # for zero-row input (reshape(0, -1) would be ambiguous).
+            probs = (out.reshape(len(pairs), -1)[:, 0] if pairs
+                     else out.reshape(-1))
+        except Exception:
+            self.batch_errors += 1
+            _logger.exception(
+                "batched inference raised for %d windows; retrying "
+                "per window", len(pairs),
+            )
+            self._infer_singly(pairs, detections)
+            return
+        latency_ms = 1000.0 * (time.perf_counter() - t0)
+        self._inference_s += latency_ms / 1000.0
+        self.batches += 1
+        self.windows_inferred += len(pairs)
+        self._batch_size_hist.observe(len(pairs))
+        if pairs:
+            self._batch_latency_hist.observe(latency_ms)
+        for (session, request), prob in zip(pairs, probs):
+            self._complete(session, request, prob, latency_ms, False,
+                           detections)
+
+    def _infer_singly(self, pairs, detections) -> None:
+        """Batch failed: isolate the poison by retrying one window at a
+        time, so healthy streams still get their CNN verdicts."""
+        for session, request in pairs:
+            t0 = time.perf_counter()
+            try:
+                with batch_invariant(self.config.batch_invariant):
+                    prob = float(np.asarray(
+                        self.model.predict(request.window[None])
+                    ).reshape(-1)[0])
+            except Exception:
+                self._complete(session, request, None, 0.0, True, detections)
+                continue
+            latency_ms = 1000.0 * (time.perf_counter() - t0)
+            self._inference_s += latency_ms / 1000.0
+            self.windows_inferred += 1
+            self._complete(session, request, prob, latency_ms, False,
+                           detections)
+
+    def _complete(self, session, request, prob, latency_ms, failed,
+                  detections) -> None:
+        try:
+            hit = session.detector.complete(
+                request, prob, latency_ms=latency_ms, failed=failed,
+            )
+        except Exception:
+            self._quarantine(session)
+            return
+        if hit is not None:
+            session.detections += 1
+            self.detections += 1
+            detections.append((session.stream_id, hit))
+
+    def _quarantine(self, session) -> None:
+        session.errors += 1
+        session.quarantined = True
+        session.queue.clear()
+        session.staged = []
+        self.stream_errors += 1
+        _logger.exception(
+            "detector for stream %r raised; quarantining the session",
+            session.stream_id,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def _sync_metrics(self) -> None:
+        self._active_gauge.set(float(len(self._sessions)))
+        prefix = self.config.metric_prefix
+        for name in ("samples_in", "dropped_samples", "rejected_streams",
+                     "windows_inferred", "batches", "batch_errors",
+                     "stream_errors", "detections"):
+            total = getattr(self, name)
+            delta = total - self._synced.get(name, 0)
+            if delta:
+                self.registry.counter(f"{prefix}/{name}").inc(delta)
+                self._synced[name] = total
+
+    @property
+    def inference_seconds(self) -> float:
+        """Cumulative wall-clock spent inside ``Model.predict``."""
+        return self._inference_s
+
+    @property
+    def stream_ids(self) -> list[str]:
+        return list(self._sessions)
+
+    def stream_report(self) -> dict:
+        """Per-stream health/counter view (see ``StreamSession.report``)."""
+        return {sid: session.report()
+                for sid, session in self._sessions.items()}
+
+    def report(self) -> dict:
+        """Engine-level serving summary."""
+        return {
+            "streams": len(self._sessions),
+            "samples_in": self.samples_in,
+            "dropped_samples": self.dropped_samples,
+            "rejected_streams": self.rejected_streams,
+            "windows_inferred": self.windows_inferred,
+            "batches": self.batches,
+            "batch_errors": self.batch_errors,
+            "stream_errors": self.stream_errors,
+            "detections": self.detections,
+            "inference_seconds": self._inference_s,
+            "batch_size": self._batch_size_hist.summary(),
+            "batch_latency_ms": self._batch_latency_hist.summary(),
+        }

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 __all__ = ["SegmentationConfig", "segment_signal", "segment_starts", "label_segments"]
 
@@ -79,7 +80,10 @@ def segment_signal(x: np.ndarray, config: SegmentationConfig) -> np.ndarray:
     window = config.window_samples
     if len(starts) == 0:
         return np.empty((0, window, x.shape[1]), dtype=x.dtype)
-    return np.stack([x[s : s + window] for s in starts])
+    # One strided view + one gather instead of k python-level slices; the
+    # swapaxes undoes sliding_window_view putting the window axis last.
+    windows = sliding_window_view(x, window, axis=0)[starts]
+    return np.ascontiguousarray(np.swapaxes(windows, 1, 2))
 
 
 def label_segments(
@@ -100,5 +104,5 @@ def label_segments(
     window = config.window_samples
     if len(starts) == 0:
         return np.empty(0, dtype=int)
-    fractions = np.array([labels[s : s + window].mean() for s in starts])
+    fractions = sliding_window_view(labels, window)[starts].mean(axis=-1)
     return (fractions >= min_fraction).astype(int)

@@ -300,3 +300,48 @@ class TestAirbagFailSafe:
         assert controller.state == "triggered"
         assert controller.trigger.source == "fallback"
         assert controller.detector_health == FAULT
+
+
+class TestMetricNamespacing:
+    """Regression: two live detectors used to share one global metric
+    namespace, so instance B's faults inflated instance A's counters."""
+
+    def test_two_detectors_report_independent_counters(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cfg = DetectorConfig(window_ms=200.0, overlap=0.5)
+        a = FallDetector(_ConstantModel(), cfg, registry=registry,
+                         metric_prefix="detector/a")
+        b = FallDetector(_ConstantModel(), cfg, registry=registry,
+                         metric_prefix="detector/b")
+        rng = np.random.default_rng(0)
+        for i in range(30):
+            # jitter so a's perfectly healthy stream never looks stuck
+            accel = np.array([0.0, 0.0, 1.0]) + rng.normal(0, 0.01, 3)
+            gyro = rng.normal(0, 1.0, 3)
+            a.push(accel, gyro, i / 100.0)
+            # b's accelerometer is broken: every sample needs repair.
+            b.push(np.full(3, np.nan), gyro, i / 100.0)
+        assert a.health == HEALTHY
+        assert b.health != HEALTHY
+        assert registry.counter("detector/b/repaired_samples").value == 30
+        assert registry.counter("detector/a/repaired_samples").value == 0
+        assert registry.gauge("detector/a/health").value == 0.0
+        assert registry.gauge("detector/b/health").value > 0.0
+        # Instance counters mirror the registry, per instance.
+        assert a.repaired_samples == 0
+        assert b.repaired_samples == 30
+
+    def test_default_prefix_preserves_historical_names(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        detector = FallDetector(_ConstantModel(),
+                                DetectorConfig(window_ms=200.0),
+                                registry=registry)
+        detector.push(np.full(3, np.nan), np.zeros(3), 0.0)
+        # Pre-namespacing dashboards watched detector/<counter>; the
+        # default prefix keeps those names working.
+        assert registry.counter("detector/repaired_samples").value == 1
+        assert registry.gauge("detector/health").value >= 0.0

@@ -292,3 +292,39 @@ class TestModel:
         logs = model.evaluate(x, y)
         assert set(logs) >= {"loss", "binary_accuracy"}
         assert 0.0 <= logs["binary_accuracy"] <= 1.0
+
+
+class TestPredictEdgeCases:
+    def test_predict_empty_input_keeps_output_shape(self):
+        """Regression: empty input used to return shape (0,) instead of
+        (0,) + output_shape, breaking downstream reshapes/concats."""
+        model = _small_model()
+        out = model.predict(np.zeros((0, 6, 9), dtype=np.float32))
+        assert out.shape == (0, 1)
+        assert out.dtype == nn.floatx()
+        # The shape fix is what lets callers flatten uniformly.
+        assert out.reshape(-1).shape == (0,)
+
+    def test_batch_invariant_rows_are_batch_independent(self):
+        """Under nn.batch_invariant, a sample's prediction is bitwise
+        identical no matter which other samples share its batch."""
+        model = _small_model()
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(17, 6, 9)).astype(np.float32)
+        with nn.batch_invariant():
+            assert nn.batch_invariant_enabled()
+            full = model.predict(x)
+            singles = np.concatenate([model.predict(x[i:i + 1])
+                                      for i in range(len(x))])
+            prefix = model.predict(x[:5])
+        assert np.array_equal(full, singles)
+        assert np.array_equal(full[:5], prefix)
+        assert not nn.batch_invariant_enabled()
+
+    def test_batch_invariant_matches_default_kernels_closely(self):
+        model = _small_model()
+        x = np.random.default_rng(4).normal(size=(8, 6, 9)).astype(np.float32)
+        with nn.batch_invariant():
+            invariant = model.predict(x)
+        default = model.predict(x)
+        np.testing.assert_allclose(invariant, default, rtol=1e-5, atol=1e-6)

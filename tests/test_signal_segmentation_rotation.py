@@ -227,3 +227,44 @@ class TestUnits:
             accel_to_g(np.zeros(2), "ft/s^2")
         with pytest.raises(ValueError):
             gyro_to_dps(np.zeros(2), "rpm")
+
+
+class TestSegmentationVectorizationParity:
+    """The sliding_window_view fast path must match a per-window loop."""
+
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        window_ms=st.sampled_from([100.0, 250.0, 400.0]),
+        overlap=st.sampled_from([0.0, 0.25, 0.5, 0.75]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_segment_signal_matches_loop(self, n, window_ms, overlap):
+        config = SegmentationConfig(window_ms=window_ms, overlap=overlap)
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=(n, 9))
+        got = segment_signal(x, config)
+        starts = segment_starts(n, config)
+        window = config.window_samples
+        expected = np.stack([x[s:s + window] for s in starts]) if len(starts) \
+            else np.empty((0, window, 9))
+        assert got.shape == expected.shape
+        assert np.array_equal(got, expected)
+        assert got.flags["C_CONTIGUOUS"]
+
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        min_fraction=st.sampled_from([0.25, 0.5, 1.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_label_segments_matches_loop(self, n, min_fraction):
+        config = SegmentationConfig(window_ms=200.0, overlap=0.5)
+        rng = np.random.default_rng(n + 1)
+        labels = rng.integers(0, 2, size=n)
+        got = label_segments(labels, config, min_fraction=min_fraction)
+        starts = segment_starts(n, config)
+        window = config.window_samples
+        expected = np.array(
+            [int(labels[s:s + window].mean() >= min_fraction) for s in starts],
+            dtype=int,
+        )
+        assert np.array_equal(got, expected)
