@@ -1,16 +1,18 @@
 # Developer entry points. `make test` is the tier-1 gate; `make lint`
-# enforces the no-print rule in library code; `make check` runs both.
+# enforces the no-print and metric-name rules in library code; `make
+# check` runs lints + tests.
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench profile faults serve-bench
+.PHONY: test lint check bench profile faults serve-bench tail-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 lint:
 	$(PYTHON) scripts/check_no_print.py
+	$(PYTHON) scripts/check_metric_names.py
 
 check: lint test
 
@@ -22,7 +24,16 @@ profile:
 
 faults:
 	$(PYTHON) -m pytest tests -q -k "faults" && \
-	$(PYTHON) -m repro --scale quick faults
+	$(PYTHON) -m repro --scale quick faults --incident-dir benchmarks/results/incidents
 
 serve-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py -q
+
+# Quick serve workload with the dashboard rendered once to stdout, then
+# the exposition linted — exercises the whole export path end to end.
+tail-demo:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m repro tail --once --streams 8 --duration 4 \
+		--metrics-out benchmarks/results/serve_exposition.prom
+	$(PYTHON) scripts/check_metric_names.py --exposition \
+		benchmarks/results/serve_exposition.prom

@@ -2,19 +2,26 @@
 
 Trains a short CNN, then streams the held-out subject's recordings
 through the hardened detector once clean and once per built-in fault
-scenario.  Archives the comparison table the `repro faults` CLI prints.
+scenario.  The evaluation detector runs with a flight recorder armed, so
+the faulted trials archive incident files under ``benchmarks/results/``
+— and the bench closes the loop by replaying one of them and requiring a
+bit-identical reproduction.  Archives the comparison table the `repro
+faults` CLI prints.
 """
 
 from __future__ import annotations
 
+import pathlib
+
 from repro.eval.reports import render_faults_report
 from repro.experiments import run_fault_scenarios
+from repro.obs import render_replay_report, replay_incident
 
 
 def test_bench_fault_scenarios(scale, save_report):
-    results = run_fault_scenarios(scale)
+    incident_dir = pathlib.Path(__file__).parent / "results" / "incidents"
+    results = run_fault_scenarios(scale, incident_dir=str(incident_dir))
     report = render_faults_report(results)
-    save_report("faults_robustness", report)
 
     clean = results["clean"]
     assert clean["events"] == results["recordings"] > 0
@@ -28,3 +35,13 @@ def test_bench_fault_scenarios(scale, save_report):
     assert results["scenarios"]["burst_gap"]["stream_resets"] > 0
     # Killing the gyroscope must drive the detector into fault.
     assert "fault" in results["scenarios"]["gyro_dead"]["states_seen"]
+
+    # The fault run must have frozen incidents, and every capture must
+    # replay bit-identically (zero probability/decision diffs).
+    paths = results["incident_paths"]
+    assert paths, "fault run with incident_dir armed froze no incidents"
+    replay = replay_incident(paths[-1], model="recorded")
+    assert replay["identical"], replay
+    report += (f"\n\nflight recorder: {len(paths)} incident(s) archived in "
+               f"{incident_dir}\n" + render_replay_report(replay))
+    save_report("faults_robustness", report)

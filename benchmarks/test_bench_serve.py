@@ -9,8 +9,14 @@ match a solo-engine reference run exactly).
 
 from __future__ import annotations
 
+import pathlib
+import subprocess
+import sys
+
 from repro.core.architecture import build_lightweight_cnn
 from repro.serve import ServeBenchConfig, render_serve_report, run_serve_benchmark
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def test_bench_serve_scaling(save_report):
@@ -29,5 +35,23 @@ def test_bench_serve_scaling(save_report):
     assert report["inference_speedup"] >= 2.0
     assert report["windows_inferred"] > 0
     assert report["batches"] < report["windows_inferred"]
+
+    # The 32-stream scrape: per-stream health folded into one labelled
+    # family, plus the fleet-aggregated (merged-histogram) latency, and
+    # the whole text must parse under the metric-name lint.
+    exposition = report["exposition"]
+    assert 'repro_serve_stream_health{stream="s000"}' in exposition
+    assert 'repro_serve_stream_health{stream="s031"}' in exposition
+    assert "repro_serve_fleet_window_latency_ms_bucket" in exposition
+    assert 'le="+Inf"' in exposition
+    prom_path = pathlib.Path(__file__).parent / "results" / "serve_exposition.prom"
+    prom_path.parent.mkdir(exist_ok=True)
+    prom_path.write_text(exposition, encoding="utf-8")
+    lint = subprocess.run(
+        [sys.executable, str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(prom_path)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 0, lint.stdout + lint.stderr
 
     save_report("serve_scaling", render_serve_report(report))

@@ -14,6 +14,8 @@ Usage::
     python -m repro profile --scale quick --trace-out trace.jsonl
     python -m repro faults --scenarios dropout gyro_dead
     python -m repro serve-bench --streams 32 --duration 8
+    python -m repro replay benchmarks/results/incidents/incident-....jsonl
+    python -m repro tail --streams 8 --duration 6 --once
 
 Every command prints the same paper-vs-measured report the benchmark
 harness archives.  ``--verbose`` (repeatable) turns on the library's
@@ -104,6 +106,36 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--deadline-ms", type=float, default=None,
                         help="real-time deadline per window inference "
                              "(default: the hop interval)")
+    faults.add_argument("--incident-dir", default=None,
+                        help="arm a flight recorder on the evaluation "
+                             "detector and write incident files here")
+    replay = sub.add_parser(
+        "replay",
+        help="deterministically re-run a flight-recorder incident file "
+             "and diff probabilities/decisions against the record",
+    )
+    replay.add_argument("incident", help="incident .jsonl file to replay")
+    replay.add_argument("--weights", default=None,
+                        help="rebuild the CNN from this weights file and "
+                             "recompute probabilities live (default: "
+                             "replay the recorded probabilities)")
+    tail = sub.add_parser(
+        "tail",
+        help="live terminal dashboard over a flight-recording serve "
+             "engine fed synthetic streams (two with injected faults)",
+    )
+    tail.add_argument("--streams", type=int, default=8,
+                      help="number of concurrent synthetic streams")
+    tail.add_argument("--duration", type=float, default=6.0,
+                      help="seconds of signal per stream")
+    tail.add_argument("--seed", type=int, default=11,
+                      help="workload generator seed")
+    tail.add_argument("--once", action="store_true",
+                      help="render one final frame instead of refreshing")
+    tail.add_argument("--metrics-out", default=None,
+                      help="write the closing Prometheus exposition here")
+    tail.add_argument("--incident-dir", default=None,
+                      help="write per-stream incident files here")
     serve_bench = sub.add_parser(
         "serve-bench",
         help="multi-stream serving benchmark: micro-batched ServeEngine "
@@ -247,8 +279,69 @@ def _cmd_faults(scale, args):
         model=None if args.fallback_only else "train",
         max_epochs=args.epochs,
         deadline_ms=args.deadline_ms,
+        incident_dir=args.incident_dir,
     )
-    return render_faults_report(result)
+    report = render_faults_report(result)
+    if args.incident_dir is not None:
+        paths = result.get("incident_paths", [])
+        report += (f"\n[{len(paths)} incident file(s) in "
+                   f"{args.incident_dir}; replay any with "
+                   f"'repro replay <file>']")
+    return report
+
+
+def _cmd_replay(args):
+    from .obs import load_incident, render_replay_report, replay_incident
+
+    incident = load_incident(args.incident)
+    if args.weights is not None:
+        from .core.architecture import build_lightweight_cnn
+        from .core.detector import DetectorConfig
+        from .nn.serialization import load_weights
+
+        config = DetectorConfig(**{
+            **incident.meta["config"],
+            "channel_scales": tuple(
+                incident.meta["config"]["channel_scales"]),
+        })
+        model = build_lightweight_cnn(config.window_samples)
+        load_weights(model, args.weights)
+    else:
+        model = "recorded"
+    result = replay_incident(incident, model=model)
+    report = render_replay_report(result)
+    # A diverging replay is a failed regression test: non-zero exit so
+    # scripts (and CI) can gate on it.
+    return report, 0 if result["identical"] else 1
+
+
+def _cmd_tail(args):
+    from .core.architecture import build_lightweight_cnn
+    from .serve import TailConfig, run_tail
+
+    config = TailConfig(
+        n_streams=args.streams,
+        duration_s=args.duration,
+        seed=args.seed,
+        incident_dir=args.incident_dir,
+    )
+    model = build_lightweight_cnn(config.detector.window_samples)
+    on_frame = None
+    if not args.once:
+        def on_frame(frame):
+            # ANSI home+clear per frame: a refreshing dashboard on any
+            # VT100 terminal, harmless noise when piped to a file.
+            print("\x1b[H\x1b[2J" + frame, flush=True)
+    result = run_tail(model, config, on_frame=on_frame)
+    output = result["final_frame"]
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(result["exposition"])
+        output += f"\n[exposition written to {args.metrics_out}]"
+    if args.incident_dir is not None:
+        output += (f"\n[{len(result['incident_paths'])} incident file(s) "
+                   f"in {args.incident_dir}]")
+    return output
 
 
 def _cmd_serve_bench(args):
@@ -308,6 +401,12 @@ def main(argv=None) -> int:
         output = _cmd_profile(scale, args)
     elif args.command == "faults":
         output = _cmd_faults(scale, args)
+    elif args.command == "replay":
+        output, code = _cmd_replay(args)
+        print(output)
+        return code
+    elif args.command == "tail":
+        output = _cmd_tail(args)
     elif args.command == "serve-bench":
         output = _cmd_serve_bench(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -44,7 +44,7 @@ from __future__ import annotations
 import math
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 import numpy as np
 
@@ -285,9 +285,13 @@ class FallDetector:
         *,
         registry=None,
         metric_prefix: str = "detector",
+        recorder=None,
     ):
         self.model = model
         self.config = config or DetectorConfig()
+        #: Optional :class:`repro.obs.FlightRecorder` riding along; the
+        #: detector feeds it every sample/window/decision/health event.
+        self.recorder = recorder
         cfg = self.config
         sos = butter_lowpass_sos(cfg.filter_order, cfg.filter_cutoff_hz, cfg.fs)
         self._filter = OnlineSosFilter(sos, channels=9)
@@ -313,10 +317,20 @@ class FallDetector:
         )
         self._init_stream_state()
         self._init_health_state()
+        if recorder is not None:
+            recorder.bind(
+                config=asdict(cfg),
+                has_model=model is not None,
+                snapshot_fn=lambda: {
+                    "health": self.health_report(),
+                    "latency": self.latency_report(),
+                },
+            )
 
     def _counter(self, name: str):
         """A registry counter under this instance's metric namespace."""
-        return self._metrics.counter(f"{self._metric_prefix}/{name}")
+        return self._metrics.counter(  # metric-name: dynamic
+            f"{self._metric_prefix}/{name}")
 
     # ------------------------------------------------------------------
     # state management
@@ -372,6 +386,8 @@ class FallDetector:
         if not preserve_latency_stats:
             self.latency.reset()
             self._deadline_violations = 0
+        if self.recorder is not None:
+            self.recorder.note_reset()
 
     # ------------------------------------------------------------------
     # reporting
@@ -602,6 +618,8 @@ class FallDetector:
                 self._sample_index,
             )
             self._health = new
+            if self.recorder is not None:
+                self.recorder.record_health(self._sample_index, current, new)
 
     def _shed_cnn(self) -> None:
         self._cnn_shed = True
@@ -638,12 +656,15 @@ class FallDetector:
         if fallback_hit and (not self._cnn_available or not window_ready):
             self.fallback_detections += 1
             self._counter("fallback_detections").inc()
-            return Detection(
+            detection = Detection(
                 sample_index=sample_index,
                 time_s=time_s,
                 probability=1.0,
                 source="fallback",
             )
+            if self.recorder is not None:
+                self.recorder.record_decision(detection)
+            return detection
         return None
 
     def complete(
@@ -665,6 +686,11 @@ class FallDetector:
         Mirrors the inline ``push`` decision bit for bit; never raises.
         """
         if failed:
+            if self.recorder is not None:
+                self.recorder.record_window(
+                    request.sample_index, None, None,
+                    violation=False, failed=True, window=request.window,
+                )
             self.inference_errors += 1
             self._counter("inference_errors").inc()
             _logger.exception("model inference raised; shedding CNN path")
@@ -674,9 +700,15 @@ class FallDetector:
                 request.sample_index, window_ready=True,
             )
         cfg = self.config
+        violation = latency_ms is not None and latency_ms > self._deadline
+        if self.recorder is not None:
+            self.recorder.record_window(
+                request.sample_index, float(probability), latency_ms,
+                violation=violation, failed=False, window=request.window,
+            )
         if latency_ms is not None:
             self.latency.observe(latency_ms)
-            if latency_ms > self._deadline:
+            if violation:
                 self._deadline_violations += 1
                 self._consecutive_violations += 1
                 _logger.debug(
@@ -704,12 +736,15 @@ class FallDetector:
         if prob >= cfg.threshold:
             self._hit_streak += 1
             if self._hit_streak >= cfg.consecutive_required:
-                return Detection(
+                detection = Detection(
                     sample_index=request.sample_index,
                     time_s=request.time_s,
                     probability=prob,
                     source="cnn",
                 )
+                if self.recorder is not None:
+                    self.recorder.record_decision(detection)
+                return detection
         else:
             self._hit_streak = 0
         return None
@@ -823,6 +858,14 @@ class FallDetector:
         window_due = self._ingest(accel, gyro)
         self._update_health(anomaly)
         hit = self._decide(window_due, fallback_hit, time_s, collect)
+        if self.recorder is not None:
+            # Recorded raw values are the *incoming* ones, pre-repair, so
+            # replay re-feeds exactly what the device saw; fill samples
+            # are synthesised deterministically on replay and not stored.
+            self.recorder.record_sample(
+                self._sample_index, t, accel_g, gyro_dps,
+                self._last_raw, anomaly, self._health,
+            )
         return detection or hit, collect if collect is not None else []
 
     def run(

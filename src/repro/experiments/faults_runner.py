@@ -16,7 +16,7 @@ import numpy as np
 from ..core.architecture import build_lightweight_cnn
 from ..core.detector import DetectorConfig, FallDetector
 from ..faults import FaultScenario, builtin_scenarios
-from ..obs import get_logger
+from ..obs import FlightConfig, FlightRecorder, get_logger
 from .configs import ExperimentScale, get_scale
 from .runners import (
     _segments_for,
@@ -110,6 +110,7 @@ def run_fault_scenarios(
     window_ms: float = 400.0,
     deadline_ms: float | None = None,
     airbag_ms: float = 150.0,
+    incident_dir: str | None = None,
 ) -> dict:
     """Clean-vs-faulted event evaluation on held-out subjects.
 
@@ -118,6 +119,11 @@ def run_fault_scenarios(
     the CNN branch disabled outright), or any object with ``predict``.
     ``scenarios`` is ``None`` for the full built-in suite, a list of
     built-in names, or a dict ``{name: FaultScenario}``.
+
+    ``incident_dir`` arms a :class:`repro.obs.FlightRecorder` on the
+    evaluation detector: every detection / fallback / health-flip during
+    the faulted trials freezes an incident file there, each of which
+    ``repro replay`` can re-run bit-identically.
     """
     scale = scale or get_scale()
     dataset = build_experiment_dataset(scale)
@@ -149,9 +155,16 @@ def run_fault_scenarios(
         )
         model, _ = train_model(build_lightweight_cnn, train, val, config)
     recordings = [r for r in dataset if r.subject_id == stream_subject]
+    recorder = None
+    if incident_dir is not None:
+        recorder = FlightRecorder(
+            FlightConfig(out_dir=incident_dir),
+            stream_id=f"faults:{stream_subject}",
+        )
     detector = FallDetector(
         model if model != "train" else None,
         DetectorConfig(window_ms=window_ms, deadline_ms=deadline_ms),
+        recorder=recorder,
     )
     _logger.info(
         "fault evaluation: %d recordings of %s under %d scenarios",
@@ -174,4 +187,8 @@ def run_fault_scenarios(
             for name, scenario in scenarios.items()
         },
     }
+    if recorder is not None:
+        recorder.flush()
+        results["incident_paths"] = list(recorder.incident_paths)
+        results["suppressed_triggers"] = recorder.suppressed_triggers
     return results

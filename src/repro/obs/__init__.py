@@ -36,6 +36,16 @@ Example — time a pipeline stage and summarise detector latency::
 full pipeline → train → streaming-detector workload.
 """
 
+from .export import MetricsSampler, metric_to_family, render_exposition
+from .flight import (
+    TRIGGERS,
+    FlightConfig,
+    FlightRecorder,
+    Incident,
+    load_incident,
+    render_replay_report,
+    replay_incident,
+)
 from .log import configure_logging, get_logger
 from .metrics import (
     Counter,
@@ -44,6 +54,7 @@ from .metrics import (
     MetricsRegistry,
     default_latency_buckets,
     get_registry,
+    load_snapshot,
 )
 from .report import aggregate_spans, format_span_tree
 from .trace import (
@@ -78,6 +89,19 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "default_latency_buckets",
+    "load_snapshot",
+    # export
+    "MetricsSampler",
+    "render_exposition",
+    "metric_to_family",
+    # flight
+    "FlightConfig",
+    "FlightRecorder",
+    "Incident",
+    "load_incident",
+    "replay_incident",
+    "render_replay_report",
+    "TRIGGERS",
     # report
     "aggregate_spans",
     "format_span_tree",

@@ -1,0 +1,227 @@
+"""Metrics time-series sampling and Prometheus-style text exposition.
+
+Point-in-time ``registry.snapshot()`` answers "what is the p95 *now*";
+a fleet operator needs "how has it evolved" and a scrape endpoint needs
+the wire format.  Two pieces close that gap:
+
+* :class:`MetricsSampler` — snapshots a registry on a fixed monotonic
+  cadence into a bounded in-memory series (O(capacity) forever), either
+  driven manually from a serving loop (``maybe_sample``) or by its own
+  daemon thread (``start``/``stop``);
+* :func:`render_exposition` — renders a registry as Prometheus text
+  exposition: ``# TYPE`` lines, cumulative ``_bucket{le="..."}``
+  histogram series ending at ``+Inf``, and the documented per-stream
+  namespace ``<prefix>/stream/<id>/<metric>`` folded into one metric
+  family per ``<metric>`` with a ``stream`` label, so 32 streams are 32
+  labelled series rather than 32 metric families.
+
+``scripts/check_metric_names.py --exposition`` lints the rendered text.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import time
+from collections import deque
+
+from .metrics import Counter, Histogram, MetricsRegistry, get_registry
+
+__all__ = ["MetricsSampler", "render_exposition", "metric_to_family"]
+
+#: ``<prefix>/stream/<id>/<metric>`` — the one documented namespace whose
+#: middle segment is data-derived (see README "Serving").
+_STREAM_RE = re.compile(r"^(?P<head>.+)/stream/(?P<id>[^/]+)/(?P<rest>.+)$")
+_UNSAFE_RE = re.compile(r"[^a-z0-9_]")
+
+
+class MetricsSampler:
+    """Bounded time series of registry snapshots on a monotonic cadence.
+
+    ``interval_s`` is the minimum spacing :meth:`maybe_sample` enforces;
+    ``capacity`` bounds memory — the oldest snapshot is evicted first,
+    the same ring-buffer discipline as the flight recorder.  ``now`` can
+    be injected everywhere (e.g. stream time instead of wall time), which
+    keeps sampled benchmarks deterministic.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None,
+                 interval_s: float = 1.0, capacity: int = 600):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.registry = registry if registry is not None else get_registry()
+        self.interval_s = float(interval_s)
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=capacity)
+        self._last_t: float | None = None
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def sample(self, now: float | None = None) -> dict:
+        """Take one snapshot unconditionally; returns the stored entry."""
+        if now is None:
+            now = time.monotonic()
+        entry = {"t": float(now), "metrics": self.registry.snapshot()}
+        with self._lock:
+            self._samples.append(entry)
+            self._last_t = entry["t"]
+        return entry
+
+    def maybe_sample(self, now: float | None = None) -> dict | None:
+        """Snapshot only when ``interval_s`` has elapsed since the last
+        one — the hook a serving loop calls every round."""
+        if now is None:
+            now = time.monotonic()
+        with self._lock:
+            due = (self._last_t is None
+                   or now - self._last_t >= self.interval_s)
+        return self.sample(now) if due else None
+
+    def snapshots(self) -> list:
+        """Oldest-first copy of the retained snapshots."""
+        with self._lock:
+            return list(self._samples)
+
+    def series(self, name: str, field: str | None = None) -> list:
+        """Extract one metric as ``(t, value)`` pairs across the series.
+
+        ``field`` selects inside a histogram snapshot (e.g. ``"p95"``);
+        snapshots missing the metric are skipped, so a series is well
+        defined even for metrics created mid-run.
+        """
+        out = []
+        for entry in self.snapshots():
+            value = entry["metrics"].get(name)
+            if value is None:
+                continue
+            if field is not None:
+                if not isinstance(value, dict) or field not in value:
+                    continue
+                value = value[field]
+            out.append((entry["t"], value))
+        return out
+
+    # -- optional background cadence -----------------------------------
+    def start(self) -> None:
+        """Sample from a daemon thread every ``interval_s`` until
+        :meth:`stop`.  Manual ``sample``/``maybe_sample`` still work."""
+        if self._thread is not None:
+            raise RuntimeError("sampler thread already running")
+        self._stop.clear()
+
+        def _loop():
+            while not self._stop.wait(self.interval_s):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-metrics-sampler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+
+def metric_to_family(name: str, namespace: str = "repro") -> tuple:
+    """Map a registry metric name onto ``(family, labels)``.
+
+    ``serve/stream/s007/health`` → ``("repro_serve_stream_health",
+    {"stream": "s007"})``; any other name flattens slashes to
+    underscores.  Characters outside ``[a-z0-9_]`` are replaced so the
+    family always satisfies the exposition lint, whatever the stream id
+    contains (the raw id survives in the label value).
+    """
+    match = _STREAM_RE.match(name)
+    if match:
+        flat = f"{match.group('head')}/stream/{match.group('rest')}"
+        labels = {"stream": match.group("id")}
+    else:
+        flat = name
+        labels = {}
+    family = _UNSAFE_RE.sub("_", f"{namespace}/{flat}".lower().replace("/", "_"))
+    return family, labels
+
+
+def _fmt_value(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"'
+                     for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_exposition(registry: MetricsRegistry | None = None, *,
+                      namespace: str = "repro",
+                      extra: dict | None = None) -> str:
+    """Render a registry as Prometheus text exposition.
+
+    ``extra`` merges additional ``{name: metric_object}`` series that do
+    not live in the registry — e.g. the serve engine's fleet-aggregated
+    (merged) latency histogram.  Same-family series (the per-stream
+    namespace) share one ``# TYPE`` line; a family collected at two
+    different metric types is a naming bug and raises.
+    """
+    registry = registry if registry is not None else get_registry()
+    metrics = registry.metrics()
+    if extra:
+        metrics = {**metrics, **extra}
+    families: dict = {}
+    for name in sorted(metrics):
+        metric = metrics[name]
+        family, labels = metric_to_family(name, namespace)
+        if isinstance(metric, Histogram):
+            kind = "histogram"
+        elif isinstance(metric, Counter):
+            kind = "counter"
+        else:
+            kind = "gauge"
+        entry = families.setdefault(family, {"type": kind, "series": []})
+        if entry["type"] != kind:
+            raise ValueError(
+                f"metric family {family!r} rendered as both "
+                f"{entry['type']} and {kind}; fix the metric names"
+            )
+        entry["series"].append((labels, metric))
+    lines = []
+    for family in sorted(families):
+        entry = families[family]
+        lines.append(f"# TYPE {family} {entry['type']}")
+        for labels, metric in entry["series"]:
+            if entry["type"] == "histogram":
+                snap = metric.snapshot()
+                for edge, count in snap["buckets"]:
+                    le = "+Inf" if edge is None else _fmt_value(edge)
+                    bucket_labels = dict(labels, le=le)
+                    lines.append(
+                        f"{family}_bucket{_fmt_labels(bucket_labels)} "
+                        f"{count}"
+                    )
+                lines.append(f"{family}_sum{_fmt_labels(labels)} "
+                             f"{_fmt_value(snap['sum'])}")
+                lines.append(f"{family}_count{_fmt_labels(labels)} "
+                             f"{snap['count']}")
+            else:
+                lines.append(f"{family}{_fmt_labels(labels)} "
+                             f"{_fmt_value(metric.value)}")
+    return "\n".join(lines) + "\n"

@@ -10,6 +10,7 @@ counter would use.
 
 from __future__ import annotations
 
+import json
 import threading
 
 __all__ = [
@@ -19,7 +20,13 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "default_latency_buckets",
+    "load_snapshot",
 ]
+
+#: Schema version of the metrics-snapshot JSONL files written by
+#: :meth:`MetricsRegistry.snapshot_to_jsonl`.
+SNAPSHOT_FORMAT = "repro-metrics-snapshot"
+SNAPSHOT_VERSION = 1
 
 
 class Counter:
@@ -160,6 +167,80 @@ class Histogram:
             "p99": self.percentile(99.0),
         }
 
+    def bucket_counts(self) -> tuple:
+        """Raw per-bucket counts, one per edge plus the overflow bucket."""
+        with self._lock:
+            return tuple(self._counts)
+
+    def cumulative_buckets(self) -> list:
+        """Prometheus-style cumulative buckets: ``(upper_edge, count<=edge)``
+        pairs, ending with ``(None, total)`` — the ``+Inf`` bucket."""
+        with self._lock:
+            counts = list(self._counts)
+        out, running = [], 0
+        for edge, count in zip(self.edges, counts):
+            running += count
+            out.append((edge, running))
+        out.append((None, running + counts[-1]))
+        return out
+
+    def snapshot(self) -> dict:
+        """:meth:`summary` plus the raw exposition data: ``sum`` and the
+        cumulative ``buckets`` (``[upper_edge_or_None, count]`` pairs)."""
+        out = self.summary()
+        with self._lock:
+            out["sum"] = self._sum
+        out["buckets"] = [[edge, count]
+                          for edge, count in self.cumulative_buckets()]
+        return out
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram (fleet view).
+
+        Both histograms must share identical bucket edges — merging is a
+        plain element-wise sum of raw bucket counts, so per-stream latency
+        histograms aggregate exactly.  Returns ``self`` for chaining.
+        """
+        if not isinstance(other, Histogram):
+            raise TypeError(f"can only merge Histogram, got "
+                            f"{type(other).__name__}")
+        if other.edges != self.edges:
+            raise ValueError(
+                f"bucket edges differ: {len(self.edges)} edges vs "
+                f"{len(other.edges)}; merge needs identical buckets"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other._count, other._sum
+            lo, hi = other._min, other._max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self._count += count
+            self._sum += total
+            self._min = min(self._min, lo)
+            self._max = max(self._max, hi)
+        return self
+
+    @classmethod
+    def from_entry(cls, entry: dict) -> "Histogram":
+        """Rebuild a histogram from a :meth:`MetricsRegistry.snapshot_to_jsonl`
+        entry, so archived per-run snapshots can be merged offline."""
+        hist = cls(buckets=entry["edges"])
+        counts = entry["counts"]
+        if len(counts) != len(hist._counts):
+            raise ValueError(
+                f"entry has {len(counts)} bucket counts for "
+                f"{len(hist.edges)} edges"
+            )
+        hist._counts = [int(c) for c in counts]
+        hist._count = int(entry["count"])
+        hist._sum = float(entry["sum"])
+        if entry["count"]:
+            hist._min = float(entry["min"])
+            hist._max = float(entry["max"])
+        return hist
+
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * (len(self.edges) + 1)
@@ -203,18 +284,65 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._metrics)
 
+    def metrics(self) -> dict:
+        """Name → metric *object* view (sorted copy) for typed consumers
+        like the Prometheus exposition renderer."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metrics[name] for name in sorted(metrics)}
+
     def snapshot(self) -> dict:
-        """Plain-dict view: counters/gauges → value, histograms → summary."""
+        """Plain-dict view: counters/gauges → value, histograms → summary
+        plus raw cumulative buckets (see :meth:`Histogram.snapshot`)."""
         with self._lock:
             metrics = dict(self._metrics)
         out = {}
         for name in sorted(metrics):
             metric = metrics[name]
             if isinstance(metric, Histogram):
-                out[name] = metric.summary()
+                out[name] = metric.snapshot()
             else:
                 out[name] = metric.value
         return out
+
+    def snapshot_to_jsonl(self, path) -> int:
+        """Archive the registry to a versioned JSONL file (atomic write).
+
+        Line 1 is a schema header; every following line is one metric with
+        its type and, for histograms, the raw bucket edges/counts needed
+        to :meth:`Histogram.merge` runs offline.  Mirrors the trace
+        collector's ``export_jsonl``.  Returns the metric count.
+        """
+        from ..utils import atomic_write
+
+        metrics = self.metrics()
+        with atomic_write(path) as fh:
+            fh.write(json.dumps({
+                "format": SNAPSHOT_FORMAT,
+                "version": SNAPSHOT_VERSION,
+                "metrics": len(metrics),
+            }) + "\n")
+            for name, metric in metrics.items():
+                if isinstance(metric, Histogram):
+                    with metric._lock:
+                        entry = {
+                            "name": name,
+                            "type": "histogram",
+                            "edges": list(metric.edges),
+                            "counts": list(metric._counts),
+                            "count": metric._count,
+                            "sum": metric._sum,
+                            "min": metric._min if metric._count else None,
+                            "max": metric._max if metric._count else None,
+                        }
+                elif isinstance(metric, Counter):
+                    entry = {"name": name, "type": "counter",
+                             "value": metric.value}
+                else:
+                    entry = {"name": name, "type": "gauge",
+                             "value": metric.value}
+                fh.write(json.dumps(entry) + "\n")
+        return len(metrics)
 
     def reset(self) -> None:
         with self._lock:
@@ -225,6 +353,52 @@ class MetricsRegistry:
     def clear(self) -> None:
         with self._lock:
             self._metrics.clear()
+
+
+def load_snapshot(path) -> dict:
+    """Read a file written by :meth:`MetricsRegistry.snapshot_to_jsonl`.
+
+    Validates the schema header (clear errors on a foreign or
+    newer-version file, like ``datasets.load_dataset``) and returns
+    ``{name: entry}`` where each entry carries its ``type`` plus the raw
+    values; rebuild histograms with :meth:`Histogram.from_entry`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in (raw.strip() for raw in fh) if line]
+    if not lines:
+        raise ValueError(f"{path}: empty file, not a metrics snapshot")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: header is not JSON: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+        raise ValueError(
+            f"{path}: not a {SNAPSHOT_FORMAT} file "
+            f"(header {header!r})"
+        )
+    version = header.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"{path}: snapshot version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION}); "
+            f"re-archive with the current code"
+        )
+    out: dict = {}
+    for lineno, line in enumerate(lines[1:], start=2):
+        entry = json.loads(line)
+        if "name" not in entry or entry.get("type") not in (
+                "counter", "gauge", "histogram"):
+            raise ValueError(
+                f"{path}:{lineno}: malformed metric entry {entry!r}"
+            )
+        out[entry["name"]] = entry
+    declared = header.get("metrics")
+    if declared is not None and declared != len(out):
+        raise ValueError(
+            f"{path}: header declares {declared} metrics, found {len(out)} "
+            f"(truncated file?)"
+        )
+    return out
 
 
 _DEFAULT = MetricsRegistry()

@@ -16,6 +16,7 @@ sequential per-stream baseline and the engine and reports the speedup
 """
 
 from .bench import ServeBenchConfig, render_serve_report, run_serve_benchmark
+from .dashboard import TailConfig, render_dashboard, run_tail, sparkline
 from .engine import ServeConfig, ServeEngine
 from .session import StreamSession
 
@@ -24,6 +25,10 @@ __all__ = [
     "ServeConfig",
     "ServeEngine",
     "StreamSession",
+    "TailConfig",
+    "render_dashboard",
     "render_serve_report",
     "run_serve_benchmark",
+    "run_tail",
+    "sparkline",
 ]

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.detector import DetectorConfig, FallDetector
+from ..obs.export import render_exposition
 from ..obs.metrics import MetricsRegistry
 from .engine import ServeConfig, ServeEngine
 
@@ -154,6 +155,12 @@ def run_serve_benchmark(model, config: ServeBenchConfig | None = None) -> dict:
             mismatched.append(stream_id)
     n_samples = sum(len(t) for _, _, t in streams.values())
     report = engine.report()
+    # Scrape-format snapshot of the batched arm: per-stream series plus
+    # the fleet-aggregated (merged-histogram) window latency.
+    exposition = render_exposition(
+        engine.registry,
+        extra={"serve/fleet/window_latency_ms": engine.fleet_latency()},
+    )
     return {
         "n_streams": config.n_streams,
         "duration_s": config.duration_s,
@@ -173,6 +180,7 @@ def run_serve_benchmark(model, config: ServeBenchConfig | None = None) -> dict:
         "batched_detections": sum(map(len, bat_detections.values())),
         "mismatched_streams": mismatched,
         "engine_report": report,
+        "exposition": exposition,
     }
 
 

@@ -40,7 +40,7 @@ import numpy as np
 
 from ..core.detector import Detection, DetectorConfig
 from ..nn.config import batch_invariant
-from ..obs import get_logger, get_registry
+from ..obs import FlightConfig, Histogram, get_logger, get_registry
 from .session import StreamSession
 
 __all__ = ["ServeConfig", "ServeEngine"]
@@ -73,6 +73,11 @@ class ServeConfig:
     #: (``<prefix>/stream/<id>/...``).  Disable to share one namespace
     #: when stream cardinality would flood the registry.
     per_stream_metrics: bool = True
+    #: Attach a :class:`repro.obs.FlightRecorder` with this config to
+    #: every session, so incidents (detections, shedding, health flips,
+    #: quarantines) freeze the stream's recent history to disk.  ``None``
+    #: serves without flight recording.
+    flight: FlightConfig | None = None
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -148,6 +153,7 @@ class ServeEngine:
                 registry=self.registry,
                 metric_prefix=f"{self.config.metric_prefix}/stream",
                 per_stream_metrics=self.config.per_stream_metrics,
+                flight=self.config.flight,
             )
             self._sessions[stream_id] = session
         return session
@@ -310,6 +316,11 @@ class ServeEngine:
         session.queue.clear()
         session.staged = []
         self.stream_errors += 1
+        if session.recorder is not None:
+            # The most valuable capture of all: what the stream looked
+            # like right before its detector broke the no-raise promise.
+            session.recorder.mark("quarantined")
+            session.recorder.flush()
         _logger.exception(
             "detector for stream %r raised; quarantining the session",
             session.stream_id,
@@ -327,7 +338,8 @@ class ServeEngine:
             total = getattr(self, name)
             delta = total - self._synced.get(name, 0)
             if delta:
-                self.registry.counter(f"{prefix}/{name}").inc(delta)
+                self.registry.counter(  # metric-name: dynamic
+                    f"{prefix}/{name}").inc(delta)
                 self._synced[name] = total
 
     @property
@@ -343,6 +355,36 @@ class ServeEngine:
         """Per-stream health/counter view (see ``StreamSession.report``)."""
         return {sid: session.report()
                 for sid, session in self._sessions.items()}
+
+    def fleet_latency(self) -> Histogram:
+        """Every stream's per-window latency merged into one histogram.
+
+        The per-stream histograms live on the detectors (identical bucket
+        edges), so the fleet view is an exact merge, not an estimate.
+        Returns a fresh histogram; pass it to
+        :func:`repro.obs.render_exposition` via ``extra=`` — merging into
+        the registry would double-count the per-stream series.
+        """
+        fleet = Histogram(buckets=_LATENCY_BUCKETS_MS)
+        for session in self._sessions.values():
+            fleet.merge(session.detector.latency)
+        return fleet
+
+    def incident_paths(self) -> list[str]:
+        """Incident files written by every stream's flight recorder."""
+        return [path for session in self._sessions.values()
+                if session.recorder is not None
+                for path in session.recorder.incident_paths]
+
+    def flush_incidents(self) -> int:
+        """Freeze any pending captures (shutdown / end of bench); returns
+        how many incidents were flushed."""
+        flushed = 0
+        for session in self._sessions.values():
+            if (session.recorder is not None
+                    and session.recorder.flush() is not None):
+                flushed += 1
+        return flushed
 
     def report(self) -> dict:
         """Engine-level serving summary."""

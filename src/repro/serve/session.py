@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import deque
 
 from ..core.detector import DetectorConfig, FallDetector
+from ..obs import FlightRecorder
 
 __all__ = ["StreamSession"]
 
@@ -30,6 +31,7 @@ class StreamSession:
     __slots__ = (
         "stream_id",
         "detector",
+        "recorder",
         "queue",
         "staged",
         "dropped_samples",
@@ -47,12 +49,18 @@ class StreamSession:
         registry=None,
         metric_prefix: str = "serve/stream",
         per_stream_metrics: bool = True,
+        flight=None,
     ):
         prefix = (f"{metric_prefix}/{stream_id}" if per_stream_metrics
                   else metric_prefix)
         self.stream_id = stream_id
+        #: Per-stream flight recorder (``None`` unless the engine config
+        #: carries a :class:`repro.obs.FlightConfig`).
+        self.recorder = (FlightRecorder(flight, stream_id=stream_id)
+                         if flight is not None else None)
         self.detector = FallDetector(
             model, config, registry=registry, metric_prefix=prefix,
+            recorder=self.recorder,
         )
         self.queue: deque = deque()
         #: Requests staged by the last ``push_collect`` and not yet
@@ -79,4 +87,6 @@ class StreamSession:
             "deadline_violations": self.detector.deadline_violations,
             "fallback_detections": self.detector.fallback_detections,
             "cnn_shed": self.detector.health_report()["cnn_shed"],
+            "incidents": (len(self.recorder.incidents)
+                          if self.recorder is not None else 0),
         }

@@ -1,0 +1,232 @@
+"""Metrics export: bucket snapshots, merge, JSONL round-trip, sampler,
+Prometheus exposition (and its lint)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsSampler,
+    load_snapshot,
+    metric_to_family,
+    render_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+# ----------------------------------------------------------------------
+# histogram buckets / merge / round-trip
+# ----------------------------------------------------------------------
+def test_histogram_snapshot_superset_of_summary():
+    hist = Histogram(buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 100.0):
+        hist.observe(v)
+    summary = hist.summary()
+    snap = hist.snapshot()
+    for key, value in summary.items():     # summary() unchanged, embedded
+        assert snap[key] == value
+    assert snap["sum"] == pytest.approx(105.0)
+    # Cumulative, Prometheus-style, +Inf (None edge) last and == count.
+    assert snap["buckets"] == [[1.0, 1], [2.0, 2], [4.0, 3], [None, 4]]
+    assert hist.bucket_counts() == (1, 1, 1, 1)
+
+
+def test_histogram_merge_exact():
+    a, b = Histogram(buckets=(1.0, 2.0)), Histogram(buckets=(1.0, 2.0))
+    for v in (0.5, 1.8):
+        a.observe(v)
+    for v in (0.2, 5.0, 1.1):
+        b.observe(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.bucket_counts() == (2, 2, 1)
+    assert a.summary()["min"] == 0.2
+    assert a.summary()["max"] == 5.0
+    with pytest.raises(ValueError, match="edges differ"):
+        a.merge(Histogram(buckets=(1.0, 3.0)))
+    with pytest.raises(TypeError):
+        a.merge("not a histogram")
+
+
+def test_registry_snapshot_jsonl_round_trip(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("detector/repaired_samples").inc(3)
+    registry.gauge("detector/health").set(1.0)
+    hist = registry.histogram("detector/latency_ms", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 9.0):
+        hist.observe(v)
+    path = tmp_path / "metrics.jsonl"
+    assert registry.snapshot_to_jsonl(path) == 3
+
+    entries = load_snapshot(path)
+    assert entries["detector/repaired_samples"]["value"] == 3
+    assert entries["detector/health"]["value"] == 1.0
+    rebuilt = Histogram.from_entry(entries["detector/latency_ms"])
+    assert rebuilt.summary() == hist.summary()
+    assert rebuilt.bucket_counts() == hist.bucket_counts()
+    # Rebuilt histograms merge like live ones (offline fleet aggregation).
+    rebuilt.merge(hist)
+    assert rebuilt.count == 6
+
+
+def test_load_snapshot_validation(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_snapshot(path)
+    path.write_text("not json\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        load_snapshot(path)
+    path.write_text('{"format": "other", "version": 1}\n')
+    with pytest.raises(ValueError, match="not a repro-metrics-snapshot"):
+        load_snapshot(path)
+    path.write_text('{"format": "repro-metrics-snapshot", "version": 42}\n')
+    with pytest.raises(ValueError, match="version"):
+        load_snapshot(path)
+    path.write_text(
+        '{"format": "repro-metrics-snapshot", "version": 1, "metrics": 2}\n'
+        '{"name": "a", "type": "counter", "value": 1}\n'
+    )
+    with pytest.raises(ValueError, match="declares 2"):
+        load_snapshot(path)
+
+
+# ----------------------------------------------------------------------
+# sampler
+# ----------------------------------------------------------------------
+def test_sampler_bounded_and_cadence():
+    registry = MetricsRegistry()
+    counter = registry.counter("serve/samples_in")
+    sampler = MetricsSampler(registry, interval_s=1.0, capacity=3)
+    for step in range(6):
+        counter.inc(10)
+        sampler.sample(now=float(step))
+    assert len(sampler) == 3               # bounded: oldest evicted
+    series = sampler.series("serve/samples_in")
+    assert series == [(3.0, 40), (4.0, 50), (5.0, 60)]
+    # maybe_sample respects the cadence on injected clocks.
+    assert sampler.maybe_sample(now=5.5) is None
+    assert sampler.maybe_sample(now=6.0) is not None
+
+
+def test_sampler_series_field_selects_histogram_stat():
+    registry = MetricsRegistry()
+    hist = registry.histogram("serve/batch_latency_ms", buckets=(1.0, 8.0))
+    sampler = MetricsSampler(registry, interval_s=0.5)
+    sampler.sample(now=0.0)                # metric empty but present
+    hist.observe(4.0)
+    sampler.sample(now=1.0)
+    series = sampler.series("serve/batch_latency_ms", field="p95")
+    assert len(series) == 2 and series[1][1] > 0.0
+    assert sampler.series("missing/metric") == []
+    with pytest.raises(ValueError):
+        MetricsSampler(registry, interval_s=0.0)
+
+
+def test_sampler_thread_smoke():
+    registry = MetricsRegistry()
+    registry.counter("x").inc()
+    sampler = MetricsSampler(registry, interval_s=0.01, capacity=100)
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()                    # already running
+    time.sleep(0.08)
+    sampler.stop()
+    assert len(sampler) >= 2
+    sampler.stop()                         # idempotent
+
+
+# ----------------------------------------------------------------------
+# exposition
+# ----------------------------------------------------------------------
+def test_metric_to_family_folds_stream_namespace():
+    assert metric_to_family("serve/stream/s007/health") == (
+        "repro_serve_stream_health", {"stream": "s007"})
+    assert metric_to_family("detector/latency_ms") == (
+        "repro_detector_latency_ms", {})
+    family, labels = metric_to_family("serve/stream/weird id!/errors")
+    assert labels == {"stream": "weird id!"}     # raw id kept in the label
+    assert " " not in family and "!" not in family
+
+
+def test_render_exposition_format():
+    registry = MetricsRegistry()
+    registry.counter("serve/samples_in").inc(7)
+    registry.gauge("serve/stream/s000/health").set(0.0)
+    registry.gauge("serve/stream/s001/health").set(2.0)
+    hist = registry.histogram("serve/batch_latency_ms", buckets=(1.0, 4.0))
+    for v in (0.5, 2.0, 9.0):
+        hist.observe(v)
+    fleet = Histogram(buckets=(1.0, 4.0))
+    fleet.observe(0.5)
+    text = render_exposition(
+        registry, extra={"serve/fleet/window_latency_ms": fleet})
+
+    assert "# TYPE repro_serve_samples_in counter" in text
+    assert "repro_serve_samples_in 7" in text
+    # Two streams, one family, one TYPE line, labelled series.
+    assert text.count("# TYPE repro_serve_stream_health gauge") == 1
+    assert 'repro_serve_stream_health{stream="s000"} 0' in text
+    assert 'repro_serve_stream_health{stream="s001"} 2' in text
+    # Histogram: cumulative buckets ending at +Inf == count, plus sum.
+    assert 'repro_serve_batch_latency_ms_bucket{le="1"} 1' in text
+    assert 'repro_serve_batch_latency_ms_bucket{le="4"} 2' in text
+    assert 'repro_serve_batch_latency_ms_bucket{le="+Inf"} 3' in text
+    assert "repro_serve_batch_latency_ms_count 3" in text
+    assert "repro_serve_batch_latency_ms_sum 11.5" in text
+    # The merged fleet histogram rode in through `extra`.
+    assert 'repro_serve_fleet_window_latency_ms_bucket{le="+Inf"} 1' in text
+    assert text.endswith("\n")
+
+
+def test_render_exposition_type_conflict():
+    registry = MetricsRegistry()
+    registry.counter("serve/stream/a/thing").inc()
+    registry.gauge("serve/stream/b/thing").set(1.0)
+    with pytest.raises(ValueError, match="both"):
+        render_exposition(registry)
+
+
+def test_exposition_passes_the_lint(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("serve/samples_in").inc(3)
+    for sid in ("s000", "s001"):
+        registry.gauge(f"serve/stream/{sid}/health").set(0.0)  # metric-name: dynamic
+    registry.histogram("serve/batch_latency_ms",
+                       buckets=(1.0, 4.0)).observe(2.0)
+    path = tmp_path / "exposition.prom"
+    path.write_text(render_exposition(registry), encoding="utf-8")
+    lint = subprocess.run(
+        [sys.executable,
+         str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(path)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 0, lint.stdout + lint.stderr
+
+
+def test_exposition_lint_catches_bad_text(tmp_path):
+    bad = tmp_path / "bad.prom"
+    # Undeclared family + stream id embedded in a family name.
+    bad.write_text(
+        "# TYPE repro_serve_stream_s007_health gauge\n"
+        "repro_serve_stream_s007_health 1\n"
+        "repro_undeclared_thing 2\n"
+    )
+    lint = subprocess.run(
+        [sys.executable,
+         str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(bad)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 1
+    assert "embeds a stream id" in lint.stdout
+    assert "no # TYPE" in lint.stdout
