@@ -5,7 +5,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench profile faults serve-bench tail-demo
+.PHONY: test lint check bench profile faults serve-bench parallel-bench tail-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,11 @@ faults:
 
 serve-bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_serve.py -q
+
+# Parallel fold/grid scaling + cache warm-start numbers, archived to
+# benchmarks/results/parallel_scaling.txt.
+parallel-bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py -q
 
 # Quick serve workload with the dashboard rendered once to stdout, then
 # the exposition linted — exercises the whole export path end to end.

@@ -33,12 +33,36 @@ def save_report():
     RESULTS_DIR.mkdir(exist_ok=True)
 
     def _save(name: str, text: str) -> None:
-        from repro.experiments import experiment_durations
+        from repro.experiments import (
+            experiment_durations,
+            experiment_pool_stats,
+        )
+        from repro.obs import get_registry
 
         durations = experiment_durations()
         if durations:
             text += "\n\nexperiment wall-clock: " + "  ".join(
                 f"{k}={v:.1f}s" for k, v in sorted(durations.items())
+            )
+        # Durations above are meaningless without the pool/cache context
+        # they ran under: a 4-worker, cache-warm number must never be
+        # mistaken for a serial cold one.
+        pool = experiment_pool_stats()
+        if pool:
+            text += "\npool: " + "  ".join(
+                f"{k}(n_jobs={v['n_jobs']} wall={v['wall_s']:.1f}s "
+                f"busy={v['busy_s']:.1f}s retried={v['retried_serial']})"
+                for k, v in sorted(pool.items())
+            )
+        cache_counts = {
+            entry["name"]: entry["value"]
+            for entry in get_registry().entries()
+            if entry["name"].startswith("cache/")
+        }
+        if cache_counts:
+            text += "\ncache: " + "  ".join(
+                f"{name.split('/', 1)[1]}={value}"
+                for name, value in sorted(cache_counts.items())
             )
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n", encoding="utf-8")

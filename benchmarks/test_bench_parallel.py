@@ -1,0 +1,135 @@
+"""Parallel fold execution and cache warm-start benchmark.
+
+Two claims, archived to ``benchmarks/results/parallel_scaling.txt``:
+
+* ``cross_validate(n_jobs=4)`` is **bit-identical** to the serial run —
+  the per-task seeding discipline means scheduling cannot leak into
+  results — and, on a machine with >= 4 cores, at least 2x faster;
+* a cache-warm rerun of ``run_window_sweep`` skips dataset synthesis and
+  segmentation entirely (zero ``pipeline/build_*`` spans, zero new cache
+  misses), serving both artifacts from the on-disk cache.
+
+On smaller runners the speedup assertion is skipped (forking 4 workers
+onto 1 core cannot win) but identity and the archived numbers remain.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.architecture import build_lightweight_cnn
+from repro.core.crossval import cross_validate
+from repro.experiments import (
+    build_experiment_dataset,
+    reset_experiment_caches,
+    run_window_sweep,
+    training_config,
+)
+from repro.experiments.runners import _segments_for
+from repro.obs import get_collector, get_registry
+from repro.parallel import last_run_stats
+
+PIPELINE_SPANS = ("pipeline/build_kfall", "pipeline/build_selfcollected",
+                  "pipeline/build_segments")
+
+#: Lines accumulated by the tests below; the last test archives them.
+_REPORT: list[str] = []
+
+
+def _fold_fingerprint(results):
+    return [
+        (r.fold.index, r.epochs_trained, r.metrics,
+         r.probabilities.tobytes())
+        for r in results
+    ]
+
+
+def test_parallel_crossval_bit_identical_with_speedup(scale):
+    segments = _segments_for(build_experiment_dataset(scale), 400.0, 0.5)
+    config = training_config(scale)
+
+    runs = {}
+    for n_jobs in (1, 4):
+        t0 = time.perf_counter()
+        results = cross_validate(
+            build_lightweight_cnn, segments, k=scale.folds,
+            n_val_subjects=scale.n_val_subjects, config=config,
+            seed=scale.seed, max_folds=None, n_jobs=n_jobs)
+        wall = time.perf_counter() - t0
+        runs[n_jobs] = (results, wall, last_run_stats())
+
+    serial, serial_wall, _ = runs[1]
+    pooled, pooled_wall, stats = runs[4]
+    assert _fold_fingerprint(serial) == _fold_fingerprint(pooled)
+
+    speedup = serial_wall / pooled_wall if pooled_wall > 0 else 0.0
+    _REPORT.append(
+        f"cross_validate k={scale.folds} ({scale.name} scale, "
+        f"{os.cpu_count()} cores): serial={serial_wall:.1f}s "
+        f"n_jobs=4={pooled_wall:.1f}s speedup={speedup:.2f}x "
+        f"mode={stats['mode']} retried={stats['retried_serial']} "
+        f"bit_identical=yes")
+    if (os.cpu_count() or 1) >= 4 and stats["retried_serial"] == 0:
+        assert speedup >= 2.0, (serial_wall, pooled_wall)
+
+
+def test_cache_warm_rerun_skips_pipeline(scale, tmp_path_factory,
+                                         monkeypatch):
+    cache_dir = tmp_path_factory.mktemp("artifact-cache")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    registry = get_registry()
+
+    def misses():
+        return sum(entry["value"] for entry in registry.entries()
+                   if entry["name"].startswith("cache/miss/"))
+
+    reset_experiment_caches()
+    t0 = time.perf_counter()
+    cold = run_window_sweep(scale, windows=(400.0,), overlaps=(0.5,))
+    cold_wall = time.perf_counter() - t0
+    cold_misses = misses()
+
+    # A fresh process would start with empty memos; simulate that and
+    # rerun — everything must now come off disk.
+    reset_experiment_caches()
+    obs.enable_tracing()
+    collector = get_collector()
+    collector.clear()
+    try:
+        t0 = time.perf_counter()
+        warm = run_window_sweep(scale, windows=(400.0,), overlaps=(0.5,))
+        warm_wall = time.perf_counter() - t0
+        spans = [rec.name for rec in collector.records()]
+    finally:
+        obs.disable_tracing()
+        collector.clear()
+
+    for name in PIPELINE_SPANS:
+        assert name not in spans, f"warm run rebuilt the pipeline: {name}"
+    assert misses() == cold_misses, "warm run missed the cache"
+    assert set(warm) == set(cold)
+    for cell, metrics in cold.items():
+        assert warm[cell] == metrics, cell
+
+    _REPORT.append(
+        f"run_window_sweep 1 cell ({scale.name} scale): "
+        f"cold={cold_wall:.1f}s warm={warm_wall:.1f}s "
+        f"(warm run: 0 pipeline spans, 0 cache misses, "
+        f"bit-identical metrics)")
+    reset_experiment_caches()
+
+
+def test_archive_parallel_scaling(save_report):
+    assert _REPORT, "scaling/cache tests produced no report lines"
+    save_report(
+        "parallel_scaling",
+        "Parallel execution & artifact cache\n"
+        + "-" * 35 + "\n"
+        + "\n".join(_REPORT),
+    )

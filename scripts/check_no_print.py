@@ -21,7 +21,7 @@ ALLOWED = {SRC / "cli.py", SRC / "eval" / "reports.py"}
 #: Packages the lint must cover. A rename/move that silently drops one of
 #: these from the sweep fails loudly instead of un-linting the package.
 EXPECTED_PACKAGES = ("core", "datasets", "eval", "experiments", "faults",
-                     "obs", "serve", "signal")
+                     "obs", "parallel", "serve", "signal")
 
 
 def find_violations() -> list[tuple[pathlib.Path, int, str]]:

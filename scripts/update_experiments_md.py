@@ -33,6 +33,7 @@ MAPPING = {
     "FIGURE1": "figure1_phases.txt",
     "FIGURE2": "figure2_pipeline.txt",
     "DISTILL": "distillation.txt",
+    "PARALLEL": "parallel_scaling.txt",
 }
 
 

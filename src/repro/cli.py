@@ -16,6 +16,8 @@ Usage::
     python -m repro serve-bench --streams 32 --duration 8
     python -m repro replay benchmarks/results/incidents/incident-....jsonl
     python -m repro tail --streams 8 --duration 6 --once
+    python -m repro --jobs 4 sweep --scale bench
+    python -m repro cache --prune-mb 500
 
 Every command prints the same paper-vs-measured report the benchmark
 harness archives.  ``--verbose`` (repeatable) turns on the library's
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from .eval.reports import (
@@ -55,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="log progress to stderr (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="worker processes for fold/grid execution (default: "
+             "$REPRO_JOBS or serial; 0 = all cores); results are "
+             "bit-identical for any value",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("table1", help="threshold-detector baselines (Table I)")
@@ -147,6 +156,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds of signal per stream")
     serve_bench.add_argument("--seed", type=int, default=7,
                              help="workload generator seed")
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or manage the on-disk artifact cache "
+             "(datasets/segments; see $REPRO_CACHE_DIR)",
+    )
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cached artifact")
+    cache.add_argument("--prune-mb", type=float, default=None,
+                       help="evict oldest entries until the cache is "
+                            "under this many megabytes")
     return parser
 
 
@@ -374,10 +393,40 @@ def _cmd_dataset(args):
             f"{summary['subjects']} subjects, {summary['falls']} falls")
 
 
+def _cmd_cache(args):
+    from .parallel import default_cache
+
+    cache = default_cache()
+    if args.clear:
+        removed = cache.clear()
+        return f"cleared {removed} cached artifact(s) from {cache.root}"
+    if args.prune_mb is not None:
+        removed = cache.prune(max_bytes=int(args.prune_mb * 1e6))
+        stats = cache.stats()
+        return (f"evicted {removed} artifact(s); {stats['entries']} left "
+                f"({stats['bytes'] / 1e6:.1f} MB) in {cache.root}")
+    stats = cache.stats()
+    lines = [
+        f"artifact cache at {stats['root']} "
+        f"({'enabled' if stats['enabled'] else 'DISABLED via REPRO_CACHE=0'})",
+        f"  {stats['entries']} entr{'y' if stats['entries'] == 1 else 'ies'}, "
+        f"{stats['bytes'] / 1e6:.1f} MB total",
+    ]
+    for kind, bucket in sorted(stats["by_kind"].items()):
+        lines.append(f"  {kind}: {bucket['entries']} entr"
+                     f"{'y' if bucket['entries'] == 1 else 'ies'}, "
+                     f"{bucket['bytes'] / 1e6:.1f} MB")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose:
         configure_logging(logging.DEBUG if args.verbose > 1 else logging.INFO)
+    if args.jobs is not None:
+        # Env rather than threading a parameter through every runner call:
+        # resolve_n_jobs reads it wherever a pool is about to start.
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     scale = get_scale(args.scale)
     if args.command == "table1":
         output = _cmd_table1(scale)
@@ -409,6 +458,8 @@ def main(argv=None) -> int:
         output = _cmd_tail(args)
     elif args.command == "serve-bench":
         output = _cmd_serve_bench(args)
+    elif args.command == "cache":
+        output = _cmd_cache(args)
     else:  # pragma: no cover - argparse enforces choices
         raise SystemExit(2)
     print(output)

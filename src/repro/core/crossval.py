@@ -93,6 +93,37 @@ class FoldResult:
     val_probabilities: np.ndarray | None = None
 
 
+def _train_fold(builder, fold: SubjectFold, segments: SegmentSet,
+                config: TrainingConfig, threshold: float) -> FoldResult:
+    """Train/evaluate one fold; module-level so it crosses pool boundaries.
+
+    Folds are independent by construction — all randomness (weight init,
+    shuffling, augmentation) flows from explicit seeds in ``builder`` and
+    ``config``, never the global RNG — which is what makes parallel
+    execution bit-identical to serial.
+    """
+    train = segments.by_subjects(fold.train_subjects)
+    val = segments.by_subjects(fold.val_subjects)
+    test = segments.by_subjects(fold.test_subjects)
+    model, history = train_model(builder, train, val, config)
+    probs = model.predict(test.X).reshape(-1)
+    metrics = segment_metrics(test.y, probs, threshold=threshold)
+    val_probs = model.predict(val.X).reshape(-1) if len(val) else None
+    # Drop per-layer forward activations kept for quantization calibration
+    # — dead weight when the result ships back from a worker process.
+    model._values = None
+    return FoldResult(
+        fold=fold,
+        metrics=metrics,
+        probabilities=probs,
+        test=test,
+        model=model,
+        epochs_trained=len(history.epochs),
+        validation=val if len(val) else None,
+        val_probabilities=val_probs,
+    )
+
+
 def cross_validate(
     builder,
     segments: SegmentSet,
@@ -102,39 +133,35 @@ def cross_validate(
     threshold: float = 0.5,
     seed: int = 0,
     max_folds: int | None = None,
+    n_jobs: int | None = None,
 ) -> list[FoldResult]:
     """Run the full subject-independent CV for one model builder.
 
     ``max_folds`` trains only the first folds (used by the scaled
     benchmark configurations); the fold partition itself is always the
     full k-fold so fold composition is stable across runs.
+
+    ``n_jobs`` trains folds in parallel worker processes (``None`` reads
+    ``REPRO_JOBS``, default serial; <= 0 means all cores).  Results are
+    bit-identical to the serial run for any value — see
+    :func:`repro.parallel.run_parallel` for the seeding discipline — and
+    a crashed worker only costs a serial retry of its own fold.
     """
+    from ..parallel import ParallelTask, run_parallel
+
     config = config or TrainingConfig()
     folds = subject_folds(segments.subjects, k=k,
                           n_val_subjects=n_val_subjects, seed=seed)
     if max_folds is not None:
         folds = folds[:max_folds]
-    results = []
-    for fold in folds:
-        train = segments.by_subjects(fold.train_subjects)
-        val = segments.by_subjects(fold.val_subjects)
-        test = segments.by_subjects(fold.test_subjects)
-        model, history = train_model(builder, train, val, config)
-        probs = model.predict(test.X).reshape(-1)
-        metrics = segment_metrics(test.y, probs, threshold=threshold)
-        val_probs = (
-            model.predict(val.X).reshape(-1) if len(val) else None
+    tasks = [
+        ParallelTask(
+            _train_fold,
+            args=(builder, fold, segments, config, threshold),
+            name=f"fold{fold.index}",
         )
-        results.append(
-            FoldResult(
-                fold=fold,
-                metrics=metrics,
-                probabilities=probs,
-                test=test,
-                model=model,
-                epochs_trained=len(history.epochs),
-                validation=val if len(val) else None,
-                val_probabilities=val_probs,
-            )
-        )
-    return results
+        for fold in folds
+    ]
+    outcomes = run_parallel(tasks, n_jobs=n_jobs, base_seed=seed,
+                            label="crossval")
+    return [outcome.value for outcome in outcomes]

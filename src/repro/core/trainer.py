@@ -95,19 +95,22 @@ def augment_fall_segments(
     pos_idx = np.flatnonzero(segments.y == 1)
     if pos_idx.size == 0:
         return segments
-    new_X, new_rows = [], []
+    # Write each warped copy straight into a preallocated output; the
+    # assignment also performs the float64 -> X.dtype cast in place.
+    new_X = np.empty((copies * pos_idx.size,) + segments.X.shape[1:],
+                     dtype=segments.X.dtype)
+    k = 0
     for copy_i in range(copies):
         for i in pos_idx:
             x = segments.X[i]
             if (copy_i + i) % 2 == 0:
-                warped = time_warp(x, rng)
+                new_X[k] = time_warp(x, rng)
             else:
-                warped = window_warp(x, rng)
-            new_X.append(warped.astype(segments.X.dtype))
-            new_rows.append(i)
-    rows = np.asarray(new_rows)
+                new_X[k] = window_warp(x, rng)
+            k += 1
+    rows = np.tile(pos_idx, copies)
     extra = SegmentSet(
-        X=np.stack(new_X),
+        X=new_X,
         y=np.ones(len(rows), dtype=int),
         subject=segments.subject[rows],
         task_id=segments.task_id[rows],

@@ -7,6 +7,8 @@ from .figures import fall_anatomy, run_figure1, run_figure2_pipeline
 from .runners import (
     build_experiment_dataset,
     experiment_durations,
+    experiment_pool_stats,
+    reset_experiment_caches,
     run_ablations,
     run_cross_dataset,
     run_model_on_window,
@@ -37,6 +39,8 @@ __all__ = [
     "run_fault_scenarios",
     "stream_recording",
     "experiment_durations",
+    "experiment_pool_stats",
+    "reset_experiment_caches",
     "run_edge_experiment",
     "fall_anatomy",
     "run_figure1",

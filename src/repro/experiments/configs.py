@@ -38,6 +38,10 @@ class ExperimentScale:
     patience: int
     batch_size: int
     seed: int = 7
+    #: Worker processes for fold/grid fan-out; ``None`` defers to the
+    #: runner argument or the ``REPRO_JOBS`` environment variable
+    #: (default serial).  Results are bit-identical for any value.
+    n_jobs: int | None = None
 
     def with_overrides(self, **changes) -> "ExperimentScale":
         return replace(self, **changes)

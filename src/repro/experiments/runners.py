@@ -7,6 +7,7 @@ and renders the paper-vs-measured tables.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 import time
 
@@ -24,10 +25,12 @@ from ..core.thresholds import (
     VerticalVelocityDetector,
     evaluate_threshold_detector,
 )
-from ..core.trainer import TrainingConfig
+from ..core.trainer import TrainingConfig, train_model
 from ..datasets.labeling import LabelPolicy
+from ..eval.metrics import segment_metrics
 from ..eval.reports import aggregate_fold_metrics
 from ..obs import get_logger, span
+from ..parallel import ParallelTask, default_cache, last_run_stats, run_parallel
 from .configs import ExperimentScale, get_scale
 
 __all__ = [
@@ -42,6 +45,8 @@ __all__ = [
     "run_cross_dataset",
     "run_profile_workload",
     "experiment_durations",
+    "experiment_pool_stats",
+    "reset_experiment_caches",
 ]
 
 _logger = get_logger(__name__)
@@ -55,6 +60,31 @@ _DURATIONS: dict[str, float] = {}
 def experiment_durations() -> dict[str, float]:
     """Last recorded wall-clock duration (s) per experiment runner."""
     return dict(_DURATIONS)
+
+
+#: Pool statistics (:func:`repro.parallel.last_run_stats`) of the most
+#: recent fan-out per runner — n_jobs, wall vs busy seconds, per-worker
+#: busy seconds — appended to archived results next to the durations so
+#: a 4-worker number is never mistaken for a serial one.
+_POOL_STATS: dict[str, dict] = {}
+
+
+def experiment_pool_stats() -> dict[str, dict]:
+    """Last pool stats per runner (empty for runners that ran serially)."""
+    return {name: dict(stats) for name, stats in _POOL_STATS.items()}
+
+
+def _fan_out(name: str, tasks, n_jobs, seed):
+    """Run ``tasks`` through the pool and remember the stats under ``name``."""
+    outcomes = run_parallel(tasks, n_jobs=n_jobs, base_seed=seed, label=name)
+    _POOL_STATS[name] = last_run_stats()
+    return outcomes
+
+
+def _effective_jobs(scale: ExperimentScale, n_jobs):
+    """Explicit argument > scale override > ``REPRO_JOBS`` (resolved by
+    the pool)."""
+    return n_jobs if n_jobs is not None else scale.n_jobs
 
 
 def _timed(fn):
@@ -75,20 +105,34 @@ def _timed(fn):
     return wrapper
 
 
+def _dataset_cache_config(scale: ExperimentScale) -> dict:
+    """Everything that determines the merged dataset's content."""
+    return {
+        "kfall_subjects": scale.kfall_subjects,
+        "selfcollected_subjects": scale.selfcollected_subjects,
+        "trials_per_task": scale.trials_per_task,
+        "duration_scale": scale.duration_scale,
+        "seed": scale.seed,
+    }
+
+
 def build_experiment_dataset(scale: ExperimentScale | None = None):
-    """The merged, aligned dataset for a scale (memoised per process)."""
+    """The merged, aligned dataset for a scale.
+
+    Two cache layers: a per-process memo (same object back within one
+    process) over the on-disk :class:`~repro.parallel.ArtifactCache`
+    (bit-identical rebuild across processes and across runs).
+    """
     scale = scale or get_scale()
-    key = (scale.kfall_subjects, scale.selfcollected_subjects,
-           scale.trials_per_task, scale.duration_scale, scale.seed)
+    config = _dataset_cache_config(scale)
+    key = tuple(sorted(config.items()))
     cached = _DATASET_CACHE.get(key)
     if cached is None:
-        cached = build_merged_dataset(
-            kfall_subjects=scale.kfall_subjects,
-            selfcollected_subjects=scale.selfcollected_subjects,
-            trials_per_task=scale.trials_per_task,
-            duration_scale=scale.duration_scale,
-            seed=scale.seed,
-        )
+        cached = default_cache().get_or_build(
+            "dataset", config, lambda: build_merged_dataset(**config))
+        # Stamp the build config so _segments_for can address its own
+        # disk entries by content rather than object identity.
+        cached.cache_config = config
         _DATASET_CACHE[key] = cached
     return cached
 
@@ -97,18 +141,48 @@ _DATASET_CACHE: dict = {}
 _SEGMENT_CACHE: dict = {}
 
 
+def reset_experiment_caches() -> None:
+    """Forget the per-process dataset/segment memos.
+
+    The on-disk artifact cache is untouched — benchmarks use this to
+    measure cold-process-warm-disk paths.
+    """
+    _DATASET_CACHE.clear()
+    _SEGMENT_CACHE.clear()
+
+
 def _segments_for(dataset, window_ms, overlap, policy=None):
     key = (id(dataset), window_ms, overlap,
            None if policy is None else (policy.airbag_ms,
                                         policy.exclude_impact_ms))
     cached = _SEGMENT_CACHE.get(key)
-    if cached is None:
-        config = PreprocessConfig(
-            window_ms=window_ms, overlap=overlap,
-            policy=policy or LabelPolicy(),
-        )
+    if cached is not None:
+        return cached
+    config = PreprocessConfig(
+        window_ms=window_ms, overlap=overlap,
+        policy=policy or LabelPolicy(),
+    )
+    dataset_config = getattr(dataset, "cache_config", None)
+    if dataset_config is not None:
+        # Content-addressed: the full preprocess config plus the dataset's
+        # own build config, so any knob change is a clean miss.
+        disk_config = {
+            "dataset": dataset_config,
+            "window_ms": config.window_ms,
+            "overlap": config.overlap,
+            "fs": config.fs,
+            "filter_cutoff_hz": config.filter_cutoff_hz,
+            "filter_order": config.filter_order,
+            "label_min_fraction": config.label_min_fraction,
+            "channel_scales": list(config.channel_scales),
+            "policy": dataclasses.asdict(config.policy),
+        }
+        cached = default_cache().get_or_build(
+            "segments", disk_config, lambda: build_segments(dataset, config))
+    else:
+        # Ad-hoc dataset (tests, notebooks): no content address, memo only.
         cached = build_segments(dataset, config)
-        _SEGMENT_CACHE[key] = cached
+    _SEGMENT_CACHE[key] = cached
     return cached
 
 
@@ -131,6 +205,7 @@ def run_model_on_window(
     window_ms: float = 400.0,
     overlap: float = 0.5,
     config: TrainingConfig | None = None,
+    n_jobs: int | None = None,
 ) -> dict:
     """Cross-validate one model at one segmentation setting.
 
@@ -148,7 +223,9 @@ def run_model_on_window(
         config=config or training_config(scale),
         seed=scale.seed,
         max_folds=scale.max_folds,
+        n_jobs=_effective_jobs(scale, n_jobs),
     )
+    _POOL_STATS["run_model_on_window"] = last_run_stats()
     outcomes = []
     for fr in results:
         outcomes.extend(evaluate_events(fr.test, fr.probabilities).outcomes)
@@ -161,21 +238,42 @@ def run_model_on_window(
     }
 
 
+def _grid_cell(builder, scale, window_ms, overlap) -> dict:
+    """One grid cell, module-level so it pickles into pool workers.
+
+    Returns only the aggregated metrics — fold models and test segments
+    stay in the worker instead of shipping across the pool boundary.
+    """
+    run = run_model_on_window(builder, scale, window_ms=window_ms,
+                              overlap=overlap)
+    return run["metrics"]
+
+
 @_timed
 def run_table3(
     scale: ExperimentScale | None = None,
     windows=(200.0, 300.0, 400.0),
     models=None,
+    n_jobs: int | None = None,
 ) -> dict:
     """Table III: every model × every window size (50 % overlap)."""
     scale = scale or get_scale()
     models = models or MODEL_BUILDERS
+    # Built once here: forked workers inherit the memo, spawned or cold
+    # ones hit the disk cache instead of re-synthesizing 61 subjects each.
+    build_experiment_dataset(scale)
+    cells = [(window, name, builder)
+             for window in windows for name, builder in models.items()]
+    tasks = [
+        ParallelTask(_grid_cell, args=(builder, scale, window, 0.5),
+                     name=f"{name}@{int(window)}ms")
+        for window, name, builder in cells
+    ]
+    outcomes = _fan_out("run_table3", tasks,
+                        _effective_jobs(scale, n_jobs), scale.seed)
     measured: dict = {}
-    for window in windows:
-        measured[int(window)] = {}
-        for name, builder in models.items():
-            run = run_model_on_window(builder, scale, window_ms=window)
-            measured[int(window)][name] = run["metrics"]
+    for (window, name, _), outcome in zip(cells, outcomes):
+        measured.setdefault(int(window), {})[name] = outcome.value
     return measured
 
 
@@ -184,6 +282,7 @@ def run_table4(
     scale: ExperimentScale | None = None,
     window_ms: float = 400.0,
     val_fp_budget: float = 0.005,
+    n_jobs: int | None = None,
 ) -> dict:
     """Table IV: event-level analysis of the proposed CNN at 400 ms.
 
@@ -207,7 +306,9 @@ def run_table4(
         config=training_config(scale),
         seed=scale.seed,
         max_folds=None,
+        n_jobs=_effective_jobs(scale, n_jobs),
     )
+    _POOL_STATS["run_table4"] = last_run_stats()
     outcomes = []
     thresholds = []
     for fr in results:
@@ -240,17 +341,22 @@ def run_window_sweep(
     scale: ExperimentScale | None = None,
     windows=(100.0, 200.0, 300.0, 400.0),
     overlaps=(0.0, 0.25, 0.5, 0.75),
+    n_jobs: int | None = None,
 ) -> dict:
     """Section III-A design sweep: window size × overlap grid (CNN only)."""
     scale = scale or get_scale()
-    grid = {}
-    for window in windows:
-        for overlap in overlaps:
-            run = run_model_on_window(
-                build_lightweight_cnn, scale, window_ms=window, overlap=overlap
-            )
-            grid[(int(window), overlap)] = run["metrics"]
-    return grid
+    build_experiment_dataset(scale)
+    cells = [(window, overlap) for window in windows for overlap in overlaps]
+    tasks = [
+        ParallelTask(_grid_cell,
+                     args=(build_lightweight_cnn, scale, window, overlap),
+                     name=f"{int(window)}ms@{overlap:g}")
+        for window, overlap in cells
+    ]
+    outcomes = _fan_out("run_window_sweep", tasks,
+                        _effective_jobs(scale, n_jobs), scale.seed)
+    return {(int(window), overlap): outcome.value
+            for (window, overlap), outcome in zip(cells, outcomes)}
 
 
 @_timed
@@ -268,11 +374,37 @@ def run_table1_thresholds(scale: ExperimentScale | None = None) -> dict:
     }
 
 
+def _cross_dataset_condition(scale, window_ms, train_subjects,
+                             val_subjects, test_subjects) -> dict:
+    """Train/evaluate one cross-dataset condition (module-level for the
+    pool); segments come from the shared caches, subject lists are the
+    only payload shipped to a worker."""
+    dataset = build_experiment_dataset(scale)
+    segments = _segments_for(dataset, window_ms, 0.5)
+    train = segments.by_subjects(train_subjects)
+    val = segments.by_subjects(val_subjects)
+    test = segments.by_subjects(test_subjects)
+    config = training_config(scale)
+    model, _ = train_model(build_lightweight_cnn, train, val, config)
+    probs = model.predict(test.X).reshape(-1)
+    metrics = segment_metrics(test.y, probs)
+    events = evaluate_events(test, probs)
+    return {
+        "train_subjects": len(train_subjects),
+        "train_segments": len(train),
+        "f1": 100.0 * metrics["f1"],
+        "accuracy": 100.0 * metrics["accuracy"],
+        "fall_miss_rate": events.fall_miss_rate,
+        "adl_false_positive_rate": events.adl_false_positive_rate,
+    }
+
+
 @_timed
 def run_cross_dataset(
     scale: ExperimentScale | None = None,
     window_ms: float = 400.0,
     test_fraction: float = 0.34,
+    n_jobs: int | None = None,
 ) -> dict:
     """Section IV-A's merge rationale, quantified.
 
@@ -301,39 +433,74 @@ def run_cross_dataset(
     val_subjects = order[n_test : n_test + max(1, scale.n_val_subjects // 2)]
     own_train = order[n_test + len(val_subjects) :]
 
-    test = segments.by_subjects(test_subjects)
-    val = segments.by_subjects(val_subjects)
-    config = training_config(scale)
+    conditions = {
+        "own_only": own_train,
+        "merged": own_train + kf_subjects,
+    }
+    tasks = [
+        ParallelTask(
+            _cross_dataset_condition,
+            args=(scale, window_ms, train_subjects, val_subjects,
+                  test_subjects),
+            name=label,
+        )
+        for label, train_subjects in conditions.items()
+    ]
+    outcomes = _fan_out("run_cross_dataset", tasks,
+                        _effective_jobs(scale, n_jobs), scale.seed)
+    out = {label: outcome.value
+           for label, outcome in zip(conditions, outcomes)}
+    out["test_subjects"] = tuple(test_subjects)
+    return out
 
-    def _condition(train_subjects):
-        train = segments.by_subjects(train_subjects)
-        from ..core.trainer import train_model
 
-        model, _ = train_model(build_lightweight_cnn, train, val, config)
-        probs = model.predict(test.X).reshape(-1)
-        from ..eval.metrics import segment_metrics
+def _single_trunk_builder(window, channels=9, output_bias=None, seed=0):
+    """The ablation's single-trunk CNN (module-level so it pickles)."""
+    return build_lightweight_cnn(window, channels, output_bias=output_bias,
+                                 seed=seed, branched=False)
 
-        metrics = segment_metrics(test.y, probs)
-        events = evaluate_events(test, probs)
-        return {
-            "train_subjects": len(train_subjects),
-            "train_segments": len(train),
-            "f1": 100.0 * metrics["f1"],
-            "accuracy": 100.0 * metrics["accuracy"],
-            "fall_miss_rate": events.fall_miss_rate,
-            "adl_false_positive_rate": events.adl_false_positive_rate,
-        }
 
+#: Ablation label → (label policy, training-config overrides, builder).
+_ABLATION_VARIANTS = {
+    "full": (None, None, None),
+    "no_truncation": (LabelPolicy(airbag_ms=0.0), None, None),
+    "no_augmentation": (None, {"augment": False}, None),
+    "no_imbalance_handling": (None, {"use_class_weights": False,
+                                     "use_output_bias": False}, None),
+    "single_trunk": (None, None, _single_trunk_builder),
+}
+
+
+def _ablation_variant(scale, window_ms, label) -> dict:
+    """Run one ablation variant (module-level for the pool)."""
+    policy, overrides, builder = _ABLATION_VARIANTS[label]
+    dataset = build_experiment_dataset(scale)
+    segments = _segments_for(dataset, window_ms, 0.5, policy=policy)
+    config = training_config(scale, **(overrides or {}))
+    results = cross_validate(
+        builder or build_lightweight_cnn,
+        segments,
+        k=scale.folds,
+        n_val_subjects=scale.n_val_subjects,
+        config=config,
+        seed=scale.seed,
+        max_folds=scale.max_folds,
+    )
+    outcomes = []
+    for fr in results:
+        outcomes.extend(evaluate_events(fr.test, fr.probabilities).outcomes)
+    report = EventReport(outcomes)
     return {
-        "own_only": _condition(own_train),
-        "merged": _condition(own_train + kf_subjects),
-        "test_subjects": tuple(test_subjects),
+        "metrics": aggregate_fold_metrics(results),
+        "fall_miss_rate": report.fall_miss_rate,
+        "adl_false_positive_rate": report.adl_false_positive_rate,
     }
 
 
 @_timed
 def run_ablations(scale: ExperimentScale | None = None,
-                  window_ms: float = 400.0) -> dict:
+                  window_ms: float = 400.0,
+                  n_jobs: int | None = None) -> dict:
     """Design-choice ablations on the proposed CNN.
 
     Variants: full method; no 150 ms truncation (trains on data a real
@@ -341,49 +508,16 @@ def run_ablations(scale: ExperimentScale | None = None,
     bias; single-trunk CNN instead of the three-branch split.
     """
     scale = scale or get_scale()
-    dataset = build_experiment_dataset(scale)
-
-    def _run(label, policy=None, config_overrides=None, builder=None):
-        segments = _segments_for(dataset, window_ms, 0.5, policy=policy)
-        config = training_config(scale, **(config_overrides or {}))
-        results = cross_validate(
-            builder or build_lightweight_cnn,
-            segments,
-            k=scale.folds,
-            n_val_subjects=scale.n_val_subjects,
-            config=config,
-            seed=scale.seed,
-            max_folds=scale.max_folds,
-        )
-        outcomes = []
-        for fr in results:
-            outcomes.extend(
-                evaluate_events(fr.test, fr.probabilities).outcomes
-            )
-        report = EventReport(outcomes)
-        return {
-            "metrics": aggregate_fold_metrics(results),
-            "fall_miss_rate": report.fall_miss_rate,
-            "adl_false_positive_rate": report.adl_false_positive_rate,
-        }
-
-    def _trunk_builder(window, channels=9, output_bias=None, seed=0):
-        return build_lightweight_cnn(window, channels, output_bias=output_bias,
-                                     seed=seed, branched=False)
-
-    return {
-        "full": _run("full"),
-        "no_truncation": _run("no_truncation",
-                              policy=LabelPolicy(airbag_ms=0.0)),
-        "no_augmentation": _run("no_augmentation",
-                                config_overrides={"augment": False}),
-        "no_imbalance_handling": _run(
-            "no_imbalance_handling",
-            config_overrides={"use_class_weights": False,
-                              "use_output_bias": False},
-        ),
-        "single_trunk": _run("single_trunk", builder=_trunk_builder),
-    }
+    build_experiment_dataset(scale)
+    tasks = [
+        ParallelTask(_ablation_variant, args=(scale, window_ms, label),
+                     name=label)
+        for label in _ABLATION_VARIANTS
+    ]
+    outcomes = _fan_out("run_ablations", tasks,
+                        _effective_jobs(scale, n_jobs), scale.seed)
+    return {label: outcome.value
+            for label, outcome in zip(_ABLATION_VARIANTS, outcomes)}
 
 
 def run_profile_workload(

@@ -36,13 +36,21 @@ def ones(shape, rng=None):
     return asfloat(np.ones(shape))
 
 
+class _ConstantInit:
+    """Constant-fill initializer as a class, not a closure: layers keep a
+    reference to their initializers, and closures cannot be pickled when a
+    trained model crosses a process-pool boundary."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, shape, rng=None):
+        return asfloat(np.full(shape, self.value))
+
+
 def constant(value):
     """Return an initializer producing a constant-filled tensor."""
-
-    def _init(shape, rng=None):
-        return asfloat(np.full(shape, value))
-
-    return _init
+    return _ConstantInit(value)
 
 
 def _require_rng(rng) -> np.random.Generator:

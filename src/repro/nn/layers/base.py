@@ -43,6 +43,11 @@ class Layer:
         self._called = False
         self._rng = np.random.default_rng(seed)
         self.input_shapes: tuple[tuple[int, ...], ...] | None = None
+        #: Backward-pass state stashed by ``forward(..., training=True)``.
+        #: Inference forwards leave it ``None`` so serving never pins
+        #: per-batch activations; ``backward`` consumes it exactly once
+        #: via :meth:`_take_cache`.
+        self._cache = None
 
     # ------------------------------------------------------------------
     # Graph wiring
@@ -101,6 +106,24 @@ class Layer:
         if len(inputs) != 1:
             raise ValueError(f"layer {self.name!r} expects exactly one input")
         return inputs[0]
+
+    def _take_cache(self):
+        """Pop the forward cache for ``backward``; one-shot by design.
+
+        Clearing on read keeps nothing alive between training steps, and
+        a ``None`` cache fails loudly: backward after an inference-mode
+        forward (which skips caching) is a caller bug, not a silent
+        zero-gradient.
+        """
+        cache = self._cache
+        if cache is None:
+            raise RuntimeError(
+                f"layer {self.name!r}: backward() requires a preceding "
+                "forward(training=True); inference-mode forward skips the "
+                "backward cache"
+            )
+        self._cache = None
+        return cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

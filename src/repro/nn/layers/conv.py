@@ -120,11 +120,12 @@ class Conv1D(Layer):
         if self.use_bias:
             z = z + self.params["b"]
         y = self._act(z)
-        self._cache = (x.shape, xp.shape, pads, cols, z, y)
+        if training:
+            self._cache = (x.shape, xp.shape, pads, cols, z, y)
         return y
 
     def backward(self, grad):
-        in_shape, padded_shape, pads, cols, z, y = self._cache
+        in_shape, padded_shape, pads, cols, z, y = self._take_cache()
         k, cin, cout = self.params["W"].shape
         dz = grad * self._act_grad(z, y)
         batch, out_len = dz.shape[0], dz.shape[1]

@@ -80,11 +80,12 @@ class Conv2D(Layer):
         z, cols = conv2d_forward(x, self.params["W"], bias=bias,
                                  padding=self.padding)
         y = self._act(z)
-        self._cache = (x.shape, cols, z, y)
+        if training:
+            self._cache = (x.shape, cols, z, y)
         return y
 
     def backward(self, grad):
-        x_shape, cols, z, y = self._cache
+        x_shape, cols, z, y = self._take_cache()
         dz = grad * self._act_grad(z, y)
         self.grads["W"] = conv2d_backward_kernel(cols, dz)
         if self.use_bias:
@@ -131,11 +132,12 @@ class MaxPool2D(Layer):
         )
         argmax = windows.argmax(axis=3)
         out = np.take_along_axis(windows, argmax[:, :, :, None, :], axis=3)
-        self._cache = (x.shape, argmax)
+        if training:
+            self._cache = (x.shape, argmax)
         return out[:, :, :, 0, :]
 
     def backward(self, grad):
-        x_shape, argmax = self._cache
+        x_shape, argmax = self._take_cache()
         batch, rows, cols, channels = x_shape
         ph, pw = self.pool_size
         ho, wo = rows // ph, cols // pw

@@ -121,13 +121,14 @@ class ConvLSTM2D(Layer):
             h = o * tc
             steps.append((cols_x, cols_h, h_prev_shape, c_prev, i, f, g, o, tc))
             hs[:, t] = h
-        self._cache = (x.shape, steps)
+        if training:
+            self._cache = (x.shape, steps)
         if self.return_sequences:
             return hs
         return h
 
     def backward(self, grad):
-        x_shape, steps = self._cache
+        x_shape, steps = self._take_cache()
         batch, time = x_shape[0], x_shape[1]
         nf = self.filters
         Wx, Wh = self.params["Wx"], self.params["Wh"]

@@ -59,11 +59,12 @@ class Dense(Layer):
         if self.use_bias:
             z = z + self.params["b"]
         y = self._act(z)
-        self._cache = (x, z, y)
+        if training:
+            self._cache = (x, z, y)
         return y
 
     def backward(self, grad):
-        x, z, y = self._cache
+        x, z, y = self._take_cache()
         dz = grad * self._act_grad(z, y)
         # Collapse any leading axes so dW has shape (in, out).
         x2 = x.reshape(-1, x.shape[-1])
@@ -86,11 +87,12 @@ class Activation(Layer):
     def forward(self, inputs, training=False):
         x = self._single(inputs)
         y = self._act(x)
-        self._cache = (x, y)
+        if training:
+            self._cache = (x, y)
         return y
 
     def backward(self, grad):
-        x, y = self._cache
+        x, y = self._take_cache()
         return [grad * self._act_grad(x, y)]
 
 
@@ -130,9 +132,11 @@ class Dropout(Layer):
         return x * mask
 
     def backward(self, grad):
-        if self._mask is None:
+        mask = self._mask
+        self._mask = None
+        if mask is None:
             return [grad]
-        return [grad * self._mask]
+        return [grad * mask]
 
 
 class Slice(Layer):

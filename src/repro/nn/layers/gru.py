@@ -80,11 +80,12 @@ class GRU(Layer):
             steps.append((h_prev, z, r, c, rh))
             hs[:, t, :] = h
             h_prev = h
-        self._cache = (x, steps)
+        if training:
+            self._cache = (x, steps)
         return hs if self.return_sequences else h_prev
 
     def backward(self, grad):
-        x, steps = self._cache
+        x, steps = self._take_cache()
         batch, time, features = x.shape
         h_units = self.units
         W, U = self.params["W"], self.params["U"]

@@ -47,16 +47,17 @@ class BatchNorm(Layer):
             mean, var = self.state["mean"], self.state["var"]
         inv_std = 1.0 / np.sqrt(var + self.epsilon)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std, axes, training)
+        if training:
+            self._cache = (x_hat, inv_std, axes)
         return self.params["gamma"] * x_hat + self.params["beta"]
 
     def backward(self, grad):
-        x_hat, inv_std, axes, training = self._cache
+        # Only a training-mode forward caches, so the batch statistics
+        # always depend on x here — the frozen-stats branch is gone.
+        x_hat, inv_std, axes = self._take_cache()
         self.grads["gamma"] = (grad * x_hat).sum(axis=axes)
         self.grads["beta"] = grad.sum(axis=axes)
         g = grad * self.params["gamma"]
-        if not training:
-            return [g * inv_std]
         # Standard batch-norm input gradient (statistics depend on x).
         dx = (
             g - g.mean(axis=axes) - x_hat * (g * x_hat).mean(axis=axes)

@@ -54,11 +54,12 @@ class MaxPool1D(_Pool1D):
         windows = x[:, idx, :]
         argmax = windows.argmax(axis=2)  # (batch, out_len, channels)
         out = np.take_along_axis(windows, argmax[:, :, None, :], axis=2)[:, :, 0, :]
-        self._cache = (x.shape, starts, argmax)
+        if training:
+            self._cache = (x.shape, starts, argmax)
         return out
 
     def backward(self, grad):
-        in_shape, starts, argmax = self._cache
+        in_shape, starts, argmax = self._take_cache()
         dx = np.zeros(in_shape, dtype=grad.dtype)
         batch, out_len, channels = grad.shape
         # Absolute time index of each selected maximum.
@@ -78,11 +79,12 @@ class AvgPool1D(_Pool1D):
         starts = self._window_starts(x.shape[1])
         idx = starts[:, None] + np.arange(self.pool_size)[None, :]
         windows = x[:, idx, :]
-        self._cache = (x.shape, starts)
+        if training:
+            self._cache = (x.shape, starts)
         return windows.mean(axis=2)
 
     def backward(self, grad):
-        in_shape, starts = self._cache
+        in_shape, starts = self._take_cache()
         dx = np.zeros(in_shape, dtype=grad.dtype)
         share = grad / self.pool_size
         for offset in range(self.pool_size):
@@ -121,14 +123,16 @@ class GlobalMaxPool1D(Layer):
 
     def forward(self, inputs, training=False):
         x = self._single(inputs)
-        self._in_shape = x.shape
-        self._argmax = x.argmax(axis=1)  # (batch, channels)
-        return np.take_along_axis(x, self._argmax[:, None, :], axis=1)[:, 0, :]
+        argmax = x.argmax(axis=1)  # (batch, channels)
+        if training:
+            self._cache = (x.shape, argmax)
+        return np.take_along_axis(x, argmax[:, None, :], axis=1)[:, 0, :]
 
     def backward(self, grad):
-        batch, length, channels = self._in_shape
-        dx = np.zeros(self._in_shape, dtype=grad.dtype)
+        in_shape, argmax = self._take_cache()
+        batch, length, channels = in_shape
+        dx = np.zeros(in_shape, dtype=grad.dtype)
         b_idx = np.arange(batch)[:, None]
         c_idx = np.arange(channels)[None, :]
-        dx[b_idx, self._argmax, c_idx] = grad
+        dx[b_idx, argmax, c_idx] = grad
         return [dx]

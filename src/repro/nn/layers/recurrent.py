@@ -105,13 +105,14 @@ class LSTM(Layer):
             steps.append((h_prev, c_prev, i, f, g, o, tc))
             hs[:, t, :] = h
             h_prev, c_prev = h, c
-        self._cache = (x, steps)
+        if training:
+            self._cache = (x, steps)
         if self.return_sequences:
             return hs
         return h_prev
 
     def backward(self, grad):
-        x, steps = self._cache
+        x, steps = self._take_cache()
         batch, time, features = x.shape
         h_units = self.units
         W, U = self.params["W"], self.params["U"]

@@ -305,6 +305,62 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def entries(self) -> list:
+        """The registry as plain snapshot-entry dicts (sorted by name).
+
+        Same per-metric schema as :meth:`snapshot_to_jsonl` lines — JSON
+        and pickle safe, so a worker process can ship its registry across
+        a pool boundary without serialising locks; fold them back in with
+        :meth:`merge_entries`.
+        """
+        out = []
+        for name, metric in self.metrics().items():
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    entry = {
+                        "name": name,
+                        "type": "histogram",
+                        "edges": list(metric.edges),
+                        "counts": list(metric._counts),
+                        "count": metric._count,
+                        "sum": metric._sum,
+                        "min": metric._min if metric._count else None,
+                        "max": metric._max if metric._count else None,
+                    }
+            elif isinstance(metric, Counter):
+                entry = {"name": name, "type": "counter",
+                         "value": metric.value}
+            else:
+                entry = {"name": name, "type": "gauge",
+                         "value": metric.value}
+            out.append(entry)
+        return out
+
+    def merge_entries(self, entries) -> int:
+        """Fold snapshot entries (:meth:`entries` / :func:`load_snapshot`
+        values) into this registry; returns the number merged.
+
+        Counters add, gauges take the incoming value (last write wins,
+        matching :meth:`Gauge.set`), histograms bucket-sum via
+        :meth:`Histogram.merge`.  A histogram whose edges differ from an
+        existing same-name metric raises ``ValueError`` — that is a naming
+        collision, not mergeable data.
+        """
+        merged = 0
+        for entry in entries:
+            name, kind = entry["name"], entry["type"]
+            if kind == "counter":
+                self.counter(name).inc(int(entry["value"]))  # metric-name: dynamic
+            elif kind == "gauge":
+                self.gauge(name).set(float(entry["value"]))  # metric-name: dynamic
+            elif kind == "histogram":
+                hist = self.histogram(name, buckets=entry["edges"])  # metric-name: dynamic
+                hist.merge(Histogram.from_entry(entry))
+            else:
+                raise ValueError(f"unknown metric entry type {kind!r}")
+            merged += 1
+        return merged
+
     def snapshot_to_jsonl(self, path) -> int:
         """Archive the registry to a versioned JSONL file (atomic write).
 
@@ -315,34 +371,16 @@ class MetricsRegistry:
         """
         from ..utils import atomic_write
 
-        metrics = self.metrics()
+        entries = self.entries()
         with atomic_write(path) as fh:
             fh.write(json.dumps({
                 "format": SNAPSHOT_FORMAT,
                 "version": SNAPSHOT_VERSION,
-                "metrics": len(metrics),
+                "metrics": len(entries),
             }) + "\n")
-            for name, metric in metrics.items():
-                if isinstance(metric, Histogram):
-                    with metric._lock:
-                        entry = {
-                            "name": name,
-                            "type": "histogram",
-                            "edges": list(metric.edges),
-                            "counts": list(metric._counts),
-                            "count": metric._count,
-                            "sum": metric._sum,
-                            "min": metric._min if metric._count else None,
-                            "max": metric._max if metric._count else None,
-                        }
-                elif isinstance(metric, Counter):
-                    entry = {"name": name, "type": "counter",
-                             "value": metric.value}
-                else:
-                    entry = {"name": name, "type": "gauge",
-                             "value": metric.value}
+            for entry in entries:
                 fh.write(json.dumps(entry) + "\n")
-        return len(metrics)
+        return len(entries)
 
     def reset(self) -> None:
         with self._lock:

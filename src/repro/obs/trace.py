@@ -24,7 +24,7 @@ import itertools
 import json
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 __all__ = [
     "SpanRecord",
@@ -198,6 +198,28 @@ class TraceCollector:
     def clear(self) -> None:
         with self._lock:
             self._records.clear()
+
+    def adopt(self, records) -> int:
+        """Append spans recorded by *another* collector (e.g. a worker
+        process), remapping span ids into this collector's sequence so
+        ids stay unique; parent links are preserved within the adopted
+        batch.  Returns the number of spans adopted.
+        """
+        records = list(records)
+        with self._lock:
+            mapping = {rec.span_id: next(self._ids) for rec in records}
+        adopted = [
+            replace(
+                rec,
+                span_id=mapping[rec.span_id],
+                parent_id=(None if rec.parent_id is None
+                           else mapping.get(rec.parent_id)),
+            )
+            for rec in records
+        ]
+        with self._lock:
+            self._records.extend(adopted)
+        return len(adopted)
 
     def export_jsonl(self, path) -> int:
         """Write one JSON object per span; returns the record count.

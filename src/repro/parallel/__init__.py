@@ -1,0 +1,53 @@
+"""``repro.parallel`` — deterministic multi-process execution + artifact cache.
+
+Two pieces:
+
+* :mod:`repro.parallel.pool` — :func:`run_parallel`, a fork/spawn-safe
+  process pool with per-task deterministic seeding, serial fallback,
+  worker-crash containment and child→parent span/metric shipping;
+* :mod:`repro.parallel.cache` — :class:`ArtifactCache`, a
+  content-addressed on-disk cache for pipeline artifacts (datasets,
+  segment sets) shared across processes and across runs.
+
+Both are wired into ``cross_validate(n_jobs=...)`` and the experiment
+runners; results are bit-identical for any ``n_jobs`` and any cache
+state.  See the README's "Parallel execution & caching" section.
+"""
+
+from .cache import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ArtifactCache,
+    artifact_key,
+    code_version_salt,
+    default_cache,
+)
+from .pool import (
+    JOBS_ENV,
+    ParallelTask,
+    TaskResult,
+    in_worker,
+    last_run_stats,
+    resolve_n_jobs,
+    run_parallel,
+    task_seed,
+)
+
+__all__ = [
+    # pool
+    "ParallelTask",
+    "TaskResult",
+    "run_parallel",
+    "resolve_n_jobs",
+    "task_seed",
+    "in_worker",
+    "last_run_stats",
+    "JOBS_ENV",
+    # cache
+    "ArtifactCache",
+    "artifact_key",
+    "code_version_salt",
+    "default_cache",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+]

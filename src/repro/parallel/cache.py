@@ -1,0 +1,377 @@
+"""Content-addressed on-disk cache for pipeline artifacts.
+
+Synthesizing, filtering and segmenting the 61-subject corpus dominates
+every experiment's wall-clock, yet the result is a pure function of
+(config, code).  This cache makes that explicit: the key is a SHA-256
+over the canonical-JSON build config, a *code-version salt* (a hash of
+the source files that define the artifact's content — editing the
+pipeline invalidates every prior entry automatically) and the on-disk
+format version.  Values live under ``<root>/<kind>/<key>.npz`` with a
+``<key>.json`` sidecar; both are written via
+:func:`repro.utils.atomic_write`, payload first, so a crash never leaves
+a sidecar pointing at a truncated payload.
+
+Unlike :func:`repro.datasets.save_dataset` (a float32 interchange
+format), the codecs here are **lossless**: arrays round-trip with their
+exact dtypes, so a cache hit is bit-identical to a fresh build and the
+determinism guarantee of ``cross_validate`` survives warm starts.
+
+Entries that fail validation — unreadable sidecar, foreign/stale format,
+key mismatch, corrupt payload — are deleted and counted
+(``cache/invalid/<kind>``), then treated as a miss: the artifact is
+rebuilt, never trusted.
+
+Environment: ``REPRO_CACHE_DIR`` overrides the root (default
+``~/.cache/repro/artifacts``); ``REPRO_CACHE=0`` disables the cache
+entirely (every lookup misses, writes are skipped).
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import shutil
+
+import numpy as np
+
+from ..obs import get_logger, get_registry, span
+from ..utils import atomic_write
+
+__all__ = [
+    "ArtifactCache",
+    "artifact_key",
+    "code_version_salt",
+    "default_cache",
+    "CACHE_DIR_ENV",
+    "CACHE_ENV",
+]
+
+_logger = get_logger(__name__)
+
+ARTIFACT_FORMAT = "repro-artifact"
+ARTIFACT_VERSION = 1
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_ENV = "REPRO_CACHE"
+
+#: Source files (relative to the ``repro`` package) whose code determines
+#: the *content* of cached artifacts.  Editing any of them changes
+#: :func:`code_version_salt` and therefore every key — stale entries from
+#: older code can never be served.
+_SALTED_SOURCES = (
+    "datasets",
+    "signal",
+    "core/pipeline.py",
+    "core/preprocessing.py",
+)
+
+
+@functools.lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Hex digest over the sources in :data:`_SALTED_SOURCES`."""
+    package_root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for entry in _SALTED_SOURCES:
+        target = package_root / entry
+        files = (sorted(target.rglob("*.py")) if target.is_dir()
+                 else [target])
+        for path in files:
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def artifact_key(kind: str, config: dict, salt: str | None = None) -> str:
+    """Content address of an artifact: SHA-256 of the canonical config."""
+    payload = json.dumps(
+        {
+            "kind": kind,
+            "config": config,
+            "salt": salt if salt is not None else code_version_salt(),
+            "version": ARTIFACT_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+# ---------------------------------------------------------------------------
+# Lossless codecs.  Object-dtype provenance arrays (subject/event ids) are
+# stored as unicode arrays — npz cannot hold dtype=object without pickle —
+# and restored to object on load so equality with fresh builds holds.
+
+def _dataset_to_arrays(dataset) -> dict:
+    arrays: dict[str, np.ndarray] = {}
+    recordings = []
+    for i, rec in enumerate(dataset):
+        arrays[f"r{i}/accel"] = rec.accel
+        arrays[f"r{i}/gyro"] = rec.gyro
+        arrays[f"r{i}/euler"] = rec.euler
+        recordings.append({
+            "subject_id": rec.subject_id,
+            "task_id": rec.task_id,
+            "trial": rec.trial,
+            "fs": rec.fs,
+            "fall_onset": rec.fall_onset,
+            "impact": rec.impact,
+            "frame": rec.frame,
+            "accel_unit": rec.accel_unit,
+            "gyro_unit": rec.gyro_unit,
+            "dataset": rec.dataset,
+            "meta": rec.meta,
+        })
+    meta = {"name": dataset.name, "frame": dataset.frame,
+            "recordings": recordings}
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    return arrays
+
+
+def _dataset_from_npz(data):
+    from ..datasets.schema import Dataset, Recording
+
+    meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+    recordings = []
+    for i, info in enumerate(meta["recordings"]):
+        recordings.append(Recording(
+            subject_id=info["subject_id"],
+            task_id=int(info["task_id"]),
+            trial=int(info["trial"]),
+            fs=float(info["fs"]),
+            accel=data[f"r{i}/accel"],
+            gyro=data[f"r{i}/gyro"],
+            euler=data[f"r{i}/euler"],
+            fall_onset=info["fall_onset"],
+            impact=info["impact"],
+            frame=info["frame"],
+            accel_unit=info["accel_unit"],
+            gyro_unit=info["gyro_unit"],
+            dataset=info["dataset"],
+            meta=dict(info.get("meta") or {}),
+        ))
+    return Dataset(meta["name"], recordings, frame=meta["frame"])
+
+
+def _segments_to_arrays(segments) -> dict:
+    meta = {"n": len(segments)}
+    return {
+        "X": segments.X,
+        "y": segments.y,
+        "subject": segments.subject.astype(str),
+        "task_id": segments.task_id,
+        "event_id": segments.event_id.astype(str),
+        "event_is_fall": segments.event_is_fall,
+        "trigger_valid": segments.trigger_valid,
+        "__meta__": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    }
+
+
+def _segments_from_npz(data):
+    from ..core.preprocessing import SegmentSet
+
+    meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+    segments = SegmentSet(
+        X=data["X"],
+        y=data["y"],
+        subject=data["subject"].astype(object),
+        task_id=data["task_id"],
+        event_id=data["event_id"].astype(object),
+        event_is_fall=data["event_is_fall"],
+        trigger_valid=data["trigger_valid"],
+    )
+    if len(segments) != meta["n"]:
+        raise ValueError(
+            f"segment payload declares {meta['n']} rows, found "
+            f"{len(segments)}")
+    return segments
+
+
+_CODECS = {
+    "dataset": (_dataset_to_arrays, _dataset_from_npz),
+    "segments": (_segments_to_arrays, _segments_from_npz),
+}
+
+
+class ArtifactCache:
+    """Get-or-build cache over the codecs above; safe for concurrent use
+    across processes (atomic writes, last-writer-wins on identical keys).
+    """
+
+    def __init__(self, root=None, enabled: bool | None = None):
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV, "").strip() or os.path.join(
+                os.path.expanduser("~"), ".cache", "repro", "artifacts")
+        self.root = pathlib.Path(root)
+        if enabled is None:
+            enabled = os.environ.get(CACHE_ENV, "1").strip().lower() not in (
+                "0", "false", "off", "no")
+        self.enabled = bool(enabled)
+        self._registry = get_registry()
+
+    # -- key/path plumbing ---------------------------------------------
+    def _paths(self, kind: str, key: str):
+        base = self.root / kind
+        return base / f"{key}.npz", base / f"{key}.json"
+
+    def _count(self, event: str, kind: str) -> None:
+        # Bounded namespace: `kind` is one of the _CODECS keys.
+        self._registry.counter(f"cache/{event}/{kind}").inc()  # metric-name: dynamic
+
+    def _invalidate(self, kind: str, key: str, reason: str) -> None:
+        payload, sidecar = self._paths(kind, key)
+        _logger.warning("cache entry %s/%s invalid (%s); rebuilding",
+                        kind, key, reason)
+        for path in (payload, sidecar):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._count("invalid", kind)
+
+    # -- lookup / store -------------------------------------------------
+    def get(self, kind: str, config: dict):
+        """The cached artifact for ``config``, or ``None`` on a miss.
+
+        Never trusts a bad entry: validation failure deletes it and
+        reports a miss.
+        """
+        if not self.enabled:
+            return None
+        _, decode = _CODECS[kind]
+        key = artifact_key(kind, config)
+        payload, sidecar = self._paths(kind, key)
+        if not (payload.is_file() and sidecar.is_file()):
+            self._count("miss", kind)
+            return None
+        try:
+            meta = json.loads(sidecar.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            self._invalidate(kind, key, f"unreadable sidecar: {exc}")
+            self._count("miss", kind)
+            return None
+        if (not isinstance(meta, dict)
+                or meta.get("format") != ARTIFACT_FORMAT
+                or meta.get("version") != ARTIFACT_VERSION
+                or meta.get("key") != key):
+            self._invalidate(
+                kind, key,
+                f"stale or foreign sidecar (format={meta.get('format')!r}, "
+                f"version={meta.get('version')!r})")
+            self._count("miss", kind)
+            return None
+        try:
+            with span(f"cache/load/{kind}", key=key):
+                with np.load(payload) as data:
+                    value = decode(data)
+        except Exception as exc:
+            self._invalidate(kind, key, f"corrupt payload: {exc}")
+            self._count("miss", kind)
+            return None
+        self._count("hit", kind)
+        return value
+
+    def put(self, kind: str, config: dict, value) -> str | None:
+        """Store ``value`` under its content address; returns the key."""
+        if not self.enabled:
+            return None
+        encode, _ = _CODECS[kind]
+        key = artifact_key(kind, config)
+        payload, sidecar = self._paths(kind, key)
+        payload.parent.mkdir(parents=True, exist_ok=True)
+        with span(f"cache/store/{kind}", key=key):
+            with atomic_write(payload, "wb") as fh:
+                np.savez_compressed(fh, **encode(value))
+            with atomic_write(sidecar) as fh:
+                json.dump({
+                    "format": ARTIFACT_FORMAT,
+                    "version": ARTIFACT_VERSION,
+                    "kind": kind,
+                    "key": key,
+                    "salt": code_version_salt(),
+                    "config": config,
+                }, fh, sort_keys=True, default=str)
+        self._count("write", kind)
+        return key
+
+    def get_or_build(self, kind: str, config: dict, build):
+        """``get`` falling back to ``build()`` + ``put``."""
+        value = self.get(kind, config)
+        if value is not None:
+            return value
+        value = build()
+        self.put(kind, config, value)
+        return value
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> list:
+        """``(kind, key, bytes, mtime)`` for every stored payload."""
+        out = []
+        if not self.root.is_dir():
+            return out
+        for payload in sorted(self.root.glob("*/*.npz")):
+            stat = payload.stat()
+            out.append((payload.parent.name, payload.stem,
+                        stat.st_size, stat.st_mtime))
+        return out
+
+    def size_bytes(self) -> int:
+        return sum(size for _, _, size, _ in self.entries())
+
+    def clear(self) -> int:
+        """Delete everything; returns the number of entries removed."""
+        removed = len(self.entries())
+        if self.root.is_dir():
+            shutil.rmtree(self.root)
+        return removed
+
+    def prune(self, max_bytes: int | None = None,
+              max_entries: int | None = None) -> int:
+        """Evict oldest-mtime entries until under the given budget(s)."""
+        entries = sorted(self.entries(), key=lambda e: e[3])
+        total = sum(size for _, _, size, _ in entries)
+        removed = 0
+        while entries and (
+                (max_bytes is not None and total > max_bytes)
+                or (max_entries is not None and len(entries) > max_entries)):
+            kind, key, size, _ = entries.pop(0)
+            payload, sidecar = self._paths(kind, key)
+            for path in (payload, sidecar):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            total -= size
+            removed += 1
+        if removed:
+            self._registry.counter("cache/evicted").inc(removed)
+        return removed
+
+    def stats(self) -> dict:
+        entries = self.entries()
+        by_kind: dict[str, dict] = {}
+        for kind, _, size, _ in entries:
+            bucket = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "bytes": sum(size for _, _, size, _ in entries),
+            "by_kind": by_kind,
+        }
+
+
+def default_cache() -> ArtifactCache:
+    """A cache configured from the environment.
+
+    Constructed per call (construction is path math, no I/O) so tests and
+    benchmarks can redirect ``REPRO_CACHE_DIR`` / toggle ``REPRO_CACHE``
+    without touching module state.
+    """
+    return ArtifactCache()

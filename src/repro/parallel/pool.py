@@ -1,0 +1,321 @@
+"""Fork/spawn-safe process pool with deterministic per-task seeding.
+
+The reproduction's workloads are embarrassingly parallel — independent CV
+folds, independent grid cells — but they must stay *bit-identical* to the
+serial run.  :func:`run_parallel` guarantees that by construction:
+
+* every task gets its own seed derived from ``(base_seed, task index)``
+  via ``np.random.SeedSequence``, applied to the **global** NumPy RNG the
+  same way in the serial path, the pooled path and the retry-serial path,
+  so scheduling order can never leak into results;
+* results come back in submission order regardless of completion order;
+* a worker that crashes or raises poisons only its own task — the parent
+  re-runs that task serially (`retried_serial`) instead of failing the
+  whole batch;
+* child-side trace spans and metrics ship back with each result and are
+  merged into the parent collector/registry, so observability does not go
+  dark behind the pool boundary.
+
+Serial fallback is the common path: ``n_jobs=1`` (the default when
+``REPRO_JOBS`` is unset), a failed pool start, or running *inside* a
+worker (guarded by ``REPRO_PARALLEL_WORKER`` so pools never nest) all
+execute tasks in-process with identical seeding.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..obs import get_collector, get_logger, get_registry, span, tracing_enabled
+from ..obs.trace import SpanRecord
+
+__all__ = [
+    "ParallelTask",
+    "TaskResult",
+    "run_parallel",
+    "resolve_n_jobs",
+    "task_seed",
+    "in_worker",
+    "last_run_stats",
+    "JOBS_ENV",
+]
+
+_logger = get_logger(__name__)
+
+#: Environment variable read by :func:`resolve_n_jobs` when the caller
+#: passes ``n_jobs=None``; ``0`` (or any value <= 0) means "all cores".
+JOBS_ENV = "REPRO_JOBS"
+#: Set inside pool workers so nested ``run_parallel`` calls degrade to
+#: serial instead of forking grandchild pools.
+_WORKER_ENV = "REPRO_PARALLEL_WORKER"
+
+
+@dataclass(frozen=True)
+class ParallelTask:
+    """One unit of work: a picklable module-level callable plus arguments.
+
+    ``seed`` overrides the derived per-task seed; ``name`` labels the task
+    in logs and :class:`TaskResult`.
+    """
+
+    fn: object
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    seed: int | None = None
+    name: str | None = None
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one task, in submission order."""
+
+    index: int
+    value: object
+    duration_s: float
+    worker: str
+    retried_serial: bool = False
+    name: str | None = None
+
+
+def in_worker() -> bool:
+    """True when running inside a ``run_parallel`` worker process."""
+    return os.environ.get(_WORKER_ENV) == "1"
+
+
+def resolve_n_jobs(n_jobs: int | None = None) -> int:
+    """Effective worker count: explicit arg > ``REPRO_JOBS`` env > 1.
+
+    Values <= 0 mean "all cores".  Inside a pool worker the answer is
+    always 1, so parallel callers can be composed without nesting pools.
+    """
+    if in_worker():
+        return 1
+    if n_jobs is None:
+        raw = os.environ.get(JOBS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            n_jobs = int(raw)
+        except ValueError:
+            _logger.warning("ignoring non-integer %s=%r", JOBS_ENV, raw)
+            return 1
+    n_jobs = int(n_jobs)
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, n_jobs)
+
+
+def task_seed(base_seed: int, index: int) -> int:
+    """Deterministic per-task seed, independent of scheduling order."""
+    seq = np.random.SeedSequence([int(base_seed) & 0x7FFFFFFF, int(index)])
+    return int(seq.generate_state(1, np.uint32)[0])
+
+
+def _normalize(task) -> ParallelTask:
+    if isinstance(task, ParallelTask):
+        return task
+    if callable(task):
+        return ParallelTask(fn=task)
+    raise TypeError(f"task must be a ParallelTask or callable, got {task!r}")
+
+
+def _seed_for(task: ParallelTask, base_seed: int | None, index: int):
+    if task.seed is not None:
+        return int(task.seed)
+    if base_seed is None:
+        return None
+    return task_seed(base_seed, index)
+
+
+def _run_task_in_worker(payload):
+    """Executed in the pool worker; must stay module-level (picklable).
+
+    Clears the inherited registry/collector first (a fork child starts
+    with the parent's counts — shipping those back would double-count),
+    then returns either ``{"ok": True, value, duration_s, pid, spans,
+    metrics}`` or ``{"ok": False, error, traceback}``.  Task exceptions
+    are returned, not raised: raising would require the exception itself
+    to pickle, and the parent retries serially either way.
+    """
+    fn, args, kwargs, seed, ship_trace = payload
+    os.environ[_WORKER_ENV] = "1"
+    collector = get_collector()
+    collector.clear()
+    collector.enabled = bool(ship_trace)
+    registry = get_registry()
+    registry.clear()
+    if seed is not None:
+        np.random.seed(seed)
+    start = time.perf_counter()
+    try:
+        value = fn(*args, **kwargs)
+    except BaseException as exc:
+        return {
+            "ok": False,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    duration = time.perf_counter() - start
+    return {
+        "ok": True,
+        "value": value,
+        "duration_s": duration,
+        "pid": os.getpid(),
+        "spans": ([rec.to_json() for rec in collector.records()]
+                  if ship_trace else []),
+        "metrics": registry.entries(),
+    }
+
+
+def _run_serial(task: ParallelTask, seed, index: int,
+                retried: bool = False) -> TaskResult:
+    if seed is not None:
+        np.random.seed(seed)
+    start = time.perf_counter()
+    value = task.fn(*task.args, **task.kwargs)
+    return TaskResult(
+        index=index,
+        value=value,
+        duration_s=time.perf_counter() - start,
+        worker="serial",
+        retried_serial=retried,
+        name=task.name,
+    )
+
+
+#: Stats of the most recent ``run_parallel`` call in this process, for
+#: benchmark reports; see :func:`last_run_stats`.
+_LAST_STATS: dict = {}
+
+
+def last_run_stats() -> dict:
+    """Shallow copy of the most recent :func:`run_parallel` stats:
+    mode, n_jobs, task count, retries, wall/busy seconds and per-worker
+    busy seconds.  Empty before the first run."""
+    return dict(_LAST_STATS)
+
+
+def run_parallel(tasks, n_jobs: int | None = None, base_seed: int | None = None,
+                 label: str = "tasks") -> list:
+    """Run ``tasks`` (ParallelTask or bare callables) and return ordered
+    :class:`TaskResult` rows; bit-identical results for any ``n_jobs``.
+
+    ``base_seed`` derives a per-task seed (see :func:`task_seed`) applied
+    to the global NumPy RNG immediately before each task in *every*
+    execution path; pass ``None`` to leave RNG state alone (tasks that
+    seed themselves internally).
+    """
+    tasks = [_normalize(t) for t in tasks]
+    n_jobs = resolve_n_jobs(n_jobs)
+    seeds = [_seed_for(task, base_seed, i) for i, task in enumerate(tasks)]
+    registry = get_registry()
+    results: list = [None] * len(tasks)
+    retried = 0
+    mode = "serial"
+    start = time.perf_counter()
+    with span(f"parallel/{label}", tasks=len(tasks), n_jobs=n_jobs):
+        if n_jobs == 1 or len(tasks) <= 1:
+            for i, task in enumerate(tasks):
+                results[i] = _run_serial(task, seeds[i], i)
+        else:
+            mode = "process"
+            done = _run_pooled(tasks, seeds, n_jobs, results)
+            for i, task in enumerate(tasks):
+                if done[i]:
+                    continue
+                results[i] = _run_serial(task, seeds[i], i, retried=True)
+                retried += 1
+    wall = time.perf_counter() - start
+    busy = sum(r.duration_s for r in results)
+    per_worker: dict[str, float] = {}
+    task_hist = registry.histogram("parallel/task_seconds")
+    for result in results:
+        per_worker[result.worker] = (per_worker.get(result.worker, 0.0)
+                                     + result.duration_s)
+        task_hist.observe(result.duration_s)
+    registry.counter("parallel/tasks").inc(len(tasks))
+    registry.gauge("parallel/n_jobs").set(n_jobs)
+    if retried:
+        registry.counter("parallel/retry_serial").inc(retried)
+    _LAST_STATS.clear()
+    _LAST_STATS.update({
+        "label": label,
+        "mode": mode,
+        "n_jobs": n_jobs,
+        "tasks": len(tasks),
+        "retried_serial": retried,
+        "wall_s": wall,
+        "busy_s": busy,
+        "parallelism": busy / wall if wall > 0 else 0.0,
+        "per_worker_busy_s": per_worker,
+    })
+    return results
+
+
+def _run_pooled(tasks, seeds, n_jobs, results) -> list:
+    """Fill ``results`` from a process pool; returns a per-task done mask.
+
+    Any per-task failure — worker crash (``BrokenProcessPool``), unpicklable
+    payload, or an exception inside the task — leaves that slot not-done for
+    the caller's serial retry.  A pool that cannot start at all leaves every
+    slot not-done (full serial fallback).
+    """
+    done = [False] * len(tasks)
+    ship_trace = tracing_enabled()
+    try:
+        # fork keeps the parent's memoized datasets and perf_counter epoch;
+        # spawn is the portable fallback.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn")
+        executor = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(tasks)), mp_context=context)
+    except Exception as exc:
+        _logger.warning("process pool unavailable (%s); running %d task(s) "
+                        "serially", exc, len(tasks))
+        return done
+    futures = {}
+    with executor:
+        for i, task in enumerate(tasks):
+            payload = (task.fn, tuple(task.args), dict(task.kwargs),
+                       seeds[i], ship_trace)
+            try:
+                futures[i] = executor.submit(_run_task_in_worker, payload)
+            except Exception as exc:
+                _logger.warning("submit failed for task %d (%s); will retry "
+                                "serially", i, exc)
+        registry = get_registry()
+        collector = get_collector()
+        for i, future in futures.items():
+            try:
+                outcome = future.result()
+            except Exception as exc:
+                _logger.warning("task %d lost to a worker failure (%s); "
+                                "retrying serially", i, exc)
+                continue
+            if not outcome["ok"]:
+                _logger.warning("task %d raised in worker: %s; retrying "
+                                "serially\n%s", i, outcome["error"],
+                                outcome["traceback"])
+                continue
+            results[i] = TaskResult(
+                index=i,
+                value=outcome["value"],
+                duration_s=outcome["duration_s"],
+                worker=f"pid{outcome['pid']}",
+                name=tasks[i].name,
+            )
+            done[i] = True
+            if outcome["metrics"]:
+                registry.merge_entries(outcome["metrics"])
+            if outcome["spans"]:
+                collector.adopt(SpanRecord.from_json(obj)
+                                for obj in outcome["spans"])
+    return done

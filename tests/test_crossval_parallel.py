@@ -1,0 +1,147 @@
+"""Parallel ``cross_validate`` must be bit-identical to serial, survive
+worker crashes, and compose with the on-disk artifact cache."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.crossval import cross_validate
+from repro.core.preprocessing import SegmentSet
+from repro.core.trainer import TrainingConfig
+from repro.obs import get_registry
+from repro.experiments import (
+    QUICK,
+    build_experiment_dataset,
+    reset_experiment_caches,
+)
+from repro.experiments import runners as _runners
+
+
+def _make_segments(n_subjects=6, per_subject=24, window=40, channels=9,
+                   seed=0) -> SegmentSet:
+    """A synthetic SegmentSet with falls for every subject."""
+    rng = np.random.default_rng(seed)
+    n = n_subjects * per_subject
+    y = np.zeros(n, dtype=int)
+    subject, event_id = [], []
+    for s in range(n_subjects):
+        lo = s * per_subject
+        y[lo:lo + per_subject // 3] = 1
+        subject += [f"S{s:02d}"] * per_subject
+        event_id += [f"S{s:02d}/e{i}" for i in range(per_subject)]
+    X = rng.normal(size=(n, window, channels)).astype(np.float32)
+    # Give the positives a learnable offset so training isn't degenerate.
+    X[y == 1] += 0.5
+    return SegmentSet(
+        X=X,
+        y=y,
+        subject=np.array(subject, dtype=object),
+        task_id=np.arange(n) % 5,
+        event_id=np.array(event_id, dtype=object),
+        event_is_fall=y == 1,
+        trigger_valid=np.ones(n, dtype=bool),
+    )
+
+
+def _tiny_builder(window, channels, output_bias=None, seed=0):
+    inp = nn.Input((window, channels))
+    h = nn.layers.Conv1D(4, 3, activation="relu", seed=seed)(inp)
+    h = nn.layers.GlobalMaxPool1D()(h)
+    out = nn.layers.Dense(1, activation="sigmoid", seed=seed + 1)(h)
+    return nn.Model(inp, out)
+
+
+def _crashy_builder(window, channels, output_bias=None, seed=0):
+    """Kills the pool worker; behaves like ``_tiny_builder`` in the parent,
+    so the serial retry of every fold still completes."""
+    if os.environ.get("REPRO_PARALLEL_WORKER") == "1":
+        os._exit(7)
+    return _tiny_builder(window, channels, output_bias=output_bias, seed=seed)
+
+
+_CONFIG = TrainingConfig(epochs=2, patience=2, batch_size=32, augment=False,
+                         seed=0)
+
+
+def _run(builder, n_jobs):
+    segments = _make_segments()
+    return cross_validate(builder, segments, k=3, n_val_subjects=1,
+                          config=_CONFIG, seed=3, n_jobs=n_jobs)
+
+
+def _assert_folds_equal(serial, other):
+    assert len(serial) == len(other)
+    for a, b in zip(serial, other):
+        assert a.fold == b.fold
+        assert a.epochs_trained == b.epochs_trained
+        assert a.metrics == b.metrics
+        np.testing.assert_array_equal(a.probabilities, b.probabilities)
+        np.testing.assert_array_equal(a.val_probabilities,
+                                      b.val_probabilities)
+
+
+class TestParallelCrossValidate:
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_bit_identical_to_serial(self, n_jobs):
+        serial = _run(_tiny_builder, n_jobs=1)
+        pooled = _run(_tiny_builder, n_jobs=n_jobs)
+        _assert_folds_equal(serial, pooled)
+
+    def test_worker_crash_completes_all_folds(self):
+        serial = _run(_tiny_builder, n_jobs=1)
+        crashed = _run(_crashy_builder, n_jobs=2)
+        _assert_folds_equal(serial, crashed)
+
+    def test_env_jobs_respected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        serial = _run(_tiny_builder, n_jobs=1)
+        env_pooled = _run(_tiny_builder, n_jobs=None)
+        _assert_folds_equal(serial, env_pooled)
+
+
+class TestDiskCacheIntegration:
+    TINY = QUICK.with_overrides(name="tinycache", kfall_subjects=1,
+                                selfcollected_subjects=1, duration_scale=0.2)
+
+    def test_dataset_and_segments_served_from_disk(self, tmp_path,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifacts"))
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        registry = get_registry()
+
+        def counts():
+            return {event: registry.counter(
+                f"cache/{event}/dataset").value  # metric-name: dynamic
+                for event in ("hit", "miss", "write")}
+
+        reset_experiment_caches()
+        before = counts()
+        first = build_experiment_dataset(self.TINY)
+        cold = counts()
+        assert cold["miss"] == before["miss"] + 1
+        assert cold["write"] == before["write"] + 1
+
+        first_segments = _runners._segments_for(first, 400, 0.5)
+
+        # Drop the in-process memos: the second build can only be satisfied
+        # by the on-disk artifacts.
+        reset_experiment_caches()
+        second = build_experiment_dataset(self.TINY)
+        warm = counts()
+        assert warm["hit"] == cold["hit"] + 1
+        assert warm["miss"] == cold["miss"]
+        assert second is not first
+        assert len(second) == len(first)
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.accel, b.accel)
+
+        seg_hits = registry.counter("cache/hit/segments").value
+        second_segments = _runners._segments_for(second, 400, 0.5)
+        assert registry.counter("cache/hit/segments").value == seg_hits + 1
+        np.testing.assert_array_equal(second_segments.X, first_segments.X)
+
+        reset_experiment_caches()

@@ -14,7 +14,7 @@ from repro import nn
 
 
 def analytic_vs_numeric(build, x_shape, batch=4, seed=0, n_checks=6,
-                        training=False):
+                        training=True):
     """Return the worst relative gradient error over sampled parameters."""
     nn.set_floatx(np.float64)
     try:

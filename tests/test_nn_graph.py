@@ -81,7 +81,7 @@ class TestDiamondGraphs:
             merged2 = nn.layers.Add()([h, h])
             model2 = nn.Model(inp2, merged2).compile("sgd", "mse")
             y = np.zeros((1, 3))
-            y_pred = model2._forward(x, training=False)
+            y_pred = model2._forward(x, training=True)
             model2._backward(model2.loss.grad(y, y_pred))
             dense = model2.layers[0]
             analytic = dense.grads["W"].copy()

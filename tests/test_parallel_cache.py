@@ -1,0 +1,194 @@
+"""Tests for ``repro.parallel.cache``: lossless round-trips, validation,
+eviction, and the environment switches."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import build_merged_dataset
+from repro.core.preprocessing import PreprocessConfig, build_segments
+from repro.obs import get_registry
+from repro.parallel import (
+    CACHE_DIR_ENV,
+    CACHE_ENV,
+    ArtifactCache,
+    artifact_key,
+    code_version_salt,
+    default_cache,
+)
+from repro.parallel.cache import ARTIFACT_VERSION
+
+DATASET_CONFIG = {
+    "kfall_subjects": 1,
+    "selfcollected_subjects": 1,
+    "trials_per_task": 1,
+    "duration_scale": 0.2,
+    "seed": 0,
+}
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return build_merged_dataset(**DATASET_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def tiny_segments_merged(tiny_dataset):
+    return build_segments(tiny_dataset, PreprocessConfig())
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ArtifactCache(root=tmp_path / "artifacts", enabled=True)
+
+
+class TestArtifactKey:
+    def test_stable_and_order_insensitive(self):
+        a = artifact_key("dataset", {"x": 1, "y": 2})
+        b = artifact_key("dataset", {"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 32
+
+    def test_config_kind_and_salt_discriminate(self):
+        base = artifact_key("dataset", {"x": 1})
+        assert artifact_key("dataset", {"x": 2}) != base
+        assert artifact_key("segments", {"x": 1}) != base
+        assert artifact_key("dataset", {"x": 1}, salt="deadbeef") != base
+        assert artifact_key("dataset", {"x": 1},
+                            salt=code_version_salt()) == base
+
+
+class TestDatasetRoundTrip:
+    def test_bit_identical(self, cache, tiny_dataset):
+        cache.put("dataset", DATASET_CONFIG, tiny_dataset)
+        loaded = cache.get("dataset", DATASET_CONFIG)
+        assert loaded is not None
+        assert loaded.name == tiny_dataset.name
+        assert loaded.frame == tiny_dataset.frame
+        assert len(loaded) == len(tiny_dataset)
+        for fresh, back in zip(tiny_dataset, loaded):
+            assert back.subject_id == fresh.subject_id
+            assert back.task_id == fresh.task_id
+            assert back.dataset == fresh.dataset
+            assert back.meta == fresh.meta
+            for attr in ("accel", "gyro", "euler"):
+                a, b = getattr(fresh, attr), getattr(back, attr)
+                assert a.dtype == b.dtype
+                np.testing.assert_array_equal(a, b)
+
+    def test_config_change_misses(self, cache, tiny_dataset):
+        cache.put("dataset", DATASET_CONFIG, tiny_dataset)
+        other = dict(DATASET_CONFIG, seed=1)
+        assert cache.get("dataset", other) is None
+
+
+class TestSegmentsRoundTrip:
+    def test_bit_identical(self, cache, tiny_segments_merged):
+        segments = tiny_segments_merged
+        config = {"window_ms": 400, "overlap": 0.5}
+        cache.put("segments", config, segments)
+        loaded = cache.get("segments", config)
+        assert loaded is not None
+        assert loaded.X.dtype == segments.X.dtype
+        np.testing.assert_array_equal(loaded.X, segments.X)
+        np.testing.assert_array_equal(loaded.y, segments.y)
+        assert loaded.subject.dtype == np.dtype(object)
+        assert loaded.event_id.dtype == np.dtype(object)
+        assert list(loaded.subject) == list(segments.subject)
+        assert list(loaded.event_id) == list(segments.event_id)
+        np.testing.assert_array_equal(loaded.task_id, segments.task_id)
+        np.testing.assert_array_equal(loaded.event_is_fall,
+                                      segments.event_is_fall)
+        np.testing.assert_array_equal(loaded.trigger_valid,
+                                      segments.trigger_valid)
+
+
+class TestValidation:
+    CONFIG = {"window_ms": 400, "overlap": 0.5}
+
+    def _entry_paths(self, cache):
+        ((kind, key, _, _),) = cache.entries()
+        return cache._paths(kind, key)
+
+    def test_corrupt_payload_rebuilt_not_trusted(self, cache,
+                                                 tiny_segments_merged):
+        cache.put("segments", self.CONFIG, tiny_segments_merged)
+        payload, _ = self._entry_paths(cache)
+        payload.write_bytes(b"not an npz file")
+        before = get_registry().counter("cache/invalid/segments").value
+        assert cache.get("segments", self.CONFIG) is None
+        assert get_registry().counter("cache/invalid/segments").value == \
+            before + 1
+        assert not payload.exists()
+        # get_or_build recovers by rebuilding.
+        rebuilt = cache.get_or_build("segments", self.CONFIG,
+                                     lambda: tiny_segments_merged)
+        np.testing.assert_array_equal(rebuilt.X, tiny_segments_merged.X)
+        assert cache.get("segments", self.CONFIG) is not None
+
+    def test_stale_version_sidecar_rebuilt(self, cache, tiny_segments_merged):
+        cache.put("segments", self.CONFIG, tiny_segments_merged)
+        payload, sidecar = self._entry_paths(cache)
+        meta = json.loads(sidecar.read_text())
+        meta["version"] = ARTIFACT_VERSION + 1
+        sidecar.write_text(json.dumps(meta))
+        assert cache.get("segments", self.CONFIG) is None
+        assert not payload.exists() and not sidecar.exists()
+
+    def test_unreadable_sidecar_rebuilt(self, cache, tiny_segments_merged):
+        cache.put("segments", self.CONFIG, tiny_segments_merged)
+        _, sidecar = self._entry_paths(cache)
+        sidecar.write_text("{truncated")
+        assert cache.get("segments", self.CONFIG) is None
+
+    def test_missing_entry_is_plain_miss(self, cache):
+        assert cache.get("segments", {"window_ms": 1}) is None
+
+
+class TestMaintenance:
+    def test_prune_evicts_oldest_first(self, cache, tiny_segments_merged):
+        import os
+
+        for i in range(3):
+            cache.put("segments", {"window_ms": 100 + i},
+                      tiny_segments_merged)
+        # Make entry mtimes strictly ordered regardless of clock precision.
+        for age, (kind, key, _, _) in enumerate(reversed(cache.entries())):
+            payload, _ = cache._paths(kind, key)
+            os.utime(payload, (1_000_000 + age, 1_000_000 + age))
+        oldest = min(cache.entries(), key=lambda e: e[3])[1]
+        removed = cache.prune(max_entries=2)
+        assert removed == 1
+        assert oldest not in [key for _, key, _, _ in cache.entries()]
+
+    def test_clear_and_stats(self, cache, tiny_segments_merged):
+        cache.put("segments", {"window_ms": 1}, tiny_segments_merged)
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert stats["by_kind"]["segments"]["entries"] == 1
+        assert cache.clear() == 1
+        assert cache.entries() == []
+
+
+class TestEnvironment:
+    def test_disabled_cache_noops(self, tmp_path, tiny_segments_merged):
+        cache = ArtifactCache(root=tmp_path, enabled=False)
+        assert cache.put("segments", {"w": 1}, tiny_segments_merged) is None
+        assert cache.get("segments", {"w": 1}) is None
+        assert cache.entries() == []
+        built = cache.get_or_build("segments", {"w": 1},
+                                   lambda: tiny_segments_merged)
+        assert built is tiny_segments_merged
+        assert cache.entries() == []
+
+    def test_default_cache_reads_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+        cache = default_cache()
+        assert cache.root == tmp_path / "elsewhere"
+        assert cache.enabled
+        monkeypatch.setenv(CACHE_ENV, "0")
+        assert not default_cache().enabled

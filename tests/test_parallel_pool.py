@@ -1,0 +1,185 @@
+"""Tests for ``repro.parallel.pool``: determinism, fallback, containment.
+
+The worker functions live at module level so they pickle across the pool
+boundary.  The crash/raise helpers misbehave **only** inside a worker
+(guarded by ``REPRO_PARALLEL_WORKER``), so the parent's serial retry of
+the same task succeeds — exactly the containment contract under test.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import get_collector, get_registry
+from repro.parallel import (
+    JOBS_ENV,
+    ParallelTask,
+    last_run_stats,
+    resolve_n_jobs,
+    run_parallel,
+    task_seed,
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _affine(x, scale=1, offset=0):
+    return x * scale + offset
+
+
+def _draw(n):
+    """Depends on the *global* RNG — the seeding discipline under test."""
+    return np.random.random(n)
+
+
+def _crash_in_worker():
+    if os.environ.get("REPRO_PARALLEL_WORKER") == "1":
+        os._exit(9)
+    return "survived"
+
+
+def _raise_in_worker():
+    if os.environ.get("REPRO_PARALLEL_WORKER") == "1":
+        raise RuntimeError("synthetic worker failure")
+    return "survived"
+
+
+def _traced(tag):
+    with obs.span("poolwork/traced", tag=tag):
+        get_registry().counter("poolwork/calls").inc()
+    return tag
+
+
+class TestResolveNJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_n_jobs() == 1
+        assert resolve_n_jobs(None) == 1
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_n_jobs() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "3")
+        assert resolve_n_jobs(2) == 2
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_n_jobs(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv(JOBS_ENV, "0")
+        assert resolve_n_jobs() == (os.cpu_count() or 1)
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "many")
+        assert resolve_n_jobs() == 1
+
+    def test_worker_guard_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_WORKER", "1")
+        assert resolve_n_jobs(8) == 1
+
+
+class TestTaskSeed:
+    def test_deterministic_and_distinct(self):
+        seeds = [task_seed(7, i) for i in range(8)]
+        assert seeds == [task_seed(7, i) for i in range(8)]
+        assert len(set(seeds)) == len(seeds)
+        assert seeds != [task_seed(8, i) for i in range(8)]
+
+
+class TestRunParallel:
+    def test_order_and_values(self):
+        tasks = [ParallelTask(_square, args=(i,)) for i in range(6)]
+        results = run_parallel(tasks, n_jobs=2)
+        assert [r.index for r in results] == list(range(6))
+        assert [r.value for r in results] == [i * i for i in range(6)]
+
+    def test_kwargs_and_names(self):
+        tasks = [
+            ParallelTask(_affine, args=(i,), kwargs={"scale": 10, "offset": 1},
+                         name=f"t{i}")
+            for i in range(3)
+        ]
+        results = run_parallel(tasks, n_jobs=2)
+        assert [r.value for r in results] == [1, 11, 21]
+        assert [r.name for r in results] == ["t0", "t1", "t2"]
+
+    def test_bare_callables_accepted(self):
+        results = run_parallel([_crash_in_worker], n_jobs=1)
+        assert results[0].value == "survived"
+        with pytest.raises(TypeError):
+            run_parallel(["not callable"], n_jobs=1)
+
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_seeding_identical_to_serial(self, n_jobs):
+        tasks = [ParallelTask(_draw, args=(5,)) for _ in range(4)]
+        serial = run_parallel(tasks, n_jobs=1, base_seed=7)
+        pooled = run_parallel(tasks, n_jobs=n_jobs, base_seed=7)
+        for s, p in zip(serial, pooled):
+            np.testing.assert_array_equal(s.value, p.value)
+
+    def test_explicit_task_seed_overrides_derived(self):
+        fixed = [ParallelTask(_draw, args=(3,), seed=123) for _ in range(2)]
+        results = run_parallel(fixed, n_jobs=1, base_seed=7)
+        np.testing.assert_array_equal(results[0].value, results[1].value)
+
+    def test_worker_crash_contained(self):
+        tasks = [ParallelTask(_crash_in_worker) for _ in range(3)]
+        results = run_parallel(tasks, n_jobs=2)
+        assert [r.value for r in results] == ["survived"] * 3
+        assert all(r.retried_serial for r in results)
+        stats = last_run_stats()
+        assert stats["mode"] == "process"
+        assert stats["retried_serial"] == 3
+
+    def test_worker_exception_retried_serially(self):
+        tasks = [ParallelTask(_raise_in_worker) for _ in range(3)]
+        results = run_parallel(tasks, n_jobs=2)
+        assert [r.value for r in results] == ["survived"] * 3
+        assert all(r.retried_serial for r in results)
+
+    def test_stats_shape(self):
+        run_parallel([ParallelTask(_square, args=(i,)) for i in range(3)],
+                     n_jobs=1, label="statscheck")
+        stats = last_run_stats()
+        assert stats["label"] == "statscheck"
+        assert stats["mode"] == "serial"
+        assert stats["tasks"] == 3
+        assert stats["wall_s"] > 0
+        assert set(stats["per_worker_busy_s"]) == {"serial"}
+
+
+class TestChildObservability:
+    def test_child_metrics_merged_into_parent(self):
+        registry = get_registry()
+        before = registry.counter("poolwork/calls").value
+        results = run_parallel(
+            [ParallelTask(_traced, args=(f"m{i}",)) for i in range(3)],
+            n_jobs=2)
+        assert not any(r.retried_serial for r in results)
+        assert registry.counter("poolwork/calls").value == before + 3
+
+    def test_child_spans_adopted_with_fresh_ids(self):
+        obs.enable_tracing()
+        try:
+            collector = get_collector()
+            collector.clear()
+            results = run_parallel(
+                [ParallelTask(_traced, args=(f"s{i}",)) for i in range(3)],
+                n_jobs=2)
+            assert not any(r.retried_serial for r in results)
+            records = collector.records()
+            child = [r for r in records if r.name == "poolwork/traced"]
+            assert len(child) == 3
+            assert sorted(r.attrs["tag"] for r in child) == ["s0", "s1", "s2"]
+            span_ids = [r.span_id for r in records]
+            assert len(span_ids) == len(set(span_ids))
+        finally:
+            obs.disable_tracing()
+            get_collector().clear()
