@@ -5,7 +5,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench profile faults serve-bench parallel-bench tail-demo
+.PHONY: test lint check http-smoke bench profile faults serve-bench \
+	parallel-bench tail-demo alerts-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -14,7 +15,12 @@ lint:
 	$(PYTHON) scripts/check_no_print.py
 	$(PYTHON) scripts/check_metric_names.py
 
-check: lint test
+# End-to-end smoke of the observability endpoint: serve a small alerting
+# fleet on an ephemeral port, hit every route, lint the /metrics body.
+http-smoke:
+	$(PYTHON) scripts/http_smoke.py
+
+check: lint test http-smoke
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -42,3 +48,12 @@ tail-demo:
 		--metrics-out benchmarks/results/serve_exposition.prom
 	$(PYTHON) scripts/check_metric_names.py --exposition \
 		benchmarks/results/serve_exposition.prom
+
+# Scenario-driven alert-pipeline evaluation with persistent event stores
+# under benchmarks/results/alert_stores/; the report is archived for
+# scripts/update_experiments_md.py (ALERTS placeholder).
+alerts-demo:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m repro alerts --duration 6 \
+		--store-dir benchmarks/results/alert_stores \
+		| tee benchmarks/results/alert_pipeline.txt

@@ -40,8 +40,8 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src" / "repro"
 #: Packages the lint must cover (same guard as check_no_print: a rename
 #: must not silently un-lint a package).
-EXPECTED_PACKAGES = ("core", "datasets", "eval", "experiments", "faults",
-                     "obs", "parallel", "serve", "signal")
+EXPECTED_PACKAGES = ("alerts", "core", "datasets", "eval", "experiments",
+                     "faults", "obs", "parallel", "serve", "signal")
 
 _METHODS = {"counter", "gauge", "histogram"}
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$")

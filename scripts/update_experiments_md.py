@@ -34,6 +34,7 @@ MAPPING = {
     "FIGURE2": "figure2_pipeline.txt",
     "DISTILL": "distillation.txt",
     "PARALLEL": "parallel_scaling.txt",
+    "ALERTS": "alert_pipeline.txt",
 }
 
 

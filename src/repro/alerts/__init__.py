@@ -1,0 +1,42 @@
+"""``repro.alerts`` — the incident-to-alert production pipeline.
+
+Per-stream detections (and the flight-recorder incidents behind them)
+are raw material; a deployed fleet pages operators on *alerts*.  This
+package is the layer between, built from four pieces:
+
+* :mod:`repro.alerts.escalation` — a per-stream state machine
+  (detection → confirm window → alert → ack/auto-resolve) encoding the
+  "false-positive bursts dominate" lesson from real ADL streams;
+* :mod:`repro.alerts.manager` — fleet aggregation: dedup of same-stream
+  repeats inside a horizon, demotion of alerts from degraded/faulted
+  streams to ``suspect``, ``alerts/*`` metrics, flight-recorder marks,
+  all behind a fail-safe boundary that never raises into serving;
+* :mod:`repro.alerts.store` — a persistent bounded event store (JSONL
+  segments, atomic writes, size-capped rotation, ``query()`` by
+  stream/severity/kind/time);
+* :mod:`repro.alerts.http` — a stdlib HTTP endpoint serving
+  ``/metrics``, ``/healthz``, ``/alerts`` and ``/dashboard``.
+
+Wire-up is one config field: ``ServeConfig(alerts=AlertConfig(...))``
+gives a :class:`~repro.serve.ServeEngine` a fleet alert pipeline; the
+``repro serve-http`` CLI command exposes it over HTTP.
+"""
+
+from .escalation import ESCALATION_STATES, EscalationConfig, EscalationMachine
+from .http import ObservabilityServer
+from .manager import SEVERITIES, Alert, AlertConfig, AlertManager
+from .store import EventStore, EventStoreConfig, load_segment
+
+__all__ = [
+    "ESCALATION_STATES",
+    "EscalationConfig",
+    "EscalationMachine",
+    "SEVERITIES",
+    "Alert",
+    "AlertConfig",
+    "AlertManager",
+    "EventStore",
+    "EventStoreConfig",
+    "load_segment",
+    "ObservabilityServer",
+]

@@ -1,0 +1,173 @@
+"""Per-stream escalation state machine: detection → alert lifecycle.
+
+"Watch Your Step" (arXiv 2509.11789) shows the dominant failure mode of
+fall detectors on real ADL-dominated streams is the false-positive
+burst — a single above-threshold window is weak evidence, a cluster
+inside a short horizon is strong.  The escalation machine encodes that
+as a four-state lifecycle per stream::
+
+    idle --detection--> confirming --N more detections
+                            |          within confirm_window_s--> alert
+                            +--window elapses--> idle   ("expired")
+
+    alert --operator ack--> acked
+    alert/acked --no detections for auto_resolve_s--> idle ("auto_resolve")
+
+The machine is pure bookkeeping on stream time: it owns no metrics, no
+I/O and no clock — every call takes an explicit ``t`` and returns the
+list of transitions it caused, which the
+:class:`~repro.alerts.AlertManager` turns into ``alerts/*`` metrics,
+flight-recorder marks and event-store records.  That keeps the machine
+trivially testable and keeps all the fail-safe wrapping in one place
+(the manager), mirroring how ``AirbagController`` contains the detector.
+
+While an episode is open the machine tracks the *worst* detector health
+it saw; the manager uses :attr:`EscalationMachine.severity` to demote
+alerts from degraded/faulted streams to ``suspect`` — a spiking sensor
+should page nobody at ``critical``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EscalationConfig", "EscalationMachine", "ESCALATION_STATES"]
+
+#: Lifecycle states, in escalation order.
+ESCALATION_STATES = ("idle", "confirming", "alert", "acked")
+
+#: Numeric level per state for the exported per-stream gauge.
+STATE_LEVEL = {state: i for i, state in enumerate(ESCALATION_STATES)}
+
+#: Health states (detector three-state machine plus the engine's
+#: quarantine) that demote an episode's alerts to ``suspect``.
+SUSPECT_HEALTHS = ("degraded", "fault", "quarantined")
+
+_HEALTH_RANK = {"healthy": 0, "degraded": 1, "fault": 2, "quarantined": 3}
+
+
+@dataclass(frozen=True)
+class EscalationConfig:
+    """Escalation policy knobs (stream-time seconds throughout)."""
+
+    #: Confirmation horizon after the first detection of an episode.
+    confirm_window_s: float = 2.0
+    #: Detections *after* the first that must land inside the horizon to
+    #: escalate — 2 means "a detection followed by 2 confirming windows".
+    confirm_detections: int = 2
+    #: An alert with no further detections for this long resolves itself.
+    auto_resolve_s: float = 10.0
+
+    def __post_init__(self):
+        if self.confirm_window_s <= 0:
+            raise ValueError(
+                f"confirm_window_s must be positive, got "
+                f"{self.confirm_window_s}"
+            )
+        if self.confirm_detections < 1:
+            raise ValueError(
+                f"confirm_detections must be >= 1, got "
+                f"{self.confirm_detections}"
+            )
+        if self.auto_resolve_s <= 0:
+            raise ValueError(
+                f"auto_resolve_s must be positive, got {self.auto_resolve_s}"
+            )
+
+
+class EscalationMachine:
+    """One stream's escalation lifecycle (see module docstring)."""
+
+    def __init__(self, stream_id: str, config: EscalationConfig | None = None):
+        self.stream_id = str(stream_id)
+        self.config = config or EscalationConfig()
+        self.state = "idle"
+        self.transitions = 0
+        self._confirm_deadline: float | None = None
+        self._confirmations = 0
+        self._last_detection_t: float | None = None
+        self._episode_reset()
+
+    def _episode_reset(self) -> None:
+        self.episode_detections = 0
+        self.episode_max_probability: float | None = None
+        self.episode_source: str | None = None
+        self._episode_worst_health = "healthy"
+
+    # -- inputs ---------------------------------------------------------
+    def observe_detection(self, t: float, probability: float | None = None,
+                          source: str = "cnn",
+                          health: str = "healthy") -> list[dict]:
+        """Feed one detector firing at stream time ``t``."""
+        transitions = self.advance(t)
+        cfg = self.config
+        self._last_detection_t = t
+        if self.state == "idle":
+            self._episode_reset()
+            self._confirmations = 0
+            self._confirm_deadline = t + cfg.confirm_window_s
+            transitions += self._goto("confirming", t, "detection")
+        elif self.state == "confirming":
+            self._confirmations += 1
+            if self._confirmations >= cfg.confirm_detections:
+                transitions += self._goto("alert", t, "confirmed")
+        # alert / acked: the detection keeps the episode warm (resets the
+        # auto-resolve timer via _last_detection_t) without transitioning.
+        self.episode_detections += 1
+        if probability is not None:
+            probability = float(probability)
+            if (self.episode_max_probability is None
+                    or probability > self.episode_max_probability):
+                self.episode_max_probability = probability
+        self.episode_source = source
+        if (_HEALTH_RANK.get(health, 0)
+                > _HEALTH_RANK.get(self._episode_worst_health, 0)):
+            self._episode_worst_health = health
+        return transitions
+
+    def advance(self, t: float) -> list[dict]:
+        """Advance timers to stream time ``t`` (no detection)."""
+        cfg = self.config
+        if (self.state == "confirming"
+                and self._confirm_deadline is not None
+                and t > self._confirm_deadline):
+            return self._goto("idle", t, "expired")
+        if (self.state in ("alert", "acked")
+                and self._last_detection_t is not None
+                and t - self._last_detection_t >= cfg.auto_resolve_s):
+            return self._goto("idle", t, "auto_resolve")
+        return []
+
+    def ack(self, t: float) -> list[dict]:
+        """Operator acknowledgement; only a raised alert can be acked."""
+        if self.state != "alert":
+            return []
+        return self._goto("acked", t, "ack")
+
+    # -- outputs --------------------------------------------------------
+    @property
+    def severity(self) -> str:
+        """Alert severity for the current episode: ``critical`` from a
+        healthy stream, ``suspect`` once the stream was degraded or worse
+        at any detection in the episode."""
+        return ("suspect" if self._episode_worst_health in SUSPECT_HEALTHS
+                else "critical")
+
+    @property
+    def worst_health(self) -> str:
+        return self._episode_worst_health
+
+    def _goto(self, new: str, t: float, reason: str) -> list[dict]:
+        old, self.state = self.state, new
+        self.transitions += 1
+        if new == "idle":
+            self._confirm_deadline = None
+            self._confirmations = 0
+        return [{
+            "kind": "escalation",
+            "stream": self.stream_id,
+            "t": float(t),
+            "from": old,
+            "to": new,
+            "reason": reason,
+        }]

@@ -1,0 +1,227 @@
+"""Stdlib HTTP surface over the observability stack.
+
+One tiny :class:`ObservabilityServer` (``http.server`` — no new
+dependencies, like everything else in this repo) exposes the pieces the
+previous PRs built, so an operator can point ``curl`` or Prometheus at
+a running fleet:
+
+==============  =====================================================
+``/metrics``    Prometheus text exposition of the engine registry
+                (:func:`repro.obs.render_exposition`), fleet-merged
+                extras included
+``/healthz``    JSON liveness + fleet summary (always 200 while the
+                process serves)
+``/alerts``     JSON query over the alert :class:`~repro.alerts.EventStore`
+                — ``?stream=&severity=&kind=&since=&until=&limit=``
+``/dashboard``  the ``repro tail`` text dashboard, one frame per GET
+==============  =====================================================
+
+The server is deliberately read-only and decoupled: it takes callables
+(and an optional store/manager), never touches engine internals, and a
+handler error returns 500 to that client without disturbing serving.
+``repro serve-http`` wires it to a live synthetic fleet.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..obs import get_logger, render_exposition
+
+__all__ = ["ObservabilityServer"]
+
+_logger = get_logger(__name__)
+
+#: Query parameters ``/alerts`` accepts, with their coercions.
+_ALERT_PARAMS = {
+    "stream": str,
+    "severity": str,
+    "kind": str,
+    "since": float,
+    "until": float,
+    "limit": int,
+}
+
+
+class ObservabilityServer:
+    """Threaded HTTP server over registry / store / dashboard callables.
+
+    Parameters are all optional — a missing piece turns its route into
+    a 404 (with a JSON hint), so the server composes with whatever
+    subset of the stack a deployment runs.
+
+    ``port=0`` binds an ephemeral port; read :attr:`port` after
+    :meth:`start` (how the smoke test avoids collisions).
+    """
+
+    def __init__(self, *, registry=None, extra_metrics=None,
+                 manager=None, store=None, dashboard=None, health=None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 namespace: str = "repro"):
+        self.registry = registry
+        #: Callable returning ``{name: metric}`` merged into the
+        #: exposition (e.g. the engine's fleet-merged latency histogram).
+        self.extra_metrics = extra_metrics
+        self.manager = manager
+        self.store = store if store is not None else (
+            manager.store if manager is not None else None)
+        #: Callable returning the dashboard frame as text.
+        self.dashboard = dashboard
+        #: Callable returning extra ``/healthz`` JSON fields.
+        self.health = health
+        self.host = host
+        self.port = port
+        self.namespace = namespace
+        self.requests = 0
+        self.errors = 0
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    # -- responses ------------------------------------------------------
+    def render_metrics(self) -> str:
+        if self.registry is None:
+            raise LookupError("no metrics registry attached")
+        extra = self.extra_metrics() if self.extra_metrics is not None else None
+        return render_exposition(self.registry, namespace=self.namespace,
+                                 extra=extra)
+
+    def render_healthz(self) -> dict:
+        body = {"status": "ok"}
+        if self.manager is not None:
+            report = self.manager.report()
+            body["alerts_active"] = report["active"]
+            body["alerts_raised"] = report["raised"]
+            body["alert_errors"] = report["errors"]
+        if self.health is not None:
+            body.update(self.health())
+        return body
+
+    def render_alerts(self, query: dict) -> dict:
+        if self.store is None and self.manager is None:
+            raise LookupError("no alert store attached")
+        filters = {}
+        for key, coerce in _ALERT_PARAMS.items():
+            if key in query:
+                try:
+                    filters[key] = coerce(query[key][-1])
+                except (TypeError, ValueError):
+                    raise ValueError(
+                        f"bad value for {key!r}: {query[key][-1]!r}"
+                    ) from None
+        unknown = sorted(set(query) - set(_ALERT_PARAMS))
+        if unknown:
+            raise ValueError(f"unknown parameter(s) {unknown}; "
+                             f"valid: {sorted(_ALERT_PARAMS)}")
+        events = (self.store.query(**filters) if self.store is not None
+                  else [])
+        body = {"count": len(events), "events": events}
+        if self.manager is not None:
+            body["active"] = [a.to_json()
+                              for a in self.manager.active_alerts()]
+        return body
+
+    def render_dashboard_text(self) -> str:
+        if self.dashboard is None:
+            raise LookupError("no dashboard attached")
+        return self.dashboard()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> int:
+        """Bind and serve from a daemon thread; returns the bound port."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, fmt, *args):  # stdlib prints by default
+                _logger.debug("http: " + fmt, *args)
+
+            def do_GET(self):
+                server._handle(self)
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observability-http", daemon=True,
+        )
+        self._thread.start()
+        _logger.info("observability endpoint on http://%s:%d "
+                     "(/metrics /healthz /alerts /dashboard)",
+                     self.host, self.port)
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._httpd = None
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request plumbing -----------------------------------------------
+    def _handle(self, handler: BaseHTTPRequestHandler) -> None:
+        self.requests += 1
+        parsed = urlparse(handler.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._send(handler, 200, self.render_metrics(),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            elif route == "/healthz":
+                self._send_json(handler, 200, self.render_healthz())
+            elif route == "/alerts":
+                body = self.render_alerts(parse_qs(parsed.query))
+                self._send_json(handler, 200, body)
+            elif route == "/dashboard":
+                self._send(handler, 200, self.render_dashboard_text(),
+                           "text/plain; charset=utf-8")
+            elif route == "/":
+                self._send_json(handler, 200, {
+                    "endpoints": ["/metrics", "/healthz", "/alerts",
+                                  "/dashboard"],
+                })
+            else:
+                self._send_json(handler, 404, {
+                    "error": f"no route {route!r}",
+                    "endpoints": ["/metrics", "/healthz", "/alerts",
+                                  "/dashboard"],
+                })
+        except ValueError as exc:  # bad query parameters
+            self._send_json(handler, 400, {"error": str(exc)})
+        except LookupError as exc:  # route's backend not attached
+            self._send_json(handler, 404, {"error": str(exc)})
+        except Exception:
+            # Contained: one bad request must not take the process (or
+            # the serving loop next to it) down.
+            self.errors += 1
+            _logger.exception("observability endpoint failed on %s",
+                              handler.path)
+            try:
+                self._send_json(handler, 500, {"error": "internal error"})
+            except Exception:
+                pass
+
+    @staticmethod
+    def _send(handler, status: int, text: str, content_type: str) -> None:
+        payload = text.encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(payload)))
+        handler.end_headers()
+        handler.wfile.write(payload)
+
+    @classmethod
+    def _send_json(cls, handler, status: int, body: dict) -> None:
+        cls._send(handler, status, json.dumps(body, indent=1),
+                  "application/json; charset=utf-8")

@@ -1,0 +1,372 @@
+"""Fleet alert aggregation: escalation, dedup, demotion, persistence.
+
+The :class:`AlertManager` is the production layer between per-stream
+detections and operator-facing alerts.  It owns one
+:class:`~repro.alerts.EscalationMachine` per stream and, on every
+escalation to ``alert``:
+
+* **dedups** — a stream re-alerting within ``dedup_horizon_s`` of its
+  previous alert's last activity collapses into that alert (repeat
+  count bumped, reactivated if it had resolved) instead of opening a
+  new one, so a flapping stream is one alert line, not fifty;
+* **demotes** — an episode whose stream was ``degraded``/``fault``/
+  ``quarantined`` at any detection raises at severity ``suspect``
+  rather than ``critical`` (a spiking sensor is a maintenance ticket,
+  not a fall);
+* **persists** — alert lifecycle events (``alert`` / ``repeat`` /
+  ``ack`` / ``resolve``) and every escalation transition land in the
+  bounded :class:`~repro.alerts.EventStore`, queryable afterwards via
+  :meth:`query` and the HTTP ``/alerts`` endpoint;
+* **marks** — the stream's flight recorder gets a ``mark`` on each
+  raised alert, freezing the pre-alert history into an incident.
+
+Fail-safe contract (AirbagController style): the public entry points
+``observe`` / ``tick`` / ``ack`` never raise into the serve path —
+an internal error increments ``alerts/errors``, logs once and returns
+an empty transition list.  Alerting must never take the airbag down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs import get_logger, get_registry
+from .escalation import STATE_LEVEL, EscalationConfig, EscalationMachine
+from .store import EventStore, EventStoreConfig
+
+__all__ = ["AlertConfig", "Alert", "AlertManager", "SEVERITIES"]
+
+_logger = get_logger(__name__)
+
+#: Alert severities, worst first.
+SEVERITIES = ("critical", "suspect")
+
+
+@dataclass(frozen=True)
+class AlertConfig:
+    """Fleet alerting policy."""
+
+    escalation: EscalationConfig = field(default_factory=EscalationConfig)
+    #: Same-stream alerts within this horizon of the previous alert's
+    #: last activity collapse into it (stream-time seconds).
+    dedup_horizon_s: float = 30.0
+    #: Persist lifecycle events + transitions here; ``None`` keeps the
+    #: manager memory-only (alerts still queryable via :meth:`alerts`).
+    store: EventStoreConfig | None = None
+    #: Bound on retained alert records; oldest *resolved* alerts are
+    #: pruned first, so a long-running fleet cannot grow without limit.
+    max_alerts: int = 1024
+    #: Export a per-stream escalation-state gauge
+    #: (``alerts/stream/<id>/state``).  Disable when stream cardinality
+    #: would flood the registry, like ``ServeConfig.per_stream_metrics``.
+    per_stream_metrics: bool = True
+
+    def __post_init__(self):
+        if self.dedup_horizon_s < 0:
+            raise ValueError(
+                f"dedup_horizon_s must be >= 0, got {self.dedup_horizon_s}"
+            )
+        if self.max_alerts < 1:
+            raise ValueError(f"max_alerts must be >= 1, got {self.max_alerts}")
+
+
+@dataclass
+class Alert:
+    """One operator-facing alert (possibly covering many detections)."""
+
+    id: str
+    stream: str
+    severity: str
+    state: str  # active / acked / resolved
+    first_t: float
+    last_t: float
+    detections: int = 0
+    repeats: int = 0
+    probability: float | None = None
+    source: str | None = None
+    worst_health: str = "healthy"
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id, "stream": self.stream,
+            "severity": self.severity, "state": self.state,
+            "first_t": self.first_t, "last_t": self.last_t,
+            "detections": self.detections, "repeats": self.repeats,
+            "probability": self.probability, "source": self.source,
+            "worst_health": self.worst_health,
+        }
+
+
+class AlertManager:
+    """Fleet-wide alert pipeline over per-stream escalation machines."""
+
+    def __init__(self, config: AlertConfig | None = None, *,
+                 registry=None, store: EventStore | None = None):
+        self.config = config or AlertConfig()
+        self.registry = registry if registry is not None else get_registry()
+        if store is None and self.config.store is not None:
+            store = EventStore(self.config.store)
+        self.store = store
+        self._machines: dict[str, EscalationMachine] = {}
+        self._alerts: list[Alert] = []
+        self._last_by_stream: dict[str, Alert] = {}
+        self._next_alert = 0
+        self.errors = 0
+
+    # -- fail-safe entry points ----------------------------------------
+    def observe(self, stream_id: str, *, t: float,
+                probability: float | None = None, source: str = "cnn",
+                health: str = "healthy", recorder=None) -> list[dict]:
+        """Feed one detection from ``stream_id``; never raises."""
+        try:
+            return self._observe(stream_id, t=t, probability=probability,
+                                 source=source, health=health,
+                                 recorder=recorder)
+        except Exception:
+            self._contain("observe", stream_id)
+            return []
+
+    def tick(self, t: float) -> list[dict]:
+        """Advance every stream's timers to ``t``; never raises."""
+        try:
+            transitions: list[dict] = []
+            for machine in self._machines.values():
+                moved = machine.advance(t)
+                if moved:
+                    self._emit(machine, moved, recorder=None)
+                    transitions += moved
+            return transitions
+        except Exception:
+            self._contain("tick", None)
+            return []
+
+    def ack(self, alert_id: str, t: float | None = None) -> bool:
+        """Operator acknowledgement by alert id; never raises."""
+        try:
+            return self._ack(alert_id, t)
+        except Exception:
+            self._contain("ack", alert_id)
+            return False
+
+    def _contain(self, entry: str, subject) -> None:
+        self.errors += 1
+        self.registry.counter("alerts/errors").inc()
+        _logger.exception("alert manager %s failed (%r); alerting is "
+                          "fail-safe, serving continues", entry, subject)
+
+    # -- core -----------------------------------------------------------
+    def _machine(self, stream_id: str) -> EscalationMachine:
+        machine = self._machines.get(stream_id)
+        if machine is None:
+            machine = EscalationMachine(stream_id, self.config.escalation)
+            self._machines[stream_id] = machine
+        return machine
+
+    def _observe(self, stream_id, *, t, probability, source, health,
+                 recorder) -> list[dict]:
+        self.registry.counter("alerts/detections_in").inc()
+        machine = self._machine(stream_id)
+        transitions = machine.observe_detection(
+            float(t), probability=probability, source=source, health=health,
+        )
+        self._emit(machine, transitions, recorder=recorder)
+        alert = self._last_by_stream.get(stream_id)
+        if alert is not None and alert.state in ("active", "acked"):
+            # Keep the live alert's envelope current with the episode.
+            alert.last_t = float(t)
+            if machine.episode_max_probability is not None:
+                alert.probability = (
+                    machine.episode_max_probability
+                    if alert.probability is None
+                    else max(alert.probability,
+                             machine.episode_max_probability)
+                )
+            alert.source = machine.episode_source
+            if not transitions:
+                # Post-raise detection riding an already-open alert;
+                # raise/repeat paths account for their own counts.
+                alert.detections += 1
+        return transitions
+
+    def _emit(self, machine: EscalationMachine, transitions: list[dict],
+              *, recorder) -> None:
+        """Turn machine transitions into metrics, store events, alert
+        lifecycle updates and flight-recorder marks."""
+        cfg = self.config
+        for transition in transitions:
+            to, reason = transition["to"], transition["reason"]
+            self.registry.counter("alerts/transitions").inc()
+            self.registry.counter(  # metric-name: dynamic
+                f"alerts/transitions/{to}").inc()
+            if cfg.per_stream_metrics:
+                self.registry.gauge(  # metric-name: dynamic
+                    f"alerts/stream/{machine.stream_id}/state"
+                ).set(float(STATE_LEVEL[to]))
+            if self.store is not None:
+                self.store.append(transition)
+            if to == "alert":
+                self._raise_alert(machine, transition, recorder)
+            elif to == "idle" and reason == "expired":
+                self.registry.counter("alerts/expired").inc()
+            elif to == "idle" and reason == "auto_resolve":
+                self._resolve(machine.stream_id, transition["t"])
+        if transitions:
+            self._sync_active_gauges()
+
+    def _raise_alert(self, machine: EscalationMachine, transition: dict,
+                     recorder) -> None:
+        stream_id = machine.stream_id
+        t = transition["t"]
+        severity = machine.severity
+        previous = self._last_by_stream.get(stream_id)
+        if (previous is not None
+                and t - previous.last_t <= self.config.dedup_horizon_s):
+            previous.repeats += 1
+            previous.last_t = t
+            previous.detections += machine.episode_detections
+            previous.worst_health = machine.worst_health
+            if previous.state == "resolved":
+                previous.state = "active"
+            # A repeat never *upgrades* a suspect alert silently — but a
+            # clean-stream repeat of a suspect alert is strong evidence,
+            # so severity tightens to the worst (critical wins).
+            if severity == "critical":
+                previous.severity = "critical"
+            self.registry.counter("alerts/deduped").inc()
+            self._store_lifecycle("repeat", previous, t)
+            _logger.info("alert %s deduped repeat from %s (x%d)",
+                         previous.id, stream_id, previous.repeats)
+            return
+        alert = Alert(
+            id=f"a-{self._next_alert:06d}",
+            stream=stream_id,
+            severity=severity,
+            state="active",
+            first_t=t,
+            last_t=t,
+            detections=machine.episode_detections,
+            probability=machine.episode_max_probability,
+            source=machine.episode_source,
+            worst_health=machine.worst_health,
+        )
+        self._next_alert += 1
+        self._alerts.append(alert)
+        self._last_by_stream[stream_id] = alert
+        self._prune_alerts()
+        self.registry.counter("alerts/raised").inc()
+        self.registry.counter(  # metric-name: dynamic
+            f"alerts/raised/{severity}").inc()
+        self._store_lifecycle("alert", alert, t)
+        if recorder is not None:
+            # Freeze the stream's pre-alert history as an incident.
+            recorder.mark(f"alert:{alert.id}")
+        _logger.info("alert %s raised for %s (%s)", alert.id, stream_id,
+                     severity)
+
+    def _resolve(self, stream_id: str, t: float) -> None:
+        alert = self._last_by_stream.get(stream_id)
+        if alert is None or alert.state == "resolved":
+            return
+        alert.state = "resolved"
+        alert.last_t = float(t)
+        self.registry.counter("alerts/resolved").inc()
+        self._store_lifecycle("resolve", alert, t)
+
+    def _ack(self, alert_id: str, t: float | None) -> bool:
+        alert = next((a for a in self._alerts if a.id == alert_id), None)
+        if alert is None or alert.state != "active":
+            return False
+        machine = self._machines.get(alert.stream)
+        when = float(t) if t is not None else alert.last_t
+        if machine is not None and machine.state == "alert":
+            self._emit(machine, machine.ack(when), recorder=None)
+        alert.state = "acked"
+        self.registry.counter("alerts/acked").inc()
+        self._store_lifecycle("ack", alert, when)
+        return True
+
+    def _store_lifecycle(self, kind: str, alert: Alert, t: float) -> None:
+        if self.store is None:
+            return
+        self.store.append({
+            "kind": kind,
+            "t": float(t),
+            "alert_id": alert.id,
+            "stream": alert.stream,
+            "severity": alert.severity,
+            "state": alert.state,
+            "detections": alert.detections,
+            "repeats": alert.repeats,
+            "probability": alert.probability,
+            "source": alert.source,
+            "worst_health": alert.worst_health,
+        })
+
+    def _prune_alerts(self) -> None:
+        overflow = len(self._alerts) - self.config.max_alerts
+        if overflow <= 0:
+            return
+        keep: list[Alert] = []
+        for alert in self._alerts:
+            if overflow > 0 and alert.state == "resolved":
+                overflow -= 1
+                if self._last_by_stream.get(alert.stream) is alert:
+                    del self._last_by_stream[alert.stream]
+                continue
+            keep.append(alert)
+        # Still over (everything active): drop oldest outright — bounded
+        # memory beats a complete ledger here, same as the flight ring.
+        while overflow > 0 and keep:
+            dropped = keep.pop(0)
+            if self._last_by_stream.get(dropped.stream) is dropped:
+                del self._last_by_stream[dropped.stream]
+            overflow -= 1
+        self._alerts = keep
+
+    def _sync_active_gauges(self) -> None:
+        active = [a for a in self._alerts if a.state in ("active", "acked")]
+        self.registry.gauge("alerts/active").set(float(len(active)))
+        for severity in SEVERITIES:
+            self.registry.gauge(  # metric-name: dynamic
+                f"alerts/active/{severity}"
+            ).set(float(sum(a.severity == severity for a in active)))
+
+    # -- views ----------------------------------------------------------
+    @property
+    def alerts(self) -> list[Alert]:
+        return list(self._alerts)
+
+    def active_alerts(self) -> list[Alert]:
+        return [a for a in self._alerts if a.state in ("active", "acked")]
+
+    def stream_state(self, stream_id: str) -> str:
+        machine = self._machines.get(stream_id)
+        return machine.state if machine is not None else "idle"
+
+    def query(self, **filters) -> list[dict]:
+        """Event-store query passthrough (empty without a store)."""
+        if self.store is None:
+            return []
+        return self.store.query(**filters)
+
+    def report(self) -> dict:
+        """Fleet alerting summary for dashboards and test assertions."""
+        active = self.active_alerts()
+        counts = {s: 0 for s in SEVERITIES}
+        for alert in active:
+            counts[alert.severity] = counts.get(alert.severity, 0) + 1
+        raised = self.registry.counter("alerts/raised").value
+        return {
+            "streams": len(self._machines),
+            "alerts": len(self._alerts),
+            "active": len(active),
+            "active_by_severity": counts,
+            "raised": raised,
+            "deduped": self.registry.counter("alerts/deduped").value,
+            "resolved": self.registry.counter("alerts/resolved").value,
+            "acked": self.registry.counter("alerts/acked").value,
+            "expired": self.registry.counter("alerts/expired").value,
+            "transitions": self.registry.counter("alerts/transitions").value,
+            "errors": self.errors,
+            "store": self.store.stats() if self.store is not None else None,
+        }

@@ -1,0 +1,267 @@
+"""Persistent bounded event store: JSONL segments with capped rotation.
+
+Incidents frozen by the flight recorder land as loose files; the alert
+pipeline needs somewhere durable and *bounded* for its own lifecycle
+events (escalations, raised/deduped/resolved alerts) that survives the
+process and stays queryable afterwards.  :class:`EventStore` is that
+place:
+
+* events append to a single **active segment** — a versioned JSONL file
+  (schema header first, one event per line) rewritten through
+  :func:`repro.utils.atomic_write`, so a crash mid-write never leaves a
+  truncated segment behind;
+* when the active segment outgrows ``max_segment_bytes`` it is sealed
+  and a new one starts; once more than ``max_segments`` segments exist
+  the oldest is deleted — disk use is O(max_segments *
+  max_segment_bytes) forever, the same bounded-ring discipline as the
+  flight recorder;
+* :meth:`EventStore.query` filters by stream / severity / kind / time
+  range across every surviving segment, oldest first, so ``/alerts`` on
+  the HTTP endpoint is one call.
+
+Reopening an existing store resumes the last unsealed segment and
+continues the global sequence numbering, so a restart appends rather
+than clobbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+
+from ..obs import get_logger
+
+__all__ = ["EventStoreConfig", "EventStore", "load_segment"]
+
+_logger = get_logger(__name__)
+
+EVENTS_FORMAT = "repro-events"
+EVENTS_VERSION = 1
+
+_SEGMENT_RE = re.compile(r"^events-(\d{6})\.jsonl$")
+
+
+@dataclass(frozen=True)
+class EventStoreConfig:
+    """Disk layout and bounds for one :class:`EventStore`."""
+
+    #: Directory the segment files live in (created on demand).
+    root: str
+    #: Seal the active segment once its serialized size passes this.
+    max_segment_bytes: int = 64 * 1024
+    #: Oldest segments beyond this count are deleted.
+    max_segments: int = 8
+
+    def __post_init__(self):
+        if self.max_segment_bytes < 1024:
+            raise ValueError(
+                f"max_segment_bytes must be >= 1024, got "
+                f"{self.max_segment_bytes}"
+            )
+        if self.max_segments < 1:
+            raise ValueError(
+                f"max_segments must be >= 1, got {self.max_segments}"
+            )
+
+
+def _segment_header(index: int) -> dict:
+    return {"format": EVENTS_FORMAT, "version": EVENTS_VERSION,
+            "segment": index}
+
+
+def load_segment(path) -> tuple[dict, list]:
+    """Read one segment; validates the schema header like
+    :func:`repro.obs.load_incident` does for incident files."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [line for line in (raw.strip() for raw in fh) if line]
+    if not lines:
+        raise ValueError(f"{path}: empty file, not an event segment")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: header is not JSON: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != EVENTS_FORMAT:
+        raise ValueError(
+            f"{path}: not a {EVENTS_FORMAT} file (header {header!r})"
+        )
+    if header.get("version") != EVENTS_VERSION:
+        raise ValueError(
+            f"{path}: segment version {header.get('version')!r} "
+            f"(this build reads version {EVENTS_VERSION})"
+        )
+    return header, [json.loads(line) for line in lines[1:]]
+
+
+class EventStore:
+    """Append-only, size-bounded, queryable JSONL event store.
+
+    Single-writer by design (the :class:`~repro.alerts.AlertManager`
+    owns it); readers — ``query`` from the HTTP endpoint, offline
+    tooling — always see complete segments thanks to the atomic
+    rewrites.
+    """
+
+    def __init__(self, config: EventStoreConfig):
+        self.config = config
+        os.makedirs(config.root, exist_ok=True)
+        self._active_index = 1
+        self._active_events: list[dict] = []
+        self._active_bytes = 0
+        self._next_seq = 0
+        self.appended = 0
+        self._resume()
+
+    # -- writing --------------------------------------------------------
+    def append(self, event: dict) -> dict:
+        """Persist one event; returns the stored record (with ``seq``).
+
+        The event must be a JSON-serializable dict with a ``kind``; the
+        store stamps a monotonic ``seq`` so global ordering survives
+        segment rotation.
+        """
+        if not isinstance(event, dict) or not event.get("kind"):
+            raise ValueError(f"event must be a dict with a 'kind', "
+                             f"got {event!r}")
+        record = dict(event)
+        record["seq"] = self._next_seq
+        line = json.dumps(record)  # raises early on unserializable payloads
+        self._next_seq += 1
+        self.appended += 1
+        self._active_events.append(record)
+        self._active_bytes += len(line) + 1
+        self._write_active()
+        if self._active_bytes >= self.config.max_segment_bytes:
+            self._rotate()
+        return record
+
+    def _write_active(self) -> None:
+        from ..utils import atomic_write
+
+        path = self.segment_path(self._active_index)
+        with atomic_write(path) as fh:
+            fh.write(json.dumps(_segment_header(self._active_index)) + "\n")
+            for record in self._active_events:
+                fh.write(json.dumps(record) + "\n")
+
+    def _rotate(self) -> None:
+        _logger.info(
+            "event store sealed segment %06d (%d events, %d bytes)",
+            self._active_index, len(self._active_events), self._active_bytes,
+        )
+        self._active_index += 1
+        self._active_events = []
+        self._active_bytes = 0
+        self._write_active()
+        self._prune()
+
+    def _prune(self) -> None:
+        indices = self.segment_indices()
+        while len(indices) > self.config.max_segments:
+            victim = indices.pop(0)
+            try:
+                os.unlink(self.segment_path(victim))
+            except OSError:  # already gone: pruning is best-effort
+                pass
+            _logger.info("event store pruned segment %06d", victim)
+
+    def _resume(self) -> None:
+        indices = self.segment_indices()
+        if not indices:
+            self._write_active()
+            return
+        last = indices[-1]
+        self._next_seq = max(
+            (e["seq"] + 1 for e in self.events() if "seq" in e), default=0
+        )
+        try:
+            _, events = load_segment(self.segment_path(last))
+        except ValueError:
+            # A foreign or corrupt trailing file: leave it alone and
+            # start a fresh segment after it.
+            _logger.warning(
+                "event store could not resume segment %06d; starting %06d",
+                last, last + 1,
+            )
+            self._active_index = last + 1
+            self._write_active()
+            return
+        size = os.path.getsize(self.segment_path(last))
+        if size >= self.config.max_segment_bytes:
+            self._active_index = last + 1
+            self._write_active()
+        else:
+            self._active_index = last
+            self._active_events = events
+            self._active_bytes = size
+
+    # -- reading --------------------------------------------------------
+    def segment_indices(self) -> list[int]:
+        out = []
+        for name in os.listdir(self.config.root):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                out.append(int(match.group(1)))
+        return sorted(out)
+
+    def segment_path(self, index: int) -> str:
+        return os.path.join(self.config.root, f"events-{index:06d}.jsonl")
+
+    def events(self) -> list[dict]:
+        """Every surviving event, oldest first."""
+        out: list[dict] = []
+        for index in self.segment_indices():
+            try:
+                _, events = load_segment(self.segment_path(index))
+            except (ValueError, OSError):
+                continue
+            out.extend(events)
+        out.sort(key=lambda e: e.get("seq", -1))
+        return out
+
+    def query(self, *, stream: str | None = None,
+              severity: str | None = None, kind: str | None = None,
+              since: float | None = None, until: float | None = None,
+              limit: int | None = None) -> list[dict]:
+        """Filtered event view (oldest first; ``limit`` keeps the newest).
+
+        ``since``/``until`` bound the event ``t`` field inclusively;
+        events without a ``t`` are excluded by any time filter.
+        """
+        out = []
+        for event in self.events():
+            if stream is not None and event.get("stream") != stream:
+                continue
+            if severity is not None and event.get("severity") != severity:
+                continue
+            if kind is not None and event.get("kind") != kind:
+                continue
+            if since is not None or until is not None:
+                t = event.get("t")
+                if t is None:
+                    continue
+                if since is not None and t < since:
+                    continue
+                if until is not None and t > until:
+                    continue
+            out.append(event)
+        if limit is not None and limit >= 0:
+            out = out[-limit:]
+        return out
+
+    def stats(self) -> dict:
+        indices = self.segment_indices()
+        total = 0
+        for index in indices:
+            try:
+                total += os.path.getsize(self.segment_path(index))
+            except OSError:
+                pass
+        return {
+            "root": self.config.root,
+            "segments": len(indices),
+            "events": len(self.events()),
+            "bytes": total,
+            "appended": self.appended,
+        }

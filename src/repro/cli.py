@@ -14,6 +14,8 @@ Usage::
     python -m repro profile --scale quick --trace-out trace.jsonl
     python -m repro faults --scenarios dropout gyro_dead
     python -m repro serve-bench --streams 32 --duration 8
+    python -m repro alerts --scenarios spikes nan_burst
+    python -m repro serve-http --port 8787 --serve-for 60
     python -m repro replay benchmarks/results/incidents/incident-....jsonl
     python -m repro tail --streams 8 --duration 6 --once
     python -m repro --jobs 4 sweep --scale bench
@@ -33,6 +35,7 @@ import sys
 
 from .eval.reports import (
     format_table,
+    render_alert_report,
     render_edge_report,
     render_faults_report,
     render_profile_report,
@@ -118,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--incident-dir", default=None,
                         help="arm a flight recorder on the evaluation "
                              "detector and write incident files here")
+    faults.add_argument("--max-incidents", type=int, default=None,
+                        help="cap on incident files kept in --incident-dir "
+                             "(oldest pruned first; default: unbounded)")
     replay = sub.add_parser(
         "replay",
         help="deterministically re-run a flight-recorder incident file "
@@ -156,6 +162,46 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds of signal per stream")
     serve_bench.add_argument("--seed", type=int, default=7,
                              help="workload generator seed")
+    alerts = sub.add_parser(
+        "alerts",
+        help="alert-pipeline evaluation: serve a synthetic fleet under "
+             "each fault scenario and report raised/deduped/demoted "
+             "alerts and event-store contents",
+    )
+    alerts.add_argument("--scenarios", nargs="+", default=None,
+                        help="subset of built-in scenario names "
+                             "(default: all)")
+    alerts.add_argument("--streams", type=int, default=4,
+                        help="fleet size per condition")
+    alerts.add_argument("--faulted", type=int, default=2,
+                        help="streams carrying the fault scenario")
+    alerts.add_argument("--duration", type=float, default=8.0,
+                        help="seconds of signal per stream")
+    alerts.add_argument("--seed", type=int, default=13,
+                        help="workload generator seed")
+    alerts.add_argument("--store-dir", default=None,
+                        help="write per-scenario alert event stores "
+                             "under this directory")
+    serve_http = sub.add_parser(
+        "serve-http",
+        help="run the alerting fleet once, then expose /metrics /healthz "
+             "/alerts /dashboard over HTTP until Ctrl-C (or --serve-for)",
+    )
+    serve_http.add_argument("--streams", type=int, default=8,
+                            help="number of concurrent synthetic streams")
+    serve_http.add_argument("--duration", type=float, default=6.0,
+                            help="seconds of signal per stream")
+    serve_http.add_argument("--seed", type=int, default=11,
+                            help="workload generator seed")
+    serve_http.add_argument("--host", default="127.0.0.1",
+                            help="bind address")
+    serve_http.add_argument("--port", type=int, default=8787,
+                            help="bind port (0 = ephemeral)")
+    serve_http.add_argument("--store-dir", default=None,
+                            help="persist the alert event store here")
+    serve_http.add_argument("--serve-for", type=float, default=None,
+                            help="seconds to keep serving "
+                                 "(default: until Ctrl-C)")
     cache = sub.add_parser(
         "cache",
         help="inspect or manage the on-disk artifact cache "
@@ -299,6 +345,7 @@ def _cmd_faults(scale, args):
         max_epochs=args.epochs,
         deadline_ms=args.deadline_ms,
         incident_dir=args.incident_dir,
+        max_incidents=args.max_incidents,
     )
     report = render_faults_report(result)
     if args.incident_dir is not None:
@@ -374,6 +421,83 @@ def _cmd_serve_bench(args):
     )
     model = build_lightweight_cnn(config.detector.window_samples)
     return render_serve_report(run_serve_benchmark(model, config))
+
+
+def _cmd_alerts(args):
+    from .core.detector import DetectorConfig
+    from .experiments import AlertEvalConfig, run_alert_eval
+
+    config = AlertEvalConfig(
+        n_streams=args.streams,
+        faulted_streams=args.faulted,
+        duration_s=args.duration,
+        seed=args.seed,
+        detector=DetectorConfig(),
+        store_dir=args.store_dir,
+    )
+    report = render_alert_report(run_alert_eval(config, args.scenarios))
+    if args.store_dir is not None:
+        report += f"\n[per-scenario event stores under {args.store_dir}]"
+    return report
+
+
+def _cmd_serve_http(args):
+    import time
+
+    from .alerts import (
+        AlertConfig,
+        EscalationConfig,
+        EventStoreConfig,
+        ObservabilityServer,
+    )
+    from .experiments import MagnitudeProbeModel
+    from .serve import TailConfig, render_dashboard, run_tail
+
+    store = (EventStoreConfig(root=args.store_dir)
+             if args.store_dir is not None else None)
+    config = TailConfig(
+        n_streams=args.streams,
+        duration_s=args.duration,
+        seed=args.seed,
+        # Demo-tight policy (one confirming window, short auto-resolve)
+        # so a single run leaves a populated store behind the endpoint.
+        alerts=AlertConfig(
+            escalation=EscalationConfig(confirm_window_s=1.5,
+                                        confirm_detections=1,
+                                        auto_resolve_s=2.0),
+            dedup_horizon_s=4.0,
+            store=store,
+        ),
+    )
+    # The deterministic probe model (not a freshly trained CNN) so the
+    # endpoint demo always has alerts to show.
+    result = run_tail(MagnitudeProbeModel(), config)
+    engine, sampler = result["engine"], result["sampler"]
+    server = ObservabilityServer(
+        registry=result["registry"],
+        extra_metrics=lambda: {
+            "serve/fleet/window_latency_ms": engine.fleet_latency()},
+        manager=engine.alerts,
+        dashboard=lambda: render_dashboard(engine, sampler),
+        health=lambda: {"streams": engine.report()["streams"]},
+        host=args.host, port=args.port,
+    )
+    server.start()
+    print(f"observability endpoint at {server.url}")
+    print(f"  curl {server.url}/metrics")
+    print(f"  curl '{server.url}/alerts?severity=critical&limit=5'")
+    print(f"  curl {server.url}/dashboard")
+    try:
+        if args.serve_for is not None:
+            time.sleep(args.serve_for)
+        else:  # pragma: no cover - interactive path
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        server.stop()
+    return f"served {server.requests} request(s), {server.errors} error(s)"
 
 
 def _cmd_dataset(args):
@@ -458,6 +582,10 @@ def main(argv=None) -> int:
         output = _cmd_tail(args)
     elif args.command == "serve-bench":
         output = _cmd_serve_bench(args)
+    elif args.command == "alerts":
+        output = _cmd_alerts(args)
+    elif args.command == "serve-http":
+        output = _cmd_serve_http(args)
     elif args.command == "cache":
         output = _cmd_cache(args)
     else:  # pragma: no cover - argparse enforces choices

@@ -19,6 +19,7 @@ __all__ = [
     "render_edge_report",
     "render_profile_report",
     "render_faults_report",
+    "render_alert_report",
     "aggregate_fold_metrics",
 ]
 
@@ -277,5 +278,48 @@ def render_faults_report(results: dict, title="Fault-scenario robustness") -> st
         f"stream subject: {results['stream_subject']}  "
         f"recordings: {results['recordings']}  "
         f"detector mode: {results['mode']}"
+    )
+    return f"{table}\n{footer}"
+
+
+def render_alert_report(results: dict,
+                        title="Alert-pipeline behaviour by scenario") -> str:
+    """Per-scenario alert lifecycle table from ``run_alert_eval``.
+
+    One row per condition: raw detections, alerts raised split by
+    severity, and the dedup / expiry / auto-resolve counters that show
+    the pipeline absorbing false-positive bursts instead of paging on
+    every spike.  The clean baseline rides first.
+    """
+    rows = []
+    for name, stats in [("clean", results["clean"])] + sorted(
+        results["scenarios"].items()
+    ):
+        store = stats["store_events"]
+        rows.append([
+            name,
+            f"{stats['detections']}",
+            f"{stats['raised']}",
+            f"{stats['critical']}",
+            f"{stats['suspect']}",
+            f"{stats['deduped']}",
+            f"{stats['expired']}",
+            f"{stats['resolved']}",
+            ",".join(stats["alert_streams"]) or "-",
+            "-" if store is None else f"{store}",
+        ])
+    table = format_table(
+        ["Scenario", "Detect", "Raised", "Crit", "Susp", "Dedup",
+         "Expired", "Resolved", "Alerting streams", "Store ev."],
+        rows, title=title,
+    )
+    policy = results["policy"]
+    footer = (
+        f"fleet: {results['n_streams']} streams "
+        f"({results['faulted_streams']} faulted), "
+        f"{results['duration_s']:.0f} s  policy: confirm "
+        f"{policy['confirm_detections']} in {policy['confirm_window_s']}s, "
+        f"auto-resolve {policy['auto_resolve_s']}s, "
+        f"dedup {policy['dedup_horizon_s']}s"
     )
     return f"{table}\n{footer}"

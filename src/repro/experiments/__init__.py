@@ -1,5 +1,6 @@
 """``repro.experiments`` — config-driven runners for every table & figure."""
 
+from .alerts_runner import AlertEvalConfig, MagnitudeProbeModel, run_alert_eval
 from .configs import BENCH, PAPER, QUICK, ExperimentScale, get_scale
 from .edge_runner import run_edge_experiment
 from .faults_runner import run_fault_scenarios, stream_recording
@@ -38,6 +39,9 @@ __all__ = [
     "run_profile_workload",
     "run_fault_scenarios",
     "stream_recording",
+    "AlertEvalConfig",
+    "MagnitudeProbeModel",
+    "run_alert_eval",
     "experiment_durations",
     "experiment_pool_stats",
     "reset_experiment_caches",

@@ -11,6 +11,8 @@ inflate the bag in time); any trigger on an ADL is a false alarm.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from ..core.architecture import build_lightweight_cnn
@@ -111,6 +113,7 @@ def run_fault_scenarios(
     deadline_ms: float | None = None,
     airbag_ms: float = 150.0,
     incident_dir: str | None = None,
+    max_incidents: int | None = None,
 ) -> dict:
     """Clean-vs-faulted event evaluation on held-out subjects.
 
@@ -123,7 +126,9 @@ def run_fault_scenarios(
     ``incident_dir`` arms a :class:`repro.obs.FlightRecorder` on the
     evaluation detector: every detection / fallback / health-flip during
     the faulted trials freezes an incident file there, each of which
-    ``repro replay`` can re-run bit-identically.
+    ``repro replay`` can re-run bit-identically.  ``max_incidents``
+    bounds the *directory* to that many incident files, oldest pruned
+    first (also capping this recorder to the same number).
     """
     scale = scale or get_scale()
     dataset = build_experiment_dataset(scale)
@@ -157,9 +162,13 @@ def run_fault_scenarios(
     recordings = [r for r in dataset if r.subject_id == stream_subject]
     recorder = None
     if incident_dir is not None:
+        flight_cfg = (FlightConfig(out_dir=incident_dir)
+                      if max_incidents is None else
+                      FlightConfig(out_dir=incident_dir,
+                                   max_incidents=max_incidents,
+                                   max_dir_incidents=max_incidents))
         recorder = FlightRecorder(
-            FlightConfig(out_dir=incident_dir),
-            stream_id=f"faults:{stream_subject}",
+            flight_cfg, stream_id=f"faults:{stream_subject}",
         )
     detector = FallDetector(
         model if model != "train" else None,
@@ -189,6 +198,9 @@ def run_fault_scenarios(
     }
     if recorder is not None:
         recorder.flush()
-        results["incident_paths"] = list(recorder.incident_paths)
+        # The directory cap may have pruned older files; report survivors.
+        results["incident_paths"] = [
+            p for p in recorder.incident_paths if os.path.exists(p)
+        ]
         results["suppressed_triggers"] = recorder.suppressed_triggers
     return results

@@ -83,6 +83,11 @@ class FlightConfig:
     #: Hard cap on incidents per recorder — bounds disk for a detector
     #: stuck in a trigger-happy state.
     max_incidents: int = 32
+    #: Cap on incident *files* across the whole ``out_dir`` — the fleet
+    #: case, where many per-stream recorders share one directory and the
+    #: per-recorder cap alone cannot bound the disk.  Oldest files are
+    #: pruned first.  ``None`` leaves the directory unbounded.
+    max_dir_incidents: int | None = None
 
     def __post_init__(self):
         if self.capacity < 1:
@@ -91,6 +96,8 @@ class FlightConfig:
             raise ValueError("post_trigger_samples must be >= 0")
         if self.max_incidents < 1:
             raise ValueError("max_incidents must be >= 1")
+        if self.max_dir_incidents is not None and self.max_dir_incidents < 1:
+            raise ValueError("max_dir_incidents must be >= 1 or None")
         unknown = [t for t in self.triggers if t not in TRIGGERS]
         if unknown:
             raise ValueError(
@@ -326,7 +333,39 @@ class FlightRecorder:
             fh.write(json.dumps(incident.meta) + "\n")
             for event in incident.events:
                 fh.write(json.dumps(event) + "\n")
+        if self.config.max_dir_incidents is not None:
+            self._prune_dir(out_dir, keep=path)
         return path
+
+    def _prune_dir(self, out_dir: str, *, keep: str) -> None:
+        """Drop the oldest incident files beyond ``max_dir_incidents``.
+
+        Age is modification time (name as tie-break, so the order is
+        total even on coarse filesystem clocks); the file just written
+        is never pruned — a recorder must not erase its own incident.
+        """
+        entries = []
+        with os.scandir(out_dir) as it:
+            for entry in it:
+                if (entry.is_file() and entry.name.startswith("incident-")
+                        and entry.name.endswith(".jsonl")):
+                    entries.append((entry.stat().st_mtime, entry.name,
+                                    entry.path))
+        excess = len(entries) - self.config.max_dir_incidents
+        if excess <= 0:
+            return
+        keep = os.path.abspath(keep)
+        for _, _, victim in sorted(entries)[:excess]:
+            if os.path.abspath(victim) == keep:
+                continue
+            try:
+                os.remove(victim)
+                _logger.info("pruned incident file %s "
+                             "(directory cap %d)", victim,
+                             self.config.max_dir_incidents)
+            except OSError:  # pragma: no cover - racing pruners
+                _logger.warning("could not prune %s", victim,
+                                exc_info=True)
 
 
 def load_incident(path) -> Incident:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..alerts import AlertConfig
 from ..core.detector import DetectorConfig
 from ..obs import FlightConfig, MetricsSampler, render_exposition
 from ..obs.metrics import MetricsRegistry
@@ -51,6 +52,9 @@ class TailConfig:
     #: Inject faults (NaN burst / dead gyro) into two streams so the
     #: dashboard shows degradation and the recorders capture incidents.
     inject_faults: bool = True
+    #: Arm the fleet alert pipeline on the engine; ``None`` runs the
+    #: historical tail workload without alerting.
+    alerts: AlertConfig | None = None
 
     def __post_init__(self):
         if self.n_streams < 1:
@@ -81,6 +85,32 @@ def sparkline(values, width: int = 32) -> str:
 
 def _fmt_ms(value) -> str:
     return "--" if value is None else f"{value:.2f}"
+
+
+#: Alert rows shown in the dashboard pane (most recent first).
+_MAX_ALERT_ROWS = 4
+
+
+def _alert_pane(manager) -> list[str]:
+    """Alert summary + most recent alert lines for the dashboard."""
+    report = manager.report()
+    by_sev = report["active_by_severity"]
+    lines = [
+        f"alerts       : {report['active']:>8} active "
+        f"(crit {by_sev.get('critical', 0)}, "
+        f"susp {by_sev.get('suspect', 0)})   "
+        f"raised {report['raised']}  deduped {report['deduped']}  "
+        f"resolved {report['resolved']}"
+    ]
+    recent = sorted(manager.alerts, key=lambda a: a.last_t,
+                    reverse=True)[:_MAX_ALERT_ROWS]
+    for alert in recent:
+        lines.append(
+            f"  {alert.id}  {alert.stream:<9} {alert.severity:<8} "
+            f"{alert.state:<8} t={alert.last_t:7.2f}s "
+            f"det={alert.detections} rep={alert.repeats}"
+        )
+    return lines
 
 
 def render_dashboard(engine: ServeEngine, sampler: MetricsSampler | None = None,
@@ -114,6 +144,8 @@ def render_dashboard(engine: ServeEngine, sampler: MetricsSampler | None = None,
         f"p99 {_fmt_ms(fleet['p99'])} ms "
         f"({fleet['count']} windows)"
     )
+    if engine.alerts is not None:
+        lines += _alert_pane(engine.alerts)
     lines.append("")
     lines.append("stream    health       queue  viol  fback  det  incid")
     lines.append("-" * 54)
@@ -176,6 +208,7 @@ def run_tail(model, config: TailConfig | None = None, *,
         detector=config.detector,
         flight=FlightConfig(out_dir=config.incident_dir,
                             post_trigger_samples=25),
+        alerts=config.alerts,
     )
     engine = ServeEngine(model, serve_cfg, registry=registry)
     sampler = MetricsSampler(registry, interval_s=config.interval_s,

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..alerts import AlertConfig, AlertManager
 from ..core.detector import Detection, DetectorConfig
 from ..nn.config import batch_invariant
 from ..obs import FlightConfig, Histogram, get_logger, get_registry
@@ -78,6 +79,12 @@ class ServeConfig:
     #: quarantines) freeze the stream's recent history to disk.  ``None``
     #: serves without flight recording.
     flight: FlightConfig | None = None
+    #: Attach an :class:`repro.alerts.AlertManager` with this config:
+    #: every detection feeds the per-stream escalation machines, alerts
+    #: are deduped fleet-wide, demoted on bad stream health, persisted
+    #: to the configured event store and exported as ``alerts/*``
+    #: metrics.  ``None`` serves without the alert pipeline.
+    alerts: AlertConfig | None = None
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -133,6 +140,10 @@ class ServeEngine:
         self.detections = 0
         self._synced: dict[str, int] = {}
         self._inference_s = 0.0
+        #: Fleet alert pipeline (``None`` unless ``config.alerts``).
+        self.alerts = (AlertManager(cfg.alerts, registry=self.registry)
+                       if cfg.alerts is not None else None)
+        self._latest_t: float | None = None
 
     # ------------------------------------------------------------------
     # ingestion
@@ -183,6 +194,10 @@ class ServeEngine:
             self.dropped_samples += 1
         queue.append((accel_g, gyro_dps, t))
         self.samples_in += 1
+        if t is not None and (self._latest_t is None or t > self._latest_t):
+            # Fleet stream clock: drives alert confirm-window expiry and
+            # auto-resolve even on rounds with no detections.
+            self._latest_t = float(t)
         return True
 
     # ------------------------------------------------------------------
@@ -210,6 +225,8 @@ class ServeEngine:
             first_round = False
             if not staged:
                 break
+        if self.alerts is not None:
+            self._feed_alerts(detections)
         self._sync_metrics()
         return detections
 
@@ -310,6 +327,26 @@ class ServeEngine:
             self.detections += 1
             detections.append((session.stream_id, hit))
 
+    def _feed_alerts(self, detections) -> None:
+        """Escalate this round's detections and advance alert timers.
+
+        The manager's entry points are fail-safe (they contain their own
+        exceptions), so alerting can never stall or poison the serve
+        path — the same containment story as the AirbagController.
+        """
+        for stream_id, detection in detections:
+            session = self._sessions.get(stream_id)
+            self.alerts.observe(
+                stream_id,
+                t=detection.time_s,
+                probability=detection.probability,
+                source=detection.source,
+                health=session.health if session is not None else "healthy",
+                recorder=session.recorder if session is not None else None,
+            )
+        if self._latest_t is not None:
+            self.alerts.tick(self._latest_t)
+
     def _quarantine(self, session) -> None:
         session.errors += 1
         session.quarantined = True
@@ -388,6 +425,12 @@ class ServeEngine:
 
     def report(self) -> dict:
         """Engine-level serving summary."""
+        if self.alerts is not None:
+            return {**self._base_report(),
+                    "alerts": self.alerts.report()}
+        return self._base_report()
+
+    def _base_report(self) -> dict:
         return {
             "streams": len(self._sessions),
             "samples_in": self.samples_in,

@@ -1,0 +1,227 @@
+"""Escalation state machine + alert manager: lifecycle, dedup, demotion,
+fail-safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.alerts import (
+    AlertConfig,
+    AlertManager,
+    EscalationConfig,
+    EscalationMachine,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _cfg(**kw):
+    base = dict(confirm_window_s=2.0, confirm_detections=2,
+                auto_resolve_s=10.0)
+    base.update(kw)
+    return EscalationConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# machine lifecycle
+# ----------------------------------------------------------------------
+def test_config_validation():
+    with pytest.raises(ValueError, match="confirm_window_s"):
+        _cfg(confirm_window_s=0.0)
+    with pytest.raises(ValueError, match="confirm_detections"):
+        _cfg(confirm_detections=0)
+    with pytest.raises(ValueError, match="auto_resolve_s"):
+        _cfg(auto_resolve_s=-1.0)
+
+
+def test_detection_then_confirmations_escalate():
+    machine = EscalationMachine("s0", _cfg())
+    moved = machine.observe_detection(1.0, probability=0.7)
+    assert [(m["from"], m["to"]) for m in moved] == [("idle", "confirming")]
+    assert machine.observe_detection(1.5, probability=0.9) == []
+    moved = machine.observe_detection(2.0, probability=0.8)
+    assert [(m["from"], m["to"], m["reason"]) for m in moved] == [
+        ("confirming", "alert", "confirmed")]
+    assert machine.state == "alert"
+    assert machine.episode_detections == 3
+    assert machine.episode_max_probability == 0.9
+
+
+def test_single_spike_expires_without_alert():
+    machine = EscalationMachine("s0", _cfg())
+    machine.observe_detection(1.0)
+    moved = machine.advance(3.5)               # past 1.0 + 2.0 window
+    assert [(m["to"], m["reason"]) for m in moved] == [("idle", "expired")]
+    assert machine.state == "idle"
+    # A later detection starts a fresh episode.
+    machine.observe_detection(10.0)
+    assert machine.state == "confirming"
+    assert machine.episode_detections == 1
+
+
+def test_alert_auto_resolves_after_quiet_period():
+    machine = EscalationMachine("s0", _cfg(confirm_detections=1))
+    machine.observe_detection(1.0)
+    machine.observe_detection(1.5)
+    assert machine.state == "alert"
+    assert machine.advance(11.0) == []         # 9.5 s quiet: not yet
+    moved = machine.advance(11.5)
+    assert [(m["to"], m["reason"]) for m in moved] == [
+        ("idle", "auto_resolve")]
+
+
+def test_detections_keep_alert_warm():
+    machine = EscalationMachine("s0", _cfg(confirm_detections=1))
+    machine.observe_detection(1.0)
+    machine.observe_detection(1.5)
+    machine.observe_detection(9.0)             # resets the resolve timer
+    assert machine.advance(12.0) == []
+    assert machine.state == "alert"
+
+
+def test_ack_only_from_alert_state():
+    machine = EscalationMachine("s0", _cfg(confirm_detections=1))
+    assert machine.ack(0.0) == []              # idle: nothing to ack
+    machine.observe_detection(1.0)
+    assert machine.ack(1.1) == []              # confirming: nothing yet
+    machine.observe_detection(1.5)
+    moved = machine.ack(2.0)
+    assert [(m["from"], m["to"]) for m in moved] == [("alert", "acked")]
+    assert machine.ack(2.1) == []              # already acked
+    # Acked still auto-resolves.
+    moved = machine.advance(20.0)
+    assert [(m["reason"]) for m in moved] == ["auto_resolve"]
+
+
+def test_severity_demoted_by_worst_episode_health():
+    machine = EscalationMachine("s0", _cfg(confirm_detections=1))
+    machine.observe_detection(1.0, health="healthy")
+    assert machine.severity == "critical"
+    machine.observe_detection(1.5, health="degraded")
+    assert machine.severity == "suspect"
+    assert machine.worst_health == "degraded"
+    # Health recovering does not un-demote the open episode...
+    machine.observe_detection(2.0, health="healthy")
+    assert machine.severity == "suspect"
+    # ...but the next episode starts clean.
+    machine.advance(50.0)
+    machine.observe_detection(60.0, health="healthy")
+    assert machine.severity == "critical"
+
+
+# ----------------------------------------------------------------------
+# manager: dedup, demotion, fail-safety
+# ----------------------------------------------------------------------
+def _manager(**alert_kw):
+    alert_kw.setdefault("escalation", _cfg(confirm_detections=1,
+                                           auto_resolve_s=2.0))
+    alert_kw.setdefault("dedup_horizon_s", 5.0)
+    registry = MetricsRegistry()
+    return AlertManager(AlertConfig(**alert_kw), registry=registry), registry
+
+
+def _escalate(manager, stream, t, **kw):
+    manager.observe(stream, t=t, probability=0.9, **kw)
+    manager.observe(stream, t=t + 0.2, probability=0.9, **kw)
+
+
+def test_manager_raises_and_auto_resolves():
+    manager, registry = _manager()
+    _escalate(manager, "s0", 1.0)
+    assert len(manager.active_alerts()) == 1
+    alert = manager.active_alerts()[0]
+    assert alert.severity == "critical" and alert.detections == 2
+    assert registry.counter("alerts/raised").value == 1
+    assert registry.gauge("alerts/active").value == 1.0
+    manager.tick(5.0)                          # 3.8 s quiet > 2.0
+    assert manager.active_alerts() == []
+    assert manager.alerts[0].state == "resolved"
+    assert registry.counter("alerts/resolved").value == 1
+
+
+def test_manager_dedups_within_horizon():
+    manager, registry = _manager()
+    _escalate(manager, "s0", 1.0)
+    manager.tick(4.0)                          # resolve the first alert
+    _escalate(manager, "s0", 5.0)              # 1.0 s after last activity
+    alerts = manager.alerts
+    assert len(alerts) == 1                    # collapsed, not a new page
+    assert alerts[0].repeats == 1
+    assert alerts[0].state == "active"         # reactivated
+    assert registry.counter("alerts/deduped").value == 1
+    # Outside the horizon a fresh alert opens.
+    manager.tick(30.0)
+    _escalate(manager, "s0", 40.0)
+    assert len(manager.alerts) == 2
+
+
+def test_manager_demotes_degraded_stream_and_tightens_on_repeat():
+    manager, _ = _manager()
+    _escalate(manager, "s0", 1.0, health="degraded")
+    alert = manager.alerts[0]
+    assert alert.severity == "suspect"
+    # A healthy-episode repeat inside the horizon upgrades to critical.
+    manager.tick(4.0)
+    _escalate(manager, "s0", 5.0, health="healthy")
+    assert manager.alerts[0].severity == "critical"
+
+
+def test_manager_single_spike_never_pages():
+    manager, registry = _manager(
+        escalation=_cfg(confirm_window_s=1.0, confirm_detections=1))
+    manager.observe("s0", t=1.0)
+    manager.tick(3.0)                          # confirm window expired
+    assert manager.alerts == []
+    assert registry.counter("alerts/expired").value == 1
+
+
+def test_manager_prunes_resolved_first():
+    manager, _ = _manager(max_alerts=2, dedup_horizon_s=0.0)
+    for i, t in enumerate((1.0, 20.0, 40.0)):
+        _escalate(manager, f"s{i}", t)
+        manager.tick(t + 4.0)                  # resolve each
+    assert len(manager.alerts) == 2
+    assert {a.stream for a in manager.alerts} == {"s1", "s2"}
+
+
+def test_manager_is_fail_safe(caplog):
+    manager, registry = _manager()
+
+    class BrokenRecorder:
+        def mark(self, label):
+            raise RuntimeError("recorder exploded")
+
+    manager.observe("s0", t=1.0)
+    # The second observe escalates -> _raise_alert -> recorder.mark boom.
+    manager.observe("s0", t=1.2, recorder=BrokenRecorder())
+    assert manager.errors == 1
+    assert registry.counter("alerts/errors").value == 1
+    # The pipeline keeps working afterwards.
+    _escalate(manager, "s1", 2.0)
+    assert any(a.stream == "s1" for a in manager.active_alerts())
+    # Bad input types are contained too.
+    manager.observe("s2", t="not a number")
+    assert manager.errors == 2
+
+
+def test_manager_ack_flow():
+    manager, registry = _manager()
+    _escalate(manager, "s0", 1.0)
+    alert = manager.active_alerts()[0]
+    assert manager.ack(alert.id, t=2.0) is True
+    assert alert.state == "acked"
+    assert manager.stream_state("s0") == "acked"
+    assert registry.counter("alerts/acked").value == 1
+    assert manager.ack(alert.id, t=2.1) is False    # not active anymore
+    assert manager.ack("a-999999") is False          # unknown id
+    report = manager.report()
+    assert report["acked"] == 1 and report["active"] == 1
+
+
+def test_manager_per_stream_gauge_optional():
+    manager, registry = _manager(per_stream_metrics=False)
+    _escalate(manager, "s0", 1.0)
+    assert not any(name.startswith("alerts/stream/")
+                   for name in registry.names())
+    manager2, registry2 = _manager()
+    _escalate(manager2, "s0", 1.0)
+    assert registry2.gauge("alerts/stream/s0/state").value == 2.0

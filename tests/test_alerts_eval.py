@@ -1,0 +1,115 @@
+"""Scenario-driven alert eval, its report, dashboard pane, and CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alerts import AlertConfig, EscalationConfig
+from repro.cli import build_parser
+from repro.eval.reports import render_alert_report
+from repro.experiments import (
+    AlertEvalConfig,
+    MagnitudeProbeModel,
+    run_alert_eval,
+)
+from repro.serve import TailConfig, run_tail
+
+
+@pytest.fixture(scope="module")
+def eval_results(tmp_path_factory):
+    store_dir = tmp_path_factory.mktemp("alert-stores")
+    return run_alert_eval(
+        AlertEvalConfig(duration_s=6.0, store_dir=str(store_dir)),
+        scenarios=["nan_burst", "gyro_dead"],
+    )
+
+
+def test_probe_model_maps_peak_magnitude():
+    model = MagnitudeProbeModel(lo_g=1.0, hi_g=3.0)
+    quiet = np.full((1, 4, 6), 0.1)
+    quiet[0, :, 2] = 1.0                        # gravity only
+    spike = quiet.copy()
+    spike[0, 2, 2] = 3.5
+    probs = model.predict(np.concatenate([quiet, spike]))
+    assert probs.shape == (2, 1)
+    assert probs[0, 0] < 0.05 and probs[1, 0] == 1.0
+    assert model.predict(np.zeros((0, 4, 6))).shape == (0, 1)
+    with pytest.raises(ValueError, match="hi_g > lo_g"):
+        MagnitudeProbeModel(lo_g=2.0, hi_g=2.0)
+
+
+def test_eval_differentiates_scenarios(eval_results):
+    clean = eval_results["clean"]
+    nan_burst = eval_results["scenarios"]["nan_burst"]
+    gyro_dead = eval_results["scenarios"]["gyro_dead"]
+    # Clean: both fall streams page critical, second pulse dedups.
+    assert clean["raised"] == 2 and clean["critical"] == 2
+    assert clean["deduped"] >= 1
+    assert clean["alert_streams"] == ["s000", "s001"]
+    # nan_burst: the fall on the degraded stream demotes to suspect.
+    assert nan_burst["suspect"] == 1 and nan_burst["critical"] == 1
+    assert "degraded" in nan_burst["worst_healths"]
+    # gyro_dead starves the detector of windows: s001 never pages.
+    assert gyro_dead["alert_streams"] == ["s000"]
+    # Stores were written per scenario.
+    for condition in (clean, nan_burst, gyro_dead):
+        assert condition["store_events"] > 0
+        assert condition["errors"] == 0
+
+
+def test_eval_rejects_unknown_scenarios():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_alert_eval(AlertEvalConfig(duration_s=1.0),
+                       scenarios=["quantum_flu"])
+
+
+def test_eval_config_validation():
+    with pytest.raises(ValueError, match="n_streams"):
+        AlertEvalConfig(n_streams=0)
+    with pytest.raises(ValueError, match="faulted_streams"):
+        AlertEvalConfig(n_streams=2, faulted_streams=5)
+    with pytest.raises(ValueError, match="duration_s"):
+        AlertEvalConfig(duration_s=0.0)
+
+
+def test_alert_report_renders_every_condition(eval_results):
+    report = render_alert_report(eval_results)
+    lines = report.splitlines()
+    assert lines[0].startswith("Alert-pipeline behaviour")
+    for name in ("clean", "nan_burst", "gyro_dead"):
+        assert any(line.startswith(name) for line in lines), name
+    assert "confirm 1 in 1.5s" in lines[-1]
+    assert "dedup 4.0s" in lines[-1]
+
+
+def test_dashboard_renders_alert_pane():
+    config = TailConfig(
+        n_streams=4, duration_s=4.0, seed=11,
+        alerts=AlertConfig(
+            escalation=EscalationConfig(confirm_window_s=1.5,
+                                        confirm_detections=1,
+                                        auto_resolve_s=2.0)),
+    )
+    result = run_tail(MagnitudeProbeModel(), config)
+    frame = result["final_frame"]
+    assert "alerts" in frame and "raised" in frame
+    assert "a-000000" in frame                 # at least one alert row
+    # Without alerts armed the pane stays out (historical frames intact).
+    plain = run_tail(MagnitudeProbeModel(),
+                     TailConfig(n_streams=2, duration_s=2.0))
+    assert "a-000000" not in plain["final_frame"]
+
+
+def test_cli_parses_new_commands():
+    parser = build_parser()
+    args = parser.parse_args(["alerts", "--scenarios", "spikes",
+                              "--streams", "6", "--store-dir", "/tmp/x"])
+    assert args.command == "alerts" and args.streams == 6
+    assert args.scenarios == ["spikes"]
+    args = parser.parse_args(["serve-http", "--port", "0",
+                              "--serve-for", "1.5"])
+    assert args.command == "serve-http"
+    assert args.port == 0 and args.serve_for == 1.5
+    args = parser.parse_args(["faults", "--max-incidents", "4"])
+    assert args.max_incidents == 4

@@ -1,0 +1,235 @@
+"""Observability HTTP endpoint + end-to-end fleet alerting.
+
+The end-to-end test is the PR's acceptance demo: a ServeEngine fleet
+under a builtin fault scenario produces deduped alerts in the event
+store, queryable over HTTP ``/alerts``, with escalation transitions
+visible in ``/metrics`` — and the exposition passes the metric-name
+lint with no duplicate family headers.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.alerts import (
+    AlertConfig,
+    AlertManager,
+    EscalationConfig,
+    EventStore,
+    EventStoreConfig,
+    ObservabilityServer,
+)
+from repro.experiments import AlertEvalConfig, MagnitudeProbeModel
+from repro.experiments.alerts_runner import _fleet_for
+from repro.faults import builtin_scenarios
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import ServeConfig, ServeEngine
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            return resp.status, resp.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+@pytest.fixture()
+def server():
+    """A server over a tiny populated manager; stopped after the test."""
+    registry = MetricsRegistry()
+    manager = AlertManager(
+        AlertConfig(escalation=EscalationConfig(confirm_detections=1)),
+        registry=registry,
+    )
+    manager.observe("s0", t=1.0, probability=0.9)
+    manager.observe("s0", t=1.2, probability=0.95)
+    registry.counter("serve/samples_in").inc(7)
+    srv = ObservabilityServer(registry=registry, manager=manager,
+                              dashboard=lambda: "dash frame", port=0)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def test_routes(server):
+    base = server.url
+    status, body = _get(base + "/metrics")
+    assert status == 200
+    assert "repro_alerts_raised 1" in body
+    assert "repro_serve_samples_in 7" in body
+
+    status, body = _get(base + "/healthz")
+    assert status == 200
+    health = json.loads(body)
+    assert health["status"] == "ok" and health["alerts_active"] == 1
+
+    status, body = _get(base + "/alerts")
+    assert status == 200
+    alerts = json.loads(body)
+    assert alerts["count"] == 0               # no store attached
+    assert [a["stream"] for a in alerts["active"]] == ["s0"]
+
+    status, body = _get(base + "/dashboard")
+    assert status == 200 and body == "dash frame"
+
+    status, body = _get(base + "/")
+    assert status == 200
+    assert "/metrics" in json.loads(body)["endpoints"]
+
+    status, body = _get(base + "/nope")
+    assert status == 404
+    assert "endpoints" in json.loads(body)
+
+
+def test_alerts_query_validation(server):
+    status, body = _get(server.url + "/alerts?limit=notanumber")
+    assert status == 400
+    assert "limit" in json.loads(body)["error"]
+    status, body = _get(server.url + "/alerts?bogus=1")
+    assert status == 400
+    assert "bogus" in json.loads(body)["error"]
+    # Errors above were client errors, not handler crashes.
+    assert server.errors == 0
+
+
+def test_missing_backends_404():
+    srv = ObservabilityServer(port=0)
+    srv.start()
+    try:
+        for route in ("/metrics", "/alerts", "/dashboard"):
+            status, body = _get(srv.url + route)
+            assert status == 404, route
+        status, body = _get(srv.url + "/healthz")
+        assert status == 200                  # liveness needs no backend
+    finally:
+        srv.stop()
+
+
+def test_handler_error_contained():
+    def broken_dashboard():
+        raise RuntimeError("render exploded")
+
+    registry = MetricsRegistry()
+    registry.counter("serve/samples_in").inc()
+    srv = ObservabilityServer(registry=registry, dashboard=broken_dashboard,
+                              port=0)
+    srv.start()
+    try:
+        status, body = _get(srv.url + "/dashboard")
+        assert status == 500
+        assert json.loads(body)["error"] == "internal error"
+        assert srv.errors == 1
+        # The failure did not poison other routes.
+        status, _ = _get(srv.url + "/metrics")
+        assert status == 200
+    finally:
+        srv.stop()
+
+
+def test_double_start_rejected():
+    srv = ObservabilityServer(port=0)
+    srv.start()
+    try:
+        with pytest.raises(RuntimeError, match="already started"):
+            srv.start()
+    finally:
+        srv.stop()
+    srv.stop()                                 # idempotent
+
+
+# ----------------------------------------------------------------------
+# end to end: engine fleet -> alerts -> store -> HTTP -> lint
+# ----------------------------------------------------------------------
+def test_fleet_alerts_end_to_end(tmp_path):
+    config = AlertEvalConfig(duration_s=8.0)
+    registry = MetricsRegistry()
+    engine = ServeEngine(
+        MagnitudeProbeModel(),
+        ServeConfig(detector=config.detector,
+                    alerts=AlertConfig(
+                        escalation=config.alerts.escalation,
+                        dedup_horizon_s=config.alerts.dedup_horizon_s,
+                        store=EventStoreConfig(
+                            root=str(tmp_path / "events")))),
+        registry=registry,
+    )
+    scenario = builtin_scenarios(seed=config.seed)["nan_burst"]
+    streams = _fleet_for(scenario, config)
+    hop = config.detector.hop_samples
+    n = max(len(t) for _, _, t in streams.values())
+    for i in range(n):
+        for stream_id, (accel, gyro, t) in streams.items():
+            if i < len(t):
+                engine.submit(stream_id, accel[i], gyro[i], t[i])
+        if (i + 1) % hop == 0:
+            engine.step()
+    engine.step()
+
+    # The fall stream paged critical; its second pulse deduped; the
+    # fall on the degraded (nan_burst) stream paged suspect only.
+    report = engine.alerts.report()
+    assert report["raised"] == 2
+    assert report["deduped"] >= 1
+    assert report["errors"] == 0
+    by_stream = {a.stream: a for a in engine.alerts.alerts}
+    assert by_stream["s000"].severity == "critical"
+    assert by_stream["s000"].repeats >= 1
+    assert by_stream["s001"].severity == "suspect"
+    assert by_stream["s001"].worst_health == "degraded"
+    assert "s002" not in by_stream and "s003" not in by_stream
+
+    srv = ObservabilityServer(
+        registry=registry,
+        extra_metrics=lambda: {
+            "serve/fleet/window_latency_ms": engine.fleet_latency()},
+        manager=engine.alerts,
+        port=0,
+    )
+    srv.start()
+    try:
+        # Stored alerts stream back over HTTP, filters included.
+        status, body = _get(srv.url + "/alerts?kind=alert")
+        assert status == 200
+        alerts = json.loads(body)
+        assert {e["stream"] for e in alerts["events"]} == {"s000", "s001"}
+        status, body = _get(srv.url
+                            + "/alerts?stream=s001&severity=suspect")
+        assert status == 200
+        assert json.loads(body)["count"] >= 1
+
+        # Escalation transitions are visible in /metrics, and the
+        # exposition is lint-clean with one TYPE header per family.
+        status, exposition = _get(srv.url + "/metrics")
+        assert status == 200
+        assert "repro_alerts_transitions " in exposition
+        assert "repro_alerts_transitions_alert" in exposition
+    finally:
+        srv.stop()
+
+    path = tmp_path / "exposition.prom"
+    path.write_text(exposition, encoding="utf-8")
+    lint = subprocess.run(
+        [sys.executable,
+         str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(path)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 0, lint.stdout + lint.stderr
+    type_lines = [line for line in exposition.splitlines()
+                  if line.startswith("# TYPE ")]
+    assert len(type_lines) == len(set(type_lines))
+
+    # The store survives the process: a fresh reader sees the alerts.
+    reader = EventStore(EventStoreConfig(root=str(tmp_path / "events")))
+    kinds = {e["kind"] for e in reader.events()}
+    assert {"escalation", "alert", "repeat"} <= kinds

@@ -1,0 +1,149 @@
+"""Bounded JSONL event store: rotation, pruning, resume, queries."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.alerts import EventStore, EventStoreConfig, load_segment
+
+
+def _store(tmp_path, **kw):
+    kw.setdefault("max_segment_bytes", 1024)
+    kw.setdefault("max_segments", 3)
+    return EventStore(EventStoreConfig(root=str(tmp_path / "events"), **kw))
+
+
+def _event(i, **extra):
+    return {"kind": "escalation", "stream": f"s{i % 2}", "t": float(i),
+            **extra}
+
+
+def test_config_validation(tmp_path):
+    with pytest.raises(ValueError, match="max_segment_bytes"):
+        EventStoreConfig(root=str(tmp_path), max_segment_bytes=10)
+    with pytest.raises(ValueError, match="max_segments"):
+        EventStoreConfig(root=str(tmp_path), max_segments=0)
+
+
+def test_append_stamps_seq_and_requires_kind(tmp_path):
+    store = _store(tmp_path)
+    first = store.append({"kind": "alert", "stream": "s0"})
+    second = store.append({"kind": "resolve", "stream": "s0"})
+    assert (first["seq"], second["seq"]) == (0, 1)
+    with pytest.raises(ValueError, match="kind"):
+        store.append({"stream": "s0"})
+    with pytest.raises(ValueError, match="kind"):
+        store.append("not a dict")
+    with pytest.raises(TypeError):              # unserializable payload
+        store.append({"kind": "x", "payload": object()})
+    # The failed appends left nothing behind.
+    assert [e["seq"] for e in store.events()] == [0, 1]
+
+
+def test_segment_header_versioned_and_validated(tmp_path):
+    store = _store(tmp_path)
+    store.append(_event(0))
+    path = store.segment_path(store.segment_indices()[0])
+    header, events = load_segment(path)
+    assert header["format"] == "repro-events" and header["version"] == 1
+    assert len(events) == 1
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_segment(bad)
+    bad.write_text("not json\n")
+    with pytest.raises(ValueError, match="not JSON"):
+        load_segment(bad)
+    bad.write_text('{"format": "other"}\n')
+    with pytest.raises(ValueError, match="not a repro-events"):
+        load_segment(bad)
+    bad.write_text('{"format": "repro-events", "version": 99}\n')
+    with pytest.raises(ValueError, match="version"):
+        load_segment(bad)
+
+
+def test_rotation_bounds_disk(tmp_path):
+    store = _store(tmp_path, max_segment_bytes=1024, max_segments=3)
+    for i in range(200):                        # far beyond 3 KiB of events
+        store.append(_event(i, padding="x" * 40))
+    assert len(store.segment_indices()) <= 3
+    stats = store.stats()
+    assert stats["segments"] <= 3
+    assert stats["bytes"] <= 3 * 1024 + 1024    # one segment may overflow
+    assert stats["appended"] == 200
+    # Survivors are the newest events, still ordered by seq.
+    seqs = [e["seq"] for e in store.events()]
+    assert seqs == sorted(seqs)
+    assert seqs[-1] == 199
+    assert len(seqs) < 200                      # oldest were pruned
+
+
+def test_reopen_resumes_segment_and_seq(tmp_path):
+    store = _store(tmp_path)
+    for i in range(5):
+        store.append(_event(i))
+    reopened = _store(tmp_path)
+    record = reopened.append(_event(5))
+    assert record["seq"] == 5                   # numbering continued
+    assert len(reopened.events()) == 6
+    assert reopened.segment_indices() == store.segment_indices()
+
+
+def test_reopen_with_corrupt_trailing_segment(tmp_path):
+    store = _store(tmp_path)
+    for i in range(3):
+        store.append(_event(i))
+    # A foreign/corrupt file that sorts after the real segment.
+    last = store.segment_indices()[-1]
+    corrupt = store.segment_path(last + 1)
+    with open(corrupt, "w", encoding="utf-8") as fh:
+        fh.write("garbage\n")
+    reopened = _store(tmp_path)
+    record = reopened.append(_event(3))
+    assert record["seq"] == 3                   # seq from surviving events
+    # The corrupt file was left alone; writing continued after it.
+    with open(corrupt, "r", encoding="utf-8") as fh:
+        assert fh.read() == "garbage\n"
+    assert reopened.segment_indices()[-1] > last + 1
+
+
+def test_active_segment_always_complete_json(tmp_path):
+    """Atomic rewrite: the on-disk active segment parses after every
+    append (no truncated trailing line for a concurrent reader)."""
+    store = _store(tmp_path)
+    for i in range(10):
+        store.append(_event(i))
+        path = store.segment_path(store._active_index)
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                json.loads(line)                # every line parses
+
+
+def test_query_filters(tmp_path):
+    store = _store(tmp_path)
+    store.append({"kind": "alert", "stream": "s0", "severity": "critical",
+                  "t": 1.0})
+    store.append({"kind": "alert", "stream": "s1", "severity": "suspect",
+                  "t": 2.0})
+    store.append({"kind": "resolve", "stream": "s0", "severity": "critical",
+                  "t": 5.0})
+    store.append({"kind": "escalation", "stream": "s0"})   # no t
+    assert len(store.query()) == 4
+    assert [e["t"] for e in store.query(stream="s0", kind="alert")] == [1.0]
+    assert [e["stream"] for e in store.query(severity="suspect")] == ["s1"]
+    # Time range is inclusive and excludes t-less events.
+    assert [e["t"] for e in store.query(since=2.0, until=5.0)] == [2.0, 5.0]
+    # limit keeps the newest.
+    assert [e["kind"] for e in store.query(limit=2)] == ["resolve",
+                                                         "escalation"]
+
+
+def test_store_root_created_on_demand(tmp_path):
+    root = tmp_path / "deep" / "nested" / "events"
+    store = EventStore(EventStoreConfig(root=str(root)))
+    store.append({"kind": "alert"})
+    assert os.path.isdir(root)

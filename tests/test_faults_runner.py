@@ -81,3 +81,15 @@ class TestCli:
         assert "Fault-scenario robustness" in out
         assert "clean" in out and "dropout" in out
         assert "detector mode: fallback-only" in out
+
+
+def test_incident_dir_capped_at_max_incidents(tmp_path):
+    """`repro faults --incident-dir --max-incidents N` leaves at most N
+    incident files behind, and reports only the survivors."""
+    result = run_fault_scenarios(
+        QUICK, scenarios=["nan_burst"], model=None,
+        incident_dir=str(tmp_path), max_incidents=2,
+    )
+    on_disk = sorted(tmp_path.glob("incident-*.jsonl"))
+    assert 0 < len(on_disk) <= 2
+    assert sorted(result["incident_paths"]) == [str(p) for p in on_disk]

@@ -230,3 +230,62 @@ def test_exposition_lint_catches_bad_text(tmp_path):
     assert lint.returncode == 1
     assert "embeds a stream id" in lint.stdout
     assert "no # TYPE" in lint.stdout
+
+
+def test_sampler_series_empty_single_and_rotated():
+    registry = MetricsRegistry()
+    counter = registry.counter("serve/samples_in")
+    sampler = MetricsSampler(registry, interval_s=1.0, capacity=2)
+    # Empty: no samples taken yet -> empty series, even for known names.
+    assert sampler.series("serve/samples_in") == []
+    assert sampler.series("missing/metric") == []
+    # Single sample.
+    counter.inc(5)
+    sampler.sample(now=0.0)
+    assert sampler.series("serve/samples_in") == [(0.0, 5)]
+    # Rotation: capacity 2 keeps only the newest two points.
+    counter.inc(5)
+    sampler.sample(now=1.0)
+    counter.inc(5)
+    sampler.sample(now=2.0)
+    assert sampler.series("serve/samples_in") == [(1.0, 10), (2.0, 15)]
+    # A metric born after earlier samples appears only from its birth on.
+    registry.counter("serve/late").inc()
+    sampler.sample(now=3.0)
+    assert sampler.series("serve/late") == [(3.0, 1)]
+
+
+def test_merged_fleet_registry_exposition_is_lint_clean(tmp_path):
+    """Regression: merging per-stream registries into a fleet registry
+    and rendering one exposition yields a single TYPE header per family
+    and passes the exposition lint."""
+    fleet = MetricsRegistry()
+    for sid in ("s000", "s001", "s002"):
+        stream = MetricsRegistry()
+        stream.counter("serve/samples_in").inc(10)
+        stream.gauge(f"serve/stream/{sid}/health").set(0.0)  # metric-name: dynamic
+        stream.gauge(f"alerts/stream/{sid}/state").set(2.0)  # metric-name: dynamic
+        stream.histogram("serve/batch_latency_ms",
+                         buckets=(1.0, 4.0)).observe(2.0)
+        fleet.merge_entries(stream.entries())
+    fleet.counter("alerts/raised").inc(2)
+    text = render_exposition(fleet)
+    assert "repro_serve_samples_in 30" in text     # counters summed
+    type_lines = [line for line in text.splitlines()
+                  if line.startswith("# TYPE ")]
+    assert len(type_lines) == len(set(type_lines))  # no duplicate headers
+    # Three streams fold into ONE family with a stream label each.
+    assert text.count("# TYPE repro_serve_stream_health gauge") == 1
+    assert text.count("# TYPE repro_alerts_stream_state gauge") == 1
+    for sid in ("s000", "s001", "s002"):
+        assert f'repro_alerts_stream_state{{stream="{sid}"}} 2' in text
+
+    path = tmp_path / "fleet.prom"
+    path.write_text(text, encoding="utf-8")
+    lint = subprocess.run(
+        [sys.executable,
+         str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(path)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 0, lint.stdout + lint.stderr

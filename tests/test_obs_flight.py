@@ -310,3 +310,29 @@ def test_replay_identity_under_every_builtin_scenario(name):
     # property is not vacuous for scenarios that degrade the stream).
     if name in ("nan_burst", "gyro_dead"):
         assert recorded_transitions
+
+
+def test_directory_incident_cap_prunes_oldest(tmp_path):
+    """Many recorders sharing one out_dir: max_dir_incidents bounds the
+    directory, oldest files pruned first, newest always kept."""
+    import os
+    import time
+
+    for i in range(5):
+        rec = FlightRecorder(
+            FlightConfig(post_trigger_samples=0, out_dir=str(tmp_path),
+                         max_dir_incidents=3),
+            stream_id=f"s{i:03d}",
+        )
+        rec.mark()                         # freezes + writes immediately
+        # Distinct mtimes so "oldest" is well defined on coarse clocks.
+        past = time.time() - (5 - i)
+        os.utime(rec.incident_paths[0], (past, past))
+    names = sorted(p.name for p in tmp_path.glob("incident-*.jsonl"))
+    assert len(names) == 3
+    assert [n.split("-")[1] for n in names] == ["s002", "s003", "s004"]
+    # The capping recorder never pruned its own just-written file.
+    assert any("s004" in n for n in names)
+
+    with pytest.raises(ValueError, match="max_dir_incidents"):
+        FlightConfig(max_dir_incidents=0)
