@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check http-smoke bench profile faults serve-bench \
-	parallel-bench tail-demo alerts-demo
+	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,7 +20,7 @@ lint:
 http-smoke:
 	$(PYTHON) scripts/http_smoke.py
 
-check: lint test http-smoke
+check: lint test http-smoke fleet-demo
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -48,6 +48,17 @@ tail-demo:
 		--metrics-out benchmarks/results/serve_exposition.prom
 	$(PYTHON) scripts/check_metric_names.py --exposition \
 		benchmarks/results/serve_exposition.prom
+
+# Small sharded-fleet run (bit-identity + worker-kill failover arms) as
+# a fast end-to-end gate for `make check`; `timeout` guards wall clock
+# so a wedged worker/supervisor fails the build instead of hanging it.
+fleet-demo:
+	timeout 300 $(PYTHON) -m repro fleet-bench --streams 12 --shards 3
+
+# Full fleet scaling benchmark (>= 64 streams / 4 shards), archived to
+# benchmarks/results/fleet_scaling.txt with the merged exposition linted.
+fleet-bench:
+	timeout 900 $(PYTHON) -m pytest benchmarks/test_bench_fleet.py -q
 
 # Scenario-driven alert-pipeline evaluation with persistent event stores
 # under benchmarks/results/alert_stores/; the report is archived for

@@ -1,0 +1,78 @@
+"""Fleet scaling + failover benchmark (archived to fleet_scaling.txt).
+
+Drives a 64-stream population over a 4-shard :class:`FleetFront` and
+asserts the two ISSUE-level guarantees end to end:
+
+* fault-free, the fleet's per-stream detections are byte-identical to a
+  single-engine run of the same population (sharding, pipes and
+  micro-batching change nothing);
+* with a worker SIGKILLed mid-run, zero streams are lost — every session
+  is re-homed and reporting, detections resume at the guaranteed
+  post-kill pulse, alerts still page, and shed/redelivery stay bounded.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+from repro.experiments import MagnitudeProbeModel
+from repro.fleet import FleetBenchConfig, render_fleet_report, run_fleet_benchmark
+
+_REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+
+def test_bench_fleet_scaling_and_failover(save_report, tmp_path):
+    config = FleetBenchConfig(
+        n_streams=64, n_shards=4, seed=19,
+        store_dir=str(tmp_path / "fleet_events"),
+    )
+    result = run_fleet_benchmark(MagnitudeProbeModel(), config)
+
+    # --- bit-identity: N shards reproduce one engine byte for byte ----
+    assert result["n_streams"] == 64 and result["n_shards"] == 4
+    assert result["mismatched_streams"] == []
+    total = sum(len(v) for v in result["single"]["detections"].values())
+    assert total > 0
+
+    # --- failover: zero streams lost across a mid-run worker kill -----
+    kill = result["kill"]
+    assert kill["killed"]
+    report = kill["report"]
+    assert report["worker_crashes"] == 1
+    assert report["worker_restarts"] >= 1
+    assert report["worker_failures"] == 0
+    assert result["killed_streams"]          # the kill actually hit homes
+    assert report["rehomed_streams"] >= len(result["killed_streams"])
+    assert result["lost_streams"] == []      # every session re-homed
+    # Detections resume on every clean re-homed stream at the pulse.
+    assert result["resumed_streams"] == result["clean_killed_streams"]
+    # Alerts still page through the AlertManager after the failover.
+    assert report["alerts"]["raised"] > 0
+    # Backpressure stayed bounded: the restart outage backlogs without
+    # shedding at this capacity, and redelivery covers the lost round.
+    assert report["shed_samples"] == 0
+    assert report["redelivered_samples"] > 0
+    assert report["max_queue_depth"] <= config.queue_capacity
+    # Recovery is visible on fleet/* metrics in the merged exposition.
+    exposition = kill["exposition"]
+    assert "repro_fleet_worker_restarts 1" in exposition
+    assert "repro_fleet_worker_crashes 1" in exposition
+    assert "repro_fleet_window_latency_ms_bucket" in exposition
+    assert "repro_fleet_round_ms_bucket" in exposition
+
+    # The merged exposition must parse under the metric-name lint.
+    prom_path = (pathlib.Path(__file__).parent / "results"
+                 / "fleet_exposition.prom")
+    prom_path.parent.mkdir(exist_ok=True)
+    prom_path.write_text(exposition, encoding="utf-8")
+    lint = subprocess.run(
+        [sys.executable,
+         str(_REPO_ROOT / "scripts" / "check_metric_names.py"),
+         "--exposition", str(prom_path)],
+        capture_output=True, text=True,
+    )
+    assert lint.returncode == 0, lint.stdout + lint.stderr
+
+    save_report("fleet_scaling", render_fleet_report(result))

@@ -41,7 +41,8 @@ SRC = REPO_ROOT / "src" / "repro"
 #: Packages the lint must cover (same guard as check_no_print: a rename
 #: must not silently un-lint a package).
 EXPECTED_PACKAGES = ("alerts", "core", "datasets", "eval", "experiments",
-                     "faults", "obs", "parallel", "serve", "signal")
+                     "faults", "fleet", "obs", "parallel", "serve",
+                     "signal")
 
 _METHODS = {"counter", "gauge", "histogram"}
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$")

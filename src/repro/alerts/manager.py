@@ -105,7 +105,7 @@ class AlertManager:
         self.config = config or AlertConfig()
         self.registry = registry if registry is not None else get_registry()
         if store is None and self.config.store is not None:
-            store = EventStore(self.config.store)
+            store = EventStore(self.config.store, registry=self.registry)
         self.store = store
         self._machines: dict[str, EscalationMachine] = {}
         self._alerts: list[Alert] = []

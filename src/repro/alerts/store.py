@@ -71,9 +71,18 @@ def _segment_header(index: int) -> dict:
             "segment": index}
 
 
-def load_segment(path) -> tuple[dict, list]:
+def load_segment(path, *, skip_corrupt: bool = False,
+                 on_corrupt=None) -> tuple[dict, list]:
     """Read one segment; validates the schema header like
-    :func:`repro.obs.load_incident` does for incident files."""
+    :func:`repro.obs.load_incident` does for incident files.
+
+    The header is always strict — a bad header means the file is not
+    ours and the whole segment is rejected.  Body lines are strict by
+    default; with ``skip_corrupt=True`` a torn or garbage line (e.g. a
+    partial write from a crashed foreign writer) is skipped rather than
+    failing the segment, and ``on_corrupt(path, line)`` is invoked per
+    skipped line so callers can count them.
+    """
     with open(path, "r", encoding="utf-8") as fh:
         lines = [line for line in (raw.strip() for raw in fh) if line]
     if not lines:
@@ -91,7 +100,17 @@ def load_segment(path) -> tuple[dict, list]:
             f"{path}: segment version {header.get('version')!r} "
             f"(this build reads version {EVENTS_VERSION})"
         )
-    return header, [json.loads(line) for line in lines[1:]]
+    events = []
+    for line in lines[1:]:
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if not skip_corrupt:
+                raise ValueError(f"{path}: corrupt event line: {exc}") \
+                    from None
+            if on_corrupt is not None:
+                on_corrupt(path, line)
+    return header, events
 
 
 class EventStore:
@@ -103,7 +122,7 @@ class EventStore:
     rewrites.
     """
 
-    def __init__(self, config: EventStoreConfig):
+    def __init__(self, config: EventStoreConfig, *, registry=None):
         self.config = config
         os.makedirs(config.root, exist_ok=True)
         self._active_index = 1
@@ -111,7 +130,19 @@ class EventStore:
         self._active_bytes = 0
         self._next_seq = 0
         self.appended = 0
+        self.corrupt_lines = 0
+        self._corrupt_counter = (
+            registry.counter("store/corrupt_lines")
+            if registry is not None else None
+        )
         self._resume()
+
+    def _note_corrupt(self, path, line) -> None:
+        self.corrupt_lines += 1
+        if self._corrupt_counter is not None:
+            self._corrupt_counter.inc()
+        _logger.warning("event store skipping corrupt line in %s: %.80s",
+                        path, line)
 
     # -- writing --------------------------------------------------------
     def append(self, event: dict) -> dict:
@@ -176,7 +207,10 @@ class EventStore:
             (e["seq"] + 1 for e in self.events() if "seq" in e), default=0
         )
         try:
-            _, events = load_segment(self.segment_path(last))
+            _, events = load_segment(
+                self.segment_path(last), skip_corrupt=True,
+                on_corrupt=self._note_corrupt,
+            )
         except ValueError:
             # A foreign or corrupt trailing file: leave it alone and
             # start a fresh segment after it.
@@ -209,16 +243,39 @@ class EventStore:
         return os.path.join(self.config.root, f"events-{index:06d}.jsonl")
 
     def events(self) -> list[dict]:
-        """Every surviving event, oldest first."""
+        """Every surviving event, oldest first.
+
+        A segment whose *header* fails validation is a foreign file and
+        is skipped whole; a corrupt line **inside** an otherwise valid
+        segment (torn write, bit rot) only loses that line — the rest of
+        the segment still serves, with each skip counted on
+        ``store/corrupt_lines``.
+        """
         out: list[dict] = []
         for index in self.segment_indices():
             try:
-                _, events = load_segment(self.segment_path(index))
+                _, events = load_segment(
+                    self.segment_path(index), skip_corrupt=True,
+                    on_corrupt=self._note_corrupt,
+                )
             except (ValueError, OSError):
                 continue
             out.extend(events)
         out.sort(key=lambda e: e.get("seq", -1))
         return out
+
+    def seal(self) -> bool:
+        """Seal the active segment now (graceful shutdown).
+
+        Rotates a non-empty active segment so the events written this
+        run live in a complete, closed segment; a later process starts
+        fresh instead of appending to (and re-serializing) ours.  A
+        no-op on an empty active segment; returns whether it rotated.
+        """
+        if not self._active_events:
+            return False
+        self._rotate()
+        return True
 
     def query(self, *, stream: str | None = None,
               severity: str | None = None, kind: str | None = None,
@@ -264,4 +321,5 @@ class EventStore:
             "events": len(self.events()),
             "bytes": total,
             "appended": self.appended,
+            "corrupt_lines": self.corrupt_lines,
         }

@@ -14,6 +14,7 @@ Usage::
     python -m repro profile --scale quick --trace-out trace.jsonl
     python -m repro faults --scenarios dropout gyro_dead
     python -m repro serve-bench --streams 32 --duration 8
+    python -m repro fleet-bench --streams 64 --shards 4
     python -m repro alerts --scenarios spikes nan_burst
     python -m repro serve-http --port 8787 --serve-for 60
     python -m repro replay benchmarks/results/incidents/incident-....jsonl
@@ -46,6 +47,32 @@ from .experiments import get_scale
 from .obs import configure_logging
 
 __all__ = ["main", "build_parser"]
+
+
+def _install_stop_handler():
+    """SIGTERM/SIGINT -> a ``threading.Event`` instead of an abrupt exit.
+
+    The long-running commands (``serve-http``, ``tail``) poll the event
+    so a signal triggers the same graceful path as a finished workload:
+    seal the event store, flush pending incidents, stop the HTTP server.
+    Returns the event; installation is a no-op off the main thread.
+    """
+    import signal
+    import threading
+
+    stop = threading.Event()
+    if threading.current_thread() is not threading.main_thread():
+        return stop
+
+    def _handle(signum, frame):
+        stop.set()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, _handle)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+    return stop
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -162,6 +189,31 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds of signal per stream")
     serve_bench.add_argument("--seed", type=int, default=7,
                              help="workload generator seed")
+    fleet_bench = sub.add_parser(
+        "fleet-bench",
+        help="sharded fleet serving benchmark: N worker processes vs a "
+             "single engine (bit-identity), plus a worker-kill failover "
+             "arm with crash recovery",
+    )
+    fleet_bench.add_argument("--streams", type=int, default=64,
+                             help="population size across the fleet")
+    fleet_bench.add_argument("--shards", type=int, default=4,
+                             help="worker processes to shard onto")
+    fleet_bench.add_argument("--duration-scale", type=float, default=0.35,
+                             help="compress nominal task durations")
+    fleet_bench.add_argument("--seed", type=int, default=19,
+                             help="population generator seed")
+    fleet_bench.add_argument("--kill-shard", type=int, default=1,
+                             help="shard the worker-kill scenario targets")
+    fleet_bench.add_argument("--kill-at", type=float, default=2.0,
+                             help="stream-seconds into the run to SIGKILL "
+                                  "the target shard")
+    fleet_bench.add_argument("--no-kill", action="store_true",
+                             help="skip the failover arm (bit-identity "
+                                  "comparison only)")
+    fleet_bench.add_argument("--store-dir", default=None,
+                             help="persist the kill arm's alert event "
+                                  "store here")
     alerts = sub.add_parser(
         "alerts",
         help="alert-pipeline evaluation: serve a synthetic fleet under "
@@ -398,8 +450,12 @@ def _cmd_tail(args):
             # ANSI home+clear per frame: a refreshing dashboard on any
             # VT100 terminal, harmless noise when piped to a file.
             print("\x1b[H\x1b[2J" + frame, flush=True)
-    result = run_tail(model, config, on_frame=on_frame)
+    stop = _install_stop_handler()
+    result = run_tail(model, config, on_frame=on_frame,
+                      should_stop=stop.is_set)
     output = result["final_frame"]
+    if result["interrupted"]:
+        output += "\n[interrupted: incidents flushed, artifacts complete]"
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as fh:
             fh.write(result["exposition"])
@@ -423,6 +479,36 @@ def _cmd_serve_bench(args):
     return render_serve_report(run_serve_benchmark(model, config))
 
 
+def _cmd_fleet_bench(args):
+    from .core.detector import DetectorConfig
+    from .experiments import MagnitudeProbeModel
+    from .fleet import (
+        FleetBenchConfig,
+        WorkerKill,
+        render_fleet_report,
+        run_fleet_benchmark,
+    )
+
+    kill = (None if args.no_kill
+            else WorkerKill(shard=args.kill_shard, at_s=args.kill_at))
+    config = FleetBenchConfig(
+        n_streams=args.streams,
+        n_shards=args.shards,
+        seed=args.seed,
+        detector=DetectorConfig(),
+        duration_scale=args.duration_scale,
+        kill=kill,
+        store_dir=args.store_dir,
+    )
+    # The deterministic probe model: an untrained CNN's detections are
+    # noise, and the benchmark is about the serving fabric, not the net.
+    result = run_fleet_benchmark(MagnitudeProbeModel(), config)
+    report = render_fleet_report(result)
+    if args.store_dir is not None and kill is not None:
+        report += f"\n[kill-arm event store under {args.store_dir}]"
+    return report
+
+
 def _cmd_alerts(args):
     from .core.detector import DetectorConfig
     from .experiments import AlertEvalConfig, run_alert_eval
@@ -442,8 +528,6 @@ def _cmd_alerts(args):
 
 
 def _cmd_serve_http(args):
-    import time
-
     from .alerts import (
         AlertConfig,
         EscalationConfig,
@@ -471,7 +555,9 @@ def _cmd_serve_http(args):
     )
     # The deterministic probe model (not a freshly trained CNN) so the
     # endpoint demo always has alerts to show.
-    result = run_tail(MagnitudeProbeModel(), config)
+    stop = _install_stop_handler()
+    result = run_tail(MagnitudeProbeModel(), config,
+                      should_stop=stop.is_set)
     engine, sampler = result["engine"], result["sampler"]
     server = ObservabilityServer(
         registry=result["registry"],
@@ -483,21 +569,25 @@ def _cmd_serve_http(args):
         host=args.host, port=args.port,
     )
     server.start()
-    print(f"observability endpoint at {server.url}")
+    print(f"observability endpoint at {server.url}", flush=True)
     print(f"  curl {server.url}/metrics")
     print(f"  curl '{server.url}/alerts?severity=critical&limit=5'")
-    print(f"  curl {server.url}/dashboard")
+    print(f"  curl {server.url}/dashboard", flush=True)
     try:
-        if args.serve_for is not None:
-            time.sleep(args.serve_for)
-        else:  # pragma: no cover - interactive path
-            while True:
-                time.sleep(3600)
+        # A signal wakes the wait immediately; both the timed and the
+        # open-ended variants share the same graceful teardown below.
+        stop.wait(args.serve_for)
     except KeyboardInterrupt:  # pragma: no cover - interactive path
         pass
     finally:
         server.stop()
-    return f"served {server.requests} request(s), {server.errors} error(s)"
+        engine.flush_incidents()
+        sealed = False
+        if engine.alerts is not None and engine.alerts.store is not None:
+            sealed = engine.alerts.store.seal()
+    shutdown = "sealed store, " if sealed else ""
+    return (f"served {server.requests} request(s), "
+            f"{server.errors} error(s) [{shutdown}stopped cleanly]")
 
 
 def _cmd_dataset(args):
@@ -582,6 +672,8 @@ def main(argv=None) -> int:
         output = _cmd_tail(args)
     elif args.command == "serve-bench":
         output = _cmd_serve_bench(args)
+    elif args.command == "fleet-bench":
+        output = _cmd_fleet_bench(args)
     elif args.command == "alerts":
         output = _cmd_alerts(args)
     elif args.command == "serve-http":

@@ -389,6 +389,23 @@ class FallDetector:
         if self.recorder is not None:
             self.recorder.note_reset()
 
+    def note_interruption(self, last_t: float | None = None) -> None:
+        """Mark this detector as taking over an interrupted stream.
+
+        Fleet failover rebuilds a crashed worker's sessions from recorded
+        config; the rebuilt detector must not pretend the stream was
+        continuous.  Seeding the timestamp tracker with the stream's last
+        seen ``last_t`` routes the next sample through the normal gap
+        machinery (an outage longer than ``max_gap_ms`` resets and
+        re-primes exactly like a mid-stream dropout), and the takeover is
+        recorded as an anomaly so health reads ``degraded`` until
+        ``recovery_samples`` clean samples pass — degraded-then-healthy,
+        never silently healthy.
+        """
+        if last_t is not None:
+            self._last_t = float(last_t)
+        self._update_health(anomaly=True)
+
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------

@@ -1,0 +1,365 @@
+"""Fleet simulator + scaling benchmark (``repro fleet-bench``).
+
+Drives a diverse synthetic population — subjects and tasks drawn from
+:mod:`repro.datasets.synthesis`, a slice of streams carrying
+:mod:`repro.faults` scenarios — through three arms:
+
+1. **single-engine** — every stream on one :class:`ServeEngine`, the
+   reference the fleet must reproduce byte for byte;
+2. **fleet / fault-free** — the same feed through an N-shard
+   :class:`~repro.fleet.front.FleetFront`; per-stream detections are
+   compared to arm 1 (``mismatched_streams`` must stay empty: sharding,
+   pipes and batching change nothing);
+3. **fleet / worker-kill** — a :class:`WorkerKill` process-level
+   scenario (the fleet sibling of the signal-level ``repro.faults``
+   suite) SIGKILLs one shard mid-run with alerting armed, proving
+   crash-recovery failover: zero streams lost, every session re-homed,
+   detections resume on a guaranteed post-kill impact pulse, and alerts
+   still page through the :class:`~repro.alerts.AlertManager`.
+
+The rendered report (streams/core, p99 batch latency, queue depth,
+shed/redelivery/recovery counts) is archived to
+``benchmarks/results/fleet_scaling.txt`` by ``make fleet-bench``.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..alerts import AlertConfig, EscalationConfig, EventStoreConfig
+from ..core.detector import DetectorConfig
+from ..datasets import make_subjects, synthesize_recording
+from ..datasets.tasks import adl_ids, fall_ids, get_task
+from ..faults import builtin_scenarios
+from ..obs import render_exposition
+from ..obs.metrics import MetricsRegistry
+from ..serve.engine import ServeConfig, ServeEngine
+from .front import FleetConfig, FleetFront
+
+__all__ = [
+    "WorkerKill",
+    "FleetBenchConfig",
+    "build_population",
+    "run_fleet_benchmark",
+    "render_fleet_report",
+]
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Process-level fault scenario: SIGKILL one shard worker mid-run.
+
+    The fleet-level sibling of the signal-level scenarios in
+    :func:`repro.faults.builtin_scenarios` — instead of corrupting
+    samples, it takes out the process serving a sixteenth of the fleet.
+    """
+
+    shard: int = 1
+    at_s: float = 2.0
+
+
+@dataclass(frozen=True)
+class FleetBenchConfig:
+    """Population shape and fleet topology for the benchmark."""
+
+    n_streams: int = 64
+    n_shards: int = 4
+    seed: int = 19
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Compresses nominal task durations (floors keep falls >= 6 s and
+    #: ADLs >= 4 s, so every stream outlives the kill + pulse schedule).
+    duration_scale: float = 0.35
+    #: Leading streams carrying a repro.faults scenario (round-robin over
+    #: ``scenario_names``); the rest of the population stays clean.
+    fault_streams: int = 8
+    scenario_names: tuple = ("spike_noise", "sample_dropout",
+                             "clock_jitter", "nan_burst")
+    #: The process-level scenario for arm 3; ``None`` skips that arm.
+    kill: WorkerKill | None = field(default_factory=WorkerKill)
+    #: Guaranteed impact pulse on *every* stream after the kill, so
+    #: "detections resume on re-homed streams" is checkable per stream.
+    pulse_at_s: float = 3.2
+    pulse_peak_g: float = 4.0
+    #: Front-side per-shard buffer: sized so a restart-length outage
+    #: backlogs without shedding (shed stays bounded — here, zero).
+    queue_capacity: int = 16384
+    #: Generous: the kill arm detects the SIGKILL through the dead-process
+    #: short-circuit, so this only guards true hangs — and a loaded 1-core
+    #: box can stretch a legitimate round past a tight timeout, which
+    #: would misclassify it as hung and skew the crash accounting.
+    worker_timeout_s: float = 60.0
+    restart_initial_s: float = 0.02
+    #: Persist the kill arm's alert store here; ``None`` keeps it in
+    #: memory.
+    store_dir: str | None = None
+
+    def __post_init__(self):
+        if self.n_streams < 1:
+            raise ValueError("n_streams must be >= 1")
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not 0 <= self.fault_streams <= self.n_streams:
+            raise ValueError("fault_streams must fit in the population")
+        if self.kill is not None and not (
+                0 <= self.kill.shard < self.n_shards):
+            raise ValueError("kill.shard must name a real shard")
+
+
+def build_population(config: FleetBenchConfig) -> dict:
+    """Synthesize the stream population once; every arm replays the same
+    arrays, so cross-arm identity is by construction data-identical.
+
+    Returns ``{stream_id: (accel, gyro, t, faulted)}``.
+    """
+    subjects = make_subjects("FL", max(4, min(config.n_streams, 16)),
+                             config.seed)
+    adl, falls = adl_ids(), fall_ids()
+    scenarios = builtin_scenarios(seed=config.seed)
+    names = [name for name in config.scenario_names if name in scenarios]
+    population = {}
+    for i in range(config.n_streams):
+        subject = subjects[i % len(subjects)]
+        task_id = falls[i % len(falls)] if i % 3 == 0 else adl[i % len(adl)]
+        recording = synthesize_recording(
+            get_task(task_id), subject, trial=i,
+            duration_scale=config.duration_scale, base_seed=config.seed,
+        )
+        accel = np.array(recording.accel, dtype=float)
+        gyro = np.array(recording.gyro, dtype=float)
+        fs = float(recording.fs)
+        t = np.arange(len(accel)) / fs
+        # The guaranteed post-kill impact: a smooth high-g pulse late in
+        # every stream (clamped inside the shortest recordings).
+        at = min(config.pulse_at_s, float(t[-1]) - 0.4)
+        envelope = np.exp(-0.5 * ((t - at) / 0.1) ** 2)
+        accel[:, 2] += (config.pulse_peak_g - 1.0) * envelope
+        faulted = bool(names) and i < config.fault_streams
+        if faulted:
+            scenario = scenarios[names[i % len(names)]]
+            t, accel, gyro = scenario.apply_arrays(t, accel, gyro)
+        population[f"s{i:03d}"] = (accel, gyro, t, faulted)
+    return population
+
+
+def _drive_single(model, population, config: FleetBenchConfig) -> dict:
+    """Arm 1: the whole population on one engine (the bit-identity
+    reference), submit per tick, step per hop — the fleet's cadence."""
+    registry = MetricsRegistry()
+    engine = ServeEngine(
+        model,
+        ServeConfig(detector=config.detector, per_stream_metrics=False),
+        registry=registry,
+    )
+    hop = config.detector.hop_samples
+    n = max(len(t) for _, _, t, _ in population.values())
+    detections = {sid: [] for sid in population}
+    start = time.perf_counter()
+    for i in range(n):
+        for sid, (accel, gyro, t, _) in population.items():
+            if i < len(t):
+                engine.submit(sid, accel[i], gyro[i], t[i])
+        if (i + 1) % hop == 0:
+            for sid, hit in engine.step():
+                detections[sid].append(hit)
+    for sid, hit in engine.step():
+        detections[sid].append(hit)
+    report = engine.report()
+    return {
+        "detections": detections,
+        "wall_s": time.perf_counter() - start,
+        "report": report,
+        "windows": report["windows_inferred"],
+        "shed": report["dropped_samples"],
+        "p99_batch_ms": report["batch_latency_ms"]["p99"],
+    }
+
+
+def _drive_fleet(model, population, config: FleetBenchConfig, *,
+                 kill: WorkerKill | None, alerts: AlertConfig | None) -> dict:
+    """Arms 2/3: the same feed through an N-shard front."""
+    registry = MetricsRegistry()
+    fleet_config = FleetConfig(
+        n_shards=config.n_shards,
+        serve=ServeConfig(detector=config.detector,
+                          per_stream_metrics=False),
+        queue_capacity=config.queue_capacity,
+        worker_timeout_s=config.worker_timeout_s,
+        restart_initial_s=config.restart_initial_s,
+        base_seed=config.seed,
+        alerts=alerts,
+    )
+    front = FleetFront(model, fleet_config, registry=registry)
+    hop = config.detector.hop_samples
+    fs = config.detector.fs
+    n = max(len(t) for _, _, t, _ in population.values())
+    detections = {sid: [] for sid in population}
+    killed = False
+    start = time.perf_counter()
+    for i in range(n):
+        for sid, (accel, gyro, t, _) in population.items():
+            if i < len(t):
+                front.submit(sid, accel[i], gyro[i], t[i])
+        if (kill is not None and not killed
+                and (i + 1) / fs >= kill.at_s):
+            front.kill_worker(kill.shard)
+            killed = True
+        if (i + 1) % hop == 0:
+            for sid, hit in front.pump():
+                detections[sid].append(hit)
+    for sid, hit in front.drain():
+        detections[sid].append(hit)
+    report = front.close()
+    wall = time.perf_counter() - start
+    windows = sum(r.get("windows_inferred", 0)
+                  for r in front.shard_reports().values())
+    return {
+        "detections": detections,
+        "wall_s": wall,
+        "report": report,
+        "stream_report": front.stream_report(),
+        "windows": windows,
+        "shed": report["shed_samples"],
+        "p99_batch_ms": report["round_ms"]["p99"],
+        "window_latency": front.fleet_latency().summary(),
+        "exposition": render_exposition(registry),
+        "killed": killed,
+    }
+
+
+def run_fleet_benchmark(model, config: FleetBenchConfig | None = None) -> dict:
+    """All three arms over one shared population; returns the full result
+    dict (render with :func:`render_fleet_report`)."""
+    config = config or FleetBenchConfig()
+    population = build_population(config)
+    stream_seconds = sum(float(t[-1]) for _, _, t, _ in population.values())
+
+    single = _drive_single(model, population, config)
+    fleet = _drive_fleet(model, population, config, kill=None, alerts=None)
+    mismatched = [sid for sid in population
+                  if fleet["detections"][sid] != single["detections"][sid]]
+
+    result = {
+        "n_streams": config.n_streams,
+        "n_shards": config.n_shards,
+        "stream_seconds": stream_seconds,
+        "single": single,
+        "fleet": fleet,
+        "mismatched_streams": mismatched,
+        "streams_per_core": (stream_seconds / fleet["wall_s"]
+                             if fleet["wall_s"] > 0 else 0.0),
+    }
+    if config.kill is None:
+        return result
+
+    store = (EventStoreConfig(root=config.store_dir)
+             if config.store_dir is not None else None)
+    alerts = AlertConfig(
+        escalation=EscalationConfig(confirm_window_s=1.5,
+                                    confirm_detections=1,
+                                    auto_resolve_s=3.0),
+        dedup_horizon_s=4.0,
+        store=store,
+        per_stream_metrics=False,
+    )
+    killarm = _drive_fleet(model, population, config,
+                           kill=config.kill, alerts=alerts)
+    killed_streams = sorted(
+        sid for sid in population
+        if zlib.crc32(sid.encode("utf-8")) % config.n_shards
+        == config.kill.shard
+    )
+    clean_killed = [sid for sid in killed_streams
+                    if not population[sid][3]]
+    pulse_floor = config.pulse_at_s - 0.5
+    resumed = [sid for sid in clean_killed
+               if any(d.time_s >= pulse_floor
+                      for d in killarm["detections"][sid])]
+    lost = sorted(set(population) - set(killarm["stream_report"]))
+    result.update({
+        "kill": killarm,
+        "kill_scenario": {"shard": config.kill.shard,
+                          "at_s": config.kill.at_s},
+        "killed_streams": killed_streams,
+        "clean_killed_streams": clean_killed,
+        "resumed_streams": resumed,
+        "lost_streams": lost,
+    })
+    return result
+
+
+def render_fleet_report(result: dict) -> str:
+    """Human-readable fleet scaling/failover table for archiving."""
+    lines = [
+        f"fleet serving benchmark — {result['n_streams']} streams over "
+        f"{result['n_shards']} shards (1 core)",
+        "",
+        "arm                  wall_s   windows  detections   shed  "
+        "p99 batch ms",
+    ]
+
+    def _row(name, arm):
+        det = sum(len(v) for v in arm["detections"].values())
+        p99 = arm["p99_batch_ms"]
+        lines.append(
+            f"{name:<20} {arm['wall_s']:>6.2f} {arm['windows']:>9} "
+            f"{det:>11} {arm['shed']:>6} "
+            f"{'--' if p99 is None else format(p99, '.2f'):>12}"
+        )
+
+    _row("single-engine", result["single"])
+    _row("fleet/fault-free", result["fleet"])
+    if "kill" in result:
+        _row("fleet/worker-kill", result["kill"])
+    matched = result["n_streams"] - len(result["mismatched_streams"])
+    lines += [
+        "",
+        f"bit-identity (fault-free): {matched}/{result['n_streams']} "
+        f"streams byte-identical to the single engine "
+        f"({len(result['mismatched_streams'])} mismatched)",
+        f"throughput: {result['stream_seconds']:.0f} stream-seconds in "
+        f"{result['fleet']['wall_s']:.2f}s wall -> "
+        f"{result['streams_per_core']:.1f} real-time streams/core",
+    ]
+    if "kill" in result:
+        kill = result["kill"]
+        report = kill["report"]
+        scenario = result["kill_scenario"]
+        window = kill["window_latency"]
+        lines += [
+            "",
+            f"failover (worker-kill scenario: shard {scenario['shard']} "
+            f"at t={scenario['at_s']:.1f}s):",
+            f"  crashes={report['worker_crashes']} "
+            f"timeouts={report['worker_timeouts']} "
+            f"restarts={report['worker_restarts']} "
+            f"rehomed_streams={report['rehomed_streams']} "
+            f"permanent_failures={report['worker_failures']}",
+            f"  streams lost: {len(result['lost_streams'])}/"
+            f"{result['n_streams']}"
+            + (f" ({', '.join(result['lost_streams'])})"
+               if result["lost_streams"] else
+               " — every session re-homed and reporting"),
+            f"  detections resumed on {len(result['resumed_streams'])}/"
+            f"{len(result['clean_killed_streams'])} clean re-homed "
+            f"streams (post-kill pulse)",
+            f"  shed={report['shed_samples']} "
+            f"redelivered={report['redelivered_samples']} "
+            f"max_queue_depth={report['max_queue_depth']}",
+            f"  merged window latency: "
+            f"p50={window['p50'] if window['p50'] is not None else 0:.2f} "
+            f"p99={window['p99'] if window['p99'] is not None else 0:.2f} ms "
+            f"({window['count']} windows)",
+        ]
+        alerts = report.get("alerts")
+        if alerts:
+            lines.append(
+                f"  alerts: raised={alerts['raised']} "
+                f"deduped={alerts['deduped']} "
+                f"suspect={alerts['active_by_severity'].get('suspect', 0)} "
+                f"resolved={alerts['resolved']}"
+            )
+    return "\n".join(lines)

@@ -191,7 +191,7 @@ def _tail_streams(config: TailConfig) -> dict:
 
 
 def run_tail(model, config: TailConfig | None = None, *,
-             on_frame=None) -> dict:
+             on_frame=None, should_stop=None) -> dict:
     """Run the tail workload; calls ``on_frame(frame_str)`` per interval.
 
     Drives the synthetic fleet through a flight-recording
@@ -200,6 +200,12 @@ def run_tail(model, config: TailConfig | None = None, *,
     engine, registry, sampler, incident paths, the final rendered frame
     and the closing Prometheus exposition (with the fleet-merged latency
     histogram attached).
+
+    ``should_stop`` is polled once per sample round; when it returns
+    true the feed stops early but the shutdown path still runs — the
+    trailing step, incident flush, final frame and exposition — so a
+    SIGTERM'd ``repro tail`` leaves complete artifacts behind (the
+    result carries ``interrupted=True``).
     """
     config = config or TailConfig()
     streams = _tail_streams(config)
@@ -217,8 +223,12 @@ def run_tail(model, config: TailConfig | None = None, *,
     fs = config.detector.fs
     n = max(len(t) for _, _, t in streams.values())
     frames = 0
+    interrupted = False
     next_frame_t = config.interval_s
     for i in range(n):
+        if should_stop is not None and should_stop():
+            interrupted = True
+            break
         for stream_id, (accel, gyro, t) in streams.items():
             if i < len(t):
                 engine.submit(stream_id, accel[i], gyro[i], t[i])
@@ -245,6 +255,7 @@ def run_tail(model, config: TailConfig | None = None, *,
         "registry": registry,
         "sampler": sampler,
         "frames": frames,
+        "interrupted": interrupted,
         "final_frame": final_frame,
         "exposition": exposition,
         "incident_paths": engine.incident_paths(),

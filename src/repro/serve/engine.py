@@ -393,6 +393,11 @@ class ServeEngine:
         return {sid: session.report()
                 for sid, session in self._sessions.items()}
 
+    def stream_health(self, stream_id: str) -> str:
+        """Health state of one stream (``healthy`` for unknown streams)."""
+        session = self._sessions.get(stream_id)
+        return session.health if session is not None else "healthy"
+
     def fleet_latency(self) -> Histogram:
         """Every stream's per-window latency merged into one histogram.
 

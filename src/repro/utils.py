@@ -6,7 +6,67 @@ import os
 import tempfile
 from contextlib import contextmanager
 
-__all__ = ["atomic_write"]
+__all__ = ["atomic_write", "Backoff"]
+
+
+class Backoff:
+    """Bounded, jitter-free deterministic exponential backoff.
+
+    ``next()`` returns the delay before the k-th retry:
+    ``min(max_s, initial_s * factor**k)`` for k = 0, 1, 2, ... — a fixed,
+    reproducible schedule (no jitter: the repo's tests and benchmarks
+    must be able to predict supervisor timing exactly).  After
+    ``max_attempts`` calls the policy is ``exhausted`` and the caller
+    should stop retrying (``next()`` then raises, so an exhausted policy
+    can never silently retry forever).
+
+    ``reset()`` re-arms the schedule — callers reset on success so only
+    *consecutive* failures walk up the curve (a worker that crashes once
+    an hour restarts in ``initial_s`` every time; a crash loop backs off
+    to ``max_s``).
+    """
+
+    def __init__(self, initial_s: float = 0.05, factor: float = 2.0,
+                 max_s: float = 2.0, max_attempts: int = 5):
+        if initial_s <= 0:
+            raise ValueError(f"initial_s must be positive, got {initial_s}")
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        if max_s < initial_s:
+            raise ValueError(
+                f"max_s must be >= initial_s, got {max_s} < {initial_s}")
+        if max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.initial_s = float(initial_s)
+        self.factor = float(factor)
+        self.max_s = float(max_s)
+        self.max_attempts = int(max_attempts)
+        self.attempts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once ``max_attempts`` delays have been handed out."""
+        return self.attempts >= self.max_attempts
+
+    def next(self) -> float:
+        """The next delay in seconds; raises ``RuntimeError`` when
+        exhausted (check :attr:`exhausted` first)."""
+        if self.exhausted:
+            raise RuntimeError(
+                f"backoff exhausted after {self.attempts} attempt(s)")
+        delay = min(self.max_s, self.initial_s * self.factor ** self.attempts)
+        self.attempts += 1
+        return delay
+
+    def reset(self) -> None:
+        """Re-arm the schedule after a success."""
+        self.attempts = 0
+
+    def schedule(self) -> list:
+        """The full delay schedule, without consuming any attempts."""
+        return [min(self.max_s, self.initial_s * self.factor ** k)
+                for k in range(self.max_attempts)]
 
 
 @contextmanager

@@ -147,3 +147,89 @@ def test_store_root_created_on_demand(tmp_path):
     store = EventStore(EventStoreConfig(root=str(root)))
     store.append({"kind": "alert"})
     assert os.path.isdir(root)
+
+
+# ----------------------------------------------------------------------
+# mid-segment corruption tolerance & graceful sealing
+# ----------------------------------------------------------------------
+
+def _corrupt_middle_line(store, index, position=2):
+    """Replace one event line inside a valid segment with garbage."""
+    path = store.segment_path(index)
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    lines[position] = "{torn write\n"
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.writelines(lines)
+
+
+def test_query_skips_corrupt_line_mid_segment_not_whole_segment(tmp_path):
+    store = _store(tmp_path)
+    for i in range(6):
+        store.append(_event(i))
+    index = store.segment_indices()[-1]
+    _corrupt_middle_line(store, index)          # kills event seq=1
+    reopened = _store(tmp_path)
+    events = reopened.events()
+    # One line lost, the other five still serve (old behaviour dropped
+    # the whole segment).
+    assert [e["seq"] for e in events] == [0, 2, 3, 4, 5]
+    assert reopened.query(stream="s0") == [e for e in events
+                                           if e["stream"] == "s0"]
+
+
+def test_corrupt_lines_counted_on_metric_and_stats(tmp_path):
+    from repro.obs.metrics import MetricsRegistry
+
+    store = _store(tmp_path)
+    for i in range(5):
+        store.append(_event(i))
+    _corrupt_middle_line(store, store.segment_indices()[-1])
+    registry = MetricsRegistry()
+    reopened = EventStore(EventStoreConfig(root=str(tmp_path / "events"),
+                                           max_segment_bytes=1024,
+                                           max_segments=3),
+                          registry=registry)
+    reopened.events()
+    assert reopened.corrupt_lines >= 1
+    assert registry.counter("store/corrupt_lines").value >= 1
+    assert reopened.stats()["corrupt_lines"] == reopened.corrupt_lines
+
+
+def test_load_segment_strict_by_default_on_body_lines(tmp_path):
+    store = _store(tmp_path)
+    for i in range(4):
+        store.append(_event(i))
+    index = store.segment_indices()[-1]
+    _corrupt_middle_line(store, index)
+    with pytest.raises(ValueError, match="corrupt event line"):
+        load_segment(store.segment_path(index))
+    _, events = load_segment(store.segment_path(index), skip_corrupt=True)
+    assert len(events) == 3
+
+
+def test_resume_after_mid_segment_corruption_continues_numbering(tmp_path):
+    store = _store(tmp_path)
+    for i in range(6):
+        store.append(_event(i))
+    _corrupt_middle_line(store, store.segment_indices()[-1])
+    reopened = _store(tmp_path)
+    record = reopened.append(_event(6))
+    assert record["seq"] == 6       # numbering from surviving events
+    assert [e["seq"] for e in reopened.events()] == [0, 2, 3, 4, 5, 6]
+
+
+def test_seal_rotates_active_segment(tmp_path):
+    store = _store(tmp_path)
+    for i in range(3):
+        store.append(_event(i))
+    active_before = store._active_index
+    assert store.seal() is True
+    assert store._active_index == active_before + 1
+    # The sealed segment is complete and a reopen starts after it.
+    _, sealed_events = load_segment(store.segment_path(active_before))
+    assert [e["seq"] for e in sealed_events] == [0, 1, 2]
+    assert store.seal() is False    # fresh active segment: nothing to seal
+    reopened = _store(tmp_path)
+    assert reopened.append(_event(3))["seq"] == 3
+    assert len(reopened.events()) == 4

@@ -1,0 +1,99 @@
+"""Property tests for ``Histogram.merge``.
+
+The fleet front's exactness claim — per-shard histograms shipped back at
+stop and merged at the front equal one histogram observing everything —
+rests on merge being an element-wise bucket sum.  These tests pin the
+algebra down: associative, commutative, identity, and agreement with
+single-registry observation.  Observations use exactly representable
+(dyadic) floats so the ``sum`` comparisons are ``==``, not approx.
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+EDGES = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _dyadic_values(seed: int, n: int) -> list[float]:
+    """Exactly representable observations (k / 16) spanning every bucket
+    including overflow; a deterministic shuffle per seed."""
+    rng = random.Random(seed)
+    return [rng.randrange(0, 16 * 12) / 16.0 for _ in range(n)]
+
+
+def _observe_all(values) -> Histogram:
+    hist = Histogram(buckets=EDGES)
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+def _equal(a: Histogram, b: Histogram) -> bool:
+    return a.snapshot() == b.snapshot()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_merge_is_commutative(seed):
+    left = _dyadic_values(seed, 40)
+    right = _dyadic_values(seed + 100, 25)
+    ab = _observe_all(left)
+    ab.merge(_observe_all(right))
+    ba = _observe_all(right)
+    ba.merge(_observe_all(left))
+    assert _equal(ab, ba)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_merge_is_associative(seed):
+    parts = [_dyadic_values(seed + i, 20 + 7 * i) for i in range(3)]
+    left = _observe_all(parts[0])
+    left.merge(_observe_all(parts[1]))
+    left.merge(_observe_all(parts[2]))       # (a + b) + c
+    bc = _observe_all(parts[1])
+    bc.merge(_observe_all(parts[2]))
+    right = _observe_all(parts[0])
+    right.merge(bc)                          # a + (b + c)
+    assert _equal(left, right)
+
+
+def test_empty_histogram_is_the_identity():
+    values = _dyadic_values(7, 30)
+    merged = _observe_all(values)
+    merged.merge(Histogram(buckets=EDGES))
+    assert _equal(merged, _observe_all(values))
+    onto_empty = Histogram(buckets=EDGES)
+    onto_empty.merge(_observe_all(values))
+    assert _equal(onto_empty, _observe_all(values))
+
+
+@pytest.mark.parametrize("n_shards", [2, 3, 5])
+def test_sharded_merge_agrees_with_single_registry(n_shards):
+    # The fleet invariant: observe a stream of values round-robin across
+    # N per-shard registries, merge, and get byte-for-byte the histogram
+    # a single registry observing everything would hold.
+    values = _dyadic_values(n_shards, 120)
+    single = MetricsRegistry()
+    for value in values:
+        single.histogram("w/lat", buckets=EDGES).observe(value)
+
+    shards = [MetricsRegistry() for _ in range(n_shards)]
+    for i, value in enumerate(values):
+        shards[i % n_shards].histogram("w/lat", buckets=EDGES).observe(value)
+    front = MetricsRegistry()
+    for shard in shards:
+        front.merge_entries(shard.entries())
+
+    merged = front.histogram("w/lat", buckets=EDGES)
+    reference = single.histogram("w/lat", buckets=EDGES)
+    assert merged.snapshot() == reference.snapshot()
+    assert merged.summary() == reference.summary()
+
+
+def test_merge_requires_identical_edges():
+    a = Histogram(buckets=EDGES)
+    b = Histogram(buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        a.merge(b)

@@ -1,0 +1,62 @@
+"""Unit tests for the deterministic bounded exponential backoff."""
+
+import pytest
+
+from repro.utils import Backoff
+
+
+def test_schedule_is_bounded_exponential():
+    backoff = Backoff(initial_s=0.05, factor=2.0, max_s=0.3, max_attempts=5)
+    assert backoff.schedule() == [0.05, 0.1, 0.2, 0.3, 0.3]
+
+
+def test_next_consumes_attempts_in_schedule_order():
+    backoff = Backoff(initial_s=0.01, factor=3.0, max_s=1.0, max_attempts=4)
+    expected = backoff.schedule()
+    assert [backoff.next() for _ in range(4)] == expected
+
+
+def test_exhaustion_raises_and_is_observable():
+    backoff = Backoff(initial_s=0.01, max_attempts=2)
+    assert not backoff.exhausted
+    backoff.next()
+    backoff.next()
+    assert backoff.exhausted
+    with pytest.raises(RuntimeError):
+        backoff.next()
+
+
+def test_reset_restores_the_full_schedule():
+    backoff = Backoff(initial_s=0.02, factor=2.0, max_s=1.0, max_attempts=3)
+    consumed = [backoff.next(), backoff.next()]
+    backoff.reset()
+    assert not backoff.exhausted
+    assert [backoff.next() for _ in range(3)] == backoff.schedule()
+    assert consumed == backoff.schedule()[:2]
+
+
+def test_schedule_does_not_consume_attempts():
+    backoff = Backoff(max_attempts=3)
+    backoff.schedule()
+    backoff.schedule()
+    assert backoff.next() == backoff.schedule()[0]
+
+
+def test_deterministic_no_jitter():
+    # Two identical instances must agree delay-for-delay: the supervisor
+    # tests and benchmarks predict restart timing from the schedule.
+    a = Backoff(initial_s=0.05, factor=2.0, max_s=2.0, max_attempts=5)
+    b = Backoff(initial_s=0.05, factor=2.0, max_s=2.0, max_attempts=5)
+    assert [a.next() for _ in range(5)] == [b.next() for _ in range(5)]
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"initial_s": 0.0},
+    {"initial_s": -1.0},
+    {"factor": 0.5},
+    {"max_s": 0.01, "initial_s": 0.05},
+    {"max_attempts": 0},
+])
+def test_validation_rejects_bad_parameters(kwargs):
+    with pytest.raises(ValueError):
+        Backoff(**kwargs)
