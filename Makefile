@@ -8,6 +8,9 @@ export PYTHONPATH := src
 .PHONY: test lint check http-smoke bench profile faults serve-bench \
 	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench
 
+# tests/test_detector_block.py (the push_block ≡ push_collect
+# bit-identity gate for the serve fast path) rides along here, so
+# `make check` always re-proves the identity.
 test:
 	$(PYTHON) -m pytest -x -q
 

@@ -78,6 +78,25 @@ FAULT = "fault"
 HEALTH_STATES = (HEALTHY, DEGRADED, FAULT)
 _HEALTH_LEVEL = {HEALTHY: 0, DEGRADED: 1, FAULT: 2}
 
+#: Bootstrap for hold-last repair before any finite sample was seen:
+#: 1 g gravity on z for the accelerometer, zero rates for the gyro.
+_REPAIR_DEFAULTS = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
+_REPAIR_DEFAULTS.setflags(write=False)
+
+
+def _running_streak(cond: np.ndarray, start: np.ndarray) -> np.ndarray:
+    """Per-column lengths of consecutive True runs, seeded by ``start``.
+
+    Row ``i`` holds what ``s = np.where(cond[i], s + 1, 0)`` applied row
+    by row would: within the block a streak is (1-based row) minus the
+    last False row, and runs unbroken since row 0 continue the carried
+    ``start``.  Exact integer arithmetic — bit-identity is trivial.
+    """
+    idx = np.arange(1, cond.shape[0] + 1)[:, None]
+    last_false = np.maximum.accumulate(np.where(cond, 0, idx), axis=0)
+    streak = idx - last_false
+    return np.where(last_false == 0, streak + start, streak)
+
 
 @dataclass(frozen=True)
 class DetectorConfig:
@@ -236,9 +255,14 @@ class MagnitudeFallback:
         """Feed one repaired accel sample; True when the dip+range fires."""
         # math.sqrt over an explicit sum matches np.linalg.norm bitwise on
         # a 3-vector (same left-to-right accumulation) at a fraction of
-        # the per-call dispatch cost — this runs once per sample.
+        # the per-call dispatch cost — this runs once per sample.  The
+        # block path vectorises the same expression (elementwise, same
+        # association) and feeds push_mag directly.
         x, y, z = accel_g
-        mag = math.sqrt(x * x + y * y + z * z)
+        return self.push_mag(math.sqrt(x * x + y * y + z * z))
+
+    def push_mag(self, mag: float) -> bool:
+        """Feed one precomputed magnitude (see :meth:`push`)."""
         self._window.append(mag)
         smooth = sum(self._window) / len(self._window)
         if smooth < self.low_g:
@@ -304,6 +328,8 @@ class FallDetector:
         self._dt_nom = 1.0 / cfg.fs
         self._buffer = np.zeros((self._window_n, 9))
         self._scales = np.asarray(cfg.channel_scales, dtype=float)
+        self._rails = np.array([cfg.accel_range_g] * 3
+                               + [cfg.gyro_range_dps] * 3)
         self._fallback = MagnitudeFallback(fs=cfg.fs) if cfg.fallback else None
         # Deadline monitor: one latency sample per window inference.  A
         # perf_counter pair per hop (every ~200 ms of stream) is noise next
@@ -352,6 +378,10 @@ class FallDetector:
         self._consecutive_violations = 0
         self._cnn_shed = False
         self._shed_hops_left = 0
+        # push_block pins the dead-sensor flags to each row's epoch while
+        # replaying decisions (the streak arrays already hold end-of-block
+        # state by then); None outside the block control loop.
+        self._dead_override: tuple[bool, bool] | None = None
         self._last_t: float | None = None
         self._last_raw: np.ndarray | None = None   # last repaired 6-vector
         self._prev_fill_anchor: np.ndarray | None = None
@@ -485,12 +515,11 @@ class FallDetector:
             if self._last_raw is not None:
                 raw[bad] = self._last_raw[bad]
             else:
-                defaults = np.array([0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
-                raw[bad] = defaults[bad]
+                raw[bad] = _REPAIR_DEFAULTS[bad]
             self.repaired_samples += 1
             self._counter("repaired_samples").inc()
             anomaly = True
-        rails = np.array([cfg.accel_range_g] * 3 + [cfg.gyro_range_dps] * 3)
+        rails = self._rails
         clipped = np.abs(raw) > rails
         if clipped.any():
             raw = np.clip(raw, -rails, rails)
@@ -524,12 +553,16 @@ class FallDetector:
 
     @property
     def accel_dead(self) -> bool:
+        if self._dead_override is not None:
+            return self._dead_override[0]
         return bool(
             self._sensor_bad_streak[0] >= self.config.dead_sensor_samples
         )
 
     @property
     def gyro_dead(self) -> bool:
+        if self._dead_override is not None:
+            return self._dead_override[1]
         return bool(
             self._sensor_bad_streak[1] >= self.config.dead_sensor_samples
         )
@@ -541,8 +574,17 @@ class FallDetector:
         to synthesise, whether the gap exceeded ``max_gap_ms`` (stream
         reset required), and whether anything about the clock was off.
         """
-        if t is None or self._last_t is None:
+        if self._last_t is None:
             return 0, False, False
+        if t is None:
+            # An untimestamped sample inside a timestamped stream: the
+            # clock evidence for this interval is gone, so the caller
+            # advances ``_last_t`` by one nominal period (keeping the gap
+            # and clock checks armed for the *next* sample) and the lapse
+            # itself counts as a clock anomaly.
+            self.clock_anomalies += 1
+            self._counter("clock_anomalies").inc()
+            return 0, False, True
         cfg = self.config
         dt_nom = self._dt_nom
         dt = t - self._last_t
@@ -644,10 +686,19 @@ class FallDetector:
         self._hit_streak = 0
 
     def _stage(self, window_due: bool, fallback_hit: bool,
-               time_s: float) -> WindowRequest | None:
+               time_s: float, *, window_ready: bool | None = None,
+               window: np.ndarray | None = None) -> WindowRequest | None:
         """Pre-inference half of a decision: shed-probe bookkeeping, then
-        stage a :class:`WindowRequest` when a CNN inference is due."""
-        if not (window_due and self._filled >= self._window_n):
+        stage a :class:`WindowRequest` when a CNN inference is due.
+
+        The block path passes ``window_ready`` (each row's view of the
+        warm-up state) and ``window`` (a view into the grown history)
+        explicitly; the per-sample path reads both off the live ring
+        buffer.
+        """
+        if window_ready is None:
+            window_ready = self._filled >= self._window_n
+        if not (window_due and window_ready):
             return None
         if self._cnn_shed:
             # Load shedding: skip the CNN for shed_retry_hops hops, then
@@ -658,7 +709,8 @@ class FallDetector:
                 self._consecutive_violations = 0
         if self._cnn_available:
             return WindowRequest(
-                window=self._buffer.copy(),
+                window=(self._buffer.copy() if window is None
+                        else window.copy()),
                 sample_index=self._sample_index,
                 time_s=time_s,
                 fallback_hit=fallback_hit,
@@ -782,16 +834,21 @@ class FallDetector:
         return self.complete(request, prob, latency_ms=latency_ms)
 
     def _decide(self, window_due: bool, fallback_hit: bool, time_s: float,
-                collect: list | None = None) -> Detection | None:
+                collect: list | None = None, *,
+                window_ready: bool | None = None,
+                window: np.ndarray | None = None) -> Detection | None:
         """Turn this sample's evidence into (at most) one detection.
 
         With ``collect`` (deferred mode) a due CNN window is appended to
         the list as a :class:`WindowRequest` instead of being inferred
         here — the caller owns running the model and feeding the result to
-        :meth:`complete`.
+        :meth:`complete`.  ``window_ready`` / ``window`` carry the block
+        path's per-row state (see :meth:`_stage`).
         """
-        window_ready = self._filled >= self._window_n
-        request = self._stage(window_due, fallback_hit, time_s)
+        if window_ready is None:
+            window_ready = self._filled >= self._window_n
+        request = self._stage(window_due, fallback_hit, time_s,
+                              window_ready=window_ready, window=window)
         if request is not None:
             if collect is not None:
                 collect.append(request)
@@ -845,6 +902,7 @@ class FallDetector:
         anomaly = data_anomaly or clock_anomaly
         detection: Detection | None = None
         dt_nom = self._dt_nom
+        cur = np.concatenate([accel, gyro])
         if long_gap:
             self._reset_stream_state()
             anomaly = True
@@ -853,9 +911,10 @@ class FallDetector:
             # Bridge the gap: causal interpolation between the last good
             # sample and the one that just arrived.
             prev = self._prev_fill_anchor
+            delta = cur - prev
             for j in range(1, n_fill + 1):
                 frac = j / (n_fill + 1)
-                filler = prev + frac * (np.concatenate([accel, gyro]) - prev)
+                filler = prev + frac * delta
                 fill_t = self._last_t + j * dt_nom
                 self._sample_index += 1
                 fb = (self._fallback.push(filler[:3])
@@ -868,8 +927,14 @@ class FallDetector:
             anomaly = True
         self._sample_index += 1
         time_s = t if t is not None else self._sample_index / self.config.fs
-        self._last_t = t
-        self._prev_fill_anchor = np.concatenate([accel, gyro])
+        if t is not None:
+            self._last_t = t
+        elif self._last_t is not None:
+            # Assume the nominal rate across an untimestamped sample so a
+            # single missing timestamp cannot null the tracker and disarm
+            # the next sample's gap/clock checks (see _handle_timestamp).
+            self._last_t = self._last_t + dt_nom
+        self._prev_fill_anchor = cur
         fallback_hit = (self._fallback.push(accel)
                         if self._fallback is not None else False)
         window_due = self._ingest(accel, gyro)
@@ -884,6 +949,405 @@ class FallDetector:
                 self._last_raw, anomaly, self._health,
             )
         return detection or hit, collect if collect is not None else []
+
+    # ------------------------------------------------------------------
+    # vectorized block-streaming API
+    # ------------------------------------------------------------------
+    def push_block(
+        self, accel_g, gyro_dps, t=None,
+    ) -> tuple[list[Detection], list[WindowRequest]]:
+        """Feed a whole block at once; the vectorized twin of a
+        :meth:`push_collect` loop.
+
+        ``accel_g`` / ``gyro_dps`` are ``(n, 3)`` arrays; ``t`` is ``None``
+        (fully untimestamped block) or a length-``n`` sequence of
+        timestamps where ``None``/NaN marks an untimestamped sample.
+
+        Semantics are **bit-identical** to::
+
+            for i in range(n):
+                hit, reqs = detector.push_collect(accel[i], gyro[i], t[i])
+
+        with every staged :class:`WindowRequest` completed *after* the
+        loop (deferred to the end of the block): same probabilities, same
+        detections, same health transitions, same anomaly counters —
+        ``tests/test_detector_block.py`` holds this to bit-for-bit
+        equality across every builtin fault scenario and random block
+        splits.  Only the cost changes: repair/clamp/stuck tracking, gap
+        synthesis, SOS filtering (one carried-state
+        :func:`~repro.signal.filters.sosfilt` pass per contiguous
+        segment), channel scaling and window assembly (windows are views
+        into one grown history instead of n ring-buffer rolls) run as
+        numpy ops over the block, and the inherently sequential fusion
+        recurrence runs in one tight scalar pass
+        (:meth:`ComplementaryFilter.update_block
+        <repro.signal.orientation.ComplementaryFilter.update_block>`).
+
+        Returns ``(detections, requests)``: fallback-path detections (at
+        most one per *incoming* sample, exactly like
+        :meth:`push_collect`) and every staged CNN window, in order.
+        Complete the requests, in order, before the next push on this
+        detector.  Detectors with a flight recorder attached run the
+        per-sample reference loop instead — replay needs the exact
+        per-sample event order.
+        """
+        accel = np.asarray(accel_g, dtype=float).reshape(-1, 3)
+        gyro = np.asarray(gyro_dps, dtype=float).reshape(-1, 3)
+        n = accel.shape[0]
+        if gyro.shape[0] != n:
+            raise ValueError(
+                f"accel and gyro disagree on block length: {n} vs "
+                f"{gyro.shape[0]}"
+            )
+        if t is None:
+            t_list = None
+        elif isinstance(t, np.ndarray):
+            t_list = t.astype(float).reshape(-1).tolist()
+        else:
+            t_list = [None if v is None else float(v) for v in t]
+        if t_list is not None and len(t_list) != n:
+            raise ValueError(
+                f"t must have one entry per sample: got {len(t_list)} "
+                f"for {n}"
+            )
+        if n == 0:
+            return [], []
+        if self.recorder is not None:
+            return self._push_block_loop(accel, gyro, t_list)
+
+        # Phase 1 — repair/clamp/stuck tracking, vectorized over the block.
+        (repaired, data_anom, accel_dead_rows,
+         gyro_dead_rows) = self._validate_block(accel, gyro)
+        # Phase 2 — timestamp classification (cheap scalar loop: the
+        # carried clock is inherently sequential, and scalar float
+        # arithmetic here is exactly the per-sample arithmetic).
+        (fills, resets, ts_anom, fill_base,
+         real_t, n_resets) = self._plan_timestamps_block(t_list, n)
+
+        # Phase 3 — expand gaps into synthesized fill rows.  Row metadata:
+        # owner[r] = incoming sample a row belongs to (fills belong to the
+        # sample whose arrival revealed the gap), is_real marks incoming
+        # rows, and segments are the reset-delimited contiguous stretches.
+        anchor = self._prev_fill_anchor
+        if fills[0] and anchor is None:
+            # note_interruption seeds _last_t without an anchor: the gap
+            # is flagged (ts_anom stays) but nothing can be interpolated.
+            fills = [0] + fills[1:]
+        total_fill = sum(fills)
+        dt_nom = self._dt_nom
+        if total_fill == 0 and n_resets == 0:
+            m = n
+            ex6 = repaired
+            owner = None            # identity: row r is incoming sample r
+            is_real = None          # every row is real
+            fill_time = None
+            reset_rows = []
+            segments = [(0, n, False)]
+        else:
+            m = n + total_fill
+            ex6 = np.empty((m, 6))
+            owner = np.empty(m, dtype=np.intp)
+            is_real = np.zeros(m, dtype=bool)
+            fill_time = np.zeros(m)
+            reset_rows = []
+            pos = 0
+            for i in range(n):
+                k = fills[i]
+                if k:
+                    prev = repaired[i - 1] if i else anchor
+                    delta = repaired[i] - prev
+                    j = np.arange(1, k + 1)
+                    ex6[pos:pos + k] = prev + (j / (k + 1))[:, None] * delta
+                    fill_time[pos:pos + k] = fill_base[i] + j * dt_nom
+                    owner[pos:pos + k] = i
+                    pos += k
+                if resets[i]:
+                    reset_rows.append(pos)
+                ex6[pos] = repaired[i]
+                owner[pos] = i
+                is_real[pos] = True
+                pos += 1
+            reset_set = set(reset_rows)
+            cuts = sorted({0, m} | reset_set)
+            segments = [(cuts[ci], cuts[ci + 1], cuts[ci] in reset_set)
+                        for ci in range(len(cuts) - 1)]
+        if total_fill:
+            self.gap_filled_samples += total_fill
+            self._counter("gap_filled_samples").inc(total_fill)
+        if n_resets:
+            self.stream_resets += n_resets
+            self._counter("stream_resets").inc(n_resets)
+        # The next gap interpolates from the last repaired sample, exactly
+        # like the per-sample anchor update.
+        self._prev_fill_anchor = repaired[-1].copy()
+
+        # Phase 4 — orientation fusion (sequential recurrence, one pass).
+        euler = self._fusion.update_block(
+            ex6[:, :3], ex6[:, 3:], reset_rows=reset_rows or None)
+
+        # Phase 5 — filter + scale + window assembly, one vectorized pass
+        # per reset-delimited segment.
+        raw9 = np.concatenate([ex6, euler], axis=1)
+        window_n = self._window_n
+        hop_n = self._hop_n
+        due = np.zeros(m, dtype=bool)
+        ready = np.zeros(m, dtype=bool)
+        windows: dict[int, np.ndarray] = {}
+        for a, b, is_reset in segments:
+            if is_reset:
+                # Long gap: the same bookkeeping as _reset_stream_state
+                # (its counter increment was batched above; the fusion
+                # reset was folded into update_block).
+                self._filter.reset()
+                self._buffer[:] = 0.0
+                self._filled = 0
+                self._since_last_inference = 0
+            seg_len = b - a
+            scaled = self._filter.process(raw9[a:b]) / self._scales
+            hist = np.concatenate([self._buffer, scaled], axis=0)
+            filled0 = self._filled
+            # Closed forms of the _ingest cadence counters: the first due
+            # row completes the warm-up (or the pending hop), then one due
+            # every hop_n rows.
+            if filled0 < window_n:
+                first_due = window_n - filled0 - 1
+                if first_due < seg_len:
+                    ready[a + first_due:b] = True
+            else:
+                first_due = hop_n - self._since_last_inference - 1
+                ready[a:b] = True
+            if first_due < seg_len:
+                due_local = np.arange(first_due, seg_len, hop_n)
+                due[a + due_local] = True
+                for r in due_local.tolist():
+                    # After ingesting local row r the ring buffer holds
+                    # exactly these window_n rows; _stage copies the view.
+                    windows[a + r] = hist[r + 1:r + 1 + window_n]
+                self._since_last_inference = seg_len - 1 - int(due_local[-1])
+            elif filled0 >= window_n:
+                self._since_last_inference += seg_len
+            self._filled = min(window_n, filled0 + seg_len)
+            self._buffer = hist[seg_len:].copy()
+
+        # Phase 6 — magnitude fallback: vectorized magnitudes, sequential
+        # deque smoother (order-dependent trailing mean).
+        if self._fallback is not None:
+            ax, ay, az = ex6[:, 0], ex6[:, 1], ex6[:, 2]
+            mags = np.sqrt(ax * ax + ay * ay + az * az)
+            push_mag = self._fallback.push_mag
+            fb_hits = [push_mag(mag) for mag in mags.tolist()]
+        else:
+            fb_hits = None
+
+        # Phase 7 — replay the per-sample decision/health sequence.  Rows
+        # with no evidence (not due, no fallback hit) leave _decide's
+        # state untouched, so with clean health they can be skipped.
+        base = self._sample_index
+        fs = self.config.fs
+        real_anom = [bool(data_anom[i]) or ts_anom[i] for i in range(n)]
+        use_override = bool(accel_dead_rows.any() or gyro_dead_rows.any())
+        fast_health = (
+            self._health == HEALTHY
+            and not any(real_anom)
+            and not use_override
+            and self.model is not None
+            and not self._cnn_shed
+        )
+        detections: list[Detection] = []
+        requests: list[WindowRequest] = []
+        due_l = due.tolist()
+        ready_l = ready.tolist()
+        if fast_health:
+            hot = [r for r in range(m)
+                   if due_l[r] or (fb_hits is not None and fb_hits[r])]
+        else:
+            hot = range(m)
+        a_dead_l = accel_dead_rows.tolist() if use_override else None
+        g_dead_l = gyro_dead_rows.tolist() if use_override else None
+        last_owner = -1
+        group_fired = False
+        try:
+            for r in hot:
+                own = owner[r] if owner is not None else r
+                real = is_real[r] if is_real is not None else True
+                self._sample_index = base + r + 1
+                if use_override:
+                    self._dead_override = (a_dead_l[own], g_dead_l[own])
+                if real and not fast_health:
+                    self._update_health(real_anom[own])
+                fb = fb_hits[r] if fb_hits is not None else False
+                if due_l[r] or fb:
+                    if real:
+                        tv = real_t[own]
+                        time_s = (tv if tv is not None
+                                  else (base + r + 1) / fs)
+                    else:
+                        time_s = fill_time[r]
+                    hit = self._decide(
+                        due_l[r], fb, time_s, requests,
+                        window_ready=ready_l[r], window=windows.get(r),
+                    )
+                    if hit is not None:
+                        # push_collect returns the *first* detection among
+                        # a sample's fills + the sample itself.
+                        if own != last_owner:
+                            last_owner = own
+                            group_fired = False
+                        if not group_fired:
+                            detections.append(hit)
+                            group_fired = True
+        finally:
+            self._dead_override = None
+        if fast_health:
+            self._clean_streak += n
+        self._sample_index = base + m
+        return detections, requests
+
+    def _push_block_loop(
+        self, accel: np.ndarray, gyro: np.ndarray, t_list,
+    ) -> tuple[list[Detection], list[WindowRequest]]:
+        """Reference implementation of :meth:`push_block`: the per-sample
+        loop the vectorized path is proven bit-identical to."""
+        detections: list[Detection] = []
+        requests: list[WindowRequest] = []
+        for i in range(accel.shape[0]):
+            ti = t_list[i] if t_list is not None else None
+            if ti is not None and ti != ti:     # NaN marks "no timestamp"
+                ti = None
+            hit, staged = self._push(accel[i], gyro[i], ti, collect=[])
+            if hit is not None:
+                detections.append(hit)
+            requests.extend(staged)
+        return detections, requests
+
+    def _validate_block(self, accel: np.ndarray, gyro: np.ndarray):
+        """Block twin of :meth:`_validate`: repair, clamp and streak-track
+        ``n`` samples in vectorized passes.
+
+        Returns ``(repaired (n, 6), data_anomaly (n,), accel_dead (n,),
+        gyro_dead (n,))``; the dead flags give each *row's* view of the
+        dead-sensor trackers (the per-sample path consults them between
+        every sample, so the block decisions must too).
+        """
+        cfg = self.config
+        n = accel.shape[0]
+        exact = np.concatenate([accel, gyro], axis=1)
+        finite = np.isfinite(exact)
+        bad = ~finite
+        bad_rows = bad.any(axis=1)
+        n_bad = int(bad_rows.sum())
+        repaired = np.where(finite, exact, np.nan)
+        # Saturation check on the post-repair values, like _validate: a
+        # held (previously clipped) value is always in-range, and NaN
+        # placeholders compare False, so pre-fill rows match exactly.
+        rails = self._rails
+        clip_rows = (np.abs(repaired) > rails).any(axis=1)
+        n_clip = int(clip_rows.sum())
+        np.clip(repaired, -rails, rails, out=repaired)
+        if n_bad:
+            # Vectorized hold-last: each non-finite entry takes the most
+            # recent finite value in its column, falling back to the
+            # carried last-repaired sample (or the gravity bootstrap).
+            carry = (self._last_raw if self._last_raw is not None
+                     else _REPAIR_DEFAULTS)
+            src = np.where(finite, np.arange(n)[:, None], -1)
+            np.maximum.accumulate(src, axis=0, out=src)
+            held = repaired[np.maximum(src, 0), np.arange(6)]
+            repaired = np.where(src >= 0, held, carry)
+            self.repaired_samples += n_bad
+            self._counter("repaired_samples").inc(n_bad)
+        if n_clip:
+            self.saturated_samples += n_clip
+            self._counter("saturated_samples").inc(n_clip)
+        # Stuck-at streaks: exact-repeat (or non-finite) runs per channel,
+        # then all-channels-bad runs per sensor — both are running-streak
+        # recurrences with a closed form (_running_streak).
+        prev_exact = self._prev_raw_exact
+        if prev_exact is None:
+            prev_rows = np.concatenate(
+                [np.full((1, 6), np.nan), exact[:-1]], axis=0)
+        else:
+            prev_rows = np.concatenate(
+                [prev_exact[None, :], exact[:-1]], axis=0)
+        same = finite & np.isfinite(prev_rows) & (exact == prev_rows)
+        stuck_or_bad = same | bad
+        if prev_exact is None:
+            # The first sample ever has no predecessor: the per-sample
+            # path skips its streak update (carried streaks are zero).
+            tail = _running_streak(stuck_or_bad[1:],
+                                   self._channel_stuck_streak)
+            streaks = np.concatenate(
+                [self._channel_stuck_streak[None, :], tail], axis=0)
+        else:
+            streaks = _running_streak(stuck_or_bad,
+                                      self._channel_stuck_streak)
+        acc_bad = (streaks[:, :3] >= 1).all(axis=1) | bad[:, :3].all(axis=1)
+        gyr_bad = (streaks[:, 3:] >= 1).all(axis=1) | bad[:, 3:].all(axis=1)
+        sensor = _running_streak(np.stack([acc_bad, gyr_bad], axis=1),
+                                 self._sensor_bad_streak)
+        data_anom = (bad_rows | clip_rows
+                     | (streaks >= cfg.stuck_channel_samples).any(axis=1))
+        self._channel_stuck_streak = streaks[-1].copy()
+        self._sensor_bad_streak = sensor[-1].copy()
+        self._prev_raw_exact = exact[-1].copy()
+        self._last_raw = repaired[-1].copy()
+        dead_n = cfg.dead_sensor_samples
+        return (repaired, data_anom,
+                sensor[:, 0] >= dead_n, sensor[:, 1] >= dead_n)
+
+    def _plan_timestamps_block(self, t_list, n: int):
+        """Block twin of :meth:`_handle_timestamp` plus the ``_last_t``
+        bookkeeping: classify every inter-sample interval up front.
+
+        Returns ``(fills, resets, ts_anom, fill_base, real_t, n_resets)``
+        — per incoming sample: synthesized-fill count, long-gap reset
+        flag, clock/gap anomaly flag, the fill interpolation base time,
+        and the (NaN-normalized) timestamp.  Leaves ``_last_t`` advanced
+        past the block and the clock-anomaly counter updated.
+        """
+        dt_nom = self._dt_nom
+        half = 0.5 * dt_nom
+        max_gap_ms = self.config.max_gap_ms
+        fills = [0] * n
+        resets = [False] * n
+        ts_anom = [False] * n
+        fill_base = [0.0] * n
+        real_t: list[float | None] = [None] * n
+        n_clock = 0
+        n_resets = 0
+        last_t = self._last_t
+        for i in range(n):
+            ti = t_list[i] if t_list is not None else None
+            if ti is not None and ti != ti:     # NaN marks "no timestamp"
+                ti = None
+            real_t[i] = ti
+            if ti is None:
+                if last_t is not None:
+                    n_clock += 1
+                    ts_anom[i] = True
+                    last_t = last_t + dt_nom
+                continue
+            if last_t is not None:
+                dt = ti - last_t
+                if dt < half:
+                    n_clock += 1
+                    ts_anom[i] = True
+                else:
+                    missing = int(round(dt / dt_nom)) - 1
+                    if missing > 0:
+                        ts_anom[i] = True
+                        if dt * 1000.0 > max_gap_ms:
+                            resets[i] = True
+                            n_resets += 1
+                        else:
+                            fills[i] = missing
+                            fill_base[i] = last_t
+            last_t = ti
+        if n_clock:
+            self.clock_anomalies += n_clock
+            self._counter("clock_anomalies").inc(n_clock)
+        self._last_t = last_t
+        return fills, resets, ts_anom, fill_base, real_t, n_resets
 
     def run(
         self,

@@ -140,6 +140,9 @@ class ServeEngine:
         self.detections = 0
         self._synced: dict[str, int] = {}
         self._inference_s = 0.0
+        # Deepest any stream's queue got since the last step — bursty
+        # submits between steps are otherwise invisible to the gauge.
+        self._peak_queue_depth = 0
         #: Fleet alert pipeline (``None`` unless ``config.alerts``).
         self.alerts = (AlertManager(cfg.alerts, registry=self.registry)
                        if cfg.alerts is not None else None)
@@ -193,6 +196,8 @@ class ServeEngine:
             session.dropped_samples += 1
             self.dropped_samples += 1
         queue.append((accel_g, gyro_dps, t))
+        if len(queue) > self._peak_queue_depth:
+            self._peak_queue_depth = len(queue)
         self.samples_in += 1
         if t is not None and (self._latest_t is None or t > self._latest_t):
             # Fleet stream clock: drives alert confirm-window expiry and
@@ -206,16 +211,21 @@ class ServeEngine:
     def step(self) -> list[tuple[str, Detection]]:
         """Drain every queue and run the due windows in micro-batches.
 
-        Inference rounds repeat until all queues are empty: each round
-        advances every session up to its next due window (so per-stream
-        decision ordering matches the inline single-stream path), then
-        runs one batched forward for all staged windows across streams.
-        Returns ``(stream_id, detection)`` pairs in processing order.
+        Each session's whole queue is ingested as one vectorized
+        ``push_block`` (bit-identical to the per-sample loop with
+        completes deferred to the block boundary), then one batched
+        forward runs for all staged windows across streams; rounds repeat
+        until every queue is empty.  The queue-depth gauge reports the
+        deepest any stream's queue got since the previous step (burst
+        peaks included), then settles to the post-drain depth so tail
+        readers see steady-state 0 between bursts.  Returns
+        ``(stream_id, detection)`` pairs in processing order.
         """
         detections: list[tuple[str, Detection]] = []
         sessions = self._sessions.values()
         depth = max((len(s.queue) for s in sessions), default=0)
-        self._queue_depth_gauge.set(float(depth))
+        self._queue_depth_gauge.set(float(max(depth, self._peak_queue_depth)))
+        self._peak_queue_depth = 0
         first_round = True
         while True:
             staged = self._advance_round(detections)
@@ -225,35 +235,36 @@ class ServeEngine:
             first_round = False
             if not staged:
                 break
+        self._queue_depth_gauge.set(
+            float(max((len(s.queue) for s in sessions), default=0)))
         if self.alerts is not None:
             self._feed_alerts(detections)
         self._sync_metrics()
         return detections
 
     def _advance_round(self, detections) -> list[StreamSession]:
-        """Advance each session until it stages a window or runs dry."""
+        """Drain each session's queue as one vectorized block; returns
+        the sessions that staged windows this round."""
         staged_sessions = []
         for session in self._sessions.values():
             if session.quarantined:
                 session.queue.clear()
                 continue
-            queue = session.queue
-            detector = session.detector
-            while queue:
-                accel, gyro, t = queue.popleft()
-                try:
-                    hit, requests = detector.push_collect(accel, gyro, t)
-                except Exception:
-                    self._quarantine(session)
-                    break
-                if hit is not None:
-                    session.detections += 1
-                    self.detections += 1
-                    detections.append((session.stream_id, hit))
-                if requests:
-                    session.staged = requests
-                    staged_sessions.append(session)
-                    break
+            if not session.queue:
+                continue
+            try:
+                accel, gyro, t = session.drain_block()
+                hits, requests = session.detector.push_block(accel, gyro, t)
+            except Exception:
+                self._quarantine(session)
+                continue
+            for hit in hits:
+                session.detections += 1
+                self.detections += 1
+                detections.append((session.stream_id, hit))
+            if requests:
+                session.staged = requests
+                staged_sessions.append(session)
         return staged_sessions
 
     def _infer_batch(self, staged_sessions, detections) -> None:

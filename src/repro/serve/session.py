@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from collections import deque
 
+import numpy as np
+
 from ..core.detector import DetectorConfig, FallDetector
 from ..obs import FlightRecorder
 
@@ -70,6 +72,28 @@ class StreamSession:
         self.detections = 0
         self.errors = 0
         self.quarantined = False
+
+    def drain_block(self):
+        """Pop every queued sample, stacked for ``FallDetector.push_block``.
+
+        Returns ``(accel (n, 3), gyro (n, 3), t)`` where ``t`` is ``None``
+        when no queued sample carried a timestamp, else a float array with
+        NaN marking the untimestamped entries.  Malformed queued samples
+        make the stacking raise — the same outcome the per-sample drain
+        reached via ``push_collect``, and the engine's quarantine
+        containment handles both identically.
+        """
+        queue = self.queue
+        n = len(queue)
+        accel = np.array([s[0] for s in queue], dtype=float).reshape(n, 3)
+        gyro = np.array([s[1] for s in queue], dtype=float).reshape(n, 3)
+        ts = [s[2] for s in queue]
+        queue.clear()
+        if any(v is not None for v in ts):
+            t = np.array([np.nan if v is None else float(v) for v in ts])
+        else:
+            t = None
+        return accel, gyro, t
 
     @property
     def health(self) -> str:

@@ -112,21 +112,32 @@ def sosfilt(sos: np.ndarray, x: np.ndarray, zi: np.ndarray | None = None):
             raise ValueError(
                 f"zi must have shape {(n_sections, 2, channels)}, got {state.shape}"
             )
-    y = x.copy()
+    # One fused pass over time, cascading the sections per sample, instead
+    # of one full pass per section.  The per-(section, sample) arithmetic
+    # and its order are unchanged — DF2T state for section s at sample n
+    # depends only on section s-1's outputs up to n — so results are
+    # bit-identical to the section-major loop while skipping the
+    # per-section intermediate arrays (this runs on every streaming
+    # sample, so constant factors matter).
+    coeffs = [
+        (sos[s, 0], sos[s, 1], sos[s, 2], sos[s, 4], sos[s, 5])
+        for s in range(n_sections)
+    ]
+    z1s = [state[s, 0].copy() for s in range(n_sections)]
+    z2s = [state[s, 1].copy() for s in range(n_sections)]
+    y = np.empty_like(x)
+    for n in range(x.shape[0]):
+        v = x[n]
+        for s, (b0, b1, b2, a1, a2) in enumerate(coeffs):
+            z1 = z1s[s]
+            yn = b0 * v + z1
+            z1s[s] = b1 * v - a1 * yn + z2s[s]
+            z2s[s] = b2 * v - a2 * yn
+            v = yn
+        y[n] = v
     for s in range(n_sections):
-        b0, b1, b2, _, a1, a2 = sos[s]
-        z1 = state[s, 0].copy()
-        z2 = state[s, 1].copy()
-        out = np.empty_like(y)
-        for n in range(y.shape[0]):
-            xn = y[n]
-            yn = b0 * xn + z1
-            z1 = b1 * xn - a1 * yn + z2
-            z2 = b2 * xn - a2 * yn
-            out[n] = yn
-        y = out
-        state[s, 0] = z1
-        state[s, 1] = z2
+        state[s, 0] = z1s[s]
+        state[s, 1] = z2s[s]
     if squeeze:
         return y[:, 0], state
     return y, state

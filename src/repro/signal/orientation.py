@@ -81,6 +81,64 @@ class ComplementaryFilter:
         self._angles = np.array([pitch, roll, yaw])
         return self._angles.copy()
 
+    def update_block(
+        self,
+        accel_g: np.ndarray,
+        gyro_dps: np.ndarray,
+        reset_rows=None,
+    ) -> np.ndarray:
+        """Fuse a block ``(n, 3)`` carrying streaming state across calls.
+
+        Bit-identical to calling :meth:`update` once per row: the
+        accelerometer inclination is vectorised (elementwise, so each row
+        matches the per-sample call exactly) while the blend recurrence —
+        inherently sequential — runs in one tight scalar pass using the
+        same operation order as :meth:`update`.  ``reset_rows`` lists row
+        indices at which to :meth:`reset` *before* fusing that row (the
+        detector's long-gap stream resets).  Unlike :meth:`process`, the
+        entry state is honoured and the exit state is kept for the next
+        call.
+        """
+        accel_g = np.asarray(accel_g, dtype=float)
+        gyro_dps = np.asarray(gyro_dps, dtype=float)
+        n = accel_g.shape[0]
+        out = np.empty((n, 3))
+        if n == 0:
+            return out
+        pitch_acc, roll_acc = accel_inclination(accel_g)
+        pa = pitch_acc.tolist()
+        ra = roll_acc.tolist()
+        gx = gyro_dps[:, 0].tolist()
+        gy = gyro_dps[:, 1].tolist()
+        gz = gyro_dps[:, 2].tolist()
+        resets = set(reset_rows) if reset_rows is not None else ()
+        alpha = self.alpha
+        one_m_alpha = 1.0 - alpha
+        dt = self.dt
+        if self._angles is None:
+            state = None
+        else:
+            state = (float(self._angles[0]), float(self._angles[1]),
+                     float(self._angles[2]))
+        for i in range(n):
+            if i in resets:
+                state = None
+            if state is None:
+                # Bootstrap from the accelerometer; yaw starts at 0.
+                state = (pa[i], ra[i], 0.0)
+            else:
+                pitch, roll, yaw = state
+                state = (
+                    alpha * (pitch + gy[i] * dt) + one_m_alpha * pa[i],
+                    alpha * (roll + gx[i] * dt) + one_m_alpha * ra[i],
+                    yaw + gz[i] * dt,
+                )
+            out[i, 0] = state[0]
+            out[i, 1] = state[1]
+            out[i, 2] = state[2]
+        self._angles = np.array(state)
+        return out
+
     def process(self, accel_g: np.ndarray, gyro_dps: np.ndarray) -> np.ndarray:
         """Fuse whole aligned arrays ``(n, 3)``; returns angles ``(n, 3)``.
 

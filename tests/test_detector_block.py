@@ -1,0 +1,177 @@
+"""``push_block`` ≡ ``push_collect`` — the bit-identity property suite.
+
+The vectorized block-ingest path promises *bit-identical* results to the
+per-sample deferred-inference loop (with completes deferred to the block
+boundary).  These tests drive both paths over every builtin fault
+scenario and random block splits and compare everything observable:
+staged windows byte for byte, detections, health transitions, metric
+counters, the ring buffer and the sample clock.  ``make check`` runs
+this via ``make test`` — it is the identity gate for the serve fast
+path.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.detector import DetectorConfig, FallDetector
+from repro.faults import builtin_scenarios
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.bench import ServeBenchConfig, synth_stream
+
+CFG = DetectorConfig(window_ms=200.0, overlap=0.5, threshold=0.4,
+                     consecutive_required=1)
+
+
+class _TanhModel:
+    """Deterministic CNN stand-in: a pure function of the window bytes."""
+
+    def predict(self, x):
+        x = np.asarray(x)
+        return (0.5 + 0.5 * np.tanh(4.0 * x.mean(axis=(1, 2))))[:, None]
+
+
+def _base_stream(index=0, duration_s=4.0):
+    bench = ServeBenchConfig(n_streams=1, duration_s=duration_s,
+                             detector=CFG)
+    return synth_stream(index, bench)
+
+
+def _random_splits(n, rng, n_blocks=12):
+    """Random interior cut points giving ~``n_blocks`` uneven blocks."""
+    if n < 2:
+        return []
+    cuts = rng.choice(np.arange(1, n), size=min(n_blocks, n - 1),
+                      replace=False)
+    return sorted(int(c) for c in cuts)
+
+
+def _drive(detector, model, accel, gyro, t, splits, *, use_block,
+           latency_ms=0.5):
+    """Feed the stream block by block; returns the observable trace.
+
+    Both arms follow the deferred-inference protocol with completes at
+    the block boundary — the contract ``push_block`` is specified
+    against.  The loop arm converts the block API's NaN timestamp
+    sentinel back to ``None`` for ``push_collect``.
+    """
+    trace = []
+    start = 0
+    for stop in list(splits) + [len(accel)]:
+        if use_block:
+            tb = None if t is None else t[start:stop]
+            hits, requests = detector.push_block(
+                accel[start:stop], gyro[start:stop], tb)
+        else:
+            hits, requests = [], []
+            for i in range(start, stop):
+                ti = None if t is None else float(t[i])
+                if ti is not None and ti != ti:   # NaN -> no timestamp
+                    ti = None
+                hit, reqs = detector.push_collect(accel[i], gyro[i], ti)
+                if hit is not None:
+                    hits.append(hit)
+                requests.extend(reqs)
+        for req in requests:
+            trace.append(("request", req.sample_index, float(req.time_s),
+                          bool(req.fallback_hit), req.window.tobytes()))
+            if model is not None:
+                prob = float(np.asarray(
+                    model.predict(req.window[None, :, :])).reshape(-1)[0])
+                hit = detector.complete(req, prob, latency_ms=latency_ms)
+                if hit is not None:
+                    hits.append(hit)
+        for h in hits:
+            trace.append(("detection", h.sample_index, float(h.time_s),
+                          float(h.probability), h.source))
+        start = stop
+    return trace
+
+
+def _assert_identical(accel, gyro, t, splits, *, cfg=CFG, with_model=True,
+                      latency_ms=0.5):
+    arms = {}
+    for use_block in (False, True):
+        model = _TanhModel() if with_model else None
+        registry = MetricsRegistry()
+        detector = FallDetector(model, cfg, registry=registry)
+        trace = _drive(detector, model, accel, gyro, t, splits,
+                       use_block=use_block, latency_ms=latency_ms)
+        arms[use_block] = (trace, detector, registry)
+    trace_loop, det_loop, reg_loop = arms[False]
+    trace_block, det_block, reg_block = arms[True]
+    assert trace_block == trace_loop
+    assert det_block.samples_seen == det_loop.samples_seen
+    assert det_block.health_report() == det_loop.health_report()
+    assert det_block.health_transitions == det_loop.health_transitions
+    np.testing.assert_array_equal(det_block._buffer, det_loop._buffer)
+    assert reg_block.snapshot() == reg_loop.snapshot()
+    return trace_block
+
+
+@pytest.mark.parametrize("name", sorted(builtin_scenarios()))
+def test_block_matches_loop_on_every_builtin_scenario(name):
+    accel, gyro, t = _base_stream(0)
+    scenario = builtin_scenarios(seed=7)[name]
+    t, accel, gyro = scenario.apply_arrays(t, accel, gyro)
+    rng = np.random.default_rng(zlib.crc32(name.encode()))
+    for trial in range(3):
+        splits = _random_splits(len(accel), rng)
+        _assert_identical(accel, gyro, t, splits)
+
+
+def test_block_matches_loop_single_sample_blocks():
+    """Degenerate split: every block holds exactly one sample."""
+    accel, gyro, t = _base_stream(0, duration_s=2.0)
+    splits = list(range(1, len(accel)))
+    trace = _assert_identical(accel, gyro, t, splits)
+    assert any(kind == "detection" for kind, *_ in trace)
+
+
+def test_block_matches_loop_with_empty_blocks():
+    """Repeated cut points make zero-length blocks; both arms no-op."""
+    accel, gyro, t = _base_stream(0, duration_s=2.0)
+    splits = [40, 40, 40, 95, 95, 180]
+    _assert_identical(accel, gyro, t, splits)
+
+
+def test_block_matches_loop_with_mixed_missing_timestamps():
+    """NaN sentinel rows (block) ≡ ``t=None`` samples (loop)."""
+    accel, gyro, t = _base_stream(0)
+    t = t.copy()
+    t[::7] = np.nan
+    rng = np.random.default_rng(11)
+    splits = _random_splits(len(accel), rng)
+    _assert_identical(accel, gyro, t, splits)
+
+
+def test_block_matches_loop_without_timestamps():
+    accel, gyro, _ = _base_stream(3)
+    rng = np.random.default_rng(12)
+    splits = _random_splits(len(accel), rng)
+    _assert_identical(accel, gyro, None, splits)
+
+
+def test_block_matches_loop_without_model_fallback_only():
+    accel, gyro, t = _base_stream(0)
+    rng = np.random.default_rng(13)
+    splits = _random_splits(len(accel), rng)
+    trace = _assert_identical(accel, gyro, t, splits, with_model=False)
+    assert all(kind != "request" for kind, *_ in trace)
+
+
+def test_block_matches_loop_under_deadline_shedding():
+    """Slow completes shed the CNN identically in both arms."""
+    cfg = DetectorConfig(window_ms=200.0, overlap=0.5, threshold=0.4,
+                         deadline_ms=1.0, degraded_after_violations=1,
+                         shed_after_violations=2, consecutive_required=1)
+    accel, gyro, t = _base_stream(0)
+    rng = np.random.default_rng(14)
+    splits = _random_splits(len(accel), rng)
+    trace = _assert_identical(accel, gyro, t, splits, cfg=cfg,
+                              latency_ms=50.0)
+    assert any(kind == "detection" and rest[-1] == "fallback"
+               for kind, *rest in trace)

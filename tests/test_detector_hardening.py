@@ -181,6 +181,26 @@ class TestTimestampHandling:
         assert detector.clock_anomalies == 1
         assert detector.samples_seen == 3
 
+    def test_missing_timestamp_mid_stream_keeps_gap_checks_armed(self):
+        """A None t after timestamped samples must not null ``_last_t``.
+
+        Regression: ``_push`` used to store ``self._last_t = t``
+        unconditionally, so one untimestamped sample silently disarmed
+        gap/backwards detection for the rest of the stream.  Now the
+        nominal clock keeps advancing (counted as a clock anomaly) and a
+        later long gap still resets the stream.
+        """
+        detector = FallDetector(_ConstantModel(), DetectorConfig())
+        rng = np.random.default_rng(3)
+        self._push_range(detector, np.arange(30) / 100.0, rng)
+        detector.push(GRAVITY + rng.normal(0, 1e-4, 3),
+                      rng.normal(0, 1e-3, 3), t=None)
+        assert detector.clock_anomalies == 1
+        assert detector._last_t == pytest.approx(0.30)  # advanced by dt_nom
+        # Gap machinery is still armed: a 5 s jump resets the stream.
+        self._push_range(detector, [5.3], rng)
+        assert detector.stream_resets == 1
+
 
 class TestCnnSheddingAndFallback:
     def test_deadline_streak_sheds_cnn_to_fault(self):

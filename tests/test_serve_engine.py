@@ -140,6 +140,9 @@ def test_quarantine_contains_raising_detector():
         def push_collect(self, *a, **k):
             raise RuntimeError("detector bug")
 
+        def push_block(self, *a, **k):
+            raise RuntimeError("detector bug")
+
     engine.session("s1").detector = _Broken()
     detections = _feed(engine, streams, step_every=50)
     report = engine.stream_report()
@@ -182,6 +185,31 @@ def test_queue_overflow_sheds_oldest_and_counts():
     assert engine.dropped_samples == 6
     # The freshest samples survived.
     assert session.queue[0][2] == pytest.approx(0.06)
+
+
+def test_queue_depth_gauge_reports_burst_peak_then_steady_state():
+    """The gauge exposes the deepest burst, then settles to 0 post-drain."""
+    engine = _engine(_ConstantModel())
+    observed = []
+    real_gauge = engine._queue_depth_gauge
+
+    class _SpyGauge:
+        def set(self, value):
+            observed.append(value)
+            real_gauge.set(value)
+
+    engine._queue_depth_gauge = _SpyGauge()
+    accel = np.array([0.0, 0.0, 1.0])
+    gyro = np.zeros(3)
+    for i in range(10):
+        engine.submit("s0", accel, gyro, i / 100.0)
+    engine.step()
+    # Pre-drain reading is the burst peak; the final reading is the
+    # post-drain depth, so tail readers between bursts see 0, not a
+    # stale pre-drain depth.
+    assert observed[0] == 10.0
+    assert observed[-1] == 0.0
+    assert real_gauge.value == 0.0
 
 
 def test_max_streams_rejects_new_streams():
