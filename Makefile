@@ -6,7 +6,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check http-smoke bench profile faults serve-bench \
-	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench
+	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench slo-demo
 
 # tests/test_detector_block.py (the push_block ≡ push_collect
 # bit-identity gate for the serve fast path) rides along here, so
@@ -23,7 +23,7 @@ lint:
 http-smoke:
 	$(PYTHON) scripts/http_smoke.py
 
-check: lint test http-smoke fleet-demo
+check: lint test http-smoke fleet-demo slo-demo
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -71,3 +71,11 @@ alerts-demo:
 	$(PYTHON) -m repro alerts --duration 6 \
 		--store-dir benchmarks/results/alert_stores \
 		| tee benchmarks/results/alert_pipeline.txt
+
+# SLO engine end to end: budget attribution, error-budget accounting and
+# the synthetic-overload fast-burn alert, archived for
+# scripts/update_experiments_md.py (SLO placeholder). Sleep-free — burn
+# windows run on stream time — so it is cheap enough for `make check`.
+slo-demo:
+	mkdir -p benchmarks/results
+	$(PYTHON) -m repro slo | tee benchmarks/results/slo_report.txt

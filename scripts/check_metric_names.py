@@ -16,7 +16,12 @@ Two modes:
     interpolates data into the name — a per-stream/per-layer cardinality
     risk — and must carry an explicit ``# metric-name: dynamic`` pragma
     on the same line, which documents the site as a reviewed, bounded
-    namespace (the README documents ``serve/stream/<id>/``).
+    namespace (the README documents ``serve/stream/<id>/``);
+  - an f-string starting with the literal ``slo/`` prefix (the
+    ``slo/<objective>/<counter>`` grammar) may interpolate mid-name
+    without a pragma: the objective names are fixed by
+    ``repro.obs.SLOConfig``, so the namespace is bounded by
+    construction.
 
 * **Exposition mode** (``--exposition FILE``) — parse Prometheus text
   exposition produced by ``repro.obs.render_exposition``: every sample
@@ -48,6 +53,10 @@ _METHODS = {"counter", "gauge", "histogram"}
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(/[a-z][a-z0-9_]*)*$")
 _FRAGMENT_RE = re.compile(r"^[a-z0-9_/]*$")
 _PRAGMA = "# metric-name: dynamic"
+#: ``slo/<objective>/<counter>`` interpolates the objective name
+#: mid-string; the objectives are enumerated by ``SLOConfig.objectives``
+#: so the namespace is bounded without a per-site pragma.
+_SLO_PREFIX = "slo/"
 
 _FAMILY_RE = re.compile(r"^[a-z][a-z0-9_]*$")
 _TYPE_LINE_RE = re.compile(r"^# TYPE (?P<family>\S+) (?P<kind>\S+)$")
@@ -69,6 +78,10 @@ def _check_literal(name: str) -> str | None:
 
 def _check_fstring(node: ast.JoinedStr, line: str) -> str | None:
     has_pragma = _PRAGMA in line
+    first = node.values[0] if node.values else None
+    if (isinstance(first, ast.Constant)
+            and str(first.value).startswith(_SLO_PREFIX)):
+        has_pragma = True  # bounded grammar, see _SLO_PREFIX
     for position, part in enumerate(node.values):
         if isinstance(part, ast.Constant):
             if not _FRAGMENT_RE.match(str(part.value)):

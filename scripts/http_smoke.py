@@ -7,9 +7,13 @@ port (so the check never collides with a real deployment or a parallel
 CI job), then asserts:
 
 * ``/metrics`` answers 200 and its body passes the exposition linter
-  from ``scripts/check_metric_names.py``;
-* ``/healthz`` answers 200 with ``status: ok``;
+  from ``scripts/check_metric_names.py`` (per-stage latency histograms
+  included);
+* ``/healthz`` answers 200 with ``status: ok``, a non-negative
+  ``uptime_s`` and the engine's round counters (the liveness signal);
 * ``/alerts`` answers 200 and returns the alerts the workload raised;
+* ``/slo`` answers 200 with the error-budget objectives and the
+  per-stage budget attribution;
 * ``/dashboard`` answers 200 and renders the alert pane;
 * an unknown route answers 404 and a bad query answers 400 — neither
   disturbs the routes above.
@@ -63,12 +67,23 @@ def main() -> int:
     )
     result = run_tail(MagnitudeProbeModel(), config)
     engine, sampler = result["engine"], result["sampler"]
+
+    def _extra_metrics():
+        extra = {"serve/fleet/window_latency_ms": engine.fleet_latency()}
+        stages = engine.fleet_stages()
+        if stages is not None:
+            for stage, hist in stages.histograms.items():
+                extra[f"serve/stage/{stage}/latency_ms"] = hist
+        return extra
+
     server = ObservabilityServer(
         registry=result["registry"],
-        extra_metrics=lambda: {
-            "serve/fleet/window_latency_ms": engine.fleet_latency()},
+        extra_metrics=_extra_metrics,
         manager=engine.alerts,
         dashboard=lambda: render_dashboard(engine, sampler),
+        health=lambda: {"rounds": engine.rounds,
+                        "last_round_t": engine.last_round_t},
+        slo=engine.slo_report,
         port=0,
     )
     port = server.start()
@@ -87,6 +102,10 @@ def main() -> int:
     health = json.loads(body) if status == 200 else {}
     if status != 200 or health.get("status") != "ok":
         failures.append(f"/healthz returned {status}: {body[:100]}")
+    if not isinstance(health.get("uptime_s"), float) or health["uptime_s"] < 0:
+        failures.append(f"/healthz lacks non-negative uptime_s: {body[:100]}")
+    if health.get("rounds", 0) < 1 or health.get("last_round_t") is None:
+        failures.append(f"/healthz shows no serving rounds: {body[:100]}")
 
     status, body = _get(base + "/alerts?limit=5")
     alerts = json.loads(body) if status == 200 else {}
@@ -94,6 +113,20 @@ def main() -> int:
         failures.append(f"/alerts returned {status}")
     elif not isinstance(alerts.get("active"), list):
         failures.append(f"/alerts body lacks active list: {body[:100]}")
+
+    status, body = _get(base + "/slo")
+    slo = json.loads(body) if status == 200 else {}
+    if status != 200:
+        failures.append(f"/slo returned {status}")
+    else:
+        objectives = slo.get("objectives", {})
+        if "window_latency_p99" not in objectives:
+            failures.append(f"/slo lacks window_latency_p99: {body[:120]}")
+        attribution = slo.get("attribution") or []
+        share = sum(row["share_of_e2e"] for row in attribution)
+        if attribution and not 0.99 < share < 1.01:
+            failures.append(
+                f"/slo attribution shares sum to {share}, want ~1")
 
     status, body = _get(base + "/dashboard")
     if status != 200 or "alerts" not in body:

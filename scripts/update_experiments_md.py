@@ -37,6 +37,7 @@ MAPPING = {
     "ALERTS": "alert_pipeline.txt",
     "SERVE": "serve_scaling.txt",
     "FLEET": "fleet_scaling.txt",
+    "SLO": "slo_report.txt",
 }
 
 

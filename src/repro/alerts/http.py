@@ -13,6 +13,8 @@ a running fleet:
                 process serves)
 ``/alerts``     JSON query over the alert :class:`~repro.alerts.EventStore`
                 — ``?stream=&severity=&kind=&since=&until=&limit=``
+``/slo``        JSON SLO report: error-budget status, burn-rate state
+                and per-stage latency-budget attribution
 ``/dashboard``  the ``repro tail`` text dashboard, one frame per GET
 ==============  =====================================================
 
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
@@ -59,8 +62,8 @@ class ObservabilityServer:
 
     def __init__(self, *, registry=None, extra_metrics=None,
                  manager=None, store=None, dashboard=None, health=None,
-                 host: str = "127.0.0.1", port: int = 0,
-                 namespace: str = "repro"):
+                 slo=None, host: str = "127.0.0.1", port: int = 0,
+                 namespace: str = "repro", clock=None):
         self.registry = registry
         #: Callable returning ``{name: metric}`` merged into the
         #: exposition (e.g. the engine's fleet-merged latency histogram).
@@ -72,6 +75,13 @@ class ObservabilityServer:
         self.dashboard = dashboard
         #: Callable returning extra ``/healthz`` JSON fields.
         self.health = health
+        #: Callable returning the SLO report dict (e.g.
+        #: ``engine.slo_report``); ``None`` → ``/slo`` is 404.
+        self.slo = slo
+        #: Injectable uptime clock; monotonic by default so ``/healthz``
+        #: uptime survives wall-clock jumps.
+        self.clock = clock if clock is not None else time.monotonic
+        self._started_at: float | None = None
         self.host = host
         self.port = port
         self.namespace = namespace
@@ -90,6 +100,8 @@ class ObservabilityServer:
 
     def render_healthz(self) -> dict:
         body = {"status": "ok"}
+        if self._started_at is not None:
+            body["uptime_s"] = max(0.0, self.clock() - self._started_at)
         if self.manager is not None:
             report = self.manager.report()
             body["alerts_active"] = report["active"]
@@ -128,6 +140,14 @@ class ObservabilityServer:
             raise LookupError("no dashboard attached")
         return self.dashboard()
 
+    def render_slo(self) -> dict:
+        if self.slo is None:
+            raise LookupError("no SLO tracker attached")
+        body = self.slo()
+        if body is None:  # engine configured with slo=None
+            raise LookupError("SLO tracking is disabled")
+        return body
+
     # -- lifecycle ------------------------------------------------------
     def start(self) -> int:
         """Bind and serve from a daemon thread; returns the bound port."""
@@ -144,6 +164,7 @@ class ObservabilityServer:
 
         self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
         self._httpd.daemon_threads = True
+        self._started_at = self.clock()
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
@@ -151,7 +172,7 @@ class ObservabilityServer:
         )
         self._thread.start()
         _logger.info("observability endpoint on http://%s:%d "
-                     "(/metrics /healthz /alerts /dashboard)",
+                     "(/metrics /healthz /alerts /slo /dashboard)",
                      self.host, self.port)
         return self.port
 
@@ -183,19 +204,21 @@ class ObservabilityServer:
             elif route == "/alerts":
                 body = self.render_alerts(parse_qs(parsed.query))
                 self._send_json(handler, 200, body)
+            elif route == "/slo":
+                self._send_json(handler, 200, self.render_slo())
             elif route == "/dashboard":
                 self._send(handler, 200, self.render_dashboard_text(),
                            "text/plain; charset=utf-8")
             elif route == "/":
                 self._send_json(handler, 200, {
                     "endpoints": ["/metrics", "/healthz", "/alerts",
-                                  "/dashboard"],
+                                  "/slo", "/dashboard"],
                 })
             else:
                 self._send_json(handler, 404, {
                     "error": f"no route {route!r}",
                     "endpoints": ["/metrics", "/healthz", "/alerts",
-                                  "/dashboard"],
+                                  "/slo", "/dashboard"],
                 })
         except ValueError as exc:  # bad query parameters
             self._send_json(handler, 400, {"error": str(exc)})

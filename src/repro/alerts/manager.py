@@ -148,6 +148,35 @@ class AlertManager:
             self._contain("ack", alert_id)
             return False
 
+    def raise_direct(self, subject: str, *, t: float,
+                     severity: str = "critical", source: str = "slo",
+                     message: str | None = None) -> Alert | None:
+        """Raise (or dedup into) an alert with no escalation machine
+        behind it — the entry point for SLO burn-rate alerts, whose
+        evidence is a fleet-level rate rather than per-stream detections.
+        ``subject`` plays the stream role (e.g.
+        ``slo/window_latency_p99/fast_burn``) so dedup, lifecycle
+        persistence, gauges and the ``/alerts`` view all apply unchanged.
+        Never raises.
+        """
+        try:
+            return self._raise_direct(subject, t=float(t), severity=severity,
+                                      source=source, message=message)
+        except Exception:
+            self._contain("raise_direct", subject)
+            return None
+
+    def resolve_direct(self, subject: str, *, t: float) -> bool:
+        """Resolve a :meth:`raise_direct` alert (burn stopped); never
+        raises."""
+        try:
+            self._resolve(subject, float(t))
+            self._sync_active_gauges()
+            return True
+        except Exception:
+            self._contain("resolve_direct", subject)
+            return False
+
     def _contain(self, entry: str, subject) -> None:
         self.errors += 1
         self.registry.counter("alerts/errors").inc()
@@ -262,6 +291,47 @@ class AlertManager:
             recorder.mark(f"alert:{alert.id}")
         _logger.info("alert %s raised for %s (%s)", alert.id, stream_id,
                      severity)
+
+    def _raise_direct(self, subject, *, t, severity, source,
+                      message) -> Alert:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}; "
+                             f"expected one of {SEVERITIES}")
+        previous = self._last_by_stream.get(subject)
+        if previous is not None and (
+                previous.state in ("active", "acked")
+                or t - previous.last_t <= self.config.dedup_horizon_s):
+            previous.repeats += 1
+            previous.last_t = t
+            if previous.state == "resolved":
+                previous.state = "active"
+            if severity == "critical":
+                previous.severity = "critical"
+            self.registry.counter("alerts/deduped").inc()
+            self._store_lifecycle("repeat", previous, t)
+            self._sync_active_gauges()
+            return previous
+        alert = Alert(
+            id=f"a-{self._next_alert:06d}",
+            stream=subject,
+            severity=severity,
+            state="active",
+            first_t=t,
+            last_t=t,
+            source=source,
+        )
+        self._next_alert += 1
+        self._alerts.append(alert)
+        self._last_by_stream[subject] = alert
+        self._prune_alerts()
+        self.registry.counter("alerts/raised").inc()
+        self.registry.counter(  # metric-name: dynamic
+            f"alerts/raised/{severity}").inc()
+        self._store_lifecycle("alert", alert, t)
+        self._sync_active_gauges()
+        _logger.warning("alert %s raised for %s (%s)%s", alert.id, subject,
+                        severity, f": {message}" if message else "")
+        return alert
 
     def _resolve(self, stream_id: str, t: float) -> None:
         alert = self._last_by_stream.get(stream_id)

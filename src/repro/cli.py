@@ -16,6 +16,7 @@ Usage::
     python -m repro serve-bench --streams 32 --duration 8
     python -m repro fleet-bench --streams 64 --shards 4
     python -m repro alerts --scenarios spikes nan_burst
+    python -m repro slo --scenarios nan_burst spikes
     python -m repro serve-http --port 8787 --serve-for 60
     python -m repro replay benchmarks/results/incidents/incident-....jsonl
     python -m repro tail --streams 8 --duration 6 --once
@@ -40,6 +41,7 @@ from .eval.reports import (
     render_edge_report,
     render_faults_report,
     render_profile_report,
+    render_slo_report,
     render_table3,
     render_table4,
 )
@@ -234,10 +236,30 @@ def build_parser() -> argparse.ArgumentParser:
     alerts.add_argument("--store-dir", default=None,
                         help="write per-scenario alert event stores "
                              "under this directory")
+    slo = sub.add_parser(
+        "slo",
+        help="SLO engine evaluation: per-stage latency-budget attribution "
+             "plus error-budget / burn-rate status per condition (clean, "
+             "fault scenarios, synthetic overload)",
+    )
+    slo.add_argument("--scenarios", nargs="+", default=None,
+                     help="fault-scenario names to include as conditions "
+                          "(default: nan_burst spikes)")
+    slo.add_argument("--streams", type=int, default=4,
+                     help="fleet size per condition")
+    slo.add_argument("--duration", type=float, default=6.0,
+                     help="seconds of signal per stream")
+    slo.add_argument("--seed", type=int, default=17,
+                     help="workload generator seed")
+    slo.add_argument("--overload-ms", type=float, default=180.0,
+                     help="synthetic latency charged per batch in the "
+                          "overload condition (must exceed the 150 ms "
+                          "budget to burn)")
     serve_http = sub.add_parser(
         "serve-http",
         help="run the alerting fleet once, then expose /metrics /healthz "
-             "/alerts /dashboard over HTTP until Ctrl-C (or --serve-for)",
+             "/alerts /slo /dashboard over HTTP until Ctrl-C "
+             "(or --serve-for)",
     )
     serve_http.add_argument("--streams", type=int, default=8,
                             help="number of concurrent synthetic streams")
@@ -527,6 +549,20 @@ def _cmd_alerts(args):
     return report
 
 
+def _cmd_slo(args):
+    from .core.detector import DetectorConfig
+    from .experiments import SLOEvalConfig, run_slo_eval
+
+    config = SLOEvalConfig(
+        n_streams=args.streams,
+        duration_s=args.duration,
+        seed=args.seed,
+        detector=DetectorConfig(),
+        overload_latency_ms=args.overload_ms,
+    )
+    return render_slo_report(run_slo_eval(config, args.scenarios))
+
+
 def _cmd_serve_http(args):
     from .alerts import (
         AlertConfig,
@@ -559,19 +595,37 @@ def _cmd_serve_http(args):
     result = run_tail(MagnitudeProbeModel(), config,
                       should_stop=stop.is_set)
     engine, sampler = result["engine"], result["sampler"]
+    def _extra_metrics():
+        extra = {"serve/fleet/window_latency_ms": engine.fleet_latency()}
+        stages = engine.fleet_stages()
+        if stages is not None:
+            for stage, hist in stages.histograms.items():
+                extra[f"serve/stage/{stage}/latency_ms"] = hist
+        return extra
+
+    def _health():
+        # rounds/last_round_t let a prober tell "serving" from "stuck":
+        # a live engine keeps advancing both with traffic.
+        return {
+            "streams": engine.report()["streams"],
+            "rounds": engine.rounds,
+            "last_round_t": engine.last_round_t,
+        }
+
     server = ObservabilityServer(
         registry=result["registry"],
-        extra_metrics=lambda: {
-            "serve/fleet/window_latency_ms": engine.fleet_latency()},
+        extra_metrics=_extra_metrics,
         manager=engine.alerts,
         dashboard=lambda: render_dashboard(engine, sampler),
-        health=lambda: {"streams": engine.report()["streams"]},
+        health=_health,
+        slo=engine.slo_report,
         host=args.host, port=args.port,
     )
     server.start()
     print(f"observability endpoint at {server.url}", flush=True)
     print(f"  curl {server.url}/metrics")
     print(f"  curl '{server.url}/alerts?severity=critical&limit=5'")
+    print(f"  curl {server.url}/slo")
     print(f"  curl {server.url}/dashboard", flush=True)
     try:
         # A signal wakes the wait immediately; both the timed and the
@@ -676,6 +730,8 @@ def main(argv=None) -> int:
         output = _cmd_fleet_bench(args)
     elif args.command == "alerts":
         output = _cmd_alerts(args)
+    elif args.command == "slo":
+        output = _cmd_slo(args)
     elif args.command == "serve-http":
         output = _cmd_serve_http(args)
     elif args.command == "cache":

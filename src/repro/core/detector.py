@@ -48,7 +48,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
-from ..obs import Histogram, get_logger, get_registry
+from ..obs import Histogram, StageTimer, get_logger, get_registry
 from ..signal.filters import OnlineSosFilter, butter_lowpass_sos
 from ..signal.orientation import ComplementaryFilter
 
@@ -148,6 +148,13 @@ class DetectorConfig:
     #: path is unavailable (``fault``, or its window still warming up) the
     #: fallback's triggers are emitted so the airbag stays guarded.
     fallback: bool = True
+    #: Per-stage latency attribution (:class:`repro.obs.StageTimer`):
+    #: paired clock reads around each pipeline stage, flushed into
+    #: off-registry histograms on every completed window.  The clock
+    #: reads cannot perturb the data path, so the ``push_block ≡
+    #: push_collect`` bit-identity holds with timing enabled; the
+    #: overhead is a handful of ``perf_counter`` calls per sample.
+    stage_timing: bool = True
 
     def __post_init__(self):
         if self.consecutive_required < 1:
@@ -310,6 +317,7 @@ class FallDetector:
         registry=None,
         metric_prefix: str = "detector",
         recorder=None,
+        stage_clock=None,
     ):
         self.model = model
         self.config = config or DetectorConfig()
@@ -335,6 +343,12 @@ class FallDetector:
         # perf_counter pair per hop (every ~200 ms of stream) is noise next
         # to the CNN forward pass, so this is always on.
         self.latency = Histogram(buckets=_LATENCY_BUCKETS_MS)
+        # Stage-level budget attribution.  Off-registry, like `latency`:
+        # the block bit-identity suite compares registry snapshots, and
+        # wall-clock stage costs are legitimately different between the
+        # two arms.  `stage_clock` is injectable for deterministic tests.
+        self.stages = (StageTimer(clock=stage_clock)
+                       if cfg.stage_timing else None)
         self._deadline_violations = 0
         self._metrics = registry if registry is not None else get_registry()
         self._metric_prefix = str(metric_prefix)
@@ -413,6 +427,11 @@ class FallDetector:
         """
         self._init_stream_state()
         self._init_health_state()
+        if self.stages is not None:
+            if preserve_latency_stats:
+                self.stages.discard_pending()
+            else:
+                self.stages = StageTimer(clock=self.stages.clock)
         if not preserve_latency_stats:
             self.latency.reset()
             self._deadline_violations = 0
@@ -490,6 +509,13 @@ class FallDetector:
             "p99_ms": stats["p99"],
             "max_ms": stats["max"],
         }
+
+    def stage_report(self) -> dict | None:
+        """Per-stage latency attribution (see :class:`repro.obs.StageTimer`),
+        or ``None`` when ``config.stage_timing`` is off."""
+        if self.stages is None:
+            return None
+        return self.stages.report()
 
     @property
     def samples_seen(self) -> int:
@@ -615,9 +641,19 @@ class FallDetector:
     def _ingest(self, accel: np.ndarray, gyro: np.ndarray) -> bool:
         """Fuse, filter, scale and buffer one sample; True when a window
         inference is due (first full window, then every hop)."""
+        st = self.stages
+        clk = st.clock if st is not None else None
+        if clk is not None:
+            t0 = clk()
         euler = self._fusion.update(accel, gyro)
+        if clk is not None:
+            t1 = clk()
+            st.add("fusion", t1 - t0)
         raw = np.concatenate([accel, gyro, euler])
         filtered = self._filter.process(raw[None, :])[0]
+        if clk is not None:
+            t2 = clk()
+            st.add("filter", t2 - t1)
         filtered = filtered / self._scales
         # Ring-buffer shift (window lengths are tens of samples; a roll is
         # cheap and keeps the window contiguous for the model).
@@ -626,14 +662,20 @@ class FallDetector:
         if self._filled < self._window_n:
             self._filled += 1
             if self._filled < self._window_n:
-                return False
-            self._since_last_inference = 0   # first full window: infer now
-            return True
-        self._since_last_inference += 1
-        if self._since_last_inference < self._hop_n:
-            return False
-        self._since_last_inference = 0
-        return True
+                due = False
+            else:
+                self._since_last_inference = 0  # first full window: infer now
+                due = True
+        else:
+            self._since_last_inference += 1
+            if self._since_last_inference < self._hop_n:
+                due = False
+            else:
+                self._since_last_inference = 0
+                due = True
+        if clk is not None:
+            st.add("window", clk() - t2)
+        return due
 
     @property
     def _cnn_available(self) -> bool:
@@ -754,6 +796,14 @@ class FallDetector:
         path, and the staged fallback evidence still guards the sample.
         Mirrors the inline ``push`` decision bit for bit; never raises.
         """
+        if self.stages is not None:
+            # One completed window closes out one attribution sample: the
+            # charged inference latency joins the stage costs accumulated
+            # since the previous complete, and the flushed sum *is* the
+            # recorded end-to-end latency (attribution sums exactly).
+            if latency_ms is not None and not failed:
+                self.stages.add_ms("inference", latency_ms)
+            self.stages.flush()
         if failed:
             if self.recorder is not None:
                 self.recorder.record_window(
@@ -845,6 +895,10 @@ class FallDetector:
         :meth:`complete`.  ``window_ready`` / ``window`` carry the block
         path's per-row state (see :meth:`_stage`).
         """
+        st = self.stages
+        clk = st.clock if st is not None else None
+        if clk is not None:
+            t0 = clk()
         if window_ready is None:
             window_ready = self._filled >= self._window_n
         request = self._stage(window_due, fallback_hit, time_s,
@@ -852,10 +906,19 @@ class FallDetector:
         if request is not None:
             if collect is not None:
                 collect.append(request)
+                if clk is not None:
+                    st.add("decision", clk() - t0)
                 return None
+            if clk is not None:
+                # The model run times itself into the inference stage via
+                # `complete`; only the staging cost lands in decision.
+                st.add("decision", clk() - t0)
             return self._run_model(request)
-        return self._fallback_decide(fallback_hit, time_s,
-                                     self._sample_index, window_ready)
+        hit = self._fallback_decide(fallback_hit, time_s,
+                                    self._sample_index, window_ready)
+        if clk is not None:
+            st.add("decision", clk() - t0)
+        return hit
 
     # ------------------------------------------------------------------
     # streaming API
@@ -895,10 +958,16 @@ class FallDetector:
     def _push(
         self, accel_g, gyro_dps, t: float | None, collect: list | None,
     ) -> tuple[Detection | None, list[WindowRequest]]:
+        st = self.stages
+        clk = st.clock if st is not None else None
+        if clk is not None:
+            t0 = clk()
         accel_g = np.asarray(accel_g, dtype=float).reshape(3)
         gyro_dps = np.asarray(gyro_dps, dtype=float).reshape(3)
         n_fill, long_gap, clock_anomaly = self._handle_timestamp(t)
         accel, gyro, data_anomaly = self._validate(accel_g, gyro_dps)
+        if clk is not None:
+            st.add("ingest", clk() - t0)
         anomaly = data_anomaly or clock_anomaly
         detection: Detection | None = None
         dt_nom = self._dt_nom
@@ -935,10 +1004,18 @@ class FallDetector:
             # the next sample's gap/clock checks (see _handle_timestamp).
             self._last_t = self._last_t + dt_nom
         self._prev_fill_anchor = cur
+        if clk is not None:
+            t1 = clk()
         fallback_hit = (self._fallback.push(accel)
                         if self._fallback is not None else False)
+        if clk is not None:
+            st.add("decision", clk() - t1)
         window_due = self._ingest(accel, gyro)
+        if clk is not None:
+            t2 = clk()
         self._update_health(anomaly)
+        if clk is not None:
+            st.add("decision", clk() - t2)
         hit = self._decide(window_due, fallback_hit, time_s, collect)
         if self.recorder is not None:
             # Recorded raw values are the *incoming* ones, pre-repair, so
@@ -1014,6 +1091,10 @@ class FallDetector:
             return [], []
         if self.recorder is not None:
             return self._push_block_loop(accel, gyro, t_list)
+        st = self.stages
+        clk = st.clock if st is not None else None
+        if clk is not None:
+            t0 = clk()
 
         # Phase 1 — repair/clamp/stuck tracking, vectorized over the block.
         (repaired, data_anom, accel_dead_rows,
@@ -1080,13 +1161,22 @@ class FallDetector:
         # The next gap interpolates from the last repaired sample, exactly
         # like the per-sample anchor update.
         self._prev_fill_anchor = repaired[-1].copy()
+        if clk is not None:
+            t1 = clk()
+            st.add("ingest", t1 - t0)
 
         # Phase 4 — orientation fusion (sequential recurrence, one pass).
         euler = self._fusion.update_block(
             ex6[:, :3], ex6[:, 3:], reset_rows=reset_rows or None)
+        if clk is not None:
+            t2 = clk()
+            st.add("fusion", t2 - t1)
 
         # Phase 5 — filter + scale + window assembly, one vectorized pass
-        # per reset-delimited segment.
+        # per reset-delimited segment.  The SOS pass inside the segment
+        # loop is timed separately so filter vs window attribution matches
+        # the per-sample path.
+        filter_s = 0.0
         raw9 = np.concatenate([ex6, euler], axis=1)
         window_n = self._window_n
         hop_n = self._hop_n
@@ -1103,7 +1193,11 @@ class FallDetector:
                 self._filled = 0
                 self._since_last_inference = 0
             seg_len = b - a
+            if clk is not None:
+                f0 = clk()
             scaled = self._filter.process(raw9[a:b]) / self._scales
+            if clk is not None:
+                filter_s += clk() - f0
             hist = np.concatenate([self._buffer, scaled], axis=0)
             filled0 = self._filled
             # Closed forms of the _ingest cadence counters: the first due
@@ -1128,6 +1222,13 @@ class FallDetector:
                 self._since_last_inference += seg_len
             self._filled = min(window_n, filled0 + seg_len)
             self._buffer = hist[seg_len:].copy()
+        if clk is not None:
+            t3 = clk()
+            st.add("filter", filter_s)
+            st.add("window", (t3 - t2) - filter_s)
+            # Phases 6+7 are charged to decision by wall clock minus the
+            # spans _decide attributes to itself during the replay loop.
+            dec0 = st.pending_ms("decision")
 
         # Phase 6 — magnitude fallback: vectorized magnitudes, sequential
         # deque smoother (order-dependent trailing mean).
@@ -1201,6 +1302,10 @@ class FallDetector:
         if fast_health:
             self._clean_streak += n
         self._sample_index = base + m
+        if clk is not None:
+            wall_ms = 1000.0 * (clk() - t3)
+            inner_ms = st.pending_ms("decision") - dec0
+            st.add_ms("decision", max(0.0, wall_ms - inner_ms))
         return detections, requests
 
     def _push_block_loop(

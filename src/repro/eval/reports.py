@@ -20,6 +20,7 @@ __all__ = [
     "render_profile_report",
     "render_faults_report",
     "render_alert_report",
+    "render_slo_report",
     "aggregate_fold_metrics",
 ]
 
@@ -202,6 +203,27 @@ def render_profile_report(result: dict, title="Profile report") -> str:
         title="Detector inference latency (per 400 ms window)",
     ))
     lines.append("")
+    block = result.get("block")
+    if block is not None:
+        blk = block["latency"]
+        block_rows = [
+            ["window inferences", f"{latency['inferences']}",
+             f"{blk['inferences']}"],
+            ["latency p50", f"{latency['p50_ms']:8.3f} ms",
+             f"{blk['p50_ms']:8.3f} ms"],
+            ["latency p99", f"{latency['p99_ms']:8.3f} ms",
+             f"{blk['p99_ms']:8.3f} ms"],
+            ["deadline violations", f"{latency['violations']}",
+             f"{blk['violations']}"],
+            ["detections", f"{result['stream_detections']}",
+             f"{block['detections']}"],
+        ]
+        lines.append(format_table(
+            ["Quantity", "push (per-sample)", "push_block (vectorized)"],
+            block_rows,
+            title="Serving paths (same stream, hop-sized blocks)",
+        ))
+        lines.append("")
     margin_rows = [
         ["inflation budget", f"{margin['inflation_budget_ms']:8.1f} ms",
          "150 ms"],
@@ -280,6 +302,78 @@ def render_faults_report(results: dict, title="Fault-scenario robustness") -> st
         f"detector mode: {results['mode']}"
     )
     return f"{table}\n{footer}"
+
+
+def render_slo_report(results: dict,
+                      title="SLOs and latency-budget attribution") -> str:
+    """Budget-attribution + error-budget view from ``run_slo_eval``.
+
+    Two tables: how the airbag's latency budget splits across the
+    pipeline stages (clean condition; stages sum to the measured
+    end-to-end by construction), then per-condition error-budget status
+    and the burn-rate alerts each condition drove through the alert
+    manager — the synthetic overload condition is the one expected to
+    page.
+    """
+    budget = results["latency_budget_ms"]
+    lines = [title, ""]
+    clean = results["conditions"]["clean"]
+    attribution = clean.get("attribution")
+    if attribution:
+        rows = [
+            [row["stage"], f"{row['mean_ms']:8.4f}", f"{row['p99_ms']:8.4f}",
+             f"{100 * row['share_of_e2e']:6.2f}",
+             f"{100 * row['share_of_budget']:6.3f}"]
+            for row in attribution
+        ]
+        e2e = clean["stage_report"]["e2e"]
+        rows.append(["e2e (sum)", f"{e2e['mean']:8.4f}",
+                     f"{e2e['p99']:8.4f}", f"{100.0:6.2f}",
+                     f"{100 * e2e['mean'] / budget:6.3f}"])
+        lines.append(format_table(
+            ["Stage", "mean ms", "p99 ms", "% of e2e", "% of budget"],
+            rows,
+            title=f"Attribution of the {budget:g} ms budget "
+                  f"(clean, per window)",
+        ))
+        lines.append("")
+        shares = ", ".join(
+            f"{row['stage']} {100 * row['share_of_budget']:.3f}%"
+            for row in attribution
+        )
+        lines.append(f"{budget:g} ms budget: {shares}")
+        lines.append("")
+    rows = []
+    for name, stats in results["conditions"].items():
+        latency = stats["objectives"]["window_latency_p99"]
+        deadline = stats["objectives"]["deadline_miss"]
+        rows.append([
+            name,
+            f"{stats['windows']}",
+            f"{100 * latency['bad_fraction']:6.2f}",
+            f"{100 * latency['budget_remaining']:+7.1f}",
+            f"{100 * deadline['bad_fraction']:6.2f}",
+            f"{stats['alerts_raised']}",
+            f"{stats['alerts_resolved']}",
+            ",".join(stats["burning"]) or "-",
+        ])
+    lines.append(format_table(
+        ["Condition", "Windows", ">budget %", "Budget left %",
+         "Deadline miss %", "Raised", "Resolved", "Burning"],
+        rows, title="Error-budget status by condition",
+    ))
+    rules = ", ".join(
+        f"{name} {rule['threshold']:g}x over {rule['short_window_s']:g}s/"
+        f"{rule['long_window_s']:g}s -> {rule['severity']}"
+        for name, rule in results["rules"].items()
+    )
+    lines.append(
+        f"fleet: {results['n_streams']} streams "
+        f"({results['faulted_streams']} faulted), "
+        f"{results['duration_s']:.0f} s  overload charge: "
+        f"{results['overload_latency_ms']:g} ms/batch  rules: {rules}"
+    )
+    return "\n".join(lines)
 
 
 def render_alert_report(results: dict,

@@ -20,6 +20,7 @@ from .runners import (
     run_window_sweep,
     training_config,
 )
+from .slo_runner import SLOEvalConfig, run_slo_eval
 
 __all__ = [
     "ExperimentScale",
@@ -42,6 +43,8 @@ __all__ = [
     "AlertEvalConfig",
     "MagnitudeProbeModel",
     "run_alert_eval",
+    "SLOEvalConfig",
+    "run_slo_eval",
     "experiment_durations",
     "experiment_pool_stats",
     "reset_experiment_caches",

@@ -604,6 +604,48 @@ def run_profile_workload(
                         samples += 1
                 sp.set("recordings", len(recordings))
                 sp.set("samples", samples)
+
+            # Same recordings again through the vectorized block-ingest
+            # path, fed hop-sized blocks with completes at each block
+            # boundary — exactly how the serve engine drives it — so the
+            # report can put the two serving paths side by side.
+            block_detector = FallDetector(
+                model,
+                DetectorConfig(window_ms=window_ms, deadline_ms=deadline_ms),
+            )
+            hop = block_detector.config.hop_samples
+            block_detections = 0
+            with span("stream_block", subject=stream_subject) as sp:
+                for recording in recordings:
+                    block_detector.reset(preserve_latency_stats=True)
+                    # Single-shot per trial, like the AirbagController on
+                    # the per-sample arm: only the first hit counts.
+                    fired = False
+                    for start in range(0, recording.n_samples, hop):
+                        hits, requests = block_detector.push_block(
+                            recording.accel[start:start + hop],
+                            recording.gyro[start:start + hop])
+                        if hits and not fired:
+                            fired = True
+                            block_detections += 1
+                        for request in requests:
+                            t0 = time.perf_counter()
+                            try:
+                                prob = float(np.asarray(
+                                    model.predict(request.window[None])
+                                ).reshape(-1)[0])
+                            except Exception:
+                                block_detector.complete(request, None,
+                                                        failed=True)
+                                continue
+                            latency_ms = 1000.0 * (time.perf_counter() - t0)
+                            if (block_detector.complete(
+                                    request, prob, latency_ms=latency_ms)
+                                    is not None and not fired):
+                                fired = True
+                                block_detections += 1
+                sp.set("recordings", len(recordings))
+                sp.set("detections", block_detections)
     finally:
         collector.enabled = was_enabled
 
@@ -611,10 +653,16 @@ def run_profile_workload(
         "scale": scale.name,
         "records": collector.records(),
         "latency": detector.latency_report(),
+        "stages": detector.stage_report(),
         "margin": airbag.margin_report(),
         "epochs_trained": len(history.epochs),
         "train_segments": len(train),
         "stream_detections": detections,
+        "block": {
+            "latency": block_detector.latency_report(),
+            "stages": block_detector.stage_report(),
+            "detections": block_detections,
+        },
         "layer_timings": model.layer_timings() if layer_timing else {},
         "metrics": get_registry().snapshot(),
     }

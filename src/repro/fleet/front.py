@@ -189,7 +189,13 @@ class FleetFront:
         self.alerts = (AlertManager(cfg.alerts, registry=self.registry)
                        if cfg.alerts is not None else None)
         self._latest_t: float | None = None
+        #: Stream time of the latest completed pump — the liveness stamp
+        #: ``/healthz`` reports (mirrors ``ServeEngine.last_round_t``).
+        self.last_round_t: float | None = None
         self._merged_latency = Histogram(buckets=_ROUND_BUCKETS_MS)
+        #: stage -> merged histogram, populated by :meth:`close` from the
+        #: workers' ``fleet/stage/<stage>/latency_ms`` ship-back.
+        self._merged_stages: dict[str, Histogram] = {}
         self._final_reports: dict[int, dict] = {}
         self._final_streams: dict[str, dict] = {}
         self._closed = False
@@ -307,6 +313,8 @@ class FleetFront:
                 self._health[stream_id] = health
                 detections.append((stream_id, detection))
         self.rounds += 1
+        if self._latest_t is not None:
+            self.last_round_t = self._latest_t
         if self.alerts is not None:
             self._feed_alerts(detections)
         self._sync_metrics()
@@ -565,6 +573,40 @@ class FleetFront:
         fleet.merge(self._merged_latency)
         return fleet
 
+    def fleet_stage_latency(self) -> dict:
+        """``stage -> Histogram`` of per-stage attribution merged across
+        every stopped worker (populated by :meth:`close`)."""
+        out = {}
+        for stage, hist in self._merged_stages.items():
+            merged = Histogram(buckets=hist.edges)
+            merged.merge(hist)
+            out[stage] = merged
+        return out
+
+    def slo_rollup(self) -> dict:
+        """Fleet-wide SLO event/bad totals from the merged registry.
+
+        Workers count ``slo/<objective>/events`` / ``slo/<objective>/bad``
+        into their registries; after :meth:`close` the front's
+        ``merge_entries`` has already rolled them up by counter addition,
+        so this is just a readout keyed by objective.
+        """
+        snapshot = self.registry.snapshot()
+        rollup: dict[str, dict] = {}
+        for name, value in snapshot.items():
+            parts = name.split("/")
+            if len(parts) != 3 or parts[0] != "slo":
+                continue
+            _, objective, kind = parts
+            if kind not in ("events", "bad"):
+                continue
+            entry = rollup.setdefault(objective, {"events": 0, "bad": 0})
+            entry[kind] = int(value)
+        for entry in rollup.values():
+            entry["bad_fraction"] = (entry["bad"] / entry["events"]
+                                     if entry["events"] else 0.0)
+        return rollup
+
     def report(self) -> dict:
         out = {
             "shards": self.config.n_shards,
@@ -575,6 +617,7 @@ class FleetFront:
             "dropped_samples": self.dropped_samples,
             "redelivered_samples": self.redelivered_samples,
             "rounds": self.rounds,
+            "last_round_t": self.last_round_t,
             "detections": self.detections,
             "worker_crashes": self.worker_crashes,
             "worker_timeouts": self.worker_timeouts,
@@ -587,6 +630,9 @@ class FleetFront:
         }
         if self.alerts is not None:
             out["alerts"] = self.alerts.report()
+        slo = self.slo_rollup()
+        if slo:
+            out["slo"] = slo
         return out
 
     def stream_report(self) -> dict:
@@ -628,9 +674,20 @@ class FleetFront:
                     except Exception:  # pragma: no cover - defensive
                         _logger.exception("could not adopt worker span")
                 for entry in entries:
-                    if (entry.get("type") == "histogram"
-                            and entry["name"] == "fleet/window_latency_ms"):
+                    if entry.get("type") != "histogram":
+                        continue
+                    name = entry["name"]
+                    if name == "fleet/window_latency_ms":
                         self._merged_latency.merge(Histogram.from_entry(entry))
+                    elif (name.startswith("fleet/stage/")
+                            and name.endswith("/latency_ms")):
+                        stage = name[len("fleet/stage/"):-len("/latency_ms")]
+                        hist = Histogram.from_entry(entry)
+                        merged = self._merged_stages.get(stage)
+                        if merged is None:
+                            self._merged_stages[stage] = hist
+                        else:
+                            merged.merge(hist)
             shard.process.join(timeout=5.0)
             if shard.process.is_alive():  # pragma: no cover - defensive
                 shard.process.kill()

@@ -141,6 +141,17 @@ def shard_main(conn, shard_index: int, model, serve_config, base_seed: int,
             registry.histogram(
                 "fleet/window_latency_ms", buckets=latency.edges,
             ).merge(latency)
+            # Same ship-back for the per-stage attribution timers; the
+            # stage set is static (repro.obs.STAGES) so cardinality is
+            # bounded.  SLO event counters already live in the registry
+            # and roll up by plain counter addition.
+            stages = engine.fleet_stages()
+            if stages is not None:
+                for stage, hist in stages.histograms.items():
+                    registry.histogram(  # metric-name: dynamic
+                        f"fleet/stage/{stage}/latency_ms",
+                        buckets=hist.edges,
+                    ).merge(hist)
             spans = ([record.to_json() for record in collector.records()]
                      if collector.enabled else [])
             try:

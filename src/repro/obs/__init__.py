@@ -57,6 +57,15 @@ from .metrics import (
     load_snapshot,
 )
 from .report import aggregate_spans, format_span_tree
+from .slo import (
+    STAGES,
+    BurnRateRule,
+    SLOConfig,
+    SLOObjective,
+    SLOTracker,
+    StageTimer,
+    stage_attribution,
+)
 from .trace import (
     Span,
     SpanRecord,
@@ -94,6 +103,14 @@ __all__ = [
     "MetricsSampler",
     "render_exposition",
     "metric_to_family",
+    # slo
+    "STAGES",
+    "StageTimer",
+    "stage_attribution",
+    "BurnRateRule",
+    "SLOObjective",
+    "SLOConfig",
+    "SLOTracker",
     # flight
     "FlightConfig",
     "FlightRecorder",

@@ -32,6 +32,13 @@ __all__ = ["MetricsSampler", "render_exposition", "metric_to_family"]
 #: ``<prefix>/stream/<id>/<metric>`` — the one documented namespace whose
 #: middle segment is data-derived (see README "Serving").
 _STREAM_RE = re.compile(r"^(?P<head>.+)/stream/(?P<id>[^/]+)/(?P<rest>.+)$")
+#: ``<prefix>/stage/<stage>/<metric>`` — per-stage latency attribution
+#: (the stage set is static: :data:`repro.obs.slo.STAGES`), folded into a
+#: ``stage`` label so six stages are six series of one family.
+_STAGE_RE = re.compile(r"^(?P<head>.+)/stage/(?P<id>[^/]+)/(?P<rest>.+)$")
+#: ``slo/<objective>/<metric>`` — SLO event counters keyed by the (static)
+#: objective names, folded into an ``slo`` label.
+_SLO_RE = re.compile(r"^slo/(?P<id>[^/]+)/(?P<rest>.+)$")
 _UNSAFE_RE = re.compile(r"[^a-z0-9_]")
 
 
@@ -46,15 +53,21 @@ class MetricsSampler:
     """
 
     def __init__(self, registry: MetricsRegistry | None = None,
-                 interval_s: float = 1.0, capacity: int = 600):
+                 interval_s: float = 1.0, capacity: int = 600, *,
+                 clock=None):
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.registry = registry if registry is not None else get_registry()
         self.interval_s = float(interval_s)
+        #: Read whenever ``now`` is not passed explicitly — injectable so
+        #: samplers in tests never touch the wall clock.
+        self.clock = clock if clock is not None else time.monotonic
         self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
         self._samples: deque = deque(maxlen=capacity)
+        self._taken = 0
         self._last_t: float | None = None
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
@@ -66,18 +79,30 @@ class MetricsSampler:
     def sample(self, now: float | None = None) -> dict:
         """Take one snapshot unconditionally; returns the stored entry."""
         if now is None:
-            now = time.monotonic()
+            now = self.clock()
         entry = {"t": float(now), "metrics": self.registry.snapshot()}
         with self._lock:
             self._samples.append(entry)
+            self._taken += 1
             self._last_t = entry["t"]
+            self._cond.notify_all()
         return entry
+
+    def wait_for_samples(self, n: int, timeout: float | None = None) -> bool:
+        """Block until at least ``n`` samples have ever been taken.
+
+        The deterministic way to test the background thread: wait on the
+        sample condition instead of sleeping for a guessed interval.
+        Returns False on timeout.
+        """
+        with self._cond:
+            return self._cond.wait_for(lambda: self._taken >= n, timeout)
 
     def maybe_sample(self, now: float | None = None) -> dict | None:
         """Snapshot only when ``interval_s`` has elapsed since the last
         one — the hook a serving loop calls every round."""
         if now is None:
-            now = time.monotonic()
+            now = self.clock()
         with self._lock:
             due = (self._last_t is None
                    or now - self._last_t >= self.interval_s)
@@ -141,9 +166,17 @@ def metric_to_family(name: str, namespace: str = "repro") -> tuple:
     contains (the raw id survives in the label value).
     """
     match = _STREAM_RE.match(name)
+    stage = _STAGE_RE.match(name)
+    slo = _SLO_RE.match(name)
     if match:
         flat = f"{match.group('head')}/stream/{match.group('rest')}"
         labels = {"stream": match.group("id")}
+    elif stage:
+        flat = f"{stage.group('head')}/stage/{stage.group('rest')}"
+        labels = {"stage": stage.group("id")}
+    elif slo:
+        flat = f"slo/{slo.group('rest')}"
+        labels = {"slo": slo.group("id")}
     else:
         flat = name
         labels = {}

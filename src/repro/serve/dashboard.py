@@ -113,6 +113,31 @@ def _alert_pane(manager) -> list[str]:
     return lines
 
 
+def _slo_pane(engine) -> list[str]:
+    """Error-budget status and budget attribution for the dashboard."""
+    report = engine.slo_report()
+    if report is None:
+        return []
+    lines = []
+    for name, obj in report["objectives"].items():
+        burning = [rule for rule, state in obj["burn_rates"].items()
+                   if state["burning"]]
+        status = (f"BURNING ({', '.join(burning)})" if burning
+                  else "within budget")
+        lines.append(
+            f"slo          : {name:<19} bad {obj['bad_fraction']:.3%} "
+            f"(allowed {obj['objective_bad_fraction']:.3%}, "
+            f"budget left {obj['budget_remaining']:+.0%})  {status}"
+        )
+    attribution = report.get("attribution")
+    if attribution:
+        shares = ", ".join(f"{row['stage']} {row['share_of_budget']:.2%}"
+                           for row in attribution)
+        lines.append(
+            f"{report['latency_budget_ms']:g} ms budget : {shares}")
+    return lines
+
+
 def render_dashboard(engine: ServeEngine, sampler: MetricsSampler | None = None,
                      *, title: str = "repro tail", max_rows: int = 12) -> str:
     """One dashboard frame as a plain string."""
@@ -144,6 +169,8 @@ def render_dashboard(engine: ServeEngine, sampler: MetricsSampler | None = None,
         f"p99 {_fmt_ms(fleet['p99'])} ms "
         f"({fleet['count']} windows)"
     )
+    if engine.slo is not None:
+        lines += _slo_pane(engine)
     if engine.alerts is not None:
         lines += _alert_pane(engine.alerts)
     lines.append("")
@@ -246,10 +273,13 @@ def run_tail(model, config: TailConfig | None = None, *,
     sampler.sample(now=n / fs)
     final_frame = render_dashboard(engine, sampler,
                                    max_rows=config.max_rows)
-    exposition = render_exposition(
-        registry,
-        extra={"serve/fleet/window_latency_ms": engine.fleet_latency()},
-    )
+    extra = {"serve/fleet/window_latency_ms": engine.fleet_latency()}
+    fleet_stages = engine.fleet_stages()
+    if fleet_stages is not None:
+        for stage, hist in fleet_stages.histograms.items():
+            # Folded to one family with a `stage` label on exposition.
+            extra[f"serve/stage/{stage}/latency_ms"] = hist
+    exposition = render_exposition(registry, extra=extra)
     return {
         "engine": engine,
         "registry": registry,

@@ -41,7 +41,16 @@ import numpy as np
 from ..alerts import AlertConfig, AlertManager
 from ..core.detector import Detection, DetectorConfig
 from ..nn.config import batch_invariant
-from ..obs import FlightConfig, Histogram, get_logger, get_registry
+from ..obs import (
+    FlightConfig,
+    Histogram,
+    SLOConfig,
+    SLOTracker,
+    StageTimer,
+    get_logger,
+    get_registry,
+    stage_attribution,
+)
 from .session import StreamSession
 
 __all__ = ["ServeConfig", "ServeEngine"]
@@ -85,6 +94,12 @@ class ServeConfig:
     #: to the configured event store and exported as ``alerts/*``
     #: metrics.  ``None`` serves without the alert pipeline.
     alerts: AlertConfig | None = None
+    #: SLO objectives + burn-rate policy (:class:`repro.obs.SLOConfig`).
+    #: Armed by default — the tracker is a few counters per round; every
+    #: window completion feeds the error budgets, and burn-rate alerts
+    #: ride the attached :class:`~repro.alerts.AlertManager` (no-op
+    #: without one).  ``None`` disables SLO tracking.
+    slo: SLOConfig | None = field(default_factory=SLOConfig)
 
     def __post_init__(self):
         if self.queue_capacity < 1:
@@ -107,7 +122,7 @@ class ServeEngine:
     """
 
     def __init__(self, model, config: ServeConfig | None = None, *,
-                 registry=None):
+                 registry=None, latency_clock=None, stage_clock=None):
         if model is None:
             raise ValueError(
                 "ServeEngine needs a window model; a fallback-only "
@@ -146,6 +161,22 @@ class ServeEngine:
         #: Fleet alert pipeline (``None`` unless ``config.alerts``).
         self.alerts = (AlertManager(cfg.alerts, registry=self.registry)
                        if cfg.alerts is not None else None)
+        # Injectable clocks: `latency_clock` times the batched forward
+        # (swap in a synthetic clock to drive overload scenarios and
+        # burn-rate tests deterministically); `stage_clock` reaches each
+        # session's detector StageTimer.
+        self._clock = (latency_clock if latency_clock is not None
+                       else time.perf_counter)
+        self._stage_clock = stage_clock
+        #: SLO tracker (``None`` when ``config.slo`` is).  Driven on
+        #: stream time, so burn-rate behaviour is deterministic.
+        self.slo = (SLOTracker(cfg.slo, registry=self.registry,
+                               alerts=self.alerts)
+                    if cfg.slo is not None else None)
+        self.rounds = 0
+        #: Stream time of the latest completed step — the liveness stamp
+        #: ``/healthz`` reports so "serving" and "stuck" look different.
+        self.last_round_t: float | None = None
         self._latest_t: float | None = None
 
     # ------------------------------------------------------------------
@@ -168,6 +199,7 @@ class ServeEngine:
                 metric_prefix=f"{self.config.metric_prefix}/stream",
                 per_stream_metrics=self.config.per_stream_metrics,
                 flight=self.config.flight,
+                stage_clock=self._stage_clock,
             )
             self._sessions[stream_id] = session
         return session
@@ -237,6 +269,13 @@ class ServeEngine:
                 break
         self._queue_depth_gauge.set(
             float(max((len(s.queue) for s in sessions), default=0)))
+        self.rounds += 1
+        if self._latest_t is not None:
+            self.last_round_t = self._latest_t
+        if self.slo is not None:
+            # Evaluate burn rates on stream time (falls back to the
+            # tracker's own clock when no sample ever carried one).
+            self.slo.evaluate(now=self._latest_t)
         if self.alerts is not None:
             self._feed_alerts(detections)
         self._sync_metrics()
@@ -277,7 +316,7 @@ class ServeEngine:
             batch = np.stack([request.window for _, request in pairs])
         else:
             batch = self._empty_batch
-        t0 = time.perf_counter()
+        t0 = self._clock()
         try:
             with batch_invariant(self.config.batch_invariant):
                 out = np.asarray(self.model.predict(batch))
@@ -294,7 +333,7 @@ class ServeEngine:
             )
             self._infer_singly(pairs, detections)
             return
-        latency_ms = 1000.0 * (time.perf_counter() - t0)
+        latency_ms = 1000.0 * (self._clock() - t0)
         self._inference_s += latency_ms / 1000.0
         self.batches += 1
         self.windows_inferred += len(pairs)
@@ -304,12 +343,14 @@ class ServeEngine:
         for (session, request), prob in zip(pairs, probs):
             self._complete(session, request, prob, latency_ms, False,
                            detections)
+        if self.slo is not None and pairs:
+            self._record_slo(latency_ms, len(pairs))
 
     def _infer_singly(self, pairs, detections) -> None:
         """Batch failed: isolate the poison by retrying one window at a
         time, so healthy streams still get their CNN verdicts."""
         for session, request in pairs:
-            t0 = time.perf_counter()
+            t0 = self._clock()
             try:
                 with batch_invariant(self.config.batch_invariant):
                     prob = float(np.asarray(
@@ -318,11 +359,28 @@ class ServeEngine:
             except Exception:
                 self._complete(session, request, None, 0.0, True, detections)
                 continue
-            latency_ms = 1000.0 * (time.perf_counter() - t0)
+            latency_ms = 1000.0 * (self._clock() - t0)
             self._inference_s += latency_ms / 1000.0
             self.windows_inferred += 1
             self._complete(session, request, prob, latency_ms, False,
                            detections)
+            if self.slo is not None:
+                self._record_slo(latency_ms, 1)
+
+    def _record_slo(self, latency_ms: float, n: int) -> None:
+        """Charge ``n`` completed windows to the error budgets.
+
+        Every rider of a batch is charged the batch's wall-clock, exactly
+        as the detector's deadline accounting does; ``now`` is stream
+        time so burn-rate windows advance deterministically.
+        """
+        self.slo.record(
+            latency_ms=latency_ms,
+            deadline_miss=(latency_ms
+                           > self.config.detector.effective_deadline_ms),
+            n=n,
+            now=self._latest_t,
+        )
 
     def _complete(self, session, request, prob, latency_ms, failed,
                   detections) -> None:
@@ -423,6 +481,39 @@ class ServeEngine:
             fleet.merge(session.detector.latency)
         return fleet
 
+    def fleet_stages(self) -> StageTimer | None:
+        """Every stream's per-stage attribution merged into one timer.
+
+        Stage histograms live off-registry on the detectors (see
+        :class:`repro.obs.StageTimer`), so like :meth:`fleet_latency`
+        this is an exact merge.  ``None`` when stage timing is disabled.
+        """
+        fleet = None
+        for session in self._sessions.values():
+            stages = session.detector.stages
+            if stages is None:
+                continue
+            if fleet is None:
+                fleet = StageTimer()
+            fleet.merge(stages)
+        return fleet
+
+    def slo_report(self) -> dict | None:
+        """SLO + budget-attribution view: error-budget status per
+        objective, burn-rate state per rule, and the per-stage latency
+        attribution against the airbag budget.  ``None`` when SLO
+        tracking is disabled."""
+        if self.slo is None:
+            return None
+        report = self.slo.report(now=self._latest_t)
+        fleet = self.fleet_stages()
+        if fleet is not None:
+            stage_report = fleet.report()
+            report["stages"] = stage_report
+            report["attribution"] = stage_attribution(
+                stage_report, self.config.slo.latency_budget_ms)
+        return report
+
     def incident_paths(self) -> list[str]:
         """Incident files written by every stream's flight recorder."""
         return [path for session in self._sessions.values()
@@ -441,14 +532,18 @@ class ServeEngine:
 
     def report(self) -> dict:
         """Engine-level serving summary."""
+        out = self._base_report()
         if self.alerts is not None:
-            return {**self._base_report(),
-                    "alerts": self.alerts.report()}
-        return self._base_report()
+            out["alerts"] = self.alerts.report()
+        if self.slo is not None:
+            out["slo"] = self.slo_report()
+        return out
 
     def _base_report(self) -> dict:
         return {
             "streams": len(self._sessions),
+            "rounds": self.rounds,
+            "last_round_t": self.last_round_t,
             "samples_in": self.samples_in,
             "dropped_samples": self.dropped_samples,
             "rejected_streams": self.rejected_streams,

@@ -52,6 +52,7 @@ class StreamSession:
         metric_prefix: str = "serve/stream",
         per_stream_metrics: bool = True,
         flight=None,
+        stage_clock=None,
     ):
         prefix = (f"{metric_prefix}/{stream_id}" if per_stream_metrics
                   else metric_prefix)
@@ -62,7 +63,7 @@ class StreamSession:
                          if flight is not None else None)
         self.detector = FallDetector(
             model, config, registry=registry, metric_prefix=prefix,
-            recorder=self.recorder,
+            recorder=self.recorder, stage_clock=stage_clock,
         )
         self.queue: deque = deque()
         #: Requests staged by the last ``push_collect`` and not yet

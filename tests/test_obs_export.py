@@ -6,7 +6,6 @@ from __future__ import annotations
 import pathlib
 import subprocess
 import sys
-import time
 
 import pytest
 
@@ -138,7 +137,8 @@ def test_sampler_thread_smoke():
     sampler.start()
     with pytest.raises(RuntimeError):
         sampler.start()                    # already running
-    time.sleep(0.08)
+    # Wait on the sample condition instead of sleeping a guessed time.
+    assert sampler.wait_for_samples(2, timeout=5.0)
     sampler.stop()
     assert len(sampler) >= 2
     sampler.stop()                         # idempotent
