@@ -6,7 +6,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test lint check http-smoke bench profile faults serve-bench \
-	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench slo-demo
+	parallel-bench tail-demo alerts-demo fleet-demo fleet-bench slo-demo \
+	quant-demo quant-bench
 
 # tests/test_detector_block.py (the push_block ≡ push_collect
 # bit-identity gate for the serve fast path) rides along here, so
@@ -23,7 +24,7 @@ lint:
 http-smoke:
 	$(PYTHON) scripts/http_smoke.py
 
-check: lint test http-smoke fleet-demo slo-demo
+check: lint test http-smoke fleet-demo slo-demo quant-demo
 
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -71,6 +72,18 @@ alerts-demo:
 	$(PYTHON) -m repro alerts --duration 6 \
 		--store-dir benchmarks/results/alert_stores \
 		| tee benchmarks/results/alert_pipeline.txt
+
+# Small quantized-serving run (float32 / int8 / int8+pruned arms with
+# the bit-identity contract checks) as a fast end-to-end gate for
+# `make check`; `timeout` guards wall clock.
+quant-demo:
+	timeout 600 $(PYTHON) -m repro --scale quick quant-bench \
+		--streams 8 --duration 2
+
+# Full quantized-serving benchmark (32 streams, speedup + sensitivity
+# gates), archived to benchmarks/results/quant_scaling.txt.
+quant-bench:
+	timeout 900 $(PYTHON) -m pytest benchmarks/test_bench_quant.py -q
 
 # SLO engine end to end: budget attribution, error-budget accounting and
 # the synthetic-overload fast-burn alert, archived for

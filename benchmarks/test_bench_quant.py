@@ -1,0 +1,57 @@
+"""Quantized-serving benchmark: int8 must be the production fast path.
+
+Trains the paper's CNN, converts it to int8 (plus a pruned + fine-tuned
+variant), replays the same 32-stream fleet through each backend, and
+gates the claims that make int8 worth shipping: the integer kernels must
+beat float32 on the inference stage, pruning must beat plain int8, the
+deployed-arithmetic contract must hold bit-for-bit, and event-level
+sensitivity must match the float arm.
+"""
+
+from __future__ import annotations
+
+from repro.quant.bench import (
+    QuantBenchConfig,
+    render_quant_report,
+    run_quant_benchmark,
+)
+
+
+def test_bench_quant_scaling(save_report):
+    config = QuantBenchConfig(n_streams=32, duration_s=8.0, seed=7)
+    report = run_quant_benchmark(config)
+    arms = report["arms"]
+
+    # Scheduling is backend-independent: every arm inferred the same
+    # windows, so the timing comparison is apples to apples.
+    windows = {a["windows_inferred"] for a in arms.values()}
+    assert len(windows) == 1 and windows.pop() > 0
+
+    # The headline gate: batched integer kernels make serving inference
+    # at least 1.5x faster than float32, and pruning buys more on top.
+    assert report["int8_speedup"] >= 1.5
+    assert report["pruned_speedup_vs_int8"] > 1.0
+
+    # Deployed-arithmetic contract: the fast path is bit-identical to
+    # the reference lowering and bitwise batch-invariant, for both the
+    # full and the pruned model.
+    for checks in report["contracts"].values():
+        assert checks["bit_identical"]
+        assert checks["batch_invariant"]
+
+    # "The model's performance remains unchanged after quantization":
+    # event-level sensitivity of each integer arm within tolerance of
+    # the float arm on the clean fleet replay.
+    float_sens = arms["float32"]["sensitivity"]["sensitivity"]
+    tolerance = config.sensitivity_tolerance_pp
+    for arm in ("int8", "int8_pruned"):
+        sens = arms[arm]["sensitivity"]["sensitivity"]
+        assert abs(sens - float_sens) <= tolerance
+
+    # Pruning must show up in the cost model, not just the clock.
+    models = report["models"]
+    assert models["int8_pruned"]["macs"] < models["int8"]["macs"]
+    assert (models["int8_pruned"]["weight_bytes"]
+            < models["int8"]["weight_bytes"])
+
+    save_report("quant_scaling", render_quant_report(report))

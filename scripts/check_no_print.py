@@ -21,8 +21,8 @@ ALLOWED = {SRC / "cli.py", SRC / "eval" / "reports.py"}
 #: Packages the lint must cover. A rename/move that silently drops one of
 #: these from the sweep fails loudly instead of un-linting the package.
 EXPECTED_PACKAGES = ("alerts", "core", "datasets", "eval", "experiments",
-                     "faults", "fleet", "obs", "parallel", "serve",
-                     "signal")
+                     "faults", "fleet", "obs", "parallel", "quant",
+                     "serve", "signal")
 
 
 def find_violations() -> list[tuple[pathlib.Path, int, str]]:

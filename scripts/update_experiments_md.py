@@ -38,6 +38,7 @@ MAPPING = {
     "SERVE": "serve_scaling.txt",
     "FLEET": "fleet_scaling.txt",
     "SLO": "slo_report.txt",
+    "QUANT": "quant_scaling.txt",
 }
 
 

@@ -14,6 +14,7 @@ Usage::
     python -m repro profile --scale quick --trace-out trace.jsonl
     python -m repro faults --scenarios dropout gyro_dead
     python -m repro serve-bench --streams 32 --duration 8
+    python -m repro quant-bench --streams 32 --prune-fraction 0.5
     python -m repro fleet-bench --streams 64 --shards 4
     python -m repro alerts --scenarios spikes nan_burst
     python -m repro slo --scenarios nan_burst spikes
@@ -191,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds of signal per stream")
     serve_bench.add_argument("--seed", type=int, default=7,
                              help="workload generator seed")
+    quant_bench = sub.add_parser(
+        "quant-bench",
+        help="quantized serving benchmark: float32 vs int8 vs int8+pruned "
+             "backends through ServeEngine, with sensitivity parity",
+    )
+    quant_bench.add_argument("--streams", type=int, default=32,
+                             help="number of concurrent synthetic streams")
+    quant_bench.add_argument("--duration", type=float, default=8.0,
+                             help="seconds of signal per stream")
+    quant_bench.add_argument("--seed", type=int, default=7,
+                             help="workload generator seed")
+    quant_bench.add_argument("--prune-fraction", type=float, default=0.5,
+                             help="fraction of conv filters removed by "
+                                  "structured pruning")
     fleet_bench = sub.add_parser(
         "fleet-bench",
         help="sharded fleet serving benchmark: N worker processes vs a "
@@ -501,6 +516,22 @@ def _cmd_serve_bench(args):
     return render_serve_report(run_serve_benchmark(model, config))
 
 
+def _cmd_quant_bench(scale, args):
+    from .quant.bench import (
+        QuantBenchConfig,
+        render_quant_report,
+        run_quant_benchmark,
+    )
+
+    config = QuantBenchConfig(
+        n_streams=args.streams,
+        duration_s=args.duration,
+        seed=args.seed,
+        prune_fraction=args.prune_fraction,
+    )
+    return render_quant_report(run_quant_benchmark(config, scale))
+
+
 def _cmd_fleet_bench(args):
     from .core.detector import DetectorConfig
     from .experiments import MagnitudeProbeModel
@@ -726,6 +757,8 @@ def main(argv=None) -> int:
         output = _cmd_tail(args)
     elif args.command == "serve-bench":
         output = _cmd_serve_bench(args)
+    elif args.command == "quant-bench":
+        output = _cmd_quant_bench(scale, args)
     elif args.command == "fleet-bench":
         output = _cmd_fleet_bench(args)
     elif args.command == "alerts":

@@ -469,6 +469,18 @@ class FallDetector:
         return self._health
 
     @property
+    def backend(self) -> str:
+        """Numeric backend of the window model: ``"int8"`` when serving
+        a :class:`~repro.quant.QuantizedModel`, ``"float32"`` for a
+        float graph, ``"none"`` for fallback-only deployments."""
+        if self.model is None:
+            return "none"
+        from ..quant.qmodel import QuantizedModel
+
+        return ("int8" if isinstance(self.model, QuantizedModel)
+                else "float32")
+
+    @property
     def health_transitions(self) -> list[tuple[int, str, str]]:
         """``(sample_index, from_state, to_state)`` transition log."""
         return list(self._transitions)
@@ -477,6 +489,7 @@ class FallDetector:
         """Stream-hygiene view: health state plus every anomaly counter."""
         return {
             "health": self._health,
+            "backend": self.backend,
             "transitions": len(self._transitions),
             "states_seen": sorted(
                 {self._health} | {t[2] for t in self._transitions}

@@ -204,24 +204,39 @@ def render_profile_report(result: dict, title="Profile report") -> str:
     ))
     lines.append("")
     block = result.get("block")
+    int8 = result.get("int8")
     if block is not None:
         blk = block["latency"]
+        arms = [latency, blk]
+        headers = ["Quantity", "push (per-sample)", "push_block (vectorized)"]
+        detections = [result["stream_detections"], block["detections"]]
+        if int8 is not None:
+            arms.append(int8["latency"])
+            headers.append("push_block (int8)")
+            detections.append(int8["detections"])
         block_rows = [
-            ["window inferences", f"{latency['inferences']}",
-             f"{blk['inferences']}"],
-            ["latency p50", f"{latency['p50_ms']:8.3f} ms",
-             f"{blk['p50_ms']:8.3f} ms"],
-            ["latency p99", f"{latency['p99_ms']:8.3f} ms",
-             f"{blk['p99_ms']:8.3f} ms"],
-            ["deadline violations", f"{latency['violations']}",
-             f"{blk['violations']}"],
-            ["detections", f"{result['stream_detections']}",
-             f"{block['detections']}"],
+            ["window inferences"] + [f"{a['inferences']}" for a in arms],
+            ["latency p50"] + [f"{a['p50_ms']:8.3f} ms" for a in arms],
+            ["latency p99"] + [f"{a['p99_ms']:8.3f} ms" for a in arms],
+            ["deadline violations"] + [f"{a['violations']}" for a in arms],
+            ["detections"] + [f"{d}" for d in detections],
         ]
         lines.append(format_table(
-            ["Quantity", "push (per-sample)", "push_block (vectorized)"],
-            block_rows,
+            headers, block_rows,
             title="Serving paths (same stream, hop-sized blocks)",
+        ))
+        lines.append("")
+    if int8 is not None:
+        op_rows = [
+            [row["name"], row["kind"], f"{row['macs']}",
+             f"{row['weight_bytes']}", f"{row['bias_bytes']}"]
+            for row in int8["table"]
+        ]
+        op_rows.append(["total", "-", f"{int8['macs']}",
+                        f"{int8['weight_bytes']}", "-"])
+        lines.append(format_table(
+            ["Op", "Kind", "MACs", "Weight B", "Bias B"], op_rows,
+            title="Lowered int8 graph (per-op cost)",
         ))
         lines.append("")
     margin_rows = [

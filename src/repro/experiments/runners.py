@@ -608,44 +608,63 @@ def run_profile_workload(
             # Same recordings again through the vectorized block-ingest
             # path, fed hop-sized blocks with completes at each block
             # boundary — exactly how the serve engine drives it — so the
-            # report can put the two serving paths side by side.
-            block_detector = FallDetector(
-                model,
-                DetectorConfig(window_ms=window_ms, deadline_ms=deadline_ms),
-            )
-            hop = block_detector.config.hop_samples
-            block_detections = 0
-            with span("stream_block", subject=stream_subject) as sp:
-                for recording in recordings:
-                    block_detector.reset(preserve_latency_stats=True)
-                    # Single-shot per trial, like the AirbagController on
-                    # the per-sample arm: only the first hit counts.
-                    fired = False
-                    for start in range(0, recording.n_samples, hop):
-                        hits, requests = block_detector.push_block(
-                            recording.accel[start:start + hop],
-                            recording.gyro[start:start + hop])
-                        if hits and not fired:
-                            fired = True
-                            block_detections += 1
-                        for request in requests:
-                            t0 = time.perf_counter()
-                            try:
-                                prob = float(np.asarray(
-                                    model.predict(request.window[None])
-                                ).reshape(-1)[0])
-                            except Exception:
-                                block_detector.complete(request, None,
-                                                        failed=True)
-                                continue
-                            latency_ms = 1000.0 * (time.perf_counter() - t0)
-                            if (block_detector.complete(
-                                    request, prob, latency_ms=latency_ms)
-                                    is not None and not fired):
+            # report can put the serving paths side by side.
+            def _block_replay(serving_model, span_name):
+                arm_detector = FallDetector(
+                    serving_model,
+                    DetectorConfig(window_ms=window_ms,
+                                   deadline_ms=deadline_ms),
+                )
+                hop = arm_detector.config.hop_samples
+                arm_detections = 0
+                with span(span_name, subject=stream_subject) as sp:
+                    for recording in recordings:
+                        arm_detector.reset(preserve_latency_stats=True)
+                        # Single-shot per trial, like the AirbagController
+                        # on the per-sample arm: only the first hit counts.
+                        fired = False
+                        for start in range(0, recording.n_samples, hop):
+                            hits, requests = arm_detector.push_block(
+                                recording.accel[start:start + hop],
+                                recording.gyro[start:start + hop])
+                            if hits and not fired:
                                 fired = True
-                                block_detections += 1
-                sp.set("recordings", len(recordings))
-                sp.set("detections", block_detections)
+                                arm_detections += 1
+                            for request in requests:
+                                t0 = time.perf_counter()
+                                try:
+                                    prob = float(np.asarray(
+                                        serving_model.predict(
+                                            request.window[None])
+                                    ).reshape(-1)[0])
+                                except Exception:
+                                    arm_detector.complete(request, None,
+                                                          failed=True)
+                                    continue
+                                latency_ms = 1000.0 * (time.perf_counter()
+                                                       - t0)
+                                if (arm_detector.complete(
+                                        request, prob, latency_ms=latency_ms)
+                                        is not None and not fired):
+                                    fired = True
+                                    arm_detections += 1
+                    sp.set("recordings", len(recordings))
+                    sp.set("detections", arm_detections)
+                return arm_detector, arm_detections
+
+            block_detector, block_detections = _block_replay(
+                model, "stream_block")
+
+            # Third arm: the same block replay through the int8 kernels,
+            # giving the profile report a float32-vs-int8 latency column
+            # plus the lowered per-op MAC / weight-byte accounting.
+            from ..quant import QuantizedModel
+
+            with span("quantize"):
+                quantized = QuantizedModel.convert(
+                    model, train.X[:256].astype(np.float32))
+            int8_detector, int8_detections = _block_replay(
+                quantized, "stream_int8")
     finally:
         collector.enabled = was_enabled
 
@@ -662,6 +681,14 @@ def run_profile_workload(
             "latency": block_detector.latency_report(),
             "stages": block_detector.stage_report(),
             "detections": block_detections,
+        },
+        "int8": {
+            "latency": int8_detector.latency_report(),
+            "stages": int8_detector.stage_report(),
+            "detections": int8_detections,
+            "macs": quantized.total_macs,
+            "weight_bytes": quantized.weight_bytes,
+            "table": quantized.lowered_table(),
         },
         "layer_timings": model.layer_timings() if layer_timing else {},
         "metrics": get_registry().snapshot(),

@@ -1,17 +1,29 @@
 """``repro.quant`` — post-training int8 quantization (Section III-D)."""
 
 from .calibrate import calibrate_activations
+from .prune import (
+    PruneReport,
+    fine_tune,
+    magnitude_prune,
+    sparsity_report,
+    structured_prune,
+)
 from .qmodel import QOp, QuantizedModel
 from .qtensor import (
     INT8_MAX,
     INT8_MIN,
     FixedPointMultiplier,
     QuantParams,
+    RequantPlan,
     activation_qparams,
     dequantize,
+    pack_multipliers,
     quantize,
     quantize_weights_per_channel,
     requantize,
+    requantize_block,
+    requantize_block_fast,
+    requantize_lut,
     weight_qparams_per_channel,
 )
 
@@ -24,9 +36,19 @@ __all__ = [
     "quantize_weights_per_channel",
     "FixedPointMultiplier",
     "requantize",
+    "pack_multipliers",
+    "requantize_block",
+    "requantize_block_fast",
+    "requantize_lut",
+    "RequantPlan",
     "calibrate_activations",
     "QuantizedModel",
     "QOp",
     "INT8_MIN",
     "INT8_MAX",
+    "magnitude_prune",
+    "structured_prune",
+    "fine_tune",
+    "sparsity_report",
+    "PruneReport",
 ]

@@ -23,18 +23,23 @@ def calibrate_activations(
     Ranges are accumulated over batches (min of mins / max of maxes —
     conservative coverage, like TFLite's default MinMax observer).
     """
-    calibration_x = np.asarray(calibration_x)
+    # Cast once up front: slicing a float32 array yields float32 views, so
+    # the per-batch re-cast (a second full copy) is unnecessary.
+    calibration_x = np.asarray(calibration_x, dtype=np.float32)
     if len(calibration_x) == 0:
         raise ValueError("calibration set is empty")
     mins: dict[int, float] = {}
     maxs: dict[int, float] = {}
     for start in range(0, len(calibration_x), batch_size):
-        batch = calibration_x[start : start + batch_size]
-        model._forward(np.asarray(batch, dtype=np.float32), training=False)
+        model._forward(calibration_x[start : start + batch_size],
+                       training=False)
         for uid, value in model._values.items():
             v = np.asarray(value)
             mins[uid] = min(mins.get(uid, np.inf), float(v.min()))
             maxs[uid] = max(maxs.get(uid, -np.inf), float(v.max()))
+        # Release the cached node outputs between batches so calibrating
+        # over large sets doesn't hold a whole activation graph live.
+        model._values = {}
     return {
         uid: activation_qparams(mins[uid], maxs[uid]) for uid in mins
     }

@@ -1,0 +1,309 @@
+"""Pruning: magnitude (unstructured) and filter-level (structured).
+
+Two regimes, composing with post-training quantization:
+
+* :func:`magnitude_prune` zeroes the smallest-|w| fraction of each
+  weight matrix in place and returns the masks; :func:`fine_tune`
+  re-applies the masks after every optimizer step so the zeros survive
+  training.  Sparsity here is *logical* — the tensors keep their shape —
+  which recovers accuracy but does not shrink the lowered model.
+* :func:`structured_prune` removes whole Conv1D filters (ranked by L1
+  norm, the classic filter-pruning criterion) and rebuilds the graph so
+  the surviving channels are *physically* smaller: downstream MaxPool /
+  Flatten / Concatenate / Dense weights are re-indexed to the kept
+  channels.  The pruned model quantizes like any other, so
+  ``QuantizedModel`` sees fewer MACs and smaller ``weight_bytes`` and
+  the edge cost model picks the reduction up for free.
+
+The channel bookkeeping threads a ``keep`` index array (original
+last-axis feature indices that survive) through the graph walk:
+Flatten maps channel ``c`` at time-step ``l`` to feature ``l*C + c``
+(channels-last layout), Concatenate offsets each input's indices by the
+*original* widths of its predecessors, and Dense slices its weight rows
+at the surviving feature indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import graph as nn_graph
+from ..nn import layers as L
+from ..nn.model import Model
+from ..obs import get_logger, get_registry
+
+_logger = get_logger(__name__)
+
+__all__ = [
+    "magnitude_prune",
+    "apply_masks",
+    "structured_prune",
+    "fine_tune",
+    "sparsity_report",
+    "PruneReport",
+]
+
+
+# ----------------------------------------------------------------------
+# Magnitude (unstructured) pruning
+# ----------------------------------------------------------------------
+def magnitude_prune(
+    model: Model,
+    sparsity: float,
+    skip_layers: tuple[str, ...] | None = None,
+) -> dict[str, np.ndarray]:
+    """Zero the smallest-magnitude ``sparsity`` fraction of each ``W``.
+
+    The threshold is the per-layer ``sparsity`` quantile of ``|W|``
+    (layer-wise pruning, as in the classic Han et al. recipe), applied to
+    every layer with a ``W`` parameter except ``skip_layers`` (default:
+    the output layer, whose few weights are disproportionately
+    load-bearing for the sigmoid logit).  Biases are never pruned.
+
+    Returns ``{layer_name: boolean keep-mask}`` for :func:`apply_masks` /
+    :func:`fine_tune`; the model's weights are modified in place.
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    if skip_layers is None:
+        out_layer = model.output_node.layer
+        skip_layers = (out_layer.name,) if out_layer is not None else ()
+    masks: dict[str, np.ndarray] = {}
+    for layer in model.layers:
+        if layer.name in skip_layers or "W" not in layer.params:
+            continue
+        w = layer.params["W"]
+        threshold = float(np.quantile(np.abs(w), sparsity))
+        mask = np.abs(w) > threshold
+        layer.params["W"] = w * mask
+        masks[layer.name] = mask
+    return masks
+
+
+def apply_masks(model: Model, masks: dict[str, np.ndarray]) -> None:
+    """Re-zero pruned weights (call after every optimizer step)."""
+    for layer in model.layers:
+        mask = masks.get(layer.name)
+        if mask is not None:
+            layer.params["W"] *= mask
+
+
+def sparsity_report(model: Model) -> dict[str, float]:
+    """Fraction of exactly-zero weights, per layer and ``"total"``."""
+    report: dict[str, float] = {}
+    zeros = total = 0
+    for layer in model.layers:
+        w = layer.params.get("W")
+        if w is None:
+            continue
+        z = int(np.count_nonzero(w == 0.0))
+        report[layer.name] = z / w.size
+        zeros += z
+        total += w.size
+    report["total"] = zeros / total if total else 0.0
+    return report
+
+
+# ----------------------------------------------------------------------
+# Structured (filter-level) pruning
+# ----------------------------------------------------------------------
+@dataclass
+class PruneReport:
+    """What :func:`structured_prune` removed."""
+
+    fraction: float
+    filters: dict[str, tuple[int, int]] = field(default_factory=dict)
+    params_before: int = 0
+    params_after: int = 0
+
+    def summary(self) -> str:
+        kept = ", ".join(
+            f"{name} {orig}->{new}" for name, (orig, new) in self.filters.items()
+        )
+        return (
+            f"structured prune {self.fraction:.0%}: {kept}; "
+            f"params {self.params_before} -> {self.params_after}"
+        )
+
+
+def _conv_keep(layer, fraction: float, min_filters: int) -> np.ndarray:
+    """Indices of Conv1D filters to keep, ranked by L1 norm."""
+    w = layer.params["W"]  # (k, cin, cout)
+    norms = np.abs(w).sum(axis=(0, 1))
+    n_keep = max(min_filters, int(round((1.0 - fraction) * len(norms))))
+    # Ties broken by filter index (stable argsort) for determinism.
+    order = np.argsort(-norms, kind="stable")[:n_keep]
+    return np.sort(order)
+
+
+def structured_prune(
+    model: Model,
+    fraction: float,
+    min_filters: int = 1,
+) -> tuple[Model, PruneReport]:
+    """Remove the lowest-L1 ``fraction`` of every Conv1D's filters.
+
+    Rebuilds the graph with physically smaller layers (new instances,
+    original weights sliced to the surviving channels), so the result
+    has fewer parameters and MACs — not just zeros.  Dense units are
+    kept; only their weight *rows* shrink to match the surviving
+    flattened features.  The input model is not modified.
+    """
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    report = PruneReport(
+        fraction=fraction, params_before=model.count_params()
+    )
+    new_nodes: dict[int, nn_graph.Node] = {}
+    # Per original node: surviving original last-axis feature indices.
+    keep: dict[int, np.ndarray] = {}
+
+    for node in model.nodes:
+        if node.is_input:
+            new_nodes[node.uid] = nn_graph.Input(node.shape, name=node.name)
+            keep[node.uid] = np.arange(node.shape[-1])
+            continue
+        layer = node.layer
+        parents = [new_nodes[p.uid] for p in node.parents]
+        parent = node.parents[0]
+        keep_in = keep[parent.uid]
+
+        if isinstance(layer, L.Slice):
+            new = L.Slice(layer.axis, layer.start, layer.stop,
+                          name=layer.name)(parents[0])
+            axis = layer.axis if layer.axis >= 0 else len(parent.shape) + layer.axis
+            if axis == len(parent.shape) - 1:
+                if len(keep_in) != parent.shape[-1]:
+                    raise ValueError(
+                        f"cannot slice channel axis of pruned tensor at "
+                        f"{layer.name!r}"
+                    )
+                keep[node.uid] = np.arange(layer.stop - layer.start)
+            else:
+                keep[node.uid] = keep_in
+        elif isinstance(layer, L.Conv1D):
+            keep_f = _conv_keep(layer, fraction, min_filters)
+            new_layer = L.Conv1D(
+                len(keep_f),
+                layer.kernel_size,
+                strides=layer.strides,
+                padding=layer.padding,
+                activation=layer.activation_name,
+                use_bias=layer.use_bias,
+                name=layer.name,
+            )
+            new = new_layer(parents[0])
+            w = layer.params["W"][:, keep_in, :][:, :, keep_f]
+            new_layer.params["W"] = w.astype(
+                new_layer.params["W"].dtype
+            ).copy()
+            if layer.use_bias:
+                new_layer.params["b"] = (
+                    layer.params["b"][keep_f]
+                    .astype(new_layer.params["b"].dtype)
+                    .copy()
+                )
+            report.filters[layer.name] = (layer.filters, len(keep_f))
+            keep[node.uid] = keep_f
+        elif isinstance(layer, L.MaxPool1D):
+            new = L.MaxPool1D(layer.pool_size, strides=layer.strides,
+                              name=layer.name)(parents[0])
+            keep[node.uid] = keep_in
+        elif isinstance(layer, L.Flatten):
+            new = L.Flatten(name=layer.name)(parents[0])
+            length, channels = parent.shape
+            keep[node.uid] = (
+                np.arange(length)[:, None] * channels + keep_in[None, :]
+            ).ravel()
+        elif isinstance(layer, L.Concatenate):
+            new = L.Concatenate(axis=layer.axis, name=layer.name)(parents)
+            offset = 0
+            parts = []
+            for p in node.parents:
+                parts.append(keep[p.uid] + offset)
+                offset += p.shape[-1]
+            keep[node.uid] = np.concatenate(parts)
+        elif isinstance(layer, L.Dense):
+            new_layer = L.Dense(
+                layer.units,
+                activation=layer.activation_name,
+                use_bias=layer.use_bias,
+                name=layer.name,
+            )
+            new = new_layer(parents[0])
+            new_layer.params["W"] = (
+                layer.params["W"][keep_in, :]
+                .astype(new_layer.params["W"].dtype)
+                .copy()
+            )
+            if layer.use_bias:
+                new_layer.params["b"] = (
+                    layer.params["b"]
+                    .astype(new_layer.params["b"].dtype)
+                    .copy()
+                )
+            keep[node.uid] = np.arange(layer.units)
+        elif isinstance(layer, L.Dropout):
+            new = L.Dropout(layer.rate, name=layer.name)(parents[0])
+            keep[node.uid] = keep_in
+        else:
+            raise ValueError(
+                f"structured_prune does not support layer type "
+                f"{type(layer).__name__} ({layer.name!r})"
+            )
+        new_nodes[node.uid] = new
+
+    pruned = Model(
+        new_nodes[model.input_node.uid],
+        new_nodes[model.output_node.uid],
+        name=f"{model.name}_pruned",
+    )
+    report.params_after = pruned.count_params()
+    registry = get_registry()
+    registry.gauge("quant/pruned_params").set(
+        report.params_before - report.params_after
+    )
+    registry.gauge("quant/prune_fraction").set(fraction)
+    _logger.info("%s", report.summary())
+    return pruned, report
+
+
+# ----------------------------------------------------------------------
+# Fine-tuning
+# ----------------------------------------------------------------------
+def fine_tune(
+    model: Model,
+    x: np.ndarray,
+    y: np.ndarray,
+    masks: dict[str, np.ndarray] | None = None,
+    epochs: int = 2,
+    batch_size: int = 32,
+    sample_weight: np.ndarray | None = None,
+    seed: int = 0,
+) -> list[float]:
+    """Short recovery training after pruning; returns per-epoch losses.
+
+    Unlike ``Model.fit`` this re-applies ``masks`` after *every*
+    optimizer step, so unstructured zeros stay zero throughout (for
+    structured pruning pass ``masks=None`` — the filters are physically
+    gone and plain training suffices).  The model must be compiled.
+    """
+    model._require_compiled()
+    x = np.asarray(x)
+    y = np.asarray(y)
+    rng = np.random.default_rng(seed)
+    n = len(x)
+    losses = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for start in range(0, n, batch_size):
+            idx = order[start : start + batch_size]
+            sw = None if sample_weight is None else sample_weight[idx]
+            epoch_loss += model.train_on_batch(x[idx], y[idx], sw) * len(idx)
+            if masks:
+                apply_masks(model, masks)
+        losses.append(epoch_loss / max(n, 1))
+    return losses

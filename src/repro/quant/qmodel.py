@@ -29,12 +29,35 @@ from ..nn.layers import (
 from ..nn.model import Model
 from .calibrate import calibrate_activations
 from .qtensor import (
+    INT8_MIN,
     FixedPointMultiplier,
     QuantParams,
+    RequantPlan,
     dequantize,
     quantize,
     quantize_weights_per_channel,
+    requantize_block_fast,
+    requantize_lut,
 )
+
+#: Largest centered-input × weight dot length for which the float64 GEMM
+#: fast path is exact: every partial sum is an integer bounded by
+#: ``K * 255 * 128``, and float64 represents integers exactly below 2^53.
+_EXACT_GEMM_MAX_K = 2**53 // (255 * 128)
+
+
+#: Largest float32 GEMM chunk: every partial sum stays below 2^24, exact
+#: in float32's 24-bit mantissa.
+_F32_CHUNK = (2**24 - 1) // (255 * 128)
+
+
+def _gemm_dtype(k_dot: int, q_bias: np.ndarray) -> type:
+    """float32 when every partial sum *and* the biased accumulator stay
+    below 2^24 (exact in a 24-bit mantissa); float64 otherwise."""
+    bias_peak = int(np.abs(q_bias).max()) if q_bias.size else 0
+    if k_dot * 255 * 128 + bias_peak < 2**24:
+        return np.float32
+    return np.float64
 
 __all__ = ["QuantizedModel", "QOp"]
 
@@ -58,6 +81,14 @@ class QOp:
 
     def run(self, inputs: list[np.ndarray]) -> np.ndarray:  # pragma: no cover
         raise NotImplementedError
+
+    def run_reference(self, inputs: list[np.ndarray]) -> np.ndarray:
+        """Per-sample-era reference lowering (scalar requantize loop).
+
+        Ops whose ``run`` gained a vectorized fast path override this with
+        the original body; for pure-reindexing ops the two coincide.
+        """
+        return self.run(inputs)
 
 
 class _Passthrough(QOp):
@@ -101,7 +132,20 @@ class _QConcatenate(QOp):
             for p in in_params
         ]
 
+        # Per-tensor int8 -> int8 rescale: one 256-entry table per input,
+        # built with the scalar reference requantize over every possible
+        # value — lookup is bit-identical by construction.
+        self._luts = [
+            requantize_lut(mult, p.zero_point, out_params.zero_point)
+            for mult, p in zip(self.mults, in_params)
+        ]
+
     def run(self, inputs):
+        axis = self.axis if self.axis >= 0 else inputs[0].ndim + self.axis
+        rescaled = [lut[x] for lut, x in zip(self._luts, inputs)]
+        return np.concatenate(rescaled, axis=axis)
+
+    def run_reference(self, inputs):
         from .qtensor import requantize
 
         rescaled = []
@@ -130,6 +174,8 @@ def _lower_linear(op: QOp, weights, bias, in_params: QuantParams,
     op.mults = [
         FixedPointMultiplier.from_real(s / out_params.scale) for s in bias_scales
     ]
+    op.plan = RequantPlan(op.mults)
+    op.m0s, op.shifts = op.plan.m0s, op.plan.shifts
 
 
 def _requantize_per_channel(acc, mults, zero_point):
@@ -162,8 +208,36 @@ class _QDense(QOp):
                       None if b is None else np.asarray(b, dtype=np.float64),
                       in_params, out_params, channel_axis=1)
         self.macs_per_inference = int(w.shape[0] * w.shape[1])
+        # Blocked GEMM fast path: int8 products accumulated through a
+        # float64 BLAS matmul are exact while K * 255 * 128 < 2^53, so
+        # the result is bit-identical to the int64 reference matmul.
+        self._exact_gemm = w.shape[0] <= _EXACT_GEMM_MAX_K
+        # Chunked float32 GEMM: each chunk's partial sums stay exact in
+        # float32, and the float64 combine/bias-add is exact outright —
+        # bit-identical to the int64 reference matmul, at sgemm speed.
+        k_in = int(w.shape[0])
+        self._bounds = [(s, min(s + _F32_CHUNK, k_in))
+                        for s in range(0, k_in, _F32_CHUNK)]
+        self._wg = [self.q_weights[s:e].astype(np.float32)
+                    for s, e in self._bounds]
+        self._relu_lo = (self.out_params.zero_point
+                         if self.activation == "relu" else INT8_MIN)
 
     def run(self, inputs):
+        if not self._exact_gemm:  # pragma: no cover - needs K > ~2.7e11
+            return self.run_reference(inputs)
+        xc = inputs[0].astype(np.float32)
+        xc -= self.in_params.zero_point
+        (s0, e0) = self._bounds[0]
+        accf = (xc[..., s0:e0] @ self._wg[0]).astype(np.float64)
+        for (s, e), wc in zip(self._bounds[1:], self._wg[1:]):
+            accf += xc[..., s:e] @ wc
+        accf += self.q_bias
+        return requantize_block_fast(accf, self.plan,
+                                     self.out_params.zero_point,
+                                     lo=self._relu_lo)
+
+    def run_reference(self, inputs):
         x = inputs[0]
         centered = x.astype(np.int32) - self.in_params.zero_point
         acc = centered.astype(np.int64) @ self.q_weights.astype(np.int64)
@@ -199,8 +273,61 @@ class _QConv1D(QOp):
         out_len = node.shape[0]
         self.macs_per_inference = int(out_len * w.shape[0] * w.shape[1]
                                       * w.shape[2])
+        k_dot = w.shape[0] * w.shape[1]  # im2col dot length: k * cin
+        self._exact_gemm = k_dot <= _EXACT_GEMM_MAX_K
+        self._dtype = _gemm_dtype(k_dot, self.q_bias)
+        self._wg = self.q_weights.reshape(-1, w.shape[2]).astype(self._dtype)
+        self._bg = self.q_bias.astype(self._dtype)
+        self._relu_lo = (self.out_params.zero_point
+                         if self.activation == "relu" else INT8_MIN)
+
+    def _acc_batch(self, x):
+        """Exact-integer im2col accumulators (float): (b, out_len, cout)."""
+        k = self.kernel_size
+        centered = x.astype(self._dtype) - self.in_params.zero_point
+        windows = sliding_window_view(centered, k, axis=1)
+        windows = np.swapaxes(windows, 2, 3)  # (batch, out_len, k, cin)
+        batch, out_len = windows.shape[0], windows.shape[1]
+        cols = np.ascontiguousarray(windows).reshape(batch * out_len, -1)
+        accf = (cols @ self._wg).reshape(batch, out_len, -1)
+        accf += self._bg
+        return accf
 
     def run(self, inputs):
+        if not self._exact_gemm:  # pragma: no cover - needs K > ~2.7e11
+            return self.run_reference(inputs)
+        return requantize_block_fast(self._acc_batch(inputs[0]), self.plan,
+                                     self.out_params.zero_point,
+                                     lo=self._relu_lo)
+
+    def run_fused_pool(self, inputs, pool: "_QMaxPool"):
+        """Conv (+ReLU) + following max-pool in one step, bit-identically.
+
+        Every stage after the accumulator — Q31 requantize, saturation,
+        ReLU — is monotone nondecreasing, so max-pooling *accumulators*
+        then requantizing equals requantizing then pooling, while doing
+        the elementwise requantize work on the pooled (smaller) tensor.
+        """
+        if not self._exact_gemm:  # pragma: no cover - needs K > ~2.7e11
+            return pool.run([self.run_reference(inputs)])
+        accf = self._acc_batch(inputs[0])
+        length = accf.shape[1]
+        if pool.strides == pool.pool and length % pool.pool == 0:
+            # Non-overlapping windows covering the length exactly: pool
+            # via a free reshape instead of a fancy-index gather.
+            pooled = accf.reshape(accf.shape[0], length // pool.pool,
+                                  pool.pool, -1).max(axis=2)
+        else:
+            starts = pool.strides * np.arange(
+                (length - pool.pool) // pool.strides + 1
+            )
+            idx = starts[:, None] + np.arange(pool.pool)[None, :]
+            pooled = accf[:, idx, :].max(axis=2)
+        return requantize_block_fast(pooled, self.plan,
+                                     self.out_params.zero_point,
+                                     lo=self._relu_lo)
+
+    def run_reference(self, inputs):
         x = inputs[0]
         k = self.kernel_size
         centered = x.astype(np.int32) - self.in_params.zero_point
@@ -217,19 +344,227 @@ class _QConv1D(QOp):
         return out
 
 
+class _FusedBranches:
+    """Schedule-level fusion of parallel slice->conv->pool->flatten
+    branches feeding one concatenate.
+
+    The paper's trunk slices the 9-channel window into three 3-channel
+    groups and runs an identical conv/pool/flatten stack on each.  When
+    every branch reads the same source tensor (slices propagate the
+    source's quantization unchanged) and every conv shares the input
+    zero-point, the three GEMMs are one *block-diagonal* GEMM over the
+    full channel axis: rows outside a branch's slice hold zero weights,
+    so each output column accumulates exactly the products its per-branch
+    lowering would.  Pool-then-requantize is bit-exact as in
+    ``run_fused_pool``, the concat rescale stays the same per-branch
+    256-entry LUT (applied per output channel), and a final index
+    permutation reproduces the concat-of-flattens feature order.  Like
+    the conv+pool fusion this is purely a schedule optimization: per-op
+    ``run``/``run_reference`` semantics and ``predict_reference`` are
+    untouched.
+    """
+
+    def __init__(self, source_uid, source_channels, branches, concat):
+        # branches: [(slice_op, conv_op, pool_op, flatten_op)] in concat
+        # input order; guards in ``_try_fuse_branches`` hold already.
+        self.input_uids = [source_uid]
+        self.output_uid = concat.output_uid
+        convs = [b[1] for b in branches]
+        self.kernel_size = k = convs[0].kernel_size
+        self.pool = branches[0][2].pool
+        self.zero_point_in = convs[0].in_params.zero_point
+        self.zero_point_out = convs[0].out_params.zero_point
+        self._relu_lo = convs[0]._relu_lo
+        couts = [c._wg.shape[1] for c in convs]
+        total = sum(couts)
+        q_bias = np.concatenate([c.q_bias for c in convs])
+        self._dtype = _gemm_dtype(k * source_channels, q_bias)
+        # Block-diagonal im2col weights: row k'*C + c is the source's
+        # channel c at tap k'; each branch occupies its slice's rows.
+        wg = np.zeros((k * source_channels, total), dtype=self._dtype)
+        col = 0
+        for (sl, conv, _pool, _flat), cout in zip(branches, couts):
+            for tap in range(k):
+                rows = slice(tap * source_channels + sl.slice_start,
+                             tap * source_channels + sl.slice_stop)
+                wg[rows, col:col + cout] = conv.q_weights[tap]
+            col += cout
+        self._wg = wg
+        self._bg = q_bias.astype(self._dtype)
+        self.plan = RequantPlan([m for c in convs for m in c.mults])
+        # Concat rescale: the branch's per-tensor LUT, laid out per output
+        # channel so one gather rescales the whole pooled block.
+        big_lut = np.empty((256, total), dtype=np.int8)
+        col = 0
+        for lut, cout in zip(concat._luts, couts):
+            big_lut[:, col:col + cout] = lut[:, None]
+            col += cout
+        self._lut_flat = big_lut.ravel()  # (value, channel) row-major
+        self._ch_idx = np.arange(total)
+        # (pooled_len, total) row-major -> concat(branch-flattens) order;
+        # built by ``finalize`` once the pooled length is known.
+        self._perm = None
+        self._total = total
+        self._couts = couts
+
+    def finalize(self, pooled_len: int):
+        """Build the feature permutation once the pooled length is known."""
+        total = self._total
+        blocks = []
+        ch_off = 0
+        for cout in self._couts:
+            block = (np.arange(pooled_len)[:, None] * total
+                     + ch_off + np.arange(cout)[None, :])
+            blocks.append(block.ravel())
+            ch_off += cout
+        self._perm = np.concatenate(blocks)
+
+    def run(self, inputs):
+        k = self.kernel_size
+        centered = inputs[0].astype(self._dtype)
+        centered -= self.zero_point_in
+        windows = sliding_window_view(centered, k, axis=1)
+        windows = np.swapaxes(windows, 2, 3)  # (batch, out_len, k, C)
+        batch, out_len = windows.shape[0], windows.shape[1]
+        cols = np.ascontiguousarray(windows).reshape(batch * out_len, -1)
+        accf = cols @ self._wg
+        accf += self._bg
+        tiles = accf.reshape(batch, out_len // self.pool, self.pool,
+                             self._total)
+        # Pairwise in-place maximum beats the generic axis reduction.
+        pooled = tiles[:, :, 0].copy()
+        for j in range(1, self.pool):
+            np.maximum(pooled, tiles[:, :, j], out=pooled)
+        q8 = requantize_block_fast(pooled, self.plan, self.zero_point_out,
+                                   lo=self._relu_lo)
+        # Concat rescale: flat-index the (value, channel) table once.
+        idx = q8.view(np.uint8).astype(np.intp)
+        idx *= self._total
+        idx += self._ch_idx
+        rescaled = self._lut_flat.take(idx)
+        return rescaled.reshape(batch, -1)[:, self._perm]
+
+
 class QuantizedModel:
     """Integer executor for a converted model."""
 
     def __init__(self, ops, input_uid, input_params, output_uid,
-                 output_op, input_shape, node_shapes):
+                 output_op, input_shape, node_shapes, output_shape=(1,)):
         self.ops: list[QOp] = ops
         self.input_uid = input_uid
         self.input_params = input_params
         self.output_uid = output_uid
         self._output_op = output_op
         self.input_shape = input_shape
+        self.output_shape = tuple(output_shape)
         #: node uid -> per-sample tensor shape (for the RAM planner).
         self.node_shapes = node_shapes
+        self._steps = self._build_steps()
+
+    def _build_steps(self):
+        """Execution schedule: fuse conv -> max-pool chains for ``run``.
+
+        A conv whose output feeds *only* a max-pool (and is not the model
+        output) is executed through ``run_fused_pool``; the conv node's
+        int8 tensor is never materialized.  Per-op ``run``/``run_reference``
+        semantics are untouched — this is purely a schedule optimization,
+        and ``predict_reference`` always runs op by op.
+        """
+        consumers: dict[int, list[QOp]] = {}
+        for op in self.ops:
+            for uid in op.input_uids:
+                consumers.setdefault(uid, []).append(op)
+        absorbed: set[int] = set()
+        fused_trunks: dict[int, _FusedBranches] = {}
+        for op in self.ops:
+            if isinstance(op, _QConcatenate):
+                fused = self._try_fuse_branches(op, consumers)
+                if fused is not None:
+                    step, branch_ids = fused
+                    fused_trunks[id(op)] = step
+                    absorbed |= branch_ids
+        steps: list[tuple] = []
+        fused_pools: set[int] = set()
+        for op in self.ops:
+            if id(op) in absorbed or id(op) in fused_pools:
+                continue
+            if id(op) in fused_trunks:
+                steps.append((fused_trunks[id(op)],))
+                continue
+            users = consumers.get(op.output_uid, [])
+            if (isinstance(op, _QConv1D) and op.output_uid != self.output_uid
+                    and len(users) == 1 and isinstance(users[0], _QMaxPool)):
+                steps.append((op, users[0]))
+                fused_pools.add(id(users[0]))
+            else:
+                steps.append((op,))
+        return steps
+
+    def _try_fuse_branches(self, concat: _QConcatenate, consumers):
+        """Match slice->conv->pool->flatten branches into one fused step.
+
+        Every guard below protects a bit-identity precondition; any miss
+        simply falls back to the per-op schedule.
+        """
+        if concat.axis not in (-1, 1):
+            return None
+        producers = {op.output_uid: op for op in self.ops}
+        branches = []
+        for uid in concat.input_uids:
+            chain = []
+            op = producers.get(uid)
+            for expect in ("flatten", _QMaxPool, _QConv1D, "slice"):
+                if op is None or op.output_uid == self.output_uid:
+                    return None
+                if len(consumers.get(op.output_uid, [])) != 1:
+                    return None
+                if isinstance(expect, str):
+                    if op.kind != expect:
+                        return None
+                elif not isinstance(op, expect):
+                    return None
+                chain.append(op)
+                op = producers.get(op.input_uids[0])
+            flat, pool, conv, sl = chain
+            branches.append((sl, conv, pool, flat))
+        if len(branches) < 2:
+            return None
+        source_uid = branches[0][0].input_uids[0]
+        source_shape = self.node_shapes.get(source_uid)
+        if source_shape is None or len(source_shape) != 2:
+            return None
+        src_len, src_channels = source_shape
+        ref_conv, ref_pool = branches[0][1], branches[0][2]
+        for sl, conv, pool, _flat in branches:
+            start = getattr(sl, "slice_start", None)
+            stop = getattr(sl, "slice_stop", None)
+            sl_shape = self.node_shapes.get(sl.output_uid)
+            out_shape = self.node_shapes.get(conv.output_uid)
+            if (sl.input_uids[0] != source_uid
+                    or start is None or stop is None
+                    # Channel-axis slice: full length, sliced channels.
+                    or sl_shape != (src_len, stop - start)
+                    or conv.q_weights.shape[1] != stop - start
+                    # Identical conv contract across branches.
+                    or not conv._exact_gemm
+                    or conv.kernel_size != ref_conv.kernel_size
+                    or conv.in_params.scale != ref_conv.in_params.scale
+                    or conv.in_params.zero_point
+                    != ref_conv.in_params.zero_point
+                    or conv.out_params.zero_point
+                    != ref_conv.out_params.zero_point
+                    or conv._relu_lo != ref_conv._relu_lo
+                    # Reshape-max pooling must cover the length exactly.
+                    or pool.pool != ref_pool.pool
+                    or pool.strides != pool.pool
+                    or out_shape is None
+                    or out_shape[0] % pool.pool != 0):
+                return None
+        step = _FusedBranches(source_uid, int(src_channels), branches, concat)
+        out_len = self.node_shapes[ref_conv.output_uid][0]
+        step.finalize(out_len // ref_pool.pool)
+        absorbed = {id(op) for branch in branches for op in branch}
+        return step, absorbed
 
     # ------------------------------------------------------------------
     @classmethod
@@ -300,11 +635,28 @@ class QuantizedModel:
             output_op=output_op,
             input_shape=model.input_shape,
             node_shapes=node_shapes,
+            output_shape=tuple(model.output_node.shape),
         )
 
     # ------------------------------------------------------------------
     def predict(self, x: np.ndarray, batch_size: int = 512) -> np.ndarray:
-        """Float-in / float-out inference through the integer pipeline."""
+        """Float-in / float-out inference through the integer pipeline.
+
+        Whole batches run through the vectorized int8 kernels; empty input
+        keeps the output shape, mirroring ``Model.predict``.
+        """
+        return self._predict(x, batch_size, reference=False)
+
+    def predict_reference(self, x: np.ndarray,
+                          batch_size: int = 512) -> np.ndarray:
+        """Same pipeline through each op's per-sample-era reference lowering.
+
+        Exists so tests can prove the batched kernels bit-identical to the
+        original scalar requantize path; not a serving entry point.
+        """
+        return self._predict(x, batch_size, reference=True)
+
+    def _predict(self, x, batch_size, reference):
         x = np.asarray(x, dtype=np.float64)
         if x.shape[1:] != tuple(self.input_shape):
             raise ValueError(
@@ -312,15 +664,27 @@ class QuantizedModel:
             )
         outs = []
         for start in range(0, len(x), batch_size):
-            outs.append(self._predict_batch(x[start : start + batch_size]))
-        return np.concatenate(outs) if outs else np.empty((0, 1))
+            outs.append(self._predict_batch(x[start : start + batch_size],
+                                            reference=reference))
+        if not outs:
+            return np.empty((0,) + self.output_shape)
+        return np.concatenate(outs)
 
-    def _predict_batch(self, x):
+    def _predict_batch(self, x, reference=False):
         values = {self.input_uid: quantize(x, self.input_params)}
-        out_q = None
-        for op in self.ops:
-            inputs = [values[uid] for uid in op.input_uids]
-            values[op.output_uid] = op.run(inputs)
+        if reference:
+            for op in self.ops:
+                inputs = [values[uid] for uid in op.input_uids]
+                values[op.output_uid] = op.run_reference(inputs)
+        else:
+            for step in self._steps:
+                op = step[0]
+                inputs = [values[uid] for uid in op.input_uids]
+                if len(step) == 2:  # fused conv -> max-pool
+                    values[step[1].output_uid] = op.run_fused_pool(
+                        inputs, step[1])
+                else:
+                    values[op.output_uid] = op.run(inputs)
         out_q = values[self.output_uid]
         if self._output_op is not None:
             logits = dequantize(out_q, self._output_op.out_params)
@@ -342,20 +706,37 @@ class QuantizedModel:
     def total_macs(self) -> int:
         return sum(op.macs_per_inference for op in self.ops)
 
+    def lowered_table(self) -> list[dict]:
+        """Per-op MAC / byte accounting rows (for ``repro profile``)."""
+        rows = []
+        for op in self.ops:
+            rows.append({
+                "name": op.name,
+                "kind": op.kind,
+                "output_shape": tuple(self.node_shapes.get(op.output_uid, ())),
+                "macs": int(op.macs_per_inference),
+                "weight_bytes": int(op.weight_bytes),
+                "bias_bytes": int(op.bias_bytes),
+            })
+        return rows
+
 
 def _logit_params(model: Model, node, calibration_x) -> QuantParams:
     """Observe the pre-sigmoid logit range of the output dense layer."""
     from .qtensor import activation_qparams
 
     layer = node.layer
+    # Cast once; per-batch slices of a float32 array need no re-cast.
+    calibration_x = np.asarray(calibration_x, dtype=np.float32)
     lo, hi = np.inf, -np.inf
     for start in range(0, len(calibration_x), 256):
-        batch = np.asarray(calibration_x[start : start + 256], dtype=np.float32)
-        model._forward(batch, training=False)
+        model._forward(calibration_x[start : start + 256], training=False)
         parent_value = model._values[node.parents[0].uid]
         z = parent_value @ layer.params["W"]
         if "b" in layer.params:
             z = z + layer.params["b"]
         lo = min(lo, float(z.min()))
         hi = max(hi, float(z.max()))
+        # Drop the cached activation graph before the next batch.
+        model._values = {}
     return activation_qparams(lo, hi)

@@ -25,6 +25,11 @@ __all__ = [
     "quantize_weights_per_channel",
     "FixedPointMultiplier",
     "requantize",
+    "pack_multipliers",
+    "requantize_block",
+    "RequantPlan",
+    "requantize_block_fast",
+    "requantize_lut",
 ]
 
 INT8_MIN, INT8_MAX = -128, 127
@@ -150,3 +155,144 @@ def requantize(acc: np.ndarray, mult: FixedPointMultiplier,
         high = (high + point + np.where(high < 0, -1, 0)) >> shift
     out = high + zero_point
     return np.clip(out, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def pack_multipliers(
+    mults: "list[FixedPointMultiplier]",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pack per-channel multipliers into ``(m0s, shifts)`` int64 arrays."""
+    m0s = np.asarray([m.m0 for m in mults], dtype=np.int64)
+    shifts = np.asarray([m.right_shift for m in mults], dtype=np.int64)
+    return m0s, shifts
+
+
+def requantize_block(acc: np.ndarray, m0s: np.ndarray, shifts: np.ndarray,
+                     zero_point: int) -> np.ndarray:
+    """Vectorized per-channel :func:`requantize` over the last axis.
+
+    ``m0s``/``shifts`` hold one multiplier per output channel (the last
+    axis of ``acc``); the whole accumulator block is requantized in a
+    handful of numpy ops instead of one Python call per channel.
+    Elementwise identical to :func:`requantize` — same left-shift order,
+    same Q31 nudge, same rounding right shift — so the fast batched
+    kernels stay bit-for-bit on the deployed-arithmetic contract.
+    """
+    acc = np.asarray(acc, dtype=np.int64)
+    # Negative right_shift means a pre-multiply left shift; a right shift
+    # of 0 is the identity, so both directions vectorize as clamped arms.
+    acc = acc << np.maximum(-shifts, 0)
+    high = (acc * m0s + (1 << 30)) >> 31
+    right = np.maximum(shifts, 0)
+    point = (np.int64(1) << right) >> 1  # 2^(rs-1), or 0 when rs == 0
+    adjust = np.where((high < 0) & (right > 0), -1, 0)
+    out = ((high + point + adjust) >> right) + zero_point
+    return np.clip(out, INT8_MIN, INT8_MAX).astype(np.int8)
+
+
+def requantize_lut(mult: FixedPointMultiplier, in_zero_point: int,
+                   out_zero_point: int) -> np.ndarray:
+    """256-entry int8 -> int8 table for a per-tensor rescale.
+
+    Built by running the scalar reference :func:`requantize` over every
+    possible int8 input, so a table lookup is bit-identical to the
+    reference by construction.  The table is laid out for direct raw-int8
+    indexing: ``lut[q]`` with negative ``q`` wraps to the upper half.
+    """
+    q = np.arange(INT8_MIN, INT8_MAX + 1, dtype=np.int64)
+    out = requantize(q - in_zero_point, mult, out_zero_point)
+    lut = np.empty(256, dtype=np.int8)
+    lut[q % 256] = out
+    return lut
+
+
+class RequantPlan:
+    """Precomputed per-channel constants for the batched requantize paths.
+
+    Beyond packing the multipliers into arrays, this derives the exact
+    float64 formulation of the Q31 pipeline used by
+    :func:`requantize_block_fast`:
+
+    * ``m_prime = (m0 / 2^31) * 2^ls`` folds the pre-multiply left shift
+      into the real Q31 mantissa — both factors are dyadic, so ``m_prime``
+      is an exact float64;
+    * the high-multiply ``(acc * m0 + 2^30) >> 31`` equals
+      ``floor(acc * m_prime + 0.5)``, and the product ``acc * m_prime``
+      is *exact* in float64 whenever ``|acc| * m0 * 2^ls < 2^52`` (the
+      numerator then fits the 53-bit mantissa, with headroom for the
+      ``+0.5`` nudge).  With ``m0 < 2^31`` that holds for every channel
+      when ``|acc| < 2^21 / 2^max_ls`` — ``float_max_abs`` below;
+    * ``inv_pow = 2^-rs`` makes the rounding right shift a pair of exact
+      dyadic-scaling ops (see :func:`requantize_block_fast`).
+    """
+
+    __slots__ = ("m0s", "shifts", "m_prime", "inv_pow", "float_max_abs")
+
+    def __init__(self, mults: "list[FixedPointMultiplier]"):
+        self.m0s, self.shifts = pack_multipliers(mults)
+        ls = np.maximum(-self.shifts, 0)
+        rs = np.maximum(self.shifts, 0)
+        self.m_prime = (self.m0s / float(2**31)) * np.exp2(ls.astype(np.float64))
+        self.inv_pow = np.exp2(-rs.astype(np.float64))
+        max_ls = int(ls.max()) if len(ls) else 0
+        self.float_max_abs = float(2**21 >> max_ls) if max_ls < 21 else 0.0
+
+
+def requantize_block_fast(accf: np.ndarray, plan: RequantPlan,
+                          zero_point: int, lo: int = INT8_MIN) -> np.ndarray:
+    """Requantize a float64 block of *exact-integer* accumulators.
+
+    ``accf`` holds integer accumulators produced by the exact float64
+    GEMM fast path (per-channel along the last axis).  When every value
+    is below ``plan.float_max_abs`` the whole Q31 double rounding runs as
+    in-place float64 ops, each step exact:
+
+    * first rounding: ``floor(acc * m_prime + 0.5)`` ≡ the Q31 nudge +
+      ``>> 31`` (see :class:`RequantPlan` for the exactness bound);
+    * second rounding: the reference's rounding right shift is
+      round-half-away-from-zero of ``high / 2^rs`` — computed as
+      ``trunc(v + copysign(0.5, v))`` on the exact dyadic ``v = high *
+      2^-rs`` (and the ``rs == 0`` channels pass through unchanged, since
+      ``trunc(h ± 0.5) == h`` for integral ``h``).
+
+    Larger accumulators fall back to the int64 :func:`requantize_block`.
+    Both arms are bit-identical to the scalar :func:`requantize`.
+
+    ``lo`` folds a following ReLU into the saturation: ``max(clip(x,
+    INT8_MIN, INT8_MAX), zp) == clip(x, zp, INT8_MAX)`` for int8 ``zp``.
+    """
+    if accf.size == 0:
+        return np.empty(accf.shape, dtype=np.int8)
+    peak = max(float(accf.max()), -float(accf.min()))
+    if not peak < plan.float_max_abs:  # also catches NaN (never expected)
+        out = requantize_block(np.rint(accf).astype(np.int64),
+                               plan.m0s, plan.shifts, zero_point)
+        return np.maximum(out, np.int8(lo)) if lo > INT8_MIN else out
+    return _requant_float_pipeline(accf, plan.m_prime, plan.inv_pow,
+                                   zero_point, lo)
+
+
+def _requant_float_pipeline(accf, m_prime, inv_pow, zero_point, lo):
+    """The exact float64 Q31 pipeline body (see requantize_block_fast).
+
+    Callers are responsible for the ``float_max_abs`` exactness check.
+
+    When ``lo >= zero_point`` (a fused ReLU) the rounding right shift
+    collapses: every ``v < 0`` lands at ``lo`` after saturation either
+    way, and for ``v >= 0`` round-half-away-from-zero is plain
+    round-half-up, so the second rounding becomes one ``floor`` with the
+    zero point folded into its constant.
+    """
+    u = accf * m_prime
+    u += 0.5
+    np.floor(u, out=u)
+    u *= inv_pow
+    if lo >= zero_point:
+        u += 0.5 + zero_point
+        np.floor(u, out=u)
+    else:
+        u += np.copysign(0.5, u)
+        np.trunc(u, out=u)
+        u += zero_point
+    out = np.empty(u.shape, dtype=np.int8)
+    np.clip(u, lo, INT8_MAX, out=out, casting="unsafe")
+    return out

@@ -68,6 +68,14 @@ class ServeConfig:
     """Engine-level knobs; per-stream behaviour lives in ``detector``."""
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    #: Numeric backend for the window model: ``"float32"`` serves the
+    #: float graph as-is; ``"int8"`` converts it once at engine
+    #: construction (post-training quantization, needs ``calibration``
+    #: windows unless the model is already a
+    #: :class:`~repro.quant.QuantizedModel`) and routes every forward —
+    #: batched rounds and the per-window retry path alike — through the
+    #: batched integer kernels.
+    backend: str = "float32"
     #: Bounded per-stream queue; when full the *oldest* sample is shed
     #: (freshest data wins — a pre-impact detector must not fall behind).
     queue_capacity: int = 512
@@ -106,6 +114,10 @@ class ServeConfig:
             raise ValueError("queue_capacity must be >= 1")
         if self.max_streams < 1:
             raise ValueError("max_streams must be >= 1")
+        if self.backend not in ("float32", "int8"):
+            raise ValueError(
+                f"backend must be 'float32' or 'int8', got {self.backend!r}"
+            )
 
 
 class ServeEngine:
@@ -122,20 +134,23 @@ class ServeEngine:
     """
 
     def __init__(self, model, config: ServeConfig | None = None, *,
-                 registry=None, latency_clock=None, stage_clock=None):
+                 registry=None, latency_clock=None, stage_clock=None,
+                 calibration=None):
         if model is None:
             raise ValueError(
                 "ServeEngine needs a window model; a fallback-only "
                 "deployment does not benefit from batching"
             )
-        self.model = model
         self.config = config or ServeConfig()
         self.registry = registry if registry is not None else get_registry()
         self._sessions: dict[str, StreamSession] = {}
         cfg = self.config
         window_n = cfg.detector.window_samples
+        self.model = self._resolve_backend(model, calibration, window_n)
         self._empty_batch = np.empty((0, window_n, 9))
         prefix = cfg.metric_prefix
+        self.registry.gauge(f"{prefix}/backend_int8").set(
+            1.0 if cfg.backend == "int8" else 0.0)
         self._batch_size_hist = self.registry.histogram(
             f"{prefix}/batch_size", buckets=_BATCH_BUCKETS)
         self._batch_latency_hist = self.registry.histogram(
@@ -178,6 +193,59 @@ class ServeEngine:
         #: ``/healthz`` reports so "serving" and "stuck" look different.
         self.last_round_t: float | None = None
         self._latest_t: float | None = None
+
+    # ------------------------------------------------------------------
+    # backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """Numeric backend serving this engine's forwards."""
+        return self.config.backend
+
+    def _resolve_backend(self, model, calibration, window_n: int):
+        """Materialize the configured backend's model, converting once.
+
+        ``backend="int8"`` accepts either a float model plus
+        ``calibration`` windows (converted here, post-training) or an
+        already-converted :class:`~repro.quant.QuantizedModel` (so a
+        pruned+quantized model can be served directly).  The integer
+        kernels are batch-invariant by construction — no float matmul is
+        involved — and this asserts it on a probe batch rather than
+        trusting the construction.
+        """
+        if self.config.backend == "float32":
+            return model
+        from ..quant.qmodel import QuantizedModel
+
+        if isinstance(model, QuantizedModel):
+            quantized = model
+        else:
+            if calibration is None:
+                raise ValueError(
+                    "backend='int8' needs `calibration` windows to "
+                    "convert the float model (or pass an already-"
+                    "converted QuantizedModel)"
+                )
+            quantized = QuantizedModel.convert(
+                model, np.asarray(calibration, dtype=np.float32))
+        self._assert_batch_invariant(quantized, window_n)
+        return quantized
+
+    @staticmethod
+    def _assert_batch_invariant(quantized, window_n: int) -> None:
+        """Probe: batched int8 predictions must be bitwise equal to the
+        same windows predicted one at a time."""
+        rng = np.random.default_rng(0)
+        probe = rng.normal(0.0, 1.0, size=(2, window_n, 9))
+        together = quantized.predict(probe)
+        singly = np.concatenate(
+            [quantized.predict(probe[i : i + 1]) for i in range(len(probe))]
+        )
+        if not np.array_equal(together, singly):
+            raise AssertionError(
+                "int8 backend is not batch-invariant: batched probe "
+                "predictions differ bitwise from solo predictions"
+            )
 
     # ------------------------------------------------------------------
     # ingestion
@@ -541,6 +609,7 @@ class ServeEngine:
 
     def _base_report(self) -> dict:
         return {
+            "backend": self.config.backend,
             "streams": len(self._sessions),
             "rounds": self.rounds,
             "last_round_t": self.last_round_t,

@@ -105,6 +105,7 @@ class StreamSession:
         """Per-stream serving view: health, queue and detector counters."""
         return {
             "health": self.health,
+            "backend": getattr(self.detector, "backend", "float32"),
             "queue_depth": len(self.queue),
             "dropped_samples": self.dropped_samples,
             "detections": self.detections,

@@ -1,0 +1,273 @@
+"""Batched int8 kernels: reference parity, batch invariance, pruning.
+
+The fast path (`QuantizedModel.predict`) must be *bit-identical* to the
+per-op reference lowering (`predict_reference`) — the deployed-arithmetic
+contract — and batch-invariant by construction (no float matmul on the
+datapath).  These properties are exercised over random shapes,
+per-channel scales and zero-point edge cases including saturation at
+``INT8_MIN`` / ``INT8_MAX``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architecture import CnnHyperParams, build_lightweight_cnn
+from repro.quant import (
+    INT8_MAX,
+    INT8_MIN,
+    FixedPointMultiplier,
+    QuantizedModel,
+    RequantPlan,
+    magnitude_prune,
+    fine_tune,
+    pack_multipliers,
+    requantize,
+    requantize_block,
+    requantize_block_fast,
+    requantize_lut,
+    sparsity_report,
+    structured_prune,
+)
+from repro.quant.prune import apply_masks
+
+
+def _converted(window=40, seed=3, hyper=None, scale=1.0):
+    rng = np.random.default_rng(seed)
+    model = build_lightweight_cnn(window, hyper=hyper, seed=seed)
+    calib = (scale * rng.normal(size=(48, window, 9))).astype(np.float32)
+    return model, QuantizedModel.convert(model, calib), rng
+
+
+# ----------------------------------------------------------------------
+# requantize primitives: vectorized == scalar, bit for bit
+# ----------------------------------------------------------------------
+class TestRequantizePrimitives:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        multiplier=st.floats(1e-6, 0.999),
+        zero_point=st.integers(-128, 127),
+        magnitude=st.sampled_from([10, 10_000, 2**30]),
+    )
+    def test_block_matches_scalar(self, seed, multiplier, zero_point,
+                                  magnitude):
+        """`requantize_block` over a (batch, channel) grid reproduces the
+        scalar reference element-wise, including deep saturation."""
+        rng = np.random.default_rng(seed)
+        mults = [
+            FixedPointMultiplier.from_real(multiplier * float(f))
+            for f in rng.uniform(0.25, 4.0, size=5)
+        ]
+        m0s, shifts = pack_multipliers(mults)
+        acc = rng.integers(-magnitude, magnitude, size=(16, 5), dtype=np.int64)
+        block = requantize_block(acc, m0s, shifts, zero_point)
+        assert block.dtype == np.int8
+        for c, mult in enumerate(mults):
+            scalar = requantize(acc[:, c], mult, zero_point)
+            np.testing.assert_array_equal(block[:, c], scalar)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        multiplier=st.floats(1e-6, 0.999),
+        zero_point=st.integers(-128, 127),
+        magnitude=st.sampled_from([10, 200_000, 2**28]),
+    )
+    def test_fast_path_matches_block(self, seed, multiplier, zero_point,
+                                     magnitude):
+        """The float64 pipeline (or its int64 fallback when accumulators
+        exceed the exactness bound) equals the int64 block requantize."""
+        rng = np.random.default_rng(seed)
+        mults = [
+            FixedPointMultiplier.from_real(multiplier * float(f))
+            for f in rng.uniform(0.25, 4.0, size=4)
+        ]
+        plan = RequantPlan(mults)
+        acc = rng.integers(-magnitude, magnitude, size=(9, 4), dtype=np.int64)
+        expected = requantize_block(acc, plan.m0s, plan.shifts, zero_point)
+        got = requantize_block_fast(acc.astype(np.float64), plan, zero_point)
+        np.testing.assert_array_equal(got, expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        multiplier=st.floats(1e-6, 0.999),
+        zero_point=st.integers(-128, 127),
+    )
+    def test_relu_fused_lower_bound(self, seed, multiplier, zero_point):
+        """`lo=zero_point` (the fused ReLU) equals requantize-then-max."""
+        rng = np.random.default_rng(seed)
+        mults = [FixedPointMultiplier.from_real(multiplier)] * 3
+        plan = RequantPlan(mults)
+        acc = rng.integers(-50_000, 50_000, size=(8, 3), dtype=np.int64)
+        expected = np.maximum(
+            requantize_block(acc, plan.m0s, plan.shifts, zero_point),
+            np.int8(zero_point),
+        )
+        got = requantize_block_fast(
+            acc.astype(np.float64), plan, zero_point, lo=zero_point)
+        np.testing.assert_array_equal(got, expected)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        multiplier=st.floats(1e-6, 0.999),
+        in_zp=st.integers(-128, 127),
+        out_zp=st.integers(-128, 127),
+    )
+    def test_lut_covers_every_int8_input(self, multiplier, in_zp, out_zp):
+        """The concat rescale LUT equals the scalar requantize for all
+        256 inputs, and raw negative int8 indices land correctly."""
+        mult = FixedPointMultiplier.from_real(multiplier)
+        lut = requantize_lut(mult, in_zp, out_zp)
+        q = np.arange(INT8_MIN, INT8_MAX + 1, dtype=np.int64)
+        expected = requantize(q - in_zp, mult, out_zp)
+        got = lut[q.astype(np.int8)]  # native negative indexing
+        np.testing.assert_array_equal(got, expected)
+
+    def test_saturation_reaches_both_rails(self):
+        """Extreme accumulators pin the output at INT8_MIN / INT8_MAX
+        through both the int64 and the float fast paths."""
+        mult = FixedPointMultiplier.from_real(0.9)
+        plan = RequantPlan([mult])
+        acc = np.array([[2**40], [-(2**40)]], dtype=np.int64)
+        block = requantize_block(acc, plan.m0s, plan.shifts, 0)
+        fast = requantize_block_fast(acc.astype(np.float64), plan, 0)
+        assert block[0, 0] == INT8_MAX and block[1, 0] == INT8_MIN
+        np.testing.assert_array_equal(block, fast)
+
+
+# ----------------------------------------------------------------------
+# model-level parity and batch invariance
+# ----------------------------------------------------------------------
+class TestKernelParity:
+    @pytest.mark.parametrize("window,hyper", [
+        (40, None),
+        (20, CnnHyperParams(conv_filters=8, kernel_size=3, pool_size=2)),
+        (30, CnnHyperParams(conv_filters=16, kernel_size=5, pool_size=3)),
+    ])
+    def test_fast_path_bit_identical_to_reference(self, window, hyper):
+        _, quantized, rng = _converted(window=window, hyper=hyper)
+        x = rng.normal(size=(50, window, 9)).astype(np.float32)
+        for batch_size in (1, 7, 32, 512):
+            fast = quantized.predict(x, batch_size=batch_size)
+            reference = quantized.predict_reference(x, batch_size=batch_size)
+            np.testing.assert_array_equal(fast, reference)
+
+    def test_parity_under_input_saturation(self):
+        """Inputs far outside the calibration range clip to the int8
+        rails; the fast path must still agree with the reference."""
+        _, quantized, rng = _converted()
+        x = (50.0 * rng.normal(size=(16, 40, 9))).astype(np.float32)
+        np.testing.assert_array_equal(
+            quantized.predict(x), quantized.predict_reference(x))
+
+    def test_parity_with_skewed_calibration(self):
+        """Asymmetric calibration ranges give nonzero activation
+        zero-points; parity must hold there too."""
+        rng = np.random.default_rng(11)
+        model = build_lightweight_cnn(40, seed=11)
+        calib = (rng.normal(size=(48, 40, 9)) + 2.5).astype(np.float32)
+        quantized = QuantizedModel.convert(model, calib)
+        x = (rng.normal(size=(20, 40, 9)) + 2.5).astype(np.float32)
+        np.testing.assert_array_equal(
+            quantized.predict(x), quantized.predict_reference(x))
+
+    def test_batch_invariance_bitwise(self):
+        """A window's prediction is byte-identical no matter which other
+        windows share its batch (integer ops never mix rows)."""
+        _, quantized, rng = _converted()
+        x = rng.normal(size=(24, 40, 9)).astype(np.float32)
+        full = quantized.predict(x)
+        solo = np.concatenate(
+            [quantized.predict(x[i : i + 1]) for i in range(len(x))])
+        np.testing.assert_array_equal(full, solo)
+        # Shuffled batch composition: same rows, same bytes.
+        perm = rng.permutation(len(x))
+        shuffled = quantized.predict(x[perm])
+        np.testing.assert_array_equal(shuffled, full[perm])
+
+    def test_predict_empty_input_keeps_output_shape(self):
+        """Mirrors Model.predict: zero windows in, (0, 1) out."""
+        model, quantized, _ = _converted()
+        out = quantized.predict(np.empty((0, 40, 9)))
+        assert out.shape == (0,) + tuple(model.output_shape)
+        ref = quantized.predict_reference(np.empty((0, 40, 9)))
+        assert ref.shape == out.shape
+
+
+# ----------------------------------------------------------------------
+# pruning
+# ----------------------------------------------------------------------
+class TestPruning:
+    def _trained(self, n=160, seed=0):
+        rng = np.random.default_rng(seed)
+        model = build_lightweight_cnn(40, seed=seed)
+        x = rng.normal(size=(n, 40, 9)).astype(np.float32)
+        y = (rng.random((n, 1)) < 0.3).astype(np.float32)
+        model.compile("adam", "binary_crossentropy")
+        model.fit(x, y, epochs=1, batch_size=32, seed=0)
+        return model, x, y
+
+    def test_magnitude_prune_reaches_sparsity_and_masks_hold(self):
+        model, x, y = self._trained()
+        masks = magnitude_prune(model, 0.6)
+        assert "output" not in masks  # output layer is skipped
+        report = sparsity_report(model)
+        assert report["total"] >= 0.55
+        fine_tune(model, x, y, masks=masks, epochs=1, batch_size=32)
+        after = sparsity_report(model)
+        for name, mask in masks.items():
+            w = model.get_layer(name).params["W"]
+            assert np.all(w[~mask] == 0.0)
+        assert after["total"] >= 0.55
+
+    def test_apply_masks_rezeroes(self):
+        model, _, _ = self._trained()
+        masks = magnitude_prune(model, 0.5)
+        layer = next(iter(masks))
+        model.get_layer(layer).params["W"] += 1.0  # simulate an update
+        apply_masks(model, masks)
+        w = model.get_layer(layer).params["W"]
+        assert np.all(w[~masks[layer]] == 0.0)
+
+    def test_structured_prune_shrinks_macs_and_bytes(self):
+        model, x, _ = self._trained()
+        pruned, report = structured_prune(model, 0.5)
+        assert report.params_after < report.params_before
+        for _, (orig, kept) in report.filters.items():
+            assert kept == orig // 2
+        calib = x[:48]
+        q_full = QuantizedModel.convert(model, calib)
+        q_pruned = QuantizedModel.convert(pruned, calib)
+        assert q_pruned.total_macs < q_full.total_macs
+        assert q_pruned.weight_bytes < q_full.weight_bytes
+        # The pruned graph's fast path keeps the bit-identity contract.
+        probe = x[:20]
+        np.testing.assert_array_equal(
+            q_pruned.predict(probe), q_pruned.predict_reference(probe))
+
+    def test_structured_prune_keeps_top_filters(self):
+        """fraction=0 is an identity rebuild: same predictions."""
+        model, x, _ = self._trained()
+        pruned, report = structured_prune(model, 0.0)
+        np.testing.assert_allclose(
+            pruned.predict(x[:16]), model.predict(x[:16]), atol=1e-6)
+        assert report.params_after == report.params_before
+
+    def test_structured_prune_then_fine_tune_trains(self):
+        model, x, y = self._trained(n=96)
+        pruned, _ = structured_prune(model, 0.5)
+        pruned.compile("adam", "binary_crossentropy")
+        losses = fine_tune(pruned, x, y, epochs=2, batch_size=32)
+        assert len(losses) == 2 and np.isfinite(losses).all()
+
+    def test_invalid_fractions_rejected(self):
+        model, _, _ = self._trained(n=64)
+        with pytest.raises(ValueError):
+            magnitude_prune(model, 1.0)
+        with pytest.raises(ValueError):
+            structured_prune(model, -0.1)
